@@ -1,0 +1,271 @@
+// Benchmarks regenerating the paper's tables and figures (one
+// benchmark per experiment) plus micro-benchmarks of the substrates.
+// Run with:
+//
+//	go test -bench=. -benchmem
+package mdq_test
+
+import (
+	"context"
+	"testing"
+
+	"mdq/internal/abind"
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	"mdq/internal/exec"
+	"mdq/internal/experiments"
+	"mdq/internal/fetch"
+	"mdq/internal/opt"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	"mdq/internal/service"
+	"mdq/internal/sim"
+	"mdq/internal/simweb"
+	"mdq/internal/wsms"
+)
+
+func travelWorld(b *testing.B) (*simweb.TravelWorld, *cq.Query) {
+	b.Helper()
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w, q
+}
+
+// BenchmarkTable1Profiling regenerates Table 1: sampling profiles of
+// the four travel services.
+func BenchmarkTable1Profiling(b *testing.B) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{DisableServerCache: true})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &service.Profiler{Samples: 50, Seed: int64(i + 1)}
+		if _, err := p.Profile(ctx, w.Flight, 0, w.Flight.Sampler()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExample41AccessPatterns regenerates Example 4.1:
+// enumeration and cogency analysis of the pattern space.
+func BenchmarkExample41AccessPatterns(b *testing.B) {
+	_, q := travelWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perm, err := abind.Enumerate(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(abind.MostCogent(perm)) != 2 {
+			b.Fatal("frontier changed")
+		}
+	}
+}
+
+// BenchmarkExample51TopologyEnum regenerates the 19-plan count of
+// Example 5.1.
+func BenchmarkExample51TopologyEnum(b *testing.B) {
+	_, q := travelWorld(b)
+	asn := simweb.AssignmentAlpha1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := opt.CountTopologies(q, asn); got != 19 {
+			b.Fatalf("topologies = %d", got)
+		}
+	}
+}
+
+// BenchmarkFigure8FetchAssignment regenerates the phase-3 arithmetic
+// of Figure 8 (K′ and the Eq. 6 factors) plus the exact assignment.
+func BenchmarkFigure8FetchAssignment(b *testing.B) {
+	w, q := travelWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := w.BuildPlan(q, simweb.PlanOTopology(), 1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fa := &fetch.Assigner{Estimator: card.Config{Mode: card.OneCall}, Metric: cost.ExecTime{}, K: 10}
+		if fr := fa.Assign(p); !fr.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkBranchAndBound is the full three-phase optimization of
+// the running example (the paper's core algorithm).
+func BenchmarkBranchAndBound(b *testing.B) {
+	w, q := travelWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := &opt.Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+			K: 10, ChooseMethod: w.Registry.MethodChooser()}
+		if _, err := o.Optimize(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11PlanO runs one Figure 11 cell (plan O, one-call
+// cache) on the concurrent executor.
+func BenchmarkFigure11PlanO(b *testing.B) {
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, q := travelWorld(b)
+		p, err := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := &exec.Runner{Registry: w.Registry, Cache: card.OneCall}
+		res, err := r.Run(ctx, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Calls["hotel"] != 16 {
+			b.Fatal("call counts drifted")
+		}
+	}
+}
+
+// BenchmarkFigure11Simulation runs one Figure 11 cell on the
+// virtual-time simulator (plan S, no cache — the 374 s anchor).
+func BenchmarkFigure11Simulation(b *testing.B) {
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, q := travelWorld(b)
+		p, err := w.BuildPlan(q, simweb.PlanSTopology(), 3, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := &sim.Simulator{Registry: w.Registry, Cache: card.NoCache}
+		res, err := s.Run(ctx, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Calls["hotel"] != 284 {
+			b.Fatal("call counts drifted")
+		}
+	}
+}
+
+// BenchmarkMultithreadDispatch is the §6 multithreading experiment
+// cell (plan S, parallel dispatch, jittered latencies).
+func BenchmarkMultithreadDispatch(b *testing.B) {
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := simweb.NewTravelWorld(simweb.TravelOptions{JitterSigma: 0.75})
+		q, err := simweb.RunningExampleQuery(w.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := w.BuildPlan(q, simweb.PlanSTopology(), 3, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := &sim.Simulator{Registry: w.Registry, Cache: card.NoCache, ParallelCalls: true}
+		if _, err := s.Run(ctx, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBioinformatics regenerates the §6 generalization run.
+func BenchmarkBioinformatics(b *testing.B) {
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Bioinformatics(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWSMSBaseline measures the [16] baseline optimizer.
+func BenchmarkWSMSBaseline(b *testing.B) {
+	_, q := travelWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := &wsms.Optimizer{}
+		if _, err := o.Optimize(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkParseRunningExample measures the datalog parser.
+func BenchmarkParseRunningExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := cq.Parse(simweb.RunningExampleText); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimatorAnnotate measures one cardinality annotation of
+// the Figure 8 plan.
+func BenchmarkEstimatorAnnotate(b *testing.B) {
+	w, q := travelWorld(b)
+	p, err := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := card.Config{Mode: card.OneCall}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tout := cfg.Annotate(p); tout != 15 {
+			b.Fatalf("tout = %g", tout)
+		}
+	}
+}
+
+// BenchmarkJoinMergeScan measures the rank-preserving merge-scan
+// traversal on two 100-tuple branches.
+func BenchmarkJoinMergeScan(b *testing.B) {
+	benchmarkJoin(b, plan.MergeScan)
+}
+
+// BenchmarkJoinNestedLoop measures the nested-loop strategy on the
+// same inputs.
+func BenchmarkJoinNestedLoop(b *testing.B) {
+	benchmarkJoin(b, plan.NestedLoop)
+}
+
+func benchmarkJoin(b *testing.B, method plan.JoinMethod) {
+	w, q := travelWorld(b)
+	p, err := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := exec.NewVarIndex(p)
+	citySlot, _ := ix.Pos("City")
+	fSlot, _ := ix.Pos("FPrice")
+	hSlot, _ := ix.Pos("HPrice")
+	var left, right []exec.Tuple
+	for i := 0; i < 100; i++ {
+		l := exec.NewTuple(ix).With(citySlot, cityVal(i%7)).With(fSlot, numVal(100+i))
+		r := exec.NewTuple(ix).With(citySlot, cityVal(i%7)).With(hSlot, numVal(200+i))
+		left = append(left, l)
+		right = append(right, r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := exec.JoinPairs(method, left, right, nil, ix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("no join results")
+		}
+	}
+}
+
+func cityVal(i int) schema.Value { return schema.S("city" + string(rune('A'+i))) }
+func numVal(n int) schema.Value  { return schema.N(float64(n)) }

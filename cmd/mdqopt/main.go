@@ -1,0 +1,129 @@
+// Command mdqopt optimizes a multi-domain query against one of the
+// built-in simulated worlds and prints the chosen plan, its cost and
+// the search statistics.
+//
+// Usage:
+//
+//	mdqopt [-world travel|bio|mashup] [-metric etm|rr|sum|bottleneck|tts]
+//	       [-cache none|one-call|optimal] [-k 10] [-dot] [-query "..."]
+//
+// Without -query the world's canonical query is used (the paper's
+// Figure 3 for the travel world).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	"mdq/internal/opt"
+	"mdq/internal/service"
+	"mdq/internal/simweb"
+)
+
+func main() {
+	var (
+		worldName = flag.String("world", "travel", "built-in world: travel, bio or mashup")
+		metric    = flag.String("metric", "etm", "cost metric: etm, rr, sum, bottleneck, tts")
+		cache     = flag.String("cache", "one-call", "caching model: none, one-call, optimal")
+		k         = flag.Int("k", 10, "number of answers to optimize for (0 = all)")
+		queryText = flag.String("query", "", "query in datalog-like syntax (default: the world's canonical query)")
+		dot       = flag.Bool("dot", false, "print the plan in Graphviz DOT instead of ASCII")
+		verbose   = flag.Bool("v", false, "also list alternative plans")
+	)
+	flag.Parse()
+
+	reg, text, err := world(*worldName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *queryText != "" {
+		text = *queryText
+	}
+	m, ok := cost.ByName(*metric)
+	if !ok {
+		log.Fatalf("unknown metric %q", *metric)
+	}
+	mode, err := cacheMode(*cache)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q, err := cq.Parse(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch, err := reg.Schema()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := q.Resolve(sch); err != nil {
+		log.Fatal(err)
+	}
+
+	o := &opt.Optimizer{
+		Metric:       m,
+		Estimator:    card.Config{Mode: mode},
+		K:            *k,
+		ChooseMethod: reg.MethodChooser(),
+	}
+	if *verbose {
+		o.KeepAlternatives = 10
+	}
+	res, err := o.Optimize(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query: %s\n\n", q)
+	if *dot {
+		fmt.Print(res.Best.DOT())
+	} else {
+		fmt.Print(res.Best.ASCII())
+	}
+	fmt.Printf("\n%s cost: %.2f  (feasible for k=%d: %v, estimated answers: %.1f)\n",
+		m.Name(), res.Cost, *k, res.Feasible, res.Best.OutputNode().TOut)
+	fmt.Printf("search: %d/%d permissible assignments, %d states (%d pruned), %d plans costed, %d fetch vectors\n",
+		res.Stats.PermissibleAssignments, res.Stats.CandidateAssignments,
+		res.Stats.StatesVisited, res.Stats.StatesPruned, res.Stats.Leaves, res.Stats.FetchVectors)
+	if *verbose {
+		fmt.Println("\nalternatives:")
+		for i, alt := range res.Alternatives {
+			fmt.Printf("  %2d. %-60s %8.2f\n", i+1, alt.Plan.Describe(), alt.Cost)
+		}
+	}
+	os.Exit(0)
+}
+
+func world(name string) (*service.Registry, string, error) {
+	switch name {
+	case "travel":
+		w := simweb.NewTravelWorld(simweb.TravelOptions{})
+		return w.Registry, simweb.RunningExampleText, nil
+	case "bio":
+		w := simweb.NewBioWorld()
+		return w.Registry, simweb.BioExampleText, nil
+	case "mashup":
+		w := simweb.NewMashupWorld()
+		return w.Registry, simweb.MashupExampleText, nil
+	default:
+		return nil, "", fmt.Errorf("unknown world %q (want travel, bio or mashup)", name)
+	}
+}
+
+func cacheMode(name string) (card.CacheMode, error) {
+	switch name {
+	case "none", "no-cache":
+		return card.NoCache, nil
+	case "one-call", "onecall":
+		return card.OneCall, nil
+	case "optimal":
+		return card.Optimal, nil
+	default:
+		return 0, fmt.Errorf("unknown cache mode %q", name)
+	}
+}

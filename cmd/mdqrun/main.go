@@ -1,0 +1,211 @@
+// Command mdqrun optimizes and executes a multi-domain query end to
+// end against a built-in world (or a remote mdqserve endpoint) and
+// prints the ranked answers with per-service call accounting.
+//
+// Usage:
+//
+//	mdqrun [-world travel|bio|mashup] [-remote http://host:port]
+//	       [-metric etm] [-cache one-call] [-k 10] [-sim] [-query "..."]
+//
+// With -sim the plan runs on the deterministic virtual-time
+// simulator and the makespan is reported; otherwise the concurrent
+// executor runs it for real.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	"mdq/internal/exec"
+	"mdq/internal/httpwrap"
+	"mdq/internal/opt"
+	"mdq/internal/schema"
+	"mdq/internal/service"
+	"mdq/internal/sim"
+	"mdq/internal/simweb"
+)
+
+func main() {
+	var (
+		worldName = flag.String("world", "travel", "built-in world: travel, bio or mashup")
+		remote    = flag.String("remote", "", "connect to a remote mdqserve endpoint instead")
+		metric    = flag.String("metric", "etm", "cost metric")
+		cache     = flag.String("cache", "one-call", "caching model: none, one-call, optimal")
+		k         = flag.Int("k", 10, "answers to produce (0 = all)")
+		useSim    = flag.Bool("sim", false, "run on the virtual-time simulator")
+		expand    = flag.Bool("expand", false, "apply the §7 off-query expansion when the query is not executable")
+		queryText = flag.String("query", "", "query text (default: the world's canonical query)")
+	)
+	flag.Parse()
+	ctx := context.Background()
+
+	var (
+		reg  *service.Registry
+		text string
+		err  error
+	)
+	if *remote != "" {
+		reg, err = httpwrap.DialRegistry(ctx, *remote, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		text = *queryText
+		if text == "" {
+			log.Fatal("-query is required with -remote")
+		}
+	} else {
+		reg, text, err = world(*worldName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *queryText != "" {
+			text = *queryText
+		}
+	}
+	m, ok := cost.ByName(*metric)
+	if !ok {
+		log.Fatalf("unknown metric %q", *metric)
+	}
+	mode, err := cacheMode(*cache)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q, err := cq.Parse(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch, err := reg.Schema()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := q.Resolve(sch); err != nil {
+		log.Fatal(err)
+	}
+
+	if *expand {
+		eq, added, eerr := opt.Expand(q, sch, 2)
+		if eerr != nil {
+			log.Fatal(eerr)
+		}
+		if added > 0 {
+			fmt.Printf("expanded with %d off-query atom(s): %s\n", added, eq)
+		}
+		q = eq
+	}
+	o := &opt.Optimizer{Metric: m, Estimator: card.Config{Mode: mode}, K: *k, ChooseMethod: reg.MethodChooser()}
+	res, err := o.Optimize(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %s   (%s cost %.2f)\n\n", res.Best.Describe(), m.Name(), res.Cost)
+
+	var (
+		rows  [][]string
+		calls map[string]int64
+		extra string
+	)
+	if *useSim {
+		s := &sim.Simulator{Registry: reg, Cache: mode, K: *k}
+		out, err := s.Run(ctx, res.Best)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range out.Rows {
+			rows = append(rows, render(r))
+		}
+		calls = out.Stats.Calls
+		extra = fmt.Sprintf("virtual makespan: %.1fs", out.Makespan.Seconds())
+	} else {
+		r := &exec.Runner{Registry: reg, Cache: mode, K: *k}
+		out, err := r.Run(ctx, res.Best)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, row := range out.Rows {
+			rows = append(rows, render(row))
+		}
+		calls = out.Stats.Calls
+		extra = fmt.Sprintf("wall time: %s", out.Elapsed)
+	}
+
+	head := make([]string, len(q.Head))
+	for i, v := range q.Head {
+		head[i] = string(v)
+	}
+	fmt.Println(strings.Join(head, " | "))
+	for _, r := range rows {
+		fmt.Println(strings.Join(r, " | "))
+	}
+	fmt.Printf("\n%d answers; %s\n", len(rows), extra)
+	fmt.Print("calls:")
+	for _, svc := range sortedKeys(calls) {
+		fmt.Printf(" %s=%d", svc, calls[svc])
+	}
+	fmt.Println()
+}
+
+func render(row []schema.Value) []string {
+	out := make([]string, len(row))
+	for i, v := range row {
+		switch v.Kind {
+		case schema.StringValue:
+			out[i] = v.Str
+		case schema.DateValue:
+			out[i] = v.Time().Format("2006-01-02")
+		default:
+			out[i] = strings.TrimSuffix(fmt.Sprintf("%.2f", v.Num), ".00")
+		}
+	}
+	return out
+}
+
+func world(name string) (*service.Registry, string, error) {
+	switch name {
+	case "travel":
+		w := simweb.NewTravelWorld(simweb.TravelOptions{})
+		return w.Registry, simweb.RunningExampleText, nil
+	case "bio":
+		w := simweb.NewBioWorld()
+		return w.Registry, simweb.BioExampleText, nil
+	case "mashup":
+		w := simweb.NewMashupWorld()
+		return w.Registry, simweb.MashupExampleText, nil
+	default:
+		return nil, "", fmt.Errorf("unknown world %q", name)
+	}
+}
+
+func cacheMode(name string) (card.CacheMode, error) {
+	switch name {
+	case "none", "no-cache":
+		return card.NoCache, nil
+	case "one-call", "onecall":
+		return card.OneCall, nil
+	case "optimal":
+		return card.Optimal, nil
+	default:
+		return 0, fmt.Errorf("unknown cache mode %q", name)
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+// Command mdqserve exposes a built-in simulated deep-web world over
+// HTTP, so that mdqrun -remote (or any mdq client) can optimize and
+// execute multi-domain queries against real web services.
+//
+// Usage:
+//
+//	mdqserve [-addr :8080] [-world travel|bio|mashup] [-scale 0.001]
+//
+// With -scale > 0 every request really sleeps the scaled simulated
+// latency (Table 1 of the paper: a flight call simulates 9.7 s, so
+// -scale 0.001 makes it 9.7 ms).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"mdq/internal/httpwrap"
+	"mdq/internal/service"
+	"mdq/internal/simweb"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		worldName = flag.String("world", "travel", "built-in world: travel, bio or mashup")
+		scale     = flag.Float64("scale", 0, "sleep scale for simulated latencies (0 = report only)")
+		jitter    = flag.Float64("jitter", 0, "log-normal latency jitter sigma")
+	)
+	flag.Parse()
+
+	var reg *service.Registry
+	switch *worldName {
+	case "travel":
+		reg = simweb.NewTravelWorld(simweb.TravelOptions{JitterSigma: *jitter}).Registry
+	case "bio":
+		reg = simweb.NewBioWorld().Registry
+	case "mashup":
+		reg = simweb.NewMashupWorld().Registry
+	default:
+		log.Fatalf("unknown world %q", *worldName)
+	}
+
+	mux, names := httpwrap.ServeRegistry(reg, httpwrap.HandlerOptions{SleepScale: *scale})
+	fmt.Printf("serving %s world (%v) on %s\n", *worldName, names, *addr)
+	fmt.Printf("endpoints: GET /services, GET /services/<name>/signature, POST /services/<name>/invoke\n")
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

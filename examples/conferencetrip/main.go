@@ -1,0 +1,112 @@
+// Command conferencetrip runs the paper's running example end to
+// end (§2.5, Figure 3): "find all database conferences in the next
+// six months in locations where the average temperature is 28 °C
+// degrees and for which a cheap travel solution including a luxury
+// accommodation exists".
+//
+// It reproduces the analysis of the paper on the calibrated
+// simulated deep-web services: the optimizer derives plan O
+// (conf → weather → (flight ∥ hotel) with a merge-scan join, Figures
+// 7d and 8), and executing the three named plans S, P and O under
+// the three caching settings reproduces the call counts of Figure
+// 11. The answer listing at the end corresponds to Figure 10.
+//
+// Run with: go run ./examples/conferencetrip
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/exec"
+	"mdq/internal/opt"
+	"mdq/internal/plan"
+	"mdq/internal/sim"
+	"mdq/internal/simweb"
+)
+
+func main() {
+	ctx := context.Background()
+	world := simweb.NewTravelWorld(simweb.TravelOptions{})
+	query, err := simweb.RunningExampleQuery(world.Schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query (Figure 3):")
+	fmt.Println(" ", query)
+	fmt.Println()
+
+	// Let the optimizer find the best plan under the execution-time
+	// metric with one-call-cache estimates, k = 10.
+	optimizer := &opt.Optimizer{
+		Metric:       cost.ExecTime{},
+		Estimator:    card.Config{Mode: card.OneCall},
+		K:            10,
+		ChooseMethod: world.Registry.MethodChooser(),
+	}
+	res, err := optimizer.Optimize(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimal plan (the paper's plan O, Figure 8):")
+	fmt.Println(res.Best.ASCII())
+	fmt.Printf("estimated ETM: %.1f s — search visited %d states, pruned %d\n\n",
+		res.Cost, res.Stats.StatesVisited, res.Stats.StatesPruned)
+
+	// Reproduce Figure 11: the three named plans under the three
+	// caching settings, on the virtual-time simulator.
+	fmt.Println("Figure 11 (calls per service and total time):")
+	fmt.Printf("%-4s %-9s %5s %8s %7s %6s %9s\n", "plan", "cache", "conf", "weather", "flight", "hotel", "time")
+	for _, pl := range []struct {
+		name string
+		topo *plan.Topology
+	}{
+		{"S", simweb.PlanSTopology()},
+		{"P", simweb.PlanPTopology()},
+		{"O", simweb.PlanOTopology()},
+	} {
+		for _, mode := range []card.CacheMode{card.NoCache, card.OneCall, card.Optimal} {
+			w := simweb.NewTravelWorld(simweb.TravelOptions{})
+			q, err := simweb.RunningExampleQuery(w.Schema)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p, err := w.BuildPlan(q, pl.topo, 3, 4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := &sim.Simulator{Registry: w.Registry, Cache: mode}
+			r, err := s.Run(ctx, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-4s %-9s %5d %8d %7d %6d %8.0fs\n", pl.name, mode,
+				r.Stats.Calls["conf"], r.Stats.Calls["weather"],
+				r.Stats.Calls["flight"], r.Stats.Calls["hotel"], r.Makespan.Seconds())
+		}
+	}
+	fmt.Println()
+
+	// Execute plan O for real and list the first answers (Figure 10).
+	runner := &exec.Runner{Registry: world.Registry, Cache: card.OneCall, K: 10}
+	out, err := runner.Run(ctx, res.Best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("first answers (cf. Figure 10):")
+	ix := map[string]int{}
+	for i, v := range out.Head {
+		ix[string(v)] = i
+	}
+	fmt.Printf("%-38s %-10s %-12s %-12s %7s %7s\n", "CONFERENCE", "CITY", "START", "END", "FLIGHT", "HOTEL")
+	for _, row := range out.Rows {
+		fmt.Printf("%-38s %-10s %-12s %-12s %7.0f %7.0f\n",
+			row[ix["Conf"]].Str, row[ix["City"]].Str,
+			row[ix["Start"]].Time().Format("2006-01-02"),
+			row[ix["End"]].Time().Format("2006-01-02"),
+			row[ix["FPrice"]].Num, row[ix["HPrice"]].Num)
+	}
+}

@@ -1,0 +1,95 @@
+// Command quickstart shows the whole mdq lifecycle in one file:
+// define two services (a ranked search service and an exact one),
+// register them, write a multi-domain query in datalog-like syntax,
+// let the optimizer pick a plan, and execute it.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"mdq"
+)
+
+func main() {
+	sys := mdq.NewSystem()
+	sys.K = 5 // we want the five best answers
+
+	// A search service: restaurants by cuisine, returned in ranking
+	// order (an opaque relevance), paged four at a time.
+	area := mdq.Domain{Name: "Area", Kind: mdq.StringKind, DistinctValues: 6}
+	restaurant := &mdq.Signature{
+		Name: "restaurant",
+		Attrs: []mdq.Attribute{
+			{Name: "Cuisine", Domain: mdq.Domain{Name: "Cuisine", Kind: mdq.StringKind, DistinctValues: 4}},
+			{Name: "Name", Domain: mdq.Domain{Kind: mdq.StringKind}},
+			{Name: "Area", Domain: area},
+			{Name: "Price", Domain: mdq.Domain{Name: "Price", Kind: mdq.NumberKind}},
+		},
+		Patterns: []mdq.AccessPattern{mdq.Pattern("iooo")}, // cuisine must be given
+		Kind:     mdq.SearchService,
+		Stats:    mdq.Stats{ERSPI: 12, ChunkSize: 4, ResponseTime: mdq.Milliseconds(900)},
+	}
+	areas := []string{"North", "South", "East", "West", "Center", "Docks"}
+	var rows [][]mdq.Value
+	for _, cuisine := range []string{"italian", "sushi", "tapas", "ramen"} {
+		for i := 0; i < 12; i++ { // ranking order: best first
+			rows = append(rows, []mdq.Value{
+				mdq.String(cuisine),
+				mdq.String(fmt.Sprintf("%s place %c", cuisine, 'A'+i)),
+				mdq.String(areas[i%len(areas)]),
+				mdq.Number(float64(10 + i*7)),
+			})
+		}
+	}
+	if err := sys.RegisterTable(restaurant, rows, mdq.Latency{Base: mdq.Milliseconds(900)}); err != nil {
+		log.Fatal(err)
+	}
+
+	// An exact service: the safety score of an area (one tuple per
+	// call, area must be given).
+	safety := &mdq.Signature{
+		Name: "safety",
+		Attrs: []mdq.Attribute{
+			{Name: "Area", Domain: area},
+			{Name: "Score", Domain: mdq.Domain{Name: "Score", Kind: mdq.NumberKind}},
+		},
+		Patterns: []mdq.AccessPattern{mdq.Pattern("io")},
+		Kind:     mdq.ExactService,
+		Stats:    mdq.Stats{ERSPI: 1, ResponseTime: mdq.Milliseconds(300)},
+	}
+	var srows [][]mdq.Value
+	for i, a := range areas {
+		srows = append(srows, []mdq.Value{mdq.String(a), mdq.Number(float64(3 + i%3))})
+	}
+	if err := sys.RegisterTable(safety, srows, mdq.Latency{Base: mdq.Milliseconds(300)}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The multi-domain query: good sushi in safe areas, under 60.
+	// Selectivity annotations ({...}) carry profile knowledge.
+	query := `
+	dinner(Name, Area, Price, Score) :-
+	    restaurant('sushi', Name, Area, Price),
+	    safety(Area, Score),
+	    Score >= 4 {0.6},
+	    Price < 60 {0.7}.`
+
+	res, ores, err := sys.Answer(context.Background(), query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("optimized plan:")
+	fmt.Println(ores.Best.ASCII())
+	fmt.Printf("estimated %s cost: %.1f\n\n", sys.Metric.Name(), ores.Cost)
+	fmt.Printf("%-16s %-8s %-7s %s\n", "NAME", "AREA", "PRICE", "SAFETY")
+	for _, row := range res.Rows {
+		fmt.Printf("%-16s %-8s %-7.0f %.0f\n", row[0].Str, row[1].Str, row[2].Num, row[3].Num)
+	}
+	fmt.Printf("\nservice calls: restaurant=%d safety=%d\n",
+		res.Stats.Calls["restaurant"], res.Stats.Calls["safety"])
+}

@@ -1,0 +1,275 @@
+// Package abind implements access-pattern selection for conjunctive
+// queries over services with binding restrictions (§3.2 and §4.1 of
+// Braga et al., VLDB 2008): callability of atoms (Definition 3.1),
+// enumeration of permissible pattern sequences, and the cogency
+// partial order behind the "bound is better" heuristics.
+package abind
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdq/internal/cq"
+	"mdq/internal/schema"
+)
+
+// Assignment picks one feasible access pattern per query atom,
+// indexed by atom position in the body (the paper's sequence α).
+type Assignment []schema.AccessPattern
+
+// String renders the assignment as e.g. <conf:ioooo, hotel:oiiiio>.
+func (a Assignment) String() string {
+	parts := make([]string, len(a))
+	for i, p := range a {
+		parts[i] = p.String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Equal reports whether two assignments pick the same patterns.
+func (a Assignment) Equal(b Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MoreCogent reports a ⊒IO b pointwise (§4.1.1): every pattern of a
+// is at least as cogent as the corresponding pattern of b.
+func (a Assignment) MoreCogent(b Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].MoreCogent(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyMoreCogent reports a ≻IO b.
+func (a Assignment) StrictlyMoreCogent(b Assignment) bool {
+	return a.MoreCogent(b) && !b.MoreCogent(a)
+}
+
+// InputCount is the total number of input positions across the
+// assignment; used as a heuristic total order refining cogency.
+func (a Assignment) InputCount() int {
+	n := 0
+	for _, p := range a {
+		n += len(p.Inputs())
+	}
+	return n
+}
+
+// InputVars returns the variables in input position of atom under
+// pattern p.
+func InputVars(atom *cq.Atom, p schema.AccessPattern) cq.VarSet {
+	return atom.VarsAt(p.Inputs())
+}
+
+// OutputVars returns the variables in output position of atom under
+// pattern p.
+func OutputVars(atom *cq.Atom, p schema.AccessPattern) cq.VarSet {
+	return atom.VarsAt(p.Outputs())
+}
+
+// InputsBound reports whether every input field of the atom under
+// pattern p is filled with a constant or a variable in bound.
+func InputsBound(atom *cq.Atom, p schema.AccessPattern, bound cq.VarSet) bool {
+	for _, i := range p.Inputs() {
+		t := atom.Terms[i]
+		if t.IsVar() && !bound.Has(t.Var) {
+			return false
+		}
+	}
+	return true
+}
+
+// CallableAfter returns the indexes of atoms not in placed that are
+// callable given the outputs of the placed atoms (§3.3: an atom A is
+// callable after a set N if A ∉ N and A's input fields contain a
+// constant or a variable occurring in an output field of an atom in
+// N). Passing an empty placed set yields the directly callable
+// atoms. The result is sorted by atom index.
+func CallableAfter(q *cq.Query, asn Assignment, placed map[int]bool) []int {
+	bound := cq.VarSet{}
+	for i, a := range q.Atoms {
+		if placed[i] {
+			bound.AddAll(OutputVars(a, asn[i]))
+		}
+	}
+	var out []int
+	for i, a := range q.Atoms {
+		if placed[i] {
+			continue
+		}
+		if InputsBound(a, asn[i], bound) {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Permissible reports whether every atom of the query is callable
+// under the assignment (Definition 3.1), using the linear-time
+// fixpoint of Yang, Kifer and Chaudhri [21]: repeatedly add callable
+// atoms to the bound set until no progress.
+func Permissible(q *cq.Query, asn Assignment) bool {
+	if len(asn) != len(q.Atoms) {
+		return false
+	}
+	callable := make([]bool, len(q.Atoms))
+	bound := cq.VarSet{}
+	remaining := len(q.Atoms)
+	for progress := true; progress && remaining > 0; {
+		progress = false
+		for i, a := range q.Atoms {
+			if callable[i] {
+				continue
+			}
+			if InputsBound(a, asn[i], bound) {
+				callable[i] = true
+				bound.AddAll(OutputVars(a, asn[i]))
+				remaining--
+				progress = true
+			}
+		}
+	}
+	return remaining == 0
+}
+
+// CallOrder returns one topological invocation order consistent with
+// the assignment (atoms in the order they become callable), or an
+// error if the assignment is not permissible.
+func CallOrder(q *cq.Query, asn Assignment) ([]int, error) {
+	var order []int
+	callable := make([]bool, len(q.Atoms))
+	bound := cq.VarSet{}
+	for len(order) < len(q.Atoms) {
+		progress := false
+		for i, a := range q.Atoms {
+			if callable[i] {
+				continue
+			}
+			if InputsBound(a, asn[i], bound) {
+				callable[i] = true
+				bound.AddAll(OutputVars(a, asn[i]))
+				order = append(order, i)
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("abind: assignment %s is not permissible for query %s", asn, q.Name)
+		}
+	}
+	return order, nil
+}
+
+// Enumerate produces every permissible assignment for the query,
+// taking the feasible patterns from the resolved signatures. The
+// query must have been resolved against a schema first. Results are
+// in lexicographic pattern-index order, so output is deterministic.
+func Enumerate(q *cq.Query) ([]Assignment, error) {
+	for _, a := range q.Atoms {
+		if a.Sig == nil {
+			return nil, fmt.Errorf("abind: atom %s is not resolved against a schema", a)
+		}
+		if len(a.Sig.Patterns) == 0 {
+			return nil, fmt.Errorf("abind: service %s has no feasible access patterns", a.Service)
+		}
+	}
+	var (
+		result  []Assignment
+		current = make(Assignment, len(q.Atoms))
+	)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Atoms) {
+			if Permissible(q, current) {
+				cp := make(Assignment, len(current))
+				copy(cp, current)
+				result = append(result, cp)
+			}
+			return
+		}
+		for _, p := range q.Atoms[i].Sig.Patterns {
+			current[i] = p
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return result, nil
+}
+
+// EnumerateAll is Enumerate without the permissibility filter; it
+// returns all candidate assignments (the paper's ∏ m_i^{o_i} space).
+func EnumerateAll(q *cq.Query) ([]Assignment, error) {
+	for _, a := range q.Atoms {
+		if a.Sig == nil {
+			return nil, fmt.Errorf("abind: atom %s is not resolved against a schema", a)
+		}
+	}
+	var (
+		result  []Assignment
+		current = make(Assignment, len(q.Atoms))
+	)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Atoms) {
+			cp := make(Assignment, len(current))
+			copy(cp, current)
+			result = append(result, cp)
+			return
+		}
+		for _, p := range q.Atoms[i].Sig.Patterns {
+			current[i] = p
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return result, nil
+}
+
+// MostCogent filters assignments down to the maximal elements of the
+// ⊑IO partial order ("bound is better", §4.1.1): those not strictly
+// dominated by another assignment in the input.
+func MostCogent(asns []Assignment) []Assignment {
+	var out []Assignment
+	for i, a := range asns {
+		dominated := false
+		for j, b := range asns {
+			if i != j && b.StrictlyMoreCogent(a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// SortByCogency orders assignments so that heuristically better ones
+// come first: more total input positions first, then lexicographic by
+// pattern string for determinism. This is the exploration order used
+// by phase 1 of the branch and bound (§4.1.2): most cogent choices
+// first, then the rest.
+func SortByCogency(asns []Assignment) {
+	sort.SliceStable(asns, func(i, j int) bool {
+		ci, cj := asns[i].InputCount(), asns[j].InputCount()
+		if ci != cj {
+			return ci > cj
+		}
+		return asns[i].String() < asns[j].String()
+	})
+}

@@ -1,0 +1,213 @@
+package abind_test
+
+import (
+	"math/rand"
+	"testing"
+
+	. "mdq/internal/abind"
+	"mdq/internal/cq"
+	"mdq/internal/schema"
+	"mdq/internal/simweb"
+)
+
+func travelQuery(t *testing.T) *cq.Query {
+	t.Helper()
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestExample41 reproduces Example 4.1 of the paper: among the four
+// candidate pattern sequences for the running example, α3 (conf by
+// city + hotel by city) is not permissible, α1 dominates α2, and the
+// most cogent choices are exactly α1 and α4.
+func TestExample41(t *testing.T) {
+	q := travelQuery(t)
+	all, err := EnumerateAll(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("candidate sequences = %d, want 4 (2 conf × 2 hotel patterns)", len(all))
+	}
+	perm, err := Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != 3 {
+		t.Fatalf("permissible sequences = %d, want 3 (α3 excluded)", len(perm))
+	}
+	// α3: conf by city (ooooi) together with hotel with city input
+	// (oiiiio) leaves City without any producer.
+	alpha3 := Assignment{
+		simweb.AtomFlight:  schema.MustPattern("iiiiooo"),
+		simweb.AtomHotel:   schema.MustPattern("oiiiio"),
+		simweb.AtomConf:    schema.MustPattern("ooooi"),
+		simweb.AtomWeather: schema.MustPattern("ioi"),
+	}
+	if Permissible(q, alpha3) {
+		t.Error("α3 should not be permissible")
+	}
+	alpha1 := simweb.AssignmentAlpha1()
+	if !Permissible(q, alpha1) {
+		t.Error("α1 should be permissible")
+	}
+	alpha2 := Assignment{
+		simweb.AtomFlight:  schema.MustPattern("iiiiooo"),
+		simweb.AtomHotel:   schema.MustPattern("oooooo"),
+		simweb.AtomConf:    schema.MustPattern("ioooo"),
+		simweb.AtomWeather: schema.MustPattern("ioi"),
+	}
+	alpha4 := Assignment{
+		simweb.AtomFlight:  schema.MustPattern("iiiiooo"),
+		simweb.AtomHotel:   schema.MustPattern("oooooo"),
+		simweb.AtomConf:    schema.MustPattern("ooooi"),
+		simweb.AtomWeather: schema.MustPattern("ioi"),
+	}
+	if !Permissible(q, alpha2) || !Permissible(q, alpha4) {
+		t.Fatal("α2 and α4 should be permissible")
+	}
+	if !alpha1.StrictlyMoreCogent(alpha2) {
+		t.Error("α1 ≻IO α2 expected")
+	}
+	if alpha1.MoreCogent(alpha4) || alpha4.MoreCogent(alpha1) {
+		t.Error("α1 and α4 should be incomparable")
+	}
+	frontier := MostCogent(perm)
+	if len(frontier) != 2 {
+		t.Fatalf("most cogent count = %d, want 2 (α1, α4)", len(frontier))
+	}
+	seen := map[string]bool{}
+	for _, a := range frontier {
+		seen[a.String()] = true
+	}
+	if !seen[alpha1.String()] || !seen[alpha4.String()] {
+		t.Errorf("frontier = %v, want {α1, α4}", frontier)
+	}
+}
+
+func TestCallableAfter(t *testing.T) {
+	q := travelQuery(t)
+	asn := simweb.AssignmentAlpha1()
+	// Example 5.1: "The only directly callable atom is conf".
+	direct := CallableAfter(q, asn, nil)
+	if len(direct) != 1 || direct[0] != simweb.AtomConf {
+		t.Fatalf("directly callable = %v, want [conf]", direct)
+	}
+	// After conf, every remaining atom becomes callable.
+	after := CallableAfter(q, asn, map[int]bool{simweb.AtomConf: true})
+	if len(after) != 3 {
+		t.Fatalf("callable after conf = %v, want 3 atoms", after)
+	}
+}
+
+func TestCallOrder(t *testing.T) {
+	q := travelQuery(t)
+	order, err := CallOrder(q, simweb.AssignmentAlpha1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != simweb.AtomConf {
+		t.Errorf("first callable = %d, want conf (%d)", order[0], simweb.AtomConf)
+	}
+	if len(order) != 4 {
+		t.Errorf("order covers %d atoms, want 4", len(order))
+	}
+	// Non-permissible assignment errors.
+	alpha3 := Assignment{
+		simweb.AtomFlight:  schema.MustPattern("iiiiooo"),
+		simweb.AtomHotel:   schema.MustPattern("oiiiio"),
+		simweb.AtomConf:    schema.MustPattern("ooooi"),
+		simweb.AtomWeather: schema.MustPattern("ioi"),
+	}
+	if _, err := CallOrder(q, alpha3); err == nil {
+		t.Error("CallOrder should fail on α3")
+	}
+}
+
+func TestInputOutputVars(t *testing.T) {
+	q := travelQuery(t)
+	flight := q.Atoms[simweb.AtomFlight]
+	p := schema.MustPattern("iiiiooo")
+	in := InputVars(flight, p)
+	// From is the constant 'Milano', so inputs vars are City, Start, End.
+	if len(in) != 3 || !in.Has("City") || !in.Has("Start") || !in.Has("End") {
+		t.Errorf("flight input vars = %v", in)
+	}
+	out := OutputVars(flight, p)
+	if len(out) != 3 || !out.Has("FPrice") {
+		t.Errorf("flight output vars = %v", out)
+	}
+}
+
+// TestPermissibleMatchesCallOrder: on random schemas, Permissible
+// agrees with CallOrder succeeding (property-based).
+func TestPermissibleMatchesCallOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		q, asn := randomQuery(rng)
+		p := Permissible(q, asn)
+		_, err := CallOrder(q, asn)
+		if p != (err == nil) {
+			t.Fatalf("trial %d: Permissible=%v but CallOrder err=%v\nquery %s asn %s",
+				trial, p, err, q, asn)
+		}
+	}
+}
+
+// randomQuery builds a small random query with shared variables and
+// random access patterns.
+func randomQuery(rng *rand.Rand) (*cq.Query, Assignment) {
+	nAtoms := 1 + rng.Intn(4)
+	nVars := 2 + rng.Intn(4)
+	vars := make([]cq.Var, nVars)
+	for i := range vars {
+		vars[i] = cq.Var(string(rune('A' + i)))
+	}
+	q := &cq.Query{Name: "r"}
+	asn := make(Assignment, nAtoms)
+	for i := 0; i < nAtoms; i++ {
+		arity := 1 + rng.Intn(3)
+		terms := make([]cq.Term, arity)
+		pattern := make(schema.AccessPattern, arity)
+		for j := range terms {
+			if rng.Intn(5) == 0 {
+				terms[j] = cq.C(schema.N(float64(rng.Intn(3))))
+			} else {
+				terms[j] = cq.V(string(vars[rng.Intn(nVars)]))
+			}
+			if rng.Intn(2) == 0 {
+				pattern[j] = schema.In
+			} else {
+				pattern[j] = schema.Out
+			}
+		}
+		q.Atoms = append(q.Atoms, &cq.Atom{Service: "s", Terms: terms, Index: i})
+		asn[i] = pattern
+	}
+	return q, asn
+}
+
+func TestSortByCogency(t *testing.T) {
+	asns := []Assignment{
+		{schema.MustPattern("ooo")},
+		{schema.MustPattern("iio")},
+		{schema.MustPattern("ioo")},
+	}
+	SortByCogency(asns)
+	if asns[0].InputCount() != 2 || asns[1].InputCount() != 1 || asns[2].InputCount() != 0 {
+		t.Errorf("cogency sort wrong: %v", asns)
+	}
+}
+
+func TestMostCogentKeepsIncomparable(t *testing.T) {
+	a := Assignment{schema.MustPattern("io"), schema.MustPattern("oi")}
+	b := Assignment{schema.MustPattern("oi"), schema.MustPattern("io")}
+	front := MostCogent([]Assignment{a, b})
+	if len(front) != 2 {
+		t.Errorf("incomparable assignments both belong to the frontier, got %d", len(front))
+	}
+}

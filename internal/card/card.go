@@ -1,0 +1,411 @@
+// Package card estimates tuple cardinalities and invocation counts
+// for query plans (§3.4 and §5.2 of Braga et al., VLDB 2008).
+//
+// For every node n the estimator computes:
+//
+//	t_in(n)  — tuples arriving at n, each a priori requiring one call;
+//	calls(n) — invocations actually required under the caching model;
+//	t_out(n) — tuples produced by n.
+//
+// Three caching models are supported (§5.1): no cache (Eq. 1 — every
+// call is repeated), the one-call cache (Eq. 2 — "blocks" of uniform
+// tuples originating from proliferative services collapse into one
+// call, bounded by the minimal t_out along paths from the producers),
+// and the optimal cache (calls bounded by the number of distinct
+// input combinations, capped by domain sizes).
+package card
+
+import (
+	"fmt"
+	"math"
+
+	"mdq/internal/cq"
+	"mdq/internal/plan"
+)
+
+// CacheMode selects the logical caching model of §5.1.
+type CacheMode int
+
+// Caching models.
+const (
+	// NoCache repeats every call (the assumption of [16], Eq. 1).
+	NoCache CacheMode = iota
+	// OneCall recalls the last call per service, collapsing
+	// consecutive identical invocations (Eq. 2).
+	OneCall
+	// Optimal recalls every call, so the number of invocations per
+	// service equals the number of distinct inputs presented to it.
+	Optimal
+)
+
+// String implements fmt.Stringer.
+func (m CacheMode) String() string {
+	switch m {
+	case NoCache:
+		return "no-cache"
+	case OneCall:
+		return "one-call"
+	case Optimal:
+		return "optimal"
+	default:
+		return fmt.Sprintf("CacheMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes the estimator.
+type Config struct {
+	Mode CacheMode
+	// DefaultSelectivity supplies σp for predicates without an
+	// explicit annotation; nil means DefaultSelectivity.
+	DefaultSelectivity func(op cq.CmpOp) float64
+	// DefaultEquiJoin is the selectivity assumed for a value
+	// equi-join on a variable whose domain size is unknown; 0 means
+	// 0.1.
+	DefaultEquiJoin float64
+}
+
+// DefaultSelectivity is the built-in fallback: equality 0.1,
+// inequality ranges 0.3, disequality 0.9 — the conventional System-R
+// style magic constants, documented so callers can override them.
+func DefaultSelectivity(op cq.CmpOp) float64 {
+	switch op {
+	case cq.Eq:
+		return 0.1
+	case cq.Ne:
+		return 0.9
+	default:
+		return 0.3
+	}
+}
+
+func (c Config) sel(p *cq.Predicate) float64 {
+	if p.Selectivity > 0 {
+		return p.Selectivity
+	}
+	if c.DefaultSelectivity != nil {
+		return c.DefaultSelectivity(p.Op)
+	}
+	return DefaultSelectivity(p.Op)
+}
+
+// PredSelectivity returns the combined selectivity of a node's local
+// predicates.
+func (c Config) PredSelectivity(preds []*cq.Predicate) float64 {
+	s := 1.0
+	for _, p := range preds {
+		s *= c.sel(p)
+	}
+	return s
+}
+
+// EffectiveERSPI returns the node's erspi with its local selection
+// predicates folded in (§3.4: "The selection predicates applied to
+// all service invocations are included for convenience in the notion
+// of erspi").
+func (c Config) EffectiveERSPI(n *plan.Node) float64 {
+	if n.Kind != plan.Service || n.Atom.Sig == nil {
+		return 1
+	}
+	return n.Atom.Sig.Stats.ERSPI * c.PredSelectivity(n.Preds)
+}
+
+// JoinSelectivity returns σp of a join node: the product of the
+// selectivities of the predicates evaluated at the join. The
+// lineage equi-join on shared upstream variables has selectivity 1
+// by construction (branch tuples from the same upstream tuple agree
+// on shared fields).
+func (c Config) JoinSelectivity(n *plan.Node) float64 {
+	return c.PredSelectivity(n.JoinPreds)
+}
+
+// Annotate fills TIn, Calls and TOut on every node of the plan, in
+// topological order. It returns the estimated overall result size
+// t_out of the plan (the Output node's t_out).
+func (c Config) Annotate(p *plan.Plan) float64 {
+	order := p.TopoNodes()
+	for _, n := range order {
+		switch n.Kind {
+		case plan.Input:
+			// The user always injects one single input tuple (§3.4).
+			n.TIn, n.Calls, n.TOut = 1, 1, 1
+		case plan.Output:
+			n.TIn = n.In[0].TOut
+			n.Calls = 0
+			n.TOut = n.TIn
+		case plan.Join:
+			l, r := n.In[0], n.In[1]
+			n.TIn = l.TOut + r.TOut
+			n.Calls = 0
+			n.TOut = joinOut(p, n, l, r) * c.JoinSelectivity(n) * c.equiJoinSelectivity(p, l, r)
+		case plan.Service:
+			n.TIn = n.In[0].TOut
+			n.Calls = c.calls(p, n)
+			boundSel := c.boundOutputSelectivity(p, n)
+			if n.Chunked() {
+				// t_out = cs · F per input tuple (§3.4), filtered by
+				// local predicates and bound-output selections.
+				cs := float64(n.Atom.Sig.Stats.ChunkSize)
+				n.TOut = n.TIn * cs * float64(n.Fetches) * c.PredSelectivity(n.Preds) * boundSel
+			} else {
+				n.TOut = n.TIn * c.EffectiveERSPI(n) * boundSel
+			}
+		}
+	}
+	return p.OutputNode().TOut
+}
+
+// joinOut computes the size of the lineage-aware Cartesian product
+// of two branches. The paper's formula t_out = t_out_l · t_out_m
+// (§3.4) assumes the branches are independent; when they fork from a
+// common ancestor (the usual case for parallel joins) the product is
+// taken per lineage group: t_out_l · t_out_r / t_out_fork.
+func joinOut(p *plan.Plan, n, l, r *plan.Node) float64 {
+	fork := forkNode(p, l, r)
+	base := 1.0
+	if fork != nil && fork.TOut > 0 {
+		base = fork.TOut
+	}
+	return l.TOut * r.TOut / base
+}
+
+// boundOutputSelectivity charges the implicit selections performed
+// when a service is accessed through a pattern whose output fields
+// are already constrained: an output position holding a constant, or
+// a variable that upstream nodes have already bound, filters the
+// returned rows to the matching ones. The selectivity of each such
+// equality is estimated as 1/V from the abstract domain's distinct
+// count (uniformity, §2.2), or the DefaultEquiJoin fallback.
+//
+// This is what makes "call hotel with no inputs, then look for
+// conferences in the hotel's city" correctly expensive: conf's
+// erspi applies to a topic query, and the city equality must then be
+// paid as a 1/V(City) filter.
+func (c Config) boundOutputSelectivity(p *plan.Plan, n *plan.Node) float64 {
+	if n.Kind != plan.Service {
+		return 1
+	}
+	var upstream cq.VarSet
+	if len(n.In) > 0 {
+		upstream = p.AvailableVars(n.In[0])
+	} else {
+		upstream = cq.VarSet{}
+	}
+	sel := 1.0
+	factor := func(pos int) float64 {
+		if n.Atom.Sig != nil {
+			if d := n.Atom.Sig.Attrs[pos].Domain.DistinctValues; d > 0 {
+				return 1 / float64(d)
+			}
+		}
+		if c.DefaultEquiJoin > 0 {
+			return c.DefaultEquiJoin
+		}
+		return 0.1
+	}
+	for _, pos := range n.Pattern.Outputs() {
+		term := n.Atom.Terms[pos]
+		if !term.IsVar() {
+			sel *= factor(pos)
+			continue
+		}
+		if upstream.Has(term.Var) {
+			sel *= factor(pos)
+		}
+	}
+	return sel
+}
+
+// equiJoinSelectivity accounts for variables bound independently on
+// both branches of a parallel join. Variables bound at or before the
+// fork node flow identically into both branches (the lineage
+// equi-join, selectivity 1); a variable first bound on each branch
+// separately is a genuine value join, estimated System-R style as
+// 1/max(V(X)) from the abstract domain's distinct count (§2.2's
+// uniformity assumptions), or DefaultEquiJoin when unknown.
+func (c Config) equiJoinSelectivity(p *plan.Plan, l, r *plan.Node) float64 {
+	fork := forkNode(p, l, r)
+	forkVars := cq.VarSet{}
+	if fork != nil {
+		forkVars = p.AvailableVars(fork)
+	}
+	lVars := p.AvailableVars(l)
+	rVars := p.AvailableVars(r)
+	sel := 1.0
+	for x := range lVars {
+		if !rVars.Has(x) || forkVars.Has(x) {
+			continue
+		}
+		if d := queryVarDomain(p.Query, x); d > 0 {
+			sel /= d
+		} else if c.DefaultEquiJoin > 0 {
+			sel *= c.DefaultEquiJoin
+		} else {
+			sel *= 0.1
+		}
+	}
+	return sel
+}
+
+// queryVarDomain returns the largest known distinct-value estimate
+// among the domains where x occurs in the query, or 0.
+func queryVarDomain(q *cq.Query, x cq.Var) float64 {
+	best := 0.0
+	for _, a := range q.Atoms {
+		if a.Sig == nil {
+			continue
+		}
+		for i, t := range a.Terms {
+			if t.IsVar() && t.Var == x {
+				if d := a.Sig.Attrs[i].Domain.DistinctValues; float64(d) > best {
+					best = float64(d)
+				}
+			}
+		}
+	}
+	return best
+}
+
+// forkNode returns the deepest common ancestor of l and r, or nil if
+// their only common ancestor is the plan input.
+func forkNode(p *plan.Plan, l, r *plan.Node) *plan.Node {
+	al := p.Ancestors(l)
+	ar := p.Ancestors(r)
+	inLeft := func(id int) bool { return id == l.ID || al[id] }
+	inRight := func(id int) bool { return id == r.ID || ar[id] }
+	var best *plan.Node
+	bestDepth := -1
+	for _, n := range p.Nodes {
+		if !inLeft(n.ID) || !inRight(n.ID) {
+			continue
+		}
+		d := len(p.Ancestors(n))
+		if d > bestDepth {
+			bestDepth = d
+			best = n
+		}
+	}
+	return best
+}
+
+// calls estimates the number of invocations of a service node under
+// the configured caching model.
+func (c Config) calls(p *plan.Plan, n *plan.Node) float64 {
+	switch c.Mode {
+	case NoCache:
+		return n.TIn
+	case OneCall:
+		return math.Min(n.TIn, c.blockBound(p, n, false))
+	case Optimal:
+		return math.Min(n.TIn, c.blockBound(p, n, true))
+	default:
+		return n.TIn
+	}
+}
+
+// blockBound implements Eq. 2: t_in(n) = ∏_{m ∈ N(n)} ξ_m·t_in_m,
+// where N(n) contains, for each input variable X of n, the node with
+// minimal t_out among those lying on a path from a producer of X to
+// n. Because tuples from proliferative services flow in contiguous
+// blocks with constant values for non-dependent fields, the number
+// of distinct consecutive input combinations — and hence of calls
+// under the one-call cache — is bounded by the product of those
+// minima (§5.2).
+//
+// With capDomain set (optimal cache) each variable's contribution is
+// additionally capped by the estimated number of distinct values of
+// its abstract domain.
+func (c Config) blockBound(p *plan.Plan, n *plan.Node, capDomain bool) float64 {
+	anc := p.Ancestors(n)
+	minimizers := map[int]float64{} // node ID → contribution
+	domCap := 1.0
+	hasDomCap := false
+	for x := range n.InputVars() {
+		m, ok := minContributor(p, anc, n, x)
+		if !ok {
+			// Variable bound by a constant elsewhere or not produced:
+			// contributes nothing.
+			continue
+		}
+		minimizers[m.ID] = m.TOut
+		if capDomain {
+			if d := varDomainSize(n, x); d > 0 {
+				domCap *= d
+				hasDomCap = true
+			} else {
+				hasDomCap = false
+				domCap = math.Inf(1)
+			}
+		}
+	}
+	bound := 1.0
+	for _, v := range minimizers {
+		bound *= v
+	}
+	if capDomain && hasDomCap {
+		bound = math.Min(bound, domCap)
+	}
+	return bound
+}
+
+// minContributor finds, for input variable x of n, the ancestor node
+// with minimal t_out among nodes on a path from a producer of x to n
+// (the producer itself included). Ties prefer the deeper node, which
+// collapses more variables onto the same minimizer.
+func minContributor(p *plan.Plan, anc map[int]bool, n *plan.Node, x cq.Var) (*plan.Node, bool) {
+	// Producers: ancestor service nodes with x in output position.
+	var producers []*plan.Node
+	for id := range anc {
+		m := p.Nodes[id]
+		if m.Kind == plan.Service && m.OutputVars().Has(x) {
+			producers = append(producers, m)
+		}
+	}
+	if len(producers) == 0 {
+		return nil, false
+	}
+	// Candidates: ancestors of n that are a producer or a descendant
+	// of a producer.
+	var best *plan.Node
+	bestDepth := -1
+	for id := range anc {
+		m := p.Nodes[id]
+		if m.Kind == plan.Input {
+			continue
+		}
+		onPath := false
+		mAnc := p.Ancestors(m)
+		for _, prod := range producers {
+			if prod.ID == m.ID || mAnc[prod.ID] {
+				onPath = true
+				break
+			}
+		}
+		if !onPath {
+			continue
+		}
+		d := len(mAnc)
+		if best == nil || m.TOut < best.TOut || (m.TOut == best.TOut && d > bestDepth) {
+			best = m
+			bestDepth = d
+		}
+	}
+	return best, best != nil
+}
+
+// varDomainSize returns the estimated distinct-value count of the
+// abstract domain at the positions where x occurs as an input of n,
+// or 0 if unknown.
+func varDomainSize(n *plan.Node, x cq.Var) float64 {
+	if n.Atom == nil || n.Atom.Sig == nil {
+		return 0
+	}
+	for _, i := range n.Pattern.Inputs() {
+		t := n.Atom.Terms[i]
+		if t.IsVar() && t.Var == x {
+			if d := n.Atom.Sig.Attrs[i].Domain.DistinctValues; d > 0 {
+				return float64(d)
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,188 @@
+package card_test
+
+import (
+	"math"
+	"testing"
+
+	. "mdq/internal/card"
+	"mdq/internal/cq"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	"mdq/internal/simweb"
+)
+
+func planFor(t *testing.T, topo *plan.Topology, fFlight, fHotel int) *plan.Plan {
+	t.Helper()
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, topo, fFlight, fHotel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+// TestFigure8Annotations reproduces every number printed on the
+// paper's Figure 8: the physical access plan for plan O with
+// F_flight=3 and F_hotel=4 under the Eq. 2 (one-call) estimate.
+func TestFigure8Annotations(t *testing.T) {
+	p := planFor(t, simweb.PlanOTopology(), 3, 4)
+	cfg := Config{Mode: OneCall}
+	tout := cfg.Annotate(p)
+
+	conf := p.ServiceNode[simweb.AtomConf]
+	weather := p.ServiceNode[simweb.AtomWeather]
+	flight := p.ServiceNode[simweb.AtomFlight]
+	hotel := p.ServiceNode[simweb.AtomHotel]
+	join := p.JoinNodes()[0]
+
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"t_in(conf)", conf.TIn, 1},
+		{"t_out(conf)", conf.TOut, 20},
+		{"t_in(weather)", weather.TIn, 20},
+		{"calls(weather)", weather.Calls, 20},
+		{"t_out(weather)", weather.TOut, 1},
+		{"t_in(flight)", flight.Calls, 1},
+		{"t_out(flight)", flight.TOut, 75}, // 3 fetches × 25
+		{"t_in(hotel)", hotel.Calls, 1},
+		{"t_out(hotel)", hotel.TOut, 20}, // 4 fetches × 5
+		{"t_MS product", join.TOut / cfg.JoinSelectivity(join), 1500},
+		{"t_MS", join.TOut, 15},
+		{"t_out(plan)", tout, 15},
+	}
+	for _, c := range checks {
+		if !approx(c.got, c.want, 1e-9) {
+			t.Errorf("%s = %g, want %g", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestExample51SerialEstimates checks the Eq. 2 arithmetic spelled
+// out in Example 5.1 for the serial plan: t_in(flight) =
+// min(ξconf, ξconf·ξweather) and t_in(hotel) likewise.
+func TestExample51SerialEstimates(t *testing.T) {
+	p := planFor(t, simweb.PlanSTopology(), 1, 1)
+	cfg := Config{Mode: OneCall}
+	cfg.Annotate(p)
+
+	flight := p.ServiceNode[simweb.AtomFlight]
+	hotel := p.ServiceNode[simweb.AtomHotel]
+	if !approx(flight.Calls, 1, 1e-9) { // ξconf·ξweather = 20·0.05
+		t.Errorf("calls(flight) = %g, want 1", flight.Calls)
+	}
+	if !approx(hotel.Calls, 1, 1e-9) {
+		t.Errorf("calls(hotel) = %g, want 1", hotel.Calls)
+	}
+	// Under no cache each input tuple is one invocation (Eq. 1).
+	cfgNo := Config{Mode: NoCache}
+	cfgNo.Annotate(p)
+	if !approx(flight.Calls, 1, 1e-9) {
+		// t_in(flight) = 20 × 0.05 = 1 even without caching.
+		t.Errorf("no-cache calls(flight) = %g, want 1", flight.Calls)
+	}
+	if !approx(hotel.TIn, 25, 1e-9) { // flight t_out with F=1
+		t.Errorf("t_in(hotel) = %g, want 25", hotel.TIn)
+	}
+	if !approx(hotel.Calls, 25, 1e-9) {
+		t.Errorf("no-cache calls(hotel) = %g, want 25 (every tuple one call)", hotel.Calls)
+	}
+}
+
+// TestCacheModeOrdering: for every plan shape, estimated calls under
+// optimal ≤ one-call ≤ no-cache (the whole point of §5.1).
+func TestCacheModeOrdering(t *testing.T) {
+	for _, topo := range []*plan.Topology{
+		simweb.PlanSTopology(), simweb.PlanPTopology(), simweb.PlanOTopology(),
+	} {
+		pNo := planFor(t, topo, 2, 3)
+		pOne := planFor(t, topo, 2, 3)
+		pOpt := planFor(t, topo, 2, 3)
+		Config{Mode: NoCache}.Annotate(pNo)
+		Config{Mode: OneCall}.Annotate(pOne)
+		Config{Mode: Optimal}.Annotate(pOpt)
+		for i := range pNo.Nodes {
+			n0, n1, n2 := pNo.Nodes[i], pOne.Nodes[i], pOpt.Nodes[i]
+			if n0.Kind != plan.Service {
+				continue
+			}
+			if n1.Calls > n0.Calls+1e-9 {
+				t.Errorf("topology %s node %s: one-call %g > no-cache %g", topo, n0.Label(), n1.Calls, n0.Calls)
+			}
+			if n2.Calls > n1.Calls+1e-9 {
+				t.Errorf("topology %s node %s: optimal %g > one-call %g", topo, n0.Label(), n2.Calls, n1.Calls)
+			}
+		}
+	}
+}
+
+// TestParallelPlanJoinLineage: in plan P all three branches fork at
+// conf, so the final result estimate must match plan O's (same
+// query, same per-lineage combinatorics).
+func TestParallelPlanJoinLineage(t *testing.T) {
+	pO := planFor(t, simweb.PlanOTopology(), 3, 4)
+	pP := planFor(t, simweb.PlanPTopology(), 3, 4)
+	cfg := Config{Mode: OneCall}
+	outO := cfg.Annotate(pO)
+	outP := cfg.Annotate(pP)
+	if !approx(outO, outP, 1e-6) {
+		t.Errorf("plan O estimates %g results, plan P %g — lineage-aware join should agree", outO, outP)
+	}
+}
+
+// TestMonotoneInFetches: output size and node t_out grow with fetch
+// factors.
+func TestMonotoneInFetches(t *testing.T) {
+	small := planFor(t, simweb.PlanOTopology(), 1, 1)
+	big := planFor(t, simweb.PlanOTopology(), 4, 6)
+	cfg := Config{Mode: OneCall}
+	if cfg.Annotate(small) >= cfg.Annotate(big) {
+		t.Error("t_out must grow with fetch factors")
+	}
+}
+
+func TestDefaultSelectivity(t *testing.T) {
+	if DefaultSelectivity(cq.Eq) != 0.1 || DefaultSelectivity(cq.Lt) != 0.3 || DefaultSelectivity(cq.Ne) != 0.9 {
+		t.Error("built-in defaults changed")
+	}
+	cfg := Config{}
+	pred := &cq.Predicate{Op: cq.Lt, L: cq.TermExpr(cq.V("X")), R: cq.TermExpr(cq.C(schemaN(5)))}
+	if got := cfg.PredSelectivity([]*cq.Predicate{pred}); got != 0.3 {
+		t.Errorf("default ineq selectivity = %g", got)
+	}
+	pred.Selectivity = 0.07
+	if got := cfg.PredSelectivity([]*cq.Predicate{pred}); got != 0.07 {
+		t.Errorf("explicit selectivity ignored: %g", got)
+	}
+	cfg.DefaultSelectivity = func(cq.CmpOp) float64 { return 0.5 }
+	pred.Selectivity = 0
+	if got := cfg.PredSelectivity([]*cq.Predicate{pred}); got != 0.5 {
+		t.Errorf("custom default ignored: %g", got)
+	}
+}
+
+// TestOptimalCacheDomainCap: the optimal-cache estimate caps
+// invocations by the domain's distinct values.
+func TestOptimalCacheDomainCap(t *testing.T) {
+	p := planFor(t, simweb.PlanPTopology(), 1, 1)
+	cfg := Config{Mode: Optimal}
+	cfg.Annotate(p)
+	weather := p.ServiceNode[simweb.AtomWeather]
+	// 20 estimated inputs, city domain 220 × date 365 — no cap bites,
+	// stays at 20.
+	if !approx(weather.Calls, 20, 1e-9) {
+		t.Errorf("optimal calls(weather) = %g, want 20", weather.Calls)
+	}
+	if weather.Calls > weather.TIn {
+		t.Error("calls must never exceed t_in")
+	}
+}
+
+func schemaN(f float64) schema.Value { return schema.N(f) }

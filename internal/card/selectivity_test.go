@@ -1,0 +1,157 @@
+package card_test
+
+import (
+	"testing"
+
+	"mdq/internal/abind"
+	. "mdq/internal/card"
+	"mdq/internal/cq"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	"mdq/internal/simweb"
+)
+
+// buildTwoServicePlan wires two resolved atoms into a chain or
+// parallel plan for selectivity unit tests.
+func buildTwoServicePlan(t *testing.T, aPattern, bPattern string, topo *plan.Topology, share bool) *plan.Plan {
+	t.Helper()
+	dom := schema.Domain{Name: "K", Kind: schema.StringValue, DistinctValues: 50}
+	sigA := &schema.Signature{
+		Name: "a",
+		Attrs: []schema.Attribute{
+			{Name: "X", Domain: dom},
+			{Name: "P", Domain: schema.DomNumber},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern(aPattern)},
+		Stats:    schema.Stats{ERSPI: 10},
+	}
+	sigB := &schema.Signature{
+		Name: "b",
+		Attrs: []schema.Attribute{
+			{Name: "X", Domain: dom},
+			{Name: "Q", Domain: schema.DomNumber},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern(bPattern)},
+		Stats:    schema.Stats{ERSPI: 10},
+	}
+	xB := "X"
+	if !share {
+		xB = "Z"
+	}
+	q := &cq.Query{Name: "u"}
+	q.Atoms = append(q.Atoms,
+		&cq.Atom{Service: "a", Terms: []cq.Term{cq.V("X"), cq.V("P")}, Index: 0, Sig: sigA},
+		&cq.Atom{Service: "b", Terms: []cq.Term{cq.V(xB), cq.V("Q")}, Index: 1, Sig: sigB},
+	)
+	p, err := plan.Build(q, abind.Assignment{sigA.Patterns[0], sigB.Patterns[0]}, topo, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBoundOutputSelectivity: accessing b through an all-output
+// pattern when X is already bound upstream charges the 1/V(X)
+// filter; accessing it with X as input does not.
+func TestBoundOutputSelectivity(t *testing.T) {
+	cfg := Config{Mode: OneCall}
+
+	// Chain a → b with b's X as input: no bound-output penalty.
+	chain := buildTwoServicePlan(t, "oo", "io", plan.Chain([]int{0, 1}), true)
+	cfg.Annotate(chain)
+	bNode := chain.ServiceNode[1]
+	if got := bNode.TOut / bNode.TIn; got != 10 {
+		t.Errorf("input-bound access: per-tuple output = %g, want erspi 10", got)
+	}
+
+	// Chain a → b with b all-output: X already bound → 10/50 = 0.2
+	// expected rows per input tuple.
+	chainOut := buildTwoServicePlan(t, "oo", "oo", plan.Chain([]int{0, 1}), true)
+	cfg.Annotate(chainOut)
+	bOut := chainOut.ServiceNode[1]
+	if got := bOut.TOut / bOut.TIn; got != 10.0/50.0 {
+		t.Errorf("bound-output access: per-tuple output = %g, want 0.2", got)
+	}
+}
+
+// TestEquiJoinSelectivity: two parallel all-output branches that
+// independently bind X pay 1/V(X) at their join; sharing only
+// lineage pays nothing.
+func TestEquiJoinSelectivity(t *testing.T) {
+	cfg := Config{Mode: OneCall}
+
+	// Parallel with shared X bound on both sides independently.
+	par := buildTwoServicePlan(t, "oo", "oo", plan.NewTopology(2), true)
+	cfg.Annotate(par)
+	join := par.JoinNodes()[0]
+	// 10 × 10 × 1/50 = 2.
+	if join.TOut != 2 {
+		t.Errorf("independent equi-join t_out = %g, want 2", join.TOut)
+	}
+
+	// Parallel without shared variables: plain Cartesian product.
+	free := buildTwoServicePlan(t, "oo", "oo", plan.NewTopology(2), false)
+	cfg.Annotate(free)
+	joinFree := free.JoinNodes()[0]
+	if joinFree.TOut != 100 {
+		t.Errorf("independent product t_out = %g, want 100", joinFree.TOut)
+	}
+}
+
+// TestLineageSharingPaysNoEquiJoin: in the travel plan O the
+// branches share City/Start through the fork node, so no equi-join
+// factor applies (already covered by the Figure 8 exact numbers;
+// asserted here explicitly).
+func TestLineageSharingPaysNoEquiJoin(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Config{Mode: OneCall}.Annotate(p)
+	// 75 × 20 × 0.01 = 15 exactly: any equi-join factor would shrink
+	// it below 15.
+	if got := p.JoinNodes()[0].TOut; got != 15 {
+		t.Errorf("plan O join t_out = %g, want 15 (lineage equi-join is free)", got)
+	}
+}
+
+// TestDefaultEquiJoinFallback: unknown domain sizes use the
+// configurable fallback.
+func TestDefaultEquiJoinFallback(t *testing.T) {
+	dom := schema.Domain{Name: "", Kind: schema.StringValue} // unknown size
+	sig := func(name string) *schema.Signature {
+		return &schema.Signature{
+			Name: name,
+			Attrs: []schema.Attribute{
+				{Name: "X", Domain: dom},
+			},
+			Patterns: []schema.AccessPattern{schema.MustPattern("o")},
+			Stats:    schema.Stats{ERSPI: 10},
+		}
+	}
+	q := &cq.Query{Name: "u"}
+	q.Atoms = append(q.Atoms,
+		&cq.Atom{Service: "a", Terms: []cq.Term{cq.V("X")}, Index: 0, Sig: sig("a")},
+		&cq.Atom{Service: "b", Terms: []cq.Term{cq.V("X")}, Index: 1, Sig: sig("b")},
+	)
+	p, err := plan.Build(q, abind.Assignment{schema.MustPattern("o"), schema.MustPattern("o")},
+		plan.NewTopology(2), plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Config{Mode: OneCall}.Annotate(p)
+	if got := p.JoinNodes()[0].TOut; got != 10 { // 10·10·0.1
+		t.Errorf("default equi-join: t_out = %g, want 10", got)
+	}
+	p2, _ := plan.Build(q, abind.Assignment{schema.MustPattern("o"), schema.MustPattern("o")},
+		plan.NewTopology(2), plan.Options{})
+	Config{Mode: OneCall, DefaultEquiJoin: 0.5}.Annotate(p2)
+	if got := p2.JoinNodes()[0].TOut; got != 50 { // 10·10·0.5
+		t.Errorf("custom equi-join: t_out = %g, want 50", got)
+	}
+}

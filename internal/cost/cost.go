@@ -1,0 +1,208 @@
+// Package cost implements the cost metrics of §2.3 and §5.3 of Braga
+// et al. (VLDB 2008): the sum cost metric (Eq. 3), its
+// request–response special case, the execution time metric (Eq. 4),
+// and the bottleneck and time-to-screen metrics discussed for
+// completeness.
+//
+// All metrics operate on plans annotated by the card estimator, so
+// the invocation counts already reflect the chosen caching model
+// ("the values for t_in can be calculated according to any of the
+// considered settings", §5.3). All metrics are monotone with respect
+// to plan construction: the cost of a partially constructed DAG is a
+// valid lower bound for every completion, which is what makes branch
+// and bound applicable (§2.4).
+package cost
+
+import (
+	"math"
+
+	"mdq/internal/plan"
+)
+
+// Metric maps an annotated plan to a nonnegative cost.
+type Metric interface {
+	// Name identifies the metric in reports.
+	Name() string
+	// Cost computes the plan cost; the plan must have been annotated
+	// with card.Config.Annotate first.
+	Cost(p *plan.Plan) float64
+}
+
+// perCall returns m(n), the individual invocation cost of a service
+// node; unset profiles default to 1 (so SumCost degrades to
+// request–response counting).
+func perCall(n *plan.Node) float64 {
+	if n.Atom != nil && n.Atom.Sig != nil && n.Atom.Sig.Stats.CostPerCall > 0 {
+		return n.Atom.Sig.Stats.CostPerCall
+	}
+	return 1
+}
+
+// respTime returns τ(n) in seconds; non-service nodes take no time.
+func respTime(n *plan.Node) float64 {
+	if n.Kind != plan.Service || n.Atom.Sig == nil {
+		return 0
+	}
+	return n.Atom.Sig.Stats.ResponseTime.Seconds()
+}
+
+// fetches returns F(n), 1 for non-chunked nodes.
+func fetches(n *plan.Node) float64 {
+	if n.Fetches > 1 {
+		return float64(n.Fetches)
+	}
+	return 1
+}
+
+// SumCost is the sum cost metric (Eq. 3):
+//
+//	SCM(G) = Σ_n m(n) · F(n) · calls(n)
+//
+// summing the per-invocation charge over every request–response
+// actually issued (a chunked invocation issues F fetches).
+type SumCost struct{}
+
+// Name implements Metric.
+func (SumCost) Name() string { return "sum" }
+
+// Cost implements Metric.
+func (SumCost) Cost(p *plan.Plan) float64 {
+	total := 0.0
+	for _, n := range p.Nodes {
+		if n.Kind == plan.Service {
+			total += perCall(n) * fetches(n) * n.Calls
+		}
+	}
+	return total
+}
+
+// RequestResponse counts the number of service requests needed to
+// execute the plan (§2.3: the sum cost metric with every invocation
+// cost set to 1). It is the metric of choice when network transfer
+// dominates.
+type RequestResponse struct{}
+
+// Name implements Metric.
+func (RequestResponse) Name() string { return "request-response" }
+
+// Cost implements Metric.
+func (RequestResponse) Cost(p *plan.Plan) float64 {
+	total := 0.0
+	for _, n := range p.Nodes {
+		if n.Kind == plan.Service {
+			total += fetches(n) * n.Calls
+		}
+	}
+	return total
+}
+
+// ExecTime is the execution time metric (Eq. 4): for each
+// input-to-output path, the bottleneck node's total service time
+// (fetches × invocations × τ) plus the pipe fill/drain time (one τ
+// for every other node on the path); the plan cost is the maximum
+// over paths.
+//
+//	ETM(G) = max_{P ∈ paths(G)} [ max_{n ∈ P} F_n·calls_n·τ_n + Σ_{m ∈ P\{nbn}} τ_m ]
+type ExecTime struct{}
+
+// Name implements Metric.
+func (ExecTime) Name() string { return "execution-time" }
+
+// Cost implements Metric.
+func (ExecTime) Cost(p *plan.Plan) float64 {
+	worst := 0.0
+	for _, path := range p.Paths() {
+		bottleneck := 0.0
+		sum := 0.0
+		for _, n := range path {
+			t := respTime(n)
+			sum += t
+			if w := fetches(n) * n.Calls * t; w > bottleneck {
+				bottleneck = w
+			}
+		}
+		// Remove the bottleneck node's single-τ contribution from the
+		// fill/drain sum (Eq. 4 sums over P \ {nbn}).
+		var bnTau float64
+		for _, n := range path {
+			t := respTime(n)
+			if fetches(n)*n.Calls*t == bottleneck && t > bnTau {
+				bnTau = t
+			}
+		}
+		if c := bottleneck + sum - bnTau; c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// Bottleneck is the metric of Srivastava et al. [16]: the total
+// service time of the slowest node, relevant for pipelined execution
+// of continuous queries (§2.3). The paper argues it is ill-suited to
+// search services, which rarely produce all their tuples; it is
+// provided as the baseline.
+type Bottleneck struct{}
+
+// Name implements Metric.
+func (Bottleneck) Name() string { return "bottleneck" }
+
+// Cost implements Metric.
+func (Bottleneck) Cost(p *plan.Plan) float64 {
+	worst := 0.0
+	for _, n := range p.Nodes {
+		if n.Kind != plan.Service {
+			continue
+		}
+		if w := fetches(n) * n.Calls * respTime(n); w > worst {
+			worst = w
+		}
+	}
+	return worst
+}
+
+// TimeToScreen estimates the time until the first output tuple is
+// presented to the user (§2.3): the first answer must traverse the
+// longest pipe, paying one response time per node along it.
+type TimeToScreen struct{}
+
+// Name implements Metric.
+func (TimeToScreen) Name() string { return "time-to-screen" }
+
+// Cost implements Metric.
+func (TimeToScreen) Cost(p *plan.Plan) float64 {
+	worst := 0.0
+	for _, path := range p.Paths() {
+		sum := 0.0
+		for _, n := range path {
+			sum += respTime(n)
+		}
+		if sum > worst {
+			worst = sum
+		}
+	}
+	return worst
+}
+
+// ByName returns the metric registered under the given name, for CLI
+// use. Known names: sum, request-response, execution-time,
+// bottleneck, time-to-screen.
+func ByName(name string) (Metric, bool) {
+	switch name {
+	case "sum", "scm":
+		return SumCost{}, true
+	case "request-response", "rr", "calls":
+		return RequestResponse{}, true
+	case "execution-time", "etm", "time":
+		return ExecTime{}, true
+	case "bottleneck":
+		return Bottleneck{}, true
+	case "time-to-screen", "tts":
+		return TimeToScreen{}, true
+	default:
+		return nil, false
+	}
+}
+
+// Infinite is a sentinel cost larger than any real plan cost.
+var Infinite = math.Inf(1)

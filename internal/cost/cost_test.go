@@ -1,0 +1,131 @@
+package cost_test
+
+import (
+	"math"
+	"testing"
+
+	"mdq/internal/card"
+	. "mdq/internal/cost"
+	"mdq/internal/plan"
+	"mdq/internal/simweb"
+)
+
+func annotated(t *testing.T, topo *plan.Topology, fFlight, fHotel int, mode card.CacheMode) *plan.Plan {
+	t.Helper()
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, topo, fFlight, fHotel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	card.Config{Mode: mode}.Annotate(p)
+	return p
+}
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+// TestExecTimePlanO computes Eq. 4 for the Figure 8 plan by hand:
+// with F=(3,4), calls(weather)=20 is the bottleneck (20×1.5=30) on
+// both paths; the flight path pays its fill 1.2+9.7, the hotel path
+// 1.2+4.9.
+func TestExecTimePlanO(t *testing.T) {
+	p := annotated(t, simweb.PlanOTopology(), 3, 4, card.OneCall)
+	got := ExecTime{}.Cost(p)
+	want := 30.0 + 1.2 + 9.7 // flight path dominates
+	if !approx(got, want, 1e-9) {
+		t.Errorf("ETM(O) = %g, want %g", got, want)
+	}
+}
+
+// TestExecTimeSerial mirrors Example 5.1's ETM structure for the
+// serial plan: single path, bottleneck plus fill of the rest.
+func TestExecTimeSerial(t *testing.T) {
+	p := annotated(t, simweb.PlanSTopology(), 3, 4, card.OneCall)
+	// Path: conf(1×1.2), weather(20×1.5=30), flight(3×1×9.7=29.1),
+	// hotel(4×1×4.9=19.6). Bottleneck = weather = 30; fill =
+	// 1.2+9.7+4.9.
+	want := 30.0 + 1.2 + 9.7 + 4.9
+	if got := (ExecTime{}).Cost(p); !approx(got, want, 1e-9) {
+		t.Errorf("ETM(S) = %g, want %g", got, want)
+	}
+}
+
+func TestSumAndRequestResponse(t *testing.T) {
+	p := annotated(t, simweb.PlanOTopology(), 3, 4, card.OneCall)
+	// calls: conf 1, weather 20, flight 1 (3 fetches), hotel 1 (4
+	// fetches) → requests = 1 + 20 + 3 + 4 = 28.
+	if got := (RequestResponse{}).Cost(p); !approx(got, 28, 1e-9) {
+		t.Errorf("RR(O) = %g, want 28", got)
+	}
+	// CostPerCall defaults to 1, so SCM = RR here.
+	if got := (SumCost{}).Cost(p); !approx(got, 28, 1e-9) {
+		t.Errorf("SCM(O) = %g, want 28", got)
+	}
+}
+
+func TestBottleneckAndTimeToScreen(t *testing.T) {
+	p := annotated(t, simweb.PlanOTopology(), 3, 4, card.OneCall)
+	// Bottleneck: weather 20×1.5 = 30.
+	if got := (Bottleneck{}).Cost(p); !approx(got, 30, 1e-9) {
+		t.Errorf("bottleneck = %g, want 30", got)
+	}
+	// Time to screen: longest pipe = conf+weather+flight = 12.4.
+	if got := (TimeToScreen{}).Cost(p); !approx(got, 12.4, 1e-9) {
+		t.Errorf("TTS = %g, want 12.4", got)
+	}
+}
+
+// TestPlanOrdering: the paper's analytical finding — under the
+// execution-time metric O < S < P (Example 5.1 / Figure 11's
+// prediction).
+func TestPlanOrdering(t *testing.T) {
+	etm := ExecTime{}
+	o := etm.Cost(annotated(t, simweb.PlanOTopology(), 3, 4, card.OneCall))
+	s := etm.Cost(annotated(t, simweb.PlanSTopology(), 3, 4, card.OneCall))
+	p := etm.Cost(annotated(t, simweb.PlanPTopology(), 3, 4, card.OneCall))
+	if !(o < s && s < p) {
+		t.Errorf("expected ETM(O) < ETM(S) < ETM(P), got O=%g S=%g P=%g", o, s, p)
+	}
+}
+
+// TestMonotoneUnderExtension: every metric is monotone when a plan
+// is extended with more work (modelled here by increasing fetch
+// factors, the phase-3 construction step).
+func TestMonotoneUnderExtension(t *testing.T) {
+	metrics := []Metric{SumCost{}, RequestResponse{}, ExecTime{}, Bottleneck{}, TimeToScreen{}}
+	small := annotated(t, simweb.PlanOTopology(), 1, 1, card.OneCall)
+	big := annotated(t, simweb.PlanOTopology(), 5, 7, card.OneCall)
+	for _, m := range metrics {
+		if m.Cost(small) > m.Cost(big)+1e-9 {
+			t.Errorf("%s not monotone in fetches", m.Name())
+		}
+	}
+}
+
+// TestCacheReducesCost: request–response cost under one-call /
+// optimal caching never exceeds the no-cache cost.
+func TestCacheReducesCost(t *testing.T) {
+	for _, topo := range []*plan.Topology{simweb.PlanSTopology(), simweb.PlanPTopology(), simweb.PlanOTopology()} {
+		rr := RequestResponse{}
+		no := rr.Cost(annotated(t, topo, 2, 2, card.NoCache))
+		one := rr.Cost(annotated(t, topo, 2, 2, card.OneCall))
+		opt := rr.Cost(annotated(t, topo, 2, 2, card.Optimal))
+		if one > no+1e-9 || opt > one+1e-9 {
+			t.Errorf("topology %s: RR no=%g one=%g opt=%g not decreasing", topo, no, one, opt)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sum", "request-response", "execution-time", "bottleneck", "time-to-screen", "etm", "rr"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) should fail")
+	}
+}

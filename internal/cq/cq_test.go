@@ -1,0 +1,252 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+
+	"mdq/internal/schema"
+)
+
+func TestParseRunningExample(t *testing.T) {
+	src := `
+q(Conf, City, HPrice, FPrice, Start, StartTime, End, EndTime, Hotel) :-
+    flight('Milano', City, Start, End, StartTime, EndTime, FPrice),
+    hotel(Hotel, City, 'luxury', Start, End, HPrice),
+    conf('DB', Conf, Start, End, City),
+    weather(City, Temperature, Start),
+    Start >= '2007/03/14',
+    End <= '2007/03/14' + 180,
+    Temperature >= 28 {0.05},
+    FPrice + HPrice < 2000 {0.01}.`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Name != "q" {
+		t.Errorf("name = %q", q.Name)
+	}
+	if len(q.Head) != 9 {
+		t.Errorf("head arity = %d, want 9", len(q.Head))
+	}
+	if len(q.Atoms) != 4 {
+		t.Fatalf("atoms = %d, want 4", len(q.Atoms))
+	}
+	if len(q.Preds) != 4 {
+		t.Fatalf("preds = %d, want 4", len(q.Preds))
+	}
+	if q.Atoms[0].Service != "flight" || q.Atoms[3].Service != "weather" {
+		t.Errorf("atom order wrong: %v", q.Atoms)
+	}
+	// Constant 'Milano' in first atom.
+	if q.Atoms[0].Terms[0].IsVar() || q.Atoms[0].Terms[0].Const.Str != "Milano" {
+		t.Errorf("flight arg 1 = %v, want 'Milano'", q.Atoms[0].Terms[0])
+	}
+	// Date constant parsed as date.
+	if q.Preds[0].R.Term.Const.Kind != schema.DateValue {
+		t.Errorf("date literal kind = %v", q.Preds[0].R.Term.Const.Kind)
+	}
+	// Selectivity annotations.
+	if q.Preds[2].Selectivity != 0.05 {
+		t.Errorf("temperature selectivity = %g", q.Preds[2].Selectivity)
+	}
+	if q.Preds[3].Selectivity != 0.01 {
+		t.Errorf("price selectivity = %g", q.Preds[3].Selectivity)
+	}
+	// Expression predicate.
+	if q.Preds[3].L.Kind != EAdd {
+		t.Errorf("price predicate LHS kind = %v, want EAdd", q.Preds[3].L.Kind)
+	}
+}
+
+// TestParseRoundTrip: String() output of a parsed query re-parses to
+// the same rendering (fixed point).
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		`q(X) :- a(X, Y), b(Y, Z), Z >= 10.`,
+		`q(A, B) :- s('lit', A, B), t(B, 3), A != B {0.5}.`,
+		`q(X) <- r(X), X >= '2020/01/01' + 30.`,
+		`q(X) :- a(X, -5).`,
+	}
+	for _, src := range srcs {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		s1 := q1.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("reparse(%q): %v", s1, err)
+		}
+		if s2 := q2.String(); s1 != s2 {
+			t.Errorf("round trip not a fixed point:\n  %s\n  %s", s1, s2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct {
+		src, wantSub string
+	}{
+		{`q(X)`, "expected"},
+		{`q(X) :- `, "expected"},
+		{`q(X) :- a(X`, "expected"},
+		{`q(X) :- a(X) extra`, "trailing input"},
+		{`q(X) :- a(Y)`, "unsafe"},        // head var not in body
+		{`q(X) :- a(X), Y > 3`, "unsafe"}, // pred var not in body
+		{`q(X) :- a(X), X > 3 {2}`, "selectivity"},
+		{`q(X) :- a(X), X > 'abc`, "unterminated"},
+		{`q(X) :- a(X) ! b(X)`, "unexpected"},
+	}
+	for _, tc := range bad {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error = %v, want substring %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	q := MustParse(`q(A, B) :- s(A, B), A + B >= 10, A != B.`)
+	bind := func(vals map[Var]schema.Value) func(Var) (schema.Value, bool) {
+		return func(v Var) (schema.Value, bool) {
+			val, ok := vals[v]
+			return val, ok
+		}
+	}
+	ok, err := q.Preds[0].Eval(bind(map[Var]schema.Value{"A": schema.N(4), "B": schema.N(7)}))
+	if err != nil || !ok {
+		t.Errorf("4+7>=10 = %v, %v", ok, err)
+	}
+	ok, err = q.Preds[0].Eval(bind(map[Var]schema.Value{"A": schema.N(1), "B": schema.N(2)}))
+	if err != nil || ok {
+		t.Errorf("1+2>=10 = %v, %v", ok, err)
+	}
+	if _, err := q.Preds[0].Eval(bind(map[Var]schema.Value{"A": schema.N(1)})); err == nil {
+		t.Error("unbound variable should error")
+	}
+	ok, err = q.Preds[1].Eval(bind(map[Var]schema.Value{"A": schema.N(1), "B": schema.N(1)}))
+	if err != nil || ok {
+		t.Errorf("1 != 1 = %v, %v", ok, err)
+	}
+}
+
+func TestCmpOpEval(t *testing.T) {
+	tests := []struct {
+		op   CmpOp
+		l, r schema.Value
+		want bool
+	}{
+		{Eq, schema.N(3), schema.N(3), true},
+		{Ne, schema.N(3), schema.N(3), false},
+		{Lt, schema.N(2), schema.N(3), true},
+		{Le, schema.N(3), schema.N(3), true},
+		{Gt, schema.S("b"), schema.S("a"), true},
+		{Ge, schema.S("a"), schema.S("b"), false},
+	}
+	for _, tc := range tests {
+		if got := tc.op.Eval(tc.l, tc.r); got != tc.want {
+			t.Errorf("%v %v %v = %v, want %v", tc.l, tc.op, tc.r, got, tc.want)
+		}
+	}
+	for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+		n := op.Negate()
+		if n.Eval(schema.N(1), schema.N(2)) == op.Eval(schema.N(1), schema.N(2)) {
+			t.Errorf("%v.Negate() = %v is not complementary", op, n)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	sig := &schema.Signature{
+		Name: "s",
+		Attrs: []schema.Attribute{
+			{Name: "A", Domain: schema.DomCity},
+			{Name: "B", Domain: schema.DomPrice},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("io")},
+	}
+	sch, err := schema.NewSchema(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParse(`q(B) :- s('Milano', B).`)
+	if err := q.Resolve(sch); err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if q.Atoms[0].Sig != sig {
+		t.Error("atom not bound to signature")
+	}
+	// Unknown service.
+	q2 := MustParse(`q(B) :- nope(B).`)
+	if err := q2.Resolve(sch); err == nil {
+		t.Error("unknown service accepted")
+	}
+	// Arity mismatch.
+	q3 := MustParse(`q(B) :- s(B).`)
+	if err := q3.Resolve(sch); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// Domain violation: number constant for a string domain.
+	q4 := MustParse(`q(B) :- s(42, B).`)
+	if err := q4.Resolve(sch); err == nil {
+		t.Error("domain violation accepted")
+	}
+}
+
+func TestVarSet(t *testing.T) {
+	q := MustParse(`q(X) :- a(X, Y), b(Y, Z, 'c').`)
+	vs := q.Vars()
+	for _, v := range []Var{"X", "Y", "Z"} {
+		if !vs.Has(v) {
+			t.Errorf("missing %s", v)
+		}
+	}
+	if len(vs) != 3 {
+		t.Errorf("len = %d, want 3", len(vs))
+	}
+	if got := vs.String(); got != "{X,Y,Z}" {
+		t.Errorf("String = %s", got)
+	}
+	a := q.Atoms[0].Vars()
+	b := q.Atoms[1].Vars()
+	if !a.Intersects(b) {
+		t.Error("atoms share Y")
+	}
+	if a.ContainsAll(b) {
+		t.Error("a should not contain Z")
+	}
+}
+
+func TestAtomVarsAt(t *testing.T) {
+	q := MustParse(`q(X) :- a('k', X, Y).`)
+	atom := q.Atoms[0]
+	in := atom.VarsAt([]int{0, 1})
+	if in.Has("Y") || !in.Has("X") || len(in) != 1 {
+		t.Errorf("VarsAt([0,1]) = %v", in)
+	}
+}
+
+func TestQueryStringRendersAnnotations(t *testing.T) {
+	q := MustParse(`q(X) :- a(X), X >= 5 {0.25}.`)
+	s := q.String()
+	if !strings.Contains(s, "{0.25}") {
+		t.Errorf("selectivity annotation lost: %s", s)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q, err := Parse(`
+% find things
+q(X) :- a(X),   % the only atom
+        X >= 3. % a filter`)
+	if err != nil {
+		t.Fatalf("Parse with comments: %v", err)
+	}
+	if len(q.Atoms) != 1 || len(q.Preds) != 1 {
+		t.Errorf("comments changed the query: %s", q)
+	}
+}

@@ -1,0 +1,482 @@
+package cq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"mdq/internal/schema"
+)
+
+// Parse reads a conjunctive query in the paper's datalog-like
+// concrete syntax:
+//
+//	q(Conf, City) :- conf('DB', Conf, Start, End, City),
+//	                 weather(City, Temp, Start),
+//	                 Temp >= 28,
+//	                 Start >= '2007/03/14',
+//	                 FPrice + HPrice < 2000 {0.01}.
+//
+// Rules:
+//   - the head is name(vars…); ":-" and "<-" both separate head/body;
+//   - identifiers starting with an uppercase letter are variables,
+//     those starting with a lowercase letter are service names;
+//   - constants are numbers or single-quoted strings; string literals
+//     shaped like dates ('2007/03/14' or '2007-03-14') become dates;
+//   - body items are service atoms or comparison predicates over
+//     additive expressions (+, -), with operators =, !=, <>, <, <=,
+//     >, >=, and the unicode forms ≤ ≥ ≠;
+//   - a predicate may carry a selectivity annotation "{0.01}";
+//   - "%" starts a comment running to the end of the line;
+//   - the trailing period is optional.
+func Parse(input string) (*Query, error) {
+	p := &parser{lex: newLexer(input)}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind int
+
+const (
+	tokEOF   tokKind = iota
+	tokIdent         // lowercase-led identifier
+	tokVar           // uppercase-led identifier
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokPeriod
+	tokArrow // :- or <-
+	tokPlus
+	tokMinus
+	tokOp // comparison operator, value in text
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return "'" + t.text + "'"
+	default:
+		return "\"" + t.text + "\""
+	}
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	toks []token
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src)}
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("cq: parse error at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) lexAll() error {
+	for {
+		t, err := l.next()
+		if err != nil {
+			return err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		switch {
+		case unicode.IsSpace(l.src[l.pos]):
+			l.pos++
+		case l.src[l.pos] == '%':
+			// Datalog-style comment to end of line.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto lex
+		}
+	}
+lex:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '{':
+		l.pos++
+		return token{kind: tokLBrace, text: "{", pos: start}, nil
+	case c == '}':
+		l.pos++
+		return token{kind: tokRBrace, text: "}", pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '.':
+		// A period can start a decimal number (.5); a lone period is
+		// the query terminator.
+		if l.pos+1 < len(l.src) && unicode.IsDigit(l.src[l.pos+1]) {
+			return l.lexNumber()
+		}
+		l.pos++
+		return token{kind: tokPeriod, text: ".", pos: start}, nil
+	case c == '+':
+		l.pos++
+		return token{kind: tokPlus, text: "+", pos: start}, nil
+	case c == '-':
+		l.pos++
+		return token{kind: tokMinus, text: "-", pos: start}, nil
+	case c == ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			l.pos += 2
+			return token{kind: tokArrow, text: ":-", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected ':'")
+	case c == '<':
+		if l.pos+1 < len(l.src) {
+			switch l.src[l.pos+1] {
+			case '-':
+				l.pos += 2
+				return token{kind: tokArrow, text: "<-", pos: start}, nil
+			case '=':
+				l.pos += 2
+				return token{kind: tokOp, text: "<=", pos: start}, nil
+			case '>':
+				l.pos += 2
+				return token{kind: tokOp, text: "!=", pos: start}, nil
+			}
+		}
+		l.pos++
+		return token{kind: tokOp, text: "<", pos: start}, nil
+	case c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: ">=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokOp, text: ">", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '!'")
+	case c == '≤':
+		l.pos++
+		return token{kind: tokOp, text: "<=", pos: start}, nil
+	case c == '≥':
+		l.pos++
+		return token{kind: tokOp, text: ">=", pos: start}, nil
+	case c == '≠':
+		l.pos++
+		return token{kind: tokOp, text: "!=", pos: start}, nil
+	case c == '\'':
+		return l.lexString()
+	case unicode.IsDigit(c):
+		return l.lexNumber()
+	case unicode.IsLetter(c) || c == '_':
+		for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		text := string(l.src[start:l.pos])
+		kind := tokIdent
+		if unicode.IsUpper([]rune(text)[0]) {
+			kind = tokVar
+		}
+		return token{kind: kind, text: text, pos: start}, nil
+	default:
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// doubled quote escapes a quote
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteRune('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteRune(c)
+		l.pos++
+	}
+	return token{}, l.errf(start, "unterminated string literal")
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	text := string(l.src[start:l.pos])
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, l.errf(start, "bad number %q", text)
+	}
+	return token{kind: tokNumber, text: text, num: f, pos: start}, nil
+}
+
+type parser struct {
+	lex *lexer
+	i   int
+}
+
+func (p *parser) peek() token       { return p.lex.toks[p.i] }
+func (p *parser) take() token       { t := p.lex.toks[p.i]; p.i++; return t }
+func (p *parser) at(k tokKind) bool { return p.lex.toks[p.i].kind == k }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, fmt.Errorf("cq: parse error at offset %d: expected %s, found %s", t.pos, what, t)
+	}
+	return p.take(), nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.lex.lexAll(); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	name, err := p.expect(tokIdent, "query name")
+	if err != nil {
+		return nil, err
+	}
+	q.Name = name.text
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	for !p.at(tokRParen) {
+		v, err := p.expect(tokVar, "head variable")
+		if err != nil {
+			return nil, err
+		}
+		q.Head = append(q.Head, Var(v.text))
+		if p.at(tokComma) {
+			p.take()
+		} else {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokArrow, "':-' or '<-'"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.parseBodyItem(q); err != nil {
+			return nil, err
+		}
+		if p.at(tokComma) {
+			p.take()
+			continue
+		}
+		break
+	}
+	if p.at(tokPeriod) {
+		p.take()
+	}
+	if !p.at(tokEOF) {
+		t := p.peek()
+		return nil, fmt.Errorf("cq: parse error at offset %d: trailing input starting with %s", t.pos, t)
+	}
+	return q, nil
+}
+
+func (p *parser) parseBodyItem(q *Query) error {
+	// An atom starts with a lowercase identifier followed by '('.
+	if p.at(tokIdent) && p.i+1 < len(p.lex.toks) && p.lex.toks[p.i+1].kind == tokLParen {
+		return p.parseAtom(q)
+	}
+	return p.parsePredicate(q)
+}
+
+func (p *parser) parseAtom(q *Query) error {
+	name := p.take()
+	p.take() // '('
+	a := &Atom{Service: name.text, Index: len(q.Atoms)}
+	for !p.at(tokRParen) {
+		t, err := p.parseTerm()
+		if err != nil {
+			return err
+		}
+		a.Terms = append(a.Terms, t)
+		if p.at(tokComma) {
+			p.take()
+		} else {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return err
+	}
+	q.Atoms = append(q.Atoms, a)
+	return nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokVar:
+		p.take()
+		return V(t.text), nil
+	case tokNumber:
+		p.take()
+		return C(schema.N(t.num)), nil
+	case tokMinus:
+		p.take()
+		n, err := p.expect(tokNumber, "number after '-'")
+		if err != nil {
+			return Term{}, err
+		}
+		return C(schema.N(-n.num)), nil
+	case tokString:
+		p.take()
+		if d, ok := schema.ParseDate(t.text); ok {
+			return C(d), nil
+		}
+		return C(schema.S(t.text)), nil
+	default:
+		return Term{}, fmt.Errorf("cq: parse error at offset %d: expected term, found %s", t.pos, t)
+	}
+}
+
+func (p *parser) parsePredicate(q *Query) error {
+	l, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	opTok, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return err
+	}
+	var op CmpOp
+	switch opTok.text {
+	case "=":
+		op = Eq
+	case "!=":
+		op = Ne
+	case "<":
+		op = Lt
+	case "<=":
+		op = Le
+	case ">":
+		op = Gt
+	case ">=":
+		op = Ge
+	default:
+		return fmt.Errorf("cq: parse error at offset %d: unknown operator %q", opTok.pos, opTok.text)
+	}
+	r, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	pred := &Predicate{L: l, R: r, Op: op}
+	if p.at(tokLBrace) {
+		p.take()
+		sel, err := p.expect(tokNumber, "selectivity")
+		if err != nil {
+			return err
+		}
+		if sel.num <= 0 || sel.num > 1 {
+			return fmt.Errorf("cq: parse error at offset %d: selectivity %g out of (0,1]", sel.pos, sel.num)
+		}
+		pred.Selectivity = sel.num
+		if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+			return err
+		}
+	}
+	q.Preds = append(q.Preds, pred)
+	return nil
+}
+
+func (p *parser) parseExpr() (*Expr, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPlus) || p.at(tokMinus) {
+		opTok := p.take()
+		r, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if opTok.kind == tokPlus {
+			l = Add(l, r)
+		} else {
+			l = Sub(l, r)
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseOperand() (*Expr, error) {
+	if p.at(tokLParen) {
+		p.take()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return TermExpr(t), nil
+}

@@ -1,0 +1,112 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+
+	"mdq/internal/schema"
+)
+
+const templateText = `
+q(Conf, City) :- conf($topic, Conf, Start, End, City),
+                 weather(City, T, Start),
+                 T >= $minTemp {0.05},
+                 Start >= $from.`
+
+func TestTemplateParams(t *testing.T) {
+	tpl, err := ParseTemplate(templateText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tpl.Params()
+	want := []string{"from", "minTemp", "topic"}
+	if len(got) != len(want) {
+		t.Fatalf("params = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("params = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTemplateBind(t *testing.T) {
+	tpl, err := ParseTemplate(templateText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := tpl.Bind(map[string]schema.Value{
+		"topic":   schema.S("DB"),
+		"minTemp": schema.N(28),
+		"from":    schema.D(2007, 3, 14),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Atoms[0].Terms[0].Const.Str != "DB" {
+		t.Errorf("topic not bound: %s", q.Atoms[0])
+	}
+	s := q.String()
+	if !strings.Contains(s, "'DB'") || !strings.Contains(s, "28") || !strings.Contains(s, "2007/03/14") {
+		t.Errorf("bound query missing values: %s", s)
+	}
+	if strings.Contains(s, "param:") {
+		t.Errorf("marker leaked into bound query: %s", s)
+	}
+	// Bind twice with different values: independent queries.
+	q2 := tpl.MustBind(map[string]schema.Value{
+		"topic":   schema.S("AI"),
+		"minTemp": schema.N(10),
+		"from":    schema.D(2008, 1, 1),
+	})
+	if q2.Atoms[0].Terms[0].Const.Str != "AI" {
+		t.Error("second binding broken")
+	}
+	if q.Atoms[0].Terms[0].Const.Str != "DB" {
+		t.Error("bindings share term storage")
+	}
+}
+
+func TestTemplateBindValidation(t *testing.T) {
+	tpl, err := ParseTemplate(templateText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpl.Bind(map[string]schema.Value{"topic": schema.S("DB")}); err == nil {
+		t.Error("missing parameters accepted")
+	}
+	if _, err := tpl.Bind(map[string]schema.Value{
+		"topic": schema.S("DB"), "minTemp": schema.N(28), "from": schema.D(2007, 3, 14),
+		"extra": schema.N(1),
+	}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}
+
+func TestParseTemplateRejectsPlainQueries(t *testing.T) {
+	if _, err := ParseTemplate(`q(X) :- a(X).`); err == nil {
+		t.Error("plain query accepted as template")
+	}
+}
+
+func TestTemplateStructureStableAcrossBindings(t *testing.T) {
+	// The paper's point: optimization happens per template because
+	// bindings do not change the structure — same atoms, same
+	// patterns-relevant shape.
+	tpl, err := ParseTemplate(templateText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tpl.MustBind(map[string]schema.Value{
+		"topic": schema.S("DB"), "minTemp": schema.N(28), "from": schema.D(2007, 3, 14)})
+	b := tpl.MustBind(map[string]schema.Value{
+		"topic": schema.S("SE"), "minTemp": schema.N(5), "from": schema.D(2009, 6, 1)})
+	if len(a.Atoms) != len(b.Atoms) || len(a.Preds) != len(b.Preds) {
+		t.Fatal("structure changed across bindings")
+	}
+	for i := range a.Atoms {
+		if a.Atoms[i].Service != b.Atoms[i].Service {
+			t.Fatal("atom order changed")
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"sync"
+
+	"mdq/internal/card"
+	"mdq/internal/schema"
+)
+
+// Entry is one cached logical invocation: the rows fetched so far,
+// how many pages produced them, and whether the source reported the
+// end of its results. Keeping the page position lets a continued
+// execution (§2.2: "a plan execution can be continued, by producing
+// more answers") resume fetching where the previous run stopped
+// instead of re-issuing the whole call.
+type Entry struct {
+	Rows      [][]schema.Value
+	Pages     int
+	Exhausted bool
+}
+
+// Cache is the logical caching facility of §5.1: it remembers the
+// results of service invocations so that repeated calls with the
+// same input parameters are answered locally.
+type Cache interface {
+	// Get returns the cached entry for a service/input-key pair.
+	Get(service, key string) (Entry, bool)
+	// Put records the entry of an invocation.
+	Put(service, key string, e Entry)
+}
+
+// NewCache builds the cache for a caching level.
+func NewCache(mode card.CacheMode) Cache {
+	switch mode {
+	case card.OneCall:
+		return &oneCallCache{last: map[string]cachedCall{}}
+	case card.Optimal:
+		return &optimalCache{m: map[string]Entry{}}
+	default:
+		return noCache{}
+	}
+}
+
+// noCache repeats every call (§5.1 "no cache").
+type noCache struct{}
+
+func (noCache) Get(string, string) (Entry, bool) { return Entry{}, false }
+func (noCache) Put(string, string, Entry)        {}
+
+// oneCallCache recalls the last call to each service and its
+// results, enough to avoid re-issuing any immediate second call with
+// exactly the same input parameters (§5.1 "one-call cache").
+type oneCallCache struct {
+	mu   sync.Mutex
+	last map[string]cachedCall
+}
+
+type cachedCall struct {
+	key   string
+	entry Entry
+}
+
+func (c *oneCallCache) Get(service, key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.last[service]; ok && e.key == key {
+		return e.entry, true
+	}
+	return Entry{}, false
+}
+
+func (c *oneCallCache) Put(service, key string, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.last[service] = cachedCall{key: key, entry: e}
+}
+
+// optimalCache recalls parameter settings and results of all calls,
+// so each service is invoked once per distinct input (§5.1 "optimal
+// cache").
+type optimalCache struct {
+	mu sync.Mutex
+	m  map[string]Entry
+}
+
+func (c *optimalCache) Get(service, key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[service+"\x00"+key]
+	return e, ok
+}
+
+func (c *optimalCache) Put(service, key string, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[service+"\x00"+key] = e
+}

@@ -1,0 +1,56 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Clock lets the runner account for the simulated service times
+// reported by services. The real executor sleeps (possibly scaled);
+// tests use a counting clock that only accumulates.
+type Clock interface {
+	// Sleep blocks for the (simulated) duration d or until the
+	// context is cancelled.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// ScaledClock sleeps real time scaled by Factor (e.g. 0.001 turns
+// the paper's 9.7 s flight calls into 9.7 ms for integration tests).
+type ScaledClock struct {
+	Factor float64
+}
+
+// Sleep implements Clock.
+func (c ScaledClock) Sleep(ctx context.Context, d time.Duration) error {
+	scaled := time.Duration(float64(d) * c.Factor)
+	if scaled <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(scaled)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// CountingClock accumulates requested sleep time without blocking;
+// Total is the summed simulated busy time (not the makespan — the
+// discrete-event simulator computes that).
+type CountingClock struct {
+	total atomic.Int64
+}
+
+// Sleep implements Clock.
+func (c *CountingClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.total.Add(int64(d))
+	return ctx.Err()
+}
+
+// Total returns the accumulated simulated time.
+func (c *CountingClock) Total() time.Duration {
+	return time.Duration(c.total.Load())
+}

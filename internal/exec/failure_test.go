@@ -1,0 +1,304 @@
+package exec_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mdq/internal/card"
+	. "mdq/internal/exec"
+	"mdq/internal/schema"
+	"mdq/internal/service"
+	"mdq/internal/simweb"
+)
+
+// flakyService wraps a service and fails a configurable subset of
+// invocations — the failure-injection harness for the executor.
+type flakyService struct {
+	service.Service
+	failAfter int64  // fail every request–response after this many (-1: never)
+	failInput string // fail when the first input holds this string
+	calls     atomic.Int64
+	errText   string
+}
+
+func (f *flakyService) Invoke(ctx context.Context, patternIdx int, req service.Request) (service.Response, error) {
+	n := f.calls.Add(1)
+	if f.failAfter >= 0 && n > f.failAfter {
+		return service.Response{}, errors.New(f.errText)
+	}
+	if f.failInput != "" && len(req.Inputs) > 0 && req.Inputs[0].Str == f.failInput {
+		return service.Response{}, errors.New(f.errText)
+	}
+	return f.Service.Invoke(ctx, patternIdx, req)
+}
+
+// flakyTravelWorld rebuilds the travel registry with a wrapped hotel
+// service.
+func flakyTravelWorld(t *testing.T, failAfter int64, failInput string) (*service.Registry, *simweb.TravelWorld) {
+	t.Helper()
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	reg := service.NewRegistry()
+	for _, svc := range w.Registry.Services() {
+		if svc.Signature().Name == "hotel" {
+			svc = &flakyService{Service: svc, failAfter: failAfter, failInput: failInput,
+				errText: "hotel: 503 service unavailable"}
+		}
+		if err := reg.Register(svc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg, w
+}
+
+// TestServiceFailurePropagates: a failing service aborts the run
+// with its error; no hang, no partial success.
+func TestServiceFailurePropagates(t *testing.T) {
+	reg, w := flakyTravelWorld(t, 3, "")
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Registry: reg, Cache: card.NoCache}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Run(context.Background(), p)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "503") {
+			t.Fatalf("want the service error, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("runner hung on service failure")
+	}
+}
+
+// TestFailureAfterKIsHarmless: if the k-th answer is produced before
+// the failing input is reached, the run succeeds — early termination
+// means later failures never surface. Hotel fails only for Cairo,
+// which sits several blocks downstream of the answers that satisfy
+// k=3 in the pipe-only plan S; a scaled clock paces the stages so
+// the k-limit cancellation propagates first.
+func TestFailureAfterKIsHarmless(t *testing.T) {
+	reg, w := flakyTravelWorld(t, -1, "Cairo")
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanSTopology(), 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Registry: reg, Cache: card.OneCall, K: 3, Clock: ScaledClock{Factor: 0.0005}}
+	res, err := r.Run(context.Background(), p)
+	if err != nil {
+		t.Fatalf("run failed although k was reachable: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+}
+
+// TestExternalCancellation: cancelling the context aborts the run
+// with context.Canceled instead of returning a truncated result.
+func TestExternalCancellation(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before it starts
+	r := &Runner{Registry: w.Registry, Cache: card.NoCache}
+	if _, err := r.Run(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestCancellationMidRunWithClock: a slow clocked run is cancelled
+// from outside and returns promptly.
+func TestCancellationMidRunWithClock(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanSTopology(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	// Scale: 1 simulated second = 2 real ms → plan S would take
+	// ~750 ms; cancel after 50 ms.
+	r := &Runner{Registry: w.Registry, Cache: card.NoCache, Clock: ScaledClock{Factor: 0.002}}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = r.Run(ctx, p)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestScaledClockAccountsLatency: with a scaled clock, the wall time
+// of a run reflects the simulated service times.
+func TestScaledClockAccountsLatency(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const factor = 0.0002 // 1 simulated second = 0.2 real ms
+	r := &Runner{Registry: w.Registry, Cache: card.OneCall, Clock: ScaledClock{Factor: factor}}
+	res, err := r.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plan O busy time ≈ 1.2 + 86 + 155 + 51 ≈ 293 simulated s →
+	// ≥ 40 real ms even with branch overlap.
+	if res.Elapsed < 40*time.Millisecond {
+		t.Errorf("elapsed %v too small for scaled simulated time", res.Elapsed)
+	}
+}
+
+// TestCountingClockTotals: the counting clock accumulates the busy
+// time without sleeping.
+func TestCountingClockTotals(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &CountingClock{}
+	r := &Runner{Registry: w.Registry, Cache: card.NoCache, Clock: clock}
+	if _, err := r.Run(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	total := clock.Total()
+	// Busy time for O/no-cache: 1.2 + 86.1 + 155.2 + ~52 ≈ 295 s.
+	if total < 250*time.Second || total > 350*time.Second {
+		t.Errorf("busy total = %v, want ≈295s", total)
+	}
+}
+
+// TestSimulatorFailurePropagates: the discrete-event simulator also
+// surfaces service errors.
+func TestSimulatorFailurePropagates(t *testing.T) {
+	// Registering the flaky world for the simulator.
+	reg, w := flakyTravelWorld(t, 0, "") // hotel always fails
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Registry: reg, Cache: card.NoCache}
+	if _, err := r.Run(context.Background(), p); err == nil {
+		t.Fatal("expected failure")
+	}
+}
+
+// schemaValueSanity guards the test fixture assumptions.
+func TestSchemaValueSanity(t *testing.T) {
+	if !schema.N(1).Numeric() {
+		t.Fatal("fixture assumption broken")
+	}
+}
+
+// TestContinuedExecution: §2.2 — re-running a plan with raised fetch
+// factors against the same cache produces more answers while only
+// the genuinely new fetches reach the services. Exhausted sources
+// (flight blocks fit one chunk) are not touched at all.
+func TestContinuedExecution(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanOTopology(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(card.Optimal)
+	r1 := &Runner{Registry: w.Registry, Cache: card.Optimal, SharedCache: cache}
+	first, err := r1.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Rows) == 0 {
+		t.Fatal("first run empty")
+	}
+
+	// Continue: two more hotel pages per city.
+	p.ServiceNode[simweb.AtomHotel].Fetches = 3
+	r2 := &Runner{Registry: w.Registry, Cache: card.Optimal, SharedCache: cache}
+	second, err := r2.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Rows) <= len(first.Rows) {
+		t.Fatalf("continuation produced %d rows, first run %d", len(second.Rows), len(first.Rows))
+	}
+	// No re-fetching of exact services or exhausted flights.
+	if second.Stats.Calls["conf"] != 0 || second.Stats.Calls["weather"] != 0 {
+		t.Errorf("continuation re-called conf/weather: %v", second.Stats.Calls)
+	}
+	if second.Stats.Calls["flight"] != 0 {
+		t.Errorf("continuation re-called exhausted flight: %d", second.Stats.Calls["flight"])
+	}
+	// Hotel: one resumed call per distinct city (11), two new pages
+	// each.
+	if second.Stats.Calls["hotel"] != 11 {
+		t.Errorf("continuation hotel calls = %d, want 11", second.Stats.Calls["hotel"])
+	}
+	if second.Stats.Fetches["hotel"] != 22 {
+		t.Errorf("continuation hotel fetches = %d, want 22 (2 new pages × 11 cities)", second.Stats.Fetches["hotel"])
+	}
+	// The first run's answers are a prefix-compatible subset: every
+	// earlier answer appears again.
+	seen := map[string]bool{}
+	for _, row := range second.Rows {
+		k := ""
+		for _, v := range row {
+			k += v.Key() + "|"
+		}
+		seen[k] = true
+	}
+	for i, row := range first.Rows {
+		k := ""
+		for _, v := range row {
+			k += v.Key() + "|"
+		}
+		if !seen[k] {
+			t.Fatalf("first-run answer %d missing from continuation", i)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"mdq/internal/card"
+	"mdq/internal/cq"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	"mdq/internal/service"
+)
+
+// Runner executes query plans against registered services as a
+// concurrent dataflow: one stage per plan node, channels along the
+// arcs, logical caching in front of every service, and early
+// termination once k answers are produced (§2.2: "we retrieve only
+// the fraction of tuples of proliferative services that are
+// sufficient to obtain the first k query answers").
+type Runner struct {
+	// Registry resolves service names to implementations.
+	Registry *service.Registry
+	// Cache selects the logical caching level (§5.1).
+	Cache card.CacheMode
+	// K stops execution after k result tuples; 0 drains the plan.
+	K int
+	// Clock accounts for simulated service time; nil ignores it
+	// (counts only).
+	Clock Clock
+	// ParallelCalls dispatches all pending invocations of a stage
+	// concurrently instead of sequentially — the separate
+	// multithreading test of §6. It randomizes arrival order, which
+	// degrades the one-call cache exactly as the paper observed.
+	ParallelCalls bool
+	// MaxParallel bounds concurrent invocations per stage in
+	// ParallelCalls mode (default 16).
+	MaxParallel int
+	// SharedCache, when set, is used instead of a fresh cache built
+	// from Cache — the mechanism behind continued executions (§2.2):
+	// run a plan, raise its fetch factors, and re-run with the same
+	// cache so only the new fetches reach the services.
+	SharedCache Cache
+}
+
+// Stats aggregates per-service call accounting for a run; Calls
+// counts logical invocations that reached the service (after the
+// logical cache), Fetches counts request–responses (a chunked call
+// issues up to F).
+type Stats struct {
+	Calls   map[string]int64
+	Fetches map[string]int64
+}
+
+// Result is the outcome of a plan execution.
+type Result struct {
+	// Head names the projected columns.
+	Head []cq.Var
+	// Rows holds the head projections in production order (the
+	// global ranking order composed by the join strategies).
+	Rows [][]schema.Value
+	// Tuples holds the full variable bindings of each result.
+	Tuples []Tuple
+	// Stats is the per-service call accounting.
+	Stats Stats
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Run executes the plan. The plan must be resolved and validated.
+func (r *Runner) Run(ctx context.Context, p *plan.Plan) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cache := r.SharedCache
+	if cache == nil {
+		cache = NewCache(r.Cache)
+	}
+	ex := &execution{
+		runner: r,
+		plan:   p,
+		ix:     NewVarIndex(p),
+		cache:  cache,
+		calls:  map[string]*service.Counter{},
+	}
+	for _, n := range p.Nodes {
+		if n.Kind == plan.Service {
+			if _, ok := ex.calls[n.Atom.Service]; !ok {
+				ex.calls[n.Atom.Service] = &service.Counter{}
+			}
+		}
+	}
+	rows, tuples, err := ex.run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Head:    p.Query.Head,
+		Rows:    rows,
+		Tuples:  tuples,
+		Stats:   Stats{Calls: map[string]int64{}, Fetches: map[string]int64{}},
+		Elapsed: time.Since(start),
+	}
+	for name, c := range ex.calls {
+		res.Stats.Calls[name] = c.Calls()
+		res.Stats.Fetches[name] = c.Fetches()
+	}
+	return res, nil
+}
+
+type execution struct {
+	runner *Runner
+	plan   *plan.Plan
+	ix     *VarIndex
+	cache  Cache
+	calls  map[string]*service.Counter
+}
+
+type edge struct {
+	ch chan Tuple
+}
+
+func (ex *execution) run(ctx context.Context) ([][]schema.Value, []Tuple, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// One channel per arc, indexed by (from, to).
+	type arcKey struct{ from, to int }
+	arcs := map[arcKey]*edge{}
+	for _, n := range ex.plan.Nodes {
+		for _, m := range n.Out {
+			arcs[arcKey{n.ID, m.ID}] = &edge{ch: make(chan Tuple, 128)}
+		}
+	}
+	ins := func(n *plan.Node) []*edge {
+		out := make([]*edge, len(n.In))
+		for i, m := range n.In {
+			out[i] = arcs[arcKey{m.ID, n.ID}]
+		}
+		return out
+	}
+	outs := func(n *plan.Node) []*edge {
+		out := make([]*edge, len(n.Out))
+		for i, m := range n.Out {
+			out[i] = arcs[arcKey{n.ID, m.ID}]
+		}
+		return out
+	}
+
+	errc := make(chan error, len(ex.plan.Nodes))
+	var wg sync.WaitGroup
+	var (
+		mu      sync.Mutex
+		rows    [][]schema.Value
+		tuples  []Tuple
+		reached bool
+	)
+
+	for _, n := range ex.plan.Nodes {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var err error
+			switch n.Kind {
+			case plan.Input:
+				err = ex.runInput(ctx, outs(n))
+			case plan.Service:
+				err = ex.runService(ctx, n, ins(n)[0], outs(n))
+			case plan.Join:
+				err = ex.runJoin(ctx, n, ins(n), outs(n))
+			case plan.Output:
+				err = func() error {
+					for t := range ins(n)[0].ch {
+						head, perr := t.Project(ex.ix, ex.plan.Query.Head)
+						if perr != nil {
+							return perr
+						}
+						mu.Lock()
+						if !reached {
+							rows = append(rows, head)
+							tuples = append(tuples, t)
+							if ex.runner.K > 0 && len(rows) >= ex.runner.K {
+								reached = true
+								cancel()
+							}
+						}
+						mu.Unlock()
+					}
+					return nil
+				}()
+			}
+			if err != nil && err != context.Canceled {
+				select {
+				case errc <- err:
+				default:
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, nil, err
+	default:
+	}
+	// Distinguish our own k-limit cancellation from an external one:
+	// an externally cancelled run must not pass as a complete result.
+	if ctx.Err() != nil && !reached {
+		return nil, nil, ctx.Err()
+	}
+	return rows, tuples, nil
+}
+
+// emit sends a tuple to every outgoing arc, honoring cancellation.
+func emit(ctx context.Context, outs []*edge, t Tuple) error {
+	for _, e := range outs {
+		select {
+		case e.ch <- t:
+		case <-ctx.Done():
+			return context.Canceled
+		}
+	}
+	return nil
+}
+
+func closeAll(outs []*edge) {
+	for _, e := range outs {
+		close(e.ch)
+	}
+}
+
+func (ex *execution) runInput(ctx context.Context, outs []*edge) error {
+	defer closeAll(outs)
+	// The user injects one single input tuple (§3.4).
+	return emit(ctx, outs, NewTuple(ex.ix))
+}
+
+func (ex *execution) runService(ctx context.Context, n *plan.Node, in *edge, outs []*edge) error {
+	defer closeAll(outs)
+	iv, err := NewNodeInvoker(ex.runner.Registry, n, ex.ix, ex.cache, ex.calls[n.Atom.Service])
+	if err != nil {
+		return err
+	}
+	st := &svcStage{ex: ex, iv: iv}
+
+	if !ex.runner.ParallelCalls {
+		for t := range in.ch {
+			results, err := st.process(ctx, t)
+			if err != nil {
+				return err
+			}
+			for _, rt := range results {
+				if err := emit(ctx, outs, rt); err != nil {
+					return nil // downstream satisfied
+				}
+			}
+		}
+		return nil
+	}
+
+	// Multithreaded dispatch (§6): all pending calls of this stage go
+	// out on parallel threads; results interleave nondeterministically.
+	maxPar := ex.runner.MaxParallel
+	if maxPar <= 0 {
+		maxPar = 16
+	}
+	sem := make(chan struct{}, maxPar)
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	for t := range in.ch {
+		t := t
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			return nil
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results, err := st.process(ctx, t)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil && err != context.Canceled {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for _, rt := range results {
+				if emit(ctx, outs, rt) != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}
+
+type svcStage struct {
+	ex *execution
+	iv *NodeInvoker
+}
+
+// process performs the logical invocation for one input tuple:
+// cache lookup, up to F fetches on miss (accounted against the
+// clock), row binding and local predicate evaluation.
+func (st *svcStage) process(ctx context.Context, t Tuple) ([]Tuple, error) {
+	rows, _, elapsed, err := st.iv.Call(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	if st.ex.runner.Clock != nil && elapsed > 0 {
+		if err := st.ex.runner.Clock.Sleep(ctx, elapsed); err != nil {
+			return nil, context.Canceled
+		}
+	}
+	return st.iv.Expand(t, rows)
+}
+
+// runJoin implements the parallel join strategies of §3.3 / [4].
+// Both input streams are drained, then the Cartesian plane is
+// traversed in the strategy's order (Figure 5): nested loop scans
+// the left (selective) side for each right tuple in right order;
+// merge-scan walks anti-diagonals so the output is consistent with
+// both input orders. Tuples pair successfully when their shared
+// variables agree (lineage or value equi-join) and the join's
+// predicates hold.
+func (ex *execution) runJoin(ctx context.Context, n *plan.Node, ins []*edge, outs []*edge) error {
+	defer closeAll(outs)
+	var left, right []Tuple
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for t := range ins[0].ch {
+			left = append(left, t)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for t := range ins[1].ch {
+			right = append(right, t)
+		}
+	}()
+	wg.Wait()
+	if ctx.Err() != nil {
+		return nil
+	}
+
+	merged, err := JoinPairs(n.Method, left, right, n.JoinPreds, ex.ix)
+	if err != nil {
+		return err
+	}
+	for _, m := range merged {
+		if emit(ctx, outs, m) != nil {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package exec_test
+
+import (
+	"testing"
+
+	"mdq/internal/card"
+	"mdq/internal/cq"
+	. "mdq/internal/exec"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	"mdq/internal/simweb"
+)
+
+func travelIndex(t *testing.T) (*VarIndex, *plan.Plan) {
+	t.Helper()
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanOTopology(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewVarIndex(p), p
+}
+
+func TestVarIndexLayout(t *testing.T) {
+	ix, p := travelIndex(t)
+	if ix.Len() != len(p.Query.Vars()) {
+		t.Errorf("layout covers %d vars, query has %d", ix.Len(), len(p.Query.Vars()))
+	}
+	// Deterministic sorted layout.
+	vars := ix.Vars()
+	for i := 1; i < len(vars); i++ {
+		if vars[i-1] >= vars[i] {
+			t.Fatal("layout not sorted")
+		}
+	}
+	if _, ok := ix.Pos("City"); !ok {
+		t.Error("City missing")
+	}
+	if _, ok := ix.Pos("Nope"); ok {
+		t.Error("unknown var resolved")
+	}
+}
+
+func TestTupleMerge(t *testing.T) {
+	ix, _ := travelIndex(t)
+	citySlot, _ := ix.Pos("City")
+	confSlot, _ := ix.Pos("Conf")
+
+	a := NewTuple(ix).With(citySlot, schema.S("Miami"))
+	b := NewTuple(ix).With(confSlot, schema.S("VLDB"))
+	m, ok := a.Merge(b)
+	if !ok {
+		t.Fatal("disjoint tuples must merge")
+	}
+	if m.Get(citySlot).Str != "Miami" || m.Get(confSlot).Str != "VLDB" {
+		t.Error("merge lost bindings")
+	}
+	// Agreeing overlap merges.
+	c := NewTuple(ix).With(citySlot, schema.S("Miami"))
+	if _, ok := a.Merge(c); !ok {
+		t.Error("agreeing tuples must merge")
+	}
+	// Conflicting overlap fails.
+	d := NewTuple(ix).With(citySlot, schema.S("Dubai"))
+	if _, ok := a.Merge(d); ok {
+		t.Error("conflicting tuples must not merge")
+	}
+	// Merge does not mutate the receivers.
+	if a.Get(confSlot).Kind != schema.NullValue {
+		t.Error("merge mutated receiver")
+	}
+}
+
+func TestTupleProjectAndBinding(t *testing.T) {
+	ix, _ := travelIndex(t)
+	citySlot, _ := ix.Pos("City")
+	tup := NewTuple(ix).With(citySlot, schema.S("Miami"))
+	vals, err := tup.Project(ix, []cq.Var{"City"})
+	if err != nil || len(vals) != 1 || vals[0].Str != "Miami" {
+		t.Fatalf("Project = %v, %v", vals, err)
+	}
+	if _, err := tup.Project(ix, []cq.Var{"Nope"}); err == nil {
+		t.Error("projecting an unknown variable must fail")
+	}
+	bind := tup.Binding(ix)
+	if v, ok := bind("City"); !ok || v.Str != "Miami" {
+		t.Error("binding broken")
+	}
+	if _, ok := bind("Conf"); ok {
+		t.Error("unbound variable resolved")
+	}
+}
+
+func TestCacheBehaviours(t *testing.T) {
+	entry := Entry{Rows: [][]schema.Value{{schema.N(1)}}, Pages: 1, Exhausted: true}
+
+	no := NewCache(card.NoCache)
+	no.Put("s", "k", entry)
+	if _, ok := no.Get("s", "k"); ok {
+		t.Error("no-cache must always miss")
+	}
+
+	one := NewCache(card.OneCall)
+	one.Put("s", "k1", entry)
+	if _, ok := one.Get("s", "k1"); !ok {
+		t.Error("one-call must hit the last key")
+	}
+	one.Put("s", "k2", entry)
+	if _, ok := one.Get("s", "k1"); ok {
+		t.Error("one-call must forget older keys")
+	}
+	if _, ok := one.Get("other", "k2"); ok {
+		t.Error("one-call is per service")
+	}
+
+	opt := NewCache(card.Optimal)
+	opt.Put("s", "k1", entry)
+	opt.Put("s", "k2", entry)
+	if _, ok := opt.Get("s", "k1"); !ok {
+		t.Error("optimal cache must keep everything")
+	}
+	got, _ := opt.Get("s", "k2")
+	if !got.Exhausted || got.Pages != 1 || len(got.Rows) != 1 {
+		t.Error("entry content lost")
+	}
+}

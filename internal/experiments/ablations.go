@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/exec"
+	"mdq/internal/fetch"
+	"mdq/internal/opt"
+	"mdq/internal/plan"
+	"mdq/internal/sim"
+	"mdq/internal/simweb"
+	"mdq/internal/wsms"
+)
+
+// AblationHeuristics measures the quality of the §4.2.1 seed
+// heuristics against the exact optimum, per metric: how close the
+// "selective" (serial) and "parallel" seeds land, which is what
+// makes the branch and bound converge quickly.
+func AblationHeuristics() (*Report, error) {
+	fx, err := newTravelFixture(simweb.TravelOptions{})
+	if err != nil {
+		return nil, err
+	}
+	asn := simweb.AssignmentAlpha1()
+	est := card.Config{Mode: card.OneCall}
+
+	rep := &Report{
+		Title: "Ablation — seed heuristics vs exact optimum (α1, k=10)",
+		Cols:  []string{"metric", "serial seed", "parallel seed", "optimum", "best seed gap"},
+	}
+	for _, metric := range []cost.Metric{cost.ExecTime{}, cost.RequestResponse{}, cost.SumCost{}} {
+		evalTopo := func(t *plan.Topology) float64 {
+			p, err := plan.Build(fx.Query, asn, t, plan.Options{ChooseMethod: fx.World.Registry.MethodChooser()})
+			if err != nil {
+				return cost.Infinite
+			}
+			fa := &fetch.Assigner{Estimator: est, Metric: metric, K: 10}
+			return fa.Assign(p).Cost
+		}
+		serial := evalTopo(opt.SerialHeuristic(fx.Query, asn, est))
+		parallel := evalTopo(opt.ParallelHeuristic(fx.Query, asn))
+		o := &opt.Optimizer{Metric: metric, Estimator: est, K: 10,
+			ChooseMethod: fx.World.Registry.MethodChooser()}
+		res, err := o.Optimize(fx.Query)
+		if err != nil {
+			return nil, err
+		}
+		bestSeed := serial
+		if parallel < bestSeed {
+			bestSeed = parallel
+		}
+		gap := "0%"
+		if res.Cost > 0 {
+			gap = fmt.Sprintf("%.0f%%", 100*(bestSeed-res.Cost)/res.Cost)
+		}
+		rep.AddRow(metric.Name(), f1(serial), f1(parallel), f1(res.Cost), gap)
+	}
+	rep.AddNote("a good seed gives the branch and bound a tight initial upper bound (§4)")
+	return rep, nil
+}
+
+// AblationFetchHeuristics compares the greedy and square-is-better
+// initializations of §4.3.1 on the running example across k.
+func AblationFetchHeuristics() (*Report, error) {
+	rep := &Report{
+		Title: "Ablation — fetch heuristics (plan O, ETM)",
+		Cols:  []string{"k", "greedy vector", "greedy cost", "square vector", "square cost", "exact optimum"},
+	}
+	for _, k := range []int{10, 25, 50, 100} {
+		row := []string{fmt.Sprintf("%d", k)}
+		var exact float64
+		for _, h := range []fetch.Heuristic{fetch.Greedy, fetch.Square} {
+			fx, err := newTravelFixture(simweb.TravelOptions{})
+			if err != nil {
+				return nil, err
+			}
+			p, err := fx.World.BuildPlan(fx.Query, simweb.PlanOTopology(), 1, 1)
+			if err != nil {
+				return nil, err
+			}
+			fa := &fetch.Assigner{Estimator: card.Config{Mode: card.OneCall},
+				Metric: cost.ExecTime{}, K: k, Heuristic: h}
+			fr := fa.Assign(p)
+			row = append(row, fmt.Sprintf("%v", fr.Vector), f1(fr.Cost))
+			exact = fr.Cost // both end at the exact optimum after exploration
+		}
+		row = append(row, f1(exact))
+		rep.AddRow(row...)
+	}
+	rep.AddNote("both heuristics seed the same exhaustive exploration; the table shows the final vectors")
+	return rep, nil
+}
+
+// AblationCacheEstimates compares the three invocation estimates of
+// §5.2 (Eq. 1 no-cache, Eq. 2 one-call, distinct-input optimal)
+// against the executor's measured calls, per plan.
+func AblationCacheEstimates(ctx context.Context) (*Report, error) {
+	rep := &Report{
+		Title: "Ablation — invocation estimates (Eq. 1 / Eq. 2) vs measured calls",
+		Cols:  []string{"plan", "service", "est no-cache", "meas", "est one-call", "meas", "est optimal", "meas"},
+	}
+	for _, pl := range []struct {
+		name string
+		topo *plan.Topology
+	}{
+		{"S", simweb.PlanSTopology()}, {"O", simweb.PlanOTopology()},
+	} {
+		type cell struct{ est, meas float64 }
+		table := map[string]map[card.CacheMode]cell{}
+		for _, mode := range []card.CacheMode{card.NoCache, card.OneCall, card.Optimal} {
+			fx, err := newTravelFixture(simweb.TravelOptions{})
+			if err != nil {
+				return nil, err
+			}
+			p, err := fx.World.BuildPlan(fx.Query, pl.topo, 3, 4)
+			if err != nil {
+				return nil, err
+			}
+			card.Config{Mode: mode}.Annotate(p)
+			est := map[string]float64{}
+			for _, n := range p.Nodes {
+				if n.Kind == plan.Service {
+					est[n.Atom.Service] = n.Calls
+				}
+			}
+			r := &exec.Runner{Registry: fx.World.Registry, Cache: mode}
+			res, err := r.Run(ctx, p)
+			if err != nil {
+				return nil, err
+			}
+			for svc, e := range est {
+				if table[svc] == nil {
+					table[svc] = map[card.CacheMode]cell{}
+				}
+				table[svc][mode] = cell{est: e, meas: float64(res.Stats.Calls[svc])}
+			}
+		}
+		for _, svc := range []string{"weather", "flight", "hotel"} {
+			rep.AddRow(pl.name, svc,
+				f1(table[svc][card.NoCache].est), f1(table[svc][card.NoCache].meas),
+				f1(table[svc][card.OneCall].est), f1(table[svc][card.OneCall].meas),
+				f1(table[svc][card.Optimal].est), f1(table[svc][card.Optimal].meas),
+			)
+		}
+	}
+	rep.AddNote("estimates use Table 1 statistics (erspi 20 for conf); measurements see the actual 71 'DB' tuples, " +
+		"so absolute values differ while the block-collapse structure matches (cf. Figure 8 vs Figure 11)")
+	return rep, nil
+}
+
+// AblationJoinStrategies sweeps the size of the selective (left)
+// join side and reports how many tuples each strategy consumes from
+// the two ranked inputs before k matches are produced — the NL vs MS
+// trade-off of Figure 5. Nested loop must fully drain the left side
+// before emitting anything, so it is the right choice exactly when
+// that side is small ("one service that is highly selective, and
+// produces the highly ranked tuples with few fetches", §3.3);
+// merge-scan's anti-diagonals consume both sides evenly and win when
+// neither side dominates.
+func AblationJoinStrategies() (*Report, error) {
+	const (
+		rightSize = 100
+		k         = 10
+		sel       = 0.05
+	)
+	match := func(i, j int) bool {
+		h := fnv.New32a()
+		fmt.Fprintf(h, "%d/%d", i, j)
+		return float64(h.Sum32()%1000) < sel*1000
+	}
+	rep := &Report{
+		Title: "Ablation — tuples consumed until k=10 join matches (σ=0.05)",
+		Cols:  []string{"left size", "NL left+right", "NL total", "MS left+right", "MS total", "winner"},
+	}
+	for _, nLeft := range []int{2, 5, 10, 25, 50, 100} {
+		// Nested loop: all left fetches up front, then right tuples
+		// in rank order, each scanned against the resident left side.
+		nlRight, found := 0, 0
+		for j := 0; j < rightSize && found < k; j++ {
+			nlRight++
+			for i := 0; i < nLeft && found < k; i++ {
+				if match(i, j) {
+					found++
+				}
+			}
+		}
+		nlCost := nLeft + nlRight
+
+		// Merge-scan: anti-diagonals; consumption is the deepest
+		// index reached on each side.
+		msL, msR, found2 := 0, 0, 0
+	outer:
+		for d := 0; d < nLeft+rightSize-1; d++ {
+			i0 := d - rightSize + 1
+			if i0 < 0 {
+				i0 = 0
+			}
+			for i := i0; i <= d && i < nLeft; i++ {
+				j := d - i
+				if i+1 > msL {
+					msL = i + 1
+				}
+				if j+1 > msR {
+					msR = j + 1
+				}
+				if match(i, j) {
+					found2++
+					if found2 >= k {
+						break outer
+					}
+				}
+			}
+		}
+		msCost := msL + msR
+		winner := "MS"
+		if nlCost <= msCost {
+			winner = "NL" // ties go to the simpler schedule
+		}
+		rep.AddRow(fmt.Sprintf("%d", nLeft),
+			fmt.Sprintf("%d+%d", nLeft, nlRight), fmt.Sprintf("%d", nlCost),
+			fmt.Sprintf("%d+%d", msL, msR), fmt.Sprintf("%d", msCost),
+			winner)
+	}
+	rep.AddNote("NL pays the whole left side before the first output; MS balances both sides — the paper " +
+		"fixes the method per service pair at registration time (§3.3)")
+	return rep, nil
+}
+
+// AblationPipelining compares the paper's stage-synchronous engine
+// with our pipelined mode on all three plans (our engine's
+// improvement over the reproduced system).
+func AblationPipelining(ctx context.Context) (*Report, error) {
+	rep := &Report{
+		Title: "Ablation — stage-synchronous (paper's engine) vs pipelined execution (no cache)",
+		Cols:  []string{"plan", "stage-sync", "pipelined", "speedup"},
+	}
+	for _, pl := range []struct {
+		name string
+		topo *plan.Topology
+	}{
+		{"S", simweb.PlanSTopology()}, {"P", simweb.PlanPTopology()}, {"O", simweb.PlanOTopology()},
+	} {
+		var spans [2]time.Duration
+		for i, pipelined := range []bool{false, true} {
+			fx, err := newTravelFixture(simweb.TravelOptions{})
+			if err != nil {
+				return nil, err
+			}
+			p, err := fx.World.BuildPlan(fx.Query, pl.topo, 3, 4)
+			if err != nil {
+				return nil, err
+			}
+			s := &sim.Simulator{Registry: fx.World.Registry, Cache: card.NoCache, Pipelined: pipelined}
+			res, err := s.Run(ctx, p)
+			if err != nil {
+				return nil, err
+			}
+			spans[i] = res.Makespan
+		}
+		rep.AddRow(pl.name,
+			fmt.Sprintf("%.0fs", spans[0].Seconds()),
+			fmt.Sprintf("%.0fs", spans[1].Seconds()),
+			fmt.Sprintf("%.2f×", spans[0].Seconds()/spans[1].Seconds()))
+	}
+	return rep, nil
+}
+
+// AblationBaseline compares the paper's optimizer with the WSMS
+// baseline of [16] on the running example under both metrics.
+func AblationBaseline() (*Report, error) {
+	fx, err := newTravelFixture(simweb.TravelOptions{})
+	if err != nil {
+		return nil, err
+	}
+	base := &wsms.Optimizer{}
+	bres, err := base.Optimize(fx.Query)
+	if err != nil {
+		return nil, err
+	}
+	baseline := bres.Plan.Clone()
+	fa := &fetch.Assigner{Estimator: card.Config{Mode: card.OneCall}, Metric: cost.ExecTime{}, K: 10}
+	fr := fa.Assign(baseline)
+
+	ours := &opt.Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: fx.World.Registry.MethodChooser()}
+	ores, err := ours.Optimize(fx.Query)
+	if err != nil {
+		return nil, err
+	}
+	// The bottleneck-optimal chain can be pathological: the metric
+	// does not charge for producing too few answers, so a chain that
+	// starves its own output looks "fast" — exactly the §2.3
+	// criticism. Also show the baseline's greedy chain on the most
+	// cogent assignment for a softer comparison.
+	greedy, err := wsms.GreedyChain(fx.Query, simweb.AssignmentAlpha1(), card.Config{})
+	if err != nil {
+		return nil, err
+	}
+	fg := fa.Assign(greedy)
+
+	rep := &Report{
+		Title: "Baseline — WSMS (Srivastava et al. [16], bottleneck metric) vs this paper",
+		Cols:  []string{"optimizer", "plan", "ETM for k=10"},
+	}
+	rep.AddRow("WSMS bottleneck-optimal chain", baseline.Describe(), f1(fr.Cost)+"s")
+	rep.AddRow("WSMS greedy chain on α1", greedy.Describe(), f1(fg.Cost)+"s")
+	rep.AddRow("this paper", ores.Best.Describe(), f1(ores.Cost)+"s")
+	rep.AddNote("WSMS assumes exact services without chunking and minimizes the bottleneck metric (§2.3); " +
+		"its chains cannot parallelize flight and hotel")
+	rep.AddNote("the bottleneck metric does not charge for result starvation, so the metric-optimal chain " +
+		"accesses hotels without bindings and needs enormous fetch factors to reach k — the paper's argument " +
+		"for why that metric 'is not advised in our context'")
+	return rep, nil
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import "context"
+
+// All runs every experiment in paper order and returns the reports.
+func All(ctx context.Context) ([]*Report, error) {
+	type gen func() (*Report, error)
+	gens := []gen{
+		func() (*Report, error) { return Table1(ctx) },
+		Example41,
+		Example51,
+		Figure8,
+		func() (*Report, error) { return Figure11(ctx) },
+		func() (*Report, error) { return Multithread(ctx) },
+		func() (*Report, error) { return Bioinformatics(ctx) },
+		func() (*Report, error) { return Mashup(ctx) },
+		AblationHeuristics,
+		AblationFetchHeuristics,
+		func() (*Report, error) { return AblationCacheEstimates(ctx) },
+		AblationJoinStrategies,
+		func() (*Report, error) { return AblationPipelining(ctx) },
+		AblationBaseline,
+	}
+	var out []*Report
+	for _, g := range gens {
+		r, err := g()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

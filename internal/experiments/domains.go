@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/exec"
+	"mdq/internal/opt"
+	"mdq/internal/simweb"
+)
+
+// Bioinformatics reproduces the §6 generalization: the protein query
+// over InterPro, UniProt, BLAST and KEGG, optimized and executed end
+// to end.
+func Bioinformatics(ctx context.Context) (*Report, error) {
+	w := simweb.NewBioWorld()
+	q, err := w.BioQuery()
+	if err != nil {
+		return nil, err
+	}
+	o := &opt.Optimizer{
+		Metric:       cost.ExecTime{},
+		Estimator:    card.Config{Mode: card.OneCall},
+		K:            10,
+		ChooseMethod: w.Registry.MethodChooser(),
+	}
+	res, err := o.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	r := &exec.Runner{Registry: w.Registry, Cache: card.OneCall, K: 10}
+	out, err := r.Run(ctx, res.Best)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Title: "§6 bioinformatics — human/mouse homologs in glycolysis with repeated domains",
+		Cols:  []string{"quantity", "value"},
+	}
+	rep.AddRow("query", q.Name)
+	rep.AddRow("optimal plan", res.Best.Describe())
+	rep.AddRow("estimated ETM", f1(res.Cost)+"s")
+	rep.AddRow("answers produced", fmt.Sprintf("%d (k=10)", len(out.Rows)))
+	for _, svc := range []string{"kegg", "uniprot", "interpro", "blast"} {
+		rep.AddRow(svc+" calls", d0(out.Stats.Calls[svc]))
+	}
+	rep.AddNote("plan starts from kegg (only directly callable atom), search service blast is fetch-bounded by its decay")
+	return rep, nil
+}
+
+// Mashup runs the end-user mash-up scenario of §1: news about
+// authors of well-reviewed database books.
+func Mashup(ctx context.Context) (*Report, error) {
+	w := simweb.NewMashupWorld()
+	q, err := w.MashupQuery()
+	if err != nil {
+		return nil, err
+	}
+	o := &opt.Optimizer{
+		Metric:       cost.RequestResponse{},
+		Estimator:    card.Config{Mode: card.OneCall},
+		K:            8,
+		ChooseMethod: w.Registry.MethodChooser(),
+	}
+	res, err := o.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	r := &exec.Runner{Registry: w.Registry, Cache: card.Optimal, K: 8}
+	out, err := r.Run(ctx, res.Best)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Title: "§1 mash-up — news about authors of well-reviewed database books",
+		Cols:  []string{"quantity", "value"},
+	}
+	rep.AddRow("optimal plan", res.Best.Describe())
+	rep.AddRow("estimated requests", f1(res.Cost))
+	rep.AddRow("answers produced", fmt.Sprintf("%d (k=8)", len(out.Rows)))
+	for _, svc := range []string{"book", "review", "news"} {
+		rep.AddRow(svc+" calls", d0(out.Stats.Calls[svc]))
+	}
+	return rep, nil
+}

@@ -1,0 +1,180 @@
+package experiments_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mdq/internal/card"
+	. "mdq/internal/experiments"
+)
+
+// TestFigure11MatchesPaperCalls: every one of the nine cells matches
+// the paper's call counts exactly, and the time panel preserves the
+// paper's orderings.
+func TestFigure11MatchesPaperCalls(t *testing.T) {
+	cells, err := Figure11Data(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 9 {
+		t.Fatalf("cells = %d, want 9", len(cells))
+	}
+	times := map[string]map[card.CacheMode]float64{}
+	for _, c := range cells {
+		paper := PaperFig11Calls[c.Plan][c.Cache]
+		if c.Calls["conf"] != 1 {
+			t.Errorf("%s/%v: conf calls = %d", c.Plan, c.Cache, c.Calls["conf"])
+		}
+		if c.Calls["weather"] != paper[0] || c.Calls["flight"] != paper[1] || c.Calls["hotel"] != paper[2] {
+			t.Errorf("%s/%v: calls (w/f/h) = %d/%d/%d, paper %d/%d/%d",
+				c.Plan, c.Cache, c.Calls["weather"], c.Calls["flight"], c.Calls["hotel"],
+				paper[0], paper[1], paper[2])
+		}
+		if times[c.Plan] == nil {
+			times[c.Plan] = map[card.CacheMode]float64{}
+		}
+		times[c.Plan][c.Cache] = c.Makespan.Seconds()
+	}
+	for _, mode := range []card.CacheMode{card.NoCache, card.OneCall, card.Optimal} {
+		if !(times["O"][mode] < times["S"][mode] && times["S"][mode] < times["P"][mode]) {
+			t.Errorf("%v: want O < S < P, got O=%.0f S=%.0f P=%.0f",
+				mode, times["O"][mode], times["S"][mode], times["P"][mode])
+		}
+		// Paper ordering across cache settings within each plan.
+		paperO := PaperFig11Times["O"][mode]
+		if paperO <= 0 {
+			t.Fatalf("paper reference missing")
+		}
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	ctx := context.Background()
+	reports := []func() (*Report, error){
+		func() (*Report, error) { return Table1(ctx) },
+		Example41,
+		Figure8,
+		AblationJoinStrategies,
+	}
+	for _, gen := range reports {
+		rep, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := rep.String()
+		if !strings.Contains(s, "==") || len(s) < 40 {
+			t.Errorf("report too small:\n%s", s)
+		}
+	}
+}
+
+// TestTable1Report: the rendered Table 1 carries the paper's
+// headline values.
+func TestTable1Report(t *testing.T) {
+	rep, err := Table1(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"conf", "20", "0.05", "25", "5", "1.20s", "9.70s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestExample51Report: 19 plans, plan O optimal.
+func TestExample51Report(t *testing.T) {
+	rep, err := Example51()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 19 {
+		t.Errorf("plan rows = %d, want 19", len(rep.Rows))
+	}
+	s := rep.String()
+	if !strings.Contains(s, "alternative plans: 19") {
+		t.Errorf("report must count 19 plans:\n%s", s)
+	}
+	if !strings.Contains(s, "optimal topology: conf → weather") {
+		t.Errorf("plan O must be optimal:\n%s", s)
+	}
+}
+
+// TestFigure8Report: the paper's fetch factors and annotations.
+func TestFigure8Report(t *testing.T) {
+	rep, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, row := range rep.Rows {
+		got[row[0]] = row[2]
+	}
+	checks := map[string]string{
+		"K′ = F_flight·F_hotel lower bound": "8",
+		"F_flight (Eq. 6)":                  "3",
+		"F_hotel (Eq. 6)":                   "4",
+		"t_out(flight)":                     "75.0",
+		"t_out(hotel)":                      "20.0",
+		"t_MS (after σ=0.01)":               "15.0",
+	}
+	for k, want := range checks {
+		if got[k] != want {
+			t.Errorf("%s = %q, want %q", k, got[k], want)
+		}
+	}
+}
+
+// TestJoinAblationCrossover: NL must win for tiny left sides, MS for
+// balanced ones.
+func TestJoinAblationCrossover(t *testing.T) {
+	rep, err := AblationJoinStrategies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rep.Rows[0]
+	last := rep.Rows[len(rep.Rows)-1]
+	if first[len(first)-1] != "NL" {
+		t.Errorf("small left side: winner = %s, want NL\n%s", first[len(first)-1], rep)
+	}
+	if last[len(last)-1] != "MS" {
+		t.Errorf("balanced sides: winner = %s, want MS\n%s", last[len(last)-1], rep)
+	}
+}
+
+// TestMultithreadReport: parallel dispatch lands in the paper's
+// order of magnitude and degrades the one-call cache.
+func TestMultithreadReport(t *testing.T) {
+	rep, err := Multithread(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	s := rep.String()
+	if !strings.Contains(s, "76s") {
+		t.Errorf("paper reference missing:\n%s", s)
+	}
+}
+
+// TestDomainReports: the two extra domains execute end to end.
+func TestDomainReports(t *testing.T) {
+	ctx := context.Background()
+	bio, err := Bioinformatics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bio.String(), "kegg") {
+		t.Error("bio report incomplete")
+	}
+	mash, err := Mashup(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mash.String(), "book") {
+		t.Error("mashup report incomplete")
+	}
+}

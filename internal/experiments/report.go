@@ -1,0 +1,83 @@
+// Package experiments regenerates every empirical table and figure
+// of the paper (§6): Table 1, the analyses of Examples 4.1 and 5.1,
+// the Figure 8 physical plan, both panels of Figure 11, the
+// multithreading test, the bioinformatics generalization — plus the
+// ablations of the design choices called out in DESIGN.md. Each
+// experiment returns a report with our measured values next to the
+// paper's, and cmd/mdqbench prints them all.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is a titled text table with paper-vs-measured rows.
+type Report struct {
+	Title string
+	Notes []string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a free-text note rendered under the table.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString("== ")
+	b.WriteString(r.Title)
+	b.WriteString(" ==\n")
+	widths := make([]int, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				for p := len([]rune(cell)); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Cols)
+	sep := make([]string, len(r.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		b.WriteString("  · ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func d0(v int64) string   { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,398 @@
+// Package httpwrap turns registered services into real web services
+// and back: a Handler exposes any service.Service over HTTP with a
+// JSON request–response protocol (chunk paging included), and a
+// Client implements service.Service against such an endpoint.
+//
+// This is the substrate standing in for the paper's wrappers over
+// live deep-web sites (§6): the execution engine drives actual HTTP
+// round-trips, with the simulated service time either reported in a
+// header (fast tests) or really slept on the server (scaled).
+package httpwrap
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mdq/internal/schema"
+	"mdq/internal/service"
+)
+
+// wireValue is the JSON encoding of a schema.Value.
+type wireValue struct {
+	Kind string  `json:"k"`
+	Str  string  `json:"s,omitempty"`
+	Num  float64 `json:"n,omitempty"`
+}
+
+func toWire(v schema.Value) wireValue {
+	switch v.Kind {
+	case schema.StringValue:
+		return wireValue{Kind: "s", Str: v.Str}
+	case schema.NumberValue:
+		return wireValue{Kind: "n", Num: v.Num}
+	case schema.DateValue:
+		return wireValue{Kind: "d", Num: v.Num}
+	default:
+		return wireValue{Kind: "0"}
+	}
+}
+
+func fromWire(w wireValue) (schema.Value, error) {
+	switch w.Kind {
+	case "s":
+		return schema.S(w.Str), nil
+	case "n":
+		return schema.N(w.Num), nil
+	case "d":
+		return schema.DateFromDays(w.Num), nil
+	case "0":
+		return schema.Null, nil
+	default:
+		return schema.Null, fmt.Errorf("httpwrap: unknown value kind %q", w.Kind)
+	}
+}
+
+// wireSignature carries a schema.Signature across the wire.
+type wireSignature struct {
+	Name     string     `json:"name"`
+	Attrs    []wireAttr `json:"attrs"`
+	Patterns []string   `json:"patterns"`
+	Kind     string     `json:"kind"`
+	Stats    wireStats  `json:"stats"`
+}
+
+type wireAttr struct {
+	Name     string `json:"name"`
+	Domain   string `json:"domain"`
+	Kind     string `json:"kind"`
+	Distinct int    `json:"distinct,omitempty"`
+}
+
+type wireStats struct {
+	ERSPI       float64 `json:"erspi"`
+	ResponseMs  int64   `json:"responseMs"`
+	ChunkSize   int     `json:"chunkSize,omitempty"`
+	Decay       int     `json:"decay,omitempty"`
+	CostPerCall float64 `json:"costPerCall,omitempty"`
+}
+
+func sigToWire(sig *schema.Signature) wireSignature {
+	w := wireSignature{Name: sig.Name, Kind: sig.Kind.String()}
+	for _, a := range sig.Attrs {
+		kind := "s"
+		switch a.Domain.Kind {
+		case schema.NumberValue:
+			kind = "n"
+		case schema.DateValue:
+			kind = "d"
+		}
+		w.Attrs = append(w.Attrs, wireAttr{Name: a.Name, Domain: a.Domain.Name, Kind: kind, Distinct: a.Domain.DistinctValues})
+	}
+	for _, p := range sig.Patterns {
+		w.Patterns = append(w.Patterns, p.String())
+	}
+	w.Stats = wireStats{
+		ERSPI:       sig.Stats.ERSPI,
+		ResponseMs:  sig.Stats.ResponseTime.Milliseconds(),
+		ChunkSize:   sig.Stats.ChunkSize,
+		Decay:       sig.Stats.Decay,
+		CostPerCall: sig.Stats.CostPerCall,
+	}
+	return w
+}
+
+func sigFromWire(w wireSignature) (*schema.Signature, error) {
+	sig := &schema.Signature{Name: w.Name}
+	if w.Kind == schema.Search.String() {
+		sig.Kind = schema.Search
+	}
+	for _, a := range w.Attrs {
+		kind := schema.StringValue
+		switch a.Kind {
+		case "n":
+			kind = schema.NumberValue
+		case "d":
+			kind = schema.DateValue
+		}
+		sig.Attrs = append(sig.Attrs, schema.Attribute{
+			Name:   a.Name,
+			Domain: schema.Domain{Name: a.Domain, Kind: kind, DistinctValues: a.Distinct},
+		})
+	}
+	for _, p := range w.Patterns {
+		pat, err := schema.ParsePattern(p)
+		if err != nil {
+			return nil, err
+		}
+		sig.Patterns = append(sig.Patterns, pat)
+	}
+	sig.Stats = schema.Stats{
+		ERSPI:        w.Stats.ERSPI,
+		ResponseTime: time.Duration(w.Stats.ResponseMs) * time.Millisecond,
+		ChunkSize:    w.Stats.ChunkSize,
+		Decay:        w.Stats.Decay,
+		CostPerCall:  w.Stats.CostPerCall,
+	}
+	return sig, sig.Validate()
+}
+
+type invokeRequest struct {
+	Pattern int         `json:"pattern"`
+	Page    int         `json:"page"`
+	Inputs  []wireValue `json:"inputs"`
+}
+
+type invokeResponse struct {
+	Rows      [][]wireValue `json:"rows"`
+	HasMore   bool          `json:"hasMore"`
+	ElapsedMs int64         `json:"elapsedMs"`
+	Error     string        `json:"error,omitempty"`
+}
+
+// HandlerOptions configures the server side.
+type HandlerOptions struct {
+	// SleepScale really sleeps scale × simulated elapsed per request
+	// (0 = report only, via the X-Simulated-Elapsed-Ms header and
+	// body).
+	SleepScale float64
+}
+
+// Handler exposes a service over HTTP:
+//
+//	GET  <base>/signature     → JSON signature
+//	POST <base>/invoke        → JSON invokeRequest/invokeResponse
+func Handler(svc service.Service, opts HandlerOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/signature", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(sigToWire(svc.Signature())); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/invoke", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req invokeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		inputs := make([]schema.Value, len(req.Inputs))
+		for i, wv := range req.Inputs {
+			v, err := fromWire(wv)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			inputs[i] = v
+		}
+		resp, err := svc.Invoke(r.Context(), req.Pattern, service.Request{Inputs: inputs, Page: req.Page})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if opts.SleepScale > 0 {
+			select {
+			case <-time.After(time.Duration(float64(resp.Elapsed) * opts.SleepScale)):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		out := invokeResponse{HasMore: resp.HasMore, ElapsedMs: resp.Elapsed.Milliseconds()}
+		for _, row := range resp.Rows {
+			wrow := make([]wireValue, len(row))
+			for i, v := range row {
+				wrow[i] = toWire(v)
+			}
+			out.Rows = append(out.Rows, wrow)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Simulated-Elapsed-Ms", strconv.FormatInt(out.ElapsedMs, 10))
+		if err := json.NewEncoder(w).Encode(out); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// Client consumes a wrapped service endpoint; it implements
+// service.Service, so remote services register and execute exactly
+// like local ones. Transient transport errors and 5xx responses are
+// retried with exponential backoff (invocations are read-only and
+// idempotent), up to Retries attempts.
+type Client struct {
+	base string
+	http *http.Client
+	sig  *schema.Signature
+
+	// Retries is the number of attempts for transient failures
+	// (default 3). Backoff starts at 50 ms and doubles.
+	Retries int
+}
+
+// Dial fetches the remote signature and returns a ready client.
+func Dial(ctx context.Context, baseURL string, hc *http.Client) (*Client, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/signature", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("httpwrap: fetching signature: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("httpwrap: signature endpoint returned %s: %s", resp.Status, body)
+	}
+	var ws wireSignature
+	if err := json.NewDecoder(resp.Body).Decode(&ws); err != nil {
+		return nil, err
+	}
+	sig, err := sigFromWire(ws)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{base: baseURL, http: hc, sig: sig}, nil
+}
+
+// Signature implements service.Service.
+func (c *Client) Signature() *schema.Signature { return c.sig }
+
+// Invoke implements service.Service with one HTTP round-trip,
+// retrying transient failures.
+func (c *Client) Invoke(ctx context.Context, patternIdx int, req service.Request) (service.Response, error) {
+	wreq := invokeRequest{Pattern: patternIdx, Page: req.Page}
+	for _, v := range req.Inputs {
+		wreq.Inputs = append(wreq.Inputs, toWire(v))
+	}
+	body, err := json.Marshal(wreq)
+	if err != nil {
+		return service.Response{}, err
+	}
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 3
+	}
+	var hresp *http.Response
+	backoff := 50 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		hreq, rerr := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/invoke", bytes.NewReader(body))
+		if rerr != nil {
+			return service.Response{}, rerr
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hresp, err = c.http.Do(hreq)
+		transient := err != nil || hresp.StatusCode >= 500
+		if !transient {
+			break
+		}
+		if hresp != nil {
+			io.Copy(io.Discard, io.LimitReader(hresp.Body, 512))
+			hresp.Body.Close()
+		}
+		if attempt >= retries || ctx.Err() != nil {
+			if err != nil {
+				return service.Response{}, fmt.Errorf("httpwrap: invoking %s (attempt %d): %w", c.sig.Name, attempt, err)
+			}
+			return service.Response{}, fmt.Errorf("httpwrap: %s returned %s after %d attempts", c.sig.Name, hresp.Status, attempt)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return service.Response{}, ctx.Err()
+		}
+		backoff *= 2
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return service.Response{}, fmt.Errorf("httpwrap: %s returned %s: %s", c.sig.Name, hresp.Status, bytes.TrimSpace(msg))
+	}
+	var wresp invokeResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&wresp); err != nil {
+		return service.Response{}, err
+	}
+	if wresp.Error != "" {
+		return service.Response{}, fmt.Errorf("httpwrap: %s: %s", c.sig.Name, wresp.Error)
+	}
+	out := service.Response{
+		HasMore: wresp.HasMore,
+		Elapsed: time.Duration(wresp.ElapsedMs) * time.Millisecond,
+	}
+	for _, wrow := range wresp.Rows {
+		row := make([]schema.Value, len(wrow))
+		for i, wv := range wrow {
+			v, err := fromWire(wv)
+			if err != nil {
+				return service.Response{}, err
+			}
+			row[i] = v
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// ServeRegistry mounts every service of a registry under
+// /services/<name>/ and returns the mux plus the mounted names.
+func ServeRegistry(reg *service.Registry, opts HandlerOptions) (*http.ServeMux, []string) {
+	mux := http.NewServeMux()
+	var names []string
+	for _, svc := range reg.Services() {
+		name := svc.Signature().Name
+		names = append(names, name)
+		prefix := "/services/" + name
+		mux.Handle(prefix+"/", http.StripPrefix(prefix, Handler(svc, opts)))
+	}
+	mux.HandleFunc("/services", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(names); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux, names
+}
+
+// DialRegistry connects to a ServeRegistry endpoint and returns a
+// registry of remote services.
+func DialRegistry(ctx context.Context, baseURL string, hc *http.Client) (*service.Registry, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/services", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		return nil, err
+	}
+	reg := service.NewRegistry()
+	for _, name := range names {
+		c, err := Dial(ctx, baseURL+"/services/"+name, hc)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Register(c); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}

@@ -1,0 +1,214 @@
+package httpwrap_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"mdq/internal/card"
+	"mdq/internal/exec"
+	. "mdq/internal/httpwrap"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	"mdq/internal/service"
+	"mdq/internal/simweb"
+)
+
+// TestSignatureRoundTrip: a signature survives the wire encoding.
+func TestSignatureRoundTrip(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	srv := httptest.NewServer(Handler(w.Flight, HandlerOptions{}))
+	defer srv.Close()
+
+	c, err := Dial(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := c.Signature(), w.Flight.Signature()
+	if got.Name != want.Name || got.Arity() != want.Arity() || got.Kind != want.Kind {
+		t.Errorf("signature mismatch: %s vs %s", got, want)
+	}
+	if got.Stats.ChunkSize != want.Stats.ChunkSize || got.Stats.ResponseTime != want.Stats.ResponseTime {
+		t.Errorf("stats mismatch: %+v vs %+v", got.Stats, want.Stats)
+	}
+	for i := range want.Patterns {
+		if !got.Patterns[i].Equal(want.Patterns[i]) {
+			t.Errorf("pattern %d mismatch", i)
+		}
+	}
+	if got.Attrs[2].Domain.Name != "Date" || got.Attrs[2].Domain.Kind != schema.DateValue {
+		t.Errorf("domain lost: %+v", got.Attrs[2].Domain)
+	}
+}
+
+// TestRemoteInvocation: invoking through HTTP returns the same rows
+// as the local table, including paging, date values and elapsed
+// reporting.
+func TestRemoteInvocation(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	srv := httptest.NewServer(Handler(w.Hotel, HandlerOptions{}))
+	defer srv.Close()
+
+	c, err := Dial(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	confRows, err := w.Conf.Invoke(context.Background(), 0, service.Request{Inputs: []schema.Value{schema.S("DB")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := confRows.Rows[0]
+	req := service.Request{Inputs: []schema.Value{row[4], schema.S("luxury"), row[2], row[3]}}
+
+	local, err := w.Hotel.Invoke(context.Background(), 0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := c.Invoke(context.Background(), 0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote.Rows) != len(local.Rows) || remote.HasMore != local.HasMore {
+		t.Fatalf("remote %d rows hasMore=%v, local %d hasMore=%v",
+			len(remote.Rows), remote.HasMore, len(local.Rows), local.HasMore)
+	}
+	for i := range local.Rows {
+		for j := range local.Rows[i] {
+			if !remote.Rows[i][j].Equal(local.Rows[i][j]) {
+				t.Fatalf("row %d col %d: %v != %v", i, j, remote.Rows[i][j], local.Rows[i][j])
+			}
+		}
+	}
+	if remote.Elapsed <= 0 {
+		t.Error("elapsed not propagated")
+	}
+}
+
+// TestErrorPropagation: server-side invocation errors surface as
+// client errors, not empty results.
+func TestErrorPropagation(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	srv := httptest.NewServer(Handler(w.Hotel, HandlerOptions{}))
+	defer srv.Close()
+	c, err := Dial(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong pattern index.
+	if _, err := c.Invoke(context.Background(), 9, service.Request{}); err == nil {
+		t.Error("bad pattern index not propagated")
+	}
+	// Missing inputs.
+	if _, err := c.Invoke(context.Background(), 0, service.Request{}); err == nil {
+		t.Error("missing inputs not propagated")
+	}
+}
+
+// TestFigure11OverHTTP: the headline experiment also reproduces when
+// every service call is a real HTTP round-trip — the framework is a
+// web-service query processor, not an in-memory one.
+func TestFigure11OverHTTP(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	mux, names := ServeRegistry(w.Registry, HandlerOptions{})
+	if len(names) != 4 {
+		t.Fatalf("mounted %d services, want 4", len(names))
+	}
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	reg, err := DialRegistry(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetJoinMethod("flight", "hotel", plan.MergeScan)
+	sch, err := reg.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := simweb.RunningExampleQuery(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(q, simweb.AssignmentAlpha1(), simweb.PlanOTopology(),
+		plan.Options{ChooseMethod: reg.MethodChooser()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ServiceNode[simweb.AtomFlight].Fetches = 3
+	p.ServiceNode[simweb.AtomHotel].Fetches = 4
+
+	r := &exec.Runner{Registry: reg, Cache: card.OneCall}
+	res, err := r.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 11, plan O, one-call cache: 1/71/16/16.
+	wantCalls := map[string]int64{"conf": 1, "weather": 71, "flight": 16, "hotel": 16}
+	for svc, want := range wantCalls {
+		if got := res.Stats.Calls[svc]; got != want {
+			t.Errorf("%s calls over HTTP = %d, want %d", svc, got, want)
+		}
+	}
+	if len(res.Rows) == 0 {
+		t.Error("no results over HTTP")
+	}
+}
+
+// TestClientRetriesTransientFailures: 5xx responses are retried with
+// backoff; the call succeeds once the server recovers.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	inner := Handler(w.Weather, HandlerOptions{})
+	var failures atomic.Int64
+	failures.Store(2) // first two invokes return 503
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/invoke" && failures.Add(-1) >= 0 {
+			http.Error(rw, "upstream flaking", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(rw, r)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c, err := Dial(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Invoke(context.Background(), 0, service.Request{
+		Inputs: []schema.Value{schema.S("Cancun"), confStart(t, w)},
+	})
+	if err != nil {
+		t.Fatalf("retries did not recover: %v", err)
+	}
+	if len(resp.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(resp.Rows))
+	}
+
+	// A permanently failing server exhausts the retries with a clear
+	// error.
+	failures.Store(1 << 30)
+	if _, err := c.Invoke(context.Background(), 0, service.Request{
+		Inputs: []schema.Value{schema.S("Cancun"), confStart(t, w)},
+	}); err == nil {
+		t.Fatal("permanent 503 must fail")
+	}
+}
+
+func confStart(t *testing.T, w *simweb.TravelWorld) schema.Value {
+	t.Helper()
+	resp, err := w.Conf.Invoke(context.Background(), 0, service.Request{Inputs: []schema.Value{schema.S("DB")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range resp.Rows {
+		if row[4].Str == "Cancun" {
+			return row[2]
+		}
+	}
+	t.Fatal("no Cancun conference")
+	return schema.Null
+}

@@ -1,0 +1,179 @@
+package opt
+
+import (
+	"fmt"
+
+	"mdq/internal/abind"
+	"mdq/internal/cq"
+	"mdq/internal/schema"
+)
+
+// Expand implements the query expansion sketched in §7 of the paper:
+// when a query admits no permissible choice of access patterns —
+// some variable only ever occurs in input fields — it may still be
+// possible to obtain a subset of the answers by invoking "off-query"
+// services from the schema whose output fields provide bindings of
+// the same abstract domain. The paper's example: if every service
+// requires City as input but the schema offers oldTown(City) with
+// City in output, adding the off-query atom oldTown(C) makes the
+// query executable and yields an approximation of the original
+// answer set.
+//
+// Expand returns the original query unchanged when it is already
+// permissible. Otherwise it searches for up to maxExtra off-query
+// atoms (services not mentioned in the query, joined on a stuck
+// variable through a domain-compatible output field) whose addition
+// makes the query permissible. The returned count says how many
+// atoms were added; the expanded query computes a subset of the
+// original query's answers (each added conjunct only restricts the
+// bindings).
+func Expand(q *cq.Query, sch *schema.Schema, maxExtra int) (*cq.Query, int, error) {
+	if ok, err := isPermissible(q); err != nil {
+		return nil, 0, err
+	} else if ok {
+		return q, 0, nil
+	}
+	if maxExtra <= 0 {
+		maxExtra = 2
+	}
+	used := map[string]bool{}
+	for _, a := range q.Atoms {
+		used[a.Service] = true
+	}
+
+	type candidate struct {
+		svc    *schema.Signature
+		patIdx int
+		outPos int
+		x      cq.Var
+	}
+	candidates := func(cur *cq.Query) []candidate {
+		var out []candidate
+		for _, x := range stuckInputVars(cur).Sorted() {
+			doms := varDomains(cur, x)
+			for _, svc := range sch.Services() {
+				if used[svc.Name] {
+					continue
+				}
+				for pi, pat := range svc.Patterns {
+					for _, pos := range pat.Outputs() {
+						for _, d := range doms {
+							if svc.Attrs[pos].Domain.Compatible(d) {
+								out = append(out, candidate{svc: svc, patIdx: pi, outPos: pos, x: x})
+							}
+						}
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	// Depth-first search over expansions, smallest first.
+	var search func(cur *cq.Query, added int) (*cq.Query, int)
+	search = func(cur *cq.Query, added int) (*cq.Query, int) {
+		if added > 0 {
+			if ok, _ := isPermissible(cur); ok {
+				return cur, added
+			}
+		}
+		if added >= maxExtra {
+			return nil, 0
+		}
+		seen := map[string]bool{}
+		for _, c := range candidates(cur) {
+			key := fmt.Sprintf("%s/%d/%d/%s", c.svc.Name, c.patIdx, c.outPos, c.x)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			next := addAtom(cur, c.svc, c.outPos, c.x, added)
+			if got, n := search(next, added+1); got != nil {
+				return got, n
+			}
+		}
+		return nil, 0
+	}
+	got, n := search(q, 0)
+	if got == nil {
+		return nil, 0, fmt.Errorf("opt: query %s is not executable and no off-query expansion with ≤ %d atoms makes it so",
+			q.Name, maxExtra)
+	}
+	return got, n, nil
+}
+
+// isPermissible reports whether any pattern assignment makes the
+// query executable.
+func isPermissible(q *cq.Query) (bool, error) {
+	for _, a := range q.Atoms {
+		if a.Sig == nil {
+			return false, fmt.Errorf("opt: query %s not resolved", q.Name)
+		}
+	}
+	perm, err := abind.Enumerate(q)
+	if err != nil {
+		return false, err
+	}
+	return len(perm) > 0, nil
+}
+
+// stuckInputVars returns variables that occur in some input position
+// under every feasible pattern of their atoms and in no output
+// position of any atom under any pattern — the variables that can
+// never be seeded from inside the query.
+func stuckInputVars(q *cq.Query) cq.VarSet {
+	producible := cq.VarSet{}
+	for _, a := range q.Atoms {
+		for _, p := range a.Sig.Patterns {
+			producible.AddAll(abind.OutputVars(a, p))
+		}
+	}
+	stuck := cq.VarSet{}
+	for _, a := range q.Atoms {
+		for _, p := range a.Sig.Patterns {
+			for v := range abind.InputVars(a, p) {
+				if !producible.Has(v) {
+					stuck.Add(v)
+				}
+			}
+		}
+	}
+	return stuck
+}
+
+// varDomains collects the abstract domains at which x occurs.
+func varDomains(q *cq.Query, x cq.Var) []schema.Domain {
+	var out []schema.Domain
+	for _, a := range q.Atoms {
+		for i, t := range a.Terms {
+			if t.IsVar() && t.Var == x {
+				out = append(out, a.Sig.Attrs[i].Domain)
+			}
+		}
+	}
+	return out
+}
+
+// addAtom appends an off-query atom for svc with variable x at
+// outPos and fresh variables elsewhere.
+func addAtom(q *cq.Query, svc *schema.Signature, outPos int, x cq.Var, serial int) *cq.Query {
+	nq := &cq.Query{Name: q.Name, Head: q.Head, Preds: q.Preds}
+	for i, a := range q.Atoms {
+		nq.Atoms = append(nq.Atoms, &cq.Atom{Service: a.Service, Terms: a.Terms, Index: i, Sig: a.Sig})
+	}
+	terms := make([]cq.Term, svc.Arity())
+	for i := range terms {
+		if i == outPos {
+			terms[i] = cq.Term{Var: x}
+		} else {
+			terms[i] = cq.V(fmt.Sprintf("XQ%d_%d", serial, i))
+		}
+	}
+	nq.Atoms = append(nq.Atoms, &cq.Atom{
+		Service: svc.Name,
+		Terms:   terms,
+		Index:   len(nq.Atoms),
+		Sig:     svc,
+	})
+	return nq
+}

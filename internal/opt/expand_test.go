@@ -1,0 +1,167 @@
+package opt_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	"mdq/internal/exec"
+	. "mdq/internal/opt"
+	"mdq/internal/schema"
+	"mdq/internal/service"
+	"mdq/internal/tabsvc"
+)
+
+// expansionWorld reproduces §7's scenario: every in-query service
+// requires City as input, so the query is not executable — but the
+// schema offers oldTown(City) with City in output.
+func expansionWorld(t *testing.T) (*service.Registry, *schema.Schema, *cq.Query, *tabsvc.Table, *tabsvc.Table) {
+	t.Helper()
+	city := schema.DomCity
+	museums := &schema.Signature{
+		Name: "museum",
+		Attrs: []schema.Attribute{
+			{Name: "City", Domain: city},
+			{Name: "Name", Domain: schema.DomName},
+			{Name: "Fee", Domain: schema.DomPrice},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("ioo")},
+		Stats:    schema.Stats{ERSPI: 3, ResponseTime: schemaMs(400)},
+	}
+	oldTown := &schema.Signature{
+		Name: "oldTown",
+		Attrs: []schema.Attribute{
+			{Name: "City", Domain: city},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("o")},
+		Stats:    schema.Stats{ERSPI: 4, ResponseTime: schemaMs(700)},
+	}
+
+	museumRows := [][]schema.Value{
+		{schema.S("Roma"), schema.S("Museo A"), schema.N(12)},
+		{schema.S("Roma"), schema.S("Museo B"), schema.N(8)},
+		{schema.S("Paris"), schema.S("Musée C"), schema.N(15)},
+		{schema.S("Berlin"), schema.S("Museum D"), schema.N(9)},
+		{schema.S("Kyoto"), schema.S("Museum E"), schema.N(6)},
+	}
+	oldTownRows := [][]schema.Value{
+		{schema.S("Roma")},
+		{schema.S("Paris")},
+		{schema.S("Praha")}, // no museum rows — restricts nothing extra
+	}
+	reg := service.NewRegistry()
+	mt := tabsvc.MustNew(museums, museumRows, tabsvc.Latency{})
+	ot := tabsvc.MustNew(oldTown, oldTownRows, tabsvc.Latency{})
+	reg.MustRegister(mt)
+	reg.MustRegister(ot)
+	sch, err := reg.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cq.MustParse(`visits(City, Name, Fee) :- museum(City, Name, Fee), Fee < 14 {0.6}.`)
+	if err := q.Resolve(sch); err != nil {
+		t.Fatal(err)
+	}
+	return reg, sch, q, mt, ot
+}
+
+func schemaMs(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
+
+// TestExpandMakesQueryExecutable: the §7 expansion adds oldTown and
+// the expanded query runs, producing a subset of the full answers.
+func TestExpandMakesQueryExecutable(t *testing.T) {
+	reg, sch, q, _, _ := expansionWorld(t)
+
+	// The original query is not executable.
+	if _, err := (&Optimizer{K: 0}).Optimize(q); err == nil {
+		t.Fatal("city-input-only query should not optimize")
+	}
+
+	eq, added, err := Expand(q, sch, 2)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if added != 1 {
+		t.Errorf("added %d atoms, want 1", added)
+	}
+	last := eq.Atoms[len(eq.Atoms)-1]
+	if last.Service != "oldTown" {
+		t.Errorf("expansion used %s, want oldTown", last.Service)
+	}
+	// The shared variable joins the new atom to the query.
+	if !last.Vars().Has("City") {
+		t.Errorf("expanded atom does not bind City: %s", last)
+	}
+
+	o := &Optimizer{Metric: cost.RequestResponse{}, Estimator: card.Config{Mode: card.OneCall}, K: 0}
+	res, err := o.Optimize(eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &exec.Runner{Registry: reg, Cache: card.Optimal}
+	out, err := r.Run(context.Background(), res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subset semantics: only Roma and Paris museums with fee < 14 —
+	// Berlin and Kyoto are unreachable without their city binding.
+	want := map[string]bool{"Museo A": true, "Museo B": true, "Musée C": false /* fee 15 */}
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (%v)", len(out.Rows), out.Rows)
+	}
+	for _, row := range out.Rows {
+		name := row[1].Str
+		if ok, known := want[name]; !known || !ok {
+			t.Errorf("unexpected answer %s", name)
+		}
+	}
+}
+
+// TestExpandNoOpOnExecutableQueries: an already-permissible query is
+// returned unchanged.
+func TestExpandNoOpOnExecutableQueries(t *testing.T) {
+	_, sch, q, _, _ := expansionWorld(t)
+	// Bind the city with a constant: executable as-is.
+	q2 := cq.MustParse(`visits(Name) :- museum('Roma', Name, Fee).`)
+	if err := q2.Resolve(sch); err != nil {
+		t.Fatal(err)
+	}
+	eq, added, err := Expand(q2, sch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || eq != q2 {
+		t.Error("executable query must pass through unchanged")
+	}
+	_ = q
+}
+
+// TestExpandFailsWhenNoProviderExists: without any producer of the
+// stuck domain, expansion reports a diagnostic error.
+func TestExpandFailsWhenNoProviderExists(t *testing.T) {
+	reg := service.NewRegistry()
+	sig := &schema.Signature{
+		Name: "museum",
+		Attrs: []schema.Attribute{
+			{Name: "City", Domain: schema.DomCity},
+			{Name: "Name", Domain: schema.DomName},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("io")},
+		Stats:    schema.Stats{ERSPI: 3},
+	}
+	reg.MustRegister(tabsvc.MustNew(sig, nil, tabsvc.Latency{}))
+	sch, err := reg.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cq.MustParse(`v(Name) :- museum(City, Name).`)
+	if err := q.Resolve(sch); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Expand(q, sch, 2); err == nil {
+		t.Fatal("expansion should fail without a City producer")
+	}
+}

@@ -1,0 +1,97 @@
+package opt
+
+import (
+	"sort"
+
+	"mdq/internal/abind"
+	"mdq/internal/card"
+	"mdq/internal/cq"
+	"mdq/internal/plan"
+)
+
+// atomERSPI estimates the effective erspi of an atom for heuristic
+// ordering: the profiled erspi with the selectivities of the
+// predicates local to the atom folded in (§3.4). For chunked
+// services the profiled erspi characterizes the underlying relation.
+func atomERSPI(est card.Config, q *cq.Query, atom *cq.Atom) float64 {
+	e := 1.0
+	if atom.Sig != nil {
+		e = atom.Sig.Stats.ERSPI
+	}
+	vars := atom.Vars()
+	for _, p := range q.Preds {
+		if vars.ContainsAll(p.Vars()) {
+			e *= est.PredSelectivity([]*cq.Predicate{p})
+		}
+	}
+	return e
+}
+
+// SerialHeuristic builds the "selective is better" topology
+// (§4.2.1): a single chain, greedily extended with the callable atom
+// of smallest effective erspi. Sequencing selective services first
+// minimizes the number of downstream invocations; in the absence of
+// access limitations this is the optimal order for invocation-count
+// metrics (as proved in [16]).
+func SerialHeuristic(q *cq.Query, asn abind.Assignment, est card.Config) *plan.Topology {
+	n := len(q.Atoms)
+	erspi := make([]float64, n)
+	for i, a := range q.Atoms {
+		erspi[i] = atomERSPI(est, q, a)
+	}
+	placed := map[int]bool{}
+	var order []int
+	for len(order) < n {
+		callable := abind.CallableAfter(q, asn, placed)
+		if len(callable) == 0 {
+			return nil // not permissible
+		}
+		sort.Slice(callable, func(a, b int) bool {
+			if erspi[callable[a]] != erspi[callable[b]] {
+				return erspi[callable[a]] < erspi[callable[b]]
+			}
+			return callable[a] < callable[b]
+		})
+		next := callable[0]
+		placed[next] = true
+		order = append(order, next)
+	}
+	return plan.Chain(order)
+}
+
+// ParallelHeuristic builds the "parallel is better" topology
+// (§4.2.1): layer after layer, every atom that is callable after the
+// placed ones is placed immediately, maximizing parallelism. This
+// favors time-oriented metrics.
+func ParallelHeuristic(q *cq.Query, asn abind.Assignment) *plan.Topology {
+	n := len(q.Atoms)
+	placed := map[int]bool{}
+	var layers [][]int
+	for count := 0; count < n; {
+		callable := abind.CallableAfter(q, asn, placed)
+		if len(callable) == 0 {
+			return nil // not permissible
+		}
+		layers = append(layers, callable)
+		for _, i := range callable {
+			placed[i] = true
+		}
+		count += len(callable)
+	}
+	// plan.Layers needs atoms listed per layer, indexes preserved.
+	return layersTopology(n, layers)
+}
+
+func layersTopology(n int, layers [][]int) *plan.Topology {
+	t := plan.NewTopology(n)
+	for a := 0; a < len(layers); a++ {
+		for b := a + 1; b < len(layers); b++ {
+			for _, i := range layers[a] {
+				for _, j := range layers[b] {
+					t.SetLess(i, j)
+				}
+			}
+		}
+	}
+	return t
+}

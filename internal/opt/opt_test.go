@@ -1,0 +1,298 @@
+package opt_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mdq/internal/abind"
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	. "mdq/internal/opt"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	"mdq/internal/simweb"
+)
+
+// freeQuery builds a query of n atoms with no binding constraints
+// (every service has a single all-output pattern), so every partial
+// order over the atoms is a valid topology.
+func freeQuery(n int) (*cq.Query, abind.Assignment) {
+	q := &cq.Query{Name: "free"}
+	asn := make(abind.Assignment, n)
+	for i := 0; i < n; i++ {
+		sig := &schema.Signature{
+			Name:     fmt.Sprintf("s%d", i),
+			Attrs:    []schema.Attribute{{Name: "X", Domain: schema.DomNumber}},
+			Patterns: []schema.AccessPattern{schema.MustPattern("o")},
+			Stats:    schema.Stats{ERSPI: 2},
+		}
+		q.Atoms = append(q.Atoms, &cq.Atom{
+			Service: sig.Name,
+			Terms:   []cq.Term{cq.V(fmt.Sprintf("X%d", i))},
+			Index:   i,
+			Sig:     sig,
+		})
+	}
+	return q, asn
+}
+
+// TestTopologyCountsArePosetNumbers: with no binding constraints the
+// number of plan topologies over n atoms equals the number of
+// strict partial orders on n labeled elements: 1, 1, 3, 19, 219.
+// The n=3 case is exactly the paper's Example 5.1: "there are 19
+// alternative plans".
+func TestTopologyCountsArePosetNumbers(t *testing.T) {
+	want := []int{1, 1, 3, 19, 219}
+	for n := 0; n <= 4; n++ {
+		q, asn := freeQuery(n)
+		for i := range q.Atoms {
+			asn[i] = schema.MustPattern("o")
+		}
+		if got := CountTopologies(q, asn); got != want[n] {
+			t.Errorf("topologies over %d atoms = %d, want %d", n, got, want[n])
+		}
+	}
+}
+
+// TestExample51NineteenPlans: the running example under α1 has conf
+// forced first and the other three atoms free — 19 alternative
+// plans.
+func TestExample51NineteenPlans(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topos := EnumerateTopologies(q, simweb.AssignmentAlpha1())
+	if len(topos) != 19 {
+		t.Fatalf("plans for α1 = %d, want 19 (Example 5.1)", len(topos))
+	}
+	// All distinct, all valid partial orders, conf before everything
+	// that needs it... every topology must place conf first w.r.t.
+	// every other atom or in parallel? No: conf is the only producer
+	// of City/Start/End, so every other atom must follow conf.
+	seen := map[string]bool{}
+	for _, topo := range topos {
+		if seen[topo.Key()] {
+			t.Fatal("duplicate topology enumerated")
+		}
+		seen[topo.Key()] = true
+		if !topo.IsPartialOrder() {
+			t.Fatalf("topology %s is not a partial order", topo)
+		}
+		for _, other := range []int{simweb.AtomWeather, simweb.AtomFlight, simweb.AtomHotel} {
+			if !topo.Less(simweb.AtomConf, other) {
+				t.Fatalf("topology %s does not place conf before atom %d", topo, other)
+			}
+		}
+	}
+}
+
+// TestSerialHeuristicOrder: "selective is better" sequences the
+// running example as conf → weather → flight → hotel (the paper's
+// plan S: increasing erspi).
+func TestSerialHeuristicOrder(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := SerialHeuristic(q, simweb.AssignmentAlpha1(), card.Config{Mode: card.OneCall})
+	if topo == nil {
+		t.Fatal("serial heuristic failed")
+	}
+	if !topo.Equal(simweb.PlanSTopology()) {
+		t.Errorf("serial heuristic = %s, want plan S %s", topo, simweb.PlanSTopology())
+	}
+}
+
+// TestParallelHeuristicOrder: "parallel is better" yields plan P.
+func TestParallelHeuristicOrder(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := ParallelHeuristic(q, simweb.AssignmentAlpha1())
+	if topo == nil {
+		t.Fatal("parallel heuristic failed")
+	}
+	if !topo.Equal(simweb.PlanPTopology()) {
+		t.Errorf("parallel heuristic = %s, want plan P %s", topo, simweb.PlanPTopology())
+	}
+}
+
+// TestOptimizerFindsPlanO: the full three-phase search under the
+// execution-time metric with k=10 returns plan O — conf → weather →
+// (flight ∥ hotel) with a merge-scan join — as the paper's Example
+// 5.1 derives analytically and §6 confirms experimentally.
+func TestOptimizerFindsPlanO(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Optimizer{
+		Metric:       cost.ExecTime{},
+		Estimator:    card.Config{Mode: card.OneCall},
+		K:            10,
+		ChooseMethod: w.Registry.MethodChooser(),
+	}
+	res, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("optimizer found no feasible plan")
+	}
+	if !res.Best.Topology.Equal(simweb.PlanOTopology()) {
+		t.Errorf("best topology = %s, want plan O; plan:\n%s", res.Best.Topology, res.Best.ASCII())
+	}
+	if !res.Best.Assignment.Equal(simweb.AssignmentAlpha1()) {
+		t.Errorf("best assignment = %s, want α1", res.Best.Assignment)
+	}
+	if res.Best.JoinNodes()[0].Method != plan.MergeScan {
+		t.Error("plan O join must be merge-scan")
+	}
+	if res.Stats.PermissibleAssignments != 3 {
+		t.Errorf("permissible assignments = %d, want 3", res.Stats.PermissibleAssignments)
+	}
+	if res.Stats.CandidateAssignments != 4 {
+		t.Errorf("candidate assignments = %d, want 4", res.Stats.CandidateAssignments)
+	}
+}
+
+// TestBranchAndBoundMatchesExhaustive: with pruning enabled the
+// optimizer returns a plan of exactly the same cost as exhaustive
+// enumeration, while visiting fewer or equal states — the
+// correctness contract of §2.4.
+func TestBranchAndBoundMatchesExhaustive(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []cost.Metric{cost.ExecTime{}, cost.RequestResponse{}, cost.SumCost{}} {
+		pruned := &Optimizer{Metric: metric, Estimator: card.Config{Mode: card.OneCall}, K: 10,
+			ChooseMethod: w.Registry.MethodChooser()}
+		full := &Optimizer{Metric: metric, Estimator: card.Config{Mode: card.OneCall}, K: 10,
+			ChooseMethod: w.Registry.MethodChooser(), Exhaustive: true}
+		rp, err := pruned.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := full.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Cost != rf.Cost {
+			t.Errorf("%s: pruned cost %g != exhaustive cost %g", metric.Name(), rp.Cost, rf.Cost)
+		}
+		if rp.Stats.Leaves > rf.Stats.Leaves {
+			t.Errorf("%s: pruning evaluated more leaves (%d) than exhaustive (%d)",
+				metric.Name(), rp.Stats.Leaves, rf.Stats.Leaves)
+		}
+	}
+}
+
+// TestPruningActuallyPrunes: on the running example the bound must
+// cut part of the search space (Example 5.1 prunes the plans with
+// the Figure 7b prefix).
+func TestPruningActuallyPrunes(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall}, K: 10,
+		ChooseMethod: w.Registry.MethodChooser()}
+	res, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StatesPruned == 0 {
+		t.Error("expected nonzero pruned states on the running example")
+	}
+}
+
+// TestOptimizerKeepsAlternatives: with KeepAlternatives=-1 every
+// evaluated plan is reported, enabling the plan-space analyses.
+func TestOptimizerKeepsAlternatives(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall}, K: 10,
+		ChooseMethod: w.Registry.MethodChooser(), Exhaustive: true, KeepAlternatives: -1}
+	res, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 19 topologies for α1 plus the two heuristic seeds re-evaluated,
+	// plus the other assignments' plans; at minimum the 19 of α1 are
+	// all present.
+	if len(res.Alternatives)+1 < 19 {
+		t.Errorf("alternatives = %d, want at least 18 besides the best", len(res.Alternatives))
+	}
+	for i := 1; i < len(res.Alternatives); i++ {
+		a, b := res.Alternatives[i-1], res.Alternatives[i]
+		if a.Feasible == b.Feasible && a.Cost > b.Cost {
+			t.Fatal("alternatives not sorted by cost")
+		}
+	}
+	if res.Alternatives[0].Cost < res.Cost {
+		t.Error("an alternative beats the best plan")
+	}
+}
+
+// TestOptimizerRejectsUnresolved: optimizing an unresolved query is
+// an error, not a panic.
+func TestOptimizerRejectsUnresolved(t *testing.T) {
+	q := cq.MustParse(`q(X) :- a(X).`)
+	o := &Optimizer{}
+	if _, err := o.Optimize(q); err == nil {
+		t.Error("unresolved query accepted")
+	}
+}
+
+// TestOptimizerNoPermissiblePattern: a query whose variables can
+// never be bound yields a diagnostic error.
+func TestOptimizerNoPermissiblePattern(t *testing.T) {
+	sig := &schema.Signature{
+		Name:     "s",
+		Attrs:    []schema.Attribute{{Name: "A", Domain: schema.DomNumber}},
+		Patterns: []schema.AccessPattern{schema.MustPattern("i")},
+		Stats:    schema.Stats{ERSPI: 1},
+	}
+	sch, _ := schema.NewSchema(sig)
+	q := cq.MustParse(`q(X) :- s(X).`)
+	if err := q.Resolve(sch); err != nil {
+		t.Fatal(err)
+	}
+	o := &Optimizer{}
+	if _, err := o.Optimize(q); err == nil {
+		t.Error("expected 'no permissible sequence' error")
+	}
+}
+
+// TestBoundIsBetterHeuristicHelps: phase 1 explores most cogent
+// assignments first; for the running example the winner is α1, which
+// is on the cogency frontier — so the very first assignment explored
+// already yields the global optimum cost.
+func TestBoundIsBetterHeuristicHelps(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := abind.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abind.SortByCogency(perm)
+	if !perm[0].Equal(simweb.AssignmentAlpha1()) {
+		t.Errorf("first explored assignment = %s, want α1", perm[0])
+	}
+}

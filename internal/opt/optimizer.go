@@ -1,0 +1,278 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"mdq/internal/abind"
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	"mdq/internal/fetch"
+	"mdq/internal/plan"
+)
+
+// Optimizer configures the three-phase branch-and-bound search.
+type Optimizer struct {
+	// Metric is minimized; nil means cost.ExecTime (the paper's
+	// examples use the execution time and request–response metrics,
+	// §2.3).
+	Metric cost.Metric
+	// Estimator sets the caching model and default selectivities
+	// used to annotate candidate plans.
+	Estimator card.Config
+	// K is the number of answers to optimize for; 0 disables the
+	// feasibility requirement (all fetch factors stay at 1).
+	K int
+	// FetchHeuristic seeds phase 3 (greedy by default).
+	FetchHeuristic fetch.Heuristic
+	// ChooseMethod picks parallel join methods (registration-time
+	// knowledge, §3.3); nil means plan.DefaultMethodChooser.
+	ChooseMethod plan.MethodChooser
+	// Exhaustive disables pruning, forcing full enumeration; used to
+	// validate that branch and bound preserves optimality.
+	Exhaustive bool
+	// MaxStates caps the number of construction states visited per
+	// assignment (safety valve; 0 means 1 << 20).
+	MaxStates int
+	// KeepAlternatives retains the N best complete plans beyond the
+	// optimum (-1 keeps every evaluated plan, for plan-space
+	// reports).
+	KeepAlternatives int
+}
+
+// Scored is a complete plan with its evaluated cost.
+type Scored struct {
+	Plan     *plan.Plan
+	Cost     float64
+	Feasible bool
+}
+
+// Stats reports search effort.
+type Stats struct {
+	// CandidateAssignments is the size of the full phase-1 space
+	// (∏ m_i of feasible patterns per atom).
+	CandidateAssignments int
+	// PermissibleAssignments survive the callability check.
+	PermissibleAssignments int
+	// StatesVisited counts phase-2 construction states expanded.
+	StatesVisited int
+	// StatesPruned counts states cut by the lower bound.
+	StatesPruned int
+	// Leaves counts complete topologies evaluated (phase 3 runs on
+	// each).
+	Leaves int
+	// FetchVectors counts fetch vectors evaluated in phase 3.
+	FetchVectors int
+}
+
+// Result is the outcome of an optimization.
+type Result struct {
+	Best     *plan.Plan
+	Cost     float64
+	Feasible bool
+	Stats    Stats
+	// Alternatives holds further evaluated plans, best first (see
+	// Optimizer.KeepAlternatives).
+	Alternatives []Scored
+}
+
+func (o *Optimizer) metric() cost.Metric {
+	if o.Metric == nil {
+		return cost.ExecTime{}
+	}
+	return o.Metric
+}
+
+func (o *Optimizer) maxStates() int {
+	if o.MaxStates <= 0 {
+		return 1 << 20
+	}
+	return o.MaxStates
+}
+
+// Optimize runs the full three-phase search on a resolved query and
+// returns the cheapest executable plan. The search is exact up to
+// the estimator: with Exhaustive set the same optimum is found by
+// full enumeration (asserted by the test suite).
+func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
+	for _, a := range q.Atoms {
+		if a.Sig == nil {
+			return nil, fmt.Errorf("opt: query %s is not resolved against a schema", q.Name)
+		}
+	}
+	res := &Result{Cost: cost.Infinite}
+
+	all, err := abind.EnumerateAll(q)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.CandidateAssignments = len(all)
+	perm, err := abind.Enumerate(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(perm) == 0 {
+		return nil, fmt.Errorf("opt: query %s admits no permissible access-pattern sequence", q.Name)
+	}
+	res.Stats.PermissibleAssignments = len(perm)
+	// Phase 1 order: bound is better (§4.1.1) — most cogent first.
+	abind.SortByCogency(perm)
+
+	for _, asn := range perm {
+		o.searchAssignment(q, asn, res)
+	}
+	if res.Best == nil {
+		return nil, fmt.Errorf("opt: no executable plan found for query %s", q.Name)
+	}
+	sort.SliceStable(res.Alternatives, func(i, j int) bool {
+		if res.Alternatives[i].Feasible != res.Alternatives[j].Feasible {
+			return res.Alternatives[i].Feasible
+		}
+		return res.Alternatives[i].Cost < res.Alternatives[j].Cost
+	})
+	return res, nil
+}
+
+// searchAssignment runs phases 2 and 3 for one access-pattern
+// assignment, updating the incumbent in res.
+func (o *Optimizer) searchAssignment(q *cq.Query, asn abind.Assignment, res *Result) {
+	// Heuristic seeds (§4.2.1) give the branch and bound a good
+	// initial upper bound.
+	if t := SerialHeuristic(q, asn, o.Estimator); t != nil {
+		o.evalLeaf(q, asn, t, res)
+	}
+	if t := ParallelHeuristic(q, asn); t != nil {
+		o.evalLeaf(q, asn, t, res)
+	}
+
+	visited := 0
+	keep := func(s *topoState) bool {
+		visited++
+		res.Stats.StatesVisited++
+		if visited > o.maxStates() {
+			return false
+		}
+		if o.Exhaustive || s.placedCount() == 0 {
+			return true
+		}
+		lb, ok := o.partialCost(q, asn, s)
+		if !ok {
+			return true
+		}
+		if res.Best != nil && res.Feasible && lb > res.Cost {
+			res.Stats.StatesPruned++
+			return false
+		}
+		return true
+	}
+	WalkTopologies(q, asn, keep, func(t *plan.Topology) {
+		o.evalLeaf(q, asn, t, res)
+	})
+}
+
+// evalLeaf runs phase 3 on a complete topology and updates the
+// incumbent.
+func (o *Optimizer) evalLeaf(q *cq.Query, asn abind.Assignment, topo *plan.Topology, res *Result) {
+	p, err := plan.Build(q, asn, topo, plan.Options{ChooseMethod: o.ChooseMethod})
+	if err != nil {
+		return
+	}
+	if err := p.Validate(); err != nil {
+		return
+	}
+	res.Stats.Leaves++
+	assigner := &fetch.Assigner{
+		Estimator: o.Estimator,
+		Metric:    o.metric(),
+		K:         o.K,
+		Heuristic: o.FetchHeuristic,
+	}
+	fr := assigner.Assign(p)
+	res.Stats.FetchVectors += fr.Explored
+	o.offer(res, Scored{Plan: p, Cost: fr.Cost, Feasible: fr.Feasible || o.K <= 0})
+}
+
+// offer updates the incumbent and the alternatives list.
+func (o *Optimizer) offer(res *Result, s Scored) {
+	better := false
+	switch {
+	case res.Best == nil:
+		better = true
+	case s.Feasible != res.Feasible:
+		better = s.Feasible
+	case s.Cost != res.Cost:
+		better = s.Cost < res.Cost
+	default:
+		// Deterministic tie-break on plan signature.
+		better = s.Plan.Signature() < res.Best.Signature()
+	}
+	if better {
+		if res.Best != nil && o.KeepAlternatives != 0 {
+			res.Alternatives = append(res.Alternatives, Scored{res.Best, res.Cost, res.Feasible})
+		}
+		res.Best, res.Cost, res.Feasible = s.Plan, s.Cost, s.Feasible
+	} else if o.KeepAlternatives != 0 {
+		res.Alternatives = append(res.Alternatives, s)
+	}
+	if o.KeepAlternatives > 0 && len(res.Alternatives) > o.KeepAlternatives {
+		sort.SliceStable(res.Alternatives, func(i, j int) bool {
+			if res.Alternatives[i].Feasible != res.Alternatives[j].Feasible {
+				return res.Alternatives[i].Feasible
+			}
+			return res.Alternatives[i].Cost < res.Alternatives[j].Cost
+		})
+		res.Alternatives = res.Alternatives[:o.KeepAlternatives]
+	}
+}
+
+// partialCost computes the monotone lower bound for a construction
+// state: the cost of the partially constructed plan over the placed
+// atoms, with every fetch factor at its minimum of 1. Completing the
+// plan can only append work after the placed nodes (never between
+// them), so their invocation estimates are final and the partial
+// cost bounds every completion (§2.4).
+func (o *Optimizer) partialCost(q *cq.Query, asn abind.Assignment, s *topoState) (float64, bool) {
+	placed := s.placedList()
+	sub, subAsn, subTopo := subProblem(q, asn, s.topo, placed)
+	p, err := plan.Build(sub, subAsn, subTopo, plan.Options{ChooseMethod: o.ChooseMethod})
+	if err != nil {
+		return 0, false
+	}
+	o.Estimator.Annotate(p)
+	return o.metric().Cost(p), true
+}
+
+// subProblem restricts a query, assignment and topology to a subset
+// of atoms (re-indexed), keeping the predicates whose variables are
+// all covered by the subset.
+func subProblem(q *cq.Query, asn abind.Assignment, topo *plan.Topology, placed []int) (*cq.Query, abind.Assignment, *plan.Topology) {
+	sub := &cq.Query{Name: q.Name + "†"}
+	subAsn := make(abind.Assignment, len(placed))
+	avail := cq.VarSet{}
+	for newIdx, i := range placed {
+		a := q.Atoms[i]
+		sub.Atoms = append(sub.Atoms, &cq.Atom{
+			Service: a.Service,
+			Terms:   a.Terms,
+			Index:   newIdx,
+			Sig:     a.Sig,
+		})
+		subAsn[newIdx] = asn[i]
+		avail.AddAll(a.Vars())
+	}
+	for _, p := range q.Preds {
+		if avail.ContainsAll(p.Vars()) {
+			sub.Preds = append(sub.Preds, p)
+		}
+	}
+	st := plan.NewTopology(len(placed))
+	for a, i := range placed {
+		for b, j := range placed {
+			if topo.Less(i, j) {
+				st.SetLess(a, b)
+			}
+		}
+	}
+	return sub, subAsn, st
+}

@@ -1,0 +1,196 @@
+package opt_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mdq/internal/abind"
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	"mdq/internal/fetch"
+	. "mdq/internal/opt"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+)
+
+// randomResolvedQuery builds a random query over 2–4 services with
+// 1–2 feasible patterns each, guaranteed permissible: service i
+// produces variable Xi and may require X(i-1).
+func randomResolvedQuery(rng *rand.Rand) (*cq.Query, bool) {
+	n := 2 + rng.Intn(3)
+	q := &cq.Query{Name: "r"}
+	for i := 0; i < n; i++ {
+		arity := 2
+		attrs := []schema.Attribute{
+			{Name: "A", Domain: schema.Domain{Name: "D", Kind: schema.NumberValue, DistinctValues: 4}},
+			{Name: "B", Domain: schema.Domain{Name: "D", Kind: schema.NumberValue, DistinctValues: 4}},
+		}
+		patterns := []schema.AccessPattern{}
+		if i == 0 || rng.Intn(2) == 0 {
+			patterns = append(patterns, schema.MustPattern("oo"))
+		}
+		patterns = append(patterns, schema.MustPattern("io"))
+		chunk := 0
+		kind := schema.Exact
+		if rng.Intn(3) == 0 {
+			chunk = 2 + rng.Intn(4)
+			kind = schema.Search
+		}
+		sig := &schema.Signature{
+			Name:     fmt.Sprintf("s%d", i),
+			Attrs:    attrs[:arity],
+			Patterns: patterns,
+			Kind:     kind,
+			Stats: schema.Stats{
+				ERSPI:        0.5 + rng.Float64()*4,
+				ChunkSize:    chunk,
+				ResponseTime: schemaMs(100 + rng.Intn(2000)),
+			},
+		}
+		prev := i - 1
+		if i == 0 {
+			prev = i // self chain start
+		}
+		q.Atoms = append(q.Atoms, &cq.Atom{
+			Service: sig.Name,
+			Terms:   []cq.Term{cq.V(fmt.Sprintf("X%d", prev)), cq.V(fmt.Sprintf("X%d", i))},
+			Index:   i,
+			Sig:     sig,
+		})
+	}
+	// Random predicate.
+	if rng.Intn(2) == 0 {
+		q.Preds = append(q.Preds, &cq.Predicate{
+			L:           cq.TermExpr(cq.V(fmt.Sprintf("X%d", n-1))),
+			R:           cq.TermExpr(cq.C(schema.N(float64(rng.Intn(4))))),
+			Op:          cq.Ge,
+			Selectivity: 0.25 + rng.Float64()/2,
+		})
+	}
+	perm, err := abind.Enumerate(q)
+	if err != nil || len(perm) == 0 {
+		return q, false
+	}
+	return q, true
+}
+
+// TestBranchAndBoundMatchesExhaustiveOnRandomWorlds: the pruned
+// search returns the exhaustive optimum on randomized schemas,
+// patterns, statistics and metrics — the §2.4 soundness property
+// beyond the single running example.
+func TestBranchAndBoundMatchesExhaustiveOnRandomWorlds(t *testing.T) {
+	rng := rand.New(rand.NewSource(562))
+	metrics := []cost.Metric{cost.ExecTime{}, cost.RequestResponse{}, cost.SumCost{}, cost.Bottleneck{}}
+	checked := 0
+	for trial := 0; checked < 20 && trial < 60; trial++ {
+		q, ok := randomResolvedQuery(rng)
+		if !ok {
+			continue
+		}
+		metric := metrics[rng.Intn(len(metrics))]
+		k := 1 + rng.Intn(8)
+		mode := card.CacheMode(rng.Intn(3))
+		pruned := &Optimizer{Metric: metric, Estimator: card.Config{Mode: mode}, K: k}
+		full := &Optimizer{Metric: metric, Estimator: card.Config{Mode: mode}, K: k, Exhaustive: true}
+		rp, err1 := pruned.Optimize(q)
+		rf, err2 := full.Optimize(q)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: pruned err=%v, full err=%v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if rp.Feasible != rf.Feasible {
+			t.Fatalf("trial %d (%s, k=%d): feasibility differs: %v vs %v\nquery %s",
+				trial, metric.Name(), k, rp.Feasible, rf.Feasible, q)
+		}
+		if rp.Cost != rf.Cost {
+			t.Fatalf("trial %d (%s, k=%d, cache %v): pruned cost %g != exhaustive %g\nquery %s\npruned:\n%s\nfull:\n%s",
+				trial, metric.Name(), k, mode, rp.Cost, rf.Cost, q, rp.Best.ASCII(), rf.Best.ASCII())
+		}
+		if rp.Stats.Leaves > rf.Stats.Leaves {
+			t.Fatalf("trial %d: pruned search costed more plans than exhaustive", trial)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d random instances checked", checked)
+	}
+}
+
+// TestTopologiesRespectBindings: every enumerated topology keeps
+// each atom callable after its predecessors, on random instances.
+func TestTopologiesRespectBindings(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		q, ok := randomResolvedQuery(rng)
+		if !ok {
+			continue
+		}
+		perm, err := abind.Enumerate(q)
+		if err != nil || len(perm) == 0 {
+			continue
+		}
+		asn := perm[rng.Intn(len(perm))]
+		for _, topo := range EnumerateTopologies(q, asn) {
+			if !topo.IsPartialOrder() {
+				t.Fatalf("trial %d: invalid order %s", trial, topo)
+			}
+			if _, err := plan.Build(q, asn, topo, plan.Options{}); err != nil {
+				t.Fatalf("trial %d: unbuildable topology %s: %v", trial, topo, err)
+			}
+		}
+	}
+}
+
+// TestFetchAssignerAgreesWithClosedFormSingle: with exactly one
+// chunked service on the output path, the assigner's vector matches
+// Eq. 5's ⌈k/(Ξ·cs)⌉ on random parameters.
+func TestFetchAssignerAgreesWithClosedFormSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		cs := 2 + rng.Intn(9)
+		bulk := 0.5 + rng.Float64()*3
+		k := 1 + rng.Intn(60)
+		sig := &schema.Signature{
+			Name: "bulk",
+			Attrs: []schema.Attribute{
+				{Name: "A", Domain: schema.DomNumber},
+			},
+			Patterns: []schema.AccessPattern{schema.MustPattern("o")},
+			Stats:    schema.Stats{ERSPI: bulk, ResponseTime: schemaMs(500)},
+		}
+		chunked := &schema.Signature{
+			Name: "paged",
+			Attrs: []schema.Attribute{
+				{Name: "A", Domain: schema.DomNumber},
+				{Name: "B", Domain: schema.DomNumber},
+			},
+			Patterns: []schema.AccessPattern{schema.MustPattern("io")},
+			Kind:     schema.Search,
+			Stats:    schema.Stats{ERSPI: 10, ChunkSize: cs, ResponseTime: schemaMs(900)},
+		}
+		q := &cq.Query{Name: "cf"}
+		q.Atoms = append(q.Atoms,
+			&cq.Atom{Service: "bulk", Terms: []cq.Term{cq.V("X")}, Index: 0, Sig: sig},
+			&cq.Atom{Service: "paged", Terms: []cq.Term{cq.V("X"), cq.V("Y")}, Index: 1, Sig: chunked},
+		)
+		p, err := plan.Build(q, abind.Assignment{schema.MustPattern("o"), schema.MustPattern("io")},
+			plan.Chain([]int{0, 1}), plan.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fa := &fetch.Assigner{Estimator: card.Config{Mode: card.OneCall}, Metric: cost.RequestResponse{}, K: k}
+		res := fa.Assign(p)
+		if !res.Feasible {
+			t.Fatalf("trial %d infeasible (k=%d, cs=%d, bulk=%g)", trial, k, cs, bulk)
+		}
+		want := fetch.SingleChunked(k, bulk, cs)
+		if res.Vector[0] != want {
+			t.Fatalf("trial %d: assigner F=%d, Eq.5 F=%d (k=%d, Ξ=%g, cs=%d)",
+				trial, res.Vector[0], want, k, bulk, cs)
+		}
+	}
+}

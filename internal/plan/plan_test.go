@@ -1,0 +1,276 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"mdq/internal/cq"
+
+	. "mdq/internal/plan"
+	"mdq/internal/simweb"
+)
+
+func TestTopologyBasics(t *testing.T) {
+	c := Chain([]int{2, 0, 1})
+	if !c.Less(2, 0) || !c.Less(2, 1) || !c.Less(0, 1) {
+		t.Error("chain order wrong")
+	}
+	if c.Less(1, 0) {
+		t.Error("chain should be antisymmetric")
+	}
+	if !c.IsPartialOrder() {
+		t.Error("chain is a partial order")
+	}
+	if got := c.TopoOrder(); got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("TopoOrder = %v", got)
+	}
+	if got := c.Minimal(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Minimal = %v", got)
+	}
+	if got := c.Maximal(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Maximal = %v", got)
+	}
+}
+
+func TestTopologyClose(t *testing.T) {
+	tp := NewTopology(3)
+	tp.SetLess(0, 1)
+	tp.SetLess(1, 2)
+	if tp.IsPartialOrder() {
+		t.Error("not transitively closed yet")
+	}
+	if !tp.Close() {
+		t.Fatal("Close reported a cycle")
+	}
+	if !tp.Less(0, 2) {
+		t.Error("transitive edge missing")
+	}
+	// Cycle detection.
+	cy := NewTopology(2)
+	cy.SetLess(0, 1)
+	cy.SetLess(1, 0)
+	if cy.Close() {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestTopologyCoverPreds(t *testing.T) {
+	// Diamond: 0 < 1, 0 < 2, 1 < 3, 2 < 3.
+	tp := NewTopology(4)
+	tp.SetLess(0, 1)
+	tp.SetLess(0, 2)
+	tp.SetLess(1, 3)
+	tp.SetLess(2, 3)
+	tp.Close()
+	cp := tp.CoverPreds(3)
+	if len(cp) != 2 || cp[0] != 1 || cp[1] != 2 {
+		t.Errorf("CoverPreds(3) = %v, want [1 2]", cp)
+	}
+	if cp0 := tp.CoverPreds(0); len(cp0) != 0 {
+		t.Errorf("CoverPreds(0) = %v, want empty", cp0)
+	}
+}
+
+func TestLayersTopology(t *testing.T) {
+	tp := Layers([][]int{{2}, {3}, {0, 1}})
+	if !tp.Less(2, 3) || !tp.Less(2, 0) || !tp.Less(3, 1) {
+		t.Error("layer precedence missing")
+	}
+	if tp.Less(0, 1) || tp.Less(1, 0) {
+		t.Error("same-layer atoms must be incomparable")
+	}
+	if !tp.IsPartialOrder() {
+		t.Error("layers must produce a partial order")
+	}
+}
+
+func fixture(t *testing.T) (*simweb.TravelWorld, *Plan) {
+	t.Helper()
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, p
+}
+
+// TestBuildPlanO checks that the plan of Figure 8 comes out of the
+// constructor: IN → conf → weather → (flight ∥ hotel) → ⋈MS → OUT.
+func TestBuildPlanO(t *testing.T) {
+	_, p := fixture(t)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	joins := p.JoinNodes()
+	if len(joins) != 1 {
+		t.Fatalf("join nodes = %d, want 1", len(joins))
+	}
+	j := joins[0]
+	if j.Method != MergeScan {
+		t.Errorf("join method = %v, want MS (registered for flight/hotel)", j.Method)
+	}
+	if len(j.JoinPreds) != 1 || !strings.Contains(j.JoinPreds[0].String(), "FPrice") {
+		t.Errorf("price predicate should sit on the join, got %v", j.JoinPreds)
+	}
+	// flight and hotel feed the join.
+	var feeders []string
+	for _, in := range j.In {
+		feeders = append(feeders, in.Atom.Service)
+	}
+	if !(contains(feeders, "flight") && contains(feeders, "hotel")) {
+		t.Errorf("join inputs = %v", feeders)
+	}
+	// conf holds the date predicates, weather the temperature.
+	confNode := p.ServiceNode[simweb.AtomConf]
+	if len(confNode.Preds) != 2 {
+		t.Errorf("conf preds = %v, want the two date windows", confNode.Preds)
+	}
+	weatherNode := p.ServiceNode[simweb.AtomWeather]
+	if len(weatherNode.Preds) != 1 || !strings.Contains(weatherNode.Preds[0].String(), "Temperature") {
+		t.Errorf("weather preds = %v", weatherNode.Preds)
+	}
+	// Fetch factors as requested.
+	if p.ServiceNode[simweb.AtomFlight].Fetches != 3 || p.ServiceNode[simweb.AtomHotel].Fetches != 4 {
+		t.Error("fetch factors not installed")
+	}
+	// Chunked nodes are flight and hotel.
+	if got := len(p.ChunkedNodes()); got != 2 {
+		t.Errorf("chunked nodes = %d, want 2", got)
+	}
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPlanPaths(t *testing.T) {
+	_, p := fixture(t)
+	paths := p.Paths()
+	// Plan O has two IN→OUT paths: through flight and through hotel.
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+	for _, path := range paths {
+		if path[0].Kind != Input || path[len(path)-1].Kind != Output {
+			t.Error("path must run from IN to OUT")
+		}
+	}
+}
+
+func TestPlanClone(t *testing.T) {
+	_, p := fixture(t)
+	c := p.Clone()
+	if c.Signature() != p.Signature() {
+		t.Error("clone changes signature")
+	}
+	c.ServiceNode[simweb.AtomFlight].Fetches = 9
+	if p.ServiceNode[simweb.AtomFlight].Fetches == 9 {
+		t.Error("clone shares nodes with original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+}
+
+func TestBuildRejectsUnboundTopology(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// weather before conf: City/Start unbound at weather.
+	bad := Chain([]int{simweb.AtomWeather, simweb.AtomConf, simweb.AtomFlight, simweb.AtomHotel})
+	if _, err := Build(q, simweb.AssignmentAlpha1(), bad, Options{}); err == nil {
+		t.Error("Build accepted a topology violating callability")
+	}
+}
+
+func TestBuildSerialAndParallelShapes(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := w.BuildPlan(q, simweb.PlanSTopology(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.JoinNodes()) != 0 {
+		t.Errorf("serial plan has %d joins, want 0 (all pipe)", len(s.JoinNodes()))
+	}
+	if len(s.Paths()) != 1 {
+		t.Errorf("serial plan paths = %d, want 1", len(s.Paths()))
+	}
+	p, err := w.BuildPlan(q, simweb.PlanPTopology(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.JoinNodes()) != 2 {
+		t.Errorf("parallel plan joins = %d, want 2 (cascade of 3 branches)", len(p.JoinNodes()))
+	}
+	if len(p.Paths()) != 3 {
+		t.Errorf("parallel plan paths = %d, want 3", len(p.Paths()))
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	_, p := fixture(t)
+	ascii := p.ASCII()
+	for _, want := range []string{"IN", "OUT", "conf", "weather", "flight", "hotel", "⋈MS", "F=3", "F=4"} {
+		if !strings.Contains(ascii, want) {
+			t.Errorf("ASCII rendering missing %q:\n%s", want, ascii)
+		}
+	}
+	dot := p.DOT()
+	for _, want := range []string{"digraph", "trapezium", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT rendering missing %q", want)
+		}
+	}
+	if !strings.Contains(p.Describe(), "⋈MS") {
+		t.Errorf("Describe = %s", p.Describe())
+	}
+}
+
+func TestSignatureDistinguishesPlans(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+	b, _ := w.BuildPlan(q, simweb.PlanOTopology(), 2, 4)
+	c, _ := w.BuildPlan(q, simweb.PlanSTopology(), 3, 4)
+	if a.Signature() == b.Signature() {
+		t.Error("fetch factors must show in the signature")
+	}
+	if a.Signature() == c.Signature() {
+		t.Error("topology must show in the signature")
+	}
+}
+
+func TestAvailableVars(t *testing.T) {
+	_, p := fixture(t)
+	flight := p.ServiceNode[simweb.AtomFlight]
+	av := p.AvailableVars(flight)
+	for _, v := range []string{"City", "Start", "End", "FPrice", "Conf", "Temperature"} {
+		if !av.Has(cqVar(v)) {
+			t.Errorf("flight availability missing %s", v)
+		}
+	}
+	if av.Has("HPrice") {
+		t.Error("HPrice is not available on the flight branch")
+	}
+}
+
+// cqVar avoids importing cq just for the Var conversion.
+func cqVar(s string) cq.Var { return cq.Var(s) }

@@ -1,0 +1,137 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ASCII renders the plan as an indented adjacency listing in
+// topological order, reproducing the content of the paper's plan
+// figures (Figs. 6–9) textually. With annotations present (after
+// cost estimation) each node also shows t_in/t_out.
+//
+//	IN
+//	└─ conf(1) [exact ξ=20] tin=1 tout=20
+//	   └─ weather [exact ξ=0.05] tin=20 tout=1
+//	      ├─ flight [search cs=25 F=3] tin=1 tout=75
+//	      ├─ hotel [search cs=5 F=4] tin=1 tout=20
+//	      └─ ⋈MS tout=15
+//	         └─ OUT
+func (p *Plan) ASCII() string {
+	var b strings.Builder
+	order := p.TopoNodes()
+	depth := map[int]int{}
+	for _, n := range order {
+		d := 0
+		for _, m := range n.In {
+			if depth[m.ID]+1 > d {
+				d = depth[m.ID] + 1
+			}
+		}
+		depth[n.ID] = d
+	}
+	for _, n := range order {
+		indent := strings.Repeat("   ", depth[n.ID])
+		prefix := "└─ "
+		if depth[n.ID] == 0 {
+			prefix = ""
+		}
+		b.WriteString(indent)
+		b.WriteString(prefix)
+		b.WriteString(describeNode(n))
+		if len(n.In) > 1 {
+			var from []string
+			for _, m := range n.In {
+				from = append(from, m.Label())
+			}
+			sort.Strings(from)
+			fmt.Fprintf(&b, "  (inputs: %s)", strings.Join(from, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func describeNode(n *Node) string {
+	var b strings.Builder
+	switch n.Kind {
+	case Input:
+		return "IN"
+	case Output:
+		b.WriteString("OUT")
+	case Join:
+		b.WriteString("⋈")
+		b.WriteString(n.Method.String())
+		for _, pr := range n.JoinPreds {
+			fmt.Fprintf(&b, " [%s]", pr)
+		}
+	case Service:
+		b.WriteString(n.Atom.Service)
+		fmt.Fprintf(&b, "(%s)", n.Pattern)
+		if n.Atom.Sig != nil {
+			st := n.Atom.Sig.Stats
+			if st.Chunked() {
+				fmt.Fprintf(&b, " [%s cs=%d F=%d]", n.Atom.Sig.Kind, st.ChunkSize, n.Fetches)
+			} else {
+				fmt.Fprintf(&b, " [%s ξ=%g]", n.Atom.Sig.Kind, st.ERSPI)
+			}
+		}
+		for _, pr := range n.Preds {
+			fmt.Fprintf(&b, " [%s]", pr)
+		}
+	}
+	if n.TOut > 0 {
+		fmt.Fprintf(&b, " tin=%s calls=%s tout=%s", trimFloat(n.TIn), trimFloat(n.Calls), trimFloat(n.TOut))
+	}
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.2f", f)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// DOT renders the plan in Graphviz syntax, with the paper's visual
+// conventions approximated: search services as trapezia, exact
+// proliferative services with an asterisk, joins as diamonds.
+func (p *Plan) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph plan {\n  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n")
+	for _, n := range p.Nodes {
+		attrs := ""
+		label := n.Label()
+		switch n.Kind {
+		case Input:
+			attrs = "shape=circle, label=\"IN\""
+		case Output:
+			attrs = "shape=doublecircle, label=\"OUT\""
+		case Join:
+			attrs = fmt.Sprintf("shape=diamond, label=\"%s\"", n.Method)
+		case Service:
+			shape := "box"
+			if n.IsSearch() {
+				shape = "trapezium"
+			}
+			if n.Atom.Sig != nil && !n.Atom.Sig.Stats.Chunked() && n.Atom.Sig.Stats.Proliferative() {
+				label += "*"
+			}
+			if n.Chunked() {
+				label += fmt.Sprintf("\\nF=%d", n.Fetches)
+			}
+			if n.TOut > 0 {
+				label += fmt.Sprintf("\\ntin=%s tout=%s", trimFloat(n.TIn), trimFloat(n.TOut))
+			}
+			attrs = fmt.Sprintf("shape=%s, label=\"%s\"", shape, label)
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", n.ID, attrs)
+	}
+	for _, n := range p.Nodes {
+		for _, m := range n.Out {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", n.ID, m.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package schema
+
+import "fmt"
+
+// Domain is an abstract domain (§3.1): a named universe of values
+// shared across services. Two attributes of different services with
+// the same domain can exchange bindings; the optimizer also uses the
+// domain's estimated size of distinct values for the optimal-cache
+// invocation estimate (§5.2) and the query-expansion analysis (§7).
+type Domain struct {
+	// Name identifies the domain, e.g. "City", "Date", "Price".
+	Name string
+	// Kind is the value representation carried by the domain.
+	Kind ValueKind
+	// DistinctValues estimates the number of distinct constants in
+	// the domain; zero means unknown/unbounded.
+	DistinctValues int
+}
+
+// Compatible reports whether values of d can bind attributes of e:
+// same name, or either side unnamed with matching kinds.
+func (d Domain) Compatible(e Domain) bool {
+	if d.Name != "" && e.Name != "" {
+		return d.Name == e.Name
+	}
+	return d.Kind == e.Kind
+}
+
+// Accepts reports whether v is a plausible member of the domain.
+// Numbers are accepted by date domains and vice versa because date
+// arithmetic produces numeric intermediates.
+func (d Domain) Accepts(v Value) bool {
+	if v.IsNull() {
+		return false
+	}
+	switch d.Kind {
+	case StringValue:
+		return v.Kind == StringValue
+	case NumberValue, DateValue:
+		return v.Numeric()
+	default:
+		return true
+	}
+}
+
+// String implements fmt.Stringer.
+func (d Domain) String() string {
+	if d.Name != "" {
+		return d.Name
+	}
+	return fmt.Sprintf("<%v>", d.Kind)
+}
+
+// Common reusable domains for the travel and bioinformatics examples.
+var (
+	DomCity   = Domain{Name: "City", Kind: StringValue, DistinctValues: 220}
+	DomTopic  = Domain{Name: "Topic", Kind: StringValue, DistinctValues: 5}
+	DomName   = Domain{Name: "Name", Kind: StringValue}
+	DomDate   = Domain{Name: "Date", Kind: DateValue, DistinctValues: 365}
+	DomTime   = Domain{Name: "TimeOfDay", Kind: StringValue, DistinctValues: 24}
+	DomPrice  = Domain{Name: "Price", Kind: NumberValue}
+	DomTemp   = Domain{Name: "Temperature", Kind: NumberValue}
+	DomCat    = Domain{Name: "Category", Kind: StringValue, DistinctValues: 4}
+	DomString = Domain{Name: "", Kind: StringValue}
+	DomNumber = Domain{Name: "", Kind: NumberValue}
+)

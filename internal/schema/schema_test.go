@@ -1,0 +1,286 @@
+package schema
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParsePattern(t *testing.T) {
+	p, err := ParsePattern("ioo")
+	if err != nil {
+		t.Fatalf("ParsePattern: %v", err)
+	}
+	if got := p.String(); got != "ioo" {
+		t.Errorf("String() = %q, want ioo", got)
+	}
+	if got := p.Inputs(); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("Inputs() = %v, want [0]", got)
+	}
+	if got := p.Outputs(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("Outputs() = %v, want [1 2]", got)
+	}
+	if _, err := ParsePattern("ixo"); err == nil {
+		t.Error("ParsePattern(ixo) should fail")
+	}
+}
+
+func TestPatternCogency(t *testing.T) {
+	tests := []struct {
+		p, q           string
+		more, strictly bool
+	}{
+		{"iio", "ioo", true, true},
+		{"ioo", "iio", false, false},
+		{"ioo", "ioo", true, false},
+		{"iii", "ooo", true, true},
+		{"ooo", "iii", false, false},
+		{"ioo", "oio", false, false}, // incomparable
+		{"io", "ioo", false, false},  // different arity
+	}
+	for _, tc := range tests {
+		p, q := MustPattern(tc.p), MustPattern(tc.q)
+		if got := p.MoreCogent(q); got != tc.more {
+			t.Errorf("%s MoreCogent %s = %v, want %v", tc.p, tc.q, got, tc.more)
+		}
+		if got := p.StrictlyMoreCogent(q); got != tc.strictly {
+			t.Errorf("%s StrictlyMoreCogent %s = %v, want %v", tc.p, tc.q, got, tc.strictly)
+		}
+	}
+}
+
+// TestCogencyPartialOrder checks reflexivity, antisymmetry and
+// transitivity of ⊑IO on random patterns (property-based).
+func TestCogencyPartialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randPattern := func(n int) AccessPattern {
+		p := make(AccessPattern, n)
+		for i := range p {
+			if rng.Intn(2) == 0 {
+				p[i] = In
+			} else {
+				p[i] = Out
+			}
+		}
+		return p
+	}
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(6)
+		a, b, c := randPattern(n), randPattern(n), randPattern(n)
+		if !a.MoreCogent(a) {
+			t.Fatalf("reflexivity violated for %s", a)
+		}
+		if a.MoreCogent(b) && b.MoreCogent(a) && !a.Equal(b) {
+			t.Fatalf("antisymmetry violated for %s, %s", a, b)
+		}
+		if a.MoreCogent(b) && b.MoreCogent(c) && !a.MoreCogent(c) {
+			t.Fatalf("transitivity violated for %s, %s, %s", a, b, c)
+		}
+	}
+}
+
+func TestStatsClassification(t *testing.T) {
+	if !(Stats{ERSPI: 20}).Proliferative() {
+		t.Error("erspi 20 should be proliferative")
+	}
+	if !(Stats{ERSPI: 0.05}).Selective() {
+		t.Error("erspi 0.05 should be selective")
+	}
+	if (Stats{ChunkSize: 0}).Chunked() {
+		t.Error("chunk size 0 is bulk")
+	}
+	if !(Stats{ChunkSize: 25}).Chunked() {
+		t.Error("chunk size 25 is chunked")
+	}
+}
+
+func TestStatsMaxFetches(t *testing.T) {
+	tests := []struct {
+		decay, chunk, want int
+	}{
+		{0, 25, 0},   // unknown decay
+		{100, 25, 4}, // exact division
+		{101, 25, 5}, // round up
+		{10, 25, 1},
+		{100, 0, 0}, // bulk
+	}
+	for _, tc := range tests {
+		s := Stats{Decay: tc.decay, ChunkSize: tc.chunk}
+		if got := s.MaxFetches(); got != tc.want {
+			t.Errorf("MaxFetches(decay=%d, cs=%d) = %d, want %d", tc.decay, tc.chunk, got, tc.want)
+		}
+	}
+}
+
+func TestSignatureValidate(t *testing.T) {
+	good := &Signature{
+		Name: "svc",
+		Attrs: []Attribute{
+			{Name: "A", Domain: DomString},
+			{Name: "B", Domain: DomNumber},
+		},
+		Patterns: []AccessPattern{MustPattern("io"), MustPattern("oo")},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	bad := []*Signature{
+		{Name: "", Attrs: good.Attrs, Patterns: good.Patterns},
+		{Name: "x", Attrs: good.Attrs},                                                                // no patterns
+		{Name: "x", Attrs: good.Attrs, Patterns: []AccessPattern{MustPattern("i")}},                   // arity mismatch
+		{Name: "x", Attrs: good.Attrs, Patterns: []AccessPattern{good.Patterns[0], good.Patterns[0]}}, // duplicate
+	}
+	for i, sig := range bad {
+		if err := sig.Validate(); err == nil {
+			t.Errorf("bad signature %d accepted", i)
+		}
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	sig := &Signature{
+		Name:     "conf",
+		Attrs:    []Attribute{{Name: "Topic", Domain: DomTopic}},
+		Patterns: []AccessPattern{MustPattern("i")},
+	}
+	s, err := NewSchema(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Lookup("conf"); !ok {
+		t.Error("conf not found")
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Error("nope found")
+	}
+	if err := s.Add(sig); err == nil {
+		t.Error("duplicate Add accepted")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	sig := &Signature{
+		Name: "conf",
+		Attrs: []Attribute{
+			{Name: "Topic"}, {Name: "Name"}, {Name: "Start"}, {Name: "End"}, {Name: "City"},
+		},
+		Patterns: []AccessPattern{MustPattern("ioooo"), MustPattern("ooooi")},
+	}
+	want := "conf{ioooo,ooooi}(Topic, Name, Start, End, City)"
+	if got := sig.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestValueDates(t *testing.T) {
+	d, ok := ParseDate("2007/03/14")
+	if !ok {
+		t.Fatal("ParseDate failed")
+	}
+	if d.Kind != DateValue {
+		t.Fatalf("kind = %v", d.Kind)
+	}
+	plus, err := d.Add(N(180))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plus.Kind != DateValue {
+		t.Errorf("date+number kind = %v, want date", plus.Kind)
+	}
+	if got := plus.Time().Format("2006/01/02"); got != "2007/09/10" {
+		t.Errorf("2007/03/14 + 180 = %s, want 2007/09/10", got)
+	}
+	diff, err := plus.Sub(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Kind != NumberValue || diff.Num != 180 {
+		t.Errorf("date-date = %v, want number 180", diff)
+	}
+	if _, ok := ParseDate("not a date"); ok {
+		t.Error("ParseDate accepted garbage")
+	}
+	if _, ok := ParseDate("2007/13/40"); ok {
+		t.Error("ParseDate accepted month 13")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if S("a").Compare(S("b")) >= 0 {
+		t.Error("a should sort before b")
+	}
+	if N(1).Compare(N(2)) >= 0 {
+		t.Error("1 should sort before 2")
+	}
+	if N(1).Compare(S("a")) >= 0 {
+		t.Error("numbers sort before strings")
+	}
+	if !D(2007, time.March, 14).Equal(DateFromDays(D(2007, time.March, 14).Num)) {
+		t.Error("date equality by days failed")
+	}
+	// Date and number with same numeric content are Equal (needed for
+	// joining computed dates).
+	if !D(1970, time.January, 11).Equal(N(10)) {
+		t.Error("date 1970/01/11 should equal number 10 (days)")
+	}
+}
+
+// TestValueCompareConsistency: Compare is antisymmetric and agrees
+// with Equal on random values.
+func TestValueCompareConsistency(t *testing.T) {
+	gen := func(r *rand.Rand) Value {
+		switch r.Intn(3) {
+		case 0:
+			return S(string(rune('a' + r.Intn(5))))
+		case 1:
+			return N(float64(r.Intn(5)))
+		default:
+			return DateFromDays(float64(r.Intn(5)))
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		if a.Equal(b) != (a.Compare(b) == 0 && b.Compare(a) == 0) {
+			// Equal treats date/number as interchangeable; Compare
+			// must agree for numerics.
+			return !a.Numeric() || !b.Numeric()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueKeyDistinguishesKinds(t *testing.T) {
+	if S("1").Key() == N(1).Key() {
+		t.Error("string '1' and number 1 must have distinct keys")
+	}
+	if N(10).Key() == DateFromDays(10).Key() {
+		t.Error("number and date keys must differ")
+	}
+}
+
+func TestDomainAccepts(t *testing.T) {
+	if !DomCity.Accepts(S("Milano")) {
+		t.Error("city should accept string")
+	}
+	if DomCity.Accepts(N(3)) {
+		t.Error("city should reject number")
+	}
+	if !DomDate.Accepts(N(3)) {
+		t.Error("date should accept numeric (date arithmetic)")
+	}
+	if DomPrice.Accepts(Null) {
+		t.Error("no domain accepts null")
+	}
+}

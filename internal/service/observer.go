@@ -1,0 +1,111 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"mdq/internal/schema"
+)
+
+// Observed wraps a service and keeps running statistics over the
+// live traffic that flows through it. §5: registration estimates
+// are "periodically updated, also taking advantage of subsequent
+// invocations" — wrap a service with Observe, register the wrapper,
+// and call Refresh whenever the profile should absorb what execution
+// has learned.
+type Observed struct {
+	inner Service
+
+	mu          sync.Mutex
+	calls       int64
+	fetches     int64
+	rows        int64
+	elapsed     time.Duration
+	maxPageRows int
+	sawMore     bool
+}
+
+// Observe wraps a service for statistics collection.
+func Observe(svc Service) *Observed {
+	return &Observed{inner: svc}
+}
+
+// Signature implements Service.
+func (o *Observed) Signature() *schema.Signature { return o.inner.Signature() }
+
+// Invoke implements Service, recording result sizes and service
+// times.
+func (o *Observed) Invoke(ctx context.Context, patternIdx int, req Request) (Response, error) {
+	resp, err := o.inner.Invoke(ctx, patternIdx, req)
+	if err != nil {
+		return resp, err
+	}
+	o.mu.Lock()
+	if req.Page == 0 {
+		o.calls++
+	}
+	o.fetches++
+	o.rows += int64(len(resp.Rows))
+	o.elapsed += resp.Elapsed
+	if len(resp.Rows) > o.maxPageRows {
+		o.maxPageRows = len(resp.Rows)
+	}
+	if resp.HasMore {
+		o.sawMore = true
+	}
+	o.mu.Unlock()
+	return resp, nil
+}
+
+// Observations returns the raw counters collected so far.
+func (o *Observed) Observations() (calls, fetches, rows int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.calls, o.fetches, o.rows
+}
+
+// ObservedStats derives service statistics from the collected
+// traffic: erspi as rows per logical invocation, response time as
+// mean per request–response, and the chunk size when paging was
+// observed. Fields with no evidence keep the registered values.
+func (o *Observed) ObservedStats() schema.Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := o.inner.Signature().Stats
+	if o.calls > 0 {
+		st.ERSPI = float64(o.rows) / float64(o.calls)
+	}
+	if o.fetches > 0 {
+		st.ResponseTime = o.elapsed / time.Duration(o.fetches)
+	}
+	if o.sawMore && o.maxPageRows > 0 {
+		st.ChunkSize = o.maxPageRows
+	}
+	return st
+}
+
+// Refresh writes the observed statistics into the service's
+// signature, so subsequent optimizations use the refined profile
+// (the periodic update of §5). It reports whether anything was
+// observed at all.
+func (o *Observed) Refresh() bool {
+	st := o.ObservedStats()
+	o.mu.Lock()
+	observed := o.calls > 0
+	o.mu.Unlock()
+	if !observed {
+		return false
+	}
+	o.inner.Signature().Stats = st
+	return true
+}
+
+// Reset clears the collected counters (e.g. after a Refresh, to
+// observe a fresh window).
+func (o *Observed) Reset() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.calls, o.fetches, o.rows, o.elapsed = 0, 0, 0, 0
+	o.maxPageRows, o.sawMore = 0, false
+}

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mdq/internal/schema"
+)
+
+// InputSampler supplies plausible input combinations for profiling a
+// service. Implementations typically draw uniformly from the
+// distinct input combinations of the underlying source, so that
+// skewed sources do not bias the expected result size (a topic with
+// many conferences must not be over-sampled).
+type InputSampler interface {
+	Sample(rng *rand.Rand, patternIdx int) []schema.Value
+}
+
+// SamplerFunc adapts a function to InputSampler.
+type SamplerFunc func(rng *rand.Rand, patternIdx int) []schema.Value
+
+// Sample implements InputSampler.
+func (f SamplerFunc) Sample(rng *rand.Rand, patternIdx int) []schema.Value {
+	return f(rng, patternIdx)
+}
+
+// Profiler estimates service statistics by sampling (§5: service
+// registration "gives estimates (by sampling) of its erspi, average
+// response time, and chunk values"). The resulting Stats reproduce
+// the paper's Table 1 on the simulated travel services.
+type Profiler struct {
+	// Samples is the number of probe invocations (default 50).
+	Samples int
+	// Seed drives the sampling RNG (deterministic profiles).
+	Seed int64
+	// MaxPages caps the fetches per probe when draining chunked
+	// services (default 40).
+	MaxPages int
+	// Filter, when set, drops response rows before counting; use it
+	// to profile a query atom with its template predicates folded
+	// into the erspi (§3.4 — this is how Table 1's weather shows an
+	// expected result size of 0.05).
+	Filter func(row []schema.Value) bool
+}
+
+// Profile probes the service with sampled inputs and returns the
+// estimated statistics: expected result size per invocation, average
+// response time per request–response, and the detected chunk size (0
+// when the service answers in bulk).
+func (p *Profiler) Profile(ctx context.Context, svc Service, patternIdx int, sampler InputSampler) (schema.Stats, error) {
+	samples := p.Samples
+	if samples <= 0 {
+		samples = 50
+	}
+	maxPages := p.MaxPages
+	if maxPages <= 0 {
+		maxPages = 40
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	var (
+		totalRows    float64
+		totalTime    time.Duration
+		fetches      int
+		chunked      bool
+		maxPageRows  int
+		estChunkSize int
+	)
+	for s := 0; s < samples; s++ {
+		inputs := sampler.Sample(rng, patternIdx)
+		for page := 0; page < maxPages; page++ {
+			resp, err := svc.Invoke(ctx, patternIdx, Request{Inputs: inputs, Page: page})
+			if err != nil {
+				return schema.Stats{}, fmt.Errorf("service: profiling %s: %w", svc.Signature().Name, err)
+			}
+			fetches++
+			totalTime += resp.Elapsed
+			n := 0
+			for _, row := range resp.Rows {
+				if p.Filter == nil || p.Filter(row) {
+					n++
+				}
+			}
+			totalRows += float64(n)
+			if len(resp.Rows) > maxPageRows {
+				maxPageRows = len(resp.Rows)
+			}
+			if resp.HasMore {
+				chunked = true
+				if len(resp.Rows) > estChunkSize {
+					estChunkSize = len(resp.Rows)
+				}
+			}
+			if !resp.HasMore {
+				break
+			}
+		}
+	}
+	stats := schema.Stats{
+		ERSPI:        totalRows / float64(samples),
+		ResponseTime: totalTime / time.Duration(fetches),
+	}
+	if chunked {
+		stats.ChunkSize = estChunkSize
+	}
+	return stats, nil
+}

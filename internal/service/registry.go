@@ -1,0 +1,114 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+)
+
+// Registry is the service registration facility of §5: it makes
+// services known to the optimizer together with their signatures,
+// patterns, profiled statistics, and — for each pair of services —
+// the parallel join method to employ.
+type Registry struct {
+	mu       sync.RWMutex
+	services map[string]Service
+	methods  map[[2]string]plan.JoinMethod
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		services: map[string]Service{},
+		methods:  map[[2]string]plan.JoinMethod{},
+	}
+}
+
+// Register adds a service; its signature must validate and its name
+// must be fresh.
+func (r *Registry) Register(svc Service) error {
+	sig := svc.Signature()
+	if err := sig.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.services[sig.Name]; dup {
+		return fmt.Errorf("service: duplicate registration of %s", sig.Name)
+	}
+	r.services[sig.Name] = svc
+	return nil
+}
+
+// MustRegister is Register that panics on error.
+func (r *Registry) MustRegister(svc Service) {
+	if err := r.Register(svc); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds a registered service.
+func (r *Registry) Lookup(name string) (Service, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	svc, ok := r.services[name]
+	return svc, ok
+}
+
+// Services returns all registered services sorted by name.
+func (r *Registry) Services() []Service {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Service, 0, len(r.services))
+	for _, s := range r.services {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Signature().Name < out[j].Signature().Name
+	})
+	return out
+}
+
+// Schema assembles the schema of all registered signatures.
+func (r *Registry) Schema() (*schema.Schema, error) {
+	sigs := make([]*schema.Signature, 0)
+	for _, s := range r.Services() {
+		sigs = append(sigs, s.Signature())
+	}
+	return schema.NewSchema(sigs...)
+}
+
+// SetJoinMethod records the parallel join method to use when
+// combining results of the two named services, in either order
+// (registration-time knowledge, §3.3).
+func (r *Registry) SetJoinMethod(a, b string, m plan.JoinMethod) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.methods[pairKey(a, b)] = m
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// MethodChooser returns a plan.MethodChooser that consults the
+// registered pair table and falls back to plan.DefaultMethodChooser.
+func (r *Registry) MethodChooser() plan.MethodChooser {
+	return func(left, right *plan.Node) plan.JoinMethod {
+		if left.Kind == plan.Service && right.Kind == plan.Service {
+			r.mu.RLock()
+			m, ok := r.methods[pairKey(left.Atom.Service, right.Atom.Service)]
+			r.mu.RUnlock()
+			if ok {
+				return m
+			}
+		}
+		return plan.DefaultMethodChooser(left, right)
+	}
+}

@@ -1,0 +1,101 @@
+// Package service defines the runtime interface of web services, the
+// service registry of §5 (registration with profiled statistics and
+// per-pair join methods), and the sampling profiler that derives the
+// statistics of Table 1.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mdq/internal/schema"
+)
+
+// Request is one request–response against a service: values for the
+// input positions of the chosen access pattern, and a page index for
+// chunked services (page 0 is the first fetch; sequential fetches
+// increment it).
+type Request struct {
+	// Inputs holds one value per input position of the access
+	// pattern, in pattern order.
+	Inputs []schema.Value
+	// Page is the chunk index requested (always 0 for bulk
+	// services).
+	Page int
+}
+
+// Key returns a canonical cache key for the request's inputs
+// (excluding the page): two requests with equal keys address the
+// same logical invocation.
+func (r Request) Key() string {
+	key := ""
+	for _, v := range r.Inputs {
+		key += v.Key() + "\x1f"
+	}
+	return key
+}
+
+// Response is the result of one request–response.
+type Response struct {
+	// Rows are full-width tuples (one value per signature argument,
+	// echoing the inputs), in ranking order for search services.
+	Rows [][]schema.Value
+	// HasMore reports whether a further page may return rows; a
+	// short or empty page with HasMore false ends fetching.
+	HasMore bool
+	// Elapsed is the simulated service time of this
+	// request–response; executors account for it against their
+	// clock (real executors sleep a scaled amount, the simulator
+	// advances virtual time).
+	Elapsed time.Duration
+}
+
+// Service is an invokable web service. Implementations must be safe
+// for concurrent use: the execution engine dispatches invocations
+// from multiple goroutines (§5: multi-threading).
+type Service interface {
+	// Signature describes the service.
+	Signature() *schema.Signature
+	// Invoke performs one request–response under the given feasible
+	// access pattern (index into Signature().Patterns).
+	Invoke(ctx context.Context, patternIdx int, req Request) (Response, error)
+}
+
+// PatternIndex locates a pattern within a signature, for callers
+// holding a pattern value.
+func PatternIndex(sig *schema.Signature, p schema.AccessPattern) (int, error) {
+	for i, q := range sig.Patterns {
+		if q.Equal(p) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("service: %s has no access pattern %s", sig.Name, p)
+}
+
+// Counter tracks invocations (logical calls) and fetches
+// (request–responses, where a chunked call issues several); it is
+// safe for concurrent use.
+type Counter struct {
+	calls   atomic.Int64
+	fetches atomic.Int64
+}
+
+// AddCall records one logical invocation.
+func (c *Counter) AddCall() { c.calls.Add(1) }
+
+// AddFetch records one request–response.
+func (c *Counter) AddFetch() { c.fetches.Add(1) }
+
+// Calls returns the number of logical invocations recorded.
+func (c *Counter) Calls() int64 { return c.calls.Load() }
+
+// Fetches returns the number of request–responses recorded.
+func (c *Counter) Fetches() int64 { return c.fetches.Load() }
+
+// Reset zeroes both counters.
+func (c *Counter) Reset() {
+	c.calls.Store(0)
+	c.fetches.Store(0)
+}

@@ -1,0 +1,239 @@
+package service_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	. "mdq/internal/service"
+	"mdq/internal/simweb"
+)
+
+// TestProfilerReproducesTable1 is the Table 1 reproduction: sampling
+// the four simulated services yields the paper's profile — conf
+// exact with expected result size 20 and 1.2 s responses, weather
+// exact with 0.05 (with the template's temperature filter folded in)
+// and 1.5 s, flight search chunked at 25 with 9.7 s, hotel search
+// chunked at 5 with 4.9 s.
+func TestProfilerReproducesTable1(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{DisableServerCache: true})
+	ctx := context.Background()
+
+	profile := func(svc interface {
+		Signature() *schema.Signature
+	}, filter func([]schema.Value) bool) schema.Stats {
+		t.Helper()
+		p := &Profiler{Samples: 200, Seed: 1, Filter: filter}
+		table, _ := w.Registry.Lookup(svc.Signature().Name)
+		st, err := p.Profile(ctx, table, 0, table.(interface{ Sampler() InputSampler }).Sampler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	conf := profile(w.Conf, nil)
+	if math.Abs(conf.ERSPI-20) > 3 {
+		t.Errorf("conf erspi = %g, want ≈20 (Table 1)", conf.ERSPI)
+	}
+	if conf.ResponseTime != 1200*time.Millisecond {
+		t.Errorf("conf τ = %v, want 1.2s", conf.ResponseTime)
+	}
+	if conf.ChunkSize != 0 {
+		t.Errorf("conf chunk = %d, want bulk", conf.ChunkSize)
+	}
+
+	// Table 1 profiles the weather atom with the query template's
+	// Temperature ≥ 28 predicate folded into the erspi (§3.4).
+	weather := profile(w.Weather, func(row []schema.Value) bool {
+		return row[1].Num >= simweb.HotTemperature
+	})
+	if math.Abs(weather.ERSPI-0.05) > 0.02 {
+		t.Errorf("weather erspi = %g, want ≈0.05 (Table 1)", weather.ERSPI)
+	}
+	if weather.ResponseTime != 1500*time.Millisecond {
+		t.Errorf("weather τ = %v, want 1.5s", weather.ResponseTime)
+	}
+
+	flight := profile(w.Flight, nil)
+	if flight.ChunkSize != 25 {
+		t.Errorf("flight chunk = %d, want 25 (Table 1)", flight.ChunkSize)
+	}
+	if flight.ResponseTime != 9700*time.Millisecond {
+		t.Errorf("flight τ = %v, want 9.7s", flight.ResponseTime)
+	}
+
+	hotel := profile(w.Hotel, nil)
+	if hotel.ChunkSize != 5 {
+		t.Errorf("hotel chunk = %d, want 5 (Table 1)", hotel.ChunkSize)
+	}
+	if hotel.ResponseTime != 4900*time.Millisecond {
+		t.Errorf("hotel τ = %v, want 4.9s", hotel.ResponseTime)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	if _, ok := w.Registry.Lookup("conf"); !ok {
+		t.Error("conf not registered")
+	}
+	if _, ok := w.Registry.Lookup("nope"); ok {
+		t.Error("nope registered")
+	}
+	if got := len(w.Registry.Services()); got != 4 {
+		t.Errorf("services = %d, want 4", got)
+	}
+	if err := w.Registry.Register(w.Conf); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	sch, err := w.Registry.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Len() != 4 {
+		t.Errorf("schema len = %d", sch.Len())
+	}
+}
+
+// TestMethodChooserUsesRegistration: the flight/hotel pair is
+// registered as merge-scan; unknown pairs fall back to the default
+// rule.
+func TestMethodChooserUsesRegistration(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanOTopology(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.JoinNodes()[0].Method != plan.MergeScan {
+		t.Error("registered MS choice ignored")
+	}
+	// Flip the registration and rebuild.
+	w.Registry.SetJoinMethod("hotel", "flight", plan.NestedLoop)
+	p2, err := w.BuildPlan(q, simweb.PlanOTopology(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.JoinNodes()[0].Method != plan.NestedLoop {
+		t.Error("re-registered NL choice ignored")
+	}
+}
+
+func TestRequestKey(t *testing.T) {
+	a := Request{Inputs: []schema.Value{schema.S("x"), schema.N(1)}}
+	b := Request{Inputs: []schema.Value{schema.S("x"), schema.N(1)}, Page: 3}
+	if a.Key() != b.Key() {
+		t.Error("page must not affect the logical key")
+	}
+	c := Request{Inputs: []schema.Value{schema.S("x"), schema.S("1")}}
+	if a.Key() == c.Key() {
+		t.Error("value kinds must be distinguished")
+	}
+}
+
+func TestPatternIndex(t *testing.T) {
+	conf, _, _, _ := simweb.TravelSignatures()
+	i, err := PatternIndex(conf, schema.MustPattern("ooooi"))
+	if err != nil || i != 1 {
+		t.Errorf("PatternIndex = %d, %v", i, err)
+	}
+	if _, err := PatternIndex(conf, schema.MustPattern("iiiii")); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.AddCall()
+	c.AddFetch()
+	c.AddFetch()
+	if c.Calls() != 1 || c.Fetches() != 2 {
+		t.Errorf("counter = %d/%d", c.Calls(), c.Fetches())
+	}
+	c.Reset()
+	if c.Calls() != 0 || c.Fetches() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+// TestObservedStatsRefresh: §5's periodic profile update — live
+// traffic through an Observed wrapper refines the registered erspi,
+// response time and chunk size.
+func TestObservedStatsRefresh(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{DisableServerCache: true})
+	obs := Observe(w.Conf)
+	ctx := context.Background()
+
+	// Drive traffic: one call per topic.
+	for _, topic := range []string{"DB", "AI", "SE", "OS", "NET"} {
+		if _, err := obs.Invoke(ctx, 0, Request{Inputs: []schema.Value{schema.S(topic)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	calls, fetches, rows := obs.Observations()
+	if calls != 5 || fetches != 5 {
+		t.Fatalf("observed %d calls / %d fetches, want 5/5", calls, fetches)
+	}
+	if rows != 100 {
+		t.Fatalf("observed %d rows, want 100 (all conferences)", rows)
+	}
+	st := obs.ObservedStats()
+	if st.ERSPI != 20 {
+		t.Errorf("observed erspi = %g, want 20", st.ERSPI)
+	}
+	if st.ResponseTime != 1200*time.Millisecond {
+		t.Errorf("observed τ = %v, want 1.2s", st.ResponseTime)
+	}
+
+	// Refresh rewrites the signature's profile.
+	w.Conf.Signature().Stats.ERSPI = 999
+	if !obs.Refresh() {
+		t.Fatal("refresh with observations returned false")
+	}
+	if got := w.Conf.Signature().Stats.ERSPI; got != 20 {
+		t.Errorf("refreshed erspi = %g, want 20", got)
+	}
+	w.Conf.Signature().Stats.ERSPI = 20 // restore for other tests
+
+	// An untouched observer refuses to refresh.
+	fresh := Observe(w.Weather)
+	if fresh.Refresh() {
+		t.Error("refresh without observations should return false")
+	}
+
+	// Reset clears the window.
+	obs.Reset()
+	if c, _, _ := obs.Observations(); c != 0 {
+		t.Error("reset failed")
+	}
+}
+
+// TestObservedChunkDetection: paging through an observed search
+// service reveals its chunk size.
+func TestObservedChunkDetection(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{DisableServerCache: true})
+	obs := Observe(w.Hotel)
+	ctx := context.Background()
+	// Any conference city has 40 luxury hotels: pages of 5.
+	resp, err := w.Conf.Invoke(ctx, 0, Request{Inputs: []schema.Value{schema.S("DB")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := resp.Rows[0]
+	req := Request{Inputs: []schema.Value{row[4], schema.S("luxury"), row[2], row[3]}}
+	for page := 0; page < 3; page++ {
+		req.Page = page
+		if _, err := obs.Invoke(ctx, 0, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := obs.ObservedStats(); st.ChunkSize != 5 {
+		t.Errorf("observed chunk = %d, want 5", st.ChunkSize)
+	}
+}

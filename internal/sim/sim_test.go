@@ -1,0 +1,231 @@
+package sim_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mdq/internal/card"
+	"mdq/internal/exec"
+	"mdq/internal/plan"
+	. "mdq/internal/sim"
+	"mdq/internal/simweb"
+)
+
+func run(t *testing.T, topo *plan.Topology, mode card.CacheMode, opts simweb.TravelOptions, parallel bool) *Result {
+	t.Helper()
+	w := simweb.NewTravelWorld(opts)
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, topo, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Simulator{Registry: w.Registry, Cache: mode, ParallelCalls: parallel}
+	res, err := s.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSimulatorMatchesRunnerCounts: the discrete-event simulator and
+// the concurrent runner implement the same semantics — identical
+// call counts and result rows for every plan and caching level.
+func TestSimulatorMatchesRunnerCounts(t *testing.T) {
+	topos := map[string]*plan.Topology{
+		"S": simweb.PlanSTopology(), "P": simweb.PlanPTopology(), "O": simweb.PlanOTopology(),
+	}
+	for name, topo := range topos {
+		for _, mode := range []card.CacheMode{card.NoCache, card.OneCall, card.Optimal} {
+			simRes := run(t, topo, mode, simweb.TravelOptions{}, false)
+
+			w := simweb.NewTravelWorld(simweb.TravelOptions{})
+			q, err := simweb.RunningExampleQuery(w.Schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := w.BuildPlan(q, topo, 3, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := &exec.Runner{Registry: w.Registry, Cache: mode}
+			runRes, err := r.Run(context.Background(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, svc := range []string{"conf", "weather", "flight", "hotel"} {
+				if simRes.Stats.Calls[svc] != runRes.Stats.Calls[svc] {
+					t.Errorf("%s/%v %s: sim %d calls, runner %d",
+						name, mode, svc, simRes.Stats.Calls[svc], runRes.Stats.Calls[svc])
+				}
+			}
+			if len(simRes.Rows) != len(runRes.Rows) {
+				t.Errorf("%s/%v: sim %d rows, runner %d", name, mode, len(simRes.Rows), len(runRes.Rows))
+			}
+		}
+	}
+}
+
+// TestFigure11TimeShape: the virtual makespans reproduce the shape
+// of Figure 11's time panel:
+//
+//   - O is fastest and P slowest in every caching setting;
+//   - caching never hurts: t(optimal) ≤ t(one-call) ≤ t(no-cache);
+//   - the one-call cache helps plan S a lot but O and P not at all
+//     (the paper: "no improvement can be observed for O (and,
+//     similarly, for P) between the no-cache and the one-call
+//     setting");
+//   - plan S under no cache lands on the paper's 374 s (the serial
+//     sum of its calls with the hotel server answering duplicates
+//     from its own cache).
+func TestFigure11TimeShape(t *testing.T) {
+	times := map[string]map[card.CacheMode]time.Duration{}
+	for name, topo := range map[string]*plan.Topology{
+		"S": simweb.PlanSTopology(), "P": simweb.PlanPTopology(), "O": simweb.PlanOTopology(),
+	} {
+		times[name] = map[card.CacheMode]time.Duration{}
+		for _, mode := range []card.CacheMode{card.NoCache, card.OneCall, card.Optimal} {
+			times[name][mode] = run(t, topo, mode, simweb.TravelOptions{}, false).Makespan
+		}
+	}
+	for _, mode := range []card.CacheMode{card.NoCache, card.OneCall, card.Optimal} {
+		o, s, p := times["O"][mode], times["S"][mode], times["P"][mode]
+		if !(o < s && s < p) {
+			t.Errorf("%v: want O < S < P, got O=%v S=%v P=%v", mode, o, s, p)
+		}
+	}
+	for name := range times {
+		no, one, opt := times[name][card.NoCache], times[name][card.OneCall], times[name][card.Optimal]
+		if one > no || opt > one {
+			t.Errorf("%s: caching must not slow down: no=%v one=%v opt=%v", name, no, one, opt)
+		}
+	}
+	// S gains a lot from the one-call cache (284 hotel calls → 15).
+	if gain := times["S"][card.NoCache] - times["S"][card.OneCall]; gain < 30*time.Second {
+		t.Errorf("S one-call gain = %v, want ≥ 30s", gain)
+	}
+	// O and P gain nothing (no consecutive duplicates reach any
+	// service).
+	if times["O"][card.NoCache] != times["O"][card.OneCall] {
+		t.Errorf("O: no-cache %v != one-call %v", times["O"][card.NoCache], times["O"][card.OneCall])
+	}
+	if times["P"][card.NoCache] != times["P"][card.OneCall] {
+		t.Errorf("P: no-cache %v != one-call %v", times["P"][card.NoCache], times["P"][card.OneCall])
+	}
+	// Absolute anchor: S/no-cache = 1.2 + (54·1.5 + 17·0.075) +
+	// 16·9.7 + (10·(4.9+3·0.075) + 274·4·0.075) = 372.125 s ≈ the
+	// paper's 374 s.
+	want := 372125 * time.Millisecond
+	if got := times["S"][card.NoCache]; got != want {
+		t.Errorf("S/no-cache makespan = %v, want %v (paper: 374 s)", got, want)
+	}
+}
+
+// TestMultithreadedDispatch: §6's separate test — dispatching all
+// calls of a stage on parallel threads collapses the makespan to
+// roughly the sum of the slowest calls per stage. With jittered
+// latencies the paper measured 76 s for plan S (vs 374 s
+// sequentially).
+func TestMultithreadedDispatch(t *testing.T) {
+	seq := run(t, simweb.PlanSTopology(), card.NoCache, simweb.TravelOptions{JitterSigma: 0.75}, false)
+	par := run(t, simweb.PlanSTopology(), card.NoCache, simweb.TravelOptions{JitterSigma: 0.75}, true)
+	if par.Makespan >= seq.Makespan/2 {
+		t.Errorf("parallel dispatch %v not ≪ sequential %v", par.Makespan, seq.Makespan)
+	}
+	// Order of magnitude of the paper's 76 s: between 20 s and 200 s.
+	if par.Makespan < 20*time.Second || par.Makespan > 200*time.Second {
+		t.Errorf("parallel-dispatch makespan = %v, want tens of seconds (paper: 76 s)", par.Makespan)
+	}
+	// Deterministic: same run, same makespan.
+	again := run(t, simweb.PlanSTopology(), card.NoCache, simweb.TravelOptions{JitterSigma: 0.75}, true)
+	if again.Makespan != par.Makespan {
+		t.Errorf("simulation not deterministic: %v vs %v", again.Makespan, par.Makespan)
+	}
+}
+
+// TestPipelinedAblation: our engine's pipelined mode (stations start
+// as tuples arrive) strictly improves on the paper's
+// stage-synchronous execution for the serial plan.
+func TestPipelinedAblation(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanSTopology(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := &Simulator{Registry: w.Registry, Cache: card.NoCache}
+	rSync, err := sync.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := w.BuildPlan(q, simweb.PlanSTopology(), 3, 4)
+	pipe := &Simulator{Registry: w.Registry, Cache: card.NoCache, Pipelined: true}
+	rPipe, err := pipe.Run(context.Background(), p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rPipe.Makespan >= rSync.Makespan {
+		t.Errorf("pipelining did not help: %v vs %v", rPipe.Makespan, rSync.Makespan)
+	}
+	if rPipe.Stats.Calls["hotel"] != rSync.Stats.Calls["hotel"] {
+		t.Errorf("pipelining changed call counts")
+	}
+	if len(rPipe.Rows) != len(rSync.Rows) {
+		t.Errorf("pipelining changed results")
+	}
+}
+
+// TestKLimitedSimulation: stopping at k answers yields an earlier
+// makespan and a prefix of the full result.
+func TestKLimitedSimulation(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Simulator{Registry: w.Registry, Cache: card.NoCache, K: 10}
+	res, err := s.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(res.Rows))
+	}
+	full := run(t, simweb.PlanOTopology(), card.NoCache, simweb.TravelOptions{}, false)
+	if res.Makespan > full.Makespan {
+		t.Errorf("k-limited makespan %v exceeds full drain %v", res.Makespan, full.Makespan)
+	}
+	for i := range res.Rows {
+		for j := range res.Rows[i] {
+			if !res.Rows[i][j].Equal(full.Rows[i][j]) {
+				t.Fatalf("row %d is not a prefix of the full result", i)
+			}
+		}
+	}
+}
+
+// TestFirstAnswerVsTimeToScreen: the simulator's measured
+// time-to-first-answer is at least the conf+weather pipe fill and
+// at most the makespan; the TTS metric estimates the pipe
+// traversal.
+func TestFirstAnswerVsTimeToScreen(t *testing.T) {
+	res := run(t, simweb.PlanOTopology(), card.NoCache, simweb.TravelOptions{}, false)
+	if res.FirstAnswer <= 0 || res.FirstAnswer > res.Makespan {
+		t.Fatalf("first answer at %v, makespan %v", res.FirstAnswer, res.Makespan)
+	}
+	// The first answer cannot appear before one traversal of the
+	// pipe: conf (1.2) + first weather call (1.5).
+	if res.FirstAnswer < 2700*time.Millisecond {
+		t.Errorf("first answer at %v is before the pipe could fill", res.FirstAnswer)
+	}
+}

@@ -1,0 +1,204 @@
+package simweb
+
+import (
+	"fmt"
+	"time"
+
+	"mdq/internal/cq"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	"mdq/internal/service"
+	"mdq/internal/tabsvc"
+)
+
+// BioWorld simulates the bioinformatics sources of §6 — InterPro,
+// UniProt, BLAST and KEGG — with which the paper demonstrates that
+// the framework generalizes beyond travel: "we were able to query
+// protein repositories to find evolutionary relationships between
+// human and mouse proteins including repeated protein domains and
+// involved in the glycolysis metabolic pathway".
+type BioWorld struct {
+	Registry *service.Registry
+	Schema   *schema.Schema
+
+	KEGG     *tabsvc.Table
+	UniProt  *tabsvc.Table
+	InterPro *tabsvc.Table
+	BLAST    *tabsvc.Table
+}
+
+// Calibration of the synthetic proteome.
+const (
+	BioProteins     = 400 // per organism
+	GlycolysisGenes = 40
+)
+
+var (
+	keggLatency     = tabsvc.Latency{Base: 800 * time.Millisecond, CacheHit: 50 * time.Millisecond}
+	uniprotLatency  = tabsvc.Latency{Base: 500 * time.Millisecond, CacheHit: 50 * time.Millisecond}
+	interproLatency = tabsvc.Latency{Base: 1000 * time.Millisecond, CacheHit: 50 * time.Millisecond}
+	blastLatency    = tabsvc.Latency{Base: 3000 * time.Millisecond} // alignments are never cached
+)
+
+var (
+	domProtein  = schema.Domain{Name: "Accession", Kind: schema.StringValue, DistinctValues: 2 * BioProteins}
+	domOrganism = schema.Domain{Name: "Organism", Kind: schema.StringValue, DistinctValues: 2}
+	domPathway  = schema.Domain{Name: "Pathway", Kind: schema.StringValue, DistinctValues: 12}
+	domDomain   = schema.Domain{Name: "ProteinDomain", Kind: schema.StringValue, DistinctValues: 60}
+)
+
+// BioSignatures returns the four source signatures.
+func BioSignatures() (kegg, uniprot, interpro, blast *schema.Signature) {
+	kegg = &schema.Signature{
+		Name: "kegg",
+		Attrs: []schema.Attribute{
+			{Name: "Pathway", Domain: domPathway},
+			{Name: "Accession", Domain: domProtein},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("io")},
+		Kind:     schema.Exact,
+		Stats:    schema.Stats{ERSPI: 35, ResponseTime: keggLatency.Base},
+	}
+	uniprot = &schema.Signature{
+		Name: "uniprot",
+		Attrs: []schema.Attribute{
+			{Name: "Accession", Domain: domProtein},
+			{Name: "Organism", Domain: domOrganism},
+			{Name: "Gene", Domain: schema.DomName},
+			{Name: "Length", Domain: schema.DomNumber},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("iooo")},
+		Kind:     schema.Exact,
+		Stats:    schema.Stats{ERSPI: 1, ResponseTime: uniprotLatency.Base},
+	}
+	interpro = &schema.Signature{
+		Name: "interpro",
+		Attrs: []schema.Attribute{
+			{Name: "Accession", Domain: domProtein},
+			{Name: "Domain", Domain: domDomain},
+			{Name: "Repeats", Domain: schema.DomNumber},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("ioo")},
+		Kind:     schema.Exact,
+		Stats:    schema.Stats{ERSPI: 2.5, ResponseTime: interproLatency.Base},
+	}
+	blast = &schema.Signature{
+		Name: "blast",
+		Attrs: []schema.Attribute{
+			{Name: "Accession", Domain: domProtein},
+			{Name: "TargetOrganism", Domain: domOrganism},
+			{Name: "Hit", Domain: domProtein},
+			{Name: "Score", Domain: schema.DomNumber},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("iioo")},
+		Kind:     schema.Search, // ranked by alignment score
+		Stats:    schema.Stats{ERSPI: 18, ChunkSize: 10, Decay: 50, ResponseTime: blastLatency.Base},
+	}
+	return kegg, uniprot, interpro, blast
+}
+
+// BioExampleText is the §6 protein query: human glycolysis proteins
+// with a repeated domain and their mouse homologs by BLAST score.
+const BioExampleText = `
+homologs(Acc, Gene, Hit, Score) :-
+    kegg('glycolysis', Acc),
+    uniprot(Acc, 'human', Gene, Length),
+    interpro(Acc, Dom, Repeats),
+    blast(Acc, 'mouse', Hit, Score),
+    Repeats >= 2 {0.4},
+    Score >= 200 {0.6}.`
+
+// NewBioWorld builds the synthetic proteome and registers the four
+// services.
+func NewBioWorld() *BioWorld {
+	keggSig, uniprotSig, interproSig, blastSig := BioSignatures()
+	w := &BioWorld{Registry: service.NewRegistry()}
+
+	acc := func(org string, i int) string { return fmt.Sprintf("%s%04d", org[:1], i) }
+
+	var keggRows [][]schema.Value
+	pathways := []string{"glycolysis", "tca-cycle", "pentose-phosphate", "fatty-acid", "urea-cycle",
+		"calvin", "gluconeogenesis", "ppp-oxidative", "mapk", "wnt", "notch", "apoptosis"}
+	for pi, pw := range pathways {
+		n := GlycolysisGenes - pi*2
+		if n < 8 {
+			n = 8
+		}
+		for g := 0; g < n; g++ {
+			keggRows = append(keggRows, []schema.Value{
+				schema.S(pw),
+				schema.S(acc("human", (pi*53+g*7)%BioProteins)),
+			})
+		}
+	}
+
+	var uniRows [][]schema.Value
+	for _, org := range []string{"human", "mouse"} {
+		for i := 0; i < BioProteins; i++ {
+			uniRows = append(uniRows, []schema.Value{
+				schema.S(acc(org, i)),
+				schema.S(org),
+				schema.S(fmt.Sprintf("GENE%s%03d", org[:1], i)),
+				schema.N(float64(120 + (i*37)%900)),
+			})
+		}
+	}
+
+	var iprRows [][]schema.Value
+	for _, org := range []string{"human", "mouse"} {
+		for i := 0; i < BioProteins; i++ {
+			nDom := 1 + i%3
+			for d := 0; d < nDom; d++ {
+				iprRows = append(iprRows, []schema.Value{
+					schema.S(acc(org, i)),
+					schema.S(fmt.Sprintf("IPR%05d", (i*11+d*17)%60)),
+					schema.N(float64(1 + (i+d)%4)), // repeat count 1..4
+				})
+			}
+		}
+	}
+
+	// BLAST: for each human protein, ranked mouse hits with
+	// descending score; the top hit is the index-shifted homolog.
+	var blastRows [][]schema.Value
+	for i := 0; i < BioProteins; i++ {
+		nHits := 12 + i%14
+		for h := 0; h < nHits; h++ {
+			blastRows = append(blastRows, []schema.Value{
+				schema.S(acc("human", i)),
+				schema.S("mouse"),
+				schema.S(acc("mouse", (i+h*13)%BioProteins)),
+				schema.N(float64(950 - h*60 - i%30)),
+			})
+		}
+	}
+
+	w.KEGG = tabsvc.MustNew(keggSig, keggRows, keggLatency)
+	w.UniProt = tabsvc.MustNew(uniprotSig, uniRows, uniprotLatency)
+	w.InterPro = tabsvc.MustNew(interproSig, iprRows, interproLatency)
+	w.BLAST = tabsvc.MustNew(blastSig, blastRows, blastLatency)
+	w.Registry.MustRegister(w.KEGG)
+	w.Registry.MustRegister(w.UniProt)
+	w.Registry.MustRegister(w.InterPro)
+	w.Registry.MustRegister(w.BLAST)
+	w.Registry.SetJoinMethod("interpro", "blast", plan.NestedLoop)
+
+	sch, err := w.Registry.Schema()
+	if err != nil {
+		panic(err)
+	}
+	w.Schema = sch
+	return w
+}
+
+// BioQuery parses and resolves the protein query.
+func (w *BioWorld) BioQuery() (*cq.Query, error) {
+	q, err := cq.Parse(BioExampleText)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Resolve(w.Schema); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

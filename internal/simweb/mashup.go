@@ -1,0 +1,177 @@
+package simweb
+
+import (
+	"fmt"
+	"time"
+
+	"mdq/internal/cq"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	"mdq/internal/service"
+	"mdq/internal/tabsvc"
+)
+
+// MashupWorld is the end-user mash-up scenario motivating §1 and the
+// "news management, bibliographic search" domains of §6: a book
+// search engine, a review aggregator and a news search engine
+// combined into one multi-domain query ("recent news about the
+// authors of well-reviewed database books").
+type MashupWorld struct {
+	Registry *service.Registry
+	Schema   *schema.Schema
+
+	Books   *tabsvc.Table
+	Reviews *tabsvc.Table
+	News    *tabsvc.Table
+}
+
+// Calibration of the synthetic catalog.
+const (
+	MashupTopics        = 6
+	BooksPerTopic       = 30
+	ReviewsPerBook      = 3
+	HeadlinesPerKeyword = 24
+)
+
+var (
+	bookLatency   = tabsvc.Latency{Base: 900 * time.Millisecond, CacheHit: 60 * time.Millisecond}
+	reviewLatency = tabsvc.Latency{Base: 400 * time.Millisecond, CacheHit: 40 * time.Millisecond}
+	newsLatency   = tabsvc.Latency{Base: 1100 * time.Millisecond, CacheHit: 80 * time.Millisecond}
+)
+
+var (
+	domSubject = schema.Domain{Name: "Subject", Kind: schema.StringValue, DistinctValues: MashupTopics}
+	domISBN    = schema.Domain{Name: "ISBN", Kind: schema.StringValue, DistinctValues: MashupTopics * BooksPerTopic}
+	domAuthor  = schema.Domain{Name: "Author", Kind: schema.StringValue, DistinctValues: 90}
+	domOutlet  = schema.Domain{Name: "Outlet", Kind: schema.StringValue, DistinctValues: 8}
+)
+
+// MashupSignatures returns the three source signatures.
+func MashupSignatures() (book, review, news *schema.Signature) {
+	book = &schema.Signature{
+		Name: "book",
+		Attrs: []schema.Attribute{
+			{Name: "Subject", Domain: domSubject},
+			{Name: "Title", Domain: schema.DomName},
+			{Name: "Author", Domain: domAuthor},
+			{Name: "ISBN", Domain: domISBN},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("iooo")},
+		Kind:     schema.Search, // ranked by store relevance
+		Stats:    schema.Stats{ERSPI: 30, ChunkSize: 5, ResponseTime: bookLatency.Base},
+	}
+	review = &schema.Signature{
+		Name: "review",
+		Attrs: []schema.Attribute{
+			{Name: "ISBN", Domain: domISBN},
+			{Name: "Rating", Domain: schema.DomNumber},
+			{Name: "Outlet", Domain: domOutlet},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("ioo")},
+		Kind:     schema.Exact,
+		Stats:    schema.Stats{ERSPI: ReviewsPerBook, ResponseTime: reviewLatency.Base},
+	}
+	news = &schema.Signature{
+		Name: "news",
+		Attrs: []schema.Attribute{
+			{Name: "Keyword", Domain: domAuthor},
+			{Name: "Headline", Domain: schema.DomName},
+			{Name: "Date", Domain: schema.DomDate},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("ioo")},
+		Kind:     schema.Search, // ranked by recency/relevance
+		Stats:    schema.Stats{ERSPI: HeadlinesPerKeyword, ChunkSize: 8, Decay: 40, ResponseTime: newsLatency.Base},
+	}
+	return book, review, news
+}
+
+// MashupExampleText: news about authors of well-reviewed database
+// books.
+const MashupExampleText = `
+briefing(Title, Author, Headline, Rating) :-
+    book('databases', Title, Author, ISBN),
+    review(ISBN, Rating, Outlet),
+    news(Author, Headline, Date),
+    Rating >= 4 {0.3},
+    Date >= '2008/01/01' {0.7}.`
+
+// NewMashupWorld builds the synthetic catalog and registers the
+// services.
+func NewMashupWorld() *MashupWorld {
+	bookSig, reviewSig, newsSig := MashupSignatures()
+	w := &MashupWorld{Registry: service.NewRegistry()}
+
+	subjects := []string{"databases", "networks", "compilers", "graphics", "security", "ai"}
+	author := func(i int) string { return fmt.Sprintf("Author %c. %02d", 'A'+i%26, i%90) }
+
+	var bookRows [][]schema.Value
+	isbn := 0
+	for si, subj := range subjects {
+		for b := 0; b < BooksPerTopic; b++ {
+			bookRows = append(bookRows, []schema.Value{
+				schema.S(subj),
+				schema.S(fmt.Sprintf("%s Vol. %d", subj, b+1)),
+				schema.S(author(si*17 + b)),
+				schema.S(fmt.Sprintf("ISBN-%04d", isbn)),
+			})
+			isbn++
+		}
+	}
+
+	var reviewRows [][]schema.Value
+	outlets := []string{"TechRev", "DailyDB", "SysWeekly", "CompJournal", "ACM Notes", "ReadWrite", "ByteMag", "Query"}
+	for i := 0; i < isbn; i++ {
+		for r := 0; r < ReviewsPerBook; r++ {
+			reviewRows = append(reviewRows, []schema.Value{
+				schema.S(fmt.Sprintf("ISBN-%04d", i)),
+				schema.N(float64(1 + (i*7+r*3)%5)),
+				schema.S(outlets[(i+r)%len(outlets)]),
+			})
+		}
+	}
+
+	var newsRows [][]schema.Value
+	base := schema.D(2008, 1, 1)
+	for a := 0; a < 90; a++ {
+		name := fmt.Sprintf("Author %c. %02d", 'A'+a%26, a)
+		for h := 0; h < HeadlinesPerKeyword; h++ {
+			d := base
+			d.Num += float64((a*5 + h*11) % 240)
+			if h%3 == 2 {
+				d.Num -= 300 // some stale articles fail the date filter
+			}
+			newsRows = append(newsRows, []schema.Value{
+				schema.S(name),
+				schema.S(fmt.Sprintf("%s in the news %02d", name, h+1)),
+				d,
+			})
+		}
+	}
+
+	w.Books = tabsvc.MustNew(bookSig, bookRows, bookLatency)
+	w.Reviews = tabsvc.MustNew(reviewSig, reviewRows, reviewLatency)
+	w.News = tabsvc.MustNew(newsSig, newsRows, newsLatency)
+	w.Registry.MustRegister(w.Books)
+	w.Registry.MustRegister(w.Reviews)
+	w.Registry.MustRegister(w.News)
+	w.Registry.SetJoinMethod("review", "news", plan.NestedLoop)
+
+	sch, err := w.Registry.Schema()
+	if err != nil {
+		panic(err)
+	}
+	w.Schema = sch
+	return w
+}
+
+// MashupQuery parses and resolves the mashup query.
+func (w *MashupWorld) MashupQuery() (*cq.Query, error) {
+	q, err := cq.Parse(MashupExampleText)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Resolve(w.Schema); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

@@ -1,0 +1,255 @@
+package simweb_test
+
+import (
+	"context"
+	"testing"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/exec"
+	"mdq/internal/opt"
+	"mdq/internal/schema"
+	"mdq/internal/service"
+	. "mdq/internal/simweb"
+)
+
+// TestTravelCalibration asserts the ground-truth facts the Figure 11
+// reproduction rests on, directly against the generated dataset.
+func TestTravelCalibration(t *testing.T) {
+	w := NewTravelWorld(TravelOptions{})
+	ctx := context.Background()
+
+	// conf('DB', …) returns exactly 71 tuples over 54 distinct
+	// cities.
+	resp, err := w.Conf.Invoke(ctx, 0, service.Request{Inputs: []schema.Value{schema.S("DB")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != DBConfTuples {
+		t.Fatalf("conf(DB) rows = %d, want %d", len(resp.Rows), DBConfTuples)
+	}
+	cities := map[string]bool{}
+	hotTuples := 0
+	hotCities := map[string]bool{}
+	var hotSeq []string
+	for i, row := range resp.Rows {
+		city := row[4].Str
+		cities[city] = true
+		// No two consecutive tuples share a city.
+		if i > 0 && resp.Rows[i-1][4].Str == city {
+			t.Errorf("conf tuples %d and %d share city %s consecutively", i-1, i, city)
+		}
+		if isHot(w, t, city, row[2]) {
+			hotTuples++
+			hotCities[city] = true
+			hotSeq = append(hotSeq, city)
+		}
+	}
+	if len(cities) != ConfCities {
+		t.Errorf("distinct cities = %d, want %d", len(cities), ConfCities)
+	}
+	if hotTuples != HotConfTuples {
+		t.Errorf("hot tuples = %d, want %d", hotTuples, HotConfTuples)
+	}
+	if len(hotCities) != HotCities {
+		t.Errorf("hot cities = %d, want %d", len(hotCities), HotCities)
+	}
+	// The hot subsequence never repeats a city back to back (the
+	// one-call cache must not collapse anything before flight).
+	for i := 1; i < len(hotSeq); i++ {
+		if hotSeq[i] == hotSeq[i-1] {
+			t.Errorf("hot tuples %d and %d share city %s consecutively", i-1, i, hotSeq[i])
+		}
+	}
+
+	// Flight tuples over the 16 passing tuples sum to 284; exactly
+	// one hot city has no flights.
+	total := 0
+	noFlight := 0
+	for _, row := range resp.Rows {
+		city := row[4]
+		if !isHot(w, t, city.Str, row[2]) {
+			continue
+		}
+		fr, err := w.Flight.Invoke(ctx, 0, service.Request{
+			Inputs: []schema.Value{schema.S("Milano"), city, row[2], row[3]},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(fr.Rows)
+		for fr.HasMore {
+			t.Fatal("hot-city routes must fit one chunk")
+		}
+		if n == 0 {
+			noFlight++
+		}
+		total += n
+	}
+	if total != FlightTupleSum {
+		t.Errorf("flight tuples over passing conf tuples = %d, want %d", total, FlightTupleSum)
+	}
+	if noFlight != 1 {
+		t.Errorf("hot tuples without flights = %d, want 1 (one city has no route)", noFlight)
+	}
+
+	// The weather source knows 220 cities, 11 hot: the 0.05 of
+	// Table 1.
+	hot := 0
+	for i := 0; i < TotalCities; i++ {
+		if Temperature(i) >= HotTemperature {
+			hot++
+		}
+	}
+	if hot != HotCities {
+		t.Errorf("hot cities in the world = %d, want %d", hot, HotCities)
+	}
+	if got := float64(hot) / float64(TotalCities); got != 0.05 {
+		t.Errorf("hot fraction = %g, want 0.05", got)
+	}
+
+	// conf hosts 100 conferences over 5 topics (erspi 20).
+	if got := w.Conf.Size(); got != TotalConfs {
+		t.Errorf("conf table size = %d, want %d", got, TotalConfs)
+	}
+}
+
+func isHot(w *TravelWorld, t *testing.T, city string, date schema.Value) bool {
+	t.Helper()
+	resp, err := w.Weather.Invoke(context.Background(), 0, service.Request{
+		Inputs: []schema.Value{schema.S(city), date},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 {
+		t.Fatalf("weather(%s) rows = %d, want 1", city, len(resp.Rows))
+	}
+	return resp.Rows[0][1].Num >= HotTemperature
+}
+
+// TestLondonChunking: the dense Milano→London route exceeds one
+// chunk, so profiling can detect the 25-tuple page size.
+func TestLondonChunking(t *testing.T) {
+	w := NewTravelWorld(TravelOptions{})
+	start, end := londonDates(t, w)
+	resp, err := w.Flight.Invoke(context.Background(), 0, service.Request{
+		Inputs: []schema.Value{schema.S("Milano"), schema.S("London"), start, end},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 25 || !resp.HasMore {
+		t.Errorf("London page 0 = %d rows hasMore=%v, want full chunk", len(resp.Rows), resp.HasMore)
+	}
+}
+
+func londonDates(t *testing.T, w *TravelWorld) (schema.Value, schema.Value) {
+	t.Helper()
+	resp, err := w.Conf.Invoke(context.Background(), 0, service.Request{Inputs: []schema.Value{schema.S("DB")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range resp.Rows {
+		if row[4].Str == "London" {
+			return row[2], row[3]
+		}
+	}
+	t.Fatal("London hosts no conference")
+	return schema.Null, schema.Null
+}
+
+// TestBioWorldEndToEnd: the §6 bioinformatics query optimizes and
+// executes with non-empty, plausible results.
+func TestBioWorldEndToEnd(t *testing.T) {
+	w := NewBioWorld()
+	q, err := w.BioQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &opt.Optimizer{
+		Metric:       cost.ExecTime{},
+		Estimator:    card.Config{Mode: card.OneCall},
+		K:            10,
+		ChooseMethod: w.Registry.MethodChooser(),
+	}
+	res, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("bio query infeasible")
+	}
+	r := &exec.Runner{Registry: w.Registry, Cache: card.OneCall, K: 10}
+	out, err := r.Run(context.Background(), res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 10 {
+		t.Fatalf("bio results = %d, want 10", len(out.Rows))
+	}
+	// Scores respect the predicate.
+	ix := map[string]int{}
+	for i, v := range out.Head {
+		ix[string(v)] = i
+	}
+	for _, row := range out.Rows {
+		if row[ix["Score"]].Num < 200 {
+			t.Errorf("result score %g violates predicate", row[ix["Score"]].Num)
+		}
+	}
+	// kegg must be the first node (only directly callable atom).
+	if got := res.Best.Topology.Minimal(); len(got) != 1 || q.Atoms[got[0]].Service != "kegg" {
+		t.Errorf("bio plan should start from kegg, got %v", got)
+	}
+}
+
+// TestMashupWorldEndToEnd: the mashup query runs end to end and
+// respects its predicates.
+func TestMashupWorldEndToEnd(t *testing.T) {
+	w := NewMashupWorld()
+	q, err := w.MashupQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &opt.Optimizer{
+		Metric:       cost.RequestResponse{},
+		Estimator:    card.Config{Mode: card.OneCall},
+		K:            8,
+		ChooseMethod: w.Registry.MethodChooser(),
+	}
+	res, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("mashup query infeasible")
+	}
+	r := &exec.Runner{Registry: w.Registry, Cache: card.Optimal, K: 8}
+	out, err := r.Run(context.Background(), res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 8 {
+		t.Fatalf("mashup results = %d, want 8", len(out.Rows))
+	}
+	ix := map[string]int{}
+	for i, v := range out.Head {
+		ix[string(v)] = i
+	}
+	for _, row := range out.Rows {
+		if row[ix["Rating"]].Num < 4 {
+			t.Errorf("rating %g violates predicate", row[ix["Rating"]].Num)
+		}
+	}
+}
+
+// TestDecayLimitsNews: the news service has a decay of 40 over
+// chunks of 8, so no plan should ever fetch more than 5 chunks from
+// it (§4.3.2).
+func TestDecayLimitsNews(t *testing.T) {
+	_, _, news := MashupSignatures()
+	if got := news.Stats.MaxFetches(); got != 5 {
+		t.Errorf("news max fetches = %d, want 5", got)
+	}
+}

@@ -1,0 +1,232 @@
+// Package tabsvc implements table-backed simulated web services: an
+// in-memory relation exposed through the access patterns of its
+// signature, with chunked paging, a latency model, and an optional
+// server-side result cache.
+//
+// These services stand in for the paper's wrappers over live deep-web
+// sources (expedia.com, bookings.com, accuweather.com,
+// conference-service.com — §6). The substitution preserves the
+// behaviours that matter to the optimizer and executor: access
+// limitations, ranking order, chunked fetching, response times, and
+// the server-side caching the paper observed ("the saved calls are
+// cached on the server of Bookings.com and are therefore answered
+// very quickly").
+package tabsvc
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mdq/internal/schema"
+	"mdq/internal/service"
+)
+
+// Latency models the response time of a simulated service.
+type Latency struct {
+	// Base is the service time of a first-time request–response.
+	Base time.Duration
+	// CacheHit is the service time when the server-side cache
+	// already holds the result (0 disables the server cache).
+	CacheHit time.Duration
+	// JitterSigma adds deterministic log-normal noise: each request
+	// key maps to a fixed multiplier with mean 1 and the given
+	// log-σ. Zero means constant latencies.
+	JitterSigma float64
+}
+
+// Elapsed returns the deterministic simulated duration for a request
+// key. The jitter multiplier is derived from a hash of the key, so
+// the same request always takes the same time regardless of
+// scheduling order — a requirement for reproducible experiments.
+func (l Latency) Elapsed(key string, hit bool) time.Duration {
+	base := l.Base
+	if hit && l.CacheHit > 0 {
+		base = l.CacheHit
+	}
+	if l.JitterSigma <= 0 {
+		return base
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], h.Sum64())
+	u1 := float64(binary.BigEndian.Uint32(buf[:4]))/float64(1<<32) + 1e-12
+	u2 := float64(binary.BigEndian.Uint32(buf[4:])) / float64(1<<32)
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	mult := math.Exp(l.JitterSigma*z - l.JitterSigma*l.JitterSigma/2)
+	return time.Duration(float64(base) * mult)
+}
+
+// Table is a Service backed by an in-memory relation. Rows must be
+// stored in ranking order for search services (the first row is the
+// most relevant); filtering preserves that order.
+type Table struct {
+	sig *schema.Signature
+	lat Latency
+
+	rows [][]schema.Value
+
+	mu      sync.Mutex
+	seen    map[string]bool // server-side cache keys
+	combos  map[int][][]schema.Value
+	Counter service.Counter
+}
+
+// New builds a table service. It validates that every row has the
+// signature's arity.
+func New(sig *schema.Signature, rows [][]schema.Value, lat Latency) (*Table, error) {
+	for i, r := range rows {
+		if len(r) != sig.Arity() {
+			return nil, fmt.Errorf("tabsvc: %s row %d has %d values, want %d", sig.Name, i, len(r), sig.Arity())
+		}
+	}
+	return &Table{sig: sig, lat: lat, rows: rows, seen: map[string]bool{}, combos: map[int][][]schema.Value{}}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(sig *schema.Signature, rows [][]schema.Value, lat Latency) *Table {
+	t, err := New(sig, rows, lat)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Signature implements service.Service.
+func (t *Table) Signature() *schema.Signature { return t.sig }
+
+// Size returns the number of base rows.
+func (t *Table) Size() int { return len(t.rows) }
+
+// Row returns the i-th base row (shared slice; callers must not
+// mutate it). It exposes the ground truth for verification tests.
+func (t *Table) Row(i int) []schema.Value { return t.rows[i] }
+
+// ResetServerCache clears the server-side cache and counters, so
+// experiment runs start cold.
+func (t *Table) ResetServerCache() {
+	t.mu.Lock()
+	t.seen = map[string]bool{}
+	t.mu.Unlock()
+	t.Counter.Reset()
+}
+
+// Invoke implements service.Service: it selects the rows matching
+// the pattern's input values (equality on each input position),
+// pages them by the signature's chunk size, and reports a simulated
+// elapsed time from the latency model and server-side cache state.
+func (t *Table) Invoke(ctx context.Context, patternIdx int, req Request) (service.Response, error) {
+	return t.invoke(ctx, patternIdx, req)
+}
+
+// Request aliases service.Request for brevity in this package.
+type Request = service.Request
+
+func (t *Table) invoke(ctx context.Context, patternIdx int, req Request) (service.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return service.Response{}, err
+	}
+	if patternIdx < 0 || patternIdx >= len(t.sig.Patterns) {
+		return service.Response{}, fmt.Errorf("tabsvc: %s has no pattern index %d", t.sig.Name, patternIdx)
+	}
+	pattern := t.sig.Patterns[patternIdx]
+	inPos := pattern.Inputs()
+	if len(req.Inputs) != len(inPos) {
+		return service.Response{}, fmt.Errorf("tabsvc: %s pattern %s expects %d inputs, got %d",
+			t.sig.Name, pattern, len(inPos), len(req.Inputs))
+	}
+
+	var matches [][]schema.Value
+	for _, row := range t.rows {
+		ok := true
+		for k, pos := range inPos {
+			if !row[pos].Equal(req.Inputs[k]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			matches = append(matches, row)
+		}
+	}
+
+	resp := service.Response{}
+	cs := t.sig.Stats.ChunkSize
+	if cs > 0 {
+		lo := req.Page * cs
+		hi := lo + cs
+		if lo > len(matches) {
+			lo = len(matches)
+		}
+		if hi > len(matches) {
+			hi = len(matches)
+		}
+		resp.Rows = matches[lo:hi]
+		resp.HasMore = hi < len(matches)
+	} else {
+		if req.Page != 0 {
+			return service.Response{}, fmt.Errorf("tabsvc: %s is a bulk service; page %d requested", t.sig.Name, req.Page)
+		}
+		resp.Rows = matches
+	}
+
+	// Server-side cache: repeated requests for the same inputs are
+	// answered from the remote server's own cache, much faster.
+	key := fmt.Sprintf("%s/%d/%s", t.sig.Name, patternIdx, req.Key())
+	t.mu.Lock()
+	hit := t.lat.CacheHit > 0 && t.seen[key]
+	t.seen[key] = true
+	t.mu.Unlock()
+	resp.Elapsed = t.lat.Elapsed(fmt.Sprintf("%s#%d", key, req.Page), hit)
+
+	if req.Page == 0 {
+		t.Counter.AddCall()
+	}
+	t.Counter.AddFetch()
+	return resp, nil
+}
+
+// Sampler returns an InputSampler drawing uniformly from the
+// distinct input combinations present in the table, so profiling is
+// unbiased by row-count skew (§5: estimates by sampling).
+func (t *Table) Sampler() service.InputSampler {
+	return service.SamplerFunc(func(rng *rand.Rand, patternIdx int) []schema.Value {
+		combos := t.distinctCombos(patternIdx)
+		if len(combos) == 0 {
+			return nil
+		}
+		return combos[rng.Intn(len(combos))]
+	})
+}
+
+func (t *Table) distinctCombos(patternIdx int) [][]schema.Value {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.combos[patternIdx]; ok {
+		return c
+	}
+	pattern := t.sig.Patterns[patternIdx]
+	inPos := pattern.Inputs()
+	seen := map[string]bool{}
+	var combos [][]schema.Value
+	for _, row := range t.rows {
+		combo := make([]schema.Value, len(inPos))
+		key := ""
+		for k, pos := range inPos {
+			combo[k] = row[pos]
+			key += row[pos].Key() + "\x1f"
+		}
+		if !seen[key] {
+			seen[key] = true
+			combos = append(combos, combo)
+		}
+	}
+	t.combos[patternIdx] = combos
+	return combos
+}

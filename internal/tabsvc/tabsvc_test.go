@@ -1,0 +1,201 @@
+package tabsvc_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mdq/internal/schema"
+	. "mdq/internal/tabsvc"
+)
+
+func searchSig() *schema.Signature {
+	return &schema.Signature{
+		Name: "s",
+		Attrs: []schema.Attribute{
+			{Name: "K", Domain: schema.DomString},
+			{Name: "V", Domain: schema.DomNumber},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("io"), schema.MustPattern("oo")},
+		Kind:     schema.Search,
+		Stats:    schema.Stats{ChunkSize: 3, ERSPI: 5},
+	}
+}
+
+func rows(n int, key string) [][]schema.Value {
+	var out [][]schema.Value
+	for i := 0; i < n; i++ {
+		out = append(out, []schema.Value{schema.S(key), schema.N(float64(i))})
+	}
+	return out
+}
+
+func TestChunkedPaging(t *testing.T) {
+	tb := MustNew(searchSig(), append(rows(7, "a"), rows(2, "b")...), Latency{})
+	ctx := context.Background()
+
+	var got []float64
+	page := 0
+	for {
+		resp, err := tb.Invoke(ctx, 0, Request{Inputs: []schema.Value{schema.S("a")}, Page: page})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page == 0 && len(resp.Rows) != 3 {
+			t.Fatalf("page 0 size = %d, want 3", len(resp.Rows))
+		}
+		for _, r := range resp.Rows {
+			got = append(got, r[1].Num)
+		}
+		if !resp.HasMore {
+			break
+		}
+		page++
+	}
+	if len(got) != 7 {
+		t.Fatalf("total rows = %d, want 7", len(got))
+	}
+	// Ranking order preserved: ascending V as stored.
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatal("rank order broken by paging")
+		}
+	}
+	// Last page short (7 = 3+3+1), HasMore false exactly at the end.
+	resp, _ := tb.Invoke(ctx, 0, Request{Inputs: []schema.Value{schema.S("a")}, Page: 2})
+	if len(resp.Rows) != 1 || resp.HasMore {
+		t.Errorf("last page = %d rows, hasMore=%v", len(resp.Rows), resp.HasMore)
+	}
+	// Page past the end: empty, no more.
+	resp, _ = tb.Invoke(ctx, 0, Request{Inputs: []schema.Value{schema.S("a")}, Page: 9})
+	if len(resp.Rows) != 0 || resp.HasMore {
+		t.Error("page past end should be empty")
+	}
+}
+
+func TestAllOutputPattern(t *testing.T) {
+	tb := MustNew(searchSig(), append(rows(4, "a"), rows(2, "b")...), Latency{})
+	resp, err := tb.Invoke(context.Background(), 1, Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 3 || !resp.HasMore {
+		t.Errorf("all-output page 0: %d rows hasMore=%v", len(resp.Rows), resp.HasMore)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	tb := MustNew(searchSig(), rows(1, "a"), Latency{})
+	ctx := context.Background()
+	if _, err := tb.Invoke(ctx, 0, Request{}); err == nil {
+		t.Error("missing input accepted")
+	}
+	if _, err := tb.Invoke(ctx, 5, Request{}); err == nil {
+		t.Error("bad pattern index accepted")
+	}
+	bulk := &schema.Signature{
+		Name:     "b",
+		Attrs:    []schema.Attribute{{Name: "X", Domain: schema.DomString}},
+		Patterns: []schema.AccessPattern{schema.MustPattern("o")},
+	}
+	tb2 := MustNew(bulk, [][]schema.Value{{schema.S("v")}}, Latency{})
+	if _, err := tb2.Invoke(ctx, 0, Request{Page: 1}); err == nil {
+		t.Error("bulk service accepted page > 0")
+	}
+	// Arity mismatch in rows rejected at construction.
+	if _, err := New(bulk, [][]schema.Value{{schema.S("v"), schema.S("w")}}, Latency{}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestServerCacheLatency(t *testing.T) {
+	lat := Latency{Base: time.Second, CacheHit: 100 * time.Millisecond}
+	tb := MustNew(searchSig(), rows(2, "a"), lat)
+	ctx := context.Background()
+	r1, _ := tb.Invoke(ctx, 0, Request{Inputs: []schema.Value{schema.S("a")}})
+	if r1.Elapsed != time.Second {
+		t.Errorf("first call elapsed = %v, want 1s", r1.Elapsed)
+	}
+	r2, _ := tb.Invoke(ctx, 0, Request{Inputs: []schema.Value{schema.S("a")}})
+	if r2.Elapsed != 100*time.Millisecond {
+		t.Errorf("repeat call elapsed = %v, want 100ms (server cache)", r2.Elapsed)
+	}
+	// Different inputs: full latency again.
+	r3, _ := tb.Invoke(ctx, 0, Request{Inputs: []schema.Value{schema.S("b")}})
+	if r3.Elapsed != time.Second {
+		t.Errorf("different input elapsed = %v, want 1s", r3.Elapsed)
+	}
+	tb.ResetServerCache()
+	r4, _ := tb.Invoke(ctx, 0, Request{Inputs: []schema.Value{schema.S("a")}})
+	if r4.Elapsed != time.Second {
+		t.Errorf("after reset elapsed = %v, want 1s", r4.Elapsed)
+	}
+}
+
+// TestJitterDeterministic: jittered latencies depend only on the
+// request key, never on call order.
+func TestJitterDeterministic(t *testing.T) {
+	lat := Latency{Base: time.Second, JitterSigma: 0.5}
+	a1 := lat.Elapsed("k1", false)
+	a2 := lat.Elapsed("k1", false)
+	b := lat.Elapsed("k2", false)
+	if a1 != a2 {
+		t.Error("same key must give same latency")
+	}
+	if a1 == b {
+		t.Error("different keys should (generically) differ")
+	}
+	if a1 <= 0 {
+		t.Error("latency must stay positive")
+	}
+}
+
+// TestJitterMeanRoughlyPreserved: the log-normal multiplier has mean
+// 1, so the average over many keys stays near Base.
+func TestJitterMeanRoughlyPreserved(t *testing.T) {
+	lat := Latency{Base: time.Second, JitterSigma: 0.75}
+	var sum time.Duration
+	n := 2000
+	for i := 0; i < n; i++ {
+		sum += lat.Elapsed(string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune(i)), false)
+	}
+	mean := sum / time.Duration(n)
+	if mean < 800*time.Millisecond || mean > 1250*time.Millisecond {
+		t.Errorf("jittered mean = %v, want ≈1s", mean)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	tb := MustNew(searchSig(), rows(7, "a"), Latency{})
+	ctx := context.Background()
+	for page := 0; page < 3; page++ {
+		if _, err := tb.Invoke(ctx, 0, Request{Inputs: []schema.Value{schema.S("a")}, Page: page}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.Counter.Calls() != 1 {
+		t.Errorf("calls = %d, want 1 (page 0 only)", tb.Counter.Calls())
+	}
+	if tb.Counter.Fetches() != 3 {
+		t.Errorf("fetches = %d, want 3", tb.Counter.Fetches())
+	}
+}
+
+func TestSamplerUniformOverCombos(t *testing.T) {
+	// 10 rows under key "a", 1 under "b": sampling must be ~50/50,
+	// not 10:1 (profiling unbiased by skew).
+	tb := MustNew(searchSig(), append(rows(10, "a"), rows(1, "b")...), Latency{})
+	sampler := tb.Sampler()
+	counts := map[string]int{}
+	rng := newRand()
+	for i := 0; i < 1000; i++ {
+		in := sampler.Sample(rng, 0)
+		counts[in[0].Str]++
+	}
+	if counts["a"] < 350 || counts["a"] > 650 {
+		t.Errorf("sampler skewed: %v", counts)
+	}
+}
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(11)) }

@@ -1,0 +1,161 @@
+// Package wsms implements the baseline the paper positions itself
+// against: the Web Service Management System of Srivastava, Munagala,
+// Widom and Motwani, "Query optimization over web services" (VLDB
+// 2006) — reference [16].
+//
+// The WSMS model differs from the paper's in exactly the ways §2.3,
+// §5.2 and §7 call out:
+//
+//   - all services are treated as exact, with no chunking of results
+//     and no ranking;
+//   - the optimizer minimizes the bottleneck cost metric — the total
+//     service time of the slowest node in a pipelined execution;
+//   - the cardinality model is Eq. 1 (no caching): every node's
+//     invocations equal the product of the erspi of its
+//     predecessors.
+//
+// The optimizer arranges the query's services into a pipelined chain.
+// Without access limitations the optimal arrangement orders services
+// by increasing selectivity (the result proved in [16]); with access
+// patterns the feasible chains are enumerated and the cheapest is
+// returned. This gives the experiments a faithful comparison point:
+// what a WSMS-style optimizer would pick for the paper's workloads,
+// and how it fares under the execution-time metric once search
+// services and chunking enter the picture.
+package wsms
+
+import (
+	"fmt"
+
+	"mdq/internal/abind"
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	"mdq/internal/plan"
+)
+
+// Optimizer is the WSMS baseline optimizer.
+type Optimizer struct {
+	// Estimator defaults to the [16] assumptions: no-cache (Eq. 1).
+	// Selectivity defaults apply to unannotated predicates.
+	Estimator card.Config
+	// MaxChains caps enumeration (0 = 100000).
+	MaxChains int
+}
+
+// Result reports the chosen chain and its costs.
+type Result struct {
+	// Plan is the pipelined chain.
+	Plan *plan.Plan
+	// Bottleneck is the metric the baseline minimizes.
+	Bottleneck float64
+	// ExecTime is the same plan evaluated under the paper's
+	// execution-time metric, for comparison.
+	ExecTime float64
+	// Chains counts the feasible chains enumerated.
+	Chains int
+}
+
+// Optimize picks the bottleneck-minimal feasible chain over the
+// query's atoms, trying every permissible access-pattern assignment.
+func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
+	for _, a := range q.Atoms {
+		if a.Sig == nil {
+			return nil, fmt.Errorf("wsms: query %s is not resolved against a schema", q.Name)
+		}
+	}
+	est := o.Estimator
+	est.Mode = card.NoCache // [16] repeats every call (§5.2)
+
+	assignments, err := abind.Enumerate(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(assignments) == 0 {
+		return nil, fmt.Errorf("wsms: no permissible access-pattern sequence for %s", q.Name)
+	}
+	abind.SortByCogency(assignments)
+
+	maxChains := o.MaxChains
+	if maxChains <= 0 {
+		maxChains = 100000
+	}
+	best := &Result{Bottleneck: cost.Infinite}
+	for _, asn := range assignments {
+		o.chains(q, asn, est, maxChains, best)
+	}
+	if best.Plan == nil {
+		return nil, fmt.Errorf("wsms: no executable chain for %s", q.Name)
+	}
+	return best, nil
+}
+
+// chains enumerates feasible total orders (the WSMS pipeline shape)
+// by recursive extension with callable atoms.
+func (o *Optimizer) chains(q *cq.Query, asn abind.Assignment, est card.Config, maxChains int, best *Result) {
+	n := len(q.Atoms)
+	placed := map[int]bool{}
+	order := make([]int, 0, n)
+	var rec func()
+	rec = func() {
+		if best.Chains >= maxChains {
+			return
+		}
+		if len(order) == n {
+			best.Chains++
+			topo := plan.Chain(append([]int(nil), order...))
+			p, err := plan.Build(q, asn, topo, plan.Options{})
+			if err != nil {
+				return
+			}
+			est.Annotate(p)
+			b := (cost.Bottleneck{}).Cost(p)
+			if b < best.Bottleneck {
+				best.Bottleneck = b
+				best.ExecTime = (cost.ExecTime{}).Cost(p)
+				best.Plan = p
+			}
+			return
+		}
+		for _, i := range abind.CallableAfter(q, asn, placed) {
+			placed[i] = true
+			order = append(order, i)
+			rec()
+			order = order[:len(order)-1]
+			delete(placed, i)
+		}
+	}
+	rec()
+}
+
+// GreedyChain is the selectivity-ordering rule of [16]: repeatedly
+// append the callable atom of smallest effective erspi. It is the
+// provably optimal arrangement when no access limitations constrain
+// the order, and the baseline's fast path.
+func GreedyChain(q *cq.Query, asn abind.Assignment, est card.Config) (*plan.Plan, error) {
+	n := len(q.Atoms)
+	placed := map[int]bool{}
+	order := make([]int, 0, n)
+	for len(order) < n {
+		callable := abind.CallableAfter(q, asn, placed)
+		if len(callable) == 0 {
+			return nil, fmt.Errorf("wsms: assignment %s not permissible", asn)
+		}
+		bestIdx, bestE := -1, 0.0
+		for _, i := range callable {
+			e := q.Atoms[i].Sig.Stats.ERSPI
+			vars := q.Atoms[i].Vars()
+			for _, p := range q.Preds {
+				if vars.ContainsAll(p.Vars()) {
+					e *= est.PredSelectivity([]*cq.Predicate{p})
+				}
+			}
+			if bestIdx < 0 || e < bestE {
+				bestIdx, bestE = i, e
+			}
+		}
+		placed[bestIdx] = true
+		order = append(order, bestIdx)
+	}
+	return plan.Build(q, asn, plan.Chain(order), plan.Options{})
+}

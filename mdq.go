@@ -1,0 +1,383 @@
+// Package mdq is a query processor for multi-domain queries over web
+// services, reproducing Braga, Ceri, Daniel and Martinenghi,
+// "Optimization of Multi-Domain Queries on the Web" (VLDB 2008).
+//
+// A multi-domain query combines knowledge from several domain
+// services — "database conferences in warm cities reachable with a
+// cheap flight and a luxury hotel" — expressed as a conjunctive query
+// in datalog-like syntax over registered services. The library
+//
+//   - models exact and search services with access patterns, erspi,
+//     response times, chunked results and decay;
+//   - compiles queries into DAG-shaped plans with pipe and parallel
+//     joins (nested loop / merge scan, rank-order preserving);
+//   - optimizes with a three-phase branch and bound (access patterns,
+//     plan topology, fetch factors) under pluggable cost metrics
+//     (execution time, request–response, sum, bottleneck,
+//     time-to-screen);
+//   - executes plans concurrently with three levels of logical
+//     caching, or deterministically on a virtual-time simulator;
+//   - wraps services over HTTP in both directions.
+//
+// The quickstart in examples/quickstart shows the whole lifecycle in
+// about fifty lines.
+package mdq
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mdq/internal/abind"
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	"mdq/internal/exec"
+	"mdq/internal/fetch"
+	"mdq/internal/httpwrap"
+	"mdq/internal/opt"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	"mdq/internal/service"
+	"mdq/internal/sim"
+	"mdq/internal/tabsvc"
+)
+
+// Re-exported building blocks. The aliases expose the stable public
+// surface of the internal packages.
+type (
+	// Value is a constant flowing through queries and results.
+	Value = schema.Value
+	// Stats carries profiled service characteristics.
+	Stats = schema.Stats
+	// Signature describes a service interface.
+	Signature = schema.Signature
+	// Attribute is one argument of a signature.
+	Attribute = schema.Attribute
+	// Domain is an abstract domain shared across services.
+	Domain = schema.Domain
+	// AccessPattern marks input/output argument positions.
+	AccessPattern = schema.AccessPattern
+	// Query is a parsed conjunctive query.
+	Query = cq.Query
+	// Plan is an executable query plan.
+	Plan = plan.Plan
+	// Topology is a partial order over query atoms.
+	Topology = plan.Topology
+	// Service is an invokable web service.
+	Service = service.Service
+	// Request is one service request.
+	Request = service.Request
+	// Response is one service response.
+	Response = service.Response
+	// Latency models simulated response times of table services.
+	Latency = tabsvc.Latency
+	// Metric is a plan cost metric.
+	Metric = cost.Metric
+	// CacheMode selects the logical caching level.
+	CacheMode = card.CacheMode
+	// ExecResult is the outcome of a concurrent execution.
+	ExecResult = exec.Result
+	// SimResult is the outcome of a simulated execution.
+	SimResult = sim.Result
+	// OptimizeResult carries the best plan and search statistics.
+	OptimizeResult = opt.Result
+)
+
+// Value constructors and pattern helpers.
+var (
+	// String builds a string value.
+	String = schema.S
+	// Number builds a numeric value.
+	Number = schema.N
+	// Date builds a date value.
+	Date = schema.D
+	// Pattern parses an access pattern such as "ioo".
+	Pattern = schema.MustPattern
+)
+
+// Caching levels (§5.1 of the paper).
+const (
+	NoCache      = card.NoCache
+	OneCallCache = card.OneCall
+	OptimalCache = card.Optimal
+)
+
+// Value kinds for Domain definitions.
+const (
+	StringKind = schema.StringValue
+	NumberKind = schema.NumberValue
+	DateKind   = schema.DateValue
+)
+
+// Service kinds (§2.1: exact services return unranked tuples, search
+// services return tuples in ranking order).
+const (
+	ExactService  = schema.Exact
+	SearchService = schema.Search
+)
+
+// Metrics (§2.3 of the paper).
+var (
+	ExecTimeMetric        = cost.Metric(cost.ExecTime{})
+	RequestResponseMetric = cost.Metric(cost.RequestResponse{})
+	SumCostMetric         = cost.Metric(cost.SumCost{})
+	BottleneckMetric      = cost.Metric(cost.Bottleneck{})
+	TimeToScreenMetric    = cost.Metric(cost.TimeToScreen{})
+)
+
+// MetricByName resolves "etm", "rr", "sum", "bottleneck", "tts" and
+// their long forms.
+var MetricByName = cost.ByName
+
+// System bundles a service registry with optimizer and executor
+// defaults; it is the package's main entry point.
+type System struct {
+	registry *service.Registry
+	// K is the number of answers optimized and executed for
+	// (default 10); 0 means "all answers".
+	K int
+	// Metric is the optimization objective (default execution time).
+	Metric Metric
+	// Cache is the logical caching level (default one-call, the
+	// paper's recommended trade-off).
+	Cache CacheMode
+}
+
+// NewSystem creates an empty system with the paper's default
+// settings: execution-time metric, one-call cache, k=10.
+func NewSystem() *System {
+	return &System{
+		registry: service.NewRegistry(),
+		K:        10,
+		Metric:   cost.ExecTime{},
+		Cache:    card.OneCall,
+	}
+}
+
+// Registry exposes the underlying registry for advanced use.
+func (s *System) Registry() *service.Registry { return s.registry }
+
+// Register adds a service implementation (§5 service registration).
+func (s *System) Register(svc Service) error { return s.registry.Register(svc) }
+
+// RegisterTable registers an in-memory table service: rows must be
+// full-width tuples in ranking order for search services.
+func (s *System) RegisterTable(sig *Signature, rows [][]Value, lat Latency) error {
+	t, err := tabsvc.New(sig, rows, lat)
+	if err != nil {
+		return err
+	}
+	return s.registry.Register(t)
+}
+
+// SetJoinMethod fixes the parallel join strategy for a service pair
+// (registration-time knowledge, §3.3): "NL" or "MS".
+func (s *System) SetJoinMethod(a, b, method string) error {
+	switch method {
+	case "NL", "nl":
+		s.registry.SetJoinMethod(a, b, plan.NestedLoop)
+	case "MS", "ms":
+		s.registry.SetJoinMethod(a, b, plan.MergeScan)
+	default:
+		return fmt.Errorf("mdq: unknown join method %q (want NL or MS)", method)
+	}
+	return nil
+}
+
+// Parse reads a conjunctive query in datalog-like syntax and
+// resolves it against the registered services.
+func (s *System) Parse(query string) (*Query, error) {
+	q, err := cq.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := s.registry.Schema()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Resolve(sch); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Optimize runs the three-phase branch and bound and returns the
+// cheapest executable plan together with search statistics.
+func (s *System) Optimize(q *Query) (*OptimizeResult, error) {
+	o := &opt.Optimizer{
+		Metric:       s.Metric,
+		Estimator:    card.Config{Mode: s.Cache},
+		K:            s.K,
+		ChooseMethod: s.registry.MethodChooser(),
+	}
+	return o.Optimize(q)
+}
+
+// Execute runs a plan against the registered services with the
+// system's caching level, stopping after K answers (0 drains).
+func (s *System) Execute(ctx context.Context, p *Plan) (*ExecResult, error) {
+	r := &exec.Runner{Registry: s.registry, Cache: s.Cache, K: s.K}
+	return r.Run(ctx, p)
+}
+
+// Answer optimizes and executes in one step: the paper's end-to-end
+// pipeline from datalog text to ranked answers.
+func (s *System) Answer(ctx context.Context, query string) (*ExecResult, *OptimizeResult, error) {
+	q, err := s.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	ores, err := s.Optimize(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := s.Execute(ctx, ores.Best)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, ores, nil
+}
+
+// Cache is a logical result cache (§5.1) that can be shared across
+// executions to continue a query for more answers.
+type Cache = exec.Cache
+
+// NewCache builds a logical cache of the given level.
+func NewCache(mode CacheMode) Cache { return exec.NewCache(mode) }
+
+// ExecuteShared runs a plan with an externally owned cache, so
+// subsequent continuations can reuse every call already made.
+func (s *System) ExecuteShared(ctx context.Context, p *Plan, cache Cache) (*ExecResult, error) {
+	r := &exec.Runner{Registry: s.registry, Cache: s.Cache, K: s.K, SharedCache: cache}
+	return r.Run(ctx, p)
+}
+
+// Continue produces more answers for a previously executed plan
+// (§2.2: "a user can either be satisfied with the first k answers,
+// or ask for more results of the same query"): each chunked node's
+// fetch factor grows by extraFetches and the plan re-runs against
+// the same cache, so only the new fetches reach the services.
+func (s *System) Continue(ctx context.Context, p *Plan, cache Cache, extraFetches int) (*ExecResult, error) {
+	if extraFetches < 1 {
+		extraFetches = 1
+	}
+	for _, n := range p.ChunkedNodes() {
+		n.Fetches += extraFetches
+	}
+	return s.ExecuteShared(ctx, p, cache)
+}
+
+// Simulate executes the plan on the deterministic virtual-time
+// simulator and reports call counts and the makespan.
+func (s *System) Simulate(ctx context.Context, p *Plan) (*SimResult, error) {
+	m := &sim.Simulator{Registry: s.registry, Cache: s.Cache, K: s.K}
+	return m.Run(ctx, p)
+}
+
+// Profile samples a registered table service and returns estimated
+// statistics (§5: registration gives estimates by sampling).
+func (s *System) Profile(ctx context.Context, name string, samples int) (Stats, error) {
+	svc, ok := s.registry.Lookup(name)
+	if !ok {
+		return Stats{}, fmt.Errorf("mdq: service %s not registered", name)
+	}
+	t, ok := svc.(*tabsvc.Table)
+	if !ok {
+		return Stats{}, fmt.Errorf("mdq: service %s is not profilable (no input sampler)", name)
+	}
+	p := &service.Profiler{Samples: samples, Seed: 1}
+	return p.Profile(ctx, t, 0, t.Sampler())
+}
+
+// HTTPHandler exposes every registered service over HTTP (JSON
+// protocol with chunk paging); mount it on any server. With
+// sleepScale > 0 the server really sleeps the scaled simulated
+// latency per request.
+func (s *System) HTTPHandler(sleepScale float64) http.Handler {
+	mux, _ := httpwrap.ServeRegistry(s.registry, httpwrap.HandlerOptions{SleepScale: sleepScale})
+	return mux
+}
+
+// ConnectHTTP registers every service served by a remote mdq
+// endpoint (see HTTPHandler) into this system.
+func ConnectHTTP(ctx context.Context, baseURL string, hc *http.Client) (*System, error) {
+	reg, err := httpwrap.DialRegistry(ctx, baseURL, hc)
+	if err != nil {
+		return nil, err
+	}
+	return &System{registry: reg, K: 10, Metric: cost.ExecTime{}, Cache: card.OneCall}, nil
+}
+
+// BuildPlan constructs a plan for an explicit topology and pattern
+// assignment — the manual route used to reproduce the paper's named
+// plans (S, P, O).
+func (s *System) BuildPlan(q *Query, asn []AccessPattern, topo *Topology) (*Plan, error) {
+	p, err := plan.Build(q, abind.Assignment(asn), topo, plan.Options{ChooseMethod: s.registry.MethodChooser()})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// AssignFetches runs phase 3 alone on a plan: fetch factors for the
+// system's K under its metric.
+func (s *System) AssignFetches(p *Plan) (feasible bool, vector []int, planCost float64) {
+	fa := &fetch.Assigner{Estimator: card.Config{Mode: s.Cache}, Metric: s.Metric, K: s.K}
+	fr := fa.Assign(p)
+	return fr.Feasible, fr.Vector, fr.Cost
+}
+
+// EstimateCost annotates the plan with the system's estimator and
+// returns its cost under the system metric and the expected result
+// size.
+func (s *System) EstimateCost(p *Plan) (planCost, tout float64) {
+	tout = card.Config{Mode: s.Cache}.Annotate(p)
+	return s.Metric.Cost(p), tout
+}
+
+// Template is a parametrized query: $name placeholders bound per
+// execution while the optimized plan structure is shared (§2.2).
+type Template = cq.Template
+
+// ParseTemplate parses a query with $param placeholders; bind it
+// with Template.Bind and resolve the result with ResolveQuery.
+func ParseTemplate(text string) (*Template, error) { return cq.ParseTemplate(text) }
+
+// ResolveQuery resolves a query built outside Parse (e.g. from a
+// template binding) against the registered services.
+func (s *System) ResolveQuery(q *Query) error {
+	sch, err := s.registry.Schema()
+	if err != nil {
+		return err
+	}
+	return q.Resolve(sch)
+}
+
+// ExpandQuery applies the §7 off-query expansion: when the query
+// admits no permissible access-pattern sequence, services from the
+// registry are added as extra atoms to seed the unbound inputs. The
+// expanded query computes a subset of the original answers. The
+// returned count is the number of atoms added (0 when the query was
+// already executable).
+func (s *System) ExpandQuery(q *Query, maxExtra int) (*Query, int, error) {
+	sch, err := s.registry.Schema()
+	if err != nil {
+		return nil, 0, err
+	}
+	return opt.Expand(q, sch, maxExtra)
+}
+
+// ChainTopology builds a serial topology over atom indexes.
+func ChainTopology(order ...int) *Topology { return plan.Chain(order) }
+
+// LayersTopology builds a layered topology (atoms inside a layer run
+// in parallel).
+func LayersTopology(layers ...[]int) *Topology { return plan.Layers(layers) }
+
+// Milliseconds is a convenience for building latencies.
+func Milliseconds(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }

@@ -1,0 +1,307 @@
+package mdq_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mdq"
+)
+
+// demoSystem builds a miniature two-domain world through the public
+// API only: a ranked restaurant search service and an exact
+// neighborhood-safety service.
+func demoSystem(t testing.TB) *mdq.System {
+	t.Helper()
+	s := mdq.NewSystem()
+
+	area := mdq.Domain{Name: "Area", Kind: mdq.StringKind, DistinctValues: 6}
+	restaurants := &mdq.Signature{
+		Name: "restaurant",
+		Attrs: []mdq.Attribute{
+			{Name: "Cuisine", Domain: mdq.Domain{Name: "Cuisine", DistinctValues: 4, Kind: mdq.StringKind}},
+			{Name: "Name", Domain: mdq.Domain{Kind: mdq.StringKind}},
+			{Name: "Area", Domain: area},
+			{Name: "Price", Domain: mdq.Domain{Name: "Price", Kind: mdq.NumberKind}},
+		},
+		Patterns: []mdq.AccessPattern{mdq.Pattern("iooo")},
+		Kind:     mdq.SearchService,
+		Stats:    mdq.Stats{ERSPI: 12, ChunkSize: 4, ResponseTime: mdq.Milliseconds(900)},
+	}
+	var rows [][]mdq.Value
+	areas := []string{"North", "South", "East", "West", "Center", "Docks"}
+	for _, cuisine := range []string{"italian", "sushi", "tapas", "ramen"} {
+		for i := 0; i < 12; i++ {
+			rows = append(rows, []mdq.Value{
+				mdq.String(cuisine),
+				mdq.String(cuisine + " place " + string(rune('A'+i))),
+				mdq.String(areas[i%len(areas)]),
+				mdq.Number(float64(10 + i*7)),
+			})
+		}
+	}
+	if err := s.RegisterTable(restaurants, rows, mdq.Latency{Base: mdq.Milliseconds(900)}); err != nil {
+		t.Fatal(err)
+	}
+
+	safety := &mdq.Signature{
+		Name: "safety",
+		Attrs: []mdq.Attribute{
+			{Name: "Area", Domain: area},
+			{Name: "Score", Domain: mdq.Domain{Name: "Score", Kind: mdq.NumberKind}},
+		},
+		Patterns: []mdq.AccessPattern{mdq.Pattern("io")},
+		Stats:    mdq.Stats{ERSPI: 1, ResponseTime: mdq.Milliseconds(300)},
+	}
+	var srows [][]mdq.Value
+	for i, a := range areas {
+		srows = append(srows, []mdq.Value{mdq.String(a), mdq.Number(float64(3 + i%3))})
+	}
+	if err := s.RegisterTable(safety, srows, mdq.Latency{Base: mdq.Milliseconds(300)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// districts lists the areas with no inputs — the off-query
+	// provider exercised by the §7 expansion test.
+	districts := &mdq.Signature{
+		Name:     "districts",
+		Attrs:    []mdq.Attribute{{Name: "Area", Domain: area}},
+		Patterns: []mdq.AccessPattern{mdq.Pattern("o")},
+		Stats:    mdq.Stats{ERSPI: float64(len(areas)), ResponseTime: mdq.Milliseconds(200)},
+	}
+	var drows [][]mdq.Value
+	for _, a := range areas {
+		drows = append(drows, []mdq.Value{mdq.String(a)})
+	}
+	if err := s.RegisterTable(districts, drows, mdq.Latency{Base: mdq.Milliseconds(200)}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const demoQuery = `
+dinner(Name, Area, Price, Score) :-
+    restaurant('sushi', Name, Area, Price),
+    safety(Area, Score),
+    Score >= 4 {0.6},
+    Price < 60 {0.7}.`
+
+// TestAnswerEndToEnd drives the whole public pipeline: register,
+// parse, optimize, execute.
+func TestAnswerEndToEnd(t *testing.T) {
+	s := demoSystem(t)
+	s.K = 5
+	res, ores, err := s.Answer(context.Background(), demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ores.Feasible {
+		t.Error("plan should be feasible")
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no answers")
+	}
+	if len(res.Rows) > 5 {
+		t.Errorf("rows = %d, want ≤ 5", len(res.Rows))
+	}
+	ix := map[string]int{}
+	for i, v := range res.Head {
+		ix[string(v)] = i
+	}
+	for _, row := range res.Rows {
+		if row[ix["Score"]].Num < 4 || row[ix["Price"]].Num >= 60 {
+			t.Errorf("answer violates predicates: %v", row)
+		}
+	}
+	// The optimizer must start from restaurant (the only directly
+	// callable atom: safety needs Area).
+	if min := ores.Best.Topology.Minimal(); len(min) != 1 {
+		t.Errorf("plan should have one source atom, got %v", min)
+	}
+	if res.Stats.Calls["restaurant"] == 0 || res.Stats.Calls["safety"] == 0 {
+		t.Error("both services must be invoked")
+	}
+}
+
+// TestSimulateAgreesWithExecute: virtual-time simulation matches the
+// real executor on counts and rows.
+func TestSimulateAgreesWithExecute(t *testing.T) {
+	s := demoSystem(t)
+	s.K = 0 // drain
+	q, err := s.Parse(demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ores, err := s.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := s.Execute(context.Background(), ores.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := s.Simulate(context.Background(), ores.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Rows) != len(sr.Rows) {
+		t.Errorf("executor %d rows, simulator %d", len(er.Rows), len(sr.Rows))
+	}
+	for svc, n := range er.Stats.Calls {
+		if sr.Stats.Calls[svc] != n {
+			t.Errorf("%s: executor %d calls, simulator %d", svc, n, sr.Stats.Calls[svc])
+		}
+	}
+	if sr.Makespan <= 0 {
+		t.Error("simulator must report a makespan")
+	}
+}
+
+// TestProfileAndEstimate: the profiling and estimation entry points
+// work through the facade.
+func TestProfileAndEstimate(t *testing.T) {
+	s := demoSystem(t)
+	st, err := s.Profile(context.Background(), "restaurant", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunkSize != 4 {
+		t.Errorf("profiled chunk = %d, want 4", st.ChunkSize)
+	}
+	q, err := s.Parse(demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ores, err := s.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, tout := s.EstimateCost(ores.Best)
+	if c <= 0 || tout <= 0 {
+		t.Errorf("estimate = (%g, %g)", c, tout)
+	}
+}
+
+// TestHTTPRoundTrip: serve the system over HTTP, connect a second
+// system to it, and answer the same query remotely.
+func TestHTTPRoundTrip(t *testing.T) {
+	s := demoSystem(t)
+	srv := httptest.NewServer(s.HTTPHandler(0))
+	defer srv.Close()
+
+	remote, err := mdq.ConnectHTTP(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote.K = 3
+	res, _, err := remote.Answer(context.Background(), demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("remote rows = %d, want 3", len(res.Rows))
+	}
+}
+
+// TestPlanRendering: the ASCII plan rendering is exposed through the
+// facade types.
+func TestPlanRendering(t *testing.T) {
+	s := demoSystem(t)
+	q, err := s.Parse(demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ores, err := s.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ascii := ores.Best.ASCII()
+	for _, want := range []string{"IN", "OUT", "restaurant", "safety"} {
+		if !strings.Contains(ascii, want) {
+			t.Errorf("plan rendering missing %q:\n%s", want, ascii)
+		}
+	}
+	if !strings.Contains(ores.Best.DOT(), "digraph") {
+		t.Error("DOT rendering broken")
+	}
+}
+
+// TestMetricByName covers the CLI metric resolution.
+func TestMetricByName(t *testing.T) {
+	for _, name := range []string{"etm", "rr", "sum", "bottleneck", "tts"} {
+		if _, ok := mdq.MetricByName(name); !ok {
+			t.Errorf("metric %q not resolvable", name)
+		}
+	}
+}
+
+// TestTemplateThroughFacade: parse a template, bind it twice,
+// resolve and answer.
+func TestTemplateThroughFacade(t *testing.T) {
+	s := demoSystem(t)
+	s.K = 2
+	tpl, err := mdq.ParseTemplate(`
+	dinner(Name, Price) :- restaurant($cuisine, Name, Area, Price),
+	                       safety(Area, Score), Score >= $minScore {0.6}.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cuisine := range []string{"sushi", "tapas"} {
+		q, err := tpl.Bind(map[string]mdq.Value{
+			"cuisine":  mdq.String(cuisine),
+			"minScore": mdq.Number(4),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ResolveQuery(q); err != nil {
+			t.Fatal(err)
+		}
+		ores, err := s.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Execute(context.Background(), ores.Best)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			t.Fatalf("%s: rows = %d, want 2", cuisine, len(res.Rows))
+		}
+		for _, row := range res.Rows {
+			if !strings.Contains(row[0].Str, cuisine) {
+				t.Errorf("binding leaked: %v for %s", row[0], cuisine)
+			}
+		}
+	}
+}
+
+// TestExpandThroughFacade: the §7 expansion is reachable from the
+// public API.
+func TestExpandThroughFacade(t *testing.T) {
+	s := demoSystem(t)
+	// A stuck query: safety needs Area, and no atom of the query
+	// produces it.
+	stuck, err := s.Parse(`areas(Score) :- safety(Area, Score).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, added, err := s.ExpandQuery(stuck, 2)
+	if err != nil {
+		t.Fatalf("expansion failed: %v", err)
+	}
+	if added != 1 {
+		t.Fatalf("added = %d, want 1 (districts provides Area)", added)
+	}
+	if expanded.Atoms[len(expanded.Atoms)-1].Service != "districts" {
+		t.Fatalf("expansion picked %s", expanded.Atoms[len(expanded.Atoms)-1].Service)
+	}
+	ores, err := s.Optimize(expanded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ores.Feasible && s.K > 0 {
+		t.Log("expanded query feasible flag:", ores.Feasible)
+	}
+}
