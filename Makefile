@@ -1,0 +1,29 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI stay in sync:
+# `make ci` is exactly what the workflow gates on.
+
+GO ?= go
+
+.PHONY: build vet fmt test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+ci: build vet fmt race bench

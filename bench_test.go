@@ -7,7 +7,10 @@ package mdq_test
 
 import (
 	"context"
+	"fmt"
+	"math/rand"
 	"testing"
+	"time"
 
 	"mdq/internal/abind"
 	"mdq/internal/card"
@@ -194,6 +197,105 @@ func BenchmarkWSMSBaseline(b *testing.B) {
 		o := &wsms.Optimizer{}
 		if _, err := o.Optimize(q); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// largeRandomQuery builds the large random topology used by the
+// optimizer scaling benchmarks: a deterministic pseudo-random chain
+// of services with mixed free/bound patterns and chunked members, so
+// phase 1 yields dozens of permissible assignments for the worker
+// pool to spread over.
+func largeRandomQuery(tb testing.TB) *cq.Query {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	const n = 7
+	q := &cq.Query{Name: "large"}
+	for i := 0; i < n; i++ {
+		attrs := []schema.Attribute{
+			{Name: "A", Domain: schema.Domain{Name: "D", Kind: schema.NumberValue, DistinctValues: 4}},
+			{Name: "B", Domain: schema.Domain{Name: "D", Kind: schema.NumberValue, DistinctValues: 4}},
+		}
+		patterns := []schema.AccessPattern{}
+		if i == 0 || rng.Intn(2) == 0 {
+			patterns = append(patterns, schema.MustPattern("oo"))
+		}
+		patterns = append(patterns, schema.MustPattern("io"))
+		chunk := 0
+		kind := schema.Exact
+		if rng.Intn(3) == 0 {
+			chunk = 2 + rng.Intn(4)
+			kind = schema.Search
+		}
+		sig := &schema.Signature{
+			Name:     fmt.Sprintf("s%d", i),
+			Attrs:    attrs,
+			Patterns: patterns,
+			Kind:     kind,
+			Stats: schema.Stats{
+				ERSPI:        0.5 + rng.Float64()*4,
+				ChunkSize:    chunk,
+				ResponseTime: time.Duration(100+rng.Intn(2000)) * time.Millisecond,
+			},
+		}
+		prev := i - 1
+		if i == 0 {
+			prev = 0
+		}
+		q.Atoms = append(q.Atoms, &cq.Atom{
+			Service: sig.Name,
+			Terms:   []cq.Term{cq.V(fmt.Sprintf("X%d", prev)), cq.V(fmt.Sprintf("X%d", i))},
+			Index:   i,
+			Sig:     sig,
+		})
+	}
+	perm, err := abind.Enumerate(q)
+	if err != nil || len(perm) < 8 {
+		tb.Fatalf("large random topology admits only %d assignments (err %v)", len(perm), err)
+	}
+	return q
+}
+
+// BenchmarkOptimize measures the three-phase search on the large
+// random topology at increasing worker counts. On multi-core
+// hardware parallel=4 should complete the same deterministic search
+// at least twice as fast as parallel=1 (single-core machines cannot
+// show wall-clock scaling; the differential tests in internal/opt
+// guarantee the result is identical either way).
+func BenchmarkOptimize(b *testing.B) {
+	q := largeRandomQuery(b)
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := &opt.Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+					K: 10, Parallelism: par}
+				if _, err := o.Optimize(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizePlanCache measures the cached fast path: after
+// the first search every optimization is an LRU lookup plus a plan
+// copy.
+func BenchmarkOptimizePlanCache(b *testing.B) {
+	q := largeRandomQuery(b)
+	cache := opt.NewPlanCache(16)
+	o := &opt.Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, Parallelism: opt.AutoParallelism, Cache: cache}
+	if _, err := o.Optimize(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := o.Optimize(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Cached {
+			b.Fatal("cache miss on repeated query")
 		}
 	}
 }

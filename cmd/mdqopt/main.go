@@ -5,7 +5,8 @@
 // Usage:
 //
 //	mdqopt [-world travel|bio|mashup] [-metric etm|rr|sum|bottleneck|tts]
-//	       [-cache none|one-call|optimal] [-k 10] [-dot] [-query "..."]
+//	       [-cache none|one-call|optimal] [-k 10] [-parallel -1] [-repeat 1]
+//	       [-dot] [-query "..."]
 //
 // Without -query the world's canonical query is used (the paper's
 // Figure 3 for the travel world).
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"mdq/internal/card"
 	"mdq/internal/cost"
@@ -34,6 +36,8 @@ func main() {
 		queryText = flag.String("query", "", "query in datalog-like syntax (default: the world's canonical query)")
 		dot       = flag.Bool("dot", false, "print the plan in Graphviz DOT instead of ASCII")
 		verbose   = flag.Bool("v", false, "also list alternative plans")
+		parallel  = flag.Int("parallel", opt.AutoParallelism, "optimizer search workers (-1 = one per CPU, 1 = sequential)")
+		repeat    = flag.Int("repeat", 1, "optimize the query N times through a shared plan cache (shows cache effectiveness)")
 	)
 	flag.Parse()
 
@@ -48,9 +52,9 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown metric %q", *metric)
 	}
-	mode, err := cacheMode(*cache)
-	if err != nil {
-		log.Fatal(err)
+	mode, ok := card.ModeByName(*cache)
+	if !ok {
+		log.Fatalf("unknown cache mode %q", *cache)
 	}
 
 	q, err := cq.Parse(text)
@@ -70,13 +74,26 @@ func main() {
 		Estimator:    card.Config{Mode: mode},
 		K:            *k,
 		ChooseMethod: reg.MethodChooser(),
+		Parallelism:  *parallel,
 	}
 	if *verbose {
 		o.KeepAlternatives = 10
 	}
+	var pc *opt.PlanCache
+	if *repeat > 1 {
+		pc = opt.NewPlanCache(16)
+		o.Cache = pc
+	}
+	start := time.Now()
 	res, err := o.Optimize(q)
 	if err != nil {
 		log.Fatal(err)
+	}
+	firstTime := time.Since(start)
+	for i := 1; i < *repeat; i++ {
+		if res, err = o.Optimize(q); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("query: %s\n\n", q)
@@ -87,9 +104,15 @@ func main() {
 	}
 	fmt.Printf("\n%s cost: %.2f  (feasible for k=%d: %v, estimated answers: %.1f)\n",
 		m.Name(), res.Cost, *k, res.Feasible, res.Best.OutputNode().TOut)
-	fmt.Printf("search: %d/%d permissible assignments, %d states (%d pruned), %d plans costed, %d fetch vectors\n",
+	fmt.Printf("search: %d/%d permissible assignments, %d states (%d pruned), %d plans costed, %d fetch vectors (%v, parallel=%d)\n",
 		res.Stats.PermissibleAssignments, res.Stats.CandidateAssignments,
-		res.Stats.StatesVisited, res.Stats.StatesPruned, res.Stats.Leaves, res.Stats.FetchVectors)
+		res.Stats.StatesVisited, res.Stats.StatesPruned, res.Stats.Leaves, res.Stats.FetchVectors,
+		firstTime.Round(time.Millisecond), *parallel)
+	if pc != nil {
+		cs := pc.Stats()
+		fmt.Printf("plan cache: %d hits, %d misses over %d optimizations (last served from cache: %v)\n",
+			cs.Hits, cs.Misses, *repeat, res.Cached)
+	}
 	if *verbose {
 		fmt.Println("\nalternatives:")
 		for i, alt := range res.Alternatives {
@@ -112,18 +135,5 @@ func world(name string) (*service.Registry, string, error) {
 		return w.Registry, simweb.MashupExampleText, nil
 	default:
 		return nil, "", fmt.Errorf("unknown world %q (want travel, bio or mashup)", name)
-	}
-}
-
-func cacheMode(name string) (card.CacheMode, error) {
-	switch name {
-	case "none", "no-cache":
-		return card.NoCache, nil
-	case "one-call", "onecall":
-		return card.OneCall, nil
-	case "optimal":
-		return card.Optimal, nil
-	default:
-		return 0, fmt.Errorf("unknown cache mode %q", name)
 	}
 }

@@ -41,6 +41,7 @@ func main() {
 		useSim    = flag.Bool("sim", false, "run on the virtual-time simulator")
 		expand    = flag.Bool("expand", false, "apply the §7 off-query expansion when the query is not executable")
 		queryText = flag.String("query", "", "query text (default: the world's canonical query)")
+		parallel  = flag.Int("parallel", opt.AutoParallelism, "optimizer search workers (-1 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -72,9 +73,9 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown metric %q", *metric)
 	}
-	mode, err := cacheMode(*cache)
-	if err != nil {
-		log.Fatal(err)
+	mode, ok := card.ModeByName(*cache)
+	if !ok {
+		log.Fatalf("unknown cache mode %q", *cache)
 	}
 
 	q, err := cq.Parse(text)
@@ -99,7 +100,8 @@ func main() {
 		}
 		q = eq
 	}
-	o := &opt.Optimizer{Metric: m, Estimator: card.Config{Mode: mode}, K: *k, ChooseMethod: reg.MethodChooser()}
+	o := &opt.Optimizer{Metric: m, Estimator: card.Config{Mode: mode}, K: *k,
+		ChooseMethod: reg.MethodChooser(), Parallelism: *parallel}
 	res, err := o.Optimize(q)
 	if err != nil {
 		log.Fatal(err)
@@ -179,19 +181,6 @@ func world(name string) (*service.Registry, string, error) {
 		return w.Registry, simweb.MashupExampleText, nil
 	default:
 		return nil, "", fmt.Errorf("unknown world %q", name)
-	}
-}
-
-func cacheMode(name string) (card.CacheMode, error) {
-	switch name {
-	case "none", "no-cache":
-		return card.NoCache, nil
-	case "one-call", "onecall":
-		return card.OneCall, nil
-	case "optimal":
-		return card.Optimal, nil
-	default:
-		return 0, fmt.Errorf("unknown cache mode %q", name)
 	}
 }
 

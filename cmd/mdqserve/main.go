@@ -1,23 +1,40 @@
 // Command mdqserve exposes a built-in simulated deep-web world over
 // HTTP, so that mdqrun -remote (or any mdq client) can optimize and
-// execute multi-domain queries against real web services.
+// execute multi-domain queries against real web services. It also
+// serves a query-optimization endpoint backed by the parallel
+// branch-and-bound and a shared plan cache, so repeated queries are
+// answered without re-running the search.
 //
 // Usage:
 //
 //	mdqserve [-addr :8080] [-world travel|bio|mashup] [-scale 0.001]
+//	         [-parallel -1] [-plancache 128]
 //
 // With -scale > 0 every request really sleeps the scaled simulated
 // latency (Table 1 of the paper: a flight call simulates 9.7 s, so
 // -scale 0.001 makes it 9.7 ms).
+//
+// The optimize endpoint accepts
+//
+//	POST /optimize {"query": "...", "metric": "etm", "k": 10, "cache": "one-call"}
+//
+// and responds with the chosen plan, its cost, the search statistics
+// and whether the plan came from the cache; GET /optimize/stats
+// reports cache effectiveness.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
 	"mdq/internal/httpwrap"
+	"mdq/internal/opt"
 	"mdq/internal/service"
 	"mdq/internal/simweb"
 )
@@ -28,6 +45,8 @@ func main() {
 		worldName = flag.String("world", "travel", "built-in world: travel, bio or mashup")
 		scale     = flag.Float64("scale", 0, "sleep scale for simulated latencies (0 = report only)")
 		jitter    = flag.Float64("jitter", 0, "log-normal latency jitter sigma")
+		parallel  = flag.Int("parallel", opt.AutoParallelism, "optimizer search workers (-1 = one per CPU, 1 = sequential)")
+		planCache = flag.Int("plancache", 128, "plan cache capacity (0 disables)")
 	)
 	flag.Parse()
 
@@ -44,7 +63,111 @@ func main() {
 	}
 
 	mux, names := httpwrap.ServeRegistry(reg, httpwrap.HandlerOptions{SleepScale: *scale})
+	var pc *opt.PlanCache
+	if *planCache > 0 {
+		pc = opt.NewPlanCache(*planCache)
+	}
+	srv := &optimizeServer{reg: reg, cache: pc, parallel: *parallel}
+	mux.HandleFunc("/optimize", srv.optimize)
+	mux.HandleFunc("/optimize/stats", srv.stats)
 	fmt.Printf("serving %s world (%v) on %s\n", *worldName, names, *addr)
-	fmt.Printf("endpoints: GET /services, GET /services/<name>/signature, POST /services/<name>/invoke\n")
+	fmt.Printf("endpoints: GET /services, GET /services/<name>/signature, POST /services/<name>/invoke,\n")
+	fmt.Printf("           POST /optimize, GET /optimize/stats\n")
 	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// optimizeServer answers optimization requests against the world's
+// registry with a shared plan cache. It is safe for concurrent
+// requests: the optimizer is built per call and the cache is
+// internally synchronized.
+type optimizeServer struct {
+	reg      *service.Registry
+	cache    *opt.PlanCache
+	parallel int
+}
+
+type optimizeRequest struct {
+	Query  string `json:"query"`
+	Metric string `json:"metric"` // default etm
+	Cache  string `json:"cache"`  // none | one-call | optimal
+	K      int    `json:"k"`
+}
+
+type optimizeResponse struct {
+	Plan     string    `json:"plan"`
+	Cost     float64   `json:"cost"`
+	Metric   string    `json:"metric"`
+	Feasible bool      `json:"feasible"`
+	Cached   bool      `json:"cached"`
+	Stats    opt.Stats `json:"stats"`
+}
+
+func (s *optimizeServer) optimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req optimizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Metric == "" {
+		req.Metric = "etm"
+	}
+	m, ok := cost.ByName(req.Metric)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown metric %q", req.Metric), http.StatusBadRequest)
+		return
+	}
+	mode, ok := card.ModeByName(req.Cache)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown cache mode %q", req.Cache), http.StatusBadRequest)
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	q, err := cq.Parse(req.Query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sch, err := s.reg.Schema()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := q.Resolve(sch); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	o := &opt.Optimizer{
+		Metric:       m,
+		Estimator:    card.Config{Mode: mode},
+		K:            req.K,
+		ChooseMethod: s.reg.MethodChooser(),
+		Parallelism:  s.parallel,
+		Cache:        s.cache,
+		CacheSalt:    s.reg.CacheSalt(),
+	}
+	res, err := o.Optimize(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(optimizeResponse{
+		Plan:     res.Best.Describe(),
+		Cost:     res.Cost,
+		Metric:   m.Name(),
+		Feasible: res.Feasible,
+		Cached:   res.Cached,
+		Stats:    res.Stats,
+	})
+}
+
+func (s *optimizeServer) stats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.cache.Stats())
 }

@@ -1,0 +1,3 @@
+module mdq
+
+go 1.22

@@ -52,7 +52,28 @@ func (m CacheMode) String() string {
 	}
 }
 
-// Config parameterizes the estimator.
+// ModeByName resolves a caching-model name for CLI and API use. An
+// empty name means the paper's recommended one-call default.
+func ModeByName(name string) (CacheMode, bool) {
+	switch name {
+	case "", "one-call", "onecall":
+		return OneCall, true
+	case "none", "no-cache":
+		return NoCache, true
+	case "optimal":
+		return Optimal, true
+	default:
+		return 0, false
+	}
+}
+
+// Config parameterizes the estimator. It is a pure value: Annotate
+// writes only into the plan it is passed (cardinality fields and the
+// plan's private ancestor cache), never into the Config, the query
+// or the signatures — so one Config may annotate distinct plans from
+// many goroutines concurrently, which the parallel optimizer relies
+// on. A custom DefaultSelectivity function must be pure for the same
+// reason. Two goroutines must not annotate the same *plan.Plan.
 type Config struct {
 	Mode CacheMode
 	// DefaultSelectivity supplies σp for predicates without an

@@ -11,6 +11,13 @@
 // to plan construction: the cost of a partially constructed DAG is a
 // valid lower bound for every completion, which is what makes branch
 // and bound applicable (§2.4).
+//
+// Concurrency: the parallel optimizer evaluates metrics from many
+// goroutines at once, each on its own plan. Every built-in metric is
+// a stateless value type that only reads the plan it is given and
+// the resolved signatures behind it, so concurrent use is safe;
+// custom Metric implementations must uphold the same contract (no
+// mutable state shared across Cost calls, no mutation of the plan).
 package cost
 
 import (

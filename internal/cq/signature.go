@@ -1,0 +1,85 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CanonicalKey returns a canonical string identifying the resolved
+// query for plan caching: two queries with equal keys describe the
+// same optimization problem, so they admit the same optimal plan
+// under the same optimizer settings.
+//
+// The key covers everything phase 1–3 of the optimizer can observe:
+// the head, every atom with its terms (constants by value — queries
+// differing only in a constant never share a key), the resolved
+// signature fingerprint of each atom (feasible patterns, kind,
+// profiled statistics and attribute domains, so a re-profiled
+// service invalidates old entries), and every predicate with its
+// selectivity annotation. The query name is deliberately excluded:
+// it does not influence the plan.
+//
+// The key is undefined for unresolved queries (it panics if an atom
+// has no signature); resolve against a schema first.
+func (q *Query) CanonicalKey() string {
+	var b strings.Builder
+	b.WriteString("h:")
+	for i, v := range q.Head {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(v))
+	}
+	for _, a := range q.Atoms {
+		if a.Sig == nil {
+			panic(fmt.Sprintf("cq: CanonicalKey on unresolved atom %s", a))
+		}
+		b.WriteString("|a:")
+		b.WriteString(a.Service)
+		b.WriteByte('(')
+		for i, t := range a.Terms {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if t.IsVar() {
+				b.WriteString("v:")
+				b.WriteString(string(t.Var))
+			} else {
+				b.WriteString("c:")
+				b.WriteString(t.Const.Key())
+			}
+		}
+		b.WriteByte(')')
+		writeSigFingerprint(&b, a)
+	}
+	for _, p := range q.Preds {
+		b.WriteString("|p:")
+		b.WriteString(p.String()) // includes operator and selectivity
+	}
+	return b.String()
+}
+
+// writeSigFingerprint appends the plan-relevant parts of the atom's
+// resolved signature: feasible patterns, service kind, statistics and
+// attribute domains all feed the cost model, so any change must yield
+// a distinct key.
+func writeSigFingerprint(b *strings.Builder, a *Atom) {
+	sig := a.Sig
+	b.WriteString("{P:")
+	for i, p := range sig.Patterns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.String())
+	}
+	st := sig.Stats
+	fmt.Fprintf(b, ";k%d;x%g;t%d;cs%d;d%d;m%g;D:", int(sig.Kind), st.ERSPI,
+		st.ResponseTime.Nanoseconds(), st.ChunkSize, st.Decay, st.CostPerCall)
+	for i, at := range sig.Attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%s#%d", at.Domain.Name, at.Domain.DistinctValues)
+	}
+	b.WriteByte('}')
+}

@@ -1,0 +1,182 @@
+package opt
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mdq/internal/cq"
+)
+
+// PlanCache is a thread-safe LRU cache of optimization results keyed
+// by the canonical query signature (cq.Query.CanonicalKey) combined
+// with the optimizer's own knobs. Repeated queries — the common case
+// for a server answering templated multi-domain queries — skip the
+// branch-and-bound entirely.
+//
+// Cached plans are stored frozen: Get returns a deep copy of the
+// plan graphs, so callers may freely re-annotate fetch factors or
+// cardinalities without corrupting the cached entry, and concurrent
+// Gets never alias each other's plans.
+type PlanCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses uint64
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// NewPlanCache creates a cache holding up to capacity results;
+// capacity <= 0 defaults to 128.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &PlanCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns a private copy of the cached result for key, marking
+// the entry most recently used.
+func (c *PlanCache) Get(key string) (*Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return copyResult(el.Value.(*cacheEntry).res), true
+}
+
+// Put stores a private copy of the result under key, evicting the
+// least recently used entry when the cache is full.
+func (c *PlanCache) Put(key string, res *Result) {
+	if c == nil || res == nil {
+		return
+	}
+	frozen := copyResult(res)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = frozen
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: frozen})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *PlanCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Purge drops every entry (counters are preserved).
+func (c *PlanCache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.cap)
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	Hits, Misses uint64
+	Size, Cap    int
+}
+
+// Stats returns a snapshot of the hit/miss counters and occupancy.
+func (c *PlanCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.ll.Len(), Cap: c.cap}
+}
+
+// copyResult deep-copies the plan graphs of a result so cached
+// entries and returned values never share mutable nodes. Stats and
+// costs are value types; queries, atoms and predicates stay shared
+// (they are read-only after resolution).
+func copyResult(r *Result) *Result {
+	cp := *r
+	if r.Best != nil {
+		cp.Best = r.Best.Clone()
+	}
+	if r.Alternatives != nil {
+		cp.Alternatives = make([]Scored, len(r.Alternatives))
+		for i, a := range r.Alternatives {
+			cp.Alternatives[i] = Scored{Plan: a.Plan.Clone(), Cost: a.Cost, Feasible: a.Feasible}
+		}
+	}
+	return &cp
+}
+
+// cacheKey composes the full cache key for a query under this
+// optimizer's settings. The query part comes from cq (atoms,
+// constants, patterns, statistics); the optimizer part appends every
+// knob that changes the search outcome: metric, K, estimator
+// configuration, exhaustiveness, alternatives, state budget and the
+// caller-provided salt. ChooseMethod and a custom DefaultSelectivity
+// function cannot be fingerprinted — callers that vary them across
+// optimizations over one shared cache must disambiguate via
+// CacheSalt.
+func (o *Optimizer) cacheKey(q *cq.Query) string {
+	var b strings.Builder
+	b.WriteString(q.CanonicalKey())
+	b.WriteString("||m=")
+	b.WriteString(o.metric().Name())
+	b.WriteString(";k=")
+	b.WriteString(strconv.Itoa(o.K))
+	b.WriteString(";fh=")
+	b.WriteString(strconv.Itoa(int(o.FetchHeuristic)))
+	b.WriteString(";cm=")
+	b.WriteString(strconv.Itoa(int(o.Estimator.Mode)))
+	b.WriteString(";ej=")
+	b.WriteString(strconv.FormatFloat(o.Estimator.DefaultEquiJoin, 'g', -1, 64))
+	if o.Estimator.DefaultSelectivity != nil {
+		b.WriteString(";sel=custom")
+	}
+	if o.Exhaustive {
+		b.WriteString(";x")
+	}
+	b.WriteString(";alt=")
+	b.WriteString(strconv.Itoa(o.KeepAlternatives))
+	b.WriteString(";ms=")
+	b.WriteString(strconv.Itoa(o.maxStates()))
+	if o.CacheSalt != "" {
+		b.WriteString(";salt=")
+		b.WriteString(o.CacheSalt)
+	}
+	return b.String()
+}

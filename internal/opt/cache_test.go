@@ -1,0 +1,232 @@
+package opt_test
+
+import (
+	"strings"
+	"testing"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	"mdq/internal/fetch"
+	. "mdq/internal/opt"
+	"mdq/internal/simweb"
+)
+
+// smallTravelText is a two-atom slice of the running example — conf
+// seeding a chunked hotel lookup — small enough that cache tests pay
+// milliseconds per search instead of seconds.
+const smallTravelText = `
+q(Conf, City, Hotel, HPrice) :-
+    conf('DB', Conf, Start, End, City),
+    hotel(Hotel, City, 'luxury', Start, End, HPrice).`
+
+func travelQuery(t *testing.T, text string) (*simweb.TravelWorld, *cq.Query) {
+	t.Helper()
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := cq.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Resolve(w.Schema); err != nil {
+		t.Fatal(err)
+	}
+	return w, q
+}
+
+// TestPlanCacheHitMiss: the first optimization misses and fills the
+// cache, the second hits, returns the identical plan, and skips the
+// search; counters track both.
+func TestPlanCacheHitMiss(t *testing.T) {
+	w, q := travelQuery(t, smallTravelText)
+	c := NewPlanCache(8)
+	o := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: w.Registry.MethodChooser(), Cache: c}
+	r1, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Fatal("first optimization reported a cache hit")
+	}
+	r2, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("second optimization missed the cache")
+	}
+	if r2.Cost != r1.Cost || r2.Best.Signature() != r1.Best.Signature() {
+		t.Fatalf("cached plan differs: %s/%g vs %s/%g",
+			r2.Best.Signature(), r2.Cost, r1.Best.Signature(), r1.Cost)
+	}
+	if r2.Stats != r1.Stats {
+		t.Errorf("cached result lost the original search stats")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+// TestPlanCacheReturnsPrivateCopies: mutating a returned plan (as
+// executors do when re-assigning fetch factors) must not corrupt the
+// cached entry or other callers' copies.
+func TestPlanCacheReturnsPrivateCopies(t *testing.T) {
+	w, q := travelQuery(t, smallTravelText)
+	c := NewPlanCache(8)
+	o := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: w.Registry.MethodChooser(), Cache: c}
+	r1, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r1.Best.Signature()
+	for _, n := range r1.Best.ChunkedNodes() {
+		n.Fetches += 100
+	}
+	r2, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("expected a cache hit")
+	}
+	if got := r2.Best.Signature(); got != want {
+		t.Fatalf("cached plan absorbed caller mutation: %s, want %s", got, want)
+	}
+	if r2.Best == r1.Best {
+		t.Fatal("cache returned an aliased plan")
+	}
+}
+
+// TestPlanCacheDistinguishesConstants: two queries differing only in
+// a constant describe different optimization problems and must never
+// share an entry.
+func TestPlanCacheDistinguishesConstants(t *testing.T) {
+	_, q1 := travelQuery(t, smallTravelText)
+	text2 := strings.Replace(smallTravelText, "'DB'", "'AI'", 1)
+	if text2 == smallTravelText {
+		t.Fatal("running example text no longer contains the 'DB' constant")
+	}
+	w, q2 := travelQuery(t, text2)
+	if q1.CanonicalKey() == q2.CanonicalKey() {
+		t.Fatal("queries differing only in a constant share a canonical key")
+	}
+	c := NewPlanCache(8)
+	o := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: w.Registry.MethodChooser(), Cache: c}
+	if _, err := o.Optimize(q1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := o.Optimize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cached {
+		t.Fatal("constant-differing query served from the cache")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+}
+
+// TestPlanCacheDistinguishesKnobs: the optimizer mixes metric, K and
+// salt into the key, so changing any of them bypasses stale entries.
+func TestPlanCacheDistinguishesKnobs(t *testing.T) {
+	w, q := travelQuery(t, smallTravelText)
+	c := NewPlanCache(16)
+	base := Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: w.Registry.MethodChooser(), Cache: c}
+	if _, err := base.Optimize(q); err != nil {
+		t.Fatal(err)
+	}
+	variants := []Optimizer{base, base, base, base}
+	variants[0].K = 5
+	variants[1].Metric = cost.RequestResponse{}
+	variants[2].CacheSalt = "reg@2"
+	variants[3].FetchHeuristic = fetch.Square
+	for i := range variants {
+		r, err := variants[i].Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cached {
+			t.Errorf("variant %d served a stale cached plan", i)
+		}
+	}
+	again, err := base.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("original settings no longer hit their own entry")
+	}
+}
+
+// TestPlanCacheLRUEviction: inserting beyond capacity evicts the
+// least recently used entry; a Get refreshes recency.
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(2)
+	c.Put("a", &Result{Cost: 1})
+	c.Put("b", &Result{Cost: 2})
+	if _, ok := c.Get("a"); !ok { // refresh a; b is now LRU
+		t.Fatal("entry a missing before eviction")
+	}
+	c.Put("c", &Result{Cost: 3})
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("least recently used entry b survived eviction")
+	}
+	for _, key := range []string{"a", "c"} {
+		if _, ok := c.Get(key); !ok {
+			t.Errorf("entry %s evicted out of LRU order", key)
+		}
+	}
+	c.Put("a", &Result{Cost: 9}) // overwrite refreshes, no growth
+	if c.Len() != 2 {
+		t.Errorf("overwrite grew the cache to %d entries", c.Len())
+	}
+	if r, _ := c.Get("a"); r == nil || r.Cost != 9 {
+		t.Error("overwrite did not replace the entry")
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Error("purge left entries behind")
+	}
+}
+
+// TestPlanCacheNilReceiver: a nil cache is a valid no-op, so callers
+// can thread an optional cache without guards.
+func TestPlanCacheNilReceiver(t *testing.T) {
+	var c *PlanCache
+	if _, ok := c.Get("k"); ok {
+		t.Error("nil cache reported a hit")
+	}
+	c.Put("k", &Result{})
+	if c.Len() != 0 || c.Stats() != (CacheStats{}) {
+		t.Error("nil cache not empty")
+	}
+}
+
+// TestCanonicalKeyStructural: the key ignores the query name but
+// covers head, predicates and profiled statistics.
+func TestCanonicalKeyStructural(t *testing.T) {
+	_, q1 := travelQuery(t, smallTravelText)
+	renamed := strings.Replace(smallTravelText, "q(", "other(", 1)
+	_, q2 := travelQuery(t, renamed)
+	if q1.CanonicalKey() != q2.CanonicalKey() {
+		t.Error("renaming the query changed its canonical key")
+	}
+	// A re-profiled service (changed statistics) must change the key,
+	// invalidating plans computed against the old profile.
+	w3, q3 := travelQuery(t, smallTravelText)
+	_ = w3
+	before := q3.CanonicalKey()
+	q3.Atoms[0].Sig.Stats.ERSPI *= 2
+	if q3.CanonicalKey() == before {
+		t.Error("changing profiled statistics did not change the canonical key")
+	}
+	q3.Atoms[0].Sig.Stats.ERSPI /= 2
+}

@@ -1,0 +1,86 @@
+package opt
+
+import "sync"
+
+// executor is the bounded worker pool behind a parallel search: a
+// fixed set of goroutines pulling closures from an unbounded LIFO
+// queue. Tasks may submit further tasks (the phase-2 walk expands
+// construction states into child states), so completion is "queue
+// empty and nothing running", not "queue empty". LIFO order keeps
+// the expansion depth-first per worker, bounding the frontier the
+// queue has to hold.
+type executor struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	active int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newExecutor starts workers goroutines; call close when done.
+func newExecutor(workers int) *executor {
+	e := &executor{}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// submit enqueues a task. Safe to call from within a task. The wake
+// is a broadcast: workers and a drainer share the one condition
+// variable, and a lone Signal could wake only the drainer and leave
+// the task unserved.
+func (e *executor) submit(f func()) {
+	e.mu.Lock()
+	e.queue = append(e.queue, f)
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+func (e *executor) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		f := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		e.active++
+		e.mu.Unlock()
+		f()
+		e.mu.Lock()
+		e.active--
+		if e.active == 0 && len(e.queue) == 0 {
+			e.cond.Broadcast()
+		}
+		e.mu.Unlock()
+	}
+}
+
+// drain blocks until every submitted task (including transitively
+// spawned ones) has finished. Must not be called from a worker.
+func (e *executor) drain() {
+	e.mu.Lock()
+	for e.active > 0 || len(e.queue) > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// close shuts the pool down after the queue drains and waits for the
+// workers to exit.
+func (e *executor) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	e.wg.Wait()
+}

@@ -2,7 +2,11 @@ package opt
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mdq/internal/abind"
 	"mdq/internal/card"
@@ -12,14 +16,21 @@ import (
 	"mdq/internal/plan"
 )
 
+// AutoParallelism makes the optimizer use one search worker per
+// available CPU (runtime.GOMAXPROCS).
+const AutoParallelism = -1
+
 // Optimizer configures the three-phase branch-and-bound search.
 type Optimizer struct {
 	// Metric is minimized; nil means cost.ExecTime (the paper's
 	// examples use the execution time and request–response metrics,
-	// §2.3).
+	// §2.3). Implementations must be safe for concurrent use from
+	// multiple goroutines when Parallelism enables them (the built-in
+	// metrics are stateless and safe).
 	Metric cost.Metric
 	// Estimator sets the caching model and default selectivities
-	// used to annotate candidate plans.
+	// used to annotate candidate plans. A custom DefaultSelectivity
+	// function must be pure: workers call it concurrently.
 	Estimator card.Config
 	// K is the number of answers to optimize for; 0 disables the
 	// feasibility requirement (all fetch factors stay at 1).
@@ -27,7 +38,8 @@ type Optimizer struct {
 	// FetchHeuristic seeds phase 3 (greedy by default).
 	FetchHeuristic fetch.Heuristic
 	// ChooseMethod picks parallel join methods (registration-time
-	// knowledge, §3.3); nil means plan.DefaultMethodChooser.
+	// knowledge, §3.3); nil means plan.DefaultMethodChooser. Must be
+	// safe for concurrent use (the registry's chooser is).
 	ChooseMethod plan.MethodChooser
 	// Exhaustive disables pruning, forcing full enumeration; used to
 	// validate that branch and bound preserves optimality.
@@ -37,8 +49,41 @@ type Optimizer struct {
 	MaxStates int
 	// KeepAlternatives retains the N best complete plans beyond the
 	// optimum (-1 keeps every evaluated plan, for plan-space
-	// reports).
+	// reports). When set, pruning uses only bounds discovered within
+	// each assignment's own search, never the cross-assignment
+	// incumbent: the set of plans evaluated — and hence the reported
+	// alternatives — is then independent of the phase-1 exploration
+	// order, so parallel and sequential searches return identical
+	// orderings.
 	KeepAlternatives int
+	// Parallelism is the number of worker goroutines searching
+	// concurrently, sharing one incumbent bound so an improvement
+	// found by any worker immediately tightens pruning in all
+	// others. The pool works at two granularities: each permissible
+	// assignment is a job, and — unless KeepAlternatives pins the
+	// walk to its deterministic sequential order — every phase-2
+	// construction state is one too, so a single assignment with a
+	// huge topology space still spreads across all workers. 0 or 1
+	// searches sequentially; AutoParallelism (-1) uses one worker
+	// per CPU. The best plan, its cost, and (with KeepAlternatives)
+	// the alternatives ordering are deterministic and identical
+	// across all parallelism levels; only the StatesVisited/
+	// StatesPruned effort counters may vary with worker timing. The
+	// one exception is a search truncated by the MaxStates safety
+	// valve: which states consume the budget then depends on worker
+	// timing, so a truncated parallel search may return a different
+	// (still valid) plan than the sequential one.
+	Parallelism int
+	// Cache, when non-nil, memoizes whole optimization results keyed
+	// by the canonical query signature (atoms, constants, patterns,
+	// profiled statistics) plus every optimizer knob above. A hit
+	// returns a private copy of the cached result with Cached set,
+	// skipping the search entirely.
+	Cache *PlanCache
+	// CacheSalt is mixed into the cache key for state the optimizer
+	// cannot fingerprint itself — e.g. the registry version behind
+	// ChooseMethod, or the identity of a custom DefaultSelectivity.
+	CacheSalt string
 }
 
 // Scored is a complete plan with its evaluated cost.
@@ -66,6 +111,14 @@ type Stats struct {
 	FetchVectors int
 }
 
+// add merges another worker's counters into s.
+func (s *Stats) add(t Stats) {
+	s.StatesVisited += t.StatesVisited
+	s.StatesPruned += t.StatesPruned
+	s.Leaves += t.Leaves
+	s.FetchVectors += t.FetchVectors
+}
+
 // Result is the outcome of an optimization.
 type Result struct {
 	Best     *plan.Plan
@@ -75,6 +128,10 @@ type Result struct {
 	// Alternatives holds further evaluated plans, best first (see
 	// Optimizer.KeepAlternatives).
 	Alternatives []Scored
+	// Cached reports that the result was served from the plan cache
+	// without running the search; Stats then describe the original
+	// search.
+	Cached bool
 }
 
 func (o *Optimizer) metric() cost.Metric {
@@ -91,18 +148,68 @@ func (o *Optimizer) maxStates() int {
 	return o.MaxStates
 }
 
+// workerCount resolves the Parallelism knob.
+func (o *Optimizer) workerCount() int {
+	p := o.Parallelism
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// incumbent is the bound shared by all search workers: the cost of
+// the cheapest feasible plan found so far, +Inf before the first.
+// Lowering it in any goroutine immediately tightens pruning in all
+// others. Costs are nonnegative, so the float64 bit patterns order
+// like the values and a CAS loop suffices.
+type incumbent struct {
+	bits atomic.Uint64
+}
+
+func newIncumbent() *incumbent {
+	b := &incumbent{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+func (b *incumbent) load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+func (b *incumbent) offer(c float64) {
+	for {
+		cur := b.bits.Load()
+		if math.Float64frombits(cur) <= c {
+			return
+		}
+		if b.bits.CompareAndSwap(cur, math.Float64bits(c)) {
+			return
+		}
+	}
+}
+
 // Optimize runs the full three-phase search on a resolved query and
 // returns the cheapest executable plan. The search is exact up to
 // the estimator: with Exhaustive set the same optimum is found by
-// full enumeration (asserted by the test suite).
+// full enumeration, and the optimum is identical at every
+// Parallelism level (both asserted by the test suite).
 func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 	for _, a := range q.Atoms {
 		if a.Sig == nil {
 			return nil, fmt.Errorf("opt: query %s is not resolved against a schema", q.Name)
 		}
 	}
-	res := &Result{Cost: cost.Infinite}
+	var key string
+	if o.Cache != nil {
+		key = o.cacheKey(q)
+		if res, ok := o.Cache.Get(key); ok {
+			res.Cached = true
+			return res, nil
+		}
+	}
 
+	res := &Result{Cost: cost.Infinite}
 	all, err := abind.EnumerateAll(q)
 	if err != nil {
 		return nil, err
@@ -119,61 +226,230 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 	// Phase 1 order: bound is better (§4.1.1) — most cogent first.
 	abind.SortByCogency(perm)
 
-	for _, asn := range perm {
-		o.searchAssignment(q, asn, res)
+	if len(q.Atoms) > 63 {
+		return nil, fmt.Errorf("opt: query %s has %d atoms; the topology walk supports at most 63", q.Name, len(q.Atoms))
 	}
+
+	// Phases 2–3 per assignment are independent searches coupled only
+	// through the shared incumbent; fan them out over the workers.
+	// Each search accumulates into a private asnResult, merged in
+	// assignment order afterwards, so the outcome does not depend on
+	// goroutine arrival. With KeepAlternatives each assignment is one
+	// sequential job (the deterministic-ordering contract); otherwise
+	// the assignment walks themselves fan out state by state, so even
+	// a single dominant assignment uses every worker.
+	shared := newIncumbent()
+	results := make([]*asnResult, len(perm))
+	if workers := o.workerCount(); workers <= 1 {
+		for i, asn := range perm {
+			results[i] = o.searchAssignment(q, asn, shared)
+		}
+	} else {
+		ex := newExecutor(workers)
+		for i, asn := range perm {
+			i, asn := i, asn
+			if o.KeepAlternatives != 0 {
+				ex.submit(func() { results[i] = o.searchAssignment(q, asn, shared) })
+			} else {
+				results[i] = o.startParallelSearch(q, asn, shared, ex)
+			}
+		}
+		ex.drain()
+		ex.close()
+	}
+	o.merge(res, results)
+
 	if res.Best == nil {
 		return nil, fmt.Errorf("opt: no executable plan found for query %s", q.Name)
 	}
-	sort.SliceStable(res.Alternatives, func(i, j int) bool {
-		if res.Alternatives[i].Feasible != res.Alternatives[j].Feasible {
-			return res.Alternatives[i].Feasible
-		}
-		return res.Alternatives[i].Cost < res.Alternatives[j].Cost
-	})
+	if o.Cache != nil {
+		o.Cache.Put(key, res)
+	}
 	return res, nil
 }
 
+// asnResult accumulates one assignment's search: the local incumbent,
+// the retained alternatives and the effort counters. The mutex makes
+// it safe for the state-parallel walk, where many workers evaluate
+// leaves of the same assignment; the sequential walk pays only an
+// uncontended lock.
+type asnResult struct {
+	mu      sync.Mutex
+	best    Scored
+	bestSig string
+	hasBest bool
+	alts    []Scored
+	stats   Stats
+}
+
+// addStates records visited/pruned construction states.
+func (ar *asnResult) addStates(visited, pruned int) {
+	ar.mu.Lock()
+	ar.stats.StatesVisited += visited
+	ar.stats.StatesPruned += pruned
+	ar.mu.Unlock()
+}
+
+// feasibleBound returns the cost of the local feasible incumbent, or
+// +Inf before one exists.
+func (ar *asnResult) feasibleBound() float64 {
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	if ar.hasBest && ar.best.Feasible {
+		return ar.best.Cost
+	}
+	return math.Inf(1)
+}
+
 // searchAssignment runs phases 2 and 3 for one access-pattern
-// assignment, updating the incumbent in res.
-func (o *Optimizer) searchAssignment(q *cq.Query, asn abind.Assignment, res *Result) {
+// assignment. Pruning consults the local incumbent and — unless
+// alternatives are being collected — the shared cross-assignment
+// bound.
+func (o *Optimizer) searchAssignment(q *cq.Query, asn abind.Assignment, shared *incumbent) *asnResult {
+	ar := &asnResult{}
+	useShared := o.KeepAlternatives == 0
+
 	// Heuristic seeds (§4.2.1) give the branch and bound a good
 	// initial upper bound.
 	if t := SerialHeuristic(q, asn, o.Estimator); t != nil {
-		o.evalLeaf(q, asn, t, res)
+		o.evalLeaf(q, asn, t, ar, shared, useShared)
 	}
 	if t := ParallelHeuristic(q, asn); t != nil {
-		o.evalLeaf(q, asn, t, res)
+		o.evalLeaf(q, asn, t, ar, shared, useShared)
 	}
 
 	visited := 0
 	keep := func(s *topoState) bool {
 		visited++
-		res.Stats.StatesVisited++
+		ar.addStates(1, 0)
 		if visited > o.maxStates() {
 			return false
 		}
-		if o.Exhaustive || s.placedCount() == 0 {
-			return true
-		}
-		lb, ok := o.partialCost(q, asn, s)
-		if !ok {
-			return true
-		}
-		if res.Best != nil && res.Feasible && lb > res.Cost {
-			res.Stats.StatesPruned++
+		if o.shouldPrune(q, asn, s, ar, shared, useShared) {
+			ar.addStates(0, 1)
 			return false
 		}
 		return true
 	}
 	WalkTopologies(q, asn, keep, func(t *plan.Topology) {
-		o.evalLeaf(q, asn, t, res)
+		o.evalLeaf(q, asn, t, ar, shared, useShared)
 	})
+	return ar
 }
 
-// evalLeaf runs phase 3 on a complete topology and updates the
-// incumbent.
-func (o *Optimizer) evalLeaf(q *cq.Query, asn abind.Assignment, topo *plan.Topology, res *Result) {
+// shouldPrune applies the branch-and-bound cut to a construction
+// state: prune when the monotone lower bound of the partial plan
+// already exceeds the best feasible incumbent visible to this search.
+func (o *Optimizer) shouldPrune(q *cq.Query, asn abind.Assignment, s *topoState, ar *asnResult, shared *incumbent, useShared bool) bool {
+	if o.Exhaustive || s.placedCount() == 0 {
+		return false
+	}
+	bound := ar.feasibleBound()
+	if useShared {
+		bound = math.Min(bound, shared.load())
+	}
+	if math.IsInf(bound, 1) {
+		return false
+	}
+	lb, ok := o.partialCost(q, asn, s)
+	return ok && lb > bound
+}
+
+// walkCtx is the shared state of one assignment's state-parallel
+// walk: the dedup set and visit budget live behind one mutex; leaf
+// and bound bookkeeping go through the thread-safe asnResult.
+type walkCtx struct {
+	o      *Optimizer
+	q      *cq.Query
+	asn    abind.Assignment
+	outs   []cq.VarSet
+	full   uint64
+	ar     *asnResult
+	shared *incumbent
+	ex     *executor
+
+	mu      sync.Mutex
+	seen    map[string]bool
+	visited int
+}
+
+// startParallelSearch launches phases 2–3 for one assignment on the
+// executor and returns its accumulator immediately; the caller drains
+// the executor before reading it. Used only without KeepAlternatives:
+// state expansion order then depends on worker timing, which may
+// shift the effort counters but — because pruning only ever discards
+// strictly-worse completions — never the returned optimum.
+func (o *Optimizer) startParallelSearch(q *cq.Query, asn abind.Assignment, shared *incumbent, ex *executor) *asnResult {
+	ar := &asnResult{}
+	w := &walkCtx{
+		o: o, q: q, asn: asn,
+		outs:   outputsOf(q, asn),
+		full:   uint64(1)<<len(q.Atoms) - 1,
+		ar:     ar,
+		shared: shared,
+		ex:     ex,
+		seen:   map[string]bool{},
+	}
+	ex.submit(func() {
+		// Heuristic seeds first (§4.2.1): they publish the initial
+		// upper bound the whole pool prunes against.
+		if t := SerialHeuristic(q, asn, o.Estimator); t != nil {
+			o.evalLeaf(q, asn, t, ar, shared, true)
+		}
+		if t := ParallelHeuristic(q, asn); t != nil {
+			o.evalLeaf(q, asn, t, ar, shared, true)
+		}
+		w.expand(&topoState{placed: 0, topo: plan.NewTopology(len(q.Atoms))})
+	})
+	return ar
+}
+
+// expand processes construction states: dedup, budget, bound check,
+// then either evaluate the complete topology or fan the successors
+// out. The first successor continues inline (the worker walks one
+// spine of the tree itself, keeping per-task overhead off the hot
+// path); the siblings become fresh tasks for idle workers to steal.
+func (w *walkCtx) expand(s *topoState) {
+	for s != nil {
+		k := s.key()
+		w.mu.Lock()
+		if w.seen[k] {
+			w.mu.Unlock()
+			return
+		}
+		w.seen[k] = true
+		w.visited++
+		over := w.visited > w.o.maxStates()
+		w.mu.Unlock()
+		w.ar.addStates(1, 0)
+		if over {
+			return
+		}
+		if w.o.shouldPrune(w.q, w.asn, s, w.ar, w.shared, true) {
+			w.ar.addStates(0, 1)
+			return
+		}
+		if s.placed == w.full {
+			w.o.evalLeaf(w.q, w.asn, s.topo.Clone(), w.ar, w.shared, true)
+			return
+		}
+		var first *topoState
+		cur := s
+		extensions(w.q, w.asn, w.outs, cur, func(j int, ideal uint64) {
+			child := apply(cur, j, ideal)
+			if first == nil {
+				first = child
+			} else {
+				w.ex.submit(func() { w.expand(child) })
+			}
+		})
+		s = first
+	}
+}
+
+// evalLeaf runs phase 3 on a complete topology and offers the scored
+// plan to the assignment's local result.
+func (o *Optimizer) evalLeaf(q *cq.Query, asn abind.Assignment, topo *plan.Topology, ar *asnResult, shared *incumbent, useShared bool) {
 	p, err := plan.Build(q, asn, topo, plan.Options{ChooseMethod: o.ChooseMethod})
 	if err != nil {
 		return
@@ -181,7 +457,6 @@ func (o *Optimizer) evalLeaf(q *cq.Query, asn abind.Assignment, topo *plan.Topol
 	if err := p.Validate(); err != nil {
 		return
 	}
-	res.Stats.Leaves++
 	assigner := &fetch.Assigner{
 		Estimator: o.Estimator,
 		Metric:    o.metric(),
@@ -189,41 +464,95 @@ func (o *Optimizer) evalLeaf(q *cq.Query, asn abind.Assignment, topo *plan.Topol
 		Heuristic: o.FetchHeuristic,
 	}
 	fr := assigner.Assign(p)
-	res.Stats.FetchVectors += fr.Explored
-	o.offer(res, Scored{Plan: p, Cost: fr.Cost, Feasible: fr.Feasible || o.K <= 0})
+	s := Scored{Plan: p, Cost: fr.Cost, Feasible: fr.Feasible || o.K <= 0}
+	if useShared && s.Feasible {
+		shared.offer(s.Cost)
+	}
+	ar.offer(s, fr.Explored, o.KeepAlternatives)
 }
 
-// offer updates the incumbent and the alternatives list.
-func (o *Optimizer) offer(res *Result, s Scored) {
+// offer records one evaluated leaf: effort counters, the local
+// incumbent, and the retained alternatives. Ties break on the
+// canonical plan signature, which makes the chosen incumbent — and,
+// through merge, the final result — a pure function of the set of
+// evaluated plans rather than of evaluation order.
+func (ar *asnResult) offer(s Scored, fetchVectors, keepAlt int) {
+	sig := s.Plan.Signature()
+	ar.mu.Lock()
+	defer ar.mu.Unlock()
+	ar.stats.Leaves++
+	ar.stats.FetchVectors += fetchVectors
 	better := false
 	switch {
-	case res.Best == nil:
+	case !ar.hasBest:
 		better = true
-	case s.Feasible != res.Feasible:
+	case s.Feasible != ar.best.Feasible:
 		better = s.Feasible
-	case s.Cost != res.Cost:
-		better = s.Cost < res.Cost
+	case s.Cost != ar.best.Cost:
+		better = s.Cost < ar.best.Cost
 	default:
-		// Deterministic tie-break on plan signature.
-		better = s.Plan.Signature() < res.Best.Signature()
+		better = sig < ar.bestSig
 	}
 	if better {
-		if res.Best != nil && o.KeepAlternatives != 0 {
-			res.Alternatives = append(res.Alternatives, Scored{res.Best, res.Cost, res.Feasible})
+		if ar.hasBest && keepAlt != 0 {
+			ar.alts = append(ar.alts, ar.best)
 		}
-		res.Best, res.Cost, res.Feasible = s.Plan, s.Cost, s.Feasible
-	} else if o.KeepAlternatives != 0 {
-		res.Alternatives = append(res.Alternatives, s)
+		ar.best, ar.bestSig, ar.hasBest = s, sig, true
+	} else if keepAlt != 0 {
+		ar.alts = append(ar.alts, s)
 	}
-	if o.KeepAlternatives > 0 && len(res.Alternatives) > o.KeepAlternatives {
-		sort.SliceStable(res.Alternatives, func(i, j int) bool {
-			if res.Alternatives[i].Feasible != res.Alternatives[j].Feasible {
-				return res.Alternatives[i].Feasible
-			}
-			return res.Alternatives[i].Cost < res.Alternatives[j].Cost
-		})
-		res.Alternatives = res.Alternatives[:o.KeepAlternatives]
+	if keepAlt > 0 && len(ar.alts) > keepAlt {
+		sortScored(ar.alts)
+		ar.alts = ar.alts[:keepAlt]
 	}
+}
+
+// merge folds the per-assignment results into the final one, in
+// assignment order: effort counters are summed and the plans compete
+// under the same deterministic order used locally.
+func (o *Optimizer) merge(res *Result, results []*asnResult) {
+	var candidates []Scored
+	for _, ar := range results {
+		if ar == nil {
+			continue
+		}
+		res.Stats.add(ar.stats)
+		if ar.hasBest {
+			candidates = append(candidates, ar.best)
+		}
+		candidates = append(candidates, ar.alts...)
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	sortScored(candidates)
+	res.Best, res.Cost, res.Feasible = candidates[0].Plan, candidates[0].Cost, candidates[0].Feasible
+	if o.KeepAlternatives != 0 {
+		res.Alternatives = candidates[1:]
+		if o.KeepAlternatives > 0 && len(res.Alternatives) > o.KeepAlternatives {
+			res.Alternatives = res.Alternatives[:o.KeepAlternatives]
+		}
+	}
+}
+
+// sortScored orders plans feasible-first, then by cost, then by
+// canonical plan signature — a total order independent of insertion
+// (and therefore goroutine) order.
+func sortScored(s []Scored) {
+	sigs := make([]string, len(s))
+	for i := range s {
+		sigs[i] = s[i].Plan.Signature()
+	}
+	sort.SliceStable(s, func(i, j int) bool {
+		a, b := s[i], s[j]
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		return sigs[i] < sigs[j]
+	})
 }
 
 // partialCost computes the monotone lower bound for a construction

@@ -1,0 +1,234 @@
+package opt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	. "mdq/internal/opt"
+	"mdq/internal/simweb"
+)
+
+// parallelLevels are the worker counts exercised by the differential
+// tests, per the CI contract: sequential, a typical pool, and an
+// oversubscribed pool.
+var parallelLevels = []int{1, 4, 8}
+
+// planOrdering flattens a result into the canonical signatures of
+// its plans, best first — the byte-identical ordering the parallel
+// search must preserve.
+func planOrdering(res *Result) []string {
+	out := []string{res.Best.Signature()}
+	for _, a := range res.Alternatives {
+		out = append(out, a.Plan.Signature())
+	}
+	return out
+}
+
+func sameOrdering(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelMatchesSequentialTravel: on the running example with
+// KeepAlternatives the parallel search returns byte-identical plan
+// orderings — and identical effort counters, since alternative
+// collection pins pruning to per-assignment bounds — at every
+// parallelism level.
+func TestParallelMatchesSequentialTravel(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimize := func(par int) *Result {
+		o := &Optimizer{
+			Metric:           cost.ExecTime{},
+			Estimator:        card.Config{Mode: card.OneCall},
+			K:                10,
+			ChooseMethod:     w.Registry.MethodChooser(),
+			KeepAlternatives: -1,
+			Parallelism:      par,
+		}
+		res, err := o.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := optimize(1)
+	baseOrder := planOrdering(base)
+	for _, par := range parallelLevels[1:] {
+		res := optimize(par)
+		if res.Cost != base.Cost || res.Feasible != base.Feasible {
+			t.Fatalf("parallelism %d: cost %g/%v, sequential %g/%v",
+				par, res.Cost, res.Feasible, base.Cost, base.Feasible)
+		}
+		if !sameOrdering(planOrdering(res), baseOrder) {
+			t.Fatalf("parallelism %d: plan ordering differs from sequential", par)
+		}
+		if res.Stats != base.Stats {
+			t.Errorf("parallelism %d: stats %+v, sequential %+v", par, res.Stats, base.Stats)
+		}
+	}
+}
+
+// TestParallelMatchesSequentialRandom: the same differential contract
+// on randomized schemas, patterns, statistics, metrics and K.
+func TestParallelMatchesSequentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1207))
+	metrics := []cost.Metric{cost.ExecTime{}, cost.RequestResponse{}, cost.SumCost{}}
+	checked := 0
+	for trial := 0; checked < 12 && trial < 40; trial++ {
+		q, ok := randomResolvedQuery(rng)
+		if !ok {
+			continue
+		}
+		metric := metrics[rng.Intn(len(metrics))]
+		k := 1 + rng.Intn(8)
+		mode := card.CacheMode(rng.Intn(3))
+		optimize := func(par int) (*Result, error) {
+			o := &Optimizer{Metric: metric, Estimator: card.Config{Mode: mode}, K: k,
+				KeepAlternatives: -1, Parallelism: par}
+			return o.Optimize(q)
+		}
+		base, err := optimize(1)
+		if err != nil {
+			continue
+		}
+		baseOrder := planOrdering(base)
+		for _, par := range parallelLevels[1:] {
+			res, err := optimize(par)
+			if err != nil {
+				t.Fatalf("trial %d parallelism %d: %v", trial, par, err)
+			}
+			if res.Cost != base.Cost || res.Feasible != base.Feasible {
+				t.Fatalf("trial %d parallelism %d: cost %g/%v, sequential %g/%v\nquery %s",
+					trial, par, res.Cost, res.Feasible, base.Cost, base.Feasible, q)
+			}
+			if !sameOrdering(planOrdering(res), baseOrder) {
+				t.Fatalf("trial %d parallelism %d: plan ordering differs\nquery %s", trial, par, q)
+			}
+			if res.Stats != base.Stats {
+				t.Fatalf("trial %d parallelism %d: stats %+v, sequential %+v", trial, par, res.Stats, base.Stats)
+			}
+		}
+		checked++
+	}
+	if checked < 8 {
+		t.Fatalf("only %d random instances checked", checked)
+	}
+}
+
+// TestParallelSharedBoundDeterministicOptimum: without alternatives
+// the workers share the incumbent bound, so the visited-state
+// counters may vary with timing — but the optimum (plan, cost,
+// feasibility) and the merged Stats invariants must not.
+func TestParallelSharedBoundDeterministicOptimum(t *testing.T) {
+	// Three atoms of the running example keep the repeated searches
+	// fast while still exercising chunked services and both joins.
+	w, q := travelQuery(t, `
+q(Conf, City, Hotel, HPrice, FPrice) :-
+    flight('Milano', City, Start, End, StartTime, EndTime, FPrice),
+    hotel(Hotel, City, 'luxury', Start, End, HPrice),
+    conf('DB', Conf, Start, End, City),
+    FPrice + HPrice < 2000 {0.01}.`)
+	optimize := func(par int) *Result {
+		o := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+			K: 10, ChooseMethod: w.Registry.MethodChooser(), Parallelism: par}
+		res, err := o.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := optimize(1)
+	for _, par := range parallelLevels {
+		for run := 0; run < 3; run++ {
+			res := optimize(par)
+			if res.Cost != base.Cost || res.Feasible != base.Feasible {
+				t.Fatalf("parallelism %d: cost %g, want %g", par, res.Cost, base.Cost)
+			}
+			if got, want := res.Best.Signature(), base.Best.Signature(); got != want {
+				t.Fatalf("parallelism %d: best plan %s, want %s", par, got, want)
+			}
+			s := res.Stats
+			if s.CandidateAssignments != base.Stats.CandidateAssignments ||
+				s.PermissibleAssignments != base.Stats.PermissibleAssignments {
+				t.Fatalf("parallelism %d: assignment counts %+v, want %+v", par, s, base.Stats)
+			}
+			// Merged effort counters must stay internally consistent:
+			// every assignment contributes at least its heuristic-seed
+			// leaf, pruning never exceeds visiting, and every costed
+			// leaf explored at least one fetch vector.
+			if s.Leaves < s.PermissibleAssignments {
+				t.Fatalf("parallelism %d: %d leaves for %d assignments", par, s.Leaves, s.PermissibleAssignments)
+			}
+			if s.StatesPruned > s.StatesVisited {
+				t.Fatalf("parallelism %d: pruned %d > visited %d", par, s.StatesPruned, s.StatesVisited)
+			}
+			if s.StatesVisited <= 0 || s.FetchVectors < s.Leaves {
+				t.Fatalf("parallelism %d: implausible stats %+v", par, s)
+			}
+		}
+	}
+}
+
+// TestAutoParallelism: the AutoParallelism sentinel and a worker
+// count exceeding the assignment count both behave like a plain
+// bounded pool.
+func TestAutoParallelism(t *testing.T) {
+	w, q := travelQuery(t, smallTravelText)
+	var want string
+	for i, par := range []int{1, AutoParallelism, 64} {
+		o := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+			K: 10, ChooseMethod: w.Registry.MethodChooser(), Parallelism: par}
+		res, err := o.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = res.Best.Signature()
+		} else if got := res.Best.Signature(); got != want {
+			t.Fatalf("parallelism %d: best plan %s, want %s", par, got, want)
+		}
+	}
+}
+
+// TestParallelExhaustiveMatches: exhaustive enumeration is also
+// parallel-safe and agrees with the pruned search at every level.
+func TestParallelExhaustiveMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var q *cq.Query
+	for {
+		var ok bool
+		q, ok = randomResolvedQuery(rng)
+		if ok {
+			break
+		}
+	}
+	costs := map[float64]bool{}
+	for _, par := range parallelLevels {
+		for _, exhaustive := range []bool{false, true} {
+			o := &Optimizer{Metric: cost.RequestResponse{}, Estimator: card.Config{Mode: card.OneCall},
+				K: 5, Exhaustive: exhaustive, Parallelism: par}
+			res, err := o.Optimize(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			costs[res.Cost] = true
+		}
+	}
+	if len(costs) != 1 {
+		t.Fatalf("optimum varied across parallelism/exhaustiveness: %v", costs)
+	}
+}

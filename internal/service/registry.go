@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mdq/internal/plan"
 	"mdq/internal/schema"
@@ -17,13 +18,24 @@ type Registry struct {
 	mu       sync.RWMutex
 	services map[string]Service
 	methods  map[[2]string]plan.JoinMethod
+	// id distinguishes registry instances within the process;
+	// version counts mutations (registrations, join-method changes).
+	// Plan caches mix both into their keys (see CacheSalt) so
+	// entries computed against another registry, or an older state
+	// of this one, are never served.
+	id      uint64
+	version uint64
 }
+
+// registryIDs hands each registry a process-unique identity.
+var registryIDs atomic.Uint64
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
 		services: map[string]Service{},
 		methods:  map[[2]string]plan.JoinMethod{},
+		id:       registryIDs.Add(1),
 	}
 }
 
@@ -40,7 +52,31 @@ func (r *Registry) Register(svc Service) error {
 		return fmt.Errorf("service: duplicate registration of %s", sig.Name)
 	}
 	r.services[sig.Name] = svc
+	r.version++
 	return nil
+}
+
+// Version returns a counter that increases on every registry
+// mutation. Optimization caches keyed on it are invalidated by any
+// registration or join-method change. Statistics refreshed in place
+// on an already-registered signature (service.Observed) do not bump
+// it; the canonical query key fingerprints those directly.
+func (r *Registry) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// CacheSalt returns an opaque token identifying this registry
+// instance and its current mutation state — the value optimizer plan
+// caches should mix into their keys. Two different registries, or
+// the same registry before and after a mutation, never share a salt,
+// so a cache shared across systems cannot serve a plan whose join
+// methods were chosen by another registry.
+func (r *Registry) CacheSalt() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return fmt.Sprintf("reg%d@%d", r.id, r.version)
 }
 
 // MustRegister is Register that panics on error.
@@ -88,6 +124,7 @@ func (r *Registry) SetJoinMethod(a, b string, m plan.JoinMethod) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.methods[pairKey(a, b)] = m
+	r.version++
 }
 
 func pairKey(a, b string) [2]string {

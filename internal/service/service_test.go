@@ -237,3 +237,27 @@ func TestObservedChunkDetection(t *testing.T) {
 		t.Errorf("observed chunk = %d, want 5", st.ChunkSize)
 	}
 }
+
+// TestRegistryVersion: every mutation bumps the version (the plan
+// cache's invalidation signal); reads do not.
+func TestRegistryVersion(t *testing.T) {
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	r := NewRegistry()
+	v0 := r.Version()
+	r.MustRegister(w.Conf)
+	v1 := r.Version()
+	if v1 <= v0 {
+		t.Fatalf("Register did not bump version: %d -> %d", v0, v1)
+	}
+	r.SetJoinMethod("a", "b", plan.MergeScan)
+	v2 := r.Version()
+	if v2 <= v1 {
+		t.Fatalf("SetJoinMethod did not bump version: %d -> %d", v1, v2)
+	}
+	r.Lookup("conf")
+	r.Services()
+	_ = r.MethodChooser()
+	if r.Version() != v2 {
+		t.Errorf("read operations changed the version")
+	}
+}

@@ -14,7 +14,12 @@
 //   - optimizes with a three-phase branch and bound (access patterns,
 //     plan topology, fetch factors) under pluggable cost metrics
 //     (execution time, request–response, sum, bottleneck,
-//     time-to-screen);
+//     time-to-screen); the search fans out over a worker pool sharing
+//     one incumbent bound (System.Parallelism: 0 = one worker per
+//     CPU, 1 = sequential) and can memoize whole results in an LRU
+//     plan cache keyed by the canonical query signature
+//     (System.PlanCache, see NewPlanCache) — results are
+//     deterministic at every parallelism level;
 //   - executes plans concurrently with three levels of logical
 //     caching, or deterministically on a virtual-time simulator;
 //   - wraps services over HTTP in both directions.
@@ -143,6 +148,17 @@ type System struct {
 	// Cache is the logical caching level (default one-call, the
 	// paper's recommended trade-off).
 	Cache CacheMode
+	// Parallelism is the number of optimizer search workers: 0 (the
+	// default) uses one worker per CPU, 1 forces the sequential
+	// search, n > 1 uses n workers. The chosen plan is identical at
+	// every level.
+	Parallelism int
+	// PlanCache, when non-nil, memoizes optimization results across
+	// queries (see NewPlanCache). Entries are keyed by the canonical
+	// query signature, the optimizer settings and the registry
+	// version, so registering a service or changing a join method
+	// invalidates them automatically.
+	PlanCache *PlanCache
 }
 
 // NewSystem creates an empty system with the paper's default
@@ -204,13 +220,22 @@ func (s *System) Parse(query string) (*Query, error) {
 }
 
 // Optimize runs the three-phase branch and bound and returns the
-// cheapest executable plan together with search statistics.
+// cheapest executable plan together with search statistics. The
+// search parallelizes over System.Parallelism workers and consults
+// System.PlanCache when one is attached.
 func (s *System) Optimize(q *Query) (*OptimizeResult, error) {
+	p := s.Parallelism
+	if p == 0 {
+		p = opt.AutoParallelism
+	}
 	o := &opt.Optimizer{
 		Metric:       s.Metric,
 		Estimator:    card.Config{Mode: s.Cache},
 		K:            s.K,
 		ChooseMethod: s.registry.MethodChooser(),
+		Parallelism:  p,
+		Cache:        s.PlanCache,
+		CacheSalt:    s.registry.CacheSalt(),
 	}
 	return o.Optimize(q)
 }
@@ -239,6 +264,18 @@ func (s *System) Answer(ctx context.Context, query string) (*ExecResult, *Optimi
 	}
 	return res, ores, nil
 }
+
+// PlanCache is an LRU cache of optimization results; attach one to
+// System.PlanCache so repeated queries skip the branch-and-bound
+// search entirely. Safe for concurrent use.
+type PlanCache = opt.PlanCache
+
+// PlanCacheStats reports plan-cache hit/miss counters and occupancy.
+type PlanCacheStats = opt.CacheStats
+
+// NewPlanCache builds a plan cache holding up to capacity results
+// (<= 0 means 128).
+func NewPlanCache(capacity int) *PlanCache { return opt.NewPlanCache(capacity) }
 
 // Cache is a logical result cache (§5.1) that can be shared across
 // executions to continue a query for more answers.

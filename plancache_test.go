@@ -1,0 +1,106 @@
+package mdq_test
+
+import (
+	"context"
+	"testing"
+
+	"mdq"
+)
+
+// TestSystemPlanCache drives the plan cache through the public API:
+// the first optimization fills it, the second hits it, executing the
+// cached plan still works, and a registry mutation (here a join
+// method change) invalidates every entry via the registry version.
+func TestSystemPlanCache(t *testing.T) {
+	s := demoSystem(t)
+	s.K = 5
+	s.PlanCache = mdq.NewPlanCache(32)
+
+	q1, err := s.Parse(demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.Optimize(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Fatal("first optimization reported a cache hit")
+	}
+
+	q2, err := s.Parse(demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Optimize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("repeated query missed the plan cache")
+	}
+	if r2.Cost != r1.Cost {
+		t.Fatalf("cached cost %g, original %g", r2.Cost, r1.Cost)
+	}
+	res, err := s.Execute(context.Background(), r2.Best)
+	if err != nil {
+		t.Fatalf("executing a cached plan: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("cached plan produced no answers")
+	}
+	if st := s.PlanCache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	// Mutating the registry bumps its version, which is mixed into
+	// the cache key: the stale entry must not be served.
+	if err := s.SetJoinMethod("restaurant", "safety", "NL"); err != nil {
+		t.Fatal(err)
+	}
+	q3, err := s.Parse(demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := s.Optimize(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cached {
+		t.Fatal("registry change did not invalidate the plan cache")
+	}
+}
+
+// TestSystemParallelismKnob: forcing the sequential search and the
+// parallel default must agree on the chosen plan and cost.
+func TestSystemParallelismKnob(t *testing.T) {
+	seq := demoSystem(t)
+	seq.K = 5
+	seq.Parallelism = 1
+	par := demoSystem(t)
+	par.K = 5
+	par.Parallelism = 4
+
+	qs, err := seq.Parse(demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := par.Parse(demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := seq.Optimize(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := par.Optimize(qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cost != rp.Cost || rs.Feasible != rp.Feasible {
+		t.Fatalf("sequential %g/%v, parallel %g/%v", rs.Cost, rs.Feasible, rp.Cost, rp.Feasible)
+	}
+	if rs.Best.Signature() != rp.Best.Signature() {
+		t.Fatalf("plans differ: %s vs %s", rs.Best.Signature(), rp.Best.Signature())
+	}
+}
