@@ -2,8 +2,9 @@
 # `make ci` is exactly what the workflow gates on.
 
 GO ?= go
+BENCH_TOLERANCE ?= 2.5
 
-.PHONY: build vet fmt test race bench ci
+.PHONY: build vet fmt test race bench benchgate bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -26,4 +27,16 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-ci: build vet fmt race bench
+# Gate BenchmarkOptimize* against the committed baseline: fails when
+# any benchmark runs slower than baseline × BENCH_TOLERANCE.
+benchgate:
+	$(GO) test -run=NONE -bench='^BenchmarkOptimize' -benchtime=3x . \
+		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -tolerance $(BENCH_TOLERANCE)
+
+# Refresh the committed baseline (run on the reference machine).
+bench-baseline:
+	$(GO) test -run=NONE -bench='^BenchmarkOptimize' -benchtime=3x . \
+		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -update \
+			-note "refreshed via make bench-baseline on $$(uname -m), $$(date +%F)"
+
+ci: build vet fmt race bench benchgate

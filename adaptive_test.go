@@ -1,0 +1,165 @@
+package mdq_test
+
+import (
+	"context"
+	"testing"
+
+	"mdq"
+)
+
+const adaptiveTemplate = `
+dinner(Name, Price) :- restaurant($cuisine, Name, Area, Price),
+                       safety(Area, Score), Score >= $minScore {0.6}.`
+
+func bindings(cuisine string) map[string]mdq.Value {
+	return map[string]mdq.Value{
+		"cuisine":  mdq.String(cuisine),
+		"minScore": mdq.Number(4),
+	}
+}
+
+// TestAdaptiveTemplateCache drives the whole adaptive loop through
+// the public API and asserts the PR's two contracts:
+//
+//  1. A bound query optimized twice with different constants performs
+//     exactly one branch-and-bound search (asserted via the cache's
+//     search counter);
+//  2. after execution traffic refreshes a service's statistics (epoch
+//     bump), the cache never serves a plan priced with the stale
+//     statistics — the next optimization agrees exactly with a
+//     cache-less optimization under the fresh statistics.
+func TestAdaptiveTemplateCache(t *testing.T) {
+	s := demoSystem(t)
+	s.K = 5
+	s.PlanCache = mdq.NewPlanCache(32)
+	s.ObserveAll()
+	s.Feedback = &mdq.FeedbackPolicy{MinCalls: 1}
+
+	// Distort restaurant's registered profile so real traffic is
+	// guaranteed to contradict it: the table really answers in
+	// ~900ms, so a 10s registered response time both misprices the
+	// plan and guarantees a large observable drift. (ERSPI would not
+	// do: chunked services are sized by their fetch schedule, so the
+	// cost model never reads it.)
+	reg, ok := s.Registry().Lookup("restaurant")
+	if !ok {
+		t.Fatal("restaurant not registered")
+	}
+	reg.Signature().Stats.ResponseTime = 10 * mdq.Milliseconds(1000)
+
+	tpl, err := mdq.ParseTemplate(adaptiveTemplate)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Contract 1: two bindings, one search.
+	_, r1, err := s.OptimizeBound(tpl, bindings("sushi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached || r1.TemplateHit {
+		t.Fatal("first binding did not search")
+	}
+	_, r2, err := s.OptimizeBound(tpl, bindings("tapas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.TemplateHit {
+		t.Fatalf("second binding was not a template hit: %+v", s.PlanCache.Stats())
+	}
+	if st := s.PlanCache.Stats(); st.Searches != 1 {
+		t.Fatalf("searches = %d, want exactly 1 for two bindings", st.Searches)
+	}
+
+	// Execute: real traffic flows through the observers and the
+	// feedback policy refreshes the drifted profile.
+	res, err := s.Execute(context.Background(), r2.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no answers")
+	}
+	if s.ServiceEpoch("restaurant") == 0 {
+		t.Fatalf("execution feedback did not bump restaurant's epoch (epochs %v)", s.Epochs())
+	}
+	after, _ := s.ServiceStats("restaurant")
+	if after.ResponseTime >= 10*mdq.Milliseconds(1000) {
+		t.Fatal("feedback did not correct the distorted profile")
+	}
+
+	// Contract 2: the stale plan is never served. The next binding
+	// must price exactly like a cache-less optimization under the
+	// refreshed statistics.
+	_, r3, err := s.OptimizeBound(tpl, bindings("ramen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := s.PlanCache
+	s.PlanCache = nil
+	qRef, err := tpl.Bind(bindings("ramen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ResolveQuery(qRef); err != nil {
+		t.Fatal(err)
+	}
+	rRef, err := s.Optimize(qRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PlanCache = pc
+	if r3.Cost != rRef.Cost {
+		t.Fatalf("post-refresh binding cost %g, cache-less reference %g — stale plan served",
+			r3.Cost, rRef.Cost)
+	}
+	if r3.Cost == r1.Cost {
+		t.Fatal("cost unchanged across a large statistics refresh — stale pricing")
+	}
+	st := pc.Stats()
+	if st.Revalidations+st.Divergences == 0 {
+		t.Fatalf("epoch bump triggered neither revalidation nor divergence: %+v", st)
+	}
+	// The exact entry from the first search depended on restaurant
+	// and must have been evicted eagerly by the epoch bump.
+	if st.EvictedEpoch == 0 {
+		t.Fatalf("stale exact entry was not evicted on the epoch bump: %+v", st)
+	}
+}
+
+// TestAnswerBoundThroughFacade: the one-call serving loop — bind,
+// optimize through the template cache, execute with feedback.
+func TestAnswerBoundThroughFacade(t *testing.T) {
+	s := demoSystem(t)
+	s.K = 2
+	s.PlanCache = mdq.NewPlanCache(8)
+	tpl, err := mdq.ParseTemplate(adaptiveTemplate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ores, err := s.AnswerBound(context.Background(), tpl, bindings("sushi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if ores.Cached {
+		t.Fatal("first answer served from an empty cache")
+	}
+	res2, ores2, err := s.AnswerBound(context.Background(), tpl, bindings("ramen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ores2.TemplateHit {
+		t.Fatal("second binding missed the template cache")
+	}
+	if len(res2.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res2.Rows))
+	}
+	for _, row := range res2.Rows {
+		if row[0].Str == "" || row[0].Str[0] != 'r' { // "ramen place X"
+			t.Fatalf("binding leaked into answers: %v", row)
+		}
+	}
+}

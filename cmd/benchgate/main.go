@@ -1,0 +1,140 @@
+// Command benchgate compares `go test -bench` output against a
+// committed baseline and fails on regression, turning the CI
+// benchmark smoke into a tracked-threshold perf gate.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=BenchmarkOptimize -benchtime=3x . \
+//	    | go run ./cmd/benchgate -baseline BENCH_BASELINE.json [-tolerance 2.5]
+//
+//	go test -run=NONE -bench=BenchmarkOptimize -benchtime=3x . \
+//	    | go run ./cmd/benchgate -baseline BENCH_BASELINE.json -update
+//
+// The baseline maps benchmark names (GOMAXPROCS suffix stripped) to
+// ns/op. A measured benchmark fails the gate when it is slower than
+// baseline × tolerance; benchmarks absent from the baseline are
+// reported but do not fail (add them with -update). Absolute ns/op
+// are hardware-dependent, so the tolerance is deliberately generous:
+// the gate catches gross regressions (an accidentally quadratic
+// search, a lost fast path), not percent-level drift. Refresh the
+// baseline on the reference machine with `make bench-baseline`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed file format.
+type Baseline struct {
+	// Note documents provenance (machine, date, command).
+	Note string `json:"note,omitempty"`
+	// NsPerOp maps benchmark name → nanoseconds per operation.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkOptimize/parallel=1-8   3   12345678 ns/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline file")
+		tolerance    = flag.Float64("tolerance", 2.5, "fail when measured > baseline × tolerance")
+		update       = flag.Bool("update", false, "write the measured values as the new baseline")
+		note         = flag.String("note", "", "provenance note stored with -update")
+	)
+	flag.Parse()
+
+	measured := map[string]float64{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if _, seen := measured[m[1]]; !seen {
+			order = append(order, m[1])
+		}
+		measured[m[1]] = ns
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading bench output: %v", err)
+	}
+	if len(measured) == 0 {
+		fatalf("no benchmark results on stdin (did -bench match anything?)")
+	}
+
+	if *update {
+		b := Baseline{Note: *note, NsPerOp: measured}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatalf("encoding baseline: %v", err)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fatalf("writing %s: %v", *baselinePath, err)
+		}
+		fmt.Printf("\nbenchgate: wrote %d entries to %s\n", len(measured), *baselinePath)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("reading baseline %s: %v (generate it with -update)", *baselinePath, err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatalf("parsing %s: %v", *baselinePath, err)
+	}
+
+	fmt.Printf("\nbenchgate: tolerance %.2f× against %s\n", *tolerance, *baselinePath)
+	failed := 0
+	for _, name := range order {
+		got := measured[name]
+		ref, ok := base.NsPerOp[name]
+		if !ok {
+			fmt.Printf("  NEW   %-50s %12.0f ns/op (not in baseline)\n", name, got)
+			continue
+		}
+		ratio := got / ref
+		status := "ok"
+		if got > ref**tolerance {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("  %-5s %-50s %12.0f ns/op  (baseline %.0f, %.2f×)\n", status, name, got, ref, ratio)
+	}
+	var missing []string
+	for name := range base.NsPerOp {
+		if _, ok := measured[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("  GONE  %-50s (in baseline, not measured)\n", name)
+	}
+	if failed > 0 {
+		fatalf("%d benchmark(s) regressed beyond %.2f× the baseline", failed, *tolerance)
+	}
+	fmt.Println("benchgate: no regressions")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

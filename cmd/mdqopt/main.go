@@ -7,9 +7,16 @@
 //	mdqopt [-world travel|bio|mashup] [-metric etm|rr|sum|bottleneck|tts]
 //	       [-cache none|one-call|optimal] [-k 10] [-parallel -1] [-repeat 1]
 //	       [-dot] [-query "..."]
+//	       [-template "... $param ..." -bind param=v1 -bind param=v2 ...]
 //
 // Without -query the world's canonical query is used (the paper's
 // Figure 3 for the travel world).
+//
+// With -template, the query is a parameterized template and each
+// -bind flag supplies one binding set ("name=value,name2=value2");
+// all bindings are optimized through a shared template-level plan
+// cache, demonstrating that N bindings cost one branch-and-bound
+// search plus N cheap cost phases.
 package main
 
 import (
@@ -17,28 +24,39 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"mdq/internal/card"
 	"mdq/internal/cost"
 	"mdq/internal/cq"
 	"mdq/internal/opt"
+	"mdq/internal/schema"
 	"mdq/internal/service"
 	"mdq/internal/simweb"
 )
 
+// bindList collects repeated -bind flags, one binding set each.
+type bindList []string
+
+func (b *bindList) String() string     { return strings.Join(*b, "; ") }
+func (b *bindList) Set(s string) error { *b = append(*b, s); return nil }
+
 func main() {
+	var binds bindList
 	var (
 		worldName = flag.String("world", "travel", "built-in world: travel, bio or mashup")
 		metric    = flag.String("metric", "etm", "cost metric: etm, rr, sum, bottleneck, tts")
 		cache     = flag.String("cache", "one-call", "caching model: none, one-call, optimal")
 		k         = flag.Int("k", 10, "number of answers to optimize for (0 = all)")
 		queryText = flag.String("query", "", "query in datalog-like syntax (default: the world's canonical query)")
+		tplText   = flag.String("template", "", "parameterized query template with $param placeholders")
 		dot       = flag.Bool("dot", false, "print the plan in Graphviz DOT instead of ASCII")
 		verbose   = flag.Bool("v", false, "also list alternative plans")
 		parallel  = flag.Int("parallel", opt.AutoParallelism, "optimizer search workers (-1 = one per CPU, 1 = sequential)")
 		repeat    = flag.Int("repeat", 1, "optimize the query N times through a shared plan cache (shows cache effectiveness)")
 	)
+	flag.Var(&binds, "bind", "binding set for -template as name=value[,name=value...]; repeatable")
 	flag.Parse()
 
 	reg, text, err := world(*worldName)
@@ -56,16 +74,8 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown cache mode %q", *cache)
 	}
-
-	q, err := cq.Parse(text)
-	if err != nil {
-		log.Fatal(err)
-	}
 	sch, err := reg.Schema()
 	if err != nil {
-		log.Fatal(err)
-	}
-	if err := q.Resolve(sch); err != nil {
 		log.Fatal(err)
 	}
 
@@ -75,10 +85,25 @@ func main() {
 		K:            *k,
 		ChooseMethod: reg.MethodChooser(),
 		Parallelism:  *parallel,
+		Epochs:       reg,
 	}
 	if *verbose {
 		o.KeepAlternatives = 10
 	}
+
+	if *tplText != "" {
+		optimizeTemplate(o, reg, sch, *tplText, binds, *dot, m)
+		return
+	}
+
+	q, err := cq.Parse(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := q.Resolve(sch); err != nil {
+		log.Fatal(err)
+	}
+
 	var pc *opt.PlanCache
 	if *repeat > 1 {
 		pc = opt.NewPlanCache(16)
@@ -119,6 +144,66 @@ func main() {
 			fmt.Printf("  %2d. %-60s %8.2f\n", i+1, alt.Plan.Describe(), alt.Cost)
 		}
 	}
+	os.Exit(0)
+}
+
+// optimizeTemplate drives the template-level cache: every -bind set
+// is bound, resolved and optimized through one shared cache; the
+// counters afterwards show one search serving all bindings.
+func optimizeTemplate(o *opt.Optimizer, reg *service.Registry, sch *schema.Schema, text string, binds bindList, dot bool, m cost.Metric) {
+	tpl, err := cq.ParseTemplate(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(binds) == 0 {
+		log.Fatalf("-template requires at least one -bind (parameters: %v)", tpl.Params())
+	}
+	pc := opt.NewPlanCache(64)
+	o.Cache = pc
+	o.CacheSalt = reg.CacheSalt()
+	reg.SubscribeEpochs(pc, pc.InvalidateService)
+	for i, b := range binds {
+		values, err := cq.ParseBindings(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q, err := tpl.Bind(values)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := q.Resolve(sch); err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := o.OptimizeTemplate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		took := time.Since(start)
+		how := "searched"
+		switch {
+		case res.TemplateHit && res.Revalidated:
+			how = "template hit (revalidated)"
+		case res.TemplateHit:
+			how = "template hit"
+		case res.Cached:
+			how = "exact hit"
+		}
+		fmt.Printf("binding %d (%s): %s  %s cost %.2f  [%s, %v]\n",
+			i+1, b, res.Best.Describe(), m.Name(), res.Cost, how, took.Round(time.Microsecond))
+		if i == 0 {
+			fmt.Println()
+			if dot {
+				fmt.Print(res.Best.DOT())
+			} else {
+				fmt.Print(res.Best.ASCII())
+			}
+			fmt.Println()
+		}
+	}
+	cs := pc.Stats()
+	fmt.Printf("\ntemplate cache: %d searches for %d bindings (%d template hits, %d revalidations, %d divergences)\n",
+		cs.Searches, len(binds), cs.TemplateHits, cs.Revalidations, cs.Divergences)
 	os.Exit(0)
 }
 

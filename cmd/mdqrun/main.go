@@ -6,10 +6,17 @@
 //
 //	mdqrun [-world travel|bio|mashup] [-remote http://host:port]
 //	       [-metric etm] [-cache one-call] [-k 10] [-sim] [-query "..."]
+//	       [-template "... $param ..." -bind "param=value,..."]
+//	       [-feedback]
 //
 // With -sim the plan runs on the deterministic virtual-time
 // simulator and the makespan is reported; otherwise the concurrent
 // executor runs it for real.
+//
+// With -template/-bind a parameterized query is bound before
+// optimization; with -feedback the executed traffic is folded back
+// into the observed service profiles afterwards and the refreshed
+// statistics epochs are printed — one turn of the adaptive loop.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 	"strings"
 
 	"mdq/internal/card"
@@ -41,6 +49,9 @@ func main() {
 		useSim    = flag.Bool("sim", false, "run on the virtual-time simulator")
 		expand    = flag.Bool("expand", false, "apply the §7 off-query expansion when the query is not executable")
 		queryText = flag.String("query", "", "query text (default: the world's canonical query)")
+		tplText   = flag.String("template", "", "parameterized query template with $param placeholders")
+		bindText  = flag.String("bind", "", "bindings for -template as name=value[,name=value...]")
+		feedback  = flag.Bool("feedback", false, "fold executed traffic back into observed service profiles")
 		parallel  = flag.Int("parallel", opt.AutoParallelism, "optimizer search workers (-1 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
@@ -77,14 +88,31 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown cache mode %q", *cache)
 	}
-
-	q, err := cq.Parse(text)
-	if err != nil {
-		log.Fatal(err)
+	if *feedback {
+		reg.ObserveAll()
 	}
+
 	sch, err := reg.Schema()
 	if err != nil {
 		log.Fatal(err)
+	}
+	var q *cq.Query
+	if *tplText != "" {
+		tpl, terr := cq.ParseTemplate(*tplText)
+		if terr != nil {
+			log.Fatal(terr)
+		}
+		values, berr := cq.ParseBindings(*bindText)
+		if berr != nil {
+			log.Fatal(berr)
+		}
+		if q, err = tpl.Bind(values); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if q, err = cq.Parse(text); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if err := q.Resolve(sch); err != nil {
 		log.Fatal(err)
@@ -101,7 +129,7 @@ func main() {
 		q = eq
 	}
 	o := &opt.Optimizer{Metric: m, Estimator: card.Config{Mode: mode}, K: *k,
-		ChooseMethod: reg.MethodChooser(), Parallelism: *parallel}
+		ChooseMethod: reg.MethodChooser(), Parallelism: *parallel, Epochs: reg}
 	res, err := o.Optimize(q)
 	if err != nil {
 		log.Fatal(err)
@@ -126,6 +154,9 @@ func main() {
 		extra = fmt.Sprintf("virtual makespan: %.1fs", out.Makespan.Seconds())
 	} else {
 		r := &exec.Runner{Registry: reg, Cache: mode, K: *k}
+		if *feedback {
+			r.Feedback = &service.FeedbackPolicy{}
+		}
 		out, err := r.Run(ctx, res.Best)
 		if err != nil {
 			log.Fatal(err)
@@ -151,6 +182,28 @@ func main() {
 		fmt.Printf(" %s=%d", svc, calls[svc])
 	}
 	fmt.Println()
+	if *feedback {
+		epochs := reg.Epochs()
+		if len(epochs) == 0 {
+			fmt.Println("feedback: no profile drifted enough to refresh")
+		} else {
+			fmt.Print("feedback: refreshed epochs")
+			for _, svc := range sortedEpochKeys(epochs) {
+				st, _ := reg.Lookup(svc)
+				fmt.Printf(" %s@%d(ξ=%.2f)", svc, epochs[svc], st.Signature().Stats.ERSPI)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func sortedEpochKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func render(row []schema.Value) []string {

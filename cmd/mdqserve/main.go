@@ -1,26 +1,36 @@
 // Command mdqserve exposes a built-in simulated deep-web world over
 // HTTP, so that mdqrun -remote (or any mdq client) can optimize and
 // execute multi-domain queries against real web services. It also
-// serves a query-optimization endpoint backed by the parallel
-// branch-and-bound and a shared plan cache, so repeated queries are
-// answered without re-running the search.
+// serves the adaptive optimization loop: a query-optimization
+// endpoint backed by the parallel branch-and-bound, a shared plan
+// cache with template-level entries, statistics observers on every
+// service, and a feedback policy that folds executed traffic back
+// into the profiles (bumping stats epochs that invalidate or
+// revalidate cached plans).
 //
 // Usage:
 //
 //	mdqserve [-addr :8080] [-world travel|bio|mashup] [-scale 0.001]
-//	         [-parallel -1] [-plancache 128]
+//	         [-parallel -1] [-plancache 128] [-cachettl 0]
+//	         [-cachebytes 0] [-revalidate-ratio 4] [-feedback]
 //
 // With -scale > 0 every request really sleeps the scaled simulated
 // latency (Table 1 of the paper: a flight call simulates 9.7 s, so
 // -scale 0.001 makes it 9.7 ms).
 //
-// The optimize endpoint accepts
+// Endpoints (all errors are JSON: {"error": "...", "status": N}):
 //
-//	POST /optimize {"query": "...", "metric": "etm", "k": 10, "cache": "one-call"}
-//
-// and responds with the chosen plan, its cost, the search statistics
-// and whether the plan came from the cache; GET /optimize/stats
-// reports cache effectiveness.
+//	POST /optimize  {"query": "...", "metric": "etm", "k": 10, "cache": "one-call"}
+//	    → the chosen plan, cost, search statistics, cache flags.
+//	POST /query     {"template": "... $param ...", "bindings": {"param": ...},
+//	                 "metric": "etm", "k": 10, "cache": "one-call", "execute": true}
+//	    → optimizes through the template cache (one search serves all
+//	      bindings) and, unless execute is false, runs the plan and
+//	      returns the answers; execution traffic feeds the profiles.
+//	GET  /cache     → cache counters plus per-entry kind/epochs/staleness.
+//	GET  /stats     → per-service profiled statistics, epochs and
+//	                  observation windows.
+//	GET  /optimize/stats → cache counters only (kept for older clients).
 package main
 
 import (
@@ -29,24 +39,35 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
 
 	"mdq/internal/card"
 	"mdq/internal/cost"
 	"mdq/internal/cq"
+	"mdq/internal/exec"
 	"mdq/internal/httpwrap"
 	"mdq/internal/opt"
+	"mdq/internal/schema"
 	"mdq/internal/service"
 	"mdq/internal/simweb"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		worldName = flag.String("world", "travel", "built-in world: travel, bio or mashup")
-		scale     = flag.Float64("scale", 0, "sleep scale for simulated latencies (0 = report only)")
-		jitter    = flag.Float64("jitter", 0, "log-normal latency jitter sigma")
-		parallel  = flag.Int("parallel", opt.AutoParallelism, "optimizer search workers (-1 = one per CPU, 1 = sequential)")
-		planCache = flag.Int("plancache", 128, "plan cache capacity (0 disables)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		worldName  = flag.String("world", "travel", "built-in world: travel, bio or mashup")
+		scale      = flag.Float64("scale", 0, "sleep scale for simulated latencies (0 = report only)")
+		jitter     = flag.Float64("jitter", 0, "log-normal latency jitter sigma")
+		parallel   = flag.Int("parallel", opt.AutoParallelism, "optimizer search workers (-1 = one per CPU, 1 = sequential)")
+		planCache  = flag.Int("plancache", 128, "plan cache capacity in entries (0 disables)")
+		cacheTTL   = flag.Duration("cachettl", 0, "plan cache entry TTL (0 = no expiry)")
+		cacheBytes = flag.Int64("cachebytes", 0, "approximate plan cache byte budget (0 = unlimited)")
+		revalRatio = flag.Float64("revalidate-ratio", opt.DefaultRevalidateRatio, "template-cache cost divergence triggering a fresh search")
+		feedback   = flag.Bool("feedback", true, "fold executed traffic back into service profiles (stats epochs)")
+		minCalls   = flag.Int64("feedback-min-calls", 4, "observed calls required before a profile refresh")
+		minDrift   = flag.Float64("feedback-min-drift", 0.1, "relative statistics drift required before a refresh")
 	)
 	flag.Parse()
 
@@ -61,29 +82,76 @@ func main() {
 	default:
 		log.Fatalf("unknown world %q", *worldName)
 	}
+	reg.ObserveAll()
 
 	mux, names := httpwrap.ServeRegistry(reg, httpwrap.HandlerOptions{SleepScale: *scale})
 	var pc *opt.PlanCache
 	if *planCache > 0 {
-		pc = opt.NewPlanCache(*planCache)
+		pc = opt.NewPlanCacheWith(opt.Policy{Capacity: *planCache, TTL: *cacheTTL, MaxBytes: *cacheBytes})
+		reg.SubscribeEpochs(pc, pc.InvalidateService)
 	}
-	srv := &optimizeServer{reg: reg, cache: pc, parallel: *parallel}
+	srv := &optimizeServer{
+		reg:        reg,
+		cache:      pc,
+		parallel:   *parallel,
+		revalRatio: *revalRatio,
+	}
+	if *feedback {
+		srv.feedback = &service.FeedbackPolicy{MinCalls: *minCalls, MinDrift: *minDrift}
+	}
 	mux.HandleFunc("/optimize", srv.optimize)
-	mux.HandleFunc("/optimize/stats", srv.stats)
+	mux.HandleFunc("/optimize/stats", srv.cacheStats)
+	mux.HandleFunc("/query", srv.query)
+	mux.HandleFunc("/cache", srv.cacheReport)
+	mux.HandleFunc("/stats", srv.serviceStats)
 	fmt.Printf("serving %s world (%v) on %s\n", *worldName, names, *addr)
 	fmt.Printf("endpoints: GET /services, GET /services/<name>/signature, POST /services/<name>/invoke,\n")
-	fmt.Printf("           POST /optimize, GET /optimize/stats\n")
+	fmt.Printf("           POST /optimize, POST /query, GET /cache, GET /stats, GET /optimize/stats\n")
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
-// optimizeServer answers optimization requests against the world's
-// registry with a shared plan cache. It is safe for concurrent
-// requests: the optimizer is built per call and the cache is
-// internally synchronized.
+// optimizeServer answers optimization and templated-query requests
+// against the world's registry with a shared adaptive plan cache. It
+// is safe for concurrent requests: optimizers are built per call and
+// the cache, registry and observers are internally synchronized.
 type optimizeServer struct {
-	reg      *service.Registry
-	cache    *opt.PlanCache
-	parallel int
+	reg        *service.Registry
+	cache      *opt.PlanCache
+	parallel   int
+	revalRatio float64
+	feedback   *service.FeedbackPolicy
+}
+
+// apiError is the uniform JSON error envelope of every endpoint.
+type apiError struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...), Status: status})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// optimizer assembles a per-request optimizer over the shared cache.
+func (s *optimizeServer) optimizer(m cost.Metric, mode card.CacheMode, k int) *opt.Optimizer {
+	return &opt.Optimizer{
+		Metric:          m,
+		Estimator:       card.Config{Mode: mode},
+		K:               k,
+		ChooseMethod:    s.reg.MethodChooser(),
+		Parallelism:     s.parallel,
+		Cache:           s.cache,
+		CacheSalt:       s.reg.CacheSalt(),
+		Epochs:          s.reg,
+		RevalidateRatio: s.revalRatio,
+	}
 }
 
 type optimizeRequest struct {
@@ -94,70 +162,71 @@ type optimizeRequest struct {
 }
 
 type optimizeResponse struct {
-	Plan     string    `json:"plan"`
-	Cost     float64   `json:"cost"`
-	Metric   string    `json:"metric"`
-	Feasible bool      `json:"feasible"`
-	Cached   bool      `json:"cached"`
-	Stats    opt.Stats `json:"stats"`
+	Plan        string    `json:"plan"`
+	Cost        float64   `json:"cost"`
+	Metric      string    `json:"metric"`
+	Feasible    bool      `json:"feasible"`
+	Cached      bool      `json:"cached"`
+	TemplateHit bool      `json:"template_hit,omitempty"`
+	Revalidated bool      `json:"revalidated,omitempty"`
+	Stats       opt.Stats `json:"stats"`
+}
+
+// knobs decodes the metric/cache/k triple shared by /optimize and
+// /query.
+func knobs(metric, cacheName string, k int) (cost.Metric, card.CacheMode, int, error) {
+	if metric == "" {
+		metric = "etm"
+	}
+	m, ok := cost.ByName(metric)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("unknown metric %q", metric)
+	}
+	mode, ok := card.ModeByName(cacheName)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("unknown cache mode %q", cacheName)
+	}
+	if k == 0 {
+		k = 10
+	}
+	return m, mode, k, nil
 }
 
 func (s *optimizeServer) optimize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req optimizeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	if req.Metric == "" {
-		req.Metric = "etm"
-	}
-	m, ok := cost.ByName(req.Metric)
-	if !ok {
-		http.Error(w, fmt.Sprintf("unknown metric %q", req.Metric), http.StatusBadRequest)
+	m, mode, k, err := knobs(req.Metric, req.Cache, req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
-	}
-	mode, ok := card.ModeByName(req.Cache)
-	if !ok {
-		http.Error(w, fmt.Sprintf("unknown cache mode %q", req.Cache), http.StatusBadRequest)
-		return
-	}
-	if req.K == 0 {
-		req.K = 10
 	}
 	q, err := cq.Parse(req.Query)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "parsing query: %v", err)
 		return
 	}
 	sch, err := s.reg.Schema()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "assembling schema: %v", err)
 		return
 	}
 	if err := q.Resolve(sch); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "resolving query: %v", err)
 		return
 	}
-	o := &opt.Optimizer{
-		Metric:       m,
-		Estimator:    card.Config{Mode: mode},
-		K:            req.K,
-		ChooseMethod: s.reg.MethodChooser(),
-		Parallelism:  s.parallel,
-		Cache:        s.cache,
-		CacheSalt:    s.reg.CacheSalt(),
-	}
-	res, err := o.Optimize(q)
+	res, err := s.optimizer(m, mode, k).Optimize(q)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		writeError(w, http.StatusUnprocessableEntity, "optimizing: %v", err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(optimizeResponse{
+	writeJSON(w, optimizeResponse{
 		Plan:     res.Best.Describe(),
 		Cost:     res.Cost,
 		Metric:   m.Name(),
@@ -167,7 +236,184 @@ func (s *optimizeServer) optimize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *optimizeServer) stats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.cache.Stats())
+type queryRequest struct {
+	Template string         `json:"template"`
+	Bindings map[string]any `json:"bindings"`
+	Metric   string         `json:"metric"`
+	Cache    string         `json:"cache"`
+	K        int            `json:"k"`
+	// Execute runs the optimized plan and returns the answers;
+	// defaults to true (omit or set false for optimize-only).
+	Execute *bool `json:"execute"`
+}
+
+type queryResponse struct {
+	optimizeResponse
+	Head    []string          `json:"head,omitempty"`
+	Rows    [][]string        `json:"rows,omitempty"`
+	Calls   map[string]int64  `json:"calls,omitempty"`
+	Elapsed float64           `json:"elapsed_seconds,omitempty"`
+	Epochs  map[string]uint64 `json:"epochs,omitempty"`
+}
+
+// bindValue converts a JSON binding into a schema value: numbers map
+// to numeric values, strings that parse as dates become dates, and
+// everything else textual stays a string.
+func bindValue(v any) (schema.Value, error) {
+	switch x := v.(type) {
+	case float64:
+		return schema.N(x), nil
+	case string:
+		for _, layout := range []string{"2006/01/02", "2006-01-02"} {
+			if t, err := time.Parse(layout, x); err == nil {
+				return schema.D(t.Year(), t.Month(), t.Day()), nil
+			}
+		}
+		return schema.S(x), nil
+	default:
+		return schema.Value{}, fmt.Errorf("unsupported binding type %T", v)
+	}
+}
+
+func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	m, mode, k, err := knobs(req.Metric, req.Cache, req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tpl, err := cq.ParseTemplate(req.Template)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing template: %v", err)
+		return
+	}
+	values := make(map[string]schema.Value, len(req.Bindings))
+	for name, raw := range req.Bindings {
+		v, err := bindValue(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "binding $%s: %v", name, err)
+			return
+		}
+		values[name] = v
+	}
+	q, err := tpl.Bind(values)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "binding template: %v", err)
+		return
+	}
+	sch, err := s.reg.Schema()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "assembling schema: %v", err)
+		return
+	}
+	if err := q.Resolve(sch); err != nil {
+		writeError(w, http.StatusBadRequest, "resolving query: %v", err)
+		return
+	}
+	res, err := s.optimizer(m, mode, k).OptimizeTemplate(q)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "optimizing: %v", err)
+		return
+	}
+	resp := queryResponse{optimizeResponse: optimizeResponse{
+		Plan:        res.Best.Describe(),
+		Cost:        res.Cost,
+		Metric:      m.Name(),
+		Feasible:    res.Feasible,
+		Cached:      res.Cached,
+		TemplateHit: res.TemplateHit,
+		Revalidated: res.Revalidated,
+		Stats:       res.Stats,
+	}}
+	if req.Execute == nil || *req.Execute {
+		runner := &exec.Runner{Registry: s.reg, Cache: mode, K: k, Feedback: s.feedback}
+		out, err := runner.Run(r.Context(), res.Best)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "executing: %v", err)
+			return
+		}
+		for _, v := range out.Head {
+			resp.Head = append(resp.Head, string(v))
+		}
+		for _, row := range out.Rows {
+			resp.Rows = append(resp.Rows, renderRow(row))
+		}
+		resp.Calls = out.Stats.Calls
+		resp.Elapsed = out.Elapsed.Seconds()
+		resp.Epochs = s.reg.Epochs()
+	}
+	writeJSON(w, resp)
+}
+
+func renderRow(row []schema.Value) []string {
+	out := make([]string, len(row))
+	for i, v := range row {
+		switch v.Kind {
+		case schema.StringValue:
+			out[i] = v.Str
+		case schema.DateValue:
+			out[i] = v.Time().Format("2006-01-02")
+		default:
+			out[i] = strings.TrimSuffix(strconv.FormatFloat(v.Num, 'f', 2, 64), ".00")
+		}
+	}
+	return out
+}
+
+func (s *optimizeServer) cacheStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.cache.Stats())
+}
+
+type cacheReport struct {
+	Stats   opt.CacheStats  `json:"stats"`
+	Entries []opt.EntryInfo `json:"entries"`
+}
+
+func (s *optimizeServer) cacheReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, cacheReport{Stats: s.cache.Stats(), Entries: s.cache.Entries()})
+}
+
+type serviceReport struct {
+	Epoch        uint64  `json:"epoch"`
+	ERSPI        float64 `json:"erspi"`
+	ResponseSecs float64 `json:"response_seconds"`
+	ChunkSize    int     `json:"chunk_size"`
+	// Observation window since the last refresh.
+	ObservedCalls   int64 `json:"observed_calls"`
+	ObservedFetches int64 `json:"observed_fetches"`
+	ObservedRows    int64 `json:"observed_rows"`
+}
+
+func (s *optimizeServer) serviceStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	out := map[string]serviceReport{}
+	for _, svc := range s.reg.Services() {
+		sig := svc.Signature()
+		rep := serviceReport{
+			Epoch:        s.reg.Epoch(sig.Name),
+			ERSPI:        sig.Stats.ERSPI,
+			ResponseSecs: sig.Stats.ResponseTime.Seconds(),
+			ChunkSize:    sig.Stats.ChunkSize,
+		}
+		if ob, ok := s.reg.Observer(sig.Name); ok {
+			rep.ObservedCalls, rep.ObservedFetches, rep.ObservedRows = ob.Observations()
+		}
+		out[sig.Name] = rep
+	}
+	writeJSON(w, out)
 }

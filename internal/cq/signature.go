@@ -22,6 +22,26 @@ import (
 // The key is undefined for unresolved queries (it panics if an atom
 // has no signature); resolve against a schema first.
 func (q *Query) CanonicalKey() string {
+	return q.canonicalKey(false)
+}
+
+// TemplateKey returns the canonical signature of the query's
+// constant-free template: constants are masked down to their value
+// kind and the profiled statistics are left out of the signature
+// fingerprint. All bindings of one cq.Template — and, more generally,
+// any two queries differing only in constant values — share a
+// template key, which is what lets a plan cache serve one branch-and-
+// bound search to every binding (the plan structure depends on
+// patterns, topology and fetch factors, never on constant values).
+// Statistics drift is deliberately invisible to the key; the caller
+// tracks it separately through per-service stats epochs.
+//
+// Like CanonicalKey, it panics on unresolved queries.
+func (q *Query) TemplateKey() string {
+	return q.canonicalKey(true)
+}
+
+func (q *Query) canonicalKey(masked bool) string {
 	var b strings.Builder
 	b.WriteString("h:")
 	for i, v := range q.Head {
@@ -41,29 +61,78 @@ func (q *Query) CanonicalKey() string {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			if t.IsVar() {
-				b.WriteString("v:")
-				b.WriteString(string(t.Var))
-			} else {
-				b.WriteString("c:")
-				b.WriteString(t.Const.Key())
-			}
+			writeTermKey(&b, t, masked)
 		}
 		b.WriteByte(')')
-		writeSigFingerprint(&b, a)
+		writeSigFingerprint(&b, a, masked)
 	}
 	for _, p := range q.Preds {
 		b.WriteString("|p:")
-		b.WriteString(p.String()) // includes operator and selectivity
+		if masked {
+			writeMaskedPred(&b, p)
+		} else {
+			b.WriteString(p.String()) // includes operator and selectivity
+		}
 	}
 	return b.String()
+}
+
+// writeTermKey renders one term; with masked set, constants collapse
+// to a kind-tagged placeholder so all bindings agree.
+func writeTermKey(b *strings.Builder, t Term, masked bool) {
+	if t.IsVar() {
+		b.WriteString("v:")
+		b.WriteString(string(t.Var))
+		return
+	}
+	if masked {
+		fmt.Fprintf(b, "c:?%d", int(t.Const.Kind))
+		return
+	}
+	b.WriteString("c:")
+	b.WriteString(t.Const.Key())
+}
+
+// writeMaskedPred renders a predicate with constants masked but the
+// operator, structure and selectivity annotation intact (selectivity
+// is structural: it is part of the query text, not of a binding).
+func writeMaskedPred(b *strings.Builder, p *Predicate) {
+	writeMaskedExpr(b, p.L)
+	b.WriteByte(' ')
+	b.WriteString(p.Op.String())
+	b.WriteByte(' ')
+	writeMaskedExpr(b, p.R)
+	if p.Selectivity > 0 {
+		fmt.Fprintf(b, " {%g}", p.Selectivity)
+	}
+}
+
+func writeMaskedExpr(b *strings.Builder, e *Expr) {
+	if e == nil {
+		return
+	}
+	switch e.Kind {
+	case ETerm:
+		writeTermKey(b, e.Term, true)
+	case EAdd:
+		writeMaskedExpr(b, e.L)
+		b.WriteString(" + ")
+		writeMaskedExpr(b, e.R)
+	case ESub:
+		writeMaskedExpr(b, e.L)
+		b.WriteString(" - ")
+		writeMaskedExpr(b, e.R)
+	}
 }
 
 // writeSigFingerprint appends the plan-relevant parts of the atom's
 // resolved signature: feasible patterns, service kind, statistics and
 // attribute domains all feed the cost model, so any change must yield
-// a distinct key.
-func writeSigFingerprint(b *strings.Builder, a *Atom) {
+// a distinct key. With maskStats set the profiled statistics are
+// omitted (template keys stay stable across in-place stats refreshes;
+// staleness is tracked by epochs instead), while the structural parts
+// — patterns, kind, domains — remain.
+func writeSigFingerprint(b *strings.Builder, a *Atom, maskStats bool) {
 	sig := a.Sig
 	b.WriteString("{P:")
 	for i, p := range sig.Patterns {
@@ -72,9 +141,13 @@ func writeSigFingerprint(b *strings.Builder, a *Atom) {
 		}
 		b.WriteString(p.String())
 	}
-	st := sig.Stats
-	fmt.Fprintf(b, ";k%d;x%g;t%d;cs%d;d%d;m%g;D:", int(sig.Kind), st.ERSPI,
-		st.ResponseTime.Nanoseconds(), st.ChunkSize, st.Decay, st.CostPerCall)
+	if maskStats {
+		fmt.Fprintf(b, ";k%d;D:", int(sig.Kind))
+	} else {
+		st := sig.Stats
+		fmt.Fprintf(b, ";k%d;x%g;t%d;cs%d;d%d;m%g;D:", int(sig.Kind), st.ERSPI,
+			st.ResponseTime.Nanoseconds(), st.ChunkSize, st.Decay, st.CostPerCall)
+	}
 	for i, at := range sig.Attrs {
 		if i > 0 {
 			b.WriteByte(',')

@@ -3,7 +3,9 @@ package cq
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"mdq/internal/schema"
 )
@@ -202,4 +204,40 @@ func (t *Template) MustBind(values map[string]schema.Value) *Query {
 		panic(err)
 	}
 	return q
+}
+
+// ParseBindings reads a textual binding list of the form
+// "name=value,name2=value2" (the CLI syntax of mdqopt/mdqrun) into
+// template binding values, typing each literal with
+// ParseBindingValue. Empty segments are skipped.
+func ParseBindings(s string) (map[string]schema.Value, error) {
+	values := map[string]schema.Value{}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		name, raw, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("cq: binding %q is not name=value", kv)
+		}
+		values[strings.TrimSpace(name)] = ParseBindingValue(strings.TrimSpace(raw))
+	}
+	return values, nil
+}
+
+// ParseBindingValue types a binding literal: yyyy/mm/dd or
+// yyyy-mm-dd become dates, anything strconv.ParseFloat accepts
+// ("28", "10.50", "1e3") becomes a number, everything else stays a
+// string.
+func ParseBindingValue(raw string) schema.Value {
+	for _, layout := range []string{"2006/01/02", "2006-01-02"} {
+		if t, err := time.Parse(layout, raw); err == nil {
+			return schema.D(t.Year(), t.Month(), t.Day())
+		}
+	}
+	if f, err := strconv.ParseFloat(raw, 64); err == nil {
+		return schema.N(f)
+	}
+	return schema.S(raw)
 }

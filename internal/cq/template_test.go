@@ -89,6 +89,205 @@ func TestParseTemplateRejectsPlainQueries(t *testing.T) {
 	}
 }
 
+// templateSchema builds signatures for the conf/weather template so
+// bound queries can be resolved (TemplateKey requires resolution).
+func templateSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	topic := schema.Domain{Name: "Topic", Kind: schema.StringValue, DistinctValues: 10}
+	city := schema.Domain{Name: "City", Kind: schema.StringValue, DistinctValues: 50}
+	date := schema.Domain{Name: "Date", Kind: schema.DateValue}
+	temp := schema.Domain{Name: "Temp", Kind: schema.NumberValue}
+	name := schema.Domain{Name: "Name", Kind: schema.StringValue}
+	conf := &schema.Signature{
+		Name: "conf",
+		Attrs: []schema.Attribute{
+			{Name: "Topic", Domain: topic}, {Name: "Conf", Domain: name},
+			{Name: "Start", Domain: date}, {Name: "End", Domain: date},
+			{Name: "City", Domain: city},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("ioooo")},
+		Stats:    schema.Stats{ERSPI: 5},
+	}
+	weather := &schema.Signature{
+		Name: "weather",
+		Attrs: []schema.Attribute{
+			{Name: "City", Domain: city}, {Name: "Temp", Domain: temp},
+			{Name: "Date", Domain: date},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("ioo")},
+		Stats:    schema.Stats{ERSPI: 1},
+	}
+	sch, err := schema.NewSchema(conf, weather)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func bindResolved(t *testing.T, tpl *Template, sch *schema.Schema, values map[string]schema.Value) *Query {
+	t.Helper()
+	q, err := tpl.Bind(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Resolve(sch); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestTemplateKeySharedAcrossBindings: all bindings of one template
+// share a template key (while their canonical keys differ), and an
+// in-place statistics refresh changes the canonical key but not the
+// template key — the separation the epoch subsystem relies on.
+func TestTemplateKeySharedAcrossBindings(t *testing.T) {
+	tpl, err := ParseTemplate(templateText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := templateSchema(t)
+	a := bindResolved(t, tpl, sch, map[string]schema.Value{
+		"topic": schema.S("DB"), "minTemp": schema.N(28), "from": schema.D(2007, 3, 14)})
+	b := bindResolved(t, tpl, sch, map[string]schema.Value{
+		"topic": schema.S("AI"), "minTemp": schema.N(5), "from": schema.D(2009, 6, 1)})
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Fatal("bindings with different constants share a canonical key")
+	}
+	if a.TemplateKey() != b.TemplateKey() {
+		t.Fatalf("bindings do not share a template key:\n%s\n%s", a.TemplateKey(), b.TemplateKey())
+	}
+	// Statistics drift is invisible to the template key by design.
+	beforeTpl, beforeCanon := a.TemplateKey(), a.CanonicalKey()
+	a.Atoms[0].Sig.Stats.ERSPI *= 3
+	if a.TemplateKey() != beforeTpl {
+		t.Error("statistics refresh changed the template key")
+	}
+	if a.CanonicalKey() == beforeCanon {
+		t.Error("statistics refresh did not change the canonical key")
+	}
+	a.Atoms[0].Sig.Stats.ERSPI /= 3
+	// Structural change (a domain) must change the template key.
+	a.Atoms[0].Sig.Attrs[0].Domain.DistinctValues++
+	if a.TemplateKey() == beforeTpl {
+		t.Error("domain change did not change the template key")
+	}
+	a.Atoms[0].Sig.Attrs[0].Domain.DistinctValues--
+}
+
+// TestTemplateKeyMasksPlainConstants: two plain queries differing
+// only in literal constants (no template involved) also share a
+// template key — parameterized caching applies to any constant-only
+// variation.
+func TestTemplateKeyMasksPlainConstants(t *testing.T) {
+	sch := templateSchema(t)
+	parse := func(text string) *Query {
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Resolve(sch); err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	q1 := parse(`q(Conf) :- conf('DB', Conf, S, E, City), weather(City, T, S), T >= 20.`)
+	q2 := parse(`q(Conf) :- conf('SE', Conf, S, E, City), weather(City, T, S), T >= 5.`)
+	if q1.TemplateKey() != q2.TemplateKey() {
+		t.Fatal("constant-only variation does not share a template key")
+	}
+	// A different operator is structural: keys must split.
+	q3 := parse(`q(Conf) :- conf('DB', Conf, S, E, City), weather(City, T, S), T > 20.`)
+	if q1.TemplateKey() == q3.TemplateKey() {
+		t.Fatal("different predicate operator shares a template key")
+	}
+	// Different constant *kinds* are distinguished (a string where a
+	// number was) even under masking.
+	q4 := parse(`q(Conf) :- conf('DB', Conf, S, E, City), weather(City, T, S), T >= 'warm'.`)
+	if q1.TemplateKey() == q4.TemplateKey() {
+		t.Fatal("different constant kind shares a template key")
+	}
+}
+
+// TestTemplateUnboundConstants: literal constants mixed with
+// parameters survive binding untouched.
+func TestTemplateUnboundConstants(t *testing.T) {
+	tpl, err := ParseTemplate(`q(Conf) :- conf('DB', Conf, Start, End, City),
+	                                     weather(City, T, Start), T >= $minTemp.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tpl.Params(); len(got) != 1 || got[0] != "minTemp" {
+		t.Fatalf("params = %v, want [minTemp]", got)
+	}
+	q := tpl.MustBind(map[string]schema.Value{"minTemp": schema.N(10)})
+	if q.Atoms[0].Terms[0].Const.Str != "DB" {
+		t.Fatalf("literal constant lost: %s", q.Atoms[0])
+	}
+}
+
+// TestTemplateRepeatedParamAndVars: one parameter appearing in
+// several slots (atom term and predicate) is substituted everywhere;
+// repeated variables keep their join semantics.
+func TestTemplateRepeatedParamAndVars(t *testing.T) {
+	tpl, err := ParseTemplate(`q(Conf) :- conf($topic, Conf, Start, Start, City),
+	                                     weather(City, T, Start), T >= $minTemp, T - $minTemp >= 0.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tpl.MustBind(map[string]schema.Value{
+		"topic": schema.S("DB"), "minTemp": schema.N(7)})
+	if q.Atoms[0].Terms[0].Const.Str != "DB" {
+		t.Error("atom slot not substituted")
+	}
+	s := q.String()
+	if strings.Contains(s, "param:") {
+		t.Fatalf("marker survived in some slot: %s", s)
+	}
+	if strings.Count(s, "7") < 2 {
+		t.Errorf("repeated parameter not substituted everywhere: %s", s)
+	}
+	// The repeated variable Start must still appear in both atom
+	// positions (it is a join, not a parameter).
+	if !q.Atoms[0].Terms[2].IsVar() || !q.Atoms[0].Terms[3].IsVar() {
+		t.Error("repeated variable collapsed into a constant")
+	}
+}
+
+// TestTemplateBindMalformedMaps: nil maps, empty maps and wrong
+// names fail cleanly instead of producing half-bound queries.
+func TestTemplateBindMalformedMaps(t *testing.T) {
+	tpl, err := ParseTemplate(templateText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpl.Bind(nil); err == nil {
+		t.Error("nil binding map accepted")
+	}
+	if _, err := tpl.Bind(map[string]schema.Value{}); err == nil {
+		t.Error("empty binding map accepted")
+	}
+	if _, err := tpl.Bind(map[string]schema.Value{
+		"topic": schema.S("DB"), "minTemp": schema.N(28), "form": schema.D(2007, 3, 14),
+	}); err == nil {
+		t.Error("misspelled parameter accepted")
+	}
+}
+
+// TestTemplateDollarEdgeCases: a bare $ is not a parameter, and the
+// marker prefix cannot be injected through a string literal.
+func TestTemplateDollarEdgeCases(t *testing.T) {
+	if _, err := ParseTemplate(`q(X) :- conf('$', X, S, E, C).`); err == nil {
+		t.Error("quoted $ treated as a parameter (template with no parameters accepted)")
+	}
+	tpl, err := ParseTemplate(`q(X) :- conf($t, X, S, E, C), weather(C, T, S), T >= 1.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tpl.Params(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("params = %v, want [t]", got)
+	}
+}
+
 func TestTemplateStructureStableAcrossBindings(t *testing.T) {
 	// The paper's point: optimization happens per template because
 	// bindings do not change the structure — same atoms, same

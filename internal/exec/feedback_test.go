@@ -1,0 +1,81 @@
+package exec_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"mdq/internal/card"
+	. "mdq/internal/exec"
+	"mdq/internal/service"
+	"mdq/internal/simweb"
+)
+
+// TestRunnerFeedbackRefreshesProfiles: with a feedback policy and an
+// observed registry, a run folds the observed traffic back into the
+// profiles of the touched services and bumps their stats epochs;
+// without the policy nothing changes.
+func TestRunnerFeedbackRefreshesProfiles(t *testing.T) {
+	w, p := travelPlan(t, simweb.PlanOTopology())
+	w.Registry.ObserveAll()
+	var mu sync.Mutex
+	bumped := map[string]uint64{}
+	w.Registry.SubscribeEpochs("test", func(name string, epoch uint64) {
+		mu.Lock()
+		bumped[name] = epoch
+		mu.Unlock()
+	})
+
+	// A run without feedback observes but never refreshes.
+	r := &Runner{Registry: w.Registry, Cache: card.OneCall}
+	if _, err := r.Run(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Registry.Epochs()) != 0 {
+		t.Fatal("run without feedback bumped epochs")
+	}
+	ob, ok := w.Registry.Observer("conf")
+	if !ok {
+		t.Fatal("conf is not observed")
+	}
+	if calls, _, _ := ob.Observations(); calls == 0 {
+		t.Fatal("observer recorded no traffic")
+	}
+
+	// The same plan re-run with feedback refreshes the drifted
+	// profiles.
+	before, _ := w.Registry.Lookup("conf")
+	beforeERSPI := before.Signature().Stats.ERSPI
+	r2 := &Runner{Registry: w.Registry, Cache: card.OneCall,
+		Feedback: &service.FeedbackPolicy{MinCalls: 1}}
+	if _, err := r2.Run(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	if w.Registry.Epoch("conf") == 0 {
+		t.Fatal("feedback did not bump conf's epoch")
+	}
+	after, _ := w.Registry.Lookup("conf")
+	if after.Signature().Stats.ERSPI == beforeERSPI {
+		t.Fatal("feedback did not refresh conf's profile")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if bumped["conf"] != w.Registry.Epoch("conf") {
+		t.Fatalf("subscriber saw epoch %d, registry has %d", bumped["conf"], w.Registry.Epoch("conf"))
+	}
+}
+
+// TestRunnerFeedbackHonorsThresholds: a policy demanding more calls
+// than the run produced leaves the profiles alone.
+func TestRunnerFeedbackHonorsThresholds(t *testing.T) {
+	w, p := travelPlan(t, simweb.PlanOTopology())
+	w.Registry.ObserveAll()
+	r := &Runner{Registry: w.Registry, Cache: card.OneCall,
+		Feedback: &service.FeedbackPolicy{MinCalls: 1 << 30}}
+	if _, err := r.Run(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Registry.Epochs()) != 0 {
+		t.Fatal("feedback refreshed below the call threshold")
+	}
+}

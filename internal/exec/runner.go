@@ -41,6 +41,15 @@ type Runner struct {
 	// run a plan, raise its fetch factors, and re-run with the same
 	// cache so only the new fetches reach the services.
 	SharedCache Cache
+	// Feedback, when non-nil, closes the adaptive loop: after each
+	// run the observed per-service call and fetch cardinalities are
+	// offered back to the services' Observed wrappers (§5: profiles
+	// are "periodically updated, also taking advantage of subsequent
+	// invocations"), refreshing profiled statistics — and bumping
+	// their registry epochs — when the policy's thresholds are met.
+	// Services not wrapped by service.Observe are unaffected; wrap a
+	// whole registry with Registry.ObserveAll.
+	Feedback *service.FeedbackPolicy
 }
 
 // Stats aggregates per-service call accounting for a run; Calls
@@ -106,7 +115,29 @@ func (r *Runner) Run(ctx context.Context, p *plan.Plan) (*Result, error) {
 		res.Stats.Calls[name] = c.Calls()
 		res.Stats.Fetches[name] = c.Fetches()
 	}
+	r.feedback(ex)
 	return res, nil
+}
+
+// feedback offers each touched service's observation window a
+// refresh after the run, per the runner's feedback policy. The
+// invocations themselves were already recorded by the Observed
+// wrappers as traffic flowed through them; this is the periodic
+// "absorb what execution has learned" step, taken service by service
+// so only genuinely drifted profiles bump their epochs.
+func (r *Runner) feedback(ex *execution) {
+	if r.Feedback == nil || r.Registry == nil {
+		return
+	}
+	for name := range ex.calls {
+		svc, ok := r.Registry.Lookup(name)
+		if !ok {
+			continue
+		}
+		if ob, ok := svc.(*service.Observed); ok {
+			ob.MaybeRefresh(*r.Feedback)
+		}
+	}
 }
 
 type execution struct {

@@ -5,50 +5,168 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"mdq/internal/abind"
 	"mdq/internal/cq"
+	"mdq/internal/plan"
 )
 
-// PlanCache is a thread-safe LRU cache of optimization results keyed
-// by the canonical query signature (cq.Query.CanonicalKey) combined
-// with the optimizer's own knobs. Repeated queries — the common case
-// for a server answering templated multi-domain queries — skip the
-// branch-and-bound entirely.
-//
-// Cached plans are stored frozen: Get returns a deep copy of the
-// plan graphs, so callers may freely re-annotate fetch factors or
-// cardinalities without corrupting the cached entry, and concurrent
-// Gets never alias each other's plans.
-type PlanCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+// EpochSource reports the current statistics epoch of a service —
+// the counter service.Registry bumps on every in-place statistics
+// refresh. The optimizer snapshots an epoch vector into each cache
+// entry so staleness is detectable per service instead of per
+// registry.
+type EpochSource interface {
+	Epoch(service string) uint64
+}
 
-	hits, misses uint64
+// Policy configures the cache's eviction behavior for long-running
+// servers. The zero value of MaxBytes and TTL disables the
+// respective policy; Capacity ≤ 0 defaults to 128 entries.
+type Policy struct {
+	// Capacity bounds the number of entries (LRU beyond it).
+	Capacity int
+	// MaxBytes bounds the approximate retained size of all cached
+	// results; the least recently used entries are dropped until the
+	// budget holds.
+	MaxBytes int64
+	// TTL expires entries by age regardless of use, so a plan can
+	// never outlive the statistics window it was computed in by more
+	// than the TTL.
+	TTL time.Duration
+}
+
+// PlanCache is a thread-safe cache of optimization results with two
+// kinds of entries:
+//
+//   - exact entries, keyed by the canonical query signature
+//     (cq.Query.CanonicalKey) plus the optimizer's knobs: a hit
+//     returns the memoized result verbatim (deep-copied);
+//   - template entries, keyed by the constant-masked template
+//     signature (cq.Query.TemplateKey) plus the same knobs: a hit
+//     returns the winning plan *skeleton* (access-pattern assignment
+//     and topology) of one branch-and-bound search, which the
+//     optimizer rebuilds and re-costs for the new bindings — many
+//     bindings, one search.
+//
+// Every entry carries the statistics-epoch vector of its services.
+// When a service's statistics are refreshed in place (see
+// service.Registry.BumpEpoch), InvalidateService drops the exact
+// entries touching it — their keys embed the stale statistics and can
+// never be hit again — and marks template entries stale, to be
+// revalidated against the fresh statistics on their next hit.
+//
+// Cached plans are stored frozen: lookups return deep copies, so
+// callers may freely re-annotate fetch factors or cardinalities
+// without corrupting the cached entry, and concurrent lookups never
+// alias each other's plans.
+type PlanCache struct {
+	mu     sync.Mutex
+	policy Policy
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	bytes  int64
+	now    func() time.Time // test hook; nil means time.Now
+
+	hits, misses  uint64
+	templateHits  uint64
+	revalidations uint64
+	divergences   uint64
+	searches      uint64
+	evictLRU      uint64
+	evictTTL      uint64
+	evictBytes    uint64
+	evictEpoch    uint64
+}
+
+// entryKind discriminates cache entries.
+type entryKind int
+
+const (
+	exactEntry entryKind = iota
+	templateEntry
+)
+
+func (k entryKind) String() string {
+	if k == templateEntry {
+		return "template"
+	}
+	return "exact"
 }
 
 // cacheEntry is one LRU slot.
 type cacheEntry struct {
-	key string
-	res *Result
+	key  string
+	kind entryKind
+	res  *Result // exact entries: the memoized result
+	// Template skeleton: the winning assignment and topology, enough
+	// to rebuild the plan for any binding with one plan.Build plus
+	// one fetch assignment. The original search's plans are not
+	// retained — only its effort counters.
+	stats Stats
+	asn   abind.Assignment
+	topo  *plan.Topology
+	// baseCost is the cost of the skeleton at the last full search,
+	// the reference the revalidation ratio compares against.
+	baseCost float64
+	feasible bool
+	// epochs maps each service of the query to its statistics epoch
+	// when the entry was (re)validated.
+	epochs map[string]uint64
+	// stale marks a template entry whose epoch vector lags the
+	// current statistics; it is served only after revalidation.
+	stale bool
+	bytes int64
+	added time.Time
+	hits  uint64
 }
 
 // NewPlanCache creates a cache holding up to capacity results;
-// capacity <= 0 defaults to 128.
+// capacity <= 0 defaults to 128. Byte and TTL limits are off; use
+// NewPlanCacheWith to set them.
 func NewPlanCache(capacity int) *PlanCache {
-	if capacity <= 0 {
-		capacity = 128
+	return NewPlanCacheWith(Policy{Capacity: capacity})
+}
+
+// NewPlanCacheWith creates a cache with explicit eviction policies.
+func NewPlanCacheWith(p Policy) *PlanCache {
+	if p.Capacity <= 0 {
+		p.Capacity = 128
 	}
 	return &PlanCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+		policy: p,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element, p.Capacity),
 	}
 }
 
-// Get returns a private copy of the cached result for key, marking
-// the entry most recently used.
+func (c *PlanCache) clock() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
+}
+
+// expired reports whether the entry's age exceeds the TTL.
+func (c *PlanCache) expired(e *cacheEntry, now time.Time) bool {
+	return c.policy.TTL > 0 && now.Sub(e.added) > c.policy.TTL
+}
+
+// removeLocked drops an element and charges the eviction to cause.
+func (c *PlanCache) removeLocked(el *list.Element, cause *uint64) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.bytes
+	if cause != nil {
+		*cause++
+	}
+}
+
+// Get returns a private copy of the cached result for an exact key,
+// marking the entry most recently used. Expired entries count as
+// misses.
 func (c *PlanCache) Get(key string) (*Result, bool) {
 	if c == nil {
 		return nil, false
@@ -60,30 +178,215 @@ func (c *PlanCache) Get(key string) (*Result, bool) {
 		c.misses++
 		return nil, false
 	}
+	e := el.Value.(*cacheEntry)
+	if e.kind != exactEntry || c.expired(e, c.clock()) {
+		if c.expired(e, c.clock()) {
+			c.removeLocked(el, &c.evictTTL)
+		}
+		c.misses++
+		return nil, false
+	}
 	c.hits++
+	e.hits++
 	c.ll.MoveToFront(el)
-	return copyResult(el.Value.(*cacheEntry).res), true
+	return copyResult(e.res), true
 }
 
-// Put stores a private copy of the result under key, evicting the
-// least recently used entry when the cache is full.
+// Put stores a private copy of the result under an exact key,
+// evicting least recently used entries when the cache is over its
+// entry or byte budget. The epoch vector may be nil when no epoch
+// source is wired; push invalidation then cannot match the entry,
+// but the key's statistics fingerprint still prevents stale hits.
 func (c *PlanCache) Put(key string, res *Result) {
+	c.put(key, res, nil)
+}
+
+func (c *PlanCache) put(key string, res *Result, epochs map[string]uint64) {
 	if c == nil || res == nil {
 		return
 	}
-	frozen := copyResult(res)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).res = frozen
+	c.insert(&cacheEntry{
+		key:      key,
+		kind:     exactEntry,
+		res:      copyResult(res),
+		baseCost: res.Cost,
+		feasible: res.Feasible,
+		epochs:   epochs,
+	})
+}
+
+// putTemplate stores the skeleton of a completed search under a
+// template key (replacing any previous entry for the key). Only the
+// skeleton and the search's effort counters are kept — template hits
+// rebuild the plan from the bound query, so retaining the original
+// plans (or alternatives) would be dead weight against MaxBytes.
+func (c *PlanCache) putTemplate(key string, res *Result, epochs map[string]uint64) {
+	if c == nil || res == nil || res.Best == nil {
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: frozen})
-	for c.ll.Len() > c.cap {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).key)
+	c.insert(&cacheEntry{
+		key:      key,
+		kind:     templateEntry,
+		stats:    res.Stats,
+		asn:      res.Best.Assignment,
+		topo:     res.Best.Topology.Clone(),
+		baseCost: res.Cost,
+		feasible: res.Feasible,
+		epochs:   epochs,
+	})
+}
+
+// insert adds or replaces an entry and enforces the eviction
+// policies.
+func (c *PlanCache) insert(e *cacheEntry) {
+	e.bytes = entrySize(e)
+	e.added = c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[e.key]; ok {
+		old := el.Value.(*cacheEntry)
+		c.bytes += e.bytes - old.bytes
+		e.hits = old.hits
+		el.Value = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[e.key] = c.ll.PushFront(e)
+		c.bytes += e.bytes
+	}
+	for c.ll.Len() > c.policy.Capacity {
+		c.removeLocked(c.ll.Back(), &c.evictLRU)
+	}
+	for c.policy.MaxBytes > 0 && c.bytes > c.policy.MaxBytes && c.ll.Len() > 1 {
+		c.removeLocked(c.ll.Back(), &c.evictBytes)
+	}
+}
+
+// templateView is a snapshot of a template entry handed to the
+// optimizer's re-cost phase.
+type templateView struct {
+	asn      abind.Assignment
+	topo     *plan.Topology
+	baseCost float64
+	feasible bool
+	stale    bool
+	stats    Stats
+}
+
+// lookupTemplate snapshots a template entry without touching the
+// counters — the entry is only "hit" once the re-cost phase accepts
+// it (see noteTemplateServed), and a fruitless lookup is not counted
+// here because the ensuing full search counts its own miss through
+// the exact-key Get, keeping one logical optimization at one counter
+// tick. Expired entries are dropped.
+func (c *PlanCache) lookupTemplate(key string) (templateView, bool) {
+	if c == nil {
+		return templateView{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return templateView{}, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.kind != templateEntry {
+		return templateView{}, false
+	}
+	if c.expired(e, c.clock()) {
+		c.removeLocked(el, &c.evictTTL)
+		return templateView{}, false
+	}
+	return templateView{
+		asn:      e.asn,
+		topo:     e.topo.Clone(),
+		baseCost: e.baseCost,
+		feasible: e.feasible,
+		stale:    e.stale,
+		stats:    e.stats,
+	}, true
+}
+
+// noteTemplateServed records a successful template hit: the entry is
+// freshened (epoch vector updated, staleness cleared) and counted. A
+// hit on a stale entry additionally counts as a revalidation — the
+// lazy path of epoch invalidation.
+func (c *PlanCache) noteTemplateServed(key string, epochs map[string]uint64, wasStale bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+	c.templateHits++
+	if wasStale {
+		c.revalidations++
+	}
+	el, ok := c.items[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	e.stale = false
+	if epochs != nil {
+		e.epochs = epochs
+	}
+	e.hits++
+	c.ll.MoveToFront(el)
+}
+
+// noteDivergence drops a template entry whose re-estimated cost
+// diverged beyond the optimizer's ratio (or whose skeleton no longer
+// builds); the caller falls back to a full search, whose exact-key
+// lookup accounts the miss.
+func (c *PlanCache) noteDivergence(key string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.divergences++
+	if el, ok := c.items[key]; ok {
+		c.removeLocked(el, nil)
+	}
+}
+
+// noteSearch counts one full branch-and-bound search run on behalf
+// of this cache (i.e. a miss that did real work). Differential tests
+// assert amortization through it: N bindings of one template must
+// leave Searches at 1.
+func (c *PlanCache) noteSearch() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.searches++
+	c.mu.Unlock()
+}
+
+// InvalidateService reacts to a statistics-epoch bump: exact entries
+// that depend on the service are dropped (their keys embed the stale
+// statistics fingerprint, so they could never be hit again anyway),
+// and template entries are marked stale so their next hit revalidates
+// against the fresh statistics. Wire it to the registry with
+// Registry.SubscribeEpochs(cache, cache.InvalidateService).
+func (c *PlanCache) InvalidateService(name string, epoch uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if old, ok := e.epochs[name]; ok && old != epoch {
+			if e.kind == templateEntry {
+				e.stale = true
+				e.epochs[name] = epoch
+			} else {
+				c.removeLocked(el, &c.evictEpoch)
+			}
+		}
+		el = next
 	}
 }
 
@@ -105,23 +408,137 @@ func (c *PlanCache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
-	c.items = make(map[string]*list.Element, c.cap)
+	c.items = make(map[string]*list.Element, c.policy.Capacity)
+	c.bytes = 0
 }
 
-// CacheStats reports cache effectiveness.
+// CacheStats reports cache effectiveness and churn. It is a plain
+// comparable value (JSON-friendly for server stats endpoints).
 type CacheStats struct {
+	// Hits counts served optimizations (template hits included);
+	// Misses counts optimizations that found nothing servable and
+	// had to search. A template lookup that falls back to the full
+	// search counts once, through the search's exact-key lookup.
 	Hits, Misses uint64
-	Size, Cap    int
+	// TemplateHits counts hits served from a template entry by
+	// re-costing the cached skeleton for new bindings.
+	TemplateHits uint64
+	// Revalidations counts template hits that first had to
+	// revalidate a stale epoch vector against fresh statistics.
+	Revalidations uint64
+	// Divergences counts template entries discarded because the
+	// re-estimated cost drifted beyond the revalidation ratio.
+	Divergences uint64
+	// Searches counts full branch-and-bound runs performed on behalf
+	// of this cache (misses that did real work).
+	Searches uint64
+	// Eviction counters by cause.
+	EvictedLRU, EvictedTTL, EvictedBytes, EvictedEpoch uint64
+	// Occupancy.
+	Size, Cap int
+	Bytes     int64
+	MaxBytes  int64
 }
 
-// Stats returns a snapshot of the hit/miss counters and occupancy.
+// Stats returns a snapshot of the counters and occupancy.
 func (c *PlanCache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.ll.Len(), Cap: c.cap}
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		TemplateHits:  c.templateHits,
+		Revalidations: c.revalidations,
+		Divergences:   c.divergences,
+		Searches:      c.searches,
+		EvictedLRU:    c.evictLRU,
+		EvictedTTL:    c.evictTTL,
+		EvictedBytes:  c.evictBytes,
+		EvictedEpoch:  c.evictEpoch,
+		Size:          c.ll.Len(),
+		Cap:           c.policy.Capacity,
+		Bytes:         c.bytes,
+		MaxBytes:      c.policy.MaxBytes,
+	}
+}
+
+// EntryInfo describes one cache entry for introspection endpoints
+// (mdqserve GET /cache).
+type EntryInfo struct {
+	Key        string            `json:"key"`
+	Kind       string            `json:"kind"`
+	Cost       float64           `json:"cost"`
+	Feasible   bool              `json:"feasible"`
+	Epochs     map[string]uint64 `json:"epochs,omitempty"`
+	Stale      bool              `json:"stale"`
+	Hits       uint64            `json:"hits"`
+	Bytes      int64             `json:"bytes"`
+	AgeSeconds float64           `json:"age_seconds"`
+}
+
+// Entries snapshots every entry, most recently used first.
+func (c *PlanCache) Entries() []EntryInfo {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock()
+	out := make([]EntryInfo, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		var epochs map[string]uint64
+		if len(e.epochs) > 0 {
+			epochs = make(map[string]uint64, len(e.epochs))
+			for k, v := range e.epochs {
+				epochs[k] = v
+			}
+		}
+		out = append(out, EntryInfo{
+			Key:        e.key,
+			Kind:       e.kind.String(),
+			Cost:       e.baseCost,
+			Feasible:   e.feasible,
+			Epochs:     epochs,
+			Stale:      e.stale,
+			Hits:       e.hits,
+			Bytes:      e.bytes,
+			AgeSeconds: now.Sub(e.added).Seconds(),
+		})
+	}
+	return out
+}
+
+// entrySize approximates the retained size of an entry: the key, the
+// plan graphs (nodes dominate) and the fixed bookkeeping. It feeds
+// the MaxBytes budget; precision matters less than monotonicity in
+// plan size.
+func entrySize(e *cacheEntry) int64 {
+	const (
+		entryOverhead = 256
+		nodeSize      = 192
+	)
+	size := int64(entryOverhead + len(e.key))
+	planSize := func(p *plan.Plan) int64 {
+		if p == nil {
+			return 0
+		}
+		return int64(len(p.Nodes)) * nodeSize
+	}
+	if e.res != nil {
+		size += planSize(e.res.Best)
+		for _, a := range e.res.Alternatives {
+			size += planSize(a.Plan)
+		}
+	}
+	if e.topo != nil {
+		size += int64(len(e.asn)) * 16
+	}
+	size += int64(len(e.epochs)) * 32
+	return size
 }
 
 // copyResult deep-copies the plan graphs of a result so cached
@@ -142,18 +559,14 @@ func copyResult(r *Result) *Result {
 	return &cp
 }
 
-// cacheKey composes the full cache key for a query under this
-// optimizer's settings. The query part comes from cq (atoms,
-// constants, patterns, statistics); the optimizer part appends every
-// knob that changes the search outcome: metric, K, estimator
-// configuration, exhaustiveness, alternatives, state budget and the
-// caller-provided salt. ChooseMethod and a custom DefaultSelectivity
-// function cannot be fingerprinted — callers that vary them across
-// optimizations over one shared cache must disambiguate via
-// CacheSalt.
-func (o *Optimizer) cacheKey(q *cq.Query) string {
+// knobKey fingerprints every optimizer knob that changes the search
+// outcome: metric, K, estimator configuration, exhaustiveness,
+// alternatives, state budget and the caller-provided salt.
+// ChooseMethod and a custom DefaultSelectivity function cannot be
+// fingerprinted — callers that vary them across optimizations over
+// one shared cache must disambiguate via CacheSalt.
+func (o *Optimizer) knobKey() string {
 	var b strings.Builder
-	b.WriteString(q.CanonicalKey())
 	b.WriteString("||m=")
 	b.WriteString(o.metric().Name())
 	b.WriteString(";k=")
@@ -179,4 +592,17 @@ func (o *Optimizer) cacheKey(q *cq.Query) string {
 		b.WriteString(o.CacheSalt)
 	}
 	return b.String()
+}
+
+// cacheKey composes the exact cache key for a query under this
+// optimizer's settings: the canonical query signature (atoms,
+// constants, patterns, statistics) plus the knob fingerprint.
+func (o *Optimizer) cacheKey(q *cq.Query) string {
+	return q.CanonicalKey() + o.knobKey()
+}
+
+// templateKey composes the template cache key: the constant-masked,
+// statistics-free template signature plus the same knob fingerprint.
+func (o *Optimizer) templateKey(q *cq.Query) string {
+	return "tpl|" + q.TemplateKey() + o.knobKey()
 }

@@ -84,6 +84,15 @@ type Optimizer struct {
 	// cannot fingerprint itself — e.g. the registry version behind
 	// ChooseMethod, or the identity of a custom DefaultSelectivity.
 	CacheSalt string
+	// Epochs, when non-nil, supplies the per-service statistics
+	// epochs (service.Registry implements it) that cached entries
+	// snapshot, enabling epoch-based invalidation and revalidation.
+	Epochs EpochSource
+	// RevalidateRatio bounds the cost divergence tolerated when a
+	// template cache hit is re-costed for new bindings or refreshed
+	// statistics: beyond it the cached skeleton is discarded and a
+	// full search runs. Values ≤ 1 mean DefaultRevalidateRatio.
+	RevalidateRatio float64
 }
 
 // Scored is a complete plan with its evaluated cost.
@@ -132,6 +141,15 @@ type Result struct {
 	// without running the search; Stats then describe the original
 	// search.
 	Cached bool
+	// TemplateHit reports that the result was served from a
+	// template-level cache entry: the plan skeleton came from a
+	// previous search on different bindings and only the cost phase
+	// re-ran (see Optimizer.OptimizeTemplate).
+	TemplateHit bool
+	// Revalidated reports that the serving template entry had a
+	// stale statistics-epoch vector and was revalidated against the
+	// fresh statistics before being served.
+	Revalidated bool
 }
 
 func (o *Optimizer) metric() cost.Metric {
@@ -207,6 +225,7 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 			res.Cached = true
 			return res, nil
 		}
+		o.Cache.noteSearch()
 	}
 
 	res := &Result{Cost: cost.Infinite}
@@ -263,7 +282,7 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 		return nil, fmt.Errorf("opt: no executable plan found for query %s", q.Name)
 	}
 	if o.Cache != nil {
-		o.Cache.Put(key, res)
+		o.Cache.put(key, res, o.epochVector(q))
 	}
 	return res, nil
 }

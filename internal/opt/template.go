@@ -1,0 +1,145 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"mdq/internal/cq"
+	"mdq/internal/fetch"
+	"mdq/internal/plan"
+)
+
+// DefaultRevalidateRatio is the cost-divergence bound used when
+// Optimizer.RevalidateRatio is unset: a template skeleton whose
+// re-estimated cost is more than 4× (or less than ¼ of) the cost
+// recorded at its last full search is considered diverged and a
+// fresh branch-and-bound runs.
+const DefaultRevalidateRatio = 4.0
+
+func (o *Optimizer) revalidateRatio() float64 {
+	if o.RevalidateRatio <= 1 {
+		return DefaultRevalidateRatio
+	}
+	return o.RevalidateRatio
+}
+
+// epochVector snapshots the statistics epoch of every service the
+// query touches (0 when no epoch source is wired — push invalidation
+// then keys off the service names alone).
+func (o *Optimizer) epochVector(q *cq.Query) map[string]uint64 {
+	m := make(map[string]uint64, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if _, ok := m[a.Service]; ok {
+			continue
+		}
+		var e uint64
+		if o.Epochs != nil {
+			e = o.Epochs.Epoch(a.Service)
+		}
+		m[a.Service] = e
+	}
+	return m
+}
+
+// OptimizeTemplate optimizes a bound query through the template level
+// of the plan cache: queries that differ only in constant values (the
+// bindings of one cq.Template) share a single cache entry holding the
+// winning plan skeleton of one branch-and-bound search. On a hit only
+// the cheap cost phase re-runs — the skeleton is rebuilt for the new
+// bindings and phase 3 re-estimates the selectivity and fetch vectors
+// under the current statistics. When the re-estimated cost diverges
+// from the skeleton's last full-search cost beyond RevalidateRatio
+// (statistics drifted so far the cached structure is suspect), the
+// entry is discarded and a full search runs instead.
+//
+// Without a cache this is exactly Optimize. Alternatives
+// (KeepAlternatives) are only populated by full searches, never by
+// template hits.
+func (o *Optimizer) OptimizeTemplate(q *cq.Query) (*Result, error) {
+	if o.Cache == nil {
+		return o.Optimize(q)
+	}
+	for _, a := range q.Atoms {
+		if a.Sig == nil {
+			return nil, fmt.Errorf("opt: query %s is not resolved against a schema", q.Name)
+		}
+	}
+	tkey := o.templateKey(q)
+	if tv, ok := o.Cache.lookupTemplate(tkey); ok {
+		if res := o.recost(q, tkey, tv); res != nil {
+			return res, nil
+		}
+	}
+	res, err := o.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	o.Cache.putTemplate(tkey, res, o.epochVector(q))
+	return res, nil
+}
+
+// recost runs the cheap phase of a template hit: rebuild the cached
+// skeleton against the bound query, assign fetch factors under the
+// current statistics, and accept the plan when its cost stayed within
+// the revalidation ratio of the skeleton's full-search baseline.
+// Returns nil when the caller must fall back to a full search (the
+// entry is then already dropped).
+func (o *Optimizer) recost(q *cq.Query, key string, tv templateView) *Result {
+	if len(tv.asn) != len(q.Atoms) {
+		o.Cache.noteDivergence(key)
+		return nil
+	}
+	p, err := plan.Build(q, tv.asn, tv.topo, plan.Options{ChooseMethod: o.ChooseMethod})
+	if err != nil {
+		o.Cache.noteDivergence(key)
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		o.Cache.noteDivergence(key)
+		return nil
+	}
+	assigner := &fetch.Assigner{
+		Estimator: o.Estimator,
+		Metric:    o.metric(),
+		K:         o.K,
+		Heuristic: o.FetchHeuristic,
+	}
+	fr := assigner.Assign(p)
+	feasible := fr.Feasible || o.K <= 0
+	if !feasible && tv.feasible {
+		// The skeleton reached k under the old statistics but no
+		// longer does: the structure itself is stale.
+		o.Cache.noteDivergence(key)
+		return nil
+	}
+	if costDiverged(fr.Cost, tv.baseCost, o.revalidateRatio()) {
+		o.Cache.noteDivergence(key)
+		return nil
+	}
+	o.Cache.noteTemplateServed(key, o.epochVector(q), tv.stale)
+	return &Result{
+		Best:        p,
+		Cost:        fr.Cost,
+		Feasible:    feasible,
+		Stats:       tv.stats,
+		Cached:      true,
+		TemplateHit: true,
+		Revalidated: tv.stale,
+	}
+}
+
+// costDiverged reports whether the re-estimated cost left the
+// [base/ratio, base·ratio] band around the baseline.
+func costDiverged(got, base, ratio float64) bool {
+	if math.IsInf(got, 1) || math.IsInf(base, 1) {
+		return got != base
+	}
+	if got <= 0 || base <= 0 {
+		return got != base
+	}
+	r := got / base
+	if r < 1 {
+		r = 1 / r
+	}
+	return r > ratio
+}

@@ -1,0 +1,223 @@
+package opt_test
+
+import (
+	"strings"
+	"testing"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	. "mdq/internal/opt"
+	"mdq/internal/simweb"
+)
+
+// sameWorldQuery resolves another query text against an existing
+// world, so statistics mutations are visible to every query of the
+// test (travelQuery would build an independent world per call).
+func sameWorldQuery(t *testing.T, w *simweb.TravelWorld, text string) *cq.Query {
+	t.Helper()
+	q, err := cq.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Resolve(w.Schema); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// stubEpochs is a map-backed EpochSource for tests.
+type stubEpochs map[string]uint64
+
+func (s stubEpochs) Epoch(name string) uint64 { return s[name] }
+
+// TestOptimizeTemplateOneSearchManyBindings is the amortization
+// contract: two queries differing only in a constant (two bindings
+// of one template) run exactly one branch-and-bound search; the
+// second is served by re-costing the cached skeleton.
+func TestOptimizeTemplateOneSearchManyBindings(t *testing.T) {
+	w, q1 := travelQuery(t, smallTravelText)
+	_, q2 := travelQuery(t, strings.Replace(smallTravelText, "'DB'", "'AI'", 1))
+	c := NewPlanCache(16)
+	o := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: w.Registry.MethodChooser(), Cache: c}
+
+	r1, err := o.OptimizeTemplate(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached || r1.TemplateHit {
+		t.Fatal("first binding did not search")
+	}
+	r2, err := o.OptimizeTemplate(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.TemplateHit || !r2.Cached {
+		t.Fatalf("second binding was not a template hit: %+v", r2)
+	}
+	if r2.Revalidated {
+		t.Error("fresh entry reported a revalidation")
+	}
+	if r2.Best.Signature() != r1.Best.Signature() {
+		t.Fatalf("skeleton changed across bindings: %s vs %s",
+			r2.Best.Signature(), r1.Best.Signature())
+	}
+	if r2.Cost != r1.Cost {
+		t.Fatalf("re-costed binding diverged with unchanged statistics: %g vs %g", r2.Cost, r1.Cost)
+	}
+	// The rebuilt plan must carry the *new* query (new constants).
+	if r2.Best.Query != q2 {
+		t.Fatal("template hit returned a plan bound to the old query")
+	}
+	st := c.Stats()
+	if st.Searches != 1 {
+		t.Fatalf("searches = %d, want exactly 1 for two bindings", st.Searches)
+	}
+	if st.TemplateHits != 1 {
+		t.Fatalf("template hits = %d, want 1", st.TemplateHits)
+	}
+	// A third binding repeats the original constants: the *exact*
+	// entry may serve it; either way no new search.
+	_, q3 := travelQuery(t, smallTravelText)
+	if _, err := o.OptimizeTemplate(q3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Searches; got != 1 {
+		t.Fatalf("searches after third binding = %d, want 1", got)
+	}
+}
+
+// TestOptimizeTemplateRevalidatesOnEpochBump: a statistics refresh
+// marks the template entry stale; the next binding revalidates it
+// against the fresh statistics (new cost, no new search when the
+// drift is mild).
+func TestOptimizeTemplateRevalidatesOnEpochBump(t *testing.T) {
+	w, q1 := travelQuery(t, smallTravelText)
+	q2 := sameWorldQuery(t, w, strings.Replace(smallTravelText, "'DB'", "'AI'", 1))
+	epochs := stubEpochs{}
+	c := NewPlanCache(16)
+	o := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: w.Registry.MethodChooser(), Cache: c, Epochs: epochs}
+
+	r1, err := o.OptimizeTemplate(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mild in-place refresh of conf's statistics (as an Observed
+	// would do), then the epoch bump reaches the cache.
+	sig := q1.Atoms[0].Sig
+	sig.Stats.ERSPI *= 1.25
+	epochs["conf"] = 1
+	c.InvalidateService("conf", 1)
+
+	r2, err := o.OptimizeTemplate(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.TemplateHit {
+		t.Fatalf("mild drift was not served by revalidation: %+v", c.Stats())
+	}
+	if !r2.Revalidated {
+		t.Fatal("stale entry served without revalidation flag")
+	}
+	if r2.Cost == r1.Cost {
+		t.Fatal("revalidated plan still priced with stale statistics")
+	}
+	st := c.Stats()
+	if st.Searches != 1 || st.Revalidations != 1 {
+		t.Fatalf("stats = %+v, want 1 search and 1 revalidation", st)
+	}
+}
+
+// TestOptimizeTemplateDivergenceForcesSearch: statistics that drift
+// beyond the revalidation ratio evict the skeleton and re-run the
+// full search — a stale plan is never served.
+func TestOptimizeTemplateDivergenceForcesSearch(t *testing.T) {
+	w, q1 := travelQuery(t, smallTravelText)
+	q2 := sameWorldQuery(t, w, strings.Replace(smallTravelText, "'DB'", "'AI'", 1))
+	epochs := stubEpochs{}
+	c := NewPlanCache(16)
+	o := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: w.Registry.MethodChooser(), Cache: c, Epochs: epochs,
+		RevalidateRatio: 2}
+
+	if _, err := o.OptimizeTemplate(q1); err != nil {
+		t.Fatal(err)
+	}
+	// Massive drift: conf now proliferates 50×, the cached skeleton's
+	// cost estimate is far off.
+	q1.Atoms[0].Sig.Stats.ERSPI *= 50
+	epochs["conf"] = 1
+	c.InvalidateService("conf", 1)
+
+	r2, err := o.OptimizeTemplate(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.TemplateHit {
+		t.Fatal("diverged entry was served instead of re-searched")
+	}
+	st := c.Stats()
+	if st.Searches != 2 {
+		t.Fatalf("searches = %d, want 2 (divergence re-searches)", st.Searches)
+	}
+	if st.Divergences != 1 {
+		t.Fatalf("divergences = %d, want 1", st.Divergences)
+	}
+	// The re-search refreshed the entry: the next binding hits again.
+	q3 := sameWorldQuery(t, w, strings.Replace(smallTravelText, "'DB'", "'SE'", 1))
+	r3, err := o.OptimizeTemplate(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.TemplateHit {
+		t.Fatalf("refreshed entry missed: %+v", c.Stats())
+	}
+	if got := c.Stats().Searches; got != 2 {
+		t.Fatalf("searches after refresh = %d, want 2", got)
+	}
+}
+
+// TestOptimizeTemplateExactEntryEvictedOnEpochBump: exact-key
+// entries touching a refreshed service are dropped eagerly (their
+// key embeds the stale statistics and would only rot in the LRU).
+func TestOptimizeTemplateExactEntryEvictedOnEpochBump(t *testing.T) {
+	w, q := travelQuery(t, smallTravelText)
+	epochs := stubEpochs{}
+	c := NewPlanCache(16)
+	o := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: w.Registry.MethodChooser(), Cache: c, Epochs: epochs}
+	if _, err := o.Optimize(q); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+	epochs["hotel"] = 1
+	c.InvalidateService("hotel", 1)
+	if c.Len() != 0 {
+		t.Fatalf("stale exact entry survived the epoch bump (%d entries)", c.Len())
+	}
+	if got := c.Stats().EvictedEpoch; got != 1 {
+		t.Fatalf("epoch evictions = %d, want 1", got)
+	}
+}
+
+// TestOptimizeTemplateWithoutCache degrades to a plain optimization.
+func TestOptimizeTemplateWithoutCache(t *testing.T) {
+	w, q := travelQuery(t, smallTravelText)
+	o := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: w.Registry.MethodChooser()}
+	res, err := o.OptimizeTemplate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached || res.TemplateHit {
+		t.Fatal("cacheless optimization reported a cache hit")
+	}
+	if res.Best == nil {
+		t.Fatal("no plan")
+	}
+}

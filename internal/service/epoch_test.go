@@ -1,0 +1,172 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"mdq/internal/schema"
+)
+
+// statService is a minimal service with a mutable signature for
+// epoch tests.
+type statService struct {
+	sig  *schema.Signature
+	rows [][]schema.Value
+}
+
+func newStatService(name string, erspi float64) *statService {
+	return &statService{
+		sig: &schema.Signature{
+			Name: name,
+			Attrs: []schema.Attribute{
+				{Name: "X", Domain: schema.Domain{Name: "D", Kind: schema.NumberValue}},
+			},
+			Patterns: []schema.AccessPattern{schema.MustPattern("o")},
+			Stats:    schema.Stats{ERSPI: erspi, ResponseTime: time.Second},
+		},
+		rows: [][]schema.Value{{schema.N(1)}, {schema.N(2)}, {schema.N(3)}},
+	}
+}
+
+func (s *statService) Signature() *schema.Signature { return s.sig }
+
+func (s *statService) Invoke(ctx context.Context, patternIdx int, req Request) (Response, error) {
+	return Response{Rows: s.rows, Elapsed: 10 * time.Millisecond}, nil
+}
+
+// TestEpochBumpOnRefresh: an observed registered service bumps its
+// epoch when (and only when) a refresh changes the statistics; the
+// registry version is untouched.
+func TestEpochBumpOnRefresh(t *testing.T) {
+	r := NewRegistry()
+	ob := Observe(newStatService("a", 99)) // registered profile is wrong on purpose
+	r.MustRegister(ob)
+	version := r.Version()
+
+	if r.Epoch("a") != 0 {
+		t.Fatal("fresh service has nonzero epoch")
+	}
+	if ob.Refresh() {
+		t.Fatal("refresh with no observations reported a change")
+	}
+	if _, err := ob.Invoke(context.Background(), 0, Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if !ob.Refresh() {
+		t.Fatal("refresh after traffic reported no change")
+	}
+	if got := r.Epoch("a"); got != 1 {
+		t.Fatalf("epoch = %d, want 1", got)
+	}
+	if ob.Signature().Stats.ERSPI != 3 {
+		t.Fatalf("erspi = %g, want 3 (observed)", ob.Signature().Stats.ERSPI)
+	}
+	// A second refresh with no new divergence must not bump again.
+	if ob.Refresh() {
+		t.Fatal("refresh without change reported a change")
+	}
+	if got := r.Epoch("a"); got != 1 {
+		t.Fatalf("epoch after no-op refresh = %d, want 1", got)
+	}
+	if r.Version() != version {
+		t.Fatal("epoch bump mutated the registry version")
+	}
+}
+
+// TestEpochSubscription: subscribers see every bump; re-subscribing
+// the same key replaces the callback; unsubscribe stops delivery.
+func TestEpochSubscription(t *testing.T) {
+	r := NewRegistry()
+	var mu sync.Mutex
+	var got []string
+	key := struct{ int }{1}
+	r.SubscribeEpochs(key, func(name string, epoch uint64) {
+		mu.Lock()
+		got = append(got, name)
+		mu.Unlock()
+	})
+	r.SubscribeEpochs(key, func(name string, epoch uint64) { // replaces, not adds
+		mu.Lock()
+		got = append(got, name+"!")
+		mu.Unlock()
+	})
+	r.BumpEpoch("x")
+	r.UnsubscribeEpochs(key)
+	r.BumpEpoch("x")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != "x!" {
+		t.Fatalf("deliveries = %v, want [x!]", got)
+	}
+	if r.Epoch("x") != 2 {
+		t.Fatalf("epoch = %d, want 2", r.Epoch("x"))
+	}
+}
+
+// TestObserveAll wraps registered services transparently: lookups
+// resolve to observers, signatures are unchanged, traffic through
+// the registry is recorded, and RefreshObserved folds it back.
+func TestObserveAll(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(newStatService("a", 99))
+	r.MustRegister(Observe(newStatService("b", 99))) // already observed
+	if n := r.ObserveAll(); n != 1 {
+		t.Fatalf("ObserveAll wrapped %d services, want 1", n)
+	}
+	if n := r.ObserveAll(); n != 0 {
+		t.Fatalf("second ObserveAll wrapped %d services, want 0", n)
+	}
+	svc, ok := r.Lookup("a")
+	if !ok {
+		t.Fatal("service a lost")
+	}
+	ob, ok := svc.(*Observed)
+	if !ok {
+		t.Fatal("lookup does not resolve to the observer")
+	}
+	if ob.Signature().Name != "a" {
+		t.Fatal("observer signature mismatch")
+	}
+	if _, err := ob.Invoke(context.Background(), 0, Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.RefreshObserved(); n != 1 {
+		t.Fatalf("RefreshObserved changed %d profiles, want 1", n)
+	}
+	if r.Epoch("a") != 1 {
+		t.Fatalf("epoch = %d, want 1", r.Epoch("a"))
+	}
+}
+
+// TestMaybeRefreshPolicy: MinCalls and MinDrift gate the feedback.
+func TestMaybeRefreshPolicy(t *testing.T) {
+	r := NewRegistry()
+	ob := Observe(newStatService("a", 3)) // profile matches traffic: erspi 3
+	r.MustRegister(ob)
+
+	if _, err := ob.Invoke(context.Background(), 0, Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if ob.MaybeRefresh(FeedbackPolicy{MinCalls: 5}) {
+		t.Fatal("refresh taken below MinCalls")
+	}
+	// erspi matches (3 == 3) but response time differs wildly
+	// (profile 1s vs observed 10ms), so drift is high; a huge
+	// MinDrift still suppresses it.
+	if ob.MaybeRefresh(FeedbackPolicy{MinDrift: 1e9}) {
+		t.Fatal("refresh taken below MinDrift")
+	}
+	if !ob.MaybeRefresh(FeedbackPolicy{}) {
+		t.Fatal("zero policy did not refresh on drift")
+	}
+	if r.Epoch("a") != 1 {
+		t.Fatalf("epoch = %d, want 1", r.Epoch("a"))
+	}
+	// The window resets after a refresh: nothing new observed, no
+	// further refresh.
+	if ob.MaybeRefresh(FeedbackPolicy{}) {
+		t.Fatal("refresh taken on an empty window")
+	}
+}

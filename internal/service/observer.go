@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"math"
 	"sync"
 	"time"
 
@@ -24,6 +25,11 @@ type Observed struct {
 	elapsed     time.Duration
 	maxPageRows int
 	sawMore     bool
+	// notify is called (outside the lock) after a Refresh that
+	// changed the signature's statistics; the registry wires it to
+	// BumpEpoch at registration so plan caches learn about the
+	// refresh.
+	notify func()
 }
 
 // Observe wraps a service for statistics collection.
@@ -72,6 +78,11 @@ func (o *Observed) Observations() (calls, fetches, rows int64) {
 func (o *Observed) ObservedStats() schema.Stats {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	return o.observedStatsLocked()
+}
+
+// observedStatsLocked is ObservedStats with o.mu already held.
+func (o *Observed) observedStatsLocked() schema.Stats {
 	st := o.inner.Signature().Stats
 	if o.calls > 0 {
 		st.ERSPI = float64(o.rows) / float64(o.calls)
@@ -85,20 +96,127 @@ func (o *Observed) ObservedStats() schema.Stats {
 	return st
 }
 
+// setNotify installs the refresh callback (the registry's epoch
+// bump).
+func (o *Observed) setNotify(fn func()) {
+	o.mu.Lock()
+	o.notify = fn
+	o.mu.Unlock()
+}
+
 // Refresh writes the observed statistics into the service's
 // signature, so subsequent optimizations use the refined profile
-// (the periodic update of §5). It reports whether anything was
-// observed at all.
+// (the periodic update of §5), and notifies the registry's epoch
+// subsystem when the profile actually changed. It reports whether
+// the signature's statistics changed.
+//
+// The signature write is not synchronized with concurrent readers
+// (signature statistics are read lock-free throughout the cost
+// model, as they were before observers existed): an optimization
+// racing a refresh may price its plan with a mix of old and new
+// statistics. The epoch bump that follows the write makes this
+// self-correcting — the mispriced cache entry is invalidated or
+// revalidated on its next use — but fully consistent snapshots need
+// copy-on-write statistics (see ROADMAP).
 func (o *Observed) Refresh() bool {
-	st := o.ObservedStats()
 	o.mu.Lock()
 	observed := o.calls > 0
+	st := o.observedStatsLocked()
+	notify := o.notify
 	o.mu.Unlock()
 	if !observed {
 		return false
 	}
-	o.inner.Signature().Stats = st
+	return o.apply(st, notify)
+}
+
+// apply installs refreshed statistics and fires the epoch
+// notification when they differ from the registered profile.
+func (o *Observed) apply(st schema.Stats, notify func()) bool {
+	sig := o.inner.Signature()
+	if sig.Stats == st {
+		return false
+	}
+	sig.Stats = st
+	if notify != nil {
+		notify()
+	}
 	return true
+}
+
+// Drift measures how far the observed statistics have moved from the
+// registered profile: the largest relative deviation across erspi,
+// response time and chunk size (0 when nothing was observed). The
+// executor's feedback policy uses it to refresh only when traffic
+// contradicts the profile enough to matter.
+func (o *Observed) Drift() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.calls == 0 {
+		return 0
+	}
+	return driftBetween(o.observedStatsLocked(), o.inner.Signature().Stats)
+}
+
+// driftBetween is the largest relative deviation between an observed
+// and a registered statistics snapshot.
+func driftBetween(st, cur schema.Stats) float64 {
+	rel := func(got, ref float64) float64 {
+		d := math.Abs(got - ref)
+		if d == 0 {
+			return 0
+		}
+		if ref == 0 {
+			return math.Inf(1)
+		}
+		return d / math.Abs(ref)
+	}
+	drift := rel(st.ERSPI, cur.ERSPI)
+	drift = math.Max(drift, rel(st.ResponseTime.Seconds(), cur.ResponseTime.Seconds()))
+	drift = math.Max(drift, rel(float64(st.ChunkSize), float64(cur.ChunkSize)))
+	return drift
+}
+
+// FeedbackPolicy gates the runtime feedback loop: after a plan
+// execution the runner offers each observed service a refresh, which
+// is taken only when enough traffic accumulated and the profile
+// drifted enough to matter. The zero value refreshes after every
+// observed call, on any change.
+type FeedbackPolicy struct {
+	// MinCalls is the number of observed logical invocations required
+	// before a refresh is considered (≤ 1 means every run).
+	MinCalls int64
+	// MinDrift is the relative statistics deviation (see Drift)
+	// required before a refresh is taken; 0 refreshes on any change.
+	MinDrift float64
+}
+
+// MaybeRefresh applies the policy: when the observation window is
+// large enough and has drifted enough, the profile is refreshed and
+// the window reset so the next decision sees fresh traffic. The
+// snapshot and the reset happen under one lock acquisition, so
+// observations arriving concurrently land in the next window instead
+// of being silently discarded between them. It reports whether the
+// profile changed.
+func (o *Observed) MaybeRefresh(pol FeedbackPolicy) bool {
+	min := pol.MinCalls
+	if min < 1 {
+		min = 1
+	}
+	o.mu.Lock()
+	if o.calls < min {
+		o.mu.Unlock()
+		return false
+	}
+	st := o.observedStatsLocked()
+	if pol.MinDrift > 0 && driftBetween(st, o.inner.Signature().Stats) < pol.MinDrift {
+		o.mu.Unlock()
+		return false
+	}
+	notify := o.notify
+	o.resetLocked()
+	o.mu.Unlock()
+	return o.apply(st, notify)
 }
 
 // Reset clears the collected counters (e.g. after a Refresh, to
@@ -106,6 +224,10 @@ func (o *Observed) Refresh() bool {
 func (o *Observed) Reset() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	o.resetLocked()
+}
+
+func (o *Observed) resetLocked() {
 	o.calls, o.fetches, o.rows, o.elapsed = 0, 0, 0, 0
 	o.maxPageRows, o.sawMore = 0, false
 }

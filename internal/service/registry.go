@@ -25,6 +25,13 @@ type Registry struct {
 	// of this one, are never served.
 	id      uint64
 	version uint64
+	// epochs counts in-place statistics refreshes per service: an
+	// Observed wrapper that absorbs live traffic into its signature
+	// bumps the service's epoch without touching the registry
+	// version, and subscribers (plan caches) invalidate or
+	// revalidate exactly the entries that depend on that service.
+	epochs map[string]uint64
+	subs   map[any]func(service string, epoch uint64)
 }
 
 // registryIDs hands each registry a process-unique identity.
@@ -35,6 +42,8 @@ func NewRegistry() *Registry {
 	return &Registry{
 		services: map[string]Service{},
 		methods:  map[[2]string]plan.JoinMethod{},
+		epochs:   map[string]uint64{},
+		subs:     map[any]func(string, uint64){},
 		id:       registryIDs.Add(1),
 	}
 }
@@ -53,6 +62,10 @@ func (r *Registry) Register(svc Service) error {
 	}
 	r.services[sig.Name] = svc
 	r.version++
+	if ob, ok := svc.(*Observed); ok {
+		name := sig.Name
+		ob.setNotify(func() { r.BumpEpoch(name) })
+	}
 	return nil
 }
 
@@ -77,6 +90,127 @@ func (r *Registry) CacheSalt() string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return fmt.Sprintf("reg%d@%d", r.id, r.version)
+}
+
+// BumpEpoch advances the statistics epoch of a service and notifies
+// every subscriber. It is called by Observed wrappers after an
+// in-place statistics refresh, and may be called directly by callers
+// that mutate a registered signature's statistics by hand. Unlike
+// registrations and join-method changes it does not bump the registry
+// version: the epoch is a finer-grained signal that lets plan caches
+// drop or revalidate only the entries touching the refreshed service
+// instead of everything.
+func (r *Registry) BumpEpoch(name string) uint64 {
+	r.mu.Lock()
+	r.epochs[name]++
+	epoch := r.epochs[name]
+	fns := make([]func(string, uint64), 0, len(r.subs))
+	for _, fn := range r.subs {
+		fns = append(fns, fn)
+	}
+	r.mu.Unlock()
+	// Subscribers run outside the registry lock so they may call back
+	// into the registry freely.
+	for _, fn := range fns {
+		fn(name, epoch)
+	}
+	return epoch
+}
+
+// Epoch returns the current statistics epoch of a service (0 until
+// the first refresh).
+func (r *Registry) Epoch(name string) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epochs[name]
+}
+
+// Epochs returns a snapshot of every service's statistics epoch;
+// services never refreshed are omitted (epoch 0).
+func (r *Registry) Epochs() map[string]uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]uint64, len(r.epochs))
+	for name, e := range r.epochs {
+		out[name] = e
+	}
+	return out
+}
+
+// SubscribeEpochs registers fn to be called after every epoch bump.
+// The key identifies the subscriber: subscribing the same key again
+// replaces its callback, so wiring a long-lived cache to the registry
+// on every optimization is idempotent.
+func (r *Registry) SubscribeEpochs(key any, fn func(service string, epoch uint64)) {
+	if key == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.subs[key] = fn
+}
+
+// UnsubscribeEpochs removes a subscriber.
+func (r *Registry) UnsubscribeEpochs(key any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.subs, key)
+}
+
+// ObserveAll wraps every registered service that is not already
+// observed in an Observed collector wired to this registry's epochs,
+// and returns the number of services wrapped. Signatures, statistics
+// and plans are untouched (the wrapper is transparent), so the
+// registry version does not change; but from now on live traffic
+// accumulates per-service observations that Refresh — or the
+// executor's feedback policy — can fold back into the profile.
+func (r *Registry) ObserveAll() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for name, svc := range r.services {
+		if _, ok := svc.(*Observed); ok {
+			continue
+		}
+		ob := Observe(svc)
+		name := name
+		ob.setNotify(func() { r.BumpEpoch(name) })
+		r.services[name] = ob
+		n++
+	}
+	return n
+}
+
+// Observer returns the Observed wrapper of a service, if it is
+// observed.
+func (r *Registry) Observer(name string) (*Observed, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ob, ok := r.services[name].(*Observed)
+	return ob, ok
+}
+
+// RefreshObserved folds the collected observations of every observed
+// service into its registered profile (bumping the epochs of the
+// services whose statistics actually changed) and returns how many
+// profiles changed — the manual counterpart of the executor's
+// per-run feedback.
+func (r *Registry) RefreshObserved() int {
+	var obs []*Observed
+	r.mu.RLock()
+	for _, svc := range r.services {
+		if ob, ok := svc.(*Observed); ok {
+			obs = append(obs, ob)
+		}
+	}
+	r.mu.RUnlock()
+	n := 0
+	for _, ob := range obs {
+		if ob.Refresh() {
+			n++
+		}
+	}
+	return n
 }
 
 // MustRegister is Register that panics on error.

@@ -154,11 +154,28 @@ type System struct {
 	// every level.
 	Parallelism int
 	// PlanCache, when non-nil, memoizes optimization results across
-	// queries (see NewPlanCache). Entries are keyed by the canonical
-	// query signature, the optimizer settings and the registry
-	// version, so registering a service or changing a join method
-	// invalidates them automatically.
+	// queries (see NewPlanCache and NewPlanCacheWith). Entries are
+	// keyed by the canonical query signature, the optimizer settings
+	// and the registry version, so registering a service or changing
+	// a join method invalidates them automatically; in-place
+	// statistics refreshes (observed services) invalidate or
+	// revalidate entries through per-service stats epochs. Bound
+	// template queries optimized via OptimizeBound additionally share
+	// one template-level entry per template, so one search serves
+	// every binding.
 	PlanCache *PlanCache
+	// Feedback, when non-nil, closes the adaptive serving loop: after
+	// every Execute the observed per-service traffic is folded back
+	// into the profiles of observed services (see ObserveAll) under
+	// the policy's thresholds, bumping stats epochs so cached plans
+	// revalidate against real traffic instead of stale registration
+	// estimates.
+	Feedback *FeedbackPolicy
+	// RevalidateRatio bounds the cost divergence tolerated when a
+	// cached template plan is re-costed for new bindings or fresh
+	// statistics; beyond it a full search re-runs. 0 means the
+	// optimizer default (4×).
+	RevalidateRatio float64
 }
 
 // NewSystem creates an empty system with the paper's default
@@ -219,31 +236,82 @@ func (s *System) Parse(query string) (*Query, error) {
 	return q, nil
 }
 
+// optimizer assembles the optimizer for this system's settings and
+// wires the plan cache into the registry's stats-epoch feed.
+func (s *System) optimizer() *opt.Optimizer {
+	p := s.Parallelism
+	if p == 0 {
+		p = opt.AutoParallelism
+	}
+	if s.PlanCache != nil {
+		// Idempotent: re-subscribing the same cache replaces its
+		// callback, so stats refreshes invalidate exactly the entries
+		// touching the refreshed service.
+		s.registry.SubscribeEpochs(s.PlanCache, s.PlanCache.InvalidateService)
+	}
+	return &opt.Optimizer{
+		Metric:          s.Metric,
+		Estimator:       card.Config{Mode: s.Cache},
+		K:               s.K,
+		ChooseMethod:    s.registry.MethodChooser(),
+		Parallelism:     p,
+		Cache:           s.PlanCache,
+		CacheSalt:       s.registry.CacheSalt(),
+		Epochs:          s.registry,
+		RevalidateRatio: s.RevalidateRatio,
+	}
+}
+
 // Optimize runs the three-phase branch and bound and returns the
 // cheapest executable plan together with search statistics. The
 // search parallelizes over System.Parallelism workers and consults
 // System.PlanCache when one is attached.
 func (s *System) Optimize(q *Query) (*OptimizeResult, error) {
-	p := s.Parallelism
-	if p == 0 {
-		p = opt.AutoParallelism
+	return s.optimizer().Optimize(q)
+}
+
+// OptimizeBound binds a template and optimizes the bound query
+// through the template level of the plan cache: all bindings of one
+// template share a single branch-and-bound search, and each binding
+// only re-runs the cheap cost phase (selectivity and fetch-vector
+// re-estimation) on the cached plan skeleton. Without a PlanCache it
+// degrades to Bind + Optimize. The bound, resolved query is returned
+// alongside the result so the caller can execute the plan.
+func (s *System) OptimizeBound(tpl *Template, values map[string]Value) (*Query, *OptimizeResult, error) {
+	q, err := tpl.Bind(values)
+	if err != nil {
+		return nil, nil, err
 	}
-	o := &opt.Optimizer{
-		Metric:       s.Metric,
-		Estimator:    card.Config{Mode: s.Cache},
-		K:            s.K,
-		ChooseMethod: s.registry.MethodChooser(),
-		Parallelism:  p,
-		Cache:        s.PlanCache,
-		CacheSalt:    s.registry.CacheSalt(),
+	if err := s.ResolveQuery(q); err != nil {
+		return nil, nil, err
 	}
-	return o.Optimize(q)
+	res, err := s.optimizer().OptimizeTemplate(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, res, nil
+}
+
+// AnswerBound optimizes a template binding through the template
+// cache and executes the plan: the serving-loop analogue of Answer.
+func (s *System) AnswerBound(ctx context.Context, tpl *Template, values map[string]Value) (*ExecResult, *OptimizeResult, error) {
+	_, ores, err := s.OptimizeBound(tpl, values)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := s.Execute(ctx, ores.Best)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, ores, nil
 }
 
 // Execute runs a plan against the registered services with the
-// system's caching level, stopping after K answers (0 drains).
+// system's caching level, stopping after K answers (0 drains). With
+// System.Feedback set, observed services absorb the run's traffic
+// into their profiles afterwards.
 func (s *System) Execute(ctx context.Context, p *Plan) (*ExecResult, error) {
-	r := &exec.Runner{Registry: s.registry, Cache: s.Cache, K: s.K}
+	r := &exec.Runner{Registry: s.registry, Cache: s.Cache, K: s.K, Feedback: s.Feedback}
 	return r.Run(ctx, p)
 }
 
@@ -270,12 +338,62 @@ func (s *System) Answer(ctx context.Context, query string) (*ExecResult, *Optimi
 // search entirely. Safe for concurrent use.
 type PlanCache = opt.PlanCache
 
-// PlanCacheStats reports plan-cache hit/miss counters and occupancy.
+// PlanCacheStats reports plan-cache hit/miss/revalidation/eviction
+// counters and occupancy.
 type PlanCacheStats = opt.CacheStats
+
+// PlanCachePolicy configures capacity, byte-budget and TTL eviction
+// for long-running servers.
+type PlanCachePolicy = opt.Policy
+
+// PlanCacheEntry describes one cached entry (key kind, epochs,
+// staleness, hit counts) for introspection.
+type PlanCacheEntry = opt.EntryInfo
+
+// FeedbackPolicy gates the runtime feedback loop from execution
+// traffic back into service profiles (see System.Feedback).
+type FeedbackPolicy = service.FeedbackPolicy
+
+// Observed is a service wrapper collecting live-traffic statistics
+// (see System.ObserveAll).
+type Observed = service.Observed
 
 // NewPlanCache builds a plan cache holding up to capacity results
 // (<= 0 means 128).
 func NewPlanCache(capacity int) *PlanCache { return opt.NewPlanCache(capacity) }
+
+// NewPlanCacheWith builds a plan cache with explicit eviction
+// policies (entry capacity, byte budget, TTL).
+func NewPlanCacheWith(p PlanCachePolicy) *PlanCache { return opt.NewPlanCacheWith(p) }
+
+// ObserveAll wraps every registered service in a statistics observer
+// wired to the registry's stats epochs, returning how many were
+// wrapped. Combined with System.Feedback this turns execution
+// traffic into profile refreshes and cache revalidation.
+func (s *System) ObserveAll() int { return s.registry.ObserveAll() }
+
+// RefreshStats folds all collected observations into the service
+// profiles immediately (ignoring the feedback policy thresholds) and
+// returns how many profiles changed — the manual re-profiling hook.
+func (s *System) RefreshStats() int { return s.registry.RefreshObserved() }
+
+// Epochs snapshots the statistics epoch of every service that has
+// been refreshed at least once.
+func (s *System) Epochs() map[string]uint64 { return s.registry.Epochs() }
+
+// ServiceEpoch returns the statistics epoch of one service (0 until
+// its first refresh).
+func (s *System) ServiceEpoch(name string) uint64 { return s.registry.Epoch(name) }
+
+// ServiceStats returns the current profiled statistics of a
+// registered service.
+func (s *System) ServiceStats(name string) (Stats, bool) {
+	svc, ok := s.registry.Lookup(name)
+	if !ok {
+		return Stats{}, false
+	}
+	return svc.Signature().Stats, true
+}
 
 // Cache is a logical result cache (§5.1) that can be shared across
 // executions to continue a query for more answers.
@@ -287,7 +405,7 @@ func NewCache(mode CacheMode) Cache { return exec.NewCache(mode) }
 // ExecuteShared runs a plan with an externally owned cache, so
 // subsequent continuations can reuse every call already made.
 func (s *System) ExecuteShared(ctx context.Context, p *Plan, cache Cache) (*ExecResult, error) {
-	r := &exec.Runner{Registry: s.registry, Cache: s.Cache, K: s.K, SharedCache: cache}
+	r := &exec.Runner{Registry: s.registry, Cache: s.Cache, K: s.K, SharedCache: cache, Feedback: s.Feedback}
 	return r.Run(ctx, p)
 }
 
