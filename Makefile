@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_TOLERANCE ?= 2.5
 
-.PHONY: build vet fmt test race bench benchgate bench-baseline ci
+.PHONY: build vet fmt test race bench benchgate bench-baseline docscheck ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,14 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+# Documentation gate: markdown links in the top-level docs must
+# resolve, and every exported identifier in the optimizer and
+# estimator packages must carry a doc comment.
+docscheck:
+	$(GO) run ./cmd/docscheck \
+		-md README.md,ARCHITECTURE.md,ROADMAP.md \
+		-pkg ./internal/opt,./internal/card
+
 # Gate BenchmarkOptimize* against the committed baseline: fails when
 # any benchmark runs slower than baseline × BENCH_TOLERANCE.
 benchgate:
@@ -39,4 +47,4 @@ bench-baseline:
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -update \
 			-note "refreshed via make bench-baseline on $$(uname -m), $$(date +%F)"
 
-ci: build vet fmt race bench benchgate
+ci: build vet fmt docscheck race bench benchgate

@@ -1,0 +1,173 @@
+// Command docscheck is the repository's documentation gate, run in
+// CI (make docscheck). It enforces two invariants:
+//
+//  1. Markdown link integrity: every relative link in the given
+//     markdown files points at an existing file or directory
+//     (external http(s)/mailto links and pure #anchors are skipped).
+//  2. Godoc coverage: every exported top-level identifier (types,
+//     functions, methods, and named const/var specs) in the given
+//     packages carries a doc comment.
+//
+// Usage:
+//
+//	docscheck [-md README.md,ARCHITECTURE.md] [-pkg ./internal/opt,./internal/card]
+//
+// Exits non-zero listing every violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	var (
+		mdList  = flag.String("md", "", "comma-separated markdown files to link-check")
+		pkgList = flag.String("pkg", "", "comma-separated package directories whose exported identifiers must have doc comments")
+	)
+	flag.Parse()
+
+	var problems []string
+	for _, f := range splitList(*mdList) {
+		problems = append(problems, checkLinks(f)...)
+	}
+	for _, dir := range splitList(*pkgList) {
+		problems = append(problems, checkDocs(dir)...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// mdLink matches [text](target); targets with spaces or titles are
+// cut at the first space.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// checkLinks verifies every relative link target of one markdown file
+// exists on disk (anchors stripped).
+func checkLinks(file string) []string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", file, err)}
+	}
+	var problems []string
+	base := filepath.Dir(file)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(base, target)); err != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: broken link %q", file, i+1, m[1]))
+			}
+		}
+	}
+	return problems
+}
+
+// checkDocs parses one package directory (tests excluded) and reports
+// every exported top-level declaration without a doc comment. Specs
+// inside a documented const/var block inherit the block's comment.
+func checkDocs(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", dir, err)}
+	}
+	var problems []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (methods on unexported types are internal API).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.IsExported()
+	}
+	return true
+}
+
+// checkGenDecl walks a type/const/var declaration group: each
+// exported spec needs its own doc comment unless the group carries
+// one.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	what := map[token.Token]string{token.TYPE: "type", token.CONST: "const", token.VAR: "var"}[d.Tok]
+	if what == "" {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+				report(s.Pos(), what, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && s.Doc == nil && s.Comment == nil && d.Doc == nil {
+					report(name.Pos(), what, name.Name)
+				}
+			}
+		}
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mdqrun [-world travel|bio|mashup] [-remote http://host:port]
+//	mdqrun [-world travel|bio|mashup|zipf] [-remote http://host:port]
 //	       [-metric etm] [-cache one-call] [-k 10] [-sim] [-query "..."]
 //	       [-template "... $param ..." -bind "param=value,..."]
 //	       [-feedback]
@@ -41,7 +41,7 @@ import (
 
 func main() {
 	var (
-		worldName = flag.String("world", "travel", "built-in world: travel, bio or mashup")
+		worldName = flag.String("world", "travel", "built-in world: travel, bio, mashup or zipf")
 		remote    = flag.String("remote", "", "connect to a remote mdqserve endpoint instead")
 		metric    = flag.String("metric", "etm", "cost metric")
 		cache     = flag.String("cache", "one-call", "caching model: none, one-call, optimal")
@@ -134,7 +134,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("plan: %s   (%s cost %.2f)\n\n", res.Best.Describe(), m.Name(), res.Cost)
+	costLine := fmt.Sprintf("%s cost %.2f", m.Name(), res.Cost)
+	// Show the uniform-model estimate when profiled value
+	// distributions moved this binding's cost away from it.
+	if uni := o.UniformCost(res); uni != res.Cost {
+		costLine += fmt.Sprintf(", uniform %.2f", uni)
+	}
+	fmt.Printf("plan: %s   (%s)\n\n", res.Best.Describe(), costLine)
 
 	var (
 		rows  [][]string
@@ -232,6 +238,9 @@ func world(name string) (*service.Registry, string, error) {
 	case "mashup":
 		w := simweb.NewMashupWorld()
 		return w.Registry, simweb.MashupExampleText, nil
+	case "zipf":
+		w := simweb.NewZipfWorld(0, 0, 0)
+		return w.Registry, simweb.ZipfExampleText, nil
 	default:
 		return nil, "", fmt.Errorf("unknown world %q", name)
 	}

@@ -28,8 +28,10 @@
 //	      bindings) and, unless execute is false, runs the plan and
 //	      returns the answers; execution traffic feeds the profiles.
 //	GET  /cache     → cache counters plus per-entry kind/epochs/staleness.
-//	GET  /stats     → per-service profiled statistics, epochs and
-//	                  observation windows.
+//	GET  /stats     → per-service profiled statistics, epochs,
+//	                  observation windows and per-attribute value
+//	                  distribution summaries (rows, distinct count,
+//	                  buckets, top most-common values).
 //	GET  /optimize/stats → cache counters only (kept for older clients).
 package main
 
@@ -57,7 +59,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
-		worldName  = flag.String("world", "travel", "built-in world: travel, bio or mashup")
+		worldName  = flag.String("world", "travel", "built-in world: travel, bio, mashup or zipf")
 		scale      = flag.Float64("scale", 0, "sleep scale for simulated latencies (0 = report only)")
 		jitter     = flag.Float64("jitter", 0, "log-normal latency jitter sigma")
 		parallel   = flag.Int("parallel", opt.AutoParallelism, "optimizer search workers (-1 = one per CPU, 1 = sequential)")
@@ -79,6 +81,8 @@ func main() {
 		reg = simweb.NewBioWorld().Registry
 	case "mashup":
 		reg = simweb.NewMashupWorld().Registry
+	case "zipf":
+		reg = simweb.NewZipfWorld(0, 0, 0).Registry
 	default:
 		log.Fatalf("unknown world %q", *worldName)
 	}
@@ -394,6 +398,50 @@ type serviceReport struct {
 	ObservedCalls   int64 `json:"observed_calls"`
 	ObservedFetches int64 `json:"observed_fetches"`
 	ObservedRows    int64 `json:"observed_rows"`
+	// Attributes summarizes the per-attribute value distributions
+	// (profiled at registration or learned from traffic); attributes
+	// without statistics are omitted.
+	Attributes map[string]attrReport `json:"attributes,omitempty"`
+}
+
+// attrReport summarizes one attribute's value distribution for the
+// stats endpoint: overall shape plus the most common values.
+type attrReport struct {
+	Rows     float64     `json:"rows"`
+	Distinct float64     `json:"distinct"`
+	Buckets  int         `json:"buckets"`
+	TopMCVs  []mcvReport `json:"top_mcvs,omitempty"`
+}
+
+type mcvReport struct {
+	Value string  `json:"value"`
+	Frac  float64 `json:"frac"`
+}
+
+func attrReports(sig *schema.Signature) map[string]attrReport {
+	var out map[string]attrReport
+	for i, attr := range sig.Attrs {
+		d := sig.Stats.Distribution(i)
+		if d.Empty() {
+			continue
+		}
+		rep := attrReport{Rows: d.Total, Distinct: d.Distinct, Buckets: len(d.Buckets)}
+		for j, m := range d.MCVs {
+			if j == 3 {
+				break
+			}
+			rep.TopMCVs = append(rep.TopMCVs, mcvReport{Value: m.Value.String(), Frac: m.Frac})
+		}
+		if out == nil {
+			out = map[string]attrReport{}
+		}
+		name := attr.Name
+		if name == "" {
+			name = fmt.Sprintf("arg%d", i)
+		}
+		out[name] = rep
+	}
+	return out
 }
 
 func (s *optimizeServer) serviceStats(w http.ResponseWriter, r *http.Request) {
@@ -409,6 +457,7 @@ func (s *optimizeServer) serviceStats(w http.ResponseWriter, r *http.Request) {
 			ERSPI:        sig.Stats.ERSPI,
 			ResponseSecs: sig.Stats.ResponseTime.Seconds(),
 			ChunkSize:    sig.Stats.ChunkSize,
+			Attributes:   attrReports(sig),
 		}
 		if ob, ok := s.reg.Observer(sig.Name); ok {
 			rep.ObservedCalls, rep.ObservedFetches, rep.ObservedRows = ob.Observations()

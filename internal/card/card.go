@@ -13,14 +13,24 @@
 // call, bounded by the minimal t_out along paths from the producers),
 // and the optimal cache (calls bounded by the number of distinct
 // input combinations, capped by domain sizes).
+//
+// On top of the paper's uniform model the estimator consults
+// per-attribute value distributions (schema.Stats.Dists) when they
+// are profiled: equality and range predicates over bound constants,
+// constants in atom input positions, and constrained output fields
+// are then priced per value instead of per domain (see value.go),
+// which makes the cost of a query depend on its actual bindings.
 package card
 
 import (
 	"fmt"
+	"log"
 	"math"
+	"sync/atomic"
 
 	"mdq/internal/cq"
 	"mdq/internal/plan"
+	"mdq/internal/schema"
 )
 
 // CacheMode selects the logical caching model of §5.1.
@@ -81,8 +91,50 @@ type Config struct {
 	DefaultSelectivity func(op cq.CmpOp) float64
 	// DefaultEquiJoin is the selectivity assumed for a value
 	// equi-join on a variable whose domain size is unknown; 0 means
-	// 0.1.
+	// UnknownDomainFallback.
 	DefaultEquiJoin float64
+	// NoValueStats disables the per-value distribution layer
+	// (schema.Stats.Dists): every selectivity reverts to the uniform
+	// model of §2.2, as if no histograms were profiled. The flag is
+	// part of the optimizer's cache-key fingerprint.
+	NoValueStats bool
+}
+
+// UnknownDomainFallback is the uniform selectivity charged for an
+// equality on an attribute whose domain size is unknown and which has
+// no value distribution — the conventional System-R 0.1. It is
+// applied explicitly (and logged once per process, see
+// logUnknownDomain) rather than silently degrading.
+const UnknownDomainFallback = 0.1
+
+// FallbackLogf receives the one-time diagnostic emitted when the
+// estimator first resorts to UnknownDomainFallback because neither a
+// domain size nor a value distribution was available. It defaults to
+// log.Printf; tests replace it to pin the behavior.
+var FallbackLogf func(format string, args ...any) = log.Printf
+
+// unknownDomainLogged guards the once-per-process fallback log.
+var unknownDomainLogged atomic.Bool
+
+// resetUnknownDomainLog re-arms the one-time log (test hook).
+func resetUnknownDomainLog() { unknownDomainLogged.Store(false) }
+
+// uniformFallback returns the equality selectivity to assume when an
+// attribute has neither a known domain size nor a value distribution,
+// logging the degradation once so silent mis-estimation is visible in
+// server logs.
+func (c Config) uniformFallback(where string) float64 {
+	if unknownDomainLogged.CompareAndSwap(false, true) {
+		FallbackLogf("card: %s: attribute has no domain size and no value distribution; assuming uniform selectivity %g", where, c.equiJoinDefault())
+	}
+	return c.equiJoinDefault()
+}
+
+func (c Config) equiJoinDefault() float64 {
+	if c.DefaultEquiJoin > 0 {
+		return c.DefaultEquiJoin
+	}
+	return UnknownDomainFallback
 }
 
 // DefaultSelectivity is the built-in fallback: equality 0.1,
@@ -119,17 +171,6 @@ func (c Config) PredSelectivity(preds []*cq.Predicate) float64 {
 	return s
 }
 
-// EffectiveERSPI returns the node's erspi with its local selection
-// predicates folded in (§3.4: "The selection predicates applied to
-// all service invocations are included for convenience in the notion
-// of erspi").
-func (c Config) EffectiveERSPI(n *plan.Node) float64 {
-	if n.Kind != plan.Service || n.Atom.Sig == nil {
-		return 1
-	}
-	return n.Atom.Sig.Stats.ERSPI * c.PredSelectivity(n.Preds)
-}
-
 // JoinSelectivity returns σp of a join node: the product of the
 // selectivities of the predicates evaluated at the join. The
 // lineage equi-join on shared upstream variables has selectivity 1
@@ -157,18 +198,21 @@ func (c Config) Annotate(p *plan.Plan) float64 {
 			l, r := n.In[0], n.In[1]
 			n.TIn = l.TOut + r.TOut
 			n.Calls = 0
-			n.TOut = joinOut(p, n, l, r) * c.JoinSelectivity(n) * c.equiJoinSelectivity(p, l, r)
+			n.TOut = joinOut(p, n, l, r) * c.PredSelectivityIn(p.Query, n.JoinPreds) * c.equiJoinSelectivity(p, l, r)
 		case plan.Service:
 			n.TIn = n.In[0].TOut
 			n.Calls = c.calls(p, n)
 			boundSel := c.boundOutputSelectivity(p, n)
+			predSel := c.PredSelectivityIn(p.Query, n.Preds)
 			if n.Chunked() {
 				// t_out = cs · F per input tuple (§3.4), filtered by
-				// local predicates and bound-output selections.
+				// local predicates and bound-output selections. The
+				// fetch schedule, not erspi, sizes chunked results, so
+				// the per-value input factor does not apply.
 				cs := float64(n.Atom.Sig.Stats.ChunkSize)
-				n.TOut = n.TIn * cs * float64(n.Fetches) * c.PredSelectivity(n.Preds) * boundSel
+				n.TOut = n.TIn * cs * float64(n.Fetches) * predSel * boundSel
 			} else {
-				n.TOut = n.TIn * c.EffectiveERSPI(n) * boundSel
+				n.TOut = n.TIn * n.Atom.Sig.Stats.ERSPI * c.valueERSPIFactor(n) * predSel * boundSel
 			}
 		}
 	}
@@ -194,8 +238,11 @@ func joinOut(p *plan.Plan, n, l, r *plan.Node) float64 {
 // are already constrained: an output position holding a constant, or
 // a variable that upstream nodes have already bound, filters the
 // returned rows to the matching ones. The selectivity of each such
-// equality is estimated as 1/V from the abstract domain's distinct
-// count (uniformity, §2.2), or the DefaultEquiJoin fallback.
+// equality is estimated from the attribute's value distribution when
+// one is profiled (exactly for constants, 1/V̂ from the histogram's
+// distinct count for upstream-bound variables), else as 1/V from the
+// abstract domain's distinct count (uniformity, §2.2), else the
+// explicit uniform fallback (logged once, see UnknownDomainFallback).
 //
 // This is what makes "call hotel with no inputs, then look for
 // conferences in the hotel's city" correctly expensive: conf's
@@ -212,25 +259,35 @@ func (c Config) boundOutputSelectivity(p *plan.Plan, n *plan.Node) float64 {
 		upstream = cq.VarSet{}
 	}
 	sel := 1.0
-	factor := func(pos int) float64 {
-		if n.Atom.Sig != nil {
-			if d := n.Atom.Sig.Attrs[pos].Domain.DistinctValues; d > 0 {
+	factor := func(pos int, cv schema.Value, isConst bool) float64 {
+		sig := n.Atom.Sig
+		if sig != nil {
+			if isConst && !c.NoValueStats {
+				if d := sig.Stats.Distribution(pos); !d.Empty() {
+					if eq, ok := d.EqSelectivity(cv); ok {
+						return eq
+					}
+				}
+			}
+			if d := sig.Attrs[pos].Domain.DistinctValues; d > 0 {
 				return 1 / float64(d)
 			}
+			if !c.NoValueStats {
+				if d := sig.Stats.Distribution(pos); !d.Empty() && d.Distinct > 0 {
+					return 1 / d.Distinct
+				}
+			}
 		}
-		if c.DefaultEquiJoin > 0 {
-			return c.DefaultEquiJoin
-		}
-		return 0.1
+		return c.uniformFallback("bound-output equality on " + n.Atom.Service)
 	}
 	for _, pos := range n.Pattern.Outputs() {
 		term := n.Atom.Terms[pos]
 		if !term.IsVar() {
-			sel *= factor(pos)
+			sel *= factor(pos, term.Const, true)
 			continue
 		}
 		if upstream.Has(term.Var) {
-			sel *= factor(pos)
+			sel *= factor(pos, schema.Null, false)
 		}
 	}
 	return sel
@@ -242,7 +299,9 @@ func (c Config) boundOutputSelectivity(p *plan.Plan, n *plan.Node) float64 {
 // equi-join, selectivity 1); a variable first bound on each branch
 // separately is a genuine value join, estimated System-R style as
 // 1/max(V(X)) from the abstract domain's distinct count (§2.2's
-// uniformity assumptions), or DefaultEquiJoin when unknown.
+// uniformity assumptions), falling back to the histogram's distinct
+// estimate when the domain size is unknown, and finally to the
+// explicit uniform fallback (logged once).
 func (c Config) equiJoinSelectivity(p *plan.Plan, l, r *plan.Node) float64 {
 	fork := forkNode(p, l, r)
 	forkVars := cq.VarSet{}
@@ -258,10 +317,10 @@ func (c Config) equiJoinSelectivity(p *plan.Plan, l, r *plan.Node) float64 {
 		}
 		if d := queryVarDomain(p.Query, x); d > 0 {
 			sel /= d
-		} else if c.DefaultEquiJoin > 0 {
-			sel *= c.DefaultEquiJoin
+		} else if dd := valueJoinDistribution(c, p.Query, x); dd != nil {
+			sel /= dd.Distinct
 		} else {
-			sel *= 0.1
+			sel *= c.uniformFallback("value equi-join on " + string(x))
 		}
 	}
 	return sel

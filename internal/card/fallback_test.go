@@ -1,0 +1,94 @@
+package card
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mdq/internal/abind"
+	"mdq/internal/cq"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+)
+
+// unknownDomainPlan builds the smallest plan that forces the
+// estimator through the unknown-domain path: a single all-output
+// service whose output position holds a constant, over an attribute
+// with neither a domain size nor a value distribution.
+func unknownDomainPlan(t *testing.T) *plan.Plan {
+	t.Helper()
+	sig := &schema.Signature{
+		Name:     "svc",
+		Attrs:    []schema.Attribute{{Name: "K", Domain: schema.Domain{Kind: schema.StringValue}}},
+		Patterns: []schema.AccessPattern{schema.MustPattern("o")},
+		Kind:     schema.Exact,
+		Stats:    schema.Stats{ERSPI: 2},
+	}
+	q := &cq.Query{
+		Name:  "q",
+		Atoms: []*cq.Atom{{Service: "svc", Terms: []cq.Term{cq.C(schema.S("k"))}, Index: 0, Sig: sig}},
+	}
+	p, err := plan.Build(q, abind.Assignment{schema.MustPattern("o")}, plan.Chain([]int{0}), plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestUnknownDomainFallbackExplicit pins the degradation behavior for
+// attributes with zero/unknown domain size: the estimator returns the
+// explicit uniform fallback (UnknownDomainFallback, or
+// DefaultEquiJoin when configured) instead of silently improvising,
+// and logs the degradation exactly once per process.
+func TestUnknownDomainFallbackExplicit(t *testing.T) {
+	resetUnknownDomainLog()
+	var logs []string
+	old := FallbackLogf
+	FallbackLogf = func(format string, args ...any) {
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}
+	defer func() { FallbackLogf = old; resetUnknownDomainLog() }()
+
+	p := unknownDomainPlan(t)
+	cfg := Config{Mode: OneCall}
+	cfg.Annotate(p)
+	svc := p.Nodes[1] // input is node 0
+	for _, n := range p.Nodes {
+		if n.Kind == plan.Service {
+			svc = n
+		}
+	}
+	// TOut = 1 (t_in) × 2 (erspi) × UnknownDomainFallback.
+	if want := 2 * UnknownDomainFallback; math.Abs(svc.TOut-want) > 1e-12 {
+		t.Fatalf("unknown-domain constant output: TOut = %g, want %g", svc.TOut, want)
+	}
+	if len(logs) != 1 {
+		t.Fatalf("fallback must log exactly once on first use, got %d: %v", len(logs), logs)
+	}
+
+	// Re-annotating (or annotating other plans) must not log again.
+	cfg.Annotate(p)
+	Config{Mode: NoCache}.Annotate(unknownDomainPlan(t))
+	if len(logs) != 1 {
+		t.Fatalf("fallback log must fire once per process, got %d", len(logs))
+	}
+
+	// DefaultEquiJoin overrides the fallback magnitude.
+	resetUnknownDomainLog()
+	logs = nil
+	cfgEJ := Config{Mode: OneCall, DefaultEquiJoin: 0.25}
+	p2 := unknownDomainPlan(t)
+	cfgEJ.Annotate(p2)
+	var svc2 *plan.Node
+	for _, n := range p2.Nodes {
+		if n.Kind == plan.Service {
+			svc2 = n
+		}
+	}
+	if want := 2 * 0.25; math.Abs(svc2.TOut-want) > 1e-12 {
+		t.Fatalf("DefaultEquiJoin fallback: TOut = %g, want %g", svc2.TOut, want)
+	}
+	if len(logs) != 1 {
+		t.Fatalf("re-armed fallback must log once, got %d", len(logs))
+	}
+}

@@ -1,0 +1,109 @@
+package card_test
+
+import (
+	"testing"
+
+	"mdq/internal/abind"
+	. "mdq/internal/card"
+	"mdq/internal/cq"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	"mdq/internal/simweb"
+)
+
+// zipfPlan builds the serial catalog→review plan of the Zipf world
+// for one tag binding.
+func zipfPlan(t *testing.T, w *simweb.ZipfWorld, tag string) *plan.Plan {
+	t.Helper()
+	q, err := cq.Parse("q(Item, Score) :- catalog('" + tag + "', Item), review(Item, Score), Score >= 4.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Resolve(w.Schema); err != nil {
+		t.Fatal(err)
+	}
+	asn := abind.Assignment{schema.MustPattern("io"), schema.MustPattern("io")}
+	p, err := plan.Build(q, asn, plan.Chain([]int{0, 1}), plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestValueSensitiveBindings: under profiled Zipf distributions the
+// same template priced for the head tag and for a tail tag must give
+// very different cardinalities, while the uniform model (NoValueStats)
+// cannot tell them apart.
+func TestValueSensitiveBindings(t *testing.T) {
+	w := simweb.NewZipfWorld(50, 2000, 1.1)
+	hot := zipfPlan(t, w, simweb.ZipfTag(0))
+	cold := zipfPlan(t, w, simweb.ZipfTag(49))
+
+	cfg := Config{Mode: OneCall}
+	hotOut := cfg.Annotate(hot)
+	coldOut := cfg.Annotate(cold)
+	if hotOut <= coldOut {
+		t.Fatalf("head tag must estimate more results than tail tag: %g vs %g", hotOut, coldOut)
+	}
+	if hotOut/coldOut < 8 {
+		t.Fatalf("zipf skew should be clearly visible in estimates: ratio %g", hotOut/coldOut)
+	}
+
+	uniform := Config{Mode: OneCall, NoValueStats: true}
+	hotU := uniform.Annotate(zipfPlan(t, w, simweb.ZipfTag(0)))
+	coldU := uniform.Annotate(zipfPlan(t, w, simweb.ZipfTag(49)))
+	if hotU != coldU {
+		t.Fatalf("uniform model must not distinguish bindings: %g vs %g", hotU, coldU)
+	}
+}
+
+// TestValueAwarePredicates: a range predicate over a profiled numeric
+// attribute is priced from the histogram (Score ≥ 4 over the uniform
+// 1..5 scores ≈ 0.4), not the 0.3 operator default.
+func TestValueAwarePredicates(t *testing.T) {
+	w := simweb.NewZipfWorld(10, 200, 1.0)
+	p := zipfPlan(t, w, simweb.ZipfTag(0))
+	cfg := Config{Mode: OneCall}
+	cfg.Annotate(p)
+
+	var review *plan.Node
+	for _, n := range p.Nodes {
+		if n.Kind == plan.Service && n.Atom.Service == "review" {
+			review = n
+		}
+	}
+	// t_out(review) = t_in × ξ(3) × σ(Score ≥ 4); with the histogram σ
+	// must be near 2/5, clearly away from the 0.3 default.
+	sel := review.TOut / (review.TIn * 3)
+	if sel < 0.3 || sel > 0.5 {
+		t.Fatalf("histogram range selectivity ≈ 0.4 expected, got %g", sel)
+	}
+	// Explicit annotations still win over the histogram.
+	q := p.Query
+	q.Preds[0].Selectivity = 0.07
+	cfg.Annotate(p)
+	sel = review.TOut / (review.TIn * 3)
+	if !approx(sel, 0.07, 1e-9) {
+		t.Fatalf("explicit selectivity must override histogram, got %g", sel)
+	}
+}
+
+// TestValueERSPIFactorOnInputs: a constant bound to a profiled input
+// position scales the node's effective result size by freq(v)·V.
+func TestValueERSPIFactorOnInputs(t *testing.T) {
+	w := simweb.NewZipfWorld(20, 1000, 1.2)
+	hot := zipfPlan(t, w, simweb.ZipfTag(0))
+	cfg := Config{Mode: OneCall}
+	cfg.Annotate(hot)
+	var catalog *plan.Node
+	for _, n := range hot.Nodes {
+		if n.Kind == plan.Service && n.Atom.Service == "catalog" {
+			catalog = n
+		}
+	}
+	// The head tag's factor must push t_out above the uniform erspi.
+	if catalog.TOut <= catalog.Atom.Sig.Stats.ERSPI {
+		t.Fatalf("head binding t_out %g must exceed uniform erspi %g",
+			catalog.TOut, catalog.Atom.Sig.Stats.ERSPI)
+	}
+}

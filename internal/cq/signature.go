@@ -145,8 +145,17 @@ func writeSigFingerprint(b *strings.Builder, a *Atom, maskStats bool) {
 		fmt.Fprintf(b, ";k%d;D:", int(sig.Kind))
 	} else {
 		st := sig.Stats
-		fmt.Fprintf(b, ";k%d;x%g;t%d;cs%d;d%d;m%g;D:", int(sig.Kind), st.ERSPI,
+		fmt.Fprintf(b, ";k%d;x%g;t%d;cs%d;d%d;m%g", int(sig.Kind), st.ERSPI,
 			st.ResponseTime.Nanoseconds(), st.ChunkSize, st.Decay, st.CostPerCall)
+		// Per-attribute value distributions feed value-sensitive
+		// selectivities, so refreshed histograms must change the key
+		// like any other statistic.
+		for i := range sig.Attrs {
+			if d := st.Distribution(i); !d.Empty() {
+				fmt.Fprintf(b, ";v%d=%s", i, d.Fingerprint())
+			}
+		}
+		b.WriteString(";D:")
 	}
 	for i, at := range sig.Attrs {
 		if i > 0 {

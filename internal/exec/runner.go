@@ -47,8 +47,12 @@ type Runner struct {
 	// are "periodically updated, also taking advantage of subsequent
 	// invocations"), refreshing profiled statistics — and bumping
 	// their registry epochs — when the policy's thresholds are met.
-	// Services not wrapped by service.Observe are unaffected; wrap a
-	// whole registry with Registry.ObserveAll.
+	// A refresh publishes everything the wrapper observed: the scalar
+	// profile (erspi, response time, chunk size) and the per-attribute
+	// value distributions accumulated from result rows, so cached
+	// template plans revalidate against value-sensitive costs learned
+	// from real traffic. Services not wrapped by service.Observe are
+	// unaffected; wrap a whole registry with Registry.ObserveAll.
 	Feedback *service.FeedbackPolicy
 }
 

@@ -24,6 +24,19 @@ type EpochSource interface {
 // Policy configures the cache's eviction behavior for long-running
 // servers. The zero value of MaxBytes and TTL disables the
 // respective policy; Capacity ≤ 0 defaults to 128 entries.
+//
+// The three limits compose independently and each eviction is
+// attributed to its cause in CacheStats (EvictedLRU / EvictedBytes /
+// EvictedTTL; epoch-driven drops count as EvictedEpoch):
+//
+//   - Capacity is the hard entry count — the least recently used
+//     entry goes first when it overflows;
+//   - MaxBytes approximates retained memory (plan graphs dominate;
+//     see entrySize) and also evicts from the LRU tail;
+//   - TTL is a freshness bound rather than a memory bound: it caps
+//     how long a plan can outlive the statistics window it was
+//     computed in even if epochs never move (e.g. no observers are
+//     installed, so nothing ever bumps).
 type Policy struct {
 	// Capacity bounds the number of entries (LRU beyond it).
 	Capacity int
@@ -50,12 +63,27 @@ type Policy struct {
 //     optimizer rebuilds and re-costs for the new bindings — many
 //     bindings, one search.
 //
-// Every entry carries the statistics-epoch vector of its services.
-// When a service's statistics are refreshed in place (see
-// service.Registry.BumpEpoch), InvalidateService drops the exact
-// entries touching it — their keys embed the stale statistics and can
-// never be hit again — and marks template entries stale, to be
-// revalidated against the fresh statistics on their next hit.
+// Every entry carries the statistics-epoch vector of its services:
+// map[service]epoch as of the entry's last (re)validation, where an
+// epoch is the counter service.Registry.BumpEpoch advances on every
+// in-place statistics refresh. When a service's statistics are
+// refreshed (see service.Registry.BumpEpoch), InvalidateService
+// drops the exact entries touching it — their keys embed the stale
+// statistics and can never be hit again — and marks template entries
+// stale, to be revalidated against the fresh statistics on their
+// next hit.
+//
+// A template entry therefore moves through a small state machine
+// (driven by Optimizer.OptimizeTemplate; see template.go for a
+// worked example):
+//
+//	         putTemplate (full search)
+//	absent ─────────────────────────────► fresh
+//	fresh  ── epoch bump ───────────────► stale
+//	fresh  ── hit, re-cost within ratio ─► fresh  (TemplateHit)
+//	stale  ── hit, re-cost within ratio ─► fresh  (TemplateHit+Revalidated)
+//	any    ── hit, re-cost beyond ratio ─► absent (divergence → full search)
+//	any    ── TTL / LRU / byte eviction ─► absent
 //
 // Cached plans are stored frozen: lookups return deep copies, so
 // callers may freely re-annotate fetch factors or cardinalities
@@ -579,6 +607,9 @@ func (o *Optimizer) knobKey() string {
 	b.WriteString(strconv.FormatFloat(o.Estimator.DefaultEquiJoin, 'g', -1, 64))
 	if o.Estimator.DefaultSelectivity != nil {
 		b.WriteString(";sel=custom")
+	}
+	if o.Estimator.NoValueStats {
+		b.WriteString(";nv")
 	}
 	if o.Exhaustive {
 		b.WriteString(";x")

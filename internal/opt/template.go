@@ -14,6 +14,40 @@ import (
 // re-estimated cost is more than 4× (or less than ¼ of) the cost
 // recorded at its last full search is considered diverged and a
 // fresh branch-and-bound runs.
+//
+// Divergence has two independent sources, both priced by the same
+// re-cost phase: statistics drift (a service's profile was refreshed
+// since the search) and binding drift (the new constants hit a very
+// different region of a profiled value distribution). A worked
+// example of the second, on the simweb Zipf world (catalog tags
+// follow a Zipf law, value distributions profiled at registration):
+//
+//	tpl: q(Item, Score) :- catalog($tag, Item), review(Item, Score), Score >= 4.
+//
+//	bind tag=tag-00  → miss: full search. Plan catalog→review, cost
+//	                   C₀ ≈ 104 (the head tag matches ~29% of the
+//	                   catalog). Skeleton cached with baseCost C₀.
+//	bind tag=tag-01  → template hit: skeleton rebuilt for tag-01,
+//	                   re-cost C₁ ≈ C₀/2 (frequency ratio 2^1.1).
+//	                   C₀/C₁ < 4 ⇒ served, its own cost reported.
+//	bind tag=tag-49  → re-cost C₄₉ ≈ C₀/50 (tail of the Zipf law).
+//	                   C₀/C₄₉ > 4 ⇒ noteDivergence drops the entry, a
+//	                   full search runs (the tail tag may even prefer
+//	                   a different plan), and its result re-seeds the
+//	                   template entry with baseCost C₄₉.
+//
+// Under the uniform model (Config.NoValueStats) every binding
+// re-costs to exactly baseCost and the fallback never fires — which
+// is why it effectively did not fire before value distributions
+// existed.
+//
+// Known trade-off: the baseline is a single scalar per template, so
+// a workload that keeps alternating between bindings whose costs sit
+// more than the ratio apart (head and tail of a heavy Zipf law)
+// re-seeds the baseline on every flip and pays a full search each
+// time — the cache degenerates to PR 1 behavior for exactly those
+// templates, never worse. Per-binding-class baselines would remove
+// the thrash and are tracked in ROADMAP.
 const DefaultRevalidateRatio = 4.0
 
 func (o *Optimizer) revalidateRatio() float64 {
@@ -126,6 +160,23 @@ func (o *Optimizer) recost(q *cq.Query, key string, tv templateView) *Result {
 		TemplateHit: true,
 		Revalidated: tv.stale,
 	}
+}
+
+// UniformCost re-prices a result's chosen plan with the
+// value-distribution layer disabled: the cost the same plan would be
+// assigned under the paper's uniform model. CLIs print it next to
+// the value-sensitive estimate so the histograms' effect per binding
+// is visible. The plan is cloned, so the result's annotations are
+// untouched.
+func (o *Optimizer) UniformCost(res *Result) float64 {
+	if res == nil || res.Best == nil {
+		return 0
+	}
+	clone := res.Best.Clone()
+	cfg := o.Estimator
+	cfg.NoValueStats = true
+	cfg.Annotate(clone)
+	return o.metric().Cost(clone)
 }
 
 // costDiverged reports whether the re-estimated cost left the

@@ -1,0 +1,382 @@
+package schema
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Distribution is the per-attribute value distribution of a service
+// attribute: a most-common-value list plus an equi-depth histogram
+// over the remaining values, with the total observed row count and
+// the estimated number of distinct values. It refines the uniform
+// assumption of §2.2 (every constant equally likely, selectivity 1/V)
+// into per-value selectivities, in the spirit of the shared
+// cost-estimation statistics of Roy et al. (Efficient and Extensible
+// Algorithms for Multi Query Optimization).
+//
+// A nil or empty Distribution means "no value statistics": every
+// estimator consulting it must fall back to the uniform model. The
+// struct is immutable after construction — refreshes build a new
+// Distribution and swap the pointer (copy-on-write), so the cost
+// model may read it lock-free while observers accumulate the next
+// window.
+type Distribution struct {
+	// Total is the number of observed rows the distribution was built
+	// from; 0 means the distribution is empty (uniform fallback).
+	Total float64
+	// Distinct estimates the number of distinct values, MCVs included.
+	Distinct float64
+	// MCVs lists the most common values with their frequency fraction
+	// of Total, most frequent first. MCV mass is excluded from the
+	// buckets.
+	MCVs []MCV
+	// Buckets is the equi-depth histogram over the non-MCV values,
+	// ordered by upper boundary. Bucket fractions plus MCV fractions
+	// sum to ~1.
+	Buckets []Bucket
+	// Exact marks a distribution computed from the full relation
+	// (registration-time profiling) rather than from a traffic
+	// sample. Online refreshes never overwrite an exact distribution
+	// unless the traffic has seen strictly more distinct values —
+	// evidence the relation outgrew the profile.
+	Exact bool
+}
+
+// MCV is one most-common-value entry: a value and its frequency as a
+// fraction of the distribution's total row count.
+type MCV struct {
+	Value Value
+	// Frac is the fraction of rows holding exactly Value.
+	Frac float64
+}
+
+// Bucket is one equi-depth histogram bucket: the closed value range
+// [Lo, Hi], the fraction of total rows falling in it, and the number
+// of distinct non-MCV values it holds.
+type Bucket struct {
+	Lo, Hi Value
+	// Frac is the fraction of total rows in the bucket.
+	Frac float64
+	// Distinct is the number of distinct values in the bucket.
+	Distinct float64
+}
+
+// Empty reports whether the distribution carries no value statistics
+// (nil, or built from zero observations); estimators must then use
+// the uniform fallback.
+func (d *Distribution) Empty() bool {
+	return d == nil || d.Total <= 0 || (len(d.MCVs) == 0 && len(d.Buckets) == 0)
+}
+
+// MinSelectivity is the floor for per-value selectivities: an
+// out-of-range or unseen constant is priced as if a single row could
+// still match, never as an impossible zero (which would collapse
+// downstream cardinalities — and cost ratios — to meaningless
+// zeros). Estimators composing range selectivities from EqSelectivity
+// and LeSelectivity must apply the same floor.
+func (d *Distribution) MinSelectivity() float64 {
+	if d.Empty() {
+		return 0
+	}
+	return 1 / (2 * d.Total)
+}
+
+func (d *Distribution) clamp(s float64) float64 {
+	if min := d.MinSelectivity(); s < min {
+		return min
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// EqSelectivity estimates the fraction of rows whose value equals v.
+// MCV entries answer exactly; other in-range values interpolate
+// within their bucket (bucket mass divided by the bucket's distinct
+// count); out-of-range constants get the minimum selectivity (one
+// potential matching row). ok is false when the distribution is empty
+// and the caller must use the uniform model instead.
+func (d *Distribution) EqSelectivity(v Value) (sel float64, ok bool) {
+	if d.Empty() {
+		return 0, false
+	}
+	for _, m := range d.MCVs {
+		if m.Value.Equal(v) {
+			return d.clamp(m.Frac), true
+		}
+	}
+	for _, b := range d.Buckets {
+		if v.Compare(b.Lo) >= 0 && v.Compare(b.Hi) <= 0 {
+			if b.Distinct > 0 {
+				return d.clamp(b.Frac / b.Distinct), true
+			}
+			return d.clamp(b.Frac), true
+		}
+	}
+	// Unseen value: out of every bucket range and not an MCV.
+	return d.clamp(0), true
+}
+
+// LeSelectivity estimates the fraction of rows with value ≤ v: MCV
+// mass at or below v plus full buckets below v plus a linear
+// interpolation inside the bucket containing v (numeric ranges
+// interpolate by position; string buckets count half their mass).
+// ok is false when the distribution is empty.
+func (d *Distribution) LeSelectivity(v Value) (sel float64, ok bool) {
+	if d.Empty() {
+		return 0, false
+	}
+	s := 0.0
+	for _, m := range d.MCVs {
+		if m.Value.Compare(v) <= 0 {
+			s += m.Frac
+		}
+	}
+	for _, b := range d.Buckets {
+		switch {
+		case b.Hi.Compare(v) <= 0:
+			s += b.Frac
+		case b.Lo.Compare(v) > 0:
+			// Entirely above v.
+		default:
+			s += b.Frac * bucketFractionBelow(b, v)
+		}
+	}
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s, true
+}
+
+// bucketFractionBelow estimates the fraction of a bucket's rows at or
+// below v, for Lo ≤ v ≤ Hi.
+func bucketFractionBelow(b Bucket, v Value) float64 {
+	if b.Lo.Numeric() && b.Hi.Numeric() && v.Numeric() && b.Hi.Num > b.Lo.Num {
+		f := (v.Num - b.Lo.Num) / (b.Hi.Num - b.Lo.Num)
+		if f < 0 {
+			return 0
+		}
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	// Non-numeric (or degenerate) bucket: assume half the mass.
+	return 0.5
+}
+
+// Fingerprint returns a compact stable token identifying the
+// distribution's content, for cache-key fingerprints: two
+// distributions with different observed statistics never share one.
+// The empty distribution fingerprints as "-".
+func (d *Distribution) Fingerprint() string {
+	if d.Empty() {
+		return "-"
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "t%g;d%g;e%t", d.Total, d.Distinct, d.Exact)
+	for _, m := range d.MCVs {
+		fmt.Fprintf(h, "|m%s=%g", m.Value.Key(), m.Frac)
+	}
+	for _, b := range d.Buckets {
+		fmt.Fprintf(h, "|b%s..%s=%g/%g", b.Lo.Key(), b.Hi.Key(), b.Frac, b.Distinct)
+	}
+	return strconv.FormatUint(h.Sum64(), 36)
+}
+
+// Summary renders a short human-readable description ("1000 rows, 50
+// distinct, 3 MCVs, 4 buckets") for CLI and stats endpoints.
+func (d *Distribution) Summary() string {
+	if d.Empty() {
+		return "no value statistics"
+	}
+	return fmt.Sprintf("%.0f rows, %.0f distinct, %d MCVs, %d buckets",
+		d.Total, d.Distinct, len(d.MCVs), len(d.Buckets))
+}
+
+// SameDistribution reports whether two distributions carry the same
+// statistics (both empty, or equal fingerprints).
+func SameDistribution(a, b *Distribution) bool {
+	if a.Empty() && b.Empty() {
+		return true
+	}
+	if a.Empty() != b.Empty() {
+		return false
+	}
+	return a.Fingerprint() == b.Fingerprint()
+}
+
+// DefaultSketchCapacity bounds the number of distinct values a
+// ValueSketch tracks exactly. Beyond it new values are only counted
+// in aggregate, so the sketch's memory stays bounded under arbitrary
+// traffic while frequency fractions of the tracked values stay
+// honest (they divide by the true total).
+const DefaultSketchCapacity = 1024
+
+// ValueSketch accumulates a streaming sample of one attribute's
+// values, from which Build derives a Distribution. It tracks exact
+// counts for up to cap distinct values; once full, unseen values are
+// counted only toward the total (and the distinct estimate), keeping
+// memory bounded. The zero value is not usable; call NewValueSketch.
+//
+// ValueSketch is not synchronized: callers (service.Observed) must
+// hold their own lock around Add and Build.
+type ValueSketch struct {
+	cap     int
+	total   float64
+	counts  map[string]*sketchCell
+	dropped float64             // observations of values beyond the capacity
+	seen    map[string]struct{} // distinct untracked values (bounded)
+}
+
+type sketchCell struct {
+	val   Value
+	count float64
+}
+
+// NewValueSketch creates a sketch tracking up to capacity distinct
+// values exactly (≤ 0 means DefaultSketchCapacity).
+func NewValueSketch(capacity int) *ValueSketch {
+	if capacity <= 0 {
+		capacity = DefaultSketchCapacity
+	}
+	return &ValueSketch{
+		cap:    capacity,
+		counts: make(map[string]*sketchCell),
+		seen:   make(map[string]struct{}),
+	}
+}
+
+// Add feeds one observed value. Null values are ignored (they carry
+// no selectivity information).
+func (s *ValueSketch) Add(v Value) {
+	if v.IsNull() {
+		return
+	}
+	s.total++
+	key := v.Key()
+	if c, ok := s.counts[key]; ok {
+		c.count++
+		return
+	}
+	if len(s.counts) < s.cap {
+		s.counts[key] = &sketchCell{val: v, count: 1}
+		return
+	}
+	// Capacity reached: count toward the total and the distinct
+	// estimate only.
+	s.dropped++
+	if _, ok := s.seen[key]; !ok && len(s.seen) < 4*s.cap {
+		s.seen[key] = struct{}{}
+	}
+}
+
+// Total returns the number of values observed so far.
+func (s *ValueSketch) Total() float64 { return s.total }
+
+// Build derives a Distribution: the maxMCVs most frequent values
+// become the MCV list, the rest fill at most maxBuckets equi-depth
+// buckets. Returns nil when nothing was observed.
+func (s *ValueSketch) Build(maxMCVs, maxBuckets int) *Distribution {
+	if s.total <= 0 || len(s.counts) == 0 {
+		return nil
+	}
+	if maxMCVs < 0 {
+		maxMCVs = 0
+	}
+	if maxBuckets < 1 {
+		maxBuckets = 1
+	}
+	cells := make([]*sketchCell, 0, len(s.counts))
+	for _, c := range s.counts {
+		cells = append(cells, c)
+	}
+	// Most frequent first; ties by value order for determinism.
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].count != cells[j].count {
+			return cells[i].count > cells[j].count
+		}
+		return cells[i].val.Compare(cells[j].val) < 0
+	})
+	d := &Distribution{
+		Total:    s.total,
+		Distinct: float64(len(s.counts)) + float64(len(s.seen)),
+	}
+	n := maxMCVs
+	if n > len(cells) {
+		n = len(cells)
+	}
+	for _, c := range cells[:n] {
+		d.MCVs = append(d.MCVs, MCV{Value: c.val, Frac: c.count / s.total})
+	}
+	rest := cells[n:]
+	sort.Slice(rest, func(i, j int) bool { return rest[i].val.Compare(rest[j].val) < 0 })
+	var restRows float64
+	for _, c := range rest {
+		restRows += c.count
+	}
+	restRows += s.dropped
+	if len(rest) > 0 {
+		depth := restRows / float64(maxBuckets)
+		var cur *Bucket
+		var curRows float64
+		flush := func() {
+			if cur != nil {
+				cur.Frac = curRows / s.total
+				d.Buckets = append(d.Buckets, *cur)
+				cur, curRows = nil, 0
+			}
+		}
+		for _, c := range rest {
+			if cur == nil {
+				cur = &Bucket{Lo: c.val, Hi: c.val}
+			}
+			cur.Hi = c.val
+			cur.Distinct++
+			curRows += c.count
+			if curRows >= depth && len(d.Buckets) < maxBuckets-1 {
+				flush()
+			}
+		}
+		// Dropped (untracked) observations land in the last bucket so
+		// the total mass stays honest.
+		if cur != nil {
+			curRows += s.dropped
+			flush()
+		} else if s.dropped > 0 && len(d.Buckets) > 0 {
+			last := &d.Buckets[len(d.Buckets)-1]
+			last.Frac += s.dropped / s.total
+		}
+	}
+	return d
+}
+
+// Reset clears the sketch for a fresh observation window.
+func (s *ValueSketch) Reset() {
+	s.total, s.dropped = 0, 0
+	s.counts = make(map[string]*sketchCell)
+	s.seen = make(map[string]struct{})
+}
+
+// DistributionFromValues builds an exact distribution from a
+// concrete value column — the registration-time profiling path (§5:
+// estimates by sampling) used by table-backed services, which know
+// their full relation. The result is marked Exact, shielding it from
+// being overwritten by traffic-biased online sketches.
+func DistributionFromValues(values []Value, maxMCVs, maxBuckets int) *Distribution {
+	sk := NewValueSketch(len(values) + 1)
+	for _, v := range values {
+		sk.Add(v)
+	}
+	d := sk.Build(maxMCVs, maxBuckets)
+	if d != nil {
+		d.Exact = true
+	}
+	return d
+}

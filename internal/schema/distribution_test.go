@@ -1,0 +1,183 @@
+package schema
+
+import (
+	"math"
+	"testing"
+)
+
+// buildDist makes a distribution from (value, count) pairs.
+func buildDist(t *testing.T, maxMCVs, maxBuckets int, pairs ...struct {
+	v Value
+	n int
+}) *Distribution {
+	t.Helper()
+	sk := NewValueSketch(0)
+	for _, p := range pairs {
+		for i := 0; i < p.n; i++ {
+			sk.Add(p.v)
+		}
+	}
+	return sk.Build(maxMCVs, maxBuckets)
+}
+
+func pair(v Value, n int) struct {
+	v Value
+	n int
+} {
+	return struct {
+		v Value
+		n int
+	}{v, n}
+}
+
+func TestDistributionEdgeCases(t *testing.T) {
+	uniformOnly := func(d *Distribution) bool {
+		_, ok := d.EqSelectivity(N(1))
+		return !ok
+	}
+	t.Run("empty histogram falls back to uniform", func(t *testing.T) {
+		var nilDist *Distribution
+		if !nilDist.Empty() || !uniformOnly(nilDist) {
+			t.Fatalf("nil distribution must be empty and refuse estimates")
+		}
+		empty := NewValueSketch(0).Build(4, 4)
+		if empty != nil {
+			t.Fatalf("sketch with no observations must build nil, got %+v", empty)
+		}
+		if _, ok := (&Distribution{}).LeSelectivity(N(1)); ok {
+			t.Fatalf("zero-total distribution must refuse range estimates")
+		}
+	})
+
+	t.Run("single bucket", func(t *testing.T) {
+		// No MCVs: everything lands in one bucket of 4 distinct values.
+		d := buildDist(t, 0, 1, pair(N(1), 5), pair(N(2), 5), pair(N(3), 5), pair(N(4), 5))
+		if len(d.Buckets) != 1 || len(d.MCVs) != 0 {
+			t.Fatalf("want 1 bucket, 0 MCVs, got %d/%d", len(d.Buckets), len(d.MCVs))
+		}
+		sel, ok := d.EqSelectivity(N(3))
+		if !ok || math.Abs(sel-0.25) > 1e-9 {
+			t.Fatalf("in-bucket equality: want 0.25, got %v (ok=%v)", sel, ok)
+		}
+		le, _ := d.LeSelectivity(N(4))
+		if math.Abs(le-1) > 1e-9 {
+			t.Fatalf("Le(max) should be 1, got %v", le)
+		}
+	})
+
+	t.Run("out-of-range constant gets the floor, not zero", func(t *testing.T) {
+		d := buildDist(t, 1, 2, pair(N(10), 40), pair(N(20), 30), pair(N(30), 30))
+		sel, ok := d.EqSelectivity(N(999))
+		if !ok {
+			t.Fatalf("non-empty distribution must answer")
+		}
+		want := 1 / (2 * d.Total)
+		if math.Abs(sel-want) > 1e-12 {
+			t.Fatalf("out-of-range equality: want floor %v, got %v", want, sel)
+		}
+		if le, _ := d.LeSelectivity(N(-5)); le != 0 {
+			t.Fatalf("Le below the range should be 0, got %v", le)
+		}
+		if le, _ := d.LeSelectivity(N(999)); math.Abs(le-1) > 1e-9 {
+			t.Fatalf("Le above the range should be 1, got %v", le)
+		}
+	})
+
+	t.Run("MCV hit vs bucket interpolation", func(t *testing.T) {
+		// 'hot' holds 60% of the rows and becomes the MCV; the four
+		// cool values share the rest via one bucket.
+		d := buildDist(t, 1, 1,
+			pair(S("hot"), 60), pair(S("a"), 10), pair(S("b"), 10), pair(S("c"), 10), pair(S("d"), 10))
+		hot, _ := d.EqSelectivity(S("hot"))
+		if math.Abs(hot-0.6) > 1e-9 {
+			t.Fatalf("MCV hit: want 0.6, got %v", hot)
+		}
+		cool, _ := d.EqSelectivity(S("b"))
+		if math.Abs(cool-0.1) > 1e-9 {
+			t.Fatalf("bucket interpolation: want 0.4/4=0.1, got %v", cool)
+		}
+		if hot <= cool {
+			t.Fatalf("MCV must dominate interpolated values: %v vs %v", hot, cool)
+		}
+	})
+
+	t.Run("zipf data diverges from the uniform assumption", func(t *testing.T) {
+		// Zipf-ish skew over 20 values.
+		sk := NewValueSketch(0)
+		for i := 0; i < 20; i++ {
+			n := 1000 / (i + 1)
+			for j := 0; j < n; j++ {
+				sk.Add(N(float64(i)))
+			}
+		}
+		d := sk.Build(4, 4)
+		uniform := 1 / d.Distinct
+		head, _ := d.EqSelectivity(N(0))
+		tail, _ := d.EqSelectivity(N(19))
+		if head < 3*uniform {
+			t.Fatalf("head value must be far above uniform 1/V=%v, got %v", uniform, head)
+		}
+		if tail > uniform {
+			t.Fatalf("tail value must be at or below uniform 1/V=%v, got %v", uniform, tail)
+		}
+		if head/tail < 10 {
+			t.Fatalf("skew must be visible: head/tail = %v", head/tail)
+		}
+	})
+
+	t.Run("range estimates from buckets", func(t *testing.T) {
+		d := buildDist(t, 0, 4,
+			pair(N(1), 25), pair(N(2), 25), pair(N(3), 25), pair(N(4), 25))
+		le, _ := d.LeSelectivity(N(2))
+		if le < 0.4 || le > 0.6 {
+			t.Fatalf("Le(2) over 1..4 should be ≈0.5, got %v", le)
+		}
+	})
+
+	t.Run("sketch capacity keeps totals honest", func(t *testing.T) {
+		sk := NewValueSketch(4)
+		for i := 0; i < 100; i++ {
+			sk.Add(N(float64(i % 10))) // 10 distinct, capacity 4
+		}
+		if sk.Total() != 100 {
+			t.Fatalf("total must count dropped values: %v", sk.Total())
+		}
+		d := sk.Build(2, 2)
+		if d.Total != 100 {
+			t.Fatalf("distribution total: want 100, got %v", d.Total)
+		}
+		if d.Distinct < 4 {
+			t.Fatalf("distinct must include tracked values: %v", d.Distinct)
+		}
+		mass := 0.0
+		for _, m := range d.MCVs {
+			mass += m.Frac
+		}
+		for _, b := range d.Buckets {
+			mass += b.Frac
+		}
+		if math.Abs(mass-1) > 1e-9 {
+			t.Fatalf("total mass must stay ≈1 despite drops, got %v", mass)
+		}
+	})
+}
+
+func TestStatsSame(t *testing.T) {
+	a := Stats{ERSPI: 2}
+	b := Stats{ERSPI: 2}
+	if !a.Same(b) {
+		t.Fatalf("scalar-equal stats must be Same")
+	}
+	b.Dists = []*Distribution{DistributionFromValues([]Value{N(1), N(1), N(2)}, 2, 2)}
+	if a.Same(b) {
+		t.Fatalf("adding a distribution must break Same")
+	}
+	a.Dists = []*Distribution{DistributionFromValues([]Value{N(1), N(1), N(2)}, 2, 2)}
+	if !a.Same(b) {
+		t.Fatalf("equal distributions must be Same")
+	}
+	a.Dists[0] = DistributionFromValues([]Value{N(3), N(3), N(3)}, 2, 2)
+	if a.Same(b) {
+		t.Fatalf("different distributions must not be Same")
+	}
+}

@@ -175,6 +175,42 @@ type Stats struct {
 	// under the sum cost metric. The request–response metric fixes
 	// it to 1.
 	CostPerCall float64
+	// Dists holds the per-attribute value distributions, indexed by
+	// argument position; nil (or a nil element) means no value
+	// statistics for that attribute and the estimator falls back to
+	// the uniform model over the domain's distinct count. Entries are
+	// immutable Distribution snapshots swapped whole on refresh
+	// (copy-on-write), so the cost model reads them lock-free.
+	Dists []*Distribution
+}
+
+// Distribution returns the value distribution of the i-th attribute,
+// or nil when none is known (out-of-range indexes included).
+func (s Stats) Distribution(i int) *Distribution {
+	if i < 0 || i >= len(s.Dists) {
+		return nil
+	}
+	return s.Dists[i]
+}
+
+// Same reports whether two statistics snapshots are equivalent: equal
+// scalar profile fields and matching per-attribute distributions. It
+// replaces plain struct equality, which the Dists slice rules out.
+func (s Stats) Same(t Stats) bool {
+	if s.ERSPI != t.ERSPI || s.ResponseTime != t.ResponseTime ||
+		s.ChunkSize != t.ChunkSize || s.Decay != t.Decay || s.CostPerCall != t.CostPerCall {
+		return false
+	}
+	n := len(s.Dists)
+	if len(t.Dists) > n {
+		n = len(t.Dists)
+	}
+	for i := 0; i < n; i++ {
+		if !SameDistribution(s.Distribution(i), t.Distribution(i)) {
+			return false
+		}
+	}
+	return true
 }
 
 // Chunked reports whether the service pages its results.

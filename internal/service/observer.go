@@ -25,12 +25,26 @@ type Observed struct {
 	elapsed     time.Duration
 	maxPageRows int
 	sawMore     bool
+	// sketches accumulate the values returned per attribute position
+	// (full-width rows only), from which Refresh builds per-attribute
+	// value distributions. Unlike the scalar counters they are NOT
+	// reset per feedback window: distributions improve monotonically
+	// with traffic, and a refresh publishes the cumulative picture.
+	sketches []*schema.ValueSketch
 	// notify is called (outside the lock) after a Refresh that
 	// changed the signature's statistics; the registry wires it to
 	// BumpEpoch at registration so plan caches learn about the
 	// refresh.
 	notify func()
 }
+
+// Distribution-building defaults for refreshed profiles: a handful of
+// most-common values plus a small equi-depth histogram keeps the cost
+// model sharp on skew without bloating signatures.
+const (
+	refreshMCVs    = 8
+	refreshBuckets = 8
+)
 
 // Observe wraps a service for statistics collection.
 func Observe(svc Service) *Observed {
@@ -60,8 +74,34 @@ func (o *Observed) Invoke(ctx context.Context, patternIdx int, req Request) (Res
 	if resp.HasMore {
 		o.sawMore = true
 	}
+	o.observeValuesLocked(resp.Rows)
 	o.mu.Unlock()
 	return resp, nil
+}
+
+// observeValuesLocked feeds full-width result rows into the
+// per-attribute value sketches. Rows of unexpected width are skipped:
+// only positionally attributable values can sharpen an attribute's
+// distribution.
+func (o *Observed) observeValuesLocked(rows [][]schema.Value) {
+	arity := o.inner.Signature().Arity()
+	if arity == 0 {
+		return
+	}
+	if o.sketches == nil {
+		o.sketches = make([]*schema.ValueSketch, arity)
+		for i := range o.sketches {
+			o.sketches[i] = schema.NewValueSketch(0)
+		}
+	}
+	for _, row := range rows {
+		if len(row) != arity {
+			continue
+		}
+		for i, v := range row {
+			o.sketches[i].Add(v)
+		}
+	}
 }
 
 // Observations returns the raw counters collected so far.
@@ -92,6 +132,41 @@ func (o *Observed) observedStatsLocked() schema.Stats {
 	}
 	if o.sawMore && o.maxPageRows > 0 {
 		st.ChunkSize = o.maxPageRows
+	}
+	// Fold the observed value sketches into per-attribute
+	// distributions. The most informative snapshot wins, measured by
+	// *distinct* values seen, not raw row counts: row totals would be
+	// the wrong yardstick — a hot key queried in a loop accumulates
+	// unbounded duplicate rows without learning anything. An Exact
+	// distribution (registration-time profiling over the full
+	// relation) is only displaced when traffic has seen strictly more
+	// distinct values (the relation outgrew the profile); an earlier
+	// online snapshot is replaced whenever coverage has not shrunk,
+	// so learned frequencies keep tracking traffic. Attributes
+	// without traffic keep whatever the registration profiled. Each
+	// refresh builds fresh Distribution snapshots (copy-on-write),
+	// never mutating the published ones.
+	if o.sketches != nil {
+		dists := make([]*schema.Distribution, len(o.sketches))
+		observed := false
+		for i, sk := range o.sketches {
+			cur := st.Distribution(i)
+			dists[i] = cur
+			if sk == nil || sk.Total() <= 0 {
+				continue
+			}
+			built := sk.Build(refreshMCVs, refreshBuckets)
+			replace := cur.Empty() ||
+				(cur.Exact && built.Distinct > cur.Distinct) ||
+				(!cur.Exact && built.Distinct >= cur.Distinct)
+			if replace {
+				dists[i] = built
+				observed = true
+			}
+		}
+		if observed {
+			st.Dists = dists
+		}
 	}
 	return st
 }
@@ -134,7 +209,7 @@ func (o *Observed) Refresh() bool {
 // notification when they differ from the registered profile.
 func (o *Observed) apply(st schema.Stats, notify func()) bool {
 	sig := o.inner.Signature()
-	if sig.Stats == st {
+	if sig.Stats.Same(st) {
 		return false
 	}
 	sig.Stats = st
@@ -159,7 +234,14 @@ func (o *Observed) Drift() float64 {
 }
 
 // driftBetween is the largest relative deviation between an observed
-// and a registered statistics snapshot.
+// and a registered statistics snapshot: over the scalar profile
+// (erspi, response time, chunk size) and over the per-attribute value
+// distributions. Distribution drift is summarized by two cheap
+// proxies — the relative change in the distinct-value estimate and
+// in the most common value's frequency — and a newly learned
+// distribution where none existed counts as full (1.0) drift, so a
+// MinDrift-gated feedback policy still publishes first-time value
+// statistics.
 func driftBetween(st, cur schema.Stats) float64 {
 	rel := func(got, ref float64) float64 {
 		d := math.Abs(got - ref)
@@ -174,6 +256,30 @@ func driftBetween(st, cur schema.Stats) float64 {
 	drift := rel(st.ERSPI, cur.ERSPI)
 	drift = math.Max(drift, rel(st.ResponseTime.Seconds(), cur.ResponseTime.Seconds()))
 	drift = math.Max(drift, rel(float64(st.ChunkSize), float64(cur.ChunkSize)))
+	n := len(st.Dists)
+	if len(cur.Dists) > n {
+		n = len(cur.Dists)
+	}
+	topFrac := func(d *schema.Distribution) float64 {
+		if len(d.MCVs) > 0 {
+			return d.MCVs[0].Frac
+		}
+		if d.Distinct > 0 {
+			return 1 / d.Distinct
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		a, b := st.Distribution(i), cur.Distribution(i)
+		switch {
+		case a.Empty() && b.Empty():
+		case a.Empty() != b.Empty():
+			drift = math.Max(drift, 1)
+		default:
+			drift = math.Max(drift, rel(a.Distinct, b.Distinct))
+			drift = math.Max(drift, rel(topFrac(a), topFrac(b)))
+		}
+	}
 	return drift
 }
 

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mdq/internal/schema"
+)
+
+// skewService returns skewed single-attribute rows: 'hot' dominates.
+type skewService struct {
+	sig *schema.Signature
+}
+
+func newSkewService() *skewService {
+	return &skewService{sig: &schema.Signature{
+		Name: "skew",
+		Attrs: []schema.Attribute{
+			{Name: "K", Domain: schema.Domain{Name: "K", Kind: schema.StringValue}},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("o")},
+		Stats:    schema.Stats{ERSPI: 1, ResponseTime: time.Second},
+	}}
+}
+
+func (s *skewService) Signature() *schema.Signature { return s.sig }
+
+func (s *skewService) Invoke(ctx context.Context, patternIdx int, req Request) (Response, error) {
+	rows := [][]schema.Value{
+		{schema.S("hot")}, {schema.S("hot")}, {schema.S("hot")},
+		{schema.S("cold")},
+	}
+	return Response{Rows: rows, Elapsed: time.Millisecond}, nil
+}
+
+// TestObservedLearnsDistributions: live traffic through an Observed
+// wrapper accumulates value sketches, and Refresh publishes them as
+// per-attribute distributions on the signature, bumping the epoch.
+func TestObservedLearnsDistributions(t *testing.T) {
+	r := NewRegistry()
+	ob := Observe(newSkewService())
+	r.MustRegister(ob)
+
+	for i := 0; i < 5; i++ {
+		if _, err := ob.Invoke(context.Background(), 0, Request{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ob.Signature().Stats.Distribution(0); !got.Empty() {
+		t.Fatal("distribution must not be published before a refresh")
+	}
+	if !ob.Refresh() {
+		t.Fatal("refresh after traffic reported no change")
+	}
+	if r.Epoch("skew") != 1 {
+		t.Fatalf("epoch = %d, want 1", r.Epoch("skew"))
+	}
+	d := ob.Signature().Stats.Distribution(0)
+	if d.Empty() {
+		t.Fatal("refresh must publish the observed value distribution")
+	}
+	hot, ok := d.EqSelectivity(schema.S("hot"))
+	if !ok || hot < 0.7 || hot > 0.8 {
+		t.Fatalf("hot frequency ≈ 0.75 expected, got %v (ok=%v)", hot, ok)
+	}
+
+	// A second refresh with no new evidence must not re-bump: the
+	// cumulative sketches rebuild the same distribution and the
+	// scalar stats are unchanged.
+	if ob.Refresh() {
+		t.Fatal("refresh without new traffic reported a change")
+	}
+	if r.Epoch("skew") != 1 {
+		t.Fatalf("epoch re-bumped without change: %d", r.Epoch("skew"))
+	}
+
+	// Sketches survive window resets (MaybeRefresh) so distributions
+	// keep improving across feedback windows.
+	if _, err := ob.Invoke(context.Background(), 0, Request{}); err != nil {
+		t.Fatal(err)
+	}
+	ob.Reset()
+	if _, err := ob.Invoke(context.Background(), 0, Request{}); err != nil {
+		t.Fatal(err)
+	}
+	st := ob.ObservedStats()
+	if d2 := st.Distribution(0); d2.Empty() || d2.Total < d.Total {
+		t.Fatalf("sketches must accumulate across windows: %v", d2.Summary())
+	}
+}

@@ -1,0 +1,150 @@
+package simweb
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mdq/internal/schema"
+	"mdq/internal/service"
+	"mdq/internal/tabsvc"
+)
+
+// This file provides a synthetic world with deliberately skewed
+// (Zipfian) value distributions, the workload on which value-
+// sensitive selectivity estimation visibly diverges from the uniform
+// model: the same query template costs orders of magnitude more when
+// bound to the head of the distribution than to its tail.
+
+// ZipfWeights returns n weights following a Zipf law with exponent s
+// (weight i ∝ 1/(i+1)^s), normalized to sum to 1. n ≤ 0 returns nil.
+func ZipfWeights(n int, s float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// ZipfTag returns the i-th tag name (0-based, most frequent first).
+func ZipfTag(i int) string { return fmt.Sprintf("tag-%02d", i) }
+
+// ZipfWorld bundles a two-service catalog/review world whose catalog
+// tags follow a Zipf law, with per-attribute value distributions
+// profiled at registration (tabsvc.Table.ProfileValues), so the
+// optimizer prices each binding of the canonical template by its
+// actual frequency.
+type ZipfWorld struct {
+	Registry *service.Registry
+	Schema   *schema.Schema
+
+	Catalog *tabsvc.Table
+	Review  *tabsvc.Table
+
+	// Tags is the number of distinct catalog tags; Weights their
+	// Zipfian frequency, most common first.
+	Tags    int
+	Weights []float64
+}
+
+// ZipfExampleText is the canonical query of the Zipf world, bound to
+// the most common tag.
+var ZipfExampleText = "q(Item, Score) :- catalog('" + ZipfTag(0) + "', Item), review(Item, Score), Score >= 4."
+
+// ZipfTemplateText is the parameterized form of the canonical query,
+// for exercising binding-sensitive template re-costing.
+const ZipfTemplateText = "q(Item, Score) :- catalog($tag, Item), review(Item, Score), Score >= 4."
+
+// NewZipfWorld builds the skewed world: `rows` catalog items spread
+// over `tags` tags by a Zipf law with exponent s (tags ≤ 0 defaults
+// to 50, rows ≤ 0 to 2000, s ≤ 0 to 1.1), three reviews per item,
+// and value distributions profiled on both tables.
+func NewZipfWorld(tags, rows int, s float64) *ZipfWorld {
+	if tags <= 0 {
+		tags = 50
+	}
+	if rows <= 0 {
+		rows = 2000
+	}
+	if s <= 0 {
+		s = 1.1
+	}
+	weights := ZipfWeights(tags, s)
+
+	domTag := schema.Domain{Name: "Tag", Kind: schema.StringValue, DistinctValues: tags}
+	domItem := schema.Domain{Name: "Item", Kind: schema.StringValue}
+	domScore := schema.Domain{Name: "Score", Kind: schema.NumberValue, DistinctValues: 5}
+
+	var catRows [][]schema.Value
+	var revRows [][]schema.Value
+	total := 0
+	for i := 0; i < tags; i++ {
+		count := int(math.Round(weights[i] * float64(rows)))
+		if count < 1 {
+			count = 1
+		}
+		for j := 0; j < count; j++ {
+			item := fmt.Sprintf("item-%02d-%04d", i, j)
+			catRows = append(catRows, []schema.Value{schema.S(ZipfTag(i)), schema.S(item)})
+			for r := 0; r < 3; r++ {
+				score := float64((i+j+r*2)%5 + 1)
+				revRows = append(revRows, []schema.Value{schema.S(item), schema.N(score)})
+			}
+			total++
+		}
+	}
+
+	catalogSig := &schema.Signature{
+		Name: "catalog",
+		Attrs: []schema.Attribute{
+			{Name: "Tag", Domain: domTag},
+			{Name: "Item", Domain: domItem},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("io")},
+		Kind:     schema.Exact,
+		Stats: schema.Stats{
+			ERSPI:        float64(total) / float64(tags),
+			ResponseTime: 100 * time.Millisecond,
+		},
+	}
+	reviewSig := &schema.Signature{
+		Name: "review",
+		Attrs: []schema.Attribute{
+			{Name: "Item", Domain: domItem},
+			{Name: "Score", Domain: domScore},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("io")},
+		Kind:     schema.Exact,
+		Stats: schema.Stats{
+			ERSPI:        3,
+			ResponseTime: 200 * time.Millisecond,
+		},
+	}
+
+	w := &ZipfWorld{
+		Registry: service.NewRegistry(),
+		Tags:     tags,
+		Weights:  weights,
+	}
+	w.Catalog = tabsvc.MustNew(catalogSig, catRows, tabsvc.Latency{Base: 100 * time.Millisecond})
+	w.Review = tabsvc.MustNew(reviewSig, revRows, tabsvc.Latency{Base: 200 * time.Millisecond})
+	w.Catalog.ProfileValues(8, 8)
+	w.Review.ProfileValues(8, 8)
+	w.Registry.MustRegister(w.Catalog)
+	w.Registry.MustRegister(w.Review)
+
+	sch, err := w.Registry.Schema()
+	if err != nil {
+		panic(err)
+	}
+	w.Schema = sch
+	return w
+}

@@ -192,6 +192,37 @@ func (t *Table) invoke(ctx context.Context, patternIdx int, req Request) (servic
 	return resp, nil
 }
 
+// ProfileValues computes the exact per-attribute value distributions
+// of the backing relation and installs them on the signature
+// (schema.Stats.Dists) — the registration-time counterpart of the
+// online sketches of service.Observed, available to table services
+// because they hold their full relation (§5: registration estimates).
+// maxMCVs/maxBuckets bound the distribution size (≤ 0 means 8 each).
+// It returns the number of attributes profiled.
+func (t *Table) ProfileValues(maxMCVs, maxBuckets int) int {
+	if maxMCVs <= 0 {
+		maxMCVs = 8
+	}
+	if maxBuckets <= 0 {
+		maxBuckets = 8
+	}
+	n := 0
+	dists := make([]*schema.Distribution, t.sig.Arity())
+	col := make([]schema.Value, 0, len(t.rows))
+	for i := range t.sig.Attrs {
+		col = col[:0]
+		for _, row := range t.rows {
+			col = append(col, row[i])
+		}
+		dists[i] = schema.DistributionFromValues(col, maxMCVs, maxBuckets)
+		if !dists[i].Empty() {
+			n++
+		}
+	}
+	t.sig.Stats.Dists = dists
+	return n
+}
+
 // Sampler returns an InputSampler drawing uniformly from the
 // distinct input combinations present in the table, so profiling is
 // unbiased by row-count skew (§5: estimates by sampling).

@@ -22,6 +22,12 @@
 //     deterministic at every parallelism level;
 //   - executes plans concurrently with three levels of logical
 //     caching, or deterministically on a virtual-time simulator;
+//   - prices constants by per-attribute value distributions
+//     (equi-depth histograms + most-common-value lists, profiled from
+//     table relations or learned online from traffic), so each
+//     binding of a template is re-costed individually
+//     (System.UniformSelectivity reverts to the paper's uniform
+//     model);
 //   - wraps services over HTTP in both directions.
 //
 // The quickstart in examples/quickstart shows the whole lifecycle in
@@ -88,6 +94,14 @@ type (
 	SimResult = sim.Result
 	// OptimizeResult carries the best plan and search statistics.
 	OptimizeResult = opt.Result
+	// Distribution is a per-attribute value distribution (equi-depth
+	// histogram + most-common-value list + distinct count) consulted
+	// by the value-sensitive selectivity estimator.
+	Distribution = schema.Distribution
+	// MCV is one most-common-value entry of a Distribution.
+	MCV = schema.MCV
+	// HistogramBucket is one equi-depth bucket of a Distribution.
+	HistogramBucket = schema.Bucket
 )
 
 // Value constructors and pattern helpers.
@@ -176,6 +190,12 @@ type System struct {
 	// statistics; beyond it a full search re-runs. 0 means the
 	// optimizer default (4×).
 	RevalidateRatio float64
+	// UniformSelectivity disables the value-sensitive selectivity
+	// layer: profiled per-attribute distributions are ignored and
+	// every constant is priced under the paper's uniform model
+	// (every value equally likely). Useful for A/B-ing the effect of
+	// histograms; cache keys distinguish the two modes.
+	UniformSelectivity bool
 }
 
 // NewSystem creates an empty system with the paper's default
@@ -251,7 +271,7 @@ func (s *System) optimizer() *opt.Optimizer {
 	}
 	return &opt.Optimizer{
 		Metric:          s.Metric,
-		Estimator:       card.Config{Mode: s.Cache},
+		Estimator:       card.Config{Mode: s.Cache, NoValueStats: s.UniformSelectivity},
 		K:               s.K,
 		ChooseMethod:    s.registry.MethodChooser(),
 		Parallelism:     p,
@@ -395,6 +415,56 @@ func (s *System) ServiceStats(name string) (Stats, bool) {
 	return svc.Signature().Stats, true
 }
 
+// ProfileValues computes exact per-attribute value distributions for
+// a registered table service from its backing relation and installs
+// them on the signature, so subsequent optimizations price constants
+// by their actual frequency instead of uniformly. maxMCVs and
+// maxBuckets bound the distribution size (≤ 0 means 8 each); the
+// returned count is the number of attributes profiled. Non-table
+// services learn distributions online instead, through ObserveAll +
+// Feedback.
+//
+// The service's statistics epoch is bumped afterwards, so attached
+// plan caches invalidate or revalidate entries priced under the old
+// distributions — the same path an Observed refresh takes. Like
+// every in-place statistics write, the install itself is not
+// synchronized with concurrently running optimizations (see the
+// copy-on-write note in ROADMAP); prefer profiling at registration
+// time.
+func (s *System) ProfileValues(name string, maxMCVs, maxBuckets int) (int, error) {
+	svc, ok := s.registry.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("mdq: service %s not registered", name)
+	}
+	t, ok := svc.(*tabsvc.Table)
+	if !ok {
+		return 0, fmt.Errorf("mdq: service %s is not a table service (use ObserveAll + Feedback to learn value distributions online)", name)
+	}
+	n := t.ProfileValues(maxMCVs, maxBuckets)
+	s.registry.BumpEpoch(name)
+	return n, nil
+}
+
+// ServiceDistributions returns the per-attribute value distributions
+// currently profiled for a service (nil entries for attributes
+// without statistics), or ok=false for unknown services.
+func (s *System) ServiceDistributions(name string) ([]*Distribution, bool) {
+	svc, ok := s.registry.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return svc.Signature().Stats.Dists, true
+}
+
+// EstimateUniformCost is EstimateCost with the value-sensitive
+// selectivity layer disabled: the cost the plan would be assigned
+// under the paper's uniform model. Comparing it with EstimateCost
+// shows how much the profiled histograms move a binding's estimate.
+func (s *System) EstimateUniformCost(p *Plan) (planCost, tout float64) {
+	tout = card.Config{Mode: s.Cache, NoValueStats: true}.Annotate(p)
+	return s.Metric.Cost(p), tout
+}
+
 // Cache is a logical result cache (§5.1) that can be shared across
 // executions to continue a query for more answers.
 type Cache = exec.Cache
@@ -482,7 +552,7 @@ func (s *System) BuildPlan(q *Query, asn []AccessPattern, topo *Topology) (*Plan
 // AssignFetches runs phase 3 alone on a plan: fetch factors for the
 // system's K under its metric.
 func (s *System) AssignFetches(p *Plan) (feasible bool, vector []int, planCost float64) {
-	fa := &fetch.Assigner{Estimator: card.Config{Mode: s.Cache}, Metric: s.Metric, K: s.K}
+	fa := &fetch.Assigner{Estimator: card.Config{Mode: s.Cache, NoValueStats: s.UniformSelectivity}, Metric: s.Metric, K: s.K}
 	fr := fa.Assign(p)
 	return fr.Feasible, fr.Vector, fr.Cost
 }
@@ -491,7 +561,7 @@ func (s *System) AssignFetches(p *Plan) (feasible bool, vector []int, planCost f
 // returns its cost under the system metric and the expected result
 // size.
 func (s *System) EstimateCost(p *Plan) (planCost, tout float64) {
-	tout = card.Config{Mode: s.Cache}.Annotate(p)
+	tout = card.Config{Mode: s.Cache, NoValueStats: s.UniformSelectivity}.Annotate(p)
 	return s.Metric.Cost(p), tout
 }
 

@@ -1,0 +1,148 @@
+package mdq_test
+
+import (
+	"testing"
+
+	"mdq"
+	"mdq/internal/simweb"
+)
+
+// zipfSystem registers the skewed Zipf world's tables (with their
+// registration-time value distributions) into a fresh System.
+func zipfSystem(t *testing.T) (*mdq.System, *simweb.ZipfWorld) {
+	t.Helper()
+	w := simweb.NewZipfWorld(50, 2000, 1.1)
+	s := mdq.NewSystem()
+	if err := s.Register(w.Catalog); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(w.Review); err != nil {
+		t.Fatal(err)
+	}
+	return s, w
+}
+
+func tagBinding(i int) map[string]mdq.Value {
+	return map[string]mdq.Value{"tag": mdq.String(simweb.ZipfTag(i))}
+}
+
+// TestBindingSensitiveTemplateCost is the acceptance test of the
+// value-sensitive selectivity layer: two bindings of one template get
+// different estimated costs under a skewed histogram. A binding near
+// the head of the Zipf distribution is served from the cached
+// template skeleton (cheap re-cost within RevalidateRatio), while a
+// tail binding re-costs so far below the cached baseline that the
+// divergence fallback runs a fresh full search.
+func TestBindingSensitiveTemplateCost(t *testing.T) {
+	s, _ := zipfSystem(t)
+	s.PlanCache = mdq.NewPlanCache(32)
+
+	tpl, err := mdq.ParseTemplate(simweb.ZipfTemplateText)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Binding 1: the most common tag. First optimization = the one
+	// full search that seeds the template entry.
+	_, hot, err := s.OptimizeBound(tpl, tagBinding(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.TemplateHit {
+		t.Fatal("first binding cannot be a template hit")
+	}
+
+	// Binding 2: the second most common tag (frequency ratio ≈ 2^1.1,
+	// inside the default 4× revalidation band): served from the
+	// skeleton, but at its own, different cost.
+	_, common, err := s.OptimizeBound(tpl, tagBinding(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !common.TemplateHit {
+		t.Fatal("near-head binding must be served from the cached skeleton")
+	}
+	if common.Cost == hot.Cost {
+		t.Fatalf("bindings must be priced individually, both cost %g", common.Cost)
+	}
+	if common.Cost > hot.Cost {
+		t.Fatalf("rarer tag must cost less: %g vs %g", common.Cost, hot.Cost)
+	}
+	if st := s.PlanCache.Stats(); st.Searches != 1 || st.TemplateHits != 1 {
+		t.Fatalf("want 1 search + 1 template hit, got %+v", st)
+	}
+
+	// Binding 3: a tail tag. Its re-estimated cost leaves the
+	// [base/4, base·4] band around the cached baseline, so the entry
+	// is discarded and a full search runs.
+	_, rare, err := s.OptimizeBound(tpl, tagBinding(49))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rare.TemplateHit {
+		t.Fatal("tail binding must fall back to a full search")
+	}
+	if rare.Cost >= common.Cost {
+		t.Fatalf("tail binding must be much cheaper: %g vs %g", rare.Cost, common.Cost)
+	}
+	// Belt and braces: the skew this test relies on must stay well
+	// beyond the default revalidation ratio of 4.
+	if hot.Cost/rare.Cost < 4 {
+		t.Fatalf("zipf skew too small for the divergence fallback: ratio %g", hot.Cost/rare.Cost)
+	}
+	st := s.PlanCache.Stats()
+	if st.Divergences != 1 {
+		t.Fatalf("divergences = %d, want 1", st.Divergences)
+	}
+	if st.Searches != 2 {
+		t.Fatalf("searches = %d, want 2 (seed + divergence fallback)", st.Searches)
+	}
+}
+
+// TestUniformSelectivityABSwitch: with the distribution layer
+// disabled every binding of the template costs the same — the
+// uniform model cannot tell constants apart, which is exactly the
+// blind spot the histograms remove.
+func TestUniformSelectivityABSwitch(t *testing.T) {
+	s, _ := zipfSystem(t)
+	s.UniformSelectivity = true
+
+	tpl, err := mdq.ParseTemplate(simweb.ZipfTemplateText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hot, err := s.OptimizeBound(tpl, tagBinding(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rare, err := s.OptimizeBound(tpl, tagBinding(49))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Cost != rare.Cost {
+		t.Fatalf("uniform model must price all bindings equally: %g vs %g", hot.Cost, rare.Cost)
+	}
+
+	// And the value-sensitive estimate visibly diverges from the
+	// uniform one on the same plan.
+	sv, _ := zipfSystem(t)
+	q, res, err := sv.OptimizeBound(mustTemplate(t, simweb.ZipfTemplateText), tagBinding(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = q
+	valCost, _ := sv.EstimateCost(res.Best)
+	uniCost, _ := sv.EstimateUniformCost(res.Best)
+	if valCost == uniCost {
+		t.Fatalf("value-aware and uniform estimates must differ on a skewed binding (both %g)", valCost)
+	}
+}
+
+func mustTemplate(t *testing.T, text string) *mdq.Template {
+	t.Helper()
+	tpl, err := mdq.ParseTemplate(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tpl
+}
