@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_TOLERANCE ?= 2.5
 
-.PHONY: build vet fmt test race bench benchgate bench-baseline docscheck ci
+.PHONY: build vet fmt test race bench benchgate bench-baseline docscheck dist-smoke ci
 
 build:
 	$(GO) build ./...
@@ -28,12 +28,19 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Documentation gate: markdown links in the top-level docs must
-# resolve, and every exported identifier in the optimizer and
-# estimator packages must carry a doc comment.
+# resolve, and every exported identifier in the optimizer, estimator
+# and distribution packages must carry a doc comment.
 docscheck:
 	$(GO) run ./cmd/docscheck \
 		-md README.md,ARCHITECTURE.md,ROADMAP.md \
-		-pkg ./internal/opt,./internal/card
+		-pkg ./internal/opt,./internal/card,./internal/dist
+
+# Distributed-optimization smoke: the coordinator/worker protocol
+# under the race detector — two-plus-worker LocalTransport clusters
+# (sharded search, wire bound-sync, epoch gossip, cache warmup) and
+# the HTTP transport over loopback.
+dist-smoke:
+	$(GO) test -race -count=1 ./internal/dist
 
 # Gate BenchmarkOptimize* against the committed baseline: fails when
 # any benchmark runs slower than baseline × BENCH_TOLERANCE.
@@ -47,4 +54,4 @@ bench-baseline:
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -update \
 			-note "refreshed via make bench-baseline on $$(uname -m), $$(date +%F)"
 
-ci: build vet fmt docscheck race bench benchgate
+ci: build vet fmt docscheck race dist-smoke bench benchgate

@@ -196,7 +196,7 @@ func main() {
 			fmt.Print("feedback: refreshed epochs")
 			for _, svc := range sortedEpochKeys(epochs) {
 				st, _ := reg.Lookup(svc)
-				fmt.Printf(" %s@%d(ξ=%.2f)", svc, epochs[svc], st.Signature().Stats.ERSPI)
+				fmt.Printf(" %s@%d(ξ=%.2f)", svc, epochs[svc], st.Signature().Statistics().ERSPI)
 			}
 			fmt.Println()
 		}

@@ -13,10 +13,23 @@
 //	mdqserve [-addr :8080] [-world travel|bio|mashup] [-scale 0.001]
 //	         [-parallel -1] [-plancache 128] [-cachettl 0]
 //	         [-cachebytes 0] [-revalidate-ratio 4] [-feedback]
+//	         [-workers http://w1:8090,http://w2:8091] [-cache-file plans.json]
 //
 // With -scale > 0 every request really sleeps the scaled simulated
 // latency (Table 1 of the paper: a flight call simulates 9.7 s, so
 // -scale 0.001 makes it 9.7 ms).
+//
+// With -workers the server becomes a distributed-optimization
+// coordinator: POST /optimize and POST /query shard the
+// branch-and-bound across the listed mdqworker processes (incumbent
+// bound shared mid-search, deterministic merge), statistics-epoch
+// bumps from execution feedback are gossiped to the workers' plan
+// caches, and the local template cache warms the workers at startup.
+// Workers must serve the same world.
+//
+// With -cache-file the template-level plan cache is loaded at startup
+// (stale entries revalidate on first use) and saved on SIGINT or
+// SIGTERM, so optimization warmup survives restarts.
 //
 // Endpoints (all errors are JSON: {"error": "...", "status": N}):
 //
@@ -36,18 +49,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"mdq/internal/card"
 	"mdq/internal/cost"
 	"mdq/internal/cq"
+	"mdq/internal/dist"
 	"mdq/internal/exec"
 	"mdq/internal/httpwrap"
 	"mdq/internal/opt"
@@ -70,6 +88,8 @@ func main() {
 		feedback   = flag.Bool("feedback", true, "fold executed traffic back into service profiles (stats epochs)")
 		minCalls   = flag.Int64("feedback-min-calls", 4, "observed calls required before a profile refresh")
 		minDrift   = flag.Float64("feedback-min-drift", 0.1, "relative statistics drift required before a refresh")
+		workerList = flag.String("workers", "", "comma-separated mdqworker base URLs; enables coordinator mode")
+		cacheFile  = flag.String("cache-file", "", "load the template cache from this file at start and save it on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -94,6 +114,16 @@ func main() {
 		pc = opt.NewPlanCacheWith(opt.Policy{Capacity: *planCache, TTL: *cacheTTL, MaxBytes: *cacheBytes})
 		reg.SubscribeEpochs(pc, pc.InvalidateService)
 	}
+	if *cacheFile != "" && pc != nil {
+		if n, err := pc.LoadFile(*cacheFile, reg); err != nil {
+			if !os.IsNotExist(err) {
+				log.Fatalf("loading cache file: %v", err)
+			}
+		} else {
+			fmt.Printf("warmed %d template entries from %s\n", n, *cacheFile)
+		}
+		saveCacheOnShutdown(pc, *cacheFile)
+	}
 	srv := &optimizeServer{
 		reg:        reg,
 		cache:      pc,
@@ -103,15 +133,54 @@ func main() {
 	if *feedback {
 		srv.feedback = &service.FeedbackPolicy{MinCalls: *minCalls, MinDrift: *minDrift}
 	}
+	if *workerList != "" {
+		for _, base := range strings.Split(*workerList, ",") {
+			if base = strings.TrimSpace(strings.TrimSuffix(base, "/")); base != "" {
+				srv.workers = append(srv.workers, &dist.HTTPTransport{Base: base})
+			}
+		}
+		if len(srv.workers) > 0 {
+			// Execution feedback bumps epochs locally; the gossip loop
+			// forwards them so worker caches revalidate too.
+			gossip := &dist.Coordinator{Registry: reg, Workers: srv.workers}
+			stop := gossip.GossipLoop(func(err error) { log.Printf("gossip: %v", err) })
+			defer stop()
+			if pc != nil {
+				if n, err := gossip.WarmWorkers(context.Background(), pc); err != nil {
+					log.Printf("warming workers: %v", err)
+				} else if n > 0 {
+					fmt.Printf("warmed workers with %d template entries\n", n)
+				}
+			}
+		}
+	}
 	mux.HandleFunc("/optimize", srv.optimize)
 	mux.HandleFunc("/optimize/stats", srv.cacheStats)
 	mux.HandleFunc("/query", srv.query)
 	mux.HandleFunc("/cache", srv.cacheReport)
 	mux.HandleFunc("/stats", srv.serviceStats)
 	fmt.Printf("serving %s world (%v) on %s\n", *worldName, names, *addr)
+	if len(srv.workers) > 0 {
+		fmt.Printf("coordinator mode: sharding optimizations across %d workers\n", len(srv.workers))
+	}
 	fmt.Printf("endpoints: GET /services, GET /services/<name>/signature, POST /services/<name>/invoke,\n")
 	fmt.Printf("           POST /optimize, POST /query, GET /cache, GET /stats, GET /optimize/stats\n")
 	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// saveCacheOnShutdown persists the cache on SIGINT/SIGTERM.
+func saveCacheOnShutdown(pc *opt.PlanCache, path string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		if err := pc.SaveFile(path); err != nil {
+			log.Printf("saving cache file: %v", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved template cache to %s\n", path)
+		os.Exit(0)
+	}()
 }
 
 // optimizeServer answers optimization and templated-query requests
@@ -124,6 +193,22 @@ type optimizeServer struct {
 	parallel   int
 	revalRatio float64
 	feedback   *service.FeedbackPolicy
+	// workers, when non-empty, switch /optimize and /query into
+	// coordinator mode: searches shard across these transports
+	// instead of running in-process.
+	workers []dist.Transport
+}
+
+// coordinator assembles a per-request distributed coordinator.
+func (s *optimizeServer) coordinator(m cost.Metric, mode card.CacheMode, k int) *dist.Coordinator {
+	return &dist.Coordinator{
+		Registry:        s.reg,
+		Workers:         s.workers,
+		Metric:          m,
+		Mode:            mode,
+		K:               k,
+		RevalidateRatio: s.revalRatio,
+	}
 }
 
 // apiError is the uniform JSON error envelope of every endpoint.
@@ -225,7 +310,12 @@ func (s *optimizeServer) optimize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "resolving query: %v", err)
 		return
 	}
-	res, err := s.optimizer(m, mode, k).Optimize(q)
+	var res *opt.Result
+	if len(s.workers) > 0 {
+		res, err = s.coordinator(m, mode, k).Optimize(r.Context(), q)
+	} else {
+		res, err = s.optimizer(m, mode, k).Optimize(q)
+	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "optimizing: %v", err)
 		return
@@ -322,7 +412,12 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "resolving query: %v", err)
 		return
 	}
-	res, err := s.optimizer(m, mode, k).OptimizeTemplate(q)
+	var res *opt.Result
+	if len(s.workers) > 0 {
+		res, err = s.coordinator(m, mode, k).OptimizeTemplate(r.Context(), q)
+	} else {
+		res, err = s.optimizer(m, mode, k).OptimizeTemplate(q)
+	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "optimizing: %v", err)
 		return
@@ -420,8 +515,9 @@ type mcvReport struct {
 
 func attrReports(sig *schema.Signature) map[string]attrReport {
 	var out map[string]attrReport
+	st := sig.Statistics()
 	for i, attr := range sig.Attrs {
-		d := sig.Stats.Distribution(i)
+		d := st.Distribution(i)
 		if d.Empty() {
 			continue
 		}
@@ -452,11 +548,12 @@ func (s *optimizeServer) serviceStats(w http.ResponseWriter, r *http.Request) {
 	out := map[string]serviceReport{}
 	for _, svc := range s.reg.Services() {
 		sig := svc.Signature()
+		st := sig.Statistics()
 		rep := serviceReport{
 			Epoch:        s.reg.Epoch(sig.Name),
-			ERSPI:        sig.Stats.ERSPI,
-			ResponseSecs: sig.Stats.ResponseTime.Seconds(),
-			ChunkSize:    sig.Stats.ChunkSize,
+			ERSPI:        st.ERSPI,
+			ResponseSecs: st.ResponseTime.Seconds(),
+			ChunkSize:    st.ChunkSize,
 			Attributes:   attrReports(sig),
 		}
 		if ob, ok := s.reg.Observer(sig.Name); ok {

@@ -1,0 +1,118 @@
+// Command mdqworker runs one distributed-optimization worker: a
+// simulated deep-web world served over HTTP (like mdqserve) plus the
+// internal/dist worker protocol, so an mdqserve coordinator
+// (-workers) can shard branch-and-bound searches across a fleet of
+// these processes, share the incumbent bound mid-search, gossip
+// statistics-epoch bumps into the local plan cache, and warm it with
+// serialized template skeletons.
+//
+// Usage:
+//
+//	mdqworker [-addr :8090] [-world travel|bio|mashup|zipf]
+//	          [-parallel 1] [-plancache 128] [-cachettl 0] [-cachebytes 0]
+//	          [-cache-file worker-cache.json] [-scale 0]
+//
+// Endpoints:
+//
+//	POST /dist/search     one shard search (query text + shard + bound)
+//	POST /dist/sync       incumbent bound exchange for a running search
+//	POST /dist/gossip     statistics-epoch bumps → plan cache invalidation
+//	GET  /dist/templates  export serialized template cache entries
+//	POST /dist/templates  import serialized template cache entries
+//	GET  /dist/info       services, epochs, cache counters
+//	GET  /services, /services/<name>/…   the world's services (httpwrap)
+//
+// With -cache-file the template cache is loaded at startup (entries
+// whose distribution fingerprints disagree with the local statistics
+// enter stale and revalidate on first use) and saved on SIGINT or
+// SIGTERM, so skeletons survive restarts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mdq/internal/dist"
+	"mdq/internal/httpwrap"
+	"mdq/internal/opt"
+	"mdq/internal/service"
+	"mdq/internal/simweb"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		worldName  = flag.String("world", "travel", "built-in world: travel, bio, mashup or zipf")
+		scale      = flag.Float64("scale", 0, "sleep scale for simulated latencies (0 = report only)")
+		parallel   = flag.Int("parallel", opt.AutoParallelism, "in-process search workers per shard (-1 = one per CPU)")
+		planCache  = flag.Int("plancache", 128, "plan cache capacity in entries")
+		cacheTTL   = flag.Duration("cachettl", 0, "plan cache entry TTL (0 = no expiry)")
+		cacheBytes = flag.Int64("cachebytes", 0, "approximate plan cache byte budget (0 = unlimited)")
+		cacheFile  = flag.String("cache-file", "", "load the template cache from this file at start and save it on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	reg, err := worldRegistry(*worldName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg.ObserveAll()
+
+	pc := opt.NewPlanCacheWith(opt.Policy{Capacity: *planCache, TTL: *cacheTTL, MaxBytes: *cacheBytes})
+	worker := dist.NewWorker(reg, pc)
+	worker.Parallelism = *parallel
+
+	if *cacheFile != "" {
+		if n, err := pc.LoadFile(*cacheFile, reg); err != nil {
+			if !os.IsNotExist(err) {
+				log.Fatalf("loading cache file: %v", err)
+			}
+		} else {
+			fmt.Printf("warmed %d template entries from %s\n", n, *cacheFile)
+		}
+		saveOnShutdown(pc, *cacheFile)
+	}
+
+	mux, names := httpwrap.ServeRegistry(reg, httpwrap.HandlerOptions{SleepScale: *scale})
+	mux.Handle("/dist/", worker.Handler())
+	fmt.Printf("mdqworker: %s world (%v) on %s\n", *worldName, names, *addr)
+	fmt.Printf("endpoints: POST /dist/search, /dist/sync, /dist/gossip; GET|POST /dist/templates; GET /dist/info\n")
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// worldRegistry builds the named simulated world.
+func worldRegistry(name string) (*service.Registry, error) {
+	switch name {
+	case "travel":
+		return simweb.NewTravelWorld(simweb.TravelOptions{}).Registry, nil
+	case "bio":
+		return simweb.NewBioWorld().Registry, nil
+	case "mashup":
+		return simweb.NewMashupWorld().Registry, nil
+	case "zipf":
+		return simweb.NewZipfWorld(0, 0, 0).Registry, nil
+	default:
+		return nil, fmt.Errorf("unknown world %q", name)
+	}
+}
+
+// saveOnShutdown installs a SIGINT/SIGTERM handler persisting the
+// cache before exit.
+func saveOnShutdown(pc *opt.PlanCache, path string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		if err := pc.SaveFile(path); err != nil {
+			log.Printf("saving cache file: %v", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved template cache to %s\n", path)
+		os.Exit(0)
+	}()
+}

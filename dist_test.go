@@ -1,0 +1,77 @@
+package mdq_test
+
+import (
+	"context"
+	"testing"
+
+	"mdq"
+)
+
+// TestDistributedOptimizeFacade: the public distributed surface —
+// attach two in-process workers, shard a search across them, and get
+// the sequential optimizer's plan back; template bindings then serve
+// from the workers' caches, and executing the merged plan answers the
+// query.
+func TestDistributedOptimizeFacade(t *testing.T) {
+	s := demoSystem(t)
+	s.K = 5
+
+	q, err := s.Parse(demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 2; i++ {
+		w := s.NewDistWorker(16)
+		w.Parallelism = 1
+		s.Workers = append(s.Workers, mdq.DistLocalTransport{Worker: w})
+	}
+	got, err := s.DistributedOptimize(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost || got.Best.Signature() != want.Best.Signature() {
+		t.Fatalf("distributed (%g, %s), sequential (%g, %s)",
+			got.Cost, got.Best.Signature(), want.Cost, want.Best.Signature())
+	}
+
+	// The merged plan executes like any locally optimized one.
+	res, err := s.Execute(context.Background(), got.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("distributed plan produced no answers")
+	}
+
+	// Template bindings flow through the workers' template caches.
+	tpl, err := mdq.ParseTemplate(adaptiveTemplate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r1, err := s.DistributedOptimizeBound(context.Background(), tpl, bindings("sushi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TemplateHit {
+		t.Fatal("cold distributed template call claimed a hit")
+	}
+	_, r2, err := s.DistributedOptimizeBound(context.Background(), tpl, bindings("tapas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.TemplateHit {
+		t.Fatal("second distributed binding missed the worker template caches")
+	}
+
+	// Without workers the facade refuses rather than silently
+	// degrading.
+	bare := demoSystem(t)
+	if _, err := bare.DistributedOptimize(context.Background(), q); err == nil {
+		t.Fatal("DistributedOptimize without workers did not error")
+	}
+}

@@ -43,7 +43,7 @@ func main() {
 	fmt.Println("optimal plan:")
 	fmt.Println(res.Best.ASCII())
 	fmt.Printf("estimated ETM %.1f s; BLAST fetches capped by decay at %d chunks\n\n",
-		res.Cost, world.BLAST.Signature().Stats.MaxFetches())
+		res.Cost, world.BLAST.Signature().Statistics().MaxFetches())
 
 	runner := &exec.Runner{Registry: world.Registry, Cache: card.OneCall, K: 10}
 	out, err := runner.Run(context.Background(), res.Best)

@@ -209,10 +209,10 @@ func (c Config) Annotate(p *plan.Plan) float64 {
 				// local predicates and bound-output selections. The
 				// fetch schedule, not erspi, sizes chunked results, so
 				// the per-value input factor does not apply.
-				cs := float64(n.Atom.Sig.Stats.ChunkSize)
+				cs := float64(n.Atom.Sig.Statistics().ChunkSize)
 				n.TOut = n.TIn * cs * float64(n.Fetches) * predSel * boundSel
 			} else {
-				n.TOut = n.TIn * n.Atom.Sig.Stats.ERSPI * c.valueERSPIFactor(n) * predSel * boundSel
+				n.TOut = n.TIn * n.Atom.Sig.Statistics().ERSPI * c.valueERSPIFactor(n) * predSel * boundSel
 			}
 		}
 	}
@@ -259,11 +259,15 @@ func (c Config) boundOutputSelectivity(p *plan.Plan, n *plan.Node) float64 {
 		upstream = cq.VarSet{}
 	}
 	sel := 1.0
+	var st schema.Stats
+	if n.Atom.Sig != nil {
+		st = n.Atom.Sig.Statistics()
+	}
 	factor := func(pos int, cv schema.Value, isConst bool) float64 {
 		sig := n.Atom.Sig
 		if sig != nil {
 			if isConst && !c.NoValueStats {
-				if d := sig.Stats.Distribution(pos); !d.Empty() {
+				if d := st.Distribution(pos); !d.Empty() {
 					if eq, ok := d.EqSelectivity(cv); ok {
 						return eq
 					}
@@ -273,7 +277,7 @@ func (c Config) boundOutputSelectivity(p *plan.Plan, n *plan.Node) float64 {
 				return 1 / float64(d)
 			}
 			if !c.NoValueStats {
-				if d := sig.Stats.Distribution(pos); !d.Empty() && d.Distinct > 0 {
+				if d := st.Distribution(pos); !d.Empty() && d.Distinct > 0 {
 					return 1 / d.Distinct
 				}
 			}

@@ -70,7 +70,7 @@ func attrDistribution(q *cq.Query, x cq.Var) *schema.Distribution {
 			if !t.IsVar() || t.Var != x {
 				continue
 			}
-			if d := a.Sig.Stats.Distribution(i); !d.Empty() {
+			if d := a.Sig.Statistics().Distribution(i); !d.Empty() {
 				if best == nil || d.Total > best.Total {
 					best = d
 				}
@@ -213,14 +213,14 @@ func (c Config) valueERSPIFactor(n *plan.Node) float64 {
 	if c.NoValueStats || n.Kind != plan.Service || n.Atom == nil || n.Atom.Sig == nil {
 		return 1
 	}
-	sig := n.Atom.Sig
+	st := n.Atom.Sig.Statistics()
 	f := 1.0
 	for _, pos := range n.Pattern.Inputs() {
 		t := n.Atom.Terms[pos]
 		if t.IsVar() {
 			continue
 		}
-		d := sig.Stats.Distribution(pos)
+		d := st.Distribution(pos)
 		if d.Empty() || d.Distinct <= 0 {
 			continue
 		}

@@ -39,8 +39,10 @@ type Metric interface {
 // node; unset profiles default to 1 (so SumCost degrades to
 // request–response counting).
 func perCall(n *plan.Node) float64 {
-	if n.Atom != nil && n.Atom.Sig != nil && n.Atom.Sig.Stats.CostPerCall > 0 {
-		return n.Atom.Sig.Stats.CostPerCall
+	if n.Atom != nil && n.Atom.Sig != nil {
+		if c := n.Atom.Sig.Statistics().CostPerCall; c > 0 {
+			return c
+		}
 	}
 	return 1
 }
@@ -50,7 +52,7 @@ func respTime(n *plan.Node) float64 {
 	if n.Kind != plan.Service || n.Atom.Sig == nil {
 		return 0
 	}
-	return n.Atom.Sig.Stats.ResponseTime.Seconds()
+	return n.Atom.Sig.Statistics().ResponseTime.Seconds()
 }
 
 // fetches returns F(n), 1 for non-chunked nodes.

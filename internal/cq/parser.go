@@ -259,6 +259,26 @@ func (l *lexer) lexNumber() (token, error) {
 	for l.pos < len(l.src) && (unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
 		l.pos++
 	}
+	// Exponent suffix (2e+06, 1.5E-3): accepted so that any rendered
+	// numeric constant (Query.String uses the shortest 'g' form, which
+	// switches to scientific notation for large magnitudes) parses
+	// back — the wire round-trip distributed optimization relies on.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		mark := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
+			for l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			// Not an exponent after all (e.g. "12eggs"): back off and
+			// let the identifier lexer complain as before.
+			l.pos = mark
+		}
+	}
 	text := string(l.src[start:l.pos])
 	f, err := strconv.ParseFloat(text, 64)
 	if err != nil {

@@ -144,7 +144,7 @@ func writeSigFingerprint(b *strings.Builder, a *Atom, maskStats bool) {
 	if maskStats {
 		fmt.Fprintf(b, ";k%d;D:", int(sig.Kind))
 	} else {
-		st := sig.Stats
+		st := sig.Statistics()
 		fmt.Fprintf(b, ";k%d;x%g;t%d;cs%d;d%d;m%g", int(sig.Kind), st.ERSPI,
 			st.ResponseTime.Nanoseconds(), st.ChunkSize, st.Decay, st.CostPerCall)
 		// Per-attribute value distributions feed value-sensitive

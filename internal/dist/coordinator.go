@@ -1,0 +1,371 @@
+package dist
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdq/internal/abind"
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	"mdq/internal/fetch"
+	"mdq/internal/opt"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	"mdq/internal/service"
+)
+
+// DefaultSyncInterval is the bound-sync period when
+// Coordinator.SyncInterval is unset: how often the coordinator
+// exchanges incumbent bounds with every searching worker. Shorter
+// intervals propagate pruning faster at the price of more round
+// trips; syncing is pure optimization, so even a very slow interval
+// only wastes search effort, never correctness.
+const DefaultSyncInterval = 25 * time.Millisecond
+
+// Coordinator fans a query's phase-1 assignment space out over
+// workers (one congruence-class shard each), runs the bound-sync loop
+// while they search, and merges the per-shard winners into the final
+// plan with the optimizer's deterministic (feasible, cost,
+// plan-signature) order. It also forwards the local registry's
+// statistics-epoch bumps to every worker (Gossip / GossipLoop) and
+// warms worker caches with serialized template entries (WarmWorkers).
+type Coordinator struct {
+	// Registry is the coordinator's local service view: winning
+	// skeletons are rebuilt and priced against it, and its epoch
+	// bumps are what gossip forwards.
+	Registry *service.Registry
+	// Workers are the transports to fan out over, one shard each.
+	Workers []Transport
+	// Metric is the optimization objective (nil means execution
+	// time).
+	Metric cost.Metric
+	// Mode is the logical caching level assumed by the estimator.
+	Mode card.CacheMode
+	// K is the number of answers optimized for.
+	K int
+	// RevalidateRatio is passed through to worker template caches (0
+	// means the optimizer default).
+	RevalidateRatio float64
+	// SyncInterval is the bound-sync period (0 means
+	// DefaultSyncInterval).
+	SyncInterval time.Duration
+}
+
+// searchSeq and processToken make search IDs globally unique: workers
+// key their active incumbent bounds by ID, and one worker typically
+// serves many coordinators (mdqserve builds one per request, and
+// several coordinator processes may share a fleet). A per-instance
+// counter would hand every request the same "search-1", letting
+// concurrent searches min-merge each other's bounds — which prunes
+// against a bound from a different query and silently corrupts
+// results.
+var searchSeq atomic.Uint64
+
+var processToken = func() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err)
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+// nextID returns a globally unique search ID.
+func (c *Coordinator) nextID() string {
+	return fmt.Sprintf("s%s-%d", processToken, searchSeq.Add(1))
+}
+
+func (c *Coordinator) metric() cost.Metric {
+	if c.Metric == nil {
+		return cost.ExecTime{}
+	}
+	return c.Metric
+}
+
+func (c *Coordinator) syncInterval() time.Duration {
+	if c.SyncInterval <= 0 {
+		return DefaultSyncInterval
+	}
+	return c.SyncInterval
+}
+
+// Optimize distributes one full search and returns the merged
+// result. The query must be resolved (against the coordinator's
+// registry). The returned plan is identical to what a sequential
+// in-process search would return, provided the workers'
+// registries agree with the coordinator's on services and statistics.
+func (c *Coordinator) Optimize(ctx context.Context, q *cq.Query) (*opt.Result, error) {
+	return c.optimize(ctx, q, false)
+}
+
+// OptimizeTemplate distributes a search through the workers'
+// template-level plan caches: each worker serves its shard from a
+// re-costed cached skeleton when one is within the revalidation
+// ratio, searching only on misses or divergence — many bindings, one
+// distributed search.
+func (c *Coordinator) OptimizeTemplate(ctx context.Context, q *cq.Query) (*opt.Result, error) {
+	return c.optimize(ctx, q, true)
+}
+
+// optimize is the shared fan-out / sync / merge path.
+func (c *Coordinator) optimize(ctx context.Context, q *cq.Query, template bool) (*opt.Result, error) {
+	if len(c.Workers) == 0 {
+		return nil, errors.New("dist: coordinator has no workers")
+	}
+	for _, a := range q.Atoms {
+		if a.Sig == nil {
+			return nil, fmt.Errorf("dist: query %s is not resolved", q.Name)
+		}
+	}
+	n := len(c.Workers)
+	id := c.nextID()
+	base := SearchRequest{
+		ID:              id,
+		Query:           q.String(),
+		Metric:          c.metric().Name(),
+		CacheMode:       c.Mode.String(),
+		K:               c.K,
+		ShardCount:      n,
+		Template:        template,
+		RevalidateRatio: c.RevalidateRatio,
+	}
+
+	searchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*SearchResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, tr := range c.Workers {
+		wg.Add(1)
+		go func(i int, tr Transport) {
+			defer wg.Done()
+			req := base
+			req.ShardIndex = i
+			results[i], errs[i] = tr.Search(searchCtx, req)
+		}(i, tr)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	c.syncLoop(searchCtx, id, done)
+
+	select {
+	case <-ctx.Done():
+		cancel()
+		<-done
+		return nil, ctx.Err()
+	case <-done:
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dist: worker %s: %w", c.Workers[i].Name(), err)
+		}
+	}
+	return c.merge(q, results)
+}
+
+// syncLoop exchanges bounds with every worker until the searches
+// finish: offer the global minimum, min-merge what each worker
+// reports back. Both directions are monotone, so the loop needs no
+// locking discipline beyond the bound semantics themselves.
+func (c *Coordinator) syncLoop(ctx context.Context, id string, done <-chan struct{}) {
+	global := math.Inf(1)
+	ticker := time.NewTicker(c.syncInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			for _, tr := range c.Workers {
+				b, err := tr.Sync(ctx, id, toWireBound(global))
+				if err == nil && b > 0 {
+					global = math.Min(global, b)
+				}
+			}
+		}
+	}
+}
+
+// merge picks the winner among the shard results under the same
+// deterministic order the in-process search uses — feasible first,
+// then cost, then canonical plan signature — and rebuilds it against
+// the coordinator's registry.
+func (c *Coordinator) merge(q *cq.Query, results []*SearchResult) (*opt.Result, error) {
+	var winner *SearchResult
+	var stats opt.Stats
+	found := 0
+	for _, r := range results {
+		if r == nil || !r.Found {
+			continue
+		}
+		found++
+		// Candidate/permissible counts describe the full space and
+		// agree across shards; the effort counters add up.
+		stats.StatesVisited += r.Stats.StatesVisited
+		stats.StatesPruned += r.Stats.StatesPruned
+		stats.Leaves += r.Stats.Leaves
+		stats.FetchVectors += r.Stats.FetchVectors
+		if r.Stats.CandidateAssignments > stats.CandidateAssignments {
+			stats.CandidateAssignments = r.Stats.CandidateAssignments
+		}
+		if r.Stats.PermissibleAssignments > stats.PermissibleAssignments {
+			stats.PermissibleAssignments = r.Stats.PermissibleAssignments
+		}
+		if winner == nil {
+			winner = r
+			continue
+		}
+		better := false
+		switch {
+		case r.Feasible != winner.Feasible:
+			better = r.Feasible
+		case r.Cost != winner.Cost:
+			better = r.Cost < winner.Cost
+		default:
+			better = r.Signature < winner.Signature
+		}
+		if better {
+			winner = r
+		}
+	}
+	if winner == nil {
+		return nil, fmt.Errorf("dist: no executable plan found for query %s in any shard", q.Name)
+	}
+
+	p, err := c.rebuild(q, winner)
+	if err != nil {
+		return nil, err
+	}
+	assigner := &fetch.Assigner{
+		Estimator: card.Config{Mode: c.Mode},
+		Metric:    c.metric(),
+		K:         c.K,
+	}
+	fr := assigner.Assign(p)
+	// The canonical signature covers the assigned fetch factors, so
+	// the cross-check against the worker's report runs after phase 3:
+	// a mismatch means the two sides priced the query off different
+	// service definitions or statistics, which would silently break
+	// the determinism contract.
+	if sig := p.Signature(); sig != winner.Signature {
+		return nil, fmt.Errorf("dist: rebuilt plan signature %s != worker-reported %s (registries disagree?)", sig, winner.Signature)
+	}
+	return &opt.Result{
+		Best:        p,
+		Cost:        fr.Cost,
+		Feasible:    fr.Feasible || c.K <= 0,
+		Stats:       stats,
+		Cached:      winner.Cached,
+		TemplateHit: winner.TemplateHit,
+		Revalidated: winner.Revalidated,
+	}, nil
+}
+
+// rebuild reconstructs the winning skeleton against the
+// coordinator's registry (the signature cross-check happens in merge,
+// after fetch factors are assigned).
+func (c *Coordinator) rebuild(q *cq.Query, r *SearchResult) (*plan.Plan, error) {
+	if len(r.Assignment) != len(q.Atoms) || r.Topology == nil {
+		return nil, fmt.Errorf("dist: winner skeleton has %d patterns for %d atoms", len(r.Assignment), len(q.Atoms))
+	}
+	asn := make(abind.Assignment, len(r.Assignment))
+	for i, s := range r.Assignment {
+		p, err := schema.ParsePattern(s)
+		if err != nil {
+			return nil, fmt.Errorf("dist: winner assignment: %w", err)
+		}
+		asn[i] = p
+	}
+	var chooser plan.MethodChooser
+	if c.Registry != nil {
+		chooser = c.Registry.MethodChooser()
+	}
+	p, err := plan.Build(q, asn, r.Topology, plan.Options{ChooseMethod: chooser})
+	if err != nil {
+		return nil, fmt.Errorf("dist: rebuilding winner: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("dist: rebuilt winner invalid: %w", err)
+	}
+	return p, nil
+}
+
+// Gossip synchronously delivers epoch bumps to every worker,
+// returning the first error (delivery to the remaining workers still
+// proceeds — invalidation must not stop at the first slow worker).
+func (c *Coordinator) Gossip(ctx context.Context, bumps []service.EpochBump) error {
+	if len(bumps) == 0 {
+		return nil
+	}
+	var first error
+	for _, tr := range c.Workers {
+		if err := tr.Gossip(ctx, bumps); err != nil && first == nil {
+			first = fmt.Errorf("dist: gossip to %s: %w", tr.Name(), err)
+		}
+	}
+	return first
+}
+
+// GossipLoop subscribes to the coordinator registry's epoch feed and
+// forwards coalesced bumps to every worker until stop is called —
+// the push half of cross-process cache coherence. Delivery errors
+// are dropped after onError (which may be nil): a worker that missed
+// a bump serves a stale-marked-late entry at worst, and the next
+// bump for the service repairs it (epoch compares are by inequality,
+// not order).
+func (c *Coordinator) GossipLoop(onError func(error)) (stop func()) {
+	feed := c.Registry.NewEpochFeed()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-done:
+				return
+			case <-feed.Wait():
+				if bumps := feed.Next(); bumps != nil {
+					if err := c.Gossip(context.Background(), bumps); err != nil && onError != nil {
+						onError(err)
+					}
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			feed.Close()
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// WarmWorkers ships a cache's template entries to every worker (see
+// opt.PlanCache.ExportTemplates); it returns the total number of
+// entries accepted across workers.
+func (c *Coordinator) WarmWorkers(ctx context.Context, cache *opt.PlanCache) (int, error) {
+	entries := cache.ExportTemplates()
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	total := 0
+	for _, tr := range c.Workers {
+		n, err := tr.ImportTemplates(ctx, entries)
+		if err != nil {
+			return total, fmt.Errorf("dist: warming %s: %w", tr.Name(), err)
+		}
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,150 @@
+package dist_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/opt"
+	"mdq/internal/service"
+)
+
+// driftReview raises the review service's response time on a
+// registry by a factor within the revalidation ratio, through the
+// copy-on-write snapshot (no local epoch bump: the test simulates a
+// worker whose local statistics were synced out-of-band, with the
+// coordinator's epoch gossip as the only invalidation signal).
+func driftReview(t *testing.T, reg *service.Registry, factor float64) {
+	t.Helper()
+	svc, ok := reg.Lookup("review")
+	if !ok {
+		t.Fatal("review not registered")
+	}
+	sig := svc.Signature()
+	st := sig.Statistics()
+	st.ResponseTime = time.Duration(float64(st.ResponseTime) * factor)
+	sig.SetStats(st)
+}
+
+// TestEpochGossipInvalidation is the satellite acceptance test: a
+// worker holding a cached template must never serve a plan priced
+// against pre-bump statistics once the coordinator gossips the
+// epoch. After a statistics change on every node and one gossiped
+// (service, epoch) bump, the next distributed optimization
+// revalidates the skeleton and prices it exactly like a cache-less
+// search under the fresh statistics.
+func TestEpochGossipInvalidation(t *testing.T) {
+	w := worlds[2] // zipf
+	co, workers := localCluster(t, w, 2)
+	q := resolve(t, w.text, mustSchema(t, co.Registry))
+	ctx := context.Background()
+
+	// Populate the worker caches and capture the pre-drift cost.
+	r1, err := co.OptimizeTemplate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := co.OptimizeTemplate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.TemplateHit || r2.Revalidated {
+		t.Fatalf("warm call hit=%v revalidated=%v, want fresh hit", r2.TemplateHit, r2.Revalidated)
+	}
+
+	// The world drifts: every node's local statistics move (as a
+	// worker-side profile sync would), modestly enough that the cached
+	// skeleton stays within the revalidation ratio.
+	driftReview(t, co.Registry, 2.5)
+	for _, wk := range workers {
+		driftReview(t, wk.Registry(), 2.5)
+	}
+
+	// The coordinator's registry notices (epoch bump) and gossips the
+	// bump to every worker cache.
+	epoch := co.Registry.BumpEpoch("review")
+	if err := co.Gossip(ctx, []service.EpochBump{{Service: "review", Epoch: epoch}}); err != nil {
+		t.Fatal(err)
+	}
+	stale := 0
+	for _, wk := range workers {
+		for _, e := range wk.Cache().Entries() {
+			if e.Kind == "template" && e.Stale {
+				stale++
+			}
+		}
+	}
+	if stale == 0 {
+		t.Fatal("gossip marked no template entry stale")
+	}
+
+	// Next optimization: served by revalidation, priced with the
+	// fresh statistics — byte-identical to a cache-less search.
+	r3, err := co.OptimizeTemplate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.TemplateHit || !r3.Revalidated {
+		t.Fatalf("post-gossip call hit=%v revalidated=%v, want revalidated hit", r3.TemplateHit, r3.Revalidated)
+	}
+	ref := &opt.Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: co.Registry.MethodChooser()}
+	want, err := ref.Optimize(resolve(t, w.text, mustSchema(t, co.Registry)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cost != want.Cost {
+		t.Fatalf("post-gossip cost %g, cache-less reference %g — stale pricing served", r3.Cost, want.Cost)
+	}
+	if r3.Cost == r1.Cost {
+		t.Fatal("cost unchanged across the statistics drift — pre-bump pricing served")
+	}
+	if r3.Best.Signature() != want.Best.Signature() {
+		t.Fatalf("post-gossip plan %s, reference %s", r3.Best.Signature(), want.Best.Signature())
+	}
+	reval := uint64(0)
+	for _, wk := range workers {
+		reval += wk.Cache().Stats().Revalidations
+	}
+	if reval == 0 {
+		t.Fatal("no worker cache recorded a revalidation")
+	}
+}
+
+// TestGossipLoop: the pushed path — a statistics epoch bump on the
+// coordinator's registry reaches worker caches asynchronously through
+// the epoch feed, with no explicit Gossip call.
+func TestGossipLoop(t *testing.T) {
+	w := worlds[2]
+	co, workers := localCluster(t, w, 2)
+	q := resolve(t, w.text, mustSchema(t, co.Registry))
+	ctx := context.Background()
+
+	if _, err := co.OptimizeTemplate(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	stop := co.GossipLoop(nil)
+	defer stop()
+
+	co.Registry.BumpEpoch("catalog")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stale := 0
+		for _, wk := range workers {
+			for _, e := range wk.Cache().Entries() {
+				if e.Stale {
+					stale++
+				}
+			}
+		}
+		if stale > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gossip loop delivered no invalidation within 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"mdq/internal/opt"
+	"mdq/internal/service"
+)
+
+// Transport is a coordinator's handle on one worker. HTTPTransport
+// speaks the wire protocol to a remote Worker.Handler; LocalTransport
+// calls an in-process Worker directly, so tests drive the whole
+// protocol without sockets.
+type Transport interface {
+	// Name identifies the worker in errors and logs.
+	Name() string
+	// Search runs one shard search to completion.
+	Search(ctx context.Context, req SearchRequest) (*SearchResult, error)
+	// Sync performs one bound exchange for a running search: offer
+	// the coordinator's bound, learn the worker's (0 = no info).
+	Sync(ctx context.Context, id string, bound float64) (float64, error)
+	// Gossip delivers statistics-epoch bumps to the worker's cache.
+	Gossip(ctx context.Context, bumps []service.EpochBump) error
+	// ImportTemplates ships serialized template entries for warmup.
+	ImportTemplates(ctx context.Context, entries []opt.TemplateWireEntry) (int, error)
+}
+
+// LocalTransport runs a Worker in-process. It is the transport tier-1
+// tests exercise the full coordinator/worker protocol through —
+// sharded search, bound-sync, gossip, warmup — with no sockets (the
+// dev environments are single-CPU, so correctness, not wall-clock, is
+// what in-process distribution demonstrates).
+type LocalTransport struct {
+	// Worker is the in-process worker.
+	Worker *Worker
+	// Label names the worker (defaults to "local").
+	Label string
+}
+
+// Name implements Transport.
+func (t LocalTransport) Name() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return "local"
+}
+
+// Search implements Transport.
+func (t LocalTransport) Search(ctx context.Context, req SearchRequest) (*SearchResult, error) {
+	return t.Worker.Search(ctx, req)
+}
+
+// Sync implements Transport.
+func (t LocalTransport) Sync(_ context.Context, id string, bound float64) (float64, error) {
+	return t.Worker.Sync(id, bound), nil
+}
+
+// Gossip implements Transport.
+func (t LocalTransport) Gossip(_ context.Context, bumps []service.EpochBump) error {
+	t.Worker.Gossip(bumps)
+	return nil
+}
+
+// ImportTemplates implements Transport.
+func (t LocalTransport) ImportTemplates(_ context.Context, entries []opt.TemplateWireEntry) (int, error) {
+	return t.Worker.ImportTemplates(entries), nil
+}
+
+// HTTPTransport speaks the worker protocol over HTTP (JSON bodies,
+// mdqserve-style error envelopes). The zero value of HTTP means
+// http.DefaultClient.
+type HTTPTransport struct {
+	// Base is the worker's base URL (no trailing slash), e.g.
+	// "http://worker-1:8090".
+	Base string
+	// HTTP overrides the client (nil means http.DefaultClient).
+	HTTP *http.Client
+}
+
+// Name implements Transport.
+func (t *HTTPTransport) Name() string { return t.Base }
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.HTTP != nil {
+		return t.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post sends one JSON request and decodes the JSON response,
+// surfacing the worker's error envelope on non-200s.
+func (t *HTTPTransport) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: %s%s: %w", t.Base, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var env apiError
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&env) == nil && env.Error != "" {
+			return fmt.Errorf("dist: %s%s: %s", t.Base, path, env.Error)
+		}
+		return fmt.Errorf("dist: %s%s returned %s", t.Base, path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Search implements Transport.
+func (t *HTTPTransport) Search(ctx context.Context, req SearchRequest) (*SearchResult, error) {
+	var res SearchResult
+	if err := t.post(ctx, "/dist/search", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Sync implements Transport.
+func (t *HTTPTransport) Sync(ctx context.Context, id string, bound float64) (float64, error) {
+	var res SyncResponse
+	if err := t.post(ctx, "/dist/sync", SyncRequest{ID: id, Bound: bound}, &res); err != nil {
+		return 0, err
+	}
+	return res.Bound, nil
+}
+
+// Gossip implements Transport.
+func (t *HTTPTransport) Gossip(ctx context.Context, bumps []service.EpochBump) error {
+	var res ImportResponse
+	return t.post(ctx, "/dist/gossip", GossipRequest{Bumps: bumps}, &res)
+}
+
+// ImportTemplates implements Transport.
+func (t *HTTPTransport) ImportTemplates(ctx context.Context, entries []opt.TemplateWireEntry) (int, error) {
+	var res ImportResponse
+	if err := t.post(ctx, "/dist/templates", entries, &res); err != nil {
+		return 0, err
+	}
+	return res.Imported, nil
+}

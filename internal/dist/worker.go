@@ -1,0 +1,306 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	"mdq/internal/opt"
+	"mdq/internal/service"
+)
+
+// Worker executes shard searches against a local service registry
+// and plan cache — the server side of the subsystem. One worker
+// serves many concurrent searches; each search registers its
+// incumbent bound under the request ID so mid-flight Sync calls can
+// merge bounds both ways.
+//
+// The worker's cache is wired to its own registry's epoch bumps at
+// construction (local statistics refreshes invalidate locally, as in
+// a single-process server); Gossip applies remote bumps through the
+// identical path, so cross-process coherence reuses the cache's
+// stale-marking and revalidation machinery unchanged.
+type Worker struct {
+	reg   *service.Registry
+	cache *opt.PlanCache
+	// Parallelism is the in-process search parallelism per shard
+	// (opt.Optimizer.Parallelism; 0 means one worker per CPU).
+	Parallelism int
+
+	mu     sync.Mutex
+	active map[string]*opt.Bound
+}
+
+// NewWorker builds a worker over a registry and plan cache. The
+// cache may be nil (searches then run uncached and gossip is a
+// no-op); when present it is subscribed to the registry's epoch
+// bumps.
+func NewWorker(reg *service.Registry, cache *opt.PlanCache) *Worker {
+	if cache != nil {
+		reg.SubscribeEpochs(cache, cache.InvalidateService)
+	}
+	return &Worker{
+		reg:    reg,
+		cache:  cache,
+		active: map[string]*opt.Bound{},
+	}
+}
+
+// Registry exposes the worker's local registry.
+func (w *Worker) Registry() *service.Registry { return w.reg }
+
+// Cache exposes the worker's plan cache (nil when uncached).
+func (w *Worker) Cache() *opt.PlanCache { return w.cache }
+
+// Search runs one shard search: parse and resolve the query against
+// the local registry, seed the incumbent with the coordinator's
+// bound, and run the ordinary optimizer over the shard. An empty
+// shard is not an error — it returns Found=false.
+func (w *Worker) Search(ctx context.Context, req SearchRequest) (*SearchResult, error) {
+	metric, mode, k, err := searchKnobs(req)
+	if err != nil {
+		return nil, err
+	}
+	q, err := cq.Parse(req.Query)
+	if err != nil {
+		return nil, fmt.Errorf("dist: parsing shipped query: %w", err)
+	}
+	sch, err := w.reg.Schema()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Resolve(sch); err != nil {
+		return nil, fmt.Errorf("dist: resolving shipped query: %w", err)
+	}
+
+	bound := opt.NewBound()
+	if req.Bound > 0 {
+		bound.Offer(req.Bound)
+	}
+	if req.ID != "" {
+		w.mu.Lock()
+		w.active[req.ID] = bound
+		w.mu.Unlock()
+		defer func() {
+			w.mu.Lock()
+			delete(w.active, req.ID)
+			w.mu.Unlock()
+		}()
+	}
+
+	o := &opt.Optimizer{
+		Metric:          metric,
+		Estimator:       card.Config{Mode: mode},
+		K:               k,
+		ChooseMethod:    w.reg.MethodChooser(),
+		Parallelism:     w.Parallelism,
+		Cache:           w.cache,
+		CacheSalt:       w.reg.CacheSalt(),
+		Epochs:          w.reg,
+		RevalidateRatio: req.RevalidateRatio,
+		Shard:           opt.Shard{Index: req.ShardIndex, Count: req.ShardCount},
+		Bound:           bound,
+	}
+	var res *opt.Result
+	if req.Template {
+		res, err = o.OptimizeTemplate(q)
+	} else {
+		res, err = o.Optimize(q)
+	}
+	if errors.Is(err, opt.ErrNoPlanInShard) {
+		return &SearchResult{Found: false, Bound: toWireBound(bound.Load())}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &SearchResult{
+		Found:       true,
+		Cost:        res.Cost,
+		Feasible:    res.Feasible,
+		Signature:   res.Best.Signature(),
+		Topology:    res.Best.Topology.Clone(),
+		Stats:       res.Stats,
+		Cached:      res.Cached,
+		TemplateHit: res.TemplateHit,
+		Revalidated: res.Revalidated,
+		Bound:       toWireBound(bound.Load()),
+	}
+	for _, p := range res.Best.Assignment {
+		out.Assignment = append(out.Assignment, p.String())
+	}
+	return out, nil
+}
+
+// searchKnobs resolves the named metric, cache mode and k.
+func searchKnobs(req SearchRequest) (cost.Metric, card.CacheMode, int, error) {
+	name := req.Metric
+	if name == "" {
+		name = "etm"
+	}
+	metric, ok := cost.ByName(name)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("dist: unknown metric %q", req.Metric)
+	}
+	mode, ok := card.ModeByName(req.CacheMode)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("dist: unknown cache mode %q", req.CacheMode)
+	}
+	return metric, mode, req.K, nil
+}
+
+// Sync merges an offered bound into the named search's incumbent and
+// returns the worker's current bound for it (0 when the search is
+// unknown — finished, not started, or a stale ID; the caller learns
+// nothing from it). Both directions are monotone, so syncs commute.
+func (w *Worker) Sync(id string, bound float64) float64 {
+	w.mu.Lock()
+	b, ok := w.active[id]
+	w.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	if bound > 0 {
+		b.Offer(bound)
+	}
+	return toWireBound(b.Load())
+}
+
+// Gossip applies remote statistics-epoch bumps to the worker's plan
+// cache: exact entries touching a bumped service are dropped,
+// template entries marked stale for revalidation — the identical
+// machinery a local epoch bump drives.
+func (w *Worker) Gossip(bumps []service.EpochBump) {
+	if w.cache == nil {
+		return
+	}
+	for _, b := range bumps {
+		w.cache.InvalidateService(b.Service, b.Epoch)
+	}
+}
+
+// ImportTemplates installs serialized template entries into the
+// worker's cache; entries whose distribution fingerprints do not
+// match the worker's local statistics enter stale and revalidate on
+// first use.
+func (w *Worker) ImportTemplates(entries []opt.TemplateWireEntry) int {
+	if w.cache == nil {
+		return 0
+	}
+	return w.cache.ImportTemplates(entries, w.reg)
+}
+
+// ExportTemplates snapshots the worker's template entries in wire
+// form.
+func (w *Worker) ExportTemplates() []opt.TemplateWireEntry {
+	return w.cache.ExportTemplates()
+}
+
+// apiError is the JSON error envelope of every worker endpoint.
+type apiError struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeError(rw http.ResponseWriter, status int, format string, args ...any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	json.NewEncoder(rw).Encode(apiError{Error: fmt.Sprintf(format, args...), Status: status})
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(v)
+}
+
+// Handler exposes the worker protocol over HTTP:
+//
+//	POST /dist/search    SearchRequest → SearchResult
+//	POST /dist/sync      SyncRequest → SyncResponse
+//	POST /dist/gossip    GossipRequest → ImportResponse (bumps applied)
+//	POST /dist/templates []opt.TemplateWireEntry → ImportResponse
+//	GET  /dist/templates → []opt.TemplateWireEntry
+//	GET  /dist/info      → worker summary (services, epochs, cache)
+//
+// Mount it next to httpwrap.ServeRegistry to serve both the services
+// and the optimization protocol from one listener (cmd/mdqworker).
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dist/search", func(rw http.ResponseWriter, r *http.Request) {
+		var req SearchRequest
+		if !decodePost(rw, r, &req) {
+			return
+		}
+		res, err := w.Search(r.Context(), req)
+		if err != nil {
+			writeError(rw, http.StatusUnprocessableEntity, "search: %v", err)
+			return
+		}
+		writeJSON(rw, res)
+	})
+	mux.HandleFunc("/dist/sync", func(rw http.ResponseWriter, r *http.Request) {
+		var req SyncRequest
+		if !decodePost(rw, r, &req) {
+			return
+		}
+		writeJSON(rw, SyncResponse{Bound: w.Sync(req.ID, req.Bound)})
+	})
+	mux.HandleFunc("/dist/gossip", func(rw http.ResponseWriter, r *http.Request) {
+		var req GossipRequest
+		if !decodePost(rw, r, &req) {
+			return
+		}
+		w.Gossip(req.Bumps)
+		writeJSON(rw, ImportResponse{Imported: len(req.Bumps)})
+	})
+	mux.HandleFunc("/dist/templates", func(rw http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			entries := w.ExportTemplates()
+			if entries == nil {
+				entries = []opt.TemplateWireEntry{}
+			}
+			writeJSON(rw, entries)
+		case http.MethodPost:
+			var entries []opt.TemplateWireEntry
+			if err := json.NewDecoder(r.Body).Decode(&entries); err != nil {
+				writeError(rw, http.StatusBadRequest, "decoding entries: %v", err)
+				return
+			}
+			writeJSON(rw, ImportResponse{Imported: w.ImportTemplates(entries)})
+		default:
+			writeError(rw, http.StatusMethodNotAllowed, "GET or POST required")
+		}
+	})
+	mux.HandleFunc("/dist/info", func(rw http.ResponseWriter, r *http.Request) {
+		type info struct {
+			Services []string          `json:"services"`
+			Epochs   map[string]uint64 `json:"epochs"`
+			Cache    opt.CacheStats    `json:"cache"`
+		}
+		var names []string
+		for _, svc := range w.reg.Services() {
+			names = append(names, svc.Signature().Name)
+		}
+		writeJSON(rw, info{Services: names, Epochs: w.reg.Epochs(), Cache: w.cache.Stats()})
+	})
+	return mux
+}
+
+// decodePost enforces POST + JSON body; it reports success.
+func decodePost(rw http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(rw, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}

@@ -45,7 +45,7 @@ func TestRunnerFeedbackRefreshesProfiles(t *testing.T) {
 	// The same plan re-run with feedback refreshes the drifted
 	// profiles.
 	before, _ := w.Registry.Lookup("conf")
-	beforeERSPI := before.Signature().Stats.ERSPI
+	beforeERSPI := before.Signature().Statistics().ERSPI
 	r2 := &Runner{Registry: w.Registry, Cache: card.OneCall,
 		Feedback: &service.FeedbackPolicy{MinCalls: 1}}
 	if _, err := r2.Run(context.Background(), p); err != nil {
@@ -55,7 +55,7 @@ func TestRunnerFeedbackRefreshesProfiles(t *testing.T) {
 		t.Fatal("feedback did not bump conf's epoch")
 	}
 	after, _ := w.Registry.Lookup("conf")
-	if after.Signature().Stats.ERSPI == beforeERSPI {
+	if after.Signature().Statistics().ERSPI == beforeERSPI {
 		t.Fatal("feedback did not refresh conf's profile")
 	}
 	mu.Lock()

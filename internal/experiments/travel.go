@@ -184,8 +184,8 @@ func Figure8() (*Report, error) {
 	flight := p.ServiceNode[simweb.AtomFlight]
 	hotel := p.ServiceNode[simweb.AtomHotel]
 	fF, fH := fetch.PairParallelPaper(kPrime,
-		flight.Calls*flight.Atom.Sig.Stats.ResponseTime.Seconds(),
-		hotel.Calls*hotel.Atom.Sig.Stats.ResponseTime.Seconds())
+		flight.Calls*flight.Atom.Sig.Statistics().ResponseTime.Seconds(),
+		hotel.Calls*hotel.Atom.Sig.Statistics().ResponseTime.Seconds())
 	flight.Fetches, hotel.Fetches = fF, fH
 	tout := est.Annotate(p)
 

@@ -112,7 +112,7 @@ const maxFetchBound = 1 << 16
 // capFor returns the decay-implied fetch cap for a node, bounded by
 // maxFetchBound.
 func capFor(n *plan.Node) int {
-	if m := n.Atom.Sig.Stats.MaxFetches(); m > 0 && m < maxFetchBound {
+	if m := n.Atom.Sig.Statistics().MaxFetches(); m > 0 && m < maxFetchBound {
 		return m
 	}
 	return maxFetchBound
@@ -192,7 +192,7 @@ func (a *Assigner) Assign(p *plan.Plan) Result {
 func (a *Assigner) maxVector(nodes []*plan.Node) []int {
 	v := make([]int, len(nodes))
 	for i, n := range nodes {
-		if m := n.Atom.Sig.Stats.MaxFetches(); m > 0 && m < maxFetchBound {
+		if m := n.Atom.Sig.Statistics().MaxFetches(); m > 0 && m < maxFetchBound {
 			v[i] = m
 		} else {
 			v[i] = 1
@@ -274,7 +274,7 @@ func (a *Assigner) greedy(p *plan.Plan, nodes []*plan.Node) ([]int, int) {
 func (a *Assigner) square(p *plan.Plan, nodes []*plan.Node) ([]int, int) {
 	minChunk := math.MaxInt
 	for _, n := range nodes {
-		if cs := n.Atom.Sig.Stats.ChunkSize; cs < minChunk {
+		if cs := n.Atom.Sig.Statistics().ChunkSize; cs < minChunk {
 			minChunk = cs
 		}
 	}
@@ -284,7 +284,7 @@ func (a *Assigner) square(p *plan.Plan, nodes []*plan.Node) ([]int, int) {
 		target := round * minChunk // tuples each service should explore
 		capped := true
 		for i, n := range nodes {
-			cs := n.Atom.Sig.Stats.ChunkSize
+			cs := n.Atom.Sig.Statistics().ChunkSize
 			f := (target + cs - 1) / cs
 			if f < 1 {
 				f = 1
@@ -587,9 +587,10 @@ func PairSequential(kPrime int) (f1, f2 int) { return 1, kPrime }
 func ChunkedWeights(nodes []*plan.Node, metric cost.Metric) []float64 {
 	w := make([]float64, len(nodes))
 	for i, n := range nodes {
-		c := n.Atom.Sig.Stats.CostPerCall
+		st := n.Atom.Sig.Statistics()
+		c := st.CostPerCall
 		if _, isTime := metric.(cost.ExecTime); isTime {
-			c = n.Atom.Sig.Stats.ResponseTime.Seconds()
+			c = st.ResponseTime.Seconds()
 		}
 		if c <= 0 {
 			c = 1

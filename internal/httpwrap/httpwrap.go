@@ -97,12 +97,13 @@ func sigToWire(sig *schema.Signature) wireSignature {
 	for _, p := range sig.Patterns {
 		w.Patterns = append(w.Patterns, p.String())
 	}
+	st := sig.Statistics()
 	w.Stats = wireStats{
-		ERSPI:       sig.Stats.ERSPI,
-		ResponseMs:  sig.Stats.ResponseTime.Milliseconds(),
-		ChunkSize:   sig.Stats.ChunkSize,
-		Decay:       sig.Stats.Decay,
-		CostPerCall: sig.Stats.CostPerCall,
+		ERSPI:       st.ERSPI,
+		ResponseMs:  st.ResponseTime.Milliseconds(),
+		ChunkSize:   st.ChunkSize,
+		Decay:       st.Decay,
+		CostPerCall: st.CostPerCall,
 	}
 	return w
 }

@@ -142,6 +142,13 @@ type cacheEntry struct {
 	// epochs maps each service of the query to its statistics epoch
 	// when the entry was (re)validated.
 	epochs map[string]uint64
+	// dists maps each service of the query to the fingerprint of its
+	// per-attribute value distributions when the entry was
+	// (re)validated (template entries only; empty string when the
+	// service has no value statistics). Serialized entries carry it so
+	// an importing cache can check whether its local statistics agree
+	// with the exporter's.
+	dists map[string]string
 	// stale marks a template entry whose epoch vector lags the
 	// current statistics; it is served only after revalidation.
 	stale bool
@@ -248,7 +255,7 @@ func (c *PlanCache) put(key string, res *Result, epochs map[string]uint64) {
 // skeleton and the search's effort counters are kept — template hits
 // rebuild the plan from the bound query, so retaining the original
 // plans (or alternatives) would be dead weight against MaxBytes.
-func (c *PlanCache) putTemplate(key string, res *Result, epochs map[string]uint64) {
+func (c *PlanCache) putTemplate(key string, res *Result, epochs map[string]uint64, dists map[string]string) {
 	if c == nil || res == nil || res.Best == nil {
 		return
 	}
@@ -261,6 +268,7 @@ func (c *PlanCache) putTemplate(key string, res *Result, epochs map[string]uint6
 		baseCost: res.Cost,
 		feasible: res.Feasible,
 		epochs:   epochs,
+		dists:    dists,
 	})
 }
 
@@ -338,7 +346,7 @@ func (c *PlanCache) lookupTemplate(key string) (templateView, bool) {
 // freshened (epoch vector updated, staleness cleared) and counted. A
 // hit on a stale entry additionally counts as a revalidation — the
 // lazy path of epoch invalidation.
-func (c *PlanCache) noteTemplateServed(key string, epochs map[string]uint64, wasStale bool) {
+func (c *PlanCache) noteTemplateServed(key string, epochs map[string]uint64, dists map[string]string, wasStale bool) {
 	if c == nil {
 		return
 	}
@@ -357,6 +365,9 @@ func (c *PlanCache) noteTemplateServed(key string, epochs map[string]uint64, was
 	e.stale = false
 	if epochs != nil {
 		e.epochs = epochs
+	}
+	if dists != nil {
+		e.dists = dists
 	}
 	e.hits++
 	c.ll.MoveToFront(el)
@@ -566,6 +577,7 @@ func entrySize(e *cacheEntry) int64 {
 		size += int64(len(e.asn)) * 16
 	}
 	size += int64(len(e.epochs)) * 32
+	size += int64(len(e.dists)) * 48
 	return size
 }
 
@@ -627,13 +639,28 @@ func (o *Optimizer) knobKey() string {
 
 // cacheKey composes the exact cache key for a query under this
 // optimizer's settings: the canonical query signature (atoms,
-// constants, patterns, statistics) plus the knob fingerprint.
+// constants, patterns, statistics) plus the knob fingerprint, plus
+// the shard when one restricts the search — an exact result is
+// memoized verbatim, so a shard's best must never answer for another
+// shard or for the full space.
 func (o *Optimizer) cacheKey(q *cq.Query) string {
-	return q.CanonicalKey() + o.knobKey()
+	key := q.CanonicalKey() + o.knobKey()
+	if o.Shard.enabled() {
+		key += ";sh=" + strconv.Itoa(o.Shard.Index) + "/" + strconv.Itoa(o.Shard.Count)
+	}
+	return key
 }
 
 // templateKey composes the template cache key: the constant-masked,
 // statistics-free template signature plus the same knob fingerprint.
+// Unlike exact keys it is deliberately shard-blind: a template hit
+// only ever serves a *skeleton* that is rebuilt and re-costed under
+// the current bindings and accepted within RevalidateRatio of its
+// baseline, so serving a skeleton found by a different shard (or by
+// an unsharded search — the cache-warmup path ships exactly those)
+// is the same bounded approximation as serving one found under
+// drifted statistics. This is what lets a coordinator's unsharded
+// entries warm worker caches and survive fleet resizes.
 func (o *Optimizer) templateKey(q *cq.Query) string {
 	return "tpl|" + q.TemplateKey() + o.knobKey()
 }

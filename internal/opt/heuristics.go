@@ -16,7 +16,7 @@ import (
 func atomERSPI(est card.Config, q *cq.Query, atom *cq.Atom) float64 {
 	e := 1.0
 	if atom.Sig != nil {
-		e = atom.Sig.Stats.ERSPI
+		e = atom.Sig.Statistics().ERSPI
 	}
 	vars := atom.Vars()
 	for _, p := range q.Preds {

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -93,7 +94,50 @@ type Optimizer struct {
 	// statistics: beyond it the cached skeleton is discarded and a
 	// full search runs. Values ≤ 1 mean DefaultRevalidateRatio.
 	RevalidateRatio float64
+	// Shard restricts phase 1 to one slice of the assignment space
+	// (see Shard); the zero value searches the whole space. Distributed
+	// optimization gives each remote worker one shard and merges the
+	// per-shard winners with the usual plan-signature tie-breaks.
+	Shard Shard
+	// Bound, when non-nil, is an externally owned incumbent bound
+	// shared beyond this search — typically across the workers of a
+	// distributed optimization, where a sync loop min-merges the
+	// workers' bounds so one worker's feasible plan prunes the others'
+	// walks. It may arrive pre-seeded. When nil, each Optimize call
+	// creates a private bound. An external bound never changes the
+	// plan returned for the searched (sub)space, but the exact-key
+	// result cache is bypassed while one is set: how much of a shard's
+	// space survives pruning depends on externally delivered bounds,
+	// so memoizing those results under a key that cannot express the
+	// bound would poison later lookups.
+	Bound *Bound
 }
+
+// Shard names one slice of the phase-1 assignment space: the
+// assignments at positions ≡ Index (mod Count) of the cogency-sorted
+// permissible sequence. Sharding by congruence class keeps every
+// shard anchored near the heuristically best assignments ("bound is
+// better" sorts them first), so each worker finds a decent incumbent
+// early instead of one worker getting all the good prefixes. A Count
+// ≤ 1 disables sharding; the union of all Count shards is exactly the
+// full space, each assignment in exactly one shard.
+type Shard struct {
+	// Index is the 0-based shard picked by this search.
+	Index int
+	// Count is the total number of shards.
+	Count int
+}
+
+// enabled reports whether the shard actually restricts the space.
+func (s Shard) enabled() bool { return s.Count > 1 }
+
+// ErrNoPlanInShard reports that a shard-restricted search found no
+// executable plan in its slice of the assignment space — an expected
+// outcome when there are more workers than permissible assignments
+// (or when a shard's assignments all fail to build), not a failure of
+// the query: the coordinator treats it as an empty contribution and
+// merges the other shards.
+var ErrNoPlanInShard = errors.New("opt: no executable plan in shard")
 
 // Scored is a complete plan with its evaluated cost.
 type Scored struct {
@@ -178,24 +222,38 @@ func (o *Optimizer) workerCount() int {
 	return p
 }
 
-// incumbent is the bound shared by all search workers: the cost of
-// the cheapest feasible plan found so far, +Inf before the first.
-// Lowering it in any goroutine immediately tightens pruning in all
-// others. Costs are nonnegative, so the float64 bit patterns order
-// like the values and a CAS loop suffices.
-type incumbent struct {
+// Bound is the incumbent bound shared by all search workers: the
+// cost of the cheapest feasible plan found so far, +Inf before the
+// first. Lowering it in any goroutine immediately tightens pruning in
+// all others. Costs are nonnegative, so the float64 bit patterns
+// order like the values and a CAS loop suffices.
+//
+// A Bound is also the unit of wire-level bound sharing: distributed
+// optimization hands every worker the same logical bound by seeding
+// each worker's local Bound and periodically min-merging them
+// (Offer is idempotent and monotone, so merges commute and late
+// deliveries are harmless). Sharing a bound never changes which plan
+// an exact search returns — pruning cuts only states whose lower
+// bound strictly exceeds the cost of some feasible plan, and every
+// optimal-cost plan survives that cut — it only changes how much of
+// the space is visited on the way.
+type Bound struct {
 	bits atomic.Uint64
 }
 
-func newIncumbent() *incumbent {
-	b := &incumbent{}
+// NewBound returns a bound at +Inf.
+func NewBound() *Bound {
+	b := &Bound{}
 	b.bits.Store(math.Float64bits(math.Inf(1)))
 	return b
 }
 
-func (b *incumbent) load() float64 { return math.Float64frombits(b.bits.Load()) }
+// Load returns the current bound.
+func (b *Bound) Load() float64 { return math.Float64frombits(b.bits.Load()) }
 
-func (b *incumbent) offer(c float64) {
+// Offer lowers the bound to c if c improves it (monotone min-merge);
+// offers that do not improve are ignored.
+func (b *Bound) Offer(c float64) {
 	for {
 		cur := b.bits.Load()
 		if math.Float64frombits(cur) <= c {
@@ -218,14 +276,16 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 			return nil, fmt.Errorf("opt: query %s is not resolved against a schema", q.Name)
 		}
 	}
+	// The exact-key cache is bypassed while an external bound is
+	// shared (see the Bound field); searches still count.
+	useExactCache := o.Cache != nil && o.Bound == nil
 	var key string
-	if o.Cache != nil {
+	if useExactCache {
 		key = o.cacheKey(q)
 		if res, ok := o.Cache.Get(key); ok {
 			res.Cached = true
 			return res, nil
 		}
-		o.Cache.noteSearch()
 	}
 
 	res := &Result{Cost: cost.Infinite}
@@ -241,12 +301,36 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 	if len(perm) == 0 {
 		return nil, fmt.Errorf("opt: query %s admits no permissible access-pattern sequence", q.Name)
 	}
+	// Candidate and permissible counts always describe the full
+	// space, even under sharding: they characterize the query, and
+	// a coordinator reads them off any one shard result.
 	res.Stats.PermissibleAssignments = len(perm)
 	// Phase 1 order: bound is better (§4.1.1) — most cogent first.
 	abind.SortByCogency(perm)
+	if o.Shard.enabled() {
+		if o.Shard.Index < 0 || o.Shard.Index >= o.Shard.Count {
+			return nil, fmt.Errorf("opt: shard index %d out of range for %d shards", o.Shard.Index, o.Shard.Count)
+		}
+		sharded := perm[:0:0]
+		for i, asn := range perm {
+			if i%o.Shard.Count == o.Shard.Index {
+				sharded = append(sharded, asn)
+			}
+		}
+		perm = sharded
+		if len(perm) == 0 {
+			return nil, fmt.Errorf("%w: query %s, shard %d/%d", ErrNoPlanInShard, q.Name, o.Shard.Index, o.Shard.Count)
+		}
+	}
 
 	if len(q.Atoms) > 63 {
 		return nil, fmt.Errorf("opt: query %s has %d atoms; the topology walk supports at most 63", q.Name, len(q.Atoms))
+	}
+	// Count the search only once real work begins: an empty shard
+	// returns before doing any, and must not inflate the Searches
+	// counter distributed tests amortize against.
+	if o.Cache != nil {
+		o.Cache.noteSearch()
 	}
 
 	// Phases 2–3 per assignment are independent searches coupled only
@@ -257,7 +341,10 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 	// sequential job (the deterministic-ordering contract); otherwise
 	// the assignment walks themselves fan out state by state, so even
 	// a single dominant assignment uses every worker.
-	shared := newIncumbent()
+	shared := o.Bound
+	if shared == nil {
+		shared = NewBound()
+	}
 	results := make([]*asnResult, len(perm))
 	if workers := o.workerCount(); workers <= 1 {
 		for i, asn := range perm {
@@ -279,9 +366,12 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 	o.merge(res, results)
 
 	if res.Best == nil {
+		if o.Shard.enabled() {
+			return nil, fmt.Errorf("%w: query %s, shard %d/%d", ErrNoPlanInShard, q.Name, o.Shard.Index, o.Shard.Count)
+		}
 		return nil, fmt.Errorf("opt: no executable plan found for query %s", q.Name)
 	}
-	if o.Cache != nil {
+	if useExactCache {
 		o.Cache.put(key, res, o.epochVector(q))
 	}
 	return res, nil
@@ -324,7 +414,7 @@ func (ar *asnResult) feasibleBound() float64 {
 // assignment. Pruning consults the local incumbent and — unless
 // alternatives are being collected — the shared cross-assignment
 // bound.
-func (o *Optimizer) searchAssignment(q *cq.Query, asn abind.Assignment, shared *incumbent) *asnResult {
+func (o *Optimizer) searchAssignment(q *cq.Query, asn abind.Assignment, shared *Bound) *asnResult {
 	ar := &asnResult{}
 	useShared := o.KeepAlternatives == 0
 
@@ -359,13 +449,13 @@ func (o *Optimizer) searchAssignment(q *cq.Query, asn abind.Assignment, shared *
 // shouldPrune applies the branch-and-bound cut to a construction
 // state: prune when the monotone lower bound of the partial plan
 // already exceeds the best feasible incumbent visible to this search.
-func (o *Optimizer) shouldPrune(q *cq.Query, asn abind.Assignment, s *topoState, ar *asnResult, shared *incumbent, useShared bool) bool {
+func (o *Optimizer) shouldPrune(q *cq.Query, asn abind.Assignment, s *topoState, ar *asnResult, shared *Bound, useShared bool) bool {
 	if o.Exhaustive || s.placedCount() == 0 {
 		return false
 	}
 	bound := ar.feasibleBound()
 	if useShared {
-		bound = math.Min(bound, shared.load())
+		bound = math.Min(bound, shared.Load())
 	}
 	if math.IsInf(bound, 1) {
 		return false
@@ -384,7 +474,7 @@ type walkCtx struct {
 	outs   []cq.VarSet
 	full   uint64
 	ar     *asnResult
-	shared *incumbent
+	shared *Bound
 	ex     *executor
 
 	mu      sync.Mutex
@@ -398,7 +488,7 @@ type walkCtx struct {
 // state expansion order then depends on worker timing, which may
 // shift the effort counters but — because pruning only ever discards
 // strictly-worse completions — never the returned optimum.
-func (o *Optimizer) startParallelSearch(q *cq.Query, asn abind.Assignment, shared *incumbent, ex *executor) *asnResult {
+func (o *Optimizer) startParallelSearch(q *cq.Query, asn abind.Assignment, shared *Bound, ex *executor) *asnResult {
 	ar := &asnResult{}
 	w := &walkCtx{
 		o: o, q: q, asn: asn,
@@ -468,7 +558,7 @@ func (w *walkCtx) expand(s *topoState) {
 
 // evalLeaf runs phase 3 on a complete topology and offers the scored
 // plan to the assignment's local result.
-func (o *Optimizer) evalLeaf(q *cq.Query, asn abind.Assignment, topo *plan.Topology, ar *asnResult, shared *incumbent, useShared bool) {
+func (o *Optimizer) evalLeaf(q *cq.Query, asn abind.Assignment, topo *plan.Topology, ar *asnResult, shared *Bound, useShared bool) {
 	p, err := plan.Build(q, asn, topo, plan.Options{ChooseMethod: o.ChooseMethod})
 	if err != nil {
 		return
@@ -485,7 +575,7 @@ func (o *Optimizer) evalLeaf(q *cq.Query, asn abind.Assignment, topo *plan.Topol
 	fr := assigner.Assign(p)
 	s := Scored{Plan: p, Cost: fr.Cost, Feasible: fr.Feasible || o.K <= 0}
 	if useShared && s.Feasible {
-		shared.offer(s.Cost)
+		shared.Offer(s.Cost)
 	}
 	ar.offer(s, fr.Explored, o.KeepAlternatives)
 }

@@ -1,0 +1,251 @@
+package opt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"mdq/internal/abind"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+)
+
+// FingerprintSource reports a stable fingerprint of a service's
+// current per-attribute value distributions (empty when the service
+// is unknown or has none); service.Registry implements it. The
+// optimizer snapshots fingerprints into template cache entries, and
+// importing caches use the source to decide whether a deserialized
+// skeleton may be served fresh or must revalidate first.
+type FingerprintSource interface {
+	DistFingerprint(service string) string
+}
+
+// TemplateWireEntry is the serializable form of one template-level
+// plan cache entry: everything a remote (or restarted) cache needs to
+// serve warm skeletons — the template key, the winning access-pattern
+// assignment and topology, the baseline cost the revalidation ratio
+// compares against, and the epoch vector plus per-service
+// distribution fingerprints that let the importer judge statistical
+// agreement. Exact entries are deliberately not serialized: their
+// keys embed the exporter's statistics fingerprints, which another
+// process (or a later restart) will not reproduce, so they could
+// never be hit.
+type TemplateWireEntry struct {
+	// Key is the full template cache key (template signature + knob
+	// fingerprint). Both sides must run compatible optimizer settings
+	// for keys to match; a mismatched key is simply never hit.
+	Key string `json:"key"`
+	// Assignment holds one access pattern per query atom, in the
+	// "ioo" notation.
+	Assignment []string `json:"assignment"`
+	// Topology is the winning partial order over the atoms.
+	Topology *plan.Topology `json:"topology"`
+	// BaseCost is the plan cost at the exporter's last full search.
+	BaseCost float64 `json:"base_cost"`
+	// Feasible reports whether that search reached k.
+	Feasible bool `json:"feasible"`
+	// Stats are the effort counters of the original search.
+	Stats Stats `json:"stats"`
+	// Epochs is the exporter's statistics-epoch vector.
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
+	// Dists maps each service to the fingerprint of its value
+	// distributions at the exporter (empty string: no statistics).
+	Dists map[string]string `json:"dists,omitempty"`
+}
+
+// cacheFile is the on-disk envelope of PlanCache.Save/Load.
+type cacheFile struct {
+	Version   int                 `json:"version"`
+	Templates []TemplateWireEntry `json:"templates"`
+}
+
+// cacheFileVersion guards the Save/Load format.
+const cacheFileVersion = 1
+
+// ExportTemplates snapshots every template entry in wire form, most
+// recently used first. Exact entries are skipped (see
+// TemplateWireEntry).
+func (c *PlanCache) ExportTemplates() []TemplateWireEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []TemplateWireEntry
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if e.kind != templateEntry || e.topo == nil {
+			continue
+		}
+		w := TemplateWireEntry{
+			Key:      e.key,
+			Topology: e.topo.Clone(),
+			BaseCost: e.baseCost,
+			Feasible: e.feasible,
+			Stats:    e.stats,
+			Epochs:   copyEpochs(e.epochs),
+			Dists:    copyDists(e.dists),
+		}
+		for _, p := range e.asn {
+			w.Assignment = append(w.Assignment, p.String())
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// ImportTemplates installs wire entries as template entries and
+// returns how many were accepted (malformed entries are skipped). An
+// imported skeleton enters fresh only when src confirms that every
+// service's local distribution fingerprint matches the exporter's;
+// otherwise — src nil, fingerprints absent, or any mismatch — it
+// enters stale, so the existing revalidation machinery re-costs it
+// against local statistics before it is ever served
+// (Optimizer.OptimizeTemplate reports such serves as Revalidated).
+func (c *PlanCache) ImportTemplates(entries []TemplateWireEntry, src FingerprintSource) int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range entries {
+		e, err := w.toEntry()
+		if err != nil {
+			continue
+		}
+		e.stale = !fingerprintsAgree(w.Dists, src)
+		c.insert(e)
+		n++
+	}
+	return n
+}
+
+// toEntry validates and converts a wire entry.
+func (w TemplateWireEntry) toEntry() (*cacheEntry, error) {
+	if w.Key == "" || w.Topology == nil {
+		return nil, fmt.Errorf("opt: wire entry without key or topology")
+	}
+	if len(w.Assignment) != w.Topology.Size() {
+		return nil, fmt.Errorf("opt: wire entry has %d patterns for %d atoms", len(w.Assignment), w.Topology.Size())
+	}
+	asn := make(abind.Assignment, len(w.Assignment))
+	for i, s := range w.Assignment {
+		p, err := schema.ParsePattern(s)
+		if err != nil {
+			return nil, err
+		}
+		asn[i] = p
+	}
+	return &cacheEntry{
+		key:      w.Key,
+		kind:     templateEntry,
+		stats:    w.Stats,
+		asn:      asn,
+		topo:     w.Topology.Clone(),
+		baseCost: w.BaseCost,
+		feasible: w.Feasible,
+		epochs:   copyEpochs(w.Epochs),
+		dists:    copyDists(w.Dists),
+	}, nil
+}
+
+// fingerprintsAgree reports whether the local statistics match the
+// exporter's for every service of the entry. No recorded
+// fingerprints, or no source to check against, count as disagreement:
+// the safe default is to revalidate.
+func fingerprintsAgree(dists map[string]string, src FingerprintSource) bool {
+	if len(dists) == 0 || src == nil {
+		return false
+	}
+	for svc, fp := range dists {
+		if src.DistFingerprint(svc) != fp {
+			return false
+		}
+	}
+	return true
+}
+
+// Save serializes the cache's template entries as JSON — the
+// persistence half of cache warmup: a server writes it at shutdown
+// and Loads it at the next start, so template skeletons survive
+// restarts and the first binding of a known template skips the
+// branch-and-bound.
+func (c *PlanCache) Save(w io.Writer) error {
+	entries := c.ExportTemplates()
+	if entries == nil {
+		entries = []TemplateWireEntry{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(cacheFile{Version: cacheFileVersion, Templates: entries})
+}
+
+// Load reads a Save stream and imports its template entries,
+// returning how many were accepted. Entries enter stale unless src
+// confirms the local value distributions match the saved fingerprints
+// (see ImportTemplates); pass the registry as src.
+func (c *PlanCache) Load(r io.Reader, src FingerprintSource) (int, error) {
+	var f cacheFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return 0, err
+	}
+	if f.Version != cacheFileVersion {
+		return 0, fmt.Errorf("opt: cache file version %d, want %d", f.Version, cacheFileVersion)
+	}
+	return c.ImportTemplates(f.Templates, src), nil
+}
+
+// SaveFile persists the template entries to a file atomically (write
+// to a sibling temp file, then rename) — the shutdown half of the
+// -cache-file flag on mdqserve and mdqworker.
+func (c *PlanCache) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile imports a SaveFile from disk (see Load). A missing file
+// is reported via os.IsNotExist on the returned error — first starts
+// treat it as an empty cache.
+func (c *PlanCache) LoadFile(path string, src FingerprintSource) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return c.Load(f, src)
+}
+
+// copyEpochs clones an epoch vector (nil stays nil).
+func copyEpochs(m map[string]uint64) map[string]uint64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// copyDists clones a fingerprint vector (nil stays nil).
+func copyDists(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package opt_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	. "mdq/internal/opt"
+	"mdq/internal/schema"
+	"mdq/internal/simweb"
+)
+
+// threeAtomTravelText exercises several permissible assignments so
+// shards are non-trivial while searches stay fast.
+const threeAtomTravelText = `
+q(Conf, City, Hotel, HPrice, FPrice) :-
+    flight('Milano', City, Start, End, StartTime, EndTime, FPrice),
+    hotel(Hotel, City, 'luxury', Start, End, HPrice),
+    conf('DB', Conf, Start, End, City),
+    FPrice + HPrice < 2000 {0.01}.`
+
+// shardOptimizer builds a sequential optimizer over one shard.
+func shardOptimizer(w *simweb.TravelWorld, idx, count int, b *Bound) *Optimizer {
+	return &Optimizer{
+		Metric:       cost.ExecTime{},
+		Estimator:    card.Config{Mode: card.OneCall},
+		K:            10,
+		ChooseMethod: w.Registry.MethodChooser(),
+		Shard:        Shard{Index: idx, Count: count},
+		Bound:        b,
+	}
+}
+
+// TestShardUnionMatchesFullSearch: merging per-shard winners under
+// the (feasible, cost, signature) order reproduces the unsharded
+// optimum exactly, for several shard counts — the invariant the
+// distributed coordinator's merge rests on.
+func TestShardUnionMatchesFullSearch(t *testing.T) {
+	w, q := travelQuery(t, threeAtomTravelText)
+	full := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: w.Registry.MethodChooser()}
+	want, err := full.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, count := range []int{2, 3, 5} {
+		bestCost := math.Inf(1)
+		bestSig := ""
+		feasible := false
+		found := 0
+		for idx := 0; idx < count; idx++ {
+			res, err := shardOptimizer(w, idx, count, nil).Optimize(q)
+			if errors.Is(err, ErrNoPlanInShard) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("shard %d/%d: %v", idx, count, err)
+			}
+			found++
+			sig := res.Best.Signature()
+			better := false
+			switch {
+			case res.Feasible != feasible:
+				better = res.Feasible
+			case res.Cost != bestCost:
+				better = res.Cost < bestCost
+			default:
+				better = sig < bestSig
+			}
+			if better {
+				bestCost, bestSig, feasible = res.Cost, sig, res.Feasible
+			}
+		}
+		if found == 0 {
+			t.Fatalf("count %d: every shard came back empty", count)
+		}
+		if bestCost != want.Cost || bestSig != want.Best.Signature() || feasible != want.Feasible {
+			t.Fatalf("count %d: merged (%g, %s, %v), full search (%g, %s, %v)",
+				count, bestCost, bestSig, feasible, want.Cost, want.Best.Signature(), want.Feasible)
+		}
+	}
+}
+
+// TestShardExternalBoundPreservesOptimum: seeding every shard with a
+// foreign incumbent — even one tighter than anything the shard will
+// find — never changes the merged optimum, only the effort spent.
+func TestShardExternalBoundPreservesOptimum(t *testing.T) {
+	w, q := travelQuery(t, threeAtomTravelText)
+	full := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: w.Registry.MethodChooser()}
+	want, err := full.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const count = 2
+	bestCost := math.Inf(1)
+	bestSig := ""
+	for idx := 0; idx < count; idx++ {
+		b := NewBound()
+		// The optimum's own cost is the tightest externally valid
+		// bound (it is the cost of a feasible plan).
+		b.Offer(want.Cost)
+		res, err := shardOptimizer(w, idx, count, b).Optimize(q)
+		if errors.Is(err, ErrNoPlanInShard) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("shard %d: %v", idx, err)
+		}
+		if sig := res.Best.Signature(); res.Cost < bestCost || (res.Cost == bestCost && sig < bestSig) {
+			bestCost, bestSig = res.Cost, sig
+		}
+		if got := b.Load(); got > want.Cost {
+			t.Fatalf("shard %d: bound rose to %g after seeding %g", idx, got, want.Cost)
+		}
+	}
+	if bestCost != want.Cost || bestSig != want.Best.Signature() {
+		t.Fatalf("bounded merge (%g, %s), want (%g, %s)", bestCost, bestSig, want.Cost, want.Best.Signature())
+	}
+}
+
+// TestShardEmptyAndCacheBypass: more shards than permissible
+// assignments yields ErrNoPlanInShard for the empty ones, and an
+// external bound bypasses the exact-key cache (a bound-truncated
+// result must never be memoized under a bound-blind key).
+func TestShardEmptyAndCacheBypass(t *testing.T) {
+	w, q := travelQuery(t, smallTravelText)
+	probe := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: w.Registry.MethodChooser()}
+	res, err := probe.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := res.Stats.PermissibleAssignments
+	count := perm + 3
+	empty := 0
+	for idx := 0; idx < count; idx++ {
+		_, err := shardOptimizer(w, idx, count, nil).Optimize(q)
+		if errors.Is(err, ErrNoPlanInShard) {
+			empty++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if empty != count-perm {
+		t.Fatalf("%d empty shards for %d assignments over %d shards, want %d", empty, perm, count, count-perm)
+	}
+
+	c := NewPlanCache(8)
+	o := shardOptimizer(w, 0, 2, NewBound())
+	o.Cache = c
+	if _, err := o.Optimize(q); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cached {
+		t.Fatal("bounded search served from the exact-key cache")
+	}
+	if st := c.Stats(); st.Searches != 2 {
+		t.Fatalf("searches = %d, want 2 (cache bypassed)", st.Searches)
+	}
+}
+
+// TestCacheSaveLoadRoundTrip: template entries survive
+// serialization; without a fingerprint source they come back stale
+// and the first hit revalidates, with a matching source they come
+// back fresh.
+func TestCacheSaveLoadRoundTrip(t *testing.T) {
+	w := simweb.NewZipfWorld(8, 120, 1.1)
+	tpl, err := cq.ParseTemplate(simweb.ZipfTemplateText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := tpl.Bind(map[string]schema.Value{"tag": schema.S(simweb.ZipfTag(0))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Resolve(w.Schema); err != nil {
+		t.Fatal(err)
+	}
+	c := NewPlanCache(8)
+	o := &Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 5, ChooseMethod: w.Registry.MethodChooser(), Cache: c, Epochs: w.Registry}
+	if _, err := o.OptimizeTemplate(q); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+
+	// Import without a source: stale, first hit revalidates.
+	blind := NewPlanCache(8)
+	n, err := blind.Load(bytes.NewReader([]byte(saved)), nil)
+	if err != nil || n != 1 {
+		t.Fatalf("blind load = (%d, %v), want (1, nil)", n, err)
+	}
+	o2 := *o
+	o2.Cache = blind
+	r2, err := o2.OptimizeTemplate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.TemplateHit || !r2.Revalidated {
+		t.Fatalf("blind import served hit=%v revalidated=%v, want template hit with revalidation", r2.TemplateHit, r2.Revalidated)
+	}
+
+	// Import with the registry as source: fingerprints match, entry
+	// is fresh, serve without revalidation.
+	warm := NewPlanCache(8)
+	if n, err := warm.Load(bytes.NewReader([]byte(saved)), w.Registry); err != nil || n != 1 {
+		t.Fatalf("warm load = (%d, %v), want (1, nil)", n, err)
+	}
+	o3 := *o
+	o3.Cache = warm
+	r3, err := o3.OptimizeTemplate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.TemplateHit || r3.Revalidated {
+		t.Fatalf("warm import served hit=%v revalidated=%v, want fresh template hit", r3.TemplateHit, r3.Revalidated)
+	}
+	if st := warm.Stats(); st.Searches != 0 {
+		t.Fatalf("warm cache ran %d searches, want 0", st.Searches)
+	}
+}

@@ -75,6 +75,27 @@ func (o *Optimizer) epochVector(q *cq.Query) map[string]uint64 {
 	return m
 }
 
+// distVector snapshots the value-distribution fingerprint of every
+// service the query touches, when the epoch source can provide them
+// (service.Registry implements FingerprintSource). Template cache
+// entries carry the vector so that, serialized and shipped to another
+// process, the importing cache can check its local statistics against
+// the exporter's before serving the skeleton fresh.
+func (o *Optimizer) distVector(q *cq.Query) map[string]string {
+	src, ok := o.Epochs.(FingerprintSource)
+	if !ok {
+		return nil
+	}
+	m := make(map[string]string, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if _, ok := m[a.Service]; ok {
+			continue
+		}
+		m[a.Service] = src.DistFingerprint(a.Service)
+	}
+	return m
+}
+
 // OptimizeTemplate optimizes a bound query through the template level
 // of the plan cache: queries that differ only in constant values (the
 // bindings of one cq.Template) share a single cache entry holding the
@@ -89,6 +110,18 @@ func (o *Optimizer) epochVector(q *cq.Query) map[string]uint64 {
 // Without a cache this is exactly Optimize. Alternatives
 // (KeepAlternatives) are only populated by full searches, never by
 // template hits.
+//
+// Under an external Bound (distributed shard searches) the skeleton
+// cached on a miss may come from a bound-truncated walk: a shard
+// whose true best was already beaten by another shard's bound can
+// return — and memoize — a slightly worse plan of its shard. This is
+// accepted by design: the winning shard's search is never truncated
+// below its own best (pruning is strict, so optimal-cost plans
+// survive any valid bound), and a later serve of a non-winning
+// skeleton is still a valid plan re-costed within RevalidateRatio of
+// its baseline — the exact relaxation template serving already makes
+// for statistics drift. Exact results are never cached under a
+// bound (see Optimizer.Bound).
 func (o *Optimizer) OptimizeTemplate(q *cq.Query) (*Result, error) {
 	if o.Cache == nil {
 		return o.Optimize(q)
@@ -108,7 +141,7 @@ func (o *Optimizer) OptimizeTemplate(q *cq.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	o.Cache.putTemplate(tkey, res, o.epochVector(q))
+	o.Cache.putTemplate(tkey, res, o.epochVector(q), o.distVector(q))
 	return res, nil
 }
 
@@ -150,7 +183,7 @@ func (o *Optimizer) recost(q *cq.Query, key string, tv templateView) *Result {
 		o.Cache.noteDivergence(key)
 		return nil
 	}
-	o.Cache.noteTemplateServed(key, o.epochVector(q), tv.stale)
+	o.Cache.noteTemplateServed(key, o.epochVector(q), o.distVector(q), tv.stale)
 	return &Result{
 		Best:        p,
 		Cost:        fr.Cost,

@@ -124,7 +124,7 @@ func Build(q *cq.Query, asn abind.Assignment, topo *Topology, opts Options) (*Pl
 		n := newNode(Service)
 		n.Atom = atom
 		n.Pattern = asn[ai]
-		if atom.Sig != nil && atom.Sig.Stats.Chunked() {
+		if atom.Sig != nil && atom.Sig.Statistics().Chunked() {
 			n.Fetches = defFetch
 		}
 		p.ServiceNode[ai] = n

@@ -115,7 +115,7 @@ func (n *Node) Label() string {
 
 // Chunked reports whether the node is a chunked service invocation.
 func (n *Node) Chunked() bool {
-	return n.Kind == Service && n.Atom.Sig != nil && n.Atom.Sig.Stats.Chunked()
+	return n.Kind == Service && n.Atom.Sig != nil && n.Atom.Sig.Statistics().Chunked()
 }
 
 // IsSearch reports whether the node invokes a search service.

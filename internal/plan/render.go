@@ -70,7 +70,7 @@ func describeNode(n *Node) string {
 		b.WriteString(n.Atom.Service)
 		fmt.Fprintf(&b, "(%s)", n.Pattern)
 		if n.Atom.Sig != nil {
-			st := n.Atom.Sig.Stats
+			st := n.Atom.Sig.Statistics()
 			if st.Chunked() {
 				fmt.Fprintf(&b, " [%s cs=%d F=%d]", n.Atom.Sig.Kind, st.ChunkSize, n.Fetches)
 			} else {
@@ -114,7 +114,7 @@ func (p *Plan) DOT() string {
 			if n.IsSearch() {
 				shape = "trapezium"
 			}
-			if n.Atom.Sig != nil && !n.Atom.Sig.Stats.Chunked() && n.Atom.Sig.Stats.Proliferative() {
+			if n.Atom.Sig != nil && !n.Atom.Sig.Statistics().Chunked() && n.Atom.Sig.Statistics().Proliferative() {
 				label += "*"
 			}
 			if n.Chunked() {

@@ -7,6 +7,7 @@
 package plan
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -234,6 +235,49 @@ func (t *Topology) Equal(u *Topology) bool {
 		}
 	}
 	return true
+}
+
+// wireTopology is the JSON encoding of a Topology: the atom count
+// and the row-major less-than matrix as a '0'/'1' string (the same
+// encoding Key uses). It is the wire format distributed optimization
+// ships plan skeletons in.
+type wireTopology struct {
+	N    int    `json:"n"`
+	Bits string `json:"bits"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Topology) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireTopology{N: t.n, Bits: t.Key()})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating that the
+// decoded relation is a strict partial order (irreflexive and
+// transitively closed) — wire input is untrusted.
+func (t *Topology) UnmarshalJSON(data []byte) error {
+	var w wireTopology
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.N < 0 || len(w.Bits) != w.N*w.N {
+		return fmt.Errorf("plan: topology wire format has %d bits for n=%d", len(w.Bits), w.N)
+	}
+	less := make([]bool, len(w.Bits))
+	for i := 0; i < len(w.Bits); i++ {
+		switch w.Bits[i] {
+		case '1':
+			less[i] = true
+		case '0':
+		default:
+			return fmt.Errorf("plan: topology wire format has invalid bit %q", w.Bits[i])
+		}
+	}
+	decoded := Topology{n: w.N, less: less}
+	if !decoded.IsPartialOrder() {
+		return fmt.Errorf("plan: topology wire format is not a strict partial order: %s", w.Bits)
+	}
+	*t = decoded
+	return nil
 }
 
 // String renders the order as its cover edges, e.g.

@@ -1,0 +1,77 @@
+package schema
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatisticsSnapshotConsistency pins the copy-on-write contract of
+// Signature.SetStats/Statistics: a reader racing a refresh sees either
+// the old snapshot or the new one, never a mix of fields from both.
+// (Before the snapshot layer, a concurrent in-place refresh could feed
+// an optimization ERSPI from one generation and Dists from another;
+// under -race this test also proves the swap is properly synchronized.)
+func TestStatisticsSnapshotConsistency(t *testing.T) {
+	sig := &Signature{
+		Name:     "s",
+		Attrs:    []Attribute{{Name: "A", Domain: Domain{Name: "D", Kind: NumberValue}}},
+		Patterns: []AccessPattern{MustPattern("o")},
+		Stats:    Stats{ERSPI: 1, ResponseTime: 1 * time.Second},
+	}
+	distA := DistributionFromValues([]Value{N(1), N(1), N(2)}, 2, 2)
+	distB := DistributionFromValues([]Value{N(3), N(4), N(5), N(6)}, 2, 2)
+	gens := []Stats{
+		{ERSPI: 1, ResponseTime: 1 * time.Second, Dists: []*Distribution{distA}},
+		{ERSPI: 2, ResponseTime: 2 * time.Second, Dists: []*Distribution{distB}},
+	}
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sig.SetStats(gens[i%2])
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				st := sig.Statistics()
+				switch st.ERSPI {
+				case 1:
+					if st.ResponseTime != 1*time.Second || (st.Dists != nil && st.Distribution(0) != distA) {
+						t.Error("mixed snapshot: generation-1 erspi with foreign fields")
+						return
+					}
+				case 2:
+					if st.ResponseTime != 2*time.Second || st.Distribution(0) != distB {
+						t.Error("mixed snapshot: generation-2 erspi with foreign fields")
+						return
+					}
+				default:
+					t.Errorf("impossible erspi %g", st.ERSPI)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-writerDone
+
+	// Before any SetStats, Statistics falls back to the literal field.
+	fresh := &Signature{Name: "f", Stats: Stats{ERSPI: 7}}
+	if got := fresh.Statistics().ERSPI; got != 7 {
+		t.Fatalf("fallback Statistics().ERSPI = %g, want 7", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -241,12 +242,48 @@ type Attribute struct {
 
 // Signature describes a service: name, typed argument list, feasible
 // access patterns, kind, and statistics.
+//
+// The Stats field holds the registration-time statistics and may be
+// filled (or adjusted) freely while the signature is still private to
+// one goroutine. Once the service is registered and concurrent
+// optimizations may be reading it, statistics change only through
+// SetStats, which publishes a whole immutable snapshot atomically
+// (copy-on-write); Statistics returns the current snapshot. Readers
+// therefore never observe a half-applied refresh — a mix of old and
+// new scalar fields, or a Dists slice header from a different
+// generation than the scalars next to it.
 type Signature struct {
 	Name     string
 	Attrs    []Attribute
 	Patterns []AccessPattern
 	Kind     Kind
 	Stats    Stats
+
+	// snap, when non-nil, is the current statistics snapshot installed
+	// by SetStats; it supersedes the Stats field. Snapshots are
+	// immutable after publication.
+	snap atomic.Pointer[Stats]
+}
+
+// Statistics returns the current statistics of the service: the last
+// snapshot published by SetStats, or the registration-time Stats
+// field before any refresh. The returned value is a consistent whole
+// — every field comes from the same snapshot — and is safe to read
+// concurrently with SetStats.
+func (s *Signature) Statistics() Stats {
+	if p := s.snap.Load(); p != nil {
+		return *p
+	}
+	return s.Stats
+}
+
+// SetStats publishes a new statistics snapshot atomically. The caller
+// must not mutate st (or anything reachable from st.Dists) after the
+// call: concurrent readers hold references to it. Refresh paths
+// (service.Observed, value profiling) funnel through here so the cost
+// model can keep reading statistics lock-free.
+func (s *Signature) SetStats(st Stats) {
+	s.snap.Store(&st)
 }
 
 // Arity returns the number of arguments.

@@ -60,8 +60,8 @@ func TestEpochBumpOnRefresh(t *testing.T) {
 	if got := r.Epoch("a"); got != 1 {
 		t.Fatalf("epoch = %d, want 1", got)
 	}
-	if ob.Signature().Stats.ERSPI != 3 {
-		t.Fatalf("erspi = %g, want 3 (observed)", ob.Signature().Stats.ERSPI)
+	if ob.Signature().Statistics().ERSPI != 3 {
+		t.Fatalf("erspi = %g, want 3 (observed)", ob.Signature().Statistics().ERSPI)
 	}
 	// A second refresh with no new divergence must not bump again.
 	if ob.Refresh() {

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"strings"
+	"sync"
+)
+
+// EpochBump is one (service, epoch) statistics notification — the
+// unit of the cross-process cache-invalidation wire format: a
+// coordinator gossips exactly these to remote plan caches, which
+// apply them through PlanCache.InvalidateService just as a local
+// subscriber would.
+type EpochBump struct {
+	Service string `json:"service"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// EpochFeed is an asynchronous, coalescing fan-out of a registry's
+// epoch bumps, for consumers that forward them somewhere slow (e.g.
+// a gossip loop POSTing to remote workers). The registry's
+// synchronous SubscribeEpochs callback must not block — an epoch
+// bump fires on the statistics-refresh path — so the feed buffers
+// bumps behind a mutex and signals a waiting consumer.
+//
+// Bumps are coalesced per service, keeping only the highest epoch:
+// epochs are monotone and InvalidateService only compares for
+// inequality, so delivering the latest bump subsumes any skipped
+// intermediates. The feed therefore needs no unbounded queue: its
+// pending state is at most one epoch per service.
+type EpochFeed struct {
+	mu      sync.Mutex
+	pending map[string]uint64
+	signal  chan struct{}
+	reg     *Registry
+	closed  bool
+}
+
+// NewEpochFeed subscribes a feed to the registry's epoch bumps.
+// Close it to unsubscribe.
+func (r *Registry) NewEpochFeed() *EpochFeed {
+	f := &EpochFeed{
+		pending: map[string]uint64{},
+		signal:  make(chan struct{}, 1),
+		reg:     r,
+	}
+	r.SubscribeEpochs(f, f.offer)
+	return f
+}
+
+// offer records one bump and signals the consumer (non-blocking: the
+// signal channel has capacity one and a pending signal is enough).
+func (f *EpochFeed) offer(service string, epoch uint64) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	if old, ok := f.pending[service]; !ok || epoch > old {
+		f.pending[service] = epoch
+	}
+	f.mu.Unlock()
+	select {
+	case f.signal <- struct{}{}:
+	default:
+	}
+}
+
+// Wait returns a channel that receives after new bumps arrive. One
+// receive may cover many bumps; drain them with Next.
+func (f *EpochFeed) Wait() <-chan struct{} { return f.signal }
+
+// Next returns the coalesced pending bumps (sorted by service name,
+// for deterministic delivery order) and clears them. It returns nil
+// when nothing is pending.
+func (f *EpochFeed) Next() []EpochBump {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.pending) == 0 {
+		return nil
+	}
+	out := make([]EpochBump, 0, len(f.pending))
+	for name, e := range f.pending {
+		out = append(out, EpochBump{Service: name, Epoch: e})
+	}
+	f.pending = map[string]uint64{}
+	sortBumps(out)
+	return out
+}
+
+// Close unsubscribes the feed from the registry; pending bumps are
+// discarded and further offers are ignored.
+func (f *EpochFeed) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.pending = nil
+	f.mu.Unlock()
+	f.reg.UnsubscribeEpochs(f)
+}
+
+// sortBumps orders bumps by service name (insertion sort: the slice
+// is small — one entry per refreshed service).
+func sortBumps(b []EpochBump) {
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && b[j].Service < b[j-1].Service; j-- {
+			b[j], b[j-1] = b[j-1], b[j]
+		}
+	}
+}
+
+// DistFingerprint returns a stable fingerprint of a service's current
+// per-attribute value distributions — empty when the service is
+// unknown or carries no value statistics. Serialized template cache
+// entries record it per service, so an importing cache can tell
+// whether its local statistics agree with the exporter's: matching
+// fingerprints admit the warm skeleton as fresh, anything else enters
+// stale and revalidates on first use. It implements the optimizer's
+// FingerprintSource.
+func (r *Registry) DistFingerprint(name string) string {
+	svc, ok := r.Lookup(name)
+	if !ok {
+		return ""
+	}
+	st := svc.Signature().Statistics()
+	if len(st.Dists) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	empty := true
+	for i, d := range st.Dists {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if !d.Empty() {
+			b.WriteString(d.Fingerprint())
+			empty = false
+		}
+	}
+	if empty {
+		return ""
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package service_test
+
+import (
+	"testing"
+	"time"
+
+	. "mdq/internal/service"
+	"mdq/internal/simweb"
+)
+
+// TestEpochFeedCoalesces: the feed delivers every service that
+// bumped, keeping only the latest epoch per service, in sorted order.
+func TestEpochFeedCoalesces(t *testing.T) {
+	r := NewRegistry()
+	f := r.NewEpochFeed()
+	defer f.Close()
+
+	r.BumpEpoch("b")
+	r.BumpEpoch("a")
+	r.BumpEpoch("b")
+	r.BumpEpoch("b")
+
+	select {
+	case <-f.Wait():
+	case <-time.After(time.Second):
+		t.Fatal("no signal after bumps")
+	}
+	got := f.Next()
+	want := []EpochBump{{Service: "a", Epoch: 1}, {Service: "b", Epoch: 3}}
+	if len(got) != len(want) {
+		t.Fatalf("bumps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bumps = %v, want %v", got, want)
+		}
+	}
+	if again := f.Next(); again != nil {
+		t.Fatalf("second Next returned %v, want nil", again)
+	}
+
+	// After Close, further bumps are ignored.
+	f.Close()
+	r.BumpEpoch("c")
+	if got := f.Next(); got != nil {
+		t.Fatalf("closed feed delivered %v", got)
+	}
+}
+
+// TestDistFingerprint: profiled services fingerprint stably; the
+// fingerprint moves with the distributions and is empty for services
+// without value statistics.
+func TestDistFingerprint(t *testing.T) {
+	w := simweb.NewZipfWorld(8, 100, 1.1)
+	fp := w.Registry.DistFingerprint("catalog")
+	if fp == "" {
+		t.Fatal("profiled catalog has no fingerprint")
+	}
+	if again := w.Registry.DistFingerprint("catalog"); again != fp {
+		t.Fatalf("fingerprint not stable: %s vs %s", fp, again)
+	}
+	// A fresh world with different skew fingerprints differently.
+	other := simweb.NewZipfWorld(8, 100, 2.0)
+	if ofp := other.Registry.DistFingerprint("catalog"); ofp == fp {
+		t.Fatal("different distributions share a fingerprint")
+	}
+	if got := w.Registry.DistFingerprint("nope"); got != "" {
+		t.Fatalf("unknown service fingerprints as %q", got)
+	}
+
+	tw := simweb.NewTravelWorld(simweb.TravelOptions{})
+	if got := tw.Registry.DistFingerprint("conf"); got != "" {
+		t.Fatalf("unprofiled service fingerprints as %q, want empty", got)
+	}
+}

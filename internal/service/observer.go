@@ -123,7 +123,7 @@ func (o *Observed) ObservedStats() schema.Stats {
 
 // observedStatsLocked is ObservedStats with o.mu already held.
 func (o *Observed) observedStatsLocked() schema.Stats {
-	st := o.inner.Signature().Stats
+	st := o.inner.Signature().Statistics()
 	if o.calls > 0 {
 		st.ERSPI = float64(o.rows) / float64(o.calls)
 	}
@@ -179,20 +179,19 @@ func (o *Observed) setNotify(fn func()) {
 	o.mu.Unlock()
 }
 
-// Refresh writes the observed statistics into the service's
-// signature, so subsequent optimizations use the refined profile
-// (the periodic update of §5), and notifies the registry's epoch
-// subsystem when the profile actually changed. It reports whether
-// the signature's statistics changed.
+// Refresh publishes the observed statistics as the service's current
+// snapshot, so subsequent optimizations use the refined profile (the
+// periodic update of §5), and notifies the registry's epoch subsystem
+// when the profile actually changed. It reports whether the
+// signature's statistics changed.
 //
-// The signature write is not synchronized with concurrent readers
-// (signature statistics are read lock-free throughout the cost
-// model, as they were before observers existed): an optimization
-// racing a refresh may price its plan with a mix of old and new
-// statistics. The epoch bump that follows the write makes this
-// self-correcting — the mispriced cache entry is invalidated or
-// revalidated on its next use — but fully consistent snapshots need
-// copy-on-write statistics (see ROADMAP).
+// The publication is an atomic copy-on-write swap
+// (schema.Signature.SetStats): statistics stay readable lock-free
+// throughout the cost model, and a concurrent optimization never
+// observes a half-applied refresh — each read sees one consistent
+// snapshot, before or after. The epoch bump that follows the swap
+// tells plan caches to invalidate or revalidate entries priced under
+// the previous snapshot.
 func (o *Observed) Refresh() bool {
 	o.mu.Lock()
 	observed := o.calls > 0
@@ -205,14 +204,14 @@ func (o *Observed) Refresh() bool {
 	return o.apply(st, notify)
 }
 
-// apply installs refreshed statistics and fires the epoch
-// notification when they differ from the registered profile.
+// apply installs refreshed statistics as an atomic snapshot and fires
+// the epoch notification when they differ from the current profile.
 func (o *Observed) apply(st schema.Stats, notify func()) bool {
 	sig := o.inner.Signature()
-	if sig.Stats.Same(st) {
+	if sig.Statistics().Same(st) {
 		return false
 	}
-	sig.Stats = st
+	sig.SetStats(st)
 	if notify != nil {
 		notify()
 	}
@@ -230,7 +229,7 @@ func (o *Observed) Drift() float64 {
 	if o.calls == 0 {
 		return 0
 	}
-	return driftBetween(o.observedStatsLocked(), o.inner.Signature().Stats)
+	return driftBetween(o.observedStatsLocked(), o.inner.Signature().Statistics())
 }
 
 // driftBetween is the largest relative deviation between an observed
@@ -315,7 +314,7 @@ func (o *Observed) MaybeRefresh(pol FeedbackPolicy) bool {
 		return false
 	}
 	st := o.observedStatsLocked()
-	if pol.MinDrift > 0 && driftBetween(st, o.inner.Signature().Stats) < pol.MinDrift {
+	if pol.MinDrift > 0 && driftBetween(st, o.inner.Signature().Statistics()) < pol.MinDrift {
 		o.mu.Unlock()
 		return false
 	}

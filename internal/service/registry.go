@@ -2,9 +2,10 @@ package service
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"mdq/internal/plan"
 	"mdq/internal/schema"
@@ -18,12 +19,10 @@ type Registry struct {
 	mu       sync.RWMutex
 	services map[string]Service
 	methods  map[[2]string]plan.JoinMethod
-	// id distinguishes registry instances within the process;
-	// version counts mutations (registrations, join-method changes).
-	// Plan caches mix both into their keys (see CacheSalt) so
-	// entries computed against another registry, or an older state
-	// of this one, are never served.
-	id      uint64
+	// version counts mutations (registrations, join-method changes)
+	// for Version(); plan caches fingerprint the join-method table by
+	// content instead (see CacheSalt), so keys stay portable across
+	// processes holding the same logical registry.
 	version uint64
 	// epochs counts in-place statistics refreshes per service: an
 	// Observed wrapper that absorbs live traffic into its signature
@@ -34,9 +33,6 @@ type Registry struct {
 	subs   map[any]func(service string, epoch uint64)
 }
 
-// registryIDs hands each registry a process-unique identity.
-var registryIDs atomic.Uint64
-
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
@@ -44,7 +40,6 @@ func NewRegistry() *Registry {
 		methods:  map[[2]string]plan.JoinMethod{},
 		epochs:   map[string]uint64{},
 		subs:     map[any]func(string, uint64){},
-		id:       registryIDs.Add(1),
 	}
 }
 
@@ -80,16 +75,37 @@ func (r *Registry) Version() uint64 {
 	return r.version
 }
 
-// CacheSalt returns an opaque token identifying this registry
-// instance and its current mutation state — the value optimizer plan
-// caches should mix into their keys. Two different registries, or
-// the same registry before and after a mutation, never share a salt,
-// so a cache shared across systems cannot serve a plan whose join
-// methods were chosen by another registry.
+// CacheSalt returns an opaque token fingerprinting the one piece of
+// registry state the optimizer consults that query cache keys cannot
+// express themselves: the registered join-method pair table behind
+// MethodChooser. (Signatures, patterns, domains and statistics are
+// fingerprinted by the canonical query key directly.)
+//
+// The salt is content-based, not identity-based: two registries with
+// the same pair table — in particular, the same logical registry
+// rebuilt in another process, or after a restart — produce the same
+// salt, which is what lets template cache entries travel across
+// processes (dist.Coordinator.WarmWorkers) and survive restarts
+// (PlanCache.Save/Load): a serialized entry's key can actually be
+// hit by the importer. Changing any pair's method changes the salt,
+// so entries planned under other join methods are never served.
 func (r *Registry) CacheSalt() string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return fmt.Sprintf("reg%d@%d", r.id, r.version)
+	if len(r.methods) == 0 {
+		return "jm0"
+	}
+	keys := make([]string, 0, len(r.methods))
+	for k, m := range r.methods {
+		keys = append(keys, k[0]+"\x1f"+k[1]+"\x1f"+m.String())
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+	}
+	return "jm" + strconv.FormatUint(h.Sum64(), 36)
 }
 
 // BumpEpoch advances the statistics epoch of a service and notifies

@@ -191,15 +191,15 @@ func TestObservedStatsRefresh(t *testing.T) {
 		t.Errorf("observed τ = %v, want 1.2s", st.ResponseTime)
 	}
 
-	// Refresh rewrites the signature's profile.
+	// Refresh publishes the observed profile as the new snapshot.
 	w.Conf.Signature().Stats.ERSPI = 999
 	if !obs.Refresh() {
 		t.Fatal("refresh with observations returned false")
 	}
-	if got := w.Conf.Signature().Stats.ERSPI; got != 20 {
+	if got := w.Conf.Signature().Statistics().ERSPI; got != 20 {
 		t.Errorf("refreshed erspi = %g, want 20", got)
 	}
-	w.Conf.Signature().Stats.ERSPI = 20 // restore for other tests
+	w.Conf.Signature().SetStats(st) // restore for other tests
 
 	// An untouched observer refuses to refresh.
 	fresh := Observe(w.Weather)

@@ -47,7 +47,7 @@ func TestObservedLearnsDistributions(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := ob.Signature().Stats.Distribution(0); !got.Empty() {
+	if got := ob.Signature().Statistics().Distribution(0); !got.Empty() {
 		t.Fatal("distribution must not be published before a refresh")
 	}
 	if !ob.Refresh() {
@@ -56,7 +56,7 @@ func TestObservedLearnsDistributions(t *testing.T) {
 	if r.Epoch("skew") != 1 {
 		t.Fatalf("epoch = %d, want 1", r.Epoch("skew"))
 	}
-	d := ob.Signature().Stats.Distribution(0)
+	d := ob.Signature().Statistics().Distribution(0)
 	if d.Empty() {
 		t.Fatal("refresh must publish the observed value distribution")
 	}

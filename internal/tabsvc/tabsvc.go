@@ -157,7 +157,7 @@ func (t *Table) invoke(ctx context.Context, patternIdx int, req Request) (servic
 	}
 
 	resp := service.Response{}
-	cs := t.sig.Stats.ChunkSize
+	cs := t.sig.Statistics().ChunkSize
 	if cs > 0 {
 		lo := req.Page * cs
 		hi := lo + cs
@@ -219,7 +219,11 @@ func (t *Table) ProfileValues(maxMCVs, maxBuckets int) int {
 			n++
 		}
 	}
-	t.sig.Stats.Dists = dists
+	// Publish through the copy-on-write snapshot: concurrent
+	// optimizations keep reading a consistent statistics view.
+	st := t.sig.Statistics()
+	st.Dists = dists
+	t.sig.SetStats(st)
 	return n
 }
 

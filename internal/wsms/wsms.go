@@ -143,7 +143,7 @@ func GreedyChain(q *cq.Query, asn abind.Assignment, est card.Config) (*plan.Plan
 		}
 		bestIdx, bestE := -1, 0.0
 		for _, i := range callable {
-			e := q.Atoms[i].Sig.Stats.ERSPI
+			e := q.Atoms[i].Sig.Statistics().ERSPI
 			vars := q.Atoms[i].Vars()
 			for _, p := range q.Preds {
 				if vars.ContainsAll(p.Vars()) {

@@ -44,6 +44,7 @@ import (
 	"mdq/internal/card"
 	"mdq/internal/cost"
 	"mdq/internal/cq"
+	"mdq/internal/dist"
 	"mdq/internal/exec"
 	"mdq/internal/fetch"
 	"mdq/internal/httpwrap"
@@ -196,6 +197,11 @@ type System struct {
 	// (every value equally likely). Useful for A/B-ing the effect of
 	// histograms; cache keys distinguish the two modes.
 	UniformSelectivity bool
+	// Workers, when non-empty, are the remote optimization workers
+	// DistributedOptimize shards the search across (see NewDistWorker,
+	// DistLocalTransport and DistHTTPTransport). Statistics-epoch
+	// bumps reach their plan caches through StartGossip.
+	Workers []DistTransport
 }
 
 // NewSystem creates an empty system with the paper's default
@@ -412,7 +418,7 @@ func (s *System) ServiceStats(name string) (Stats, bool) {
 	if !ok {
 		return Stats{}, false
 	}
-	return svc.Signature().Stats, true
+	return svc.Signature().Statistics(), true
 }
 
 // ProfileValues computes exact per-attribute value distributions for
@@ -453,7 +459,7 @@ func (s *System) ServiceDistributions(name string) ([]*Distribution, bool) {
 	if !ok {
 		return nil, false
 	}
-	return svc.Signature().Stats.Dists, true
+	return svc.Signature().Statistics().Dists, true
 }
 
 // EstimateUniformCost is EstimateCost with the value-sensitive
@@ -595,6 +601,112 @@ func (s *System) ExpandQuery(q *Query, maxExtra int) (*Query, int, error) {
 		return nil, 0, err
 	}
 	return opt.Expand(q, sch, maxExtra)
+}
+
+// Distributed optimization surface: a coordinator (this system)
+// shards the branch-and-bound across workers, shares the incumbent
+// bound over the wire, and gossips statistics epochs to remote plan
+// caches. See internal/dist for the protocol.
+type (
+	// DistWorker executes shard searches against a local registry and
+	// plan cache — the server side of distributed optimization.
+	DistWorker = dist.Worker
+	// DistCoordinator fans searches out over workers and merges the
+	// per-shard winners deterministically.
+	DistCoordinator = dist.Coordinator
+	// DistTransport is a coordinator's handle on one worker.
+	DistTransport = dist.Transport
+	// DistLocalTransport wires an in-process worker (tests, single
+	// binary deployments).
+	DistLocalTransport = dist.LocalTransport
+	// DistHTTPTransport speaks the worker protocol to a remote
+	// mdqworker over HTTP.
+	DistHTTPTransport = dist.HTTPTransport
+	// EpochBump is one gossiped (service, epoch) invalidation.
+	EpochBump = service.EpochBump
+	// PlanCacheWireEntry is a serialized template cache entry — the
+	// unit of cache persistence (PlanCache.Save/Load) and worker
+	// warmup.
+	PlanCacheWireEntry = opt.TemplateWireEntry
+)
+
+// NewDistWorker builds an in-process optimization worker over this
+// system's registry with a fresh plan cache of the given capacity
+// (<= 0 means 128) — combine with DistLocalTransport to form an
+// in-process cluster, e.g. for tests or to isolate cache pressure per
+// shard inside one binary.
+func (s *System) NewDistWorker(cacheCapacity int) *DistWorker {
+	return dist.NewWorker(s.registry, opt.NewPlanCache(cacheCapacity))
+}
+
+// Coordinator assembles a distributed-optimization coordinator over
+// System.Workers with this system's current settings. Most callers
+// use DistributedOptimize directly; the coordinator is exposed for
+// template-level distributed serving, warmup and gossip control.
+func (s *System) Coordinator() *DistCoordinator {
+	return &dist.Coordinator{
+		Registry:        s.registry,
+		Workers:         s.Workers,
+		Metric:          s.Metric,
+		Mode:            s.Cache,
+		K:               s.K,
+		RevalidateRatio: s.RevalidateRatio,
+	}
+}
+
+// DistributedOptimize shards the three-phase search across
+// System.Workers — each worker searches one congruence-class slice of
+// the assignment space against its own registry and plan cache, with
+// the incumbent bound min-merged between them while they run — and
+// merges the winners deterministically: the returned plan is
+// identical to Optimize's, provided the workers' service statistics
+// agree with this system's. The query must be resolved (Parse does
+// that).
+func (s *System) DistributedOptimize(ctx context.Context, q *Query) (*OptimizeResult, error) {
+	if len(s.Workers) == 0 {
+		return nil, fmt.Errorf("mdq: no distributed workers attached (set System.Workers)")
+	}
+	return s.Coordinator().Optimize(ctx, q)
+}
+
+// DistributedOptimizeBound binds a template and optimizes it through
+// the workers' template-level plan caches: repeated bindings serve
+// re-costed skeletons from the remote caches instead of searching
+// (the distributed analogue of OptimizeBound).
+func (s *System) DistributedOptimizeBound(ctx context.Context, tpl *Template, values map[string]Value) (*Query, *OptimizeResult, error) {
+	if len(s.Workers) == 0 {
+		return nil, nil, fmt.Errorf("mdq: no distributed workers attached (set System.Workers)")
+	}
+	q, err := tpl.Bind(values)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.ResolveQuery(q); err != nil {
+		return nil, nil, err
+	}
+	res, err := s.Coordinator().OptimizeTemplate(ctx, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, res, nil
+}
+
+// StartGossip forwards this registry's statistics-epoch bumps to
+// every attached worker's plan cache until the returned stop function
+// is called — cross-process cache invalidation riding the same epoch
+// wire format local caches subscribe to.
+func (s *System) StartGossip() (stop func()) {
+	return s.Coordinator().GossipLoop(nil)
+}
+
+// WarmWorkers ships this system's plan-cache template entries to
+// every attached worker, so remote caches start warm; it returns how
+// many entries the workers accepted.
+func (s *System) WarmWorkers(ctx context.Context) (int, error) {
+	if s.PlanCache == nil {
+		return 0, nil
+	}
+	return s.Coordinator().WarmWorkers(ctx, s.PlanCache)
 }
 
 // ChainTopology builds a serial topology over atom indexes.
