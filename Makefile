@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_TOLERANCE ?= 2.5
 
-.PHONY: build vet fmt test race bench benchgate bench-baseline docscheck dist-smoke ci
+.PHONY: build vet fmt test race bench benchgate bench-baseline docscheck dist-smoke e2e-smoke ci
 
 build:
 	$(GO) build ./...
@@ -28,12 +28,12 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Documentation gate: markdown links in the top-level docs must
-# resolve, and every exported identifier in the optimizer, estimator
-# and distribution packages must carry a doc comment.
+# resolve, and every exported identifier in the optimizer, estimator,
+# distribution and execution packages must carry a doc comment.
 docscheck:
 	$(GO) run ./cmd/docscheck \
 		-md README.md,ARCHITECTURE.md,ROADMAP.md \
-		-pkg ./internal/opt,./internal/card,./internal/dist
+		-pkg ./internal/opt,./internal/card,./internal/dist,./internal/exec
 
 # Distributed-optimization smoke: the coordinator/worker protocol
 # under the race detector — two-plus-worker LocalTransport clusters
@@ -41,6 +41,15 @@ docscheck:
 # the HTTP transport over loopback.
 dist-smoke:
 	$(GO) test -race -count=1 ./internal/dist
+
+# End-to-end smoke: build the real binaries, start a coordinator and
+# two mdqworker processes over loopback HTTP, answer a query through
+# sharded optimization + fragment execution, and assert the answer
+# matches single-process mdqrun output (plus the reverse gossip path
+# reporting worker feedback upstream). Runs fine on a single-CPU dev
+# box; the gate is correctness, not wall-clock.
+e2e-smoke:
+	$(GO) test -tags e2e -count=1 -v ./e2e
 
 # Gate BenchmarkOptimize* against the committed baseline: fails when
 # any benchmark runs slower than baseline × BENCH_TOLERANCE.
@@ -54,4 +63,4 @@ bench-baseline:
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -update \
 			-note "refreshed via make bench-baseline on $$(uname -m), $$(date +%F)"
 
-ci: build vet fmt docscheck race dist-smoke bench benchgate
+ci: build vet fmt docscheck race dist-smoke e2e-smoke bench benchgate

@@ -19,13 +19,22 @@
 // latency (Table 1 of the paper: a flight call simulates 9.7 s, so
 // -scale 0.001 makes it 9.7 ms).
 //
-// With -workers the server becomes a distributed-optimization
-// coordinator: POST /optimize and POST /query shard the
-// branch-and-bound across the listed mdqworker processes (incumbent
-// bound shared mid-search, deterministic merge), statistics-epoch
-// bumps from execution feedback are gossiped to the workers' plan
-// caches, and the local template cache warms the workers at startup.
-// Workers must serve the same world.
+// With -workers the server becomes a distributed coordinator: POST
+// /optimize and POST /query shard the branch-and-bound across the
+// listed mdqworker processes (incumbent bound shared mid-search,
+// deterministic merge), and /query executions run through the fleet
+// too — the winning plan is cut into fragments executed on the
+// workers hosting their services (tuples stream back, joins happen
+// here). Statistics-epoch bumps are gossiped to the workers' plan
+// caches in both directions: local refreshes fan out through the
+// gossip loop, and worker-side feedback refreshes return piggybacked
+// on fragment results before being re-broadcast. The local template
+// cache warms the workers at startup. Workers must serve the same
+// world, with -execute enabled (the default). Note that in
+// coordinator mode execution traffic flows through the workers'
+// services, so this server's -feedback* flags gate only
+// single-process execution; profile learning happens under each
+// worker's own -feedback policy.
 //
 // With -cache-file the template-level plan cache is loaded at startup
 // (stale entries revalidate on first use) and saved on SIGINT or
@@ -122,7 +131,7 @@ func main() {
 		} else {
 			fmt.Printf("warmed %d template entries from %s\n", n, *cacheFile)
 		}
-		saveCacheOnShutdown(pc, *cacheFile)
+		saveCacheOnShutdown(pc, reg, *cacheFile)
 	}
 	srv := &optimizeServer{
 		reg:        reg,
@@ -140,8 +149,9 @@ func main() {
 			}
 		}
 		if len(srv.workers) > 0 {
-			// Execution feedback bumps epochs locally; the gossip loop
-			// forwards them so worker caches revalidate too.
+			// Epoch bumps — local ones and those absorbed back from
+			// executing workers — fan out through the gossip loop so
+			// every worker cache revalidates.
 			gossip := &dist.Coordinator{Registry: reg, Workers: srv.workers}
 			stop := gossip.GossipLoop(func(err error) { log.Printf("gossip: %v", err) })
 			defer stop()
@@ -151,6 +161,19 @@ func main() {
 				} else if n > 0 {
 					fmt.Printf("warmed workers with %d template entries\n", n)
 				}
+			}
+			// The fleet is fixed for this server's lifetime: discover
+			// each worker's hosted services once so per-request
+			// coordinators don't re-ask on every execution. A worker
+			// that is not up yet just means per-execution fallback.
+			if hosts, err := gossip.DiscoverHosts(context.Background()); err != nil {
+				log.Printf("discovering worker hosting (will retry per execution): %v", err)
+			} else {
+				srv.hosts = hosts
+			}
+			if srv.feedback != nil {
+				fmt.Printf("coordinator mode: execution traffic flows through the workers — " +
+					"profile feedback runs under each worker's -feedback policy and returns via reverse gossip\n")
 			}
 		}
 	}
@@ -168,12 +191,19 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
-// saveCacheOnShutdown persists the cache on SIGINT/SIGTERM.
-func saveCacheOnShutdown(pc *opt.PlanCache, path string) {
+// saveCacheOnShutdown persists the cache on SIGINT/SIGTERM. Pending
+// feedback observations are flushed into the service profiles first,
+// so persisted entries record fingerprints consistent with what the
+// server actually learned (stale entries then revalidate on reload
+// instead of serving against superseded statistics).
+func saveCacheOnShutdown(pc *opt.PlanCache, reg *service.Registry, path string) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-ch
+		if n := reg.RefreshObserved(); n > 0 {
+			fmt.Printf("flushed pending feedback into %d profile(s)\n", n)
+		}
 		if err := pc.SaveFile(path); err != nil {
 			log.Printf("saving cache file: %v", err)
 			os.Exit(1)
@@ -195,8 +225,18 @@ type optimizeServer struct {
 	feedback   *service.FeedbackPolicy
 	// workers, when non-empty, switch /optimize and /query into
 	// coordinator mode: searches shard across these transports
-	// instead of running in-process.
+	// instead of running in-process, and /query executions run as
+	// worker-side fragments. In that mode the *workers'* feedback
+	// policies observe the traffic (it flows through their services,
+	// not ours); this server's feedback policy applies only to
+	// single-process execution.
 	workers []dist.Transport
+	// hosts caches the fleet's service hosting (discovered once at
+	// startup — the fleet is fixed for the server's lifetime), so
+	// per-request coordinators skip one /dist/info round-trip per
+	// worker per execution. nil falls back to per-execution
+	// discovery, e.g. when a worker was unreachable at startup.
+	hosts []map[string]bool
 }
 
 // coordinator assembles a per-request distributed coordinator.
@@ -208,6 +248,7 @@ func (s *optimizeServer) coordinator(m cost.Metric, mode card.CacheMode, k int) 
 		Mode:            mode,
 		K:               k,
 		RevalidateRatio: s.revalRatio,
+		Hosts:           s.hosts,
 	}
 }
 
@@ -433,8 +474,18 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 		Stats:       res.Stats,
 	}}
 	if req.Execute == nil || *req.Execute {
-		runner := &exec.Runner{Registry: s.reg, Cache: mode, K: k, Feedback: s.feedback}
-		out, err := runner.Run(r.Context(), res.Best)
+		var out *exec.Result
+		if len(s.workers) > 0 {
+			// Coordinator mode executes through the fleet: the plan is
+			// cut into fragments that run on the workers hosting their
+			// services, tuples stream back, and the joins happen here.
+			// Worker-side feedback bumps return via the reverse gossip
+			// path and are re-broadcast by the gossip loop.
+			out, err = s.coordinator(m, mode, k).ExecutePlan(r.Context(), res.Best)
+		} else {
+			runner := &exec.Runner{Registry: s.reg, Cache: mode, K: k, Feedback: s.feedback}
+			out, err = runner.Run(r.Context(), res.Best)
+		}
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "executing: %v", err)
 			return

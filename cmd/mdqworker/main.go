@@ -1,31 +1,45 @@
-// Command mdqworker runs one distributed-optimization worker: a
-// simulated deep-web world served over HTTP (like mdqserve) plus the
-// internal/dist worker protocol, so an mdqserve coordinator
-// (-workers) can shard branch-and-bound searches across a fleet of
-// these processes, share the incumbent bound mid-search, gossip
-// statistics-epoch bumps into the local plan cache, and warm it with
-// serialized template skeletons.
+// Command mdqworker runs one distributed worker: a simulated deep-web
+// world served over HTTP (like mdqserve) plus the internal/dist
+// worker protocol, so an mdqserve coordinator (-workers) can shard
+// branch-and-bound searches across a fleet of these processes, share
+// the incumbent bound mid-search, gossip statistics-epoch bumps into
+// the local plan cache, warm it with serialized template skeletons —
+// and, with -execute (the default), run plan *fragments* near this
+// worker's services, streaming the produced tuples back to the
+// coordinator.
 //
 // Usage:
 //
 //	mdqworker [-addr :8090] [-world travel|bio|mashup|zipf]
 //	          [-parallel 1] [-plancache 128] [-cachettl 0] [-cachebytes 0]
 //	          [-cache-file worker-cache.json] [-scale 0]
+//	          [-execute] [-feedback] [-feedback-min-calls 4]
+//	          [-feedback-min-drift 0.1]
 //
 // Endpoints:
 //
 //	POST /dist/search     one shard search (query text + shard + bound)
 //	POST /dist/sync       incumbent bound exchange for a running search
 //	POST /dist/gossip     statistics-epoch bumps → plan cache invalidation
+//	POST /dist/execute    one plan fragment → streamed tuple batches (ndjson)
 //	GET  /dist/templates  export serialized template cache entries
 //	POST /dist/templates  import serialized template cache entries
 //	GET  /dist/info       services, epochs, cache counters
 //	GET  /services, /services/<name>/…   the world's services (httpwrap)
 //
+// With -execute, fragment executions run under this worker's own
+// feedback policy (-feedback*): traffic that flowed through the local
+// services refreshes their profiles and bumps worker-local statistics
+// epochs, which fragment results piggyback back to the coordinator —
+// the reverse gossip path that converges every template cache in the
+// fleet.
+//
 // With -cache-file the template cache is loaded at startup (entries
 // whose distribution fingerprints disagree with the local statistics
 // enter stale and revalidate on first use) and saved on SIGINT or
-// SIGTERM, so skeletons survive restarts.
+// SIGTERM; pending feedback observations are flushed into the
+// profiles first, so persisted entries carry the statistics they were
+// priced under.
 package main
 
 import (
@@ -54,6 +68,10 @@ func main() {
 		cacheTTL   = flag.Duration("cachettl", 0, "plan cache entry TTL (0 = no expiry)")
 		cacheBytes = flag.Int64("cachebytes", 0, "approximate plan cache byte budget (0 = unlimited)")
 		cacheFile  = flag.String("cache-file", "", "load the template cache from this file at start and save it on SIGINT/SIGTERM")
+		execute    = flag.Bool("execute", true, "serve fragment execution (POST /dist/execute)")
+		feedback   = flag.Bool("feedback", true, "fold fragment-execution traffic back into local service profiles")
+		minCalls   = flag.Int64("feedback-min-calls", 4, "observed calls required before a profile refresh")
+		minDrift   = flag.Float64("feedback-min-drift", 0.1, "relative statistics drift required before a refresh")
 	)
 	flag.Parse()
 
@@ -66,6 +84,10 @@ func main() {
 	pc := opt.NewPlanCacheWith(opt.Policy{Capacity: *planCache, TTL: *cacheTTL, MaxBytes: *cacheBytes})
 	worker := dist.NewWorker(reg, pc)
 	worker.Parallelism = *parallel
+	worker.ExecuteDisabled = !*execute
+	if *feedback {
+		worker.Feedback = &service.FeedbackPolicy{MinCalls: *minCalls, MinDrift: *minDrift}
+	}
 
 	if *cacheFile != "" {
 		if n, err := pc.LoadFile(*cacheFile, reg); err != nil {
@@ -75,13 +97,13 @@ func main() {
 		} else {
 			fmt.Printf("warmed %d template entries from %s\n", n, *cacheFile)
 		}
-		saveOnShutdown(pc, *cacheFile)
+		saveOnShutdown(pc, reg, *cacheFile)
 	}
 
 	mux, names := httpwrap.ServeRegistry(reg, httpwrap.HandlerOptions{SleepScale: *scale})
 	mux.Handle("/dist/", worker.Handler())
-	fmt.Printf("mdqworker: %s world (%v) on %s\n", *worldName, names, *addr)
-	fmt.Printf("endpoints: POST /dist/search, /dist/sync, /dist/gossip; GET|POST /dist/templates; GET /dist/info\n")
+	fmt.Printf("mdqworker: %s world (%v) on %s (execute=%v)\n", *worldName, names, *addr, *execute)
+	fmt.Printf("endpoints: POST /dist/search, /dist/sync, /dist/gossip, /dist/execute; GET|POST /dist/templates; GET /dist/info\n")
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
@@ -102,12 +124,19 @@ func worldRegistry(name string) (*service.Registry, error) {
 }
 
 // saveOnShutdown installs a SIGINT/SIGTERM handler persisting the
-// cache before exit.
-func saveOnShutdown(pc *opt.PlanCache, path string) {
+// cache before exit. Pending feedback observations are flushed into
+// the service profiles first — without the flush, entries would be
+// persisted with epoch vectors and fingerprints from statistics the
+// Observed wrappers had already superseded, so a restart would serve
+// them as fresh against a profile they were never priced under.
+func saveOnShutdown(pc *opt.PlanCache, reg *service.Registry, path string) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-ch
+		if n := reg.RefreshObserved(); n > 0 {
+			fmt.Printf("flushed pending feedback into %d profile(s)\n", n)
+		}
 		if err := pc.SaveFile(path); err != nil {
 			log.Printf("saving cache file: %v", err)
 			os.Exit(1)

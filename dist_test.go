@@ -75,3 +75,52 @@ func TestDistributedOptimizeFacade(t *testing.T) {
 		t.Fatal("DistributedOptimize without workers did not error")
 	}
 }
+
+// TestDistributedAnswerFacade: the end-to-end public pipeline —
+// distributed optimization plus fragment execution returns the exact
+// rows a local Answer produces.
+func TestDistributedAnswerFacade(t *testing.T) {
+	s := demoSystem(t)
+	s.K = 5
+	_, wantOpt, err := s.Answer(context.Background(), demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-execute locally on a fresh system so observed state matches.
+	s2 := demoSystem(t)
+	s2.K = 5
+	want, _, err := s2.Answer(context.Background(), demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fleet := demoSystem(t)
+	fleet.K = 5
+	for i := 0; i < 2; i++ {
+		w := fleet.NewDistWorker(16)
+		w.Parallelism = 1
+		fleet.Workers = append(fleet.Workers, mdq.DistLocalTransport{Worker: w})
+	}
+	res, ores, err := fleet.DistributedAnswer(context.Background(), demoQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ores.Cost != wantOpt.Cost {
+		t.Fatalf("distributed answer optimized at %g, local at %g", ores.Cost, wantOpt.Cost)
+	}
+	if len(res.Rows) != len(want.Rows) {
+		t.Fatalf("distributed answer has %d rows, local %d", len(res.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if !res.Rows[i][j].Equal(want.Rows[i][j]) {
+				t.Fatalf("row %d col %d: distributed %s, local %s", i, j, res.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+
+	bare := demoSystem(t)
+	if _, err := bare.DistributedExecute(context.Background(), ores.Best); err == nil {
+		t.Fatal("DistributedExecute without workers did not error")
+	}
+}

@@ -1,0 +1,9 @@
+// Package e2e holds the multi-process end-to-end smoke test of the
+// distributed plane: it builds the real mdqserve, mdqworker and
+// mdqrun binaries, starts a coordinator plus two workers over
+// loopback HTTP, answers a query through sharded optimization and
+// worker-side fragment execution, and asserts the answer matches the
+// single-process mdqrun output. The test is build-tag gated (-tags
+// e2e) because it spawns processes and binds ports; run it with
+// `make e2e-smoke`.
+package e2e

@@ -1,0 +1,260 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// e2eQuery is the three-atom travel query the dist differentials use:
+// chunked services, both join kinds, a cross-atom predicate — small
+// enough for the single-CPU CI runner, rich enough to produce several
+// fragments.
+const e2eQuery = `
+q(Conf, City, Hotel, HPrice, FPrice) :-
+    flight('Milano', City, Start, End, StartTime, EndTime, FPrice),
+    hotel(Hotel, City, 'luxury', Start, End, HPrice),
+    conf('DB', Conf, Start, End, City),
+    FPrice + HPrice < 2000 {0.01}.`
+
+// e2eTemplate is the same query with the hotel category as a bound
+// template parameter, so the fleet path exercises the template-level
+// plan cache like a real serving workload.
+const e2eTemplate = `
+q(Conf, City, Hotel, HPrice, FPrice) :-
+    flight('Milano', City, Start, End, StartTime, EndTime, FPrice),
+    hotel(Hotel, City, $cat, Start, End, HPrice),
+    conf('DB', Conf, Start, End, City),
+    FPrice + HPrice < 2000 {0.01}.`
+
+const answersK = 5
+
+// buildBinaries compiles the three CLIs into dir.
+func buildBinaries(t *testing.T, dir string) (serve, worker, run string) {
+	t.Helper()
+	root, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve = filepath.Join(dir, "mdqserve")
+	worker = filepath.Join(dir, "mdqworker")
+	run = filepath.Join(dir, "mdqrun")
+	for bin, pkg := range map[string]string{
+		serve:  "./cmd/mdqserve",
+		worker: "./cmd/mdqworker",
+		run:    "./cmd/mdqrun",
+	} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return serve, worker, run
+}
+
+// freePorts reserves n distinct loopback ports.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	listeners := make([]net.Listener, n)
+	for i := range ports {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		ports[i] = l.Addr().(*net.TCPAddr).Port
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+	return ports
+}
+
+// startProc launches a binary and kills it at test end, capturing its
+// combined output for failure diagnostics.
+func startProc(t *testing.T, bin string, args ...string) *bytes.Buffer {
+	t.Helper()
+	var out bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		if t.Failed() {
+			t.Logf("--- %s output ---\n%s", filepath.Base(bin), out.String())
+		}
+	})
+	return &out
+}
+
+// waitReady polls a URL until it answers 200.
+func waitReady(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s not ready within 20s (last error: %v)", url, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// getJSON decodes a GET response body.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mdqrunRows runs the single-process reference and parses the printed
+// answer rows.
+func mdqrunRows(t *testing.T, bin string) []string {
+	t.Helper()
+	cmd := exec.Command(bin, "-world", "travel", "-query", e2eQuery,
+		"-k", fmt.Sprint(answersK), "-parallel", "1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mdqrun: %v\n%s", err, out)
+	}
+	lines := strings.Split(string(out), "\n")
+	var rows []string
+	inTable := false
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "Conf | "):
+			inTable = true // header
+		case inTable && strings.Contains(line, " | "):
+			rows = append(rows, line)
+		case inTable:
+			return rows
+		}
+	}
+	t.Fatalf("mdqrun output had no answer table:\n%s", out)
+	return nil
+}
+
+// TestMultiProcessFragmentExecution is the e2e gate: a real
+// coordinator plus two real workers over loopback HTTP answer a query
+// through sharded optimization and fragment execution, the answer
+// matches single-process mdqrun, and the reverse gossip path reports
+// worker-side feedback upstream.
+func TestMultiProcessFragmentExecution(t *testing.T) {
+	dir := t.TempDir()
+	serveBin, workerBin, runBin := buildBinaries(t, dir)
+	ports := freePorts(t, 3)
+	serveAddr := fmt.Sprintf("127.0.0.1:%d", ports[0])
+	w1 := fmt.Sprintf("127.0.0.1:%d", ports[1])
+	w2 := fmt.Sprintf("127.0.0.1:%d", ports[2])
+
+	// Two workers with an eager feedback policy, so fragment
+	// execution demonstrably refreshes worker-local profiles.
+	for _, addr := range []string{w1, w2} {
+		startProc(t, workerBin, "-addr", addr, "-world", "travel", "-parallel", "1",
+			"-feedback-min-calls", "1", "-feedback-min-drift", "0")
+		waitReady(t, "http://"+addr+"/dist/info")
+	}
+	startProc(t, serveBin, "-addr", serveAddr, "-world", "travel", "-parallel", "1",
+		"-workers", "http://"+w1+",http://"+w2)
+	waitReady(t, "http://"+serveAddr+"/stats")
+
+	// Answer the query end to end through the fleet.
+	reqBody, _ := json.Marshal(map[string]any{
+		"template": e2eTemplate,
+		"bindings": map[string]any{"cat": "luxury"},
+		"k":        answersK,
+	})
+	resp, err := http.Post("http://"+serveAddr+"/query", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr struct {
+		Plan  string           `json:"plan"`
+		Error string           `json:"error"`
+		Rows  [][]string       `json:"rows"`
+		Calls map[string]int64 `json:"calls"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query: %s (%s)", resp.Status, qr.Error)
+	}
+	if len(qr.Rows) == 0 {
+		t.Fatalf("fleet returned no rows (plan %s)", qr.Plan)
+	}
+	if len(qr.Calls) == 0 {
+		t.Fatal("fleet returned no worker-side call accounting")
+	}
+
+	// The answer matches the single-process reference byte for byte.
+	want := mdqrunRows(t, runBin)
+	var got []string
+	for _, row := range qr.Rows {
+		got = append(got, strings.Join(row, " | "))
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("fleet answer diverges from mdqrun:\n fleet:\n%s\n mdqrun:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+
+	// Fragment execution ran on the workers: their eager feedback
+	// refreshed local profiles, visible as worker-local epochs…
+	workerEpochs := 0
+	for _, addr := range []string{w1, w2} {
+		var info struct {
+			Epochs map[string]uint64 `json:"epochs"`
+		}
+		getJSON(t, "http://"+addr+"/dist/info", &info)
+		workerEpochs += len(info.Epochs)
+	}
+	if workerEpochs == 0 {
+		t.Fatal("no worker-local profile refresh after fragment execution")
+	}
+	// …and the reverse gossip path reported them to the coordinator,
+	// whose own epochs advanced.
+	var stats map[string]struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	getJSON(t, "http://"+serveAddr+"/stats", &stats)
+	coordEpochs := 0
+	for _, s := range stats {
+		if s.Epoch > 0 {
+			coordEpochs++
+		}
+	}
+	if coordEpochs == 0 {
+		t.Fatal("reverse gossip did not advance any coordinator epoch")
+	}
+}

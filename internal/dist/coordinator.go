@@ -11,14 +11,12 @@ import (
 	"sync/atomic"
 	"time"
 
-	"mdq/internal/abind"
 	"mdq/internal/card"
 	"mdq/internal/cost"
 	"mdq/internal/cq"
 	"mdq/internal/fetch"
 	"mdq/internal/opt"
 	"mdq/internal/plan"
-	"mdq/internal/schema"
 	"mdq/internal/service"
 )
 
@@ -57,6 +55,13 @@ type Coordinator struct {
 	// SyncInterval is the bound-sync period (0 means
 	// DefaultSyncInterval).
 	SyncInterval time.Duration
+	// Hosts, when non-nil, is the per-worker service hosting
+	// ExecutePlan partitions fragments by, index-aligned with
+	// Workers. Leave nil to discover it via Transport.Services on
+	// every execution; long-lived deployments with a fixed fleet
+	// should DiscoverHosts once and reuse the result, saving one
+	// round-trip per worker per execution.
+	Hosts []map[string]bool
 }
 
 // searchSeq and processToken make search IDs globally unique: workers
@@ -274,29 +279,11 @@ func (c *Coordinator) merge(q *cq.Query, results []*SearchResult) (*opt.Result, 
 // coordinator's registry (the signature cross-check happens in merge,
 // after fetch factors are assigned).
 func (c *Coordinator) rebuild(q *cq.Query, r *SearchResult) (*plan.Plan, error) {
-	if len(r.Assignment) != len(q.Atoms) || r.Topology == nil {
-		return nil, fmt.Errorf("dist: winner skeleton has %d patterns for %d atoms", len(r.Assignment), len(q.Atoms))
-	}
-	asn := make(abind.Assignment, len(r.Assignment))
-	for i, s := range r.Assignment {
-		p, err := schema.ParsePattern(s)
-		if err != nil {
-			return nil, fmt.Errorf("dist: winner assignment: %w", err)
-		}
-		asn[i] = p
-	}
 	var chooser plan.MethodChooser
 	if c.Registry != nil {
 		chooser = c.Registry.MethodChooser()
 	}
-	p, err := plan.Build(q, asn, r.Topology, plan.Options{ChooseMethod: chooser})
-	if err != nil {
-		return nil, fmt.Errorf("dist: rebuilding winner: %w", err)
-	}
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("dist: rebuilt winner invalid: %w", err)
-	}
-	return p, nil
+	return buildSkeleton(q, r.Assignment, r.Topology, chooser)
 }
 
 // Gossip synchronously delivers epoch bumps to every worker,

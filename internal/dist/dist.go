@@ -1,10 +1,15 @@
-// Package dist distributes the three-phase branch-and-bound across
-// processes: a Coordinator shards the phase-1 assignment space over
-// remote Workers, shares the incumbent bound between them while they
-// search (periodic bound-sync with monotone min-merge), merges the
-// per-shard winners deterministically, and gossips statistics-epoch
-// bumps so remote plan caches invalidate and revalidate exactly like
-// local ones.
+// Package dist distributes the three-phase branch-and-bound and the
+// execution of its winning plans across processes: a Coordinator
+// shards the phase-1 assignment space over remote Workers, shares the
+// incumbent bound between them while they search (periodic bound-sync
+// with monotone min-merge), merges the per-shard winners
+// deterministically, gossips statistics-epoch bumps so remote plan
+// caches invalidate and revalidate exactly like local ones, and
+// executes winning plans as worker-side fragments — linear chains of
+// the plan DAG shipped to the workers hosting their services, tuples
+// streamed back, joins performed at the coordinator (see
+// PartitionPlan, Coordinator.ExecutePlan and the reverse gossip notes
+// on Worker.DrainBumps).
 //
 // The division of labor:
 //

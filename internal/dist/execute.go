@@ -1,0 +1,407 @@
+package dist
+
+// Fragment execution: the plane that runs a *winning* plan across the
+// fleet instead of on the coordinator. The coordinator partitions the
+// plan DAG into linear chains (see PartitionPlan), ships each chain —
+// as the familiar skeleton wire form plus the tuples flowing into it —
+// to a worker hosting the chain's services, and the worker runs it
+// with the stock executor, streaming the tail's tuples back in
+// batches. Cross-chain combination (parallel joins, head projection,
+// k-truncation) happens at the coordinator with the executor's own
+// join machinery, so the distributed result is byte-identical to a
+// coordinator-local run. Fragment results also piggyback the worker's
+// pending statistics-epoch bumps — the reverse gossip path: an
+// executing worker whose feedback refreshed a profile reports it
+// upstream, the coordinator re-bumps its own epochs, and a running
+// GossipLoop fans the invalidation out to the rest of the fleet.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"mdq/internal/abind"
+	"mdq/internal/card"
+	"mdq/internal/cq"
+	"mdq/internal/exec"
+	"mdq/internal/plan"
+	"mdq/internal/schema"
+	"mdq/internal/service"
+)
+
+// DefaultExecuteBatch is the tuple batch size of the fragment
+// streaming wire when ExecuteRequest.BatchSize is unset.
+const DefaultExecuteBatch = 64
+
+// ExecuteRequest ships one plan fragment for worker-side execution.
+// The full plan travels as its skeleton (query text, access-pattern
+// assignment, topology, per-atom fetch factors) so the worker can
+// rebuild it against its own registry; Atoms names the chain this
+// worker actually runs, and Seeds carries the tuples flowing into the
+// chain's head.
+type ExecuteRequest struct {
+	// Query is the resolved query as datalog text (cq.Query.String).
+	Query string `json:"query"`
+	// Assignment is the plan's access-pattern assignment, one pattern
+	// string per atom.
+	Assignment []string `json:"assignment"`
+	// Topology is the plan's partial order over atoms.
+	Topology *plan.Topology `json:"topology"`
+	// Fetches is the phase-3 fetch factor per atom (0 keeps the
+	// built default of 1).
+	Fetches []int `json:"fetches"`
+	// Atoms is the fragment chain, as atom indexes in execution order.
+	Atoms []int `json:"atoms"`
+	// CacheMode is the logical caching level name (card.ModeByName).
+	CacheMode string `json:"cache_mode"`
+	// Vars is the plan's variable layout in slot order — a cross-check
+	// that both sides derived the same VarIndex for the tuple wire.
+	Vars []string `json:"vars"`
+	// Seeds are the tuples flowing into the chain's head.
+	Seeds []WireTuple `json:"seeds"`
+	// BatchSize overrides the streaming batch size (0 means
+	// DefaultExecuteBatch).
+	BatchSize int `json:"batch_size,omitempty"`
+}
+
+// ExecuteResult is the final accounting frame of one fragment
+// execution.
+type ExecuteResult struct {
+	// Tuples counts the tuples streamed back (a cross-check against
+	// what the caller received).
+	Tuples int `json:"tuples"`
+	// Calls and Fetches are the worker-side per-service invocation
+	// counters for the fragment.
+	Calls   map[string]int64 `json:"calls,omitempty"`
+	Fetches map[string]int64 `json:"fetches,omitempty"`
+	// Bumps are the worker's pending local statistics-epoch bumps
+	// (Worker.DrainBumps), piggybacked for the reverse gossip path.
+	Bumps []service.EpochBump `json:"bumps,omitempty"`
+}
+
+// ExecuteFrame is one line of the streamed fragment-execution HTTP
+// response (newline-delimited JSON): zero or more Batch frames, then
+// exactly one Done frame — or an Error frame if execution failed
+// after streaming began.
+type ExecuteFrame struct {
+	// Batch is one batch of produced tuples.
+	Batch []WireTuple `json:"batch,omitempty"`
+	// Done carries the final accounting; its presence ends the stream.
+	Done *ExecuteResult `json:"done,omitempty"`
+	// Error aborts the stream with a worker-side failure.
+	Error string `json:"error,omitempty"`
+}
+
+// buildSkeleton rebuilds a plan from its wire skeleton (assignment
+// pattern strings + topology) for a resolved query, using the local
+// registry's join-method chooser. Both the coordinator's winner
+// rebuild and the worker's fragment rebuild go through it, which is
+// what keeps the two sides' plan DAGs — node IDs, join methods,
+// predicate placement — structurally identical.
+func buildSkeleton(q *cq.Query, assignment []string, topo *plan.Topology, chooser plan.MethodChooser) (*plan.Plan, error) {
+	if topo == nil || len(assignment) != len(q.Atoms) {
+		return nil, fmt.Errorf("dist: skeleton has %d patterns for %d atoms", len(assignment), len(q.Atoms))
+	}
+	asn := make(abind.Assignment, len(assignment))
+	for i, s := range assignment {
+		pat, err := schema.ParsePattern(s)
+		if err != nil {
+			return nil, fmt.Errorf("dist: skeleton assignment: %w", err)
+		}
+		asn[i] = pat
+	}
+	p, err := plan.Build(q, asn, topo, plan.Options{ChooseMethod: chooser})
+	if err != nil {
+		return nil, fmt.Errorf("dist: rebuilding skeleton: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("dist: rebuilt skeleton invalid: %w", err)
+	}
+	return p, nil
+}
+
+// ExecuteFragment rebuilds the shipped plan skeleton against the
+// worker's registry and runs the named fragment chain with the stock
+// executor (exec.Runner.RunFragment), streaming produced tuples to
+// sink in batches as the chain's tail emits them. The final result
+// carries the worker-side call accounting and the worker's pending
+// statistics-epoch bumps: with a Feedback policy set, the fragment's
+// traffic has just been folded into the local profiles, and the bumps
+// report that upstream (reverse gossip). A nil sink discards tuples
+// (counting only).
+func (w *Worker) ExecuteFragment(ctx context.Context, req ExecuteRequest, sink func(batch []WireTuple) error) (*ExecuteResult, error) {
+	if w.ExecuteDisabled {
+		return nil, errors.New("dist: fragment execution is disabled on this worker")
+	}
+	mode, ok := card.ModeByName(req.CacheMode)
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown cache mode %q", req.CacheMode)
+	}
+	q, err := cq.Parse(req.Query)
+	if err != nil {
+		return nil, fmt.Errorf("dist: parsing shipped query: %w", err)
+	}
+	sch, err := w.reg.Schema()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Resolve(sch); err != nil {
+		return nil, fmt.Errorf("dist: resolving shipped query: %w", err)
+	}
+	p, err := buildSkeleton(q, req.Assignment, req.Topology, w.reg.MethodChooser())
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Fetches) != len(p.ServiceNode) {
+		return nil, fmt.Errorf("dist: fragment has %d fetch factors for %d atoms", len(req.Fetches), len(p.ServiceNode))
+	}
+	for i, n := range p.ServiceNode {
+		if f := req.Fetches[i]; f > 0 {
+			n.Fetches = f
+		}
+	}
+	ix := exec.NewVarIndex(p)
+	if len(req.Vars) != ix.Len() {
+		return nil, fmt.Errorf("dist: fragment layout has %d vars, local plan has %d (registries disagree?)", len(req.Vars), ix.Len())
+	}
+	for i, v := range ix.Vars() {
+		if string(v) != req.Vars[i] {
+			return nil, fmt.Errorf("dist: fragment layout slot %d is %s, local plan has %s (registries disagree?)", i, req.Vars[i], v)
+		}
+	}
+	seeds := make([]exec.Tuple, len(req.Seeds))
+	for i, wt := range req.Seeds {
+		if seeds[i], err = decodeTuple(wt, ix.Len()); err != nil {
+			return nil, err
+		}
+	}
+
+	batchSize := req.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultExecuteBatch
+	}
+	var batch []WireTuple
+	count := 0
+	flush := func() error {
+		if len(batch) == 0 || sink == nil {
+			batch = nil
+			return nil
+		}
+		err := sink(batch)
+		batch = nil
+		return err
+	}
+	runner := &exec.Runner{Registry: w.reg, Cache: mode, Feedback: w.Feedback}
+	res, err := runner.RunFragment(ctx, p, req.Atoms, seeds, func(t exec.Tuple) error {
+		batch = append(batch, encodeTuple(t))
+		count++
+		if len(batch) >= batchSize {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return &ExecuteResult{
+		Tuples:  count,
+		Calls:   res.Stats.Calls,
+		Fetches: res.Stats.Fetches,
+		Bumps:   w.DrainBumps(),
+	}, nil
+}
+
+// DiscoverHosts queries every worker's service list (one
+// Transport.Services call each) and returns the hosting sets
+// ExecutePlan partitions fragments by, index-aligned with Workers.
+// Assign the result to Coordinator.Hosts to skip re-discovery on
+// subsequent executions — hosting is static for a fleet's lifetime in
+// the common deployment (mdqserve does exactly this at startup).
+func (c *Coordinator) DiscoverHosts(ctx context.Context) ([]map[string]bool, error) {
+	hosts := make([]map[string]bool, len(c.Workers))
+	for i, tr := range c.Workers {
+		names, err := tr.Services(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("dist: listing services of %s: %w", tr.Name(), err)
+		}
+		hosts[i] = make(map[string]bool, len(names))
+		for _, n := range names {
+			hosts[i][n] = true
+		}
+	}
+	return hosts, nil
+}
+
+// AbsorbBumps applies worker-originated statistics-epoch bumps to the
+// coordinator's registry: each reported service gets a local epoch
+// bump, which invalidates the coordinator's subscribed plan caches
+// and — through a running GossipLoop — fans the invalidation out to
+// every worker in the fleet. This is the coordinator half of the
+// reverse gossip path (worker → coordinator → fleet). The epoch
+// numbers a worker reports are meaningless across processes (every
+// registry counts its own refreshes), so only the service names
+// travel onward, renumbered by the coordinator's registry.
+func (c *Coordinator) AbsorbBumps(bumps []service.EpochBump) {
+	for _, b := range bumps {
+		c.Registry.BumpEpoch(b.Service)
+	}
+}
+
+// sharesRegistry reports whether a transport's worker runs over the
+// coordinator's own registry (in-process fleets built from one
+// System share it). Such a worker's epoch bumps are already local:
+// absorbing them again would re-bump the shared counters on every
+// execution, keeping every cache perpetually stale.
+func (c *Coordinator) sharesRegistry(tr Transport) bool {
+	switch t := tr.(type) {
+	case LocalTransport:
+		return t.Worker.Registry() == c.Registry
+	case *LocalTransport:
+		return t.Worker.Registry() == c.Registry
+	default:
+		return false
+	}
+}
+
+// ExecutePlan executes a winning plan across the fleet: the plan is
+// partitioned into linear fragments (PartitionPlan), each fragment
+// runs on a worker hosting its services with the tuples flowing into
+// it shipped along, and the coordinator combines the streamed-back
+// tail streams itself — parallel joins via the executor's JoinPairs,
+// head projection and k-truncation at the output. Because fragments
+// reproduce their nodes' in-plan tuple streams exactly and the
+// coordinator applies the identical join traversals, the result is
+// byte-identical to running the plan on the coordinator with
+// exec.Runner (differential-tested on the simweb worlds over both
+// transports).
+//
+// Worker-side fragment executions run under each worker's own
+// feedback policy; bumps they report are absorbed into this registry
+// (AbsorbBumps) unless the worker shares it.
+func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Result, error) {
+	if len(c.Workers) == 0 {
+		return nil, errors.New("dist: coordinator has no workers")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	hosts := c.Hosts
+	if hosts == nil {
+		var err error
+		if hosts, err = c.DiscoverHosts(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if len(hosts) != len(c.Workers) {
+		return nil, fmt.Errorf("dist: %d hosting sets for %d workers", len(hosts), len(c.Workers))
+	}
+	frags, err := PartitionPlan(p, hosts)
+	if err != nil {
+		return nil, err
+	}
+	headFrag := make(map[int]Fragment, len(frags))
+	for _, f := range frags {
+		headFrag[p.ServiceNode[f.Atoms[0]].ID] = f
+	}
+
+	ix := exec.NewVarIndex(p)
+	vars := make([]string, ix.Len())
+	for i, v := range ix.Vars() {
+		vars[i] = string(v)
+	}
+	asn := make([]string, len(p.Assignment))
+	for i, pat := range p.Assignment {
+		asn[i] = pat.String()
+	}
+	fetches := make([]int, len(p.ServiceNode))
+	for i, n := range p.ServiceNode {
+		fetches[i] = n.Fetches
+	}
+	base := ExecuteRequest{
+		Query:      p.Query.String(),
+		Assignment: asn,
+		Topology:   p.Topology,
+		Fetches:    fetches,
+		CacheMode:  c.Mode.String(),
+		Vars:       vars,
+	}
+
+	streams := map[int][]exec.Tuple{}
+	res := &exec.Result{
+		Head:  p.Query.Head,
+		Stats: exec.Stats{Calls: map[string]int64{}, Fetches: map[string]int64{}},
+	}
+	for _, n := range p.TopoNodes() {
+		switch n.Kind {
+		case plan.Input:
+			streams[n.ID] = []exec.Tuple{exec.NewTuple(ix)}
+		case plan.Service:
+			f, ok := headFrag[n.ID]
+			if !ok {
+				// Chain-interior node: its stream lives inside a
+				// fragment and has no other consumer.
+				continue
+			}
+			tr := c.Workers[f.Worker]
+			req := base
+			req.Atoms = f.Atoms
+			req.Seeds = encodeTuples(streams[n.In[0].ID])
+			var got []exec.Tuple
+			fres, err := tr.ExecuteFragment(ctx, req, func(batch []WireTuple) error {
+				for _, wt := range batch {
+					t, derr := decodeTuple(wt, ix.Len())
+					if derr != nil {
+						return derr
+					}
+					got = append(got, t)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("dist: fragment %v on %s: %w", f.Atoms, tr.Name(), err)
+			}
+			if fres.Tuples != len(got) {
+				return nil, fmt.Errorf("dist: fragment %v on %s reported %d tuples, streamed %d", f.Atoms, tr.Name(), fres.Tuples, len(got))
+			}
+			for name, v := range fres.Calls {
+				res.Stats.Calls[name] += v
+			}
+			for name, v := range fres.Fetches {
+				res.Stats.Fetches[name] += v
+			}
+			if len(fres.Bumps) > 0 && !c.sharesRegistry(tr) {
+				c.AbsorbBumps(fres.Bumps)
+			}
+			streams[p.ServiceNode[f.Atoms[len(f.Atoms)-1]].ID] = got
+		case plan.Join:
+			merged, jerr := exec.JoinPairs(n.Method, streams[n.In[0].ID], streams[n.In[1].ID], n.JoinPreds, ix)
+			if jerr != nil {
+				return nil, jerr
+			}
+			streams[n.ID] = merged
+		case plan.Output:
+			final := streams[n.In[0].ID]
+			if c.K > 0 && len(final) > c.K {
+				final = final[:c.K]
+			}
+			var rows [][]schema.Value
+			for _, t := range final {
+				row, perr := t.Project(ix, p.Query.Head)
+				if perr != nil {
+					return nil, perr
+				}
+				rows = append(rows, row)
+			}
+			res.Rows = rows
+			res.Tuples = final
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("dist: plan for query %s has no output node", p.Query.Name)
+}

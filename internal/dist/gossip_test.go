@@ -113,6 +113,83 @@ func TestEpochGossipInvalidation(t *testing.T) {
 	}
 }
 
+// TestReverseEpochGossip is the worker-originated round trip: an
+// executing worker's feedback refresh bumps its own epochs; the
+// fragment result piggybacks the bumps to the coordinator, which
+// re-bumps its registry (invalidating its local template cache) and —
+// through the running gossip loop — fans the invalidation out to the
+// sibling worker. Every template cache in the fleet converges.
+func TestReverseEpochGossip(t *testing.T) {
+	w := worlds[2] // zipf: catalog → review, one serial fragment on worker 0
+	co, workers := localCluster(t, w, 2)
+	q := resolve(t, w.text, mustSchema(t, co.Registry))
+	ctx := context.Background()
+
+	// Coordinator-side template cache, wired to its registry's epochs
+	// like any mdqserve cache.
+	pc := opt.NewPlanCache(16)
+	co.Registry.SubscribeEpochs(pc, pc.InvalidateService)
+	local := &opt.Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall},
+		K: 10, ChooseMethod: co.Registry.MethodChooser(), Cache: pc,
+		CacheSalt: co.Registry.CacheSalt(), Epochs: co.Registry}
+	res, err := local.OptimizeTemplate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm both workers so the sibling demonstrably holds an entry.
+	if n, werr := co.WarmWorkers(ctx, pc); werr != nil || n == 0 {
+		t.Fatalf("warmup shipped %d entries (%v)", n, werr)
+	}
+
+	staleTemplates := func(c *opt.PlanCache) int {
+		n := 0
+		for _, e := range c.Entries() {
+			if e.Kind == "template" && e.Stale {
+				n++
+			}
+		}
+		return n
+	}
+	if staleTemplates(pc) != 0 {
+		t.Fatal("coordinator cache stale before any refresh")
+	}
+
+	stop := co.GossipLoop(nil)
+	defer stop()
+
+	// Worker 0 executes under a zero-threshold feedback policy; its
+	// registered review profile is shifted first (no epoch bump, as a
+	// worker-side out-of-band sync would), so the observed traffic
+	// must contradict the profile and force a refresh.
+	workers[0].Registry().ObserveAll()
+	workers[0].Feedback = &service.FeedbackPolicy{}
+	driftReview(t, workers[0].Registry(), 2.0)
+	if _, err := co.ExecutePlan(ctx, res.Best); err != nil {
+		t.Fatal(err)
+	}
+
+	// The executing worker refreshed locally…
+	if len(workers[0].Registry().Epochs()) == 0 {
+		t.Fatal("execution feedback produced no worker-local epoch bump")
+	}
+	// …the coordinator absorbed the piggybacked bumps into its own
+	// epochs, invalidating its template cache…
+	if len(co.Registry.Epochs()) == 0 {
+		t.Fatal("coordinator absorbed no worker-originated bumps")
+	}
+	if staleTemplates(pc) == 0 {
+		t.Fatal("worker-originated bump did not invalidate the coordinator's template cache")
+	}
+	// …and the gossip loop fans the invalidation out to the sibling.
+	deadline := time.Now().Add(5 * time.Second)
+	for staleTemplates(workers[1].Cache()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sibling worker's template cache did not converge within 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // TestGossipLoop: the pushed path — a statistics epoch bump on the
 // coordinator's registry reaches worker caches asynchronously through
 // the epoch feed, with no explicit Gossip call.

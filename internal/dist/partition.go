@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"fmt"
+
+	"mdq/internal/plan"
+)
+
+// Fragment is one unit of distributed plan execution: a maximal
+// linear chain of service nodes (identified by their atom indexes in
+// topological order) together with the worker that executes it.
+//
+// The partitioning rule cuts the plan DAG exactly where its tuple
+// streams must be materialized anyway: at parallel joins (both
+// branches are buffered before the Cartesian traversal, so the
+// coordinator joining the two streamed-back branches reproduces the
+// in-plan join verbatim) and at nodes feeding several consumers
+// (every consumer needs the intermediate stream). What remains are
+// single-producer single-consumer chains — pipe joins in the paper's
+// terms — which a worker can run end to end with the stock
+// exec.Runner, seeing only the chain's seed tuples and returning only
+// its tail stream. A chain additionally breaks where no single worker
+// hosts all its services, so every fragment ships to a worker whose
+// registry can invoke the whole chain locally.
+type Fragment struct {
+	// Atoms are the chain's atom indexes, in execution order.
+	Atoms []int
+	// Worker indexes the coordinator's Workers slice.
+	Worker int
+}
+
+// PartitionPlan cuts a plan into executable fragments. hosts[i] is
+// the set of service names worker i hosts; a fragment's candidate
+// workers are those hosting every service of the chain, and among
+// candidates the assignment rotates deterministically by fragment
+// ordinal, so repeated executions of one plan land on the same
+// workers while a multi-fragment plan spreads across the fleet. An
+// error reports a service no worker hosts.
+func PartitionPlan(p *plan.Plan, hosts []map[string]bool) ([]Fragment, error) {
+	candidates := func(name string, within []int) []int {
+		var out []int
+		for _, wi := range within {
+			if hosts[wi][name] {
+				out = append(out, wi)
+			}
+		}
+		return out
+	}
+	all := make([]int, len(hosts))
+	for i := range hosts {
+		all[i] = i
+	}
+
+	var frags []Fragment
+	taken := make([]bool, len(p.ServiceNode))
+	for _, n := range p.TopoNodes() {
+		if n.Kind != plan.Service || taken[n.Atom.Index] {
+			continue
+		}
+		cand := candidates(n.Atom.Service, all)
+		if len(cand) == 0 {
+			return nil, fmt.Errorf("dist: no worker hosts service %s", n.Atom.Service)
+		}
+		f := Fragment{Atoms: []int{n.Atom.Index}}
+		taken[n.Atom.Index] = true
+		// Extend the chain while the tail has exactly one consumer,
+		// that consumer is a service node fed only by the tail, and
+		// some worker still hosts the whole chain.
+		for tail := n; ; {
+			if len(tail.Out) != 1 {
+				break
+			}
+			next := tail.Out[0]
+			if next.Kind != plan.Service || len(next.In) != 1 {
+				break
+			}
+			shrunk := candidates(next.Atom.Service, cand)
+			if len(shrunk) == 0 {
+				break
+			}
+			cand = shrunk
+			f.Atoms = append(f.Atoms, next.Atom.Index)
+			taken[next.Atom.Index] = true
+			tail = next
+		}
+		f.Worker = cand[len(frags)%len(cand)]
+		frags = append(frags, f)
+	}
+	return frags, nil
+}

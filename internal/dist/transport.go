@@ -28,6 +28,13 @@ type Transport interface {
 	Gossip(ctx context.Context, bumps []service.EpochBump) error
 	// ImportTemplates ships serialized template entries for warmup.
 	ImportTemplates(ctx context.Context, entries []opt.TemplateWireEntry) (int, error)
+	// Services lists the service names the worker's registry hosts —
+	// what the coordinator partitions plan fragments by.
+	Services(ctx context.Context) ([]string, error)
+	// ExecuteFragment runs one plan fragment on the worker, streaming
+	// tuple batches to sink as the fragment's tail produces them, and
+	// returns the final accounting frame.
+	ExecuteFragment(ctx context.Context, req ExecuteRequest, sink func(batch []WireTuple) error) (*ExecuteResult, error)
 }
 
 // LocalTransport runs a Worker in-process. It is the transport tier-1
@@ -69,6 +76,20 @@ func (t LocalTransport) Gossip(_ context.Context, bumps []service.EpochBump) err
 // ImportTemplates implements Transport.
 func (t LocalTransport) ImportTemplates(_ context.Context, entries []opt.TemplateWireEntry) (int, error) {
 	return t.Worker.ImportTemplates(entries), nil
+}
+
+// Services implements Transport.
+func (t LocalTransport) Services(_ context.Context) ([]string, error) {
+	var names []string
+	for _, svc := range t.Worker.Registry().Services() {
+		names = append(names, svc.Signature().Name)
+	}
+	return names, nil
+}
+
+// ExecuteFragment implements Transport.
+func (t LocalTransport) ExecuteFragment(ctx context.Context, req ExecuteRequest, sink func(batch []WireTuple) error) (*ExecuteResult, error) {
+	return t.Worker.ExecuteFragment(ctx, req, sink)
 }
 
 // HTTPTransport speaks the worker protocol over HTTP (JSON bodies,
@@ -150,4 +171,75 @@ func (t *HTTPTransport) ImportTemplates(ctx context.Context, entries []opt.Templ
 		return 0, err
 	}
 	return res.Imported, nil
+}
+
+// Services implements Transport (GET /dist/info).
+func (t *HTTPTransport) Services(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.Base+"/dist/info", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %s/dist/info: %w", t.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dist: %s/dist/info returned %s", t.Base, resp.Status)
+	}
+	var info struct {
+		Services []string `json:"services"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	return info.Services, nil
+}
+
+// ExecuteFragment implements Transport: POST /dist/execute, reading
+// the newline-delimited frame stream — tuple batches to sink as they
+// arrive, then the final accounting frame.
+func (t *HTTPTransport) ExecuteFragment(ctx context.Context, req ExecuteRequest, sink func(batch []WireTuple) error) (*ExecuteResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, t.Base+"/dist/execute", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %s/dist/execute: %w", t.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var env apiError
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&env) == nil && env.Error != "" {
+			return nil, fmt.Errorf("dist: %s/dist/execute: %s", t.Base, env.Error)
+		}
+		return nil, fmt.Errorf("dist: %s/dist/execute returned %s", t.Base, resp.Status)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var fr ExecuteFrame
+		if err := dec.Decode(&fr); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("dist: %s/dist/execute stream ended without a final frame", t.Base)
+			}
+			return nil, fmt.Errorf("dist: %s/dist/execute stream: %w", t.Base, err)
+		}
+		if fr.Error != "" {
+			return nil, fmt.Errorf("dist: %s/dist/execute: %s", t.Base, fr.Error)
+		}
+		if len(fr.Batch) > 0 && sink != nil {
+			if err := sink(fr.Batch); err != nil {
+				return nil, err
+			}
+		}
+		if fr.Done != nil {
+			return fr.Done, nil
+		}
+	}
 }

@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"fmt"
+
+	"mdq/internal/exec"
+	"mdq/internal/schema"
+)
+
+// WireValue is the JSON encoding of one schema.Value on the
+// fragment-execution wire. Kind discriminates: "" null, "s" string,
+// "n" number, "d" date (days since epoch in N).
+type WireValue struct {
+	// Kind is the value kind tag ("", "s", "n" or "d").
+	Kind string `json:"k,omitempty"`
+	// Str carries string payloads.
+	Str string `json:"s,omitempty"`
+	// Num carries numeric and date payloads.
+	Num float64 `json:"n,omitempty"`
+}
+
+// WireTuple is one tuple on the fragment-execution wire: slot values
+// in the plan's VarIndex order (sorted query variables — both sides
+// derive the identical layout from the shipped query, and requests
+// carry the variable list as a cross-check).
+type WireTuple []WireValue
+
+// encodeValue converts a schema value to its wire form.
+func encodeValue(v schema.Value) WireValue {
+	switch v.Kind {
+	case schema.StringValue:
+		return WireValue{Kind: "s", Str: v.Str}
+	case schema.NumberValue:
+		return WireValue{Kind: "n", Num: v.Num}
+	case schema.DateValue:
+		return WireValue{Kind: "d", Num: v.Num}
+	default:
+		return WireValue{}
+	}
+}
+
+// decodeValue converts a wire value back; unknown kinds are wire
+// corruption, not data.
+func decodeValue(w WireValue) (schema.Value, error) {
+	switch w.Kind {
+	case "":
+		return schema.Null, nil
+	case "s":
+		return schema.S(w.Str), nil
+	case "n":
+		return schema.N(w.Num), nil
+	case "d":
+		return schema.DateFromDays(w.Num), nil
+	default:
+		return schema.Null, fmt.Errorf("dist: unknown wire value kind %q", w.Kind)
+	}
+}
+
+// encodeTuple converts an execution tuple to its wire form.
+func encodeTuple(t exec.Tuple) WireTuple {
+	vals := t.Values()
+	out := make(WireTuple, len(vals))
+	for i, v := range vals {
+		out[i] = encodeValue(v)
+	}
+	return out
+}
+
+// decodeTuple converts a wire tuple back, validating the slot width
+// against the local plan layout.
+func decodeTuple(w WireTuple, width int) (exec.Tuple, error) {
+	if len(w) != width {
+		return exec.Tuple{}, fmt.Errorf("dist: wire tuple has %d slots, plan layout has %d", len(w), width)
+	}
+	vals := make([]schema.Value, len(w))
+	for i, wv := range w {
+		v, err := decodeValue(wv)
+		if err != nil {
+			return exec.Tuple{}, err
+		}
+		vals[i] = v
+	}
+	return exec.TupleOf(vals), nil
+}
+
+// encodeTuples maps encodeTuple over a batch.
+func encodeTuples(ts []exec.Tuple) []WireTuple {
+	out := make([]WireTuple, len(ts))
+	for i, t := range ts {
+		out[i] = encodeTuple(t)
+	}
+	return out
+}

@@ -32,6 +32,23 @@ type Worker struct {
 	// Parallelism is the in-process search parallelism per shard
 	// (opt.Optimizer.Parallelism; 0 means one worker per CPU).
 	Parallelism int
+	// Feedback, when non-nil, is the worker-local feedback policy
+	// fragment executions run under: traffic that flowed through this
+	// worker's observed services is folded back into its profiles
+	// after each fragment, bumping worker-local statistics epochs.
+	// Those bumps are what the reverse gossip path reports upstream
+	// (see DrainBumps).
+	Feedback *service.FeedbackPolicy
+	// ExecuteDisabled refuses fragment-execution requests — the
+	// server side of `mdqworker -execute=false`, for deployments that
+	// shard only the search.
+	ExecuteDisabled bool
+
+	// feed collects the worker registry's own epoch bumps (local
+	// statistics refreshes, e.g. from execution feedback) for
+	// reporting back to the coordinator; incoming Gossip never lands
+	// here, so reverse gossip cannot echo.
+	feed *service.EpochFeed
 
 	mu     sync.Mutex
 	active map[string]*opt.Bound
@@ -48,8 +65,20 @@ func NewWorker(reg *service.Registry, cache *opt.PlanCache) *Worker {
 	return &Worker{
 		reg:    reg,
 		cache:  cache,
+		feed:   reg.NewEpochFeed(),
 		active: map[string]*opt.Bound{},
 	}
+}
+
+// DrainBumps returns the coalesced worker-local statistics-epoch
+// bumps accumulated since the last drain — the payload of the
+// reverse gossip path. A worker's own refreshes (execution feedback,
+// manual re-profiling) land here; bumps received via Gossip do not,
+// since Gossip only touches the plan cache. Fragment-execution
+// results piggyback these so the coordinator can re-bump its own
+// epochs and fan the invalidation out to the rest of the fleet.
+func (w *Worker) DrainBumps() []service.EpochBump {
+	return w.feed.Next()
 }
 
 // Registry exposes the worker's local registry.
@@ -276,6 +305,41 @@ func (w *Worker) Handler() http.Handler {
 		default:
 			writeError(rw, http.StatusMethodNotAllowed, "GET or POST required")
 		}
+	})
+	mux.HandleFunc("/dist/execute", func(rw http.ResponseWriter, r *http.Request) {
+		var req ExecuteRequest
+		if !decodePost(rw, r, &req) {
+			return
+		}
+		if w.ExecuteDisabled {
+			writeError(rw, http.StatusForbidden, "fragment execution is disabled on this worker")
+			return
+		}
+		rw.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(rw)
+		flusher, _ := rw.(http.Flusher)
+		streamed := false
+		res, err := w.ExecuteFragment(r.Context(), req, func(batch []WireTuple) error {
+			streamed = true
+			if err := enc.Encode(ExecuteFrame{Batch: batch}); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+		if err != nil {
+			if !streamed {
+				writeError(rw, http.StatusUnprocessableEntity, "execute: %v", err)
+				return
+			}
+			// The stream is already committed (200 + batches on the
+			// wire); the error travels as a frame instead.
+			enc.Encode(ExecuteFrame{Error: err.Error()})
+			return
+		}
+		enc.Encode(ExecuteFrame{Done: res})
 	})
 	mux.HandleFunc("/dist/info", func(rw http.ResponseWriter, r *http.Request) {
 		type info struct {

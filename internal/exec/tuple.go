@@ -71,6 +71,27 @@ func (t Tuple) With(i int, v schema.Value) Tuple {
 	return c
 }
 
+// Values returns a copy of the tuple's slot values in VarIndex slot
+// order — the payload the distributed-execution wire encoding ships
+// between processes. Unbound slots are schema.Null.
+func (t Tuple) Values() []schema.Value {
+	vals := make([]schema.Value, len(t.vals))
+	copy(vals, t.vals)
+	return vals
+}
+
+// TupleOf builds a tuple over the given slot values (copied) — the
+// inverse of Values for tuples received off the wire. The caller is
+// responsible for the slice matching the plan's VarIndex layout.
+func TupleOf(vals []schema.Value) Tuple {
+	cp := make([]schema.Value, len(vals))
+	copy(cp, vals)
+	return Tuple{vals: cp}
+}
+
+// Width returns the number of slots.
+func (t Tuple) Width() int { return len(t.vals) }
+
 // Binding adapts the tuple to the predicate-evaluation interface.
 func (t Tuple) Binding(ix *VarIndex) func(cq.Var) (schema.Value, bool) {
 	return func(v cq.Var) (schema.Value, bool) {

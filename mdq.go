@@ -603,10 +603,11 @@ func (s *System) ExpandQuery(q *Query, maxExtra int) (*Query, int, error) {
 	return opt.Expand(q, sch, maxExtra)
 }
 
-// Distributed optimization surface: a coordinator (this system)
-// shards the branch-and-bound across workers, shares the incumbent
-// bound over the wire, and gossips statistics epochs to remote plan
-// caches. See internal/dist for the protocol.
+// Distributed optimization & execution surface: a coordinator (this
+// system) shards the branch-and-bound across workers, shares the
+// incumbent bound over the wire, gossips statistics epochs to remote
+// plan caches, and executes winning plans as worker-side fragments
+// with tuple streaming. See internal/dist for the protocol.
 type (
 	// DistWorker executes shard searches against a local registry and
 	// plan cache — the server side of distributed optimization.
@@ -689,6 +690,44 @@ func (s *System) DistributedOptimizeBound(ctx context.Context, tpl *Template, va
 		return nil, nil, err
 	}
 	return q, res, nil
+}
+
+// DistributedExecute runs an optimized plan across System.Workers as
+// plan fragments: the plan is partitioned into linear chains, each
+// chain ships — with the tuples flowing into it — to a worker whose
+// registry hosts its services and runs there with the stock executor,
+// streaming its tail tuples back; this system joins the fragment
+// streams, projects the head and truncates at K. The result is
+// tuple-identical to Execute on the same plan (provided worker
+// registries agree with this one). Workers with a feedback policy
+// fold the fragment's traffic into their local profiles, and their
+// epoch bumps flow back through the reverse gossip path.
+func (s *System) DistributedExecute(ctx context.Context, p *Plan) (*ExecResult, error) {
+	if len(s.Workers) == 0 {
+		return nil, fmt.Errorf("mdq: no distributed workers attached (set System.Workers)")
+	}
+	return s.Coordinator().ExecutePlan(ctx, p)
+}
+
+// DistributedAnswer is Answer through the fleet: the search shards
+// across System.Workers (DistributedOptimize) and the winning plan
+// executes as worker-side fragments (DistributedExecute) — the whole
+// pipeline from datalog text to ranked answers without this process
+// invoking a single service itself.
+func (s *System) DistributedAnswer(ctx context.Context, query string) (*ExecResult, *OptimizeResult, error) {
+	q, err := s.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	ores, err := s.DistributedOptimize(ctx, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := s.DistributedExecute(ctx, ores.Best)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, ores, nil
 }
 
 // StartGossip forwards this registry's statistics-epoch bumps to
