@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_TOLERANCE ?= 2.5
 
-.PHONY: build vet fmt test race bench benchgate bench-baseline docscheck dist-smoke e2e-smoke ci
+.PHONY: build vet fmt test race bench benchgate bench-baseline docscheck dist-smoke e2e-smoke load-smoke load-baseline staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -29,11 +29,12 @@ bench:
 
 # Documentation gate: markdown links in the top-level docs must
 # resolve, and every exported identifier in the optimizer, estimator,
-# distribution and execution packages must carry a doc comment.
+# distribution, execution and serving packages must carry a doc
+# comment.
 docscheck:
 	$(GO) run ./cmd/docscheck \
 		-md README.md,ARCHITECTURE.md,ROADMAP.md \
-		-pkg ./internal/opt,./internal/card,./internal/dist,./internal/exec
+		-pkg ./internal/opt,./internal/card,./internal/dist,./internal/exec,./internal/serve
 
 # Distributed-optimization smoke: the coordinator/worker protocol
 # under the race detector — two-plus-worker LocalTransport clusters
@@ -49,7 +50,34 @@ dist-smoke:
 # reporting worker feedback upstream). Runs fine on a single-CPU dev
 # box; the gate is correctness, not wall-clock.
 e2e-smoke:
-	$(GO) test -tags e2e -count=1 -v ./e2e
+	$(GO) test -tags e2e -count=1 -v -run TestMultiProcessFragmentExecution ./e2e
+
+# Serving-path load smoke: a real coordinator + two-worker fleet over
+# loopback takes a short closed-loop load run (mdqbench -load), the
+# run must clear LOAD_BASELINE.json via loadgate under generous smoke
+# tolerances, client-side request counts must reconcile with the
+# server's /metrics, and a 1ms-deadline query must return a clean
+# budget-exceeded JSON error. Set MDQ_LOAD_ARTIFACTS to keep the run
+# JSON, /metrics and /slowlog snapshots for upload.
+load-smoke:
+	$(GO) test -tags e2e -count=1 -v -timeout 10m -run TestClosedLoopLoadGate ./e2e
+
+# Refresh the committed serving baseline (run on the reference
+# machine, against a freshly started fleet — see README).
+load-baseline:
+	$(GO) run ./cmd/mdqbench -load -clients 8 -warmup 2s -duration 10s \
+		-out LOAD_BASELINE.json \
+		-note "refreshed via make load-baseline on $$(uname -m), $$(date +%F)"
+
+# Static analysis beyond go vet. The staticcheck binary is not vendored
+# (this module is dependency-free); CI installs a pinned version. The
+# target degrades to a notice when the tool is absent locally.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
 
 # Gate BenchmarkOptimize* against the committed baseline: fails when
 # any benchmark runs slower than baseline × BENCH_TOLERANCE.
@@ -63,4 +91,4 @@ bench-baseline:
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -update \
 			-note "refreshed via make bench-baseline on $$(uname -m), $$(date +%F)"
 
-ci: build vet fmt docscheck race dist-smoke e2e-smoke bench benchgate
+ci: build vet fmt staticcheck docscheck race dist-smoke e2e-smoke load-smoke bench benchgate

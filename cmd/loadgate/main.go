@@ -1,0 +1,110 @@
+// Command loadgate compares one `mdqbench -load` run against a
+// committed baseline and fails on throughput or tail-latency
+// regression, turning the CI load smoke into a tracked-threshold
+// serving gate (the benchgate of the serving path).
+//
+// Usage:
+//
+//	mdqbench -load -out load_run.json ... &&
+//	    go run ./cmd/loadgate -baseline LOAD_BASELINE.json -run load_run.json
+//
+//	go run ./cmd/loadgate -baseline LOAD_BASELINE.json -run load_run.json -update
+//
+// Both files are the serve.LoadRun JSON `mdqbench -load -out` writes.
+// The run fails the gate when its throughput drops below baseline ÷
+// throughput-tolerance, or its p95/p99 latency exceeds baseline ×
+// latency-tolerance. Absolute numbers are hardware-dependent, so the
+// tolerances are deliberately generous: the gate catches gross
+// regressions (a lost cache fast path, an accidental serialization
+// point), not percent-level drift. A run with zero successful
+// requests always fails. Refresh the baseline on the reference
+// machine with `make load-baseline`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mdq/internal/serve"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "LOAD_BASELINE.json", "baseline load-run file")
+		runPath      = flag.String("run", "load_run.json", "measured load-run file (mdqbench -load -out)")
+		tputTol      = flag.Float64("throughput-tolerance", 3, "fail when throughput < baseline ÷ tolerance")
+		latTol       = flag.Float64("latency-tolerance", 4, "fail when p95/p99 > baseline × tolerance")
+		update       = flag.Bool("update", false, "copy the measured run over the baseline")
+	)
+	flag.Parse()
+
+	run, err := readRun(*runPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if run.Requests == 0 {
+		fatalf("run %s has zero successful requests", *runPath)
+	}
+
+	if *update {
+		data, err := json.MarshalIndent(run, "", "  ")
+		if err != nil {
+			fatalf("encoding baseline: %v", err)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fatalf("writing %s: %v", *baselinePath, err)
+		}
+		fmt.Printf("loadgate: wrote %s from %s\n", *baselinePath, *runPath)
+		return
+	}
+
+	base, err := readRun(*baselinePath)
+	if err != nil {
+		fatalf("%v (generate it with -update)", err)
+	}
+
+	fmt.Printf("loadgate: run %s vs baseline %s (throughput ÷%.1f, latency ×%.1f)\n",
+		*runPath, *baselinePath, *tputTol, *latTol)
+	failed := 0
+	check := func(name string, got, ref float64, bad bool) {
+		status := "ok"
+		if bad {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("  %-5s %-16s %10.1f  (baseline %.1f)\n", status, name, got, ref)
+	}
+	check("throughput_rps", run.Throughput, base.Throughput,
+		base.Throughput > 0 && run.Throughput < base.Throughput / *tputTol)
+	check("p95_ms", run.P95Millis, base.P95Millis,
+		base.P95Millis > 0 && run.P95Millis > base.P95Millis**latTol)
+	check("p99_ms", run.P99Millis, base.P99Millis,
+		base.P99Millis > 0 && run.P99Millis > base.P99Millis**latTol)
+	if run.Errors > 0 {
+		fmt.Printf("  note  %d measured-window error(s) in the run\n", run.Errors)
+	}
+	if failed > 0 {
+		fatalf("%d serving metric(s) regressed beyond tolerance", failed)
+	}
+	fmt.Println("loadgate: no regressions")
+}
+
+// readRun loads one serve.LoadRun JSON file.
+func readRun(path string) (serve.LoadRun, error) {
+	var run serve.LoadRun
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return run, fmt.Errorf("reading %s: %v", path, err)
+	}
+	if err := json.Unmarshal(data, &run); err != nil {
+		return run, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return run, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdq/internal/serve"
+)
+
+// loadTemplate is the travel-world templated query the load clients
+// drive — the same three-atom shape the e2e gate uses, with the hotel
+// category as the binding so the fleet's template cache serves every
+// request after the first search per category.
+const loadTemplate = `
+q(Conf, City, Hotel, HPrice, FPrice) :-
+    flight('Milano', City, Start, End, StartTime, EndTime, FPrice),
+    hotel(Hotel, City, $cat, Start, End, HPrice),
+    conf('DB', Conf, Start, End, City),
+    FPrice + HPrice < 2000 {0.01}.`
+
+// loadCategories are the binding values the clients rotate through
+// (the travel world's hotel categories).
+var loadCategories = []string{"luxury", "standard", "budget", "hostel"}
+
+// loadConfig carries the -load flags.
+type loadConfig struct {
+	url      string
+	clients  int
+	warmup   time.Duration
+	duration time.Duration
+	k        int
+	out      string
+	note     string
+}
+
+// runLoad drives a closed loop of concurrent clients against a
+// coordinator's POST /query, reports throughput and tail latency over
+// the measured window, reconciles against the server's /metrics, and
+// optionally writes the serve.LoadRun JSON for loadgate.
+func runLoad(cfg loadConfig) error {
+	base := strings.TrimSuffix(cfg.url, "/")
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	var (
+		next      atomic.Int64 // binding rotation
+		totalSent atomic.Int64
+		requests  atomic.Int64
+		errCount  atomic.Int64
+		shed      atomic.Int64
+		calls     atomic.Int64
+		rows      atomic.Int64
+	)
+	start := time.Now()
+	measureFrom := start.Add(cfg.warmup)
+	stopAt := measureFrom.Add(cfg.duration)
+
+	var mu sync.Mutex
+	var latencies []float64 // milliseconds, measured successes only
+	var firstErr error
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stopAt) {
+				cat := loadCategories[int(next.Add(1))%len(loadCategories)]
+				body, _ := json.Marshal(map[string]any{
+					"template": loadTemplate,
+					"bindings": map[string]any{"cat": cat},
+					"k":        cfg.k,
+				})
+				reqStart := time.Now()
+				resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+				elapsed := time.Since(reqStart)
+				totalSent.Add(1)
+				measured := reqStart.After(measureFrom)
+				if err != nil {
+					if measured {
+						errCount.Add(1)
+					}
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				var qr struct {
+					Error string           `json:"error"`
+					Rows  [][]string       `json:"rows"`
+					Calls map[string]int64 `json:"calls"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if !measured {
+					continue
+				}
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests ||
+					resp.StatusCode == http.StatusServiceUnavailable:
+					shed.Add(1)
+				case resp.StatusCode != http.StatusOK || decErr != nil:
+					errCount.Add(1)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("POST /query: %s (%s)", resp.Status, qr.Error)
+					}
+					mu.Unlock()
+				default:
+					requests.Add(1)
+					rows.Add(int64(len(qr.Rows)))
+					for _, v := range qr.Calls {
+						calls.Add(v)
+					}
+					mu.Lock()
+					latencies = append(latencies, float64(elapsed)/float64(time.Millisecond))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	window := time.Since(measureFrom)
+	if window > cfg.duration {
+		window = cfg.duration
+	}
+
+	run := serve.LoadRun{
+		Note:            cfg.note,
+		URL:             base,
+		Clients:         cfg.clients,
+		WarmupSeconds:   cfg.warmup.Seconds(),
+		DurationSeconds: cfg.duration.Seconds(),
+		Requests:        requests.Load(),
+		Errors:          errCount.Load(),
+		Shed:            shed.Load(),
+		TotalSent:       totalSent.Load(),
+		Calls:           calls.Load(),
+		Rows:            rows.Load(),
+	}
+	if window > 0 {
+		run.Throughput = float64(run.Requests) / window.Seconds()
+	}
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		run.MeanMillis = sum / float64(len(latencies))
+		run.P50Millis = serve.Percentile(latencies, 50)
+		run.P95Millis = serve.Percentile(latencies, 95)
+		run.P99Millis = serve.Percentile(latencies, 99)
+	}
+	run.ServerRequests, run.ServerCalls = scrapeMetrics(client, base)
+
+	fmt.Printf("load: %d clients × %s (after %s warmup) against %s\n",
+		cfg.clients, cfg.duration, cfg.warmup, base)
+	fmt.Printf("  %d ok, %d shed, %d errors (%d sent incl. warmup)\n",
+		run.Requests, run.Shed, run.Errors, run.TotalSent)
+	fmt.Printf("  throughput %.1f req/s; latency ms p50 %.1f, p95 %.1f, p99 %.1f (mean %.1f)\n",
+		run.Throughput, run.P50Millis, run.P95Millis, run.P99Millis, run.MeanMillis)
+	fmt.Printf("  %d service calls, %d rows; server-side: %.0f requests, %.0f calls\n",
+		run.Calls, run.Rows, run.ServerRequests, run.ServerCalls)
+
+	if run.Requests == 0 {
+		if firstErr != nil {
+			return fmt.Errorf("load run produced no successful requests (first error: %v)", firstErr)
+		}
+		return fmt.Errorf("load run produced no successful requests")
+	}
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(run, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", cfg.out)
+	}
+	return nil
+}
+
+// scrapeMetrics reads the server's Prometheus text exposition and
+// returns the totals the load run reconciles against: requests
+// counted on /query (all status codes) and logical service calls
+// charged. Zeros when the endpoint is unavailable.
+func scrapeMetrics(client *http.Client, base string) (requests, calls float64) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0
+	}
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, 1<<20))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "mdq_requests_total{") &&
+			strings.Contains(line, `endpoint="/query"`):
+			requests += sampleValue(line)
+		case strings.HasPrefix(line, "mdq_service_calls_total"):
+			calls += sampleValue(line)
+		}
+	}
+	return requests, calls
+}
+
+// sampleValue parses the value of one exposition line.
+func sampleValue(line string) float64 {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return 0
+	}
+	v, err := strconv.ParseFloat(line[i+1:], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -99,6 +99,14 @@ func main() {
 		minDrift   = flag.Float64("feedback-min-drift", 0.1, "relative statistics drift required before a refresh")
 		workerList = flag.String("workers", "", "comma-separated mdqworker base URLs; enables coordinator mode")
 		cacheFile  = flag.String("cache-file", "", "load the template cache from this file at start and save it on SIGINT/SIGTERM")
+
+		maxInFlight  = flag.Int("max-inflight", 64, "max concurrent /optimize and /query requests (0 = unlimited)")
+		queueWait    = flag.Duration("queue-wait", time.Second, "max time a request waits for an in-flight slot before 429")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "max time to drain in-flight requests on shutdown")
+		slowlogCap   = flag.Int("slowlog", 128, "slow-query log capacity (GET /slowlog)")
+		slowAbove    = flag.Duration("slow-above", 0, "only log requests at least this slow (0 = log all)")
+		defDeadline  = flag.Duration("default-deadline", 0, "default per-query deadline when requests set no deadline_ms (0 = none)")
+		defMaxCalls  = flag.Int64("default-max-calls", 0, "default per-query service-call cap when requests set no max_calls (0 = none)")
 	)
 	flag.Parse()
 
@@ -131,13 +139,14 @@ func main() {
 		} else {
 			fmt.Printf("warmed %d template entries from %s\n", n, *cacheFile)
 		}
-		saveCacheOnShutdown(pc, reg, *cacheFile)
 	}
 	srv := &optimizeServer{
-		reg:        reg,
-		cache:      pc,
-		parallel:   *parallel,
-		revalRatio: *revalRatio,
+		reg:         reg,
+		cache:       pc,
+		parallel:    *parallel,
+		revalRatio:  *revalRatio,
+		defDeadline: *defDeadline,
+		defMaxCalls: *defMaxCalls,
 	}
 	if *feedback {
 		srv.feedback = &service.FeedbackPolicy{MinCalls: *minCalls, MinDrift: *minDrift}
@@ -177,40 +186,62 @@ func main() {
 			}
 		}
 	}
-	mux.HandleFunc("/optimize", srv.optimize)
+	obs := newObservability(*maxInFlight, *queueWait, *slowlogCap, *slowAbove)
+	mux.HandleFunc("/optimize", obs.instrument("/optimize", srv.optimize))
+	mux.HandleFunc("/query", obs.instrument("/query", srv.query))
 	mux.HandleFunc("/optimize/stats", srv.cacheStats)
-	mux.HandleFunc("/query", srv.query)
 	mux.HandleFunc("/cache", srv.cacheReport)
 	mux.HandleFunc("/stats", srv.serviceStats)
+	mux.Handle("/metrics", obs.metrics.Handler())
+	mux.Handle("/slowlog", obs.slowlog.Handler())
 	fmt.Printf("serving %s world (%v) on %s\n", *worldName, names, *addr)
 	if len(srv.workers) > 0 {
 		fmt.Printf("coordinator mode: sharding optimizations across %d workers\n", len(srv.workers))
 	}
 	fmt.Printf("endpoints: GET /services, GET /services/<name>/signature, POST /services/<name>/invoke,\n")
-	fmt.Printf("           POST /optimize, POST /query, GET /cache, GET /stats, GET /optimize/stats\n")
-	log.Fatal(http.ListenAndServe(*addr, mux))
-}
+	fmt.Printf("           POST /optimize, POST /query, GET /cache, GET /stats, GET /optimize/stats,\n")
+	fmt.Printf("           GET /metrics, GET /slowlog\n")
 
-// saveCacheOnShutdown persists the cache on SIGINT/SIGTERM. Pending
-// feedback observations are flushed into the service profiles first,
-// so persisted entries record fingerprints consistent with what the
-// server actually learned (stale entries then revalidate on reload
-// instead of serving against superseded statistics).
-func saveCacheOnShutdown(pc *opt.PlanCache, reg *service.Registry, path string) {
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-ch
-		if n := reg.RefreshObserved(); n > 0 {
-			fmt.Printf("flushed pending feedback into %d profile(s)\n", n)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case s := <-sig:
+		fmt.Printf("received %v: draining in-flight requests\n", s)
+	}
+
+	// Graceful shutdown: stop admitting (new requests shed with 503),
+	// drain what is already running, then flush pending feedback into
+	// the profiles and persist the template cache — in that order, so
+	// persisted entries carry the statistics the server actually
+	// learned.
+	obs.admission.StartDrain()
+	sdCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sdCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := obs.admission.Drain(sdCtx); err != nil {
+		log.Printf("draining admissions: %v", err)
+	}
+	if n := reg.RefreshObserved(); n > 0 {
+		fmt.Printf("flushed pending feedback into %d profile(s)\n", n)
+	}
+	if *cacheFile != "" && pc != nil {
+		if err := pc.SaveFile(*cacheFile); err != nil {
+			log.Fatalf("saving cache file: %v", err)
 		}
-		if err := pc.SaveFile(path); err != nil {
-			log.Printf("saving cache file: %v", err)
-			os.Exit(1)
-		}
-		fmt.Printf("saved template cache to %s\n", path)
-		os.Exit(0)
-	}()
+		fmt.Printf("saved template cache to %s\n", *cacheFile)
+	}
 }
 
 // optimizeServer answers optimization and templated-query requests
@@ -237,6 +268,11 @@ type optimizeServer struct {
 	// worker per execution. nil falls back to per-execution
 	// discovery, e.g. when a worker was unreachable at startup.
 	hosts []map[string]bool
+	// defDeadline / defMaxCalls are the server-wide budget defaults
+	// applied when a request does not set deadline_ms / max_calls
+	// (zero = unlimited).
+	defDeadline time.Duration
+	defMaxCalls int64
 }
 
 // coordinator assembles a per-request distributed coordinator.
@@ -256,12 +292,20 @@ func (s *optimizeServer) coordinator(m cost.Metric, mode card.CacheMode, k int) 
 type apiError struct {
 	Error  string `json:"error"`
 	Status int    `json:"status"`
+	// BudgetExceeded marks a query aborted by its execution budget
+	// (deadline_ms / max_calls), so clients can distinguish "too
+	// expensive" from "broken".
+	BudgetExceeded bool `json:"budget_exceeded,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeErrorEnv(w, apiError{Error: fmt.Sprintf(format, args...), Status: status})
+}
+
+func writeErrorEnv(w http.ResponseWriter, env apiError) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...), Status: status})
+	w.WriteHeader(env.Status)
+	json.NewEncoder(w).Encode(env)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -289,6 +333,13 @@ type optimizeRequest struct {
 	Metric string `json:"metric"` // default etm
 	Cache  string `json:"cache"`  // none | one-call | optimal
 	K      int    `json:"k"`
+	// DeadlineMillis caps the request's wall-clock budget; past it the
+	// search/execution aborts with a budget_exceeded error (0 = the
+	// server's -default-deadline).
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+	// MaxCalls caps the logical service calls an execution may issue
+	// (0 = the server's -default-max-calls).
+	MaxCalls int64 `json:"max_calls,omitempty"`
 }
 
 type optimizeResponse struct {
@@ -351,16 +402,31 @@ func (s *optimizeServer) optimize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "resolving query: %v", err)
 		return
 	}
-	var res *opt.Result
-	if len(s.workers) > 0 {
-		res, err = s.coordinator(m, mode, k).Optimize(r.Context(), q)
-	} else {
-		res, err = s.optimizer(m, mode, k).Optimize(q)
+	ctx := r.Context()
+	st := statsFrom(ctx)
+	st.Query = req.Query
+	budget := requestBudget(req.DeadlineMillis, req.MaxCalls, s.defDeadline, s.defMaxCalls)
+	if budget != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = budget.Context(ctx)
+		defer cancel()
 	}
+	var res *opt.Result
+	optStart := time.Now()
+	if len(s.workers) > 0 {
+		res, err = s.coordinator(m, mode, k).Optimize(ctx, q)
+	} else {
+		o := s.optimizer(m, mode, k)
+		o.Budget = budget
+		res, err = o.Optimize(q)
+	}
+	st.Optimize = time.Since(optStart)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "optimizing: %v", err)
+		st.Err = budgetAware(budget, err)
+		writeQueryError(w, http.StatusUnprocessableEntity, st.Err, "optimizing")
 		return
 	}
+	st.CacheClass = cacheClass(res.TemplateHit, res.Revalidated, res.Cached)
 	writeJSON(w, optimizeResponse{
 		Plan:     res.Best.Describe(),
 		Cost:     res.Cost,
@@ -380,6 +446,10 @@ type queryRequest struct {
 	// Execute runs the optimized plan and returns the answers;
 	// defaults to true (omit or set false for optimize-only).
 	Execute *bool `json:"execute"`
+	// DeadlineMillis / MaxCalls bound the request's execution budget,
+	// as on /optimize.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+	MaxCalls       int64 `json:"max_calls,omitempty"`
 }
 
 type queryResponse struct {
@@ -453,16 +523,31 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "resolving query: %v", err)
 		return
 	}
-	var res *opt.Result
-	if len(s.workers) > 0 {
-		res, err = s.coordinator(m, mode, k).OptimizeTemplate(r.Context(), q)
-	} else {
-		res, err = s.optimizer(m, mode, k).OptimizeTemplate(q)
+	ctx := r.Context()
+	st := statsFrom(ctx)
+	st.Query = req.Template
+	budget := requestBudget(req.DeadlineMillis, req.MaxCalls, s.defDeadline, s.defMaxCalls)
+	if budget != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = budget.Context(ctx)
+		defer cancel()
 	}
+	var res *opt.Result
+	optStart := time.Now()
+	if len(s.workers) > 0 {
+		res, err = s.coordinator(m, mode, k).OptimizeTemplate(ctx, q)
+	} else {
+		o := s.optimizer(m, mode, k)
+		o.Budget = budget
+		res, err = o.OptimizeTemplate(q)
+	}
+	st.Optimize = time.Since(optStart)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "optimizing: %v", err)
+		st.Err = budgetAware(budget, err)
+		writeQueryError(w, http.StatusUnprocessableEntity, st.Err, "optimizing")
 		return
 	}
+	st.CacheClass = cacheClass(res.TemplateHit, res.Revalidated, res.Cached)
 	resp := queryResponse{optimizeResponse: optimizeResponse{
 		Plan:        res.Best.Describe(),
 		Cost:        res.Cost,
@@ -475,19 +560,22 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 	}}
 	if req.Execute == nil || *req.Execute {
 		var out *exec.Result
+		execStart := time.Now()
 		if len(s.workers) > 0 {
 			// Coordinator mode executes through the fleet: the plan is
 			// cut into fragments that run on the workers hosting their
 			// services, tuples stream back, and the joins happen here.
 			// Worker-side feedback bumps return via the reverse gossip
 			// path and are re-broadcast by the gossip loop.
-			out, err = s.coordinator(m, mode, k).ExecutePlan(r.Context(), res.Best)
+			out, err = s.coordinator(m, mode, k).ExecutePlan(ctx, res.Best)
 		} else {
 			runner := &exec.Runner{Registry: s.reg, Cache: mode, K: k, Feedback: s.feedback}
-			out, err = runner.Run(r.Context(), res.Best)
+			out, err = runner.Run(ctx, res.Best)
 		}
+		st.Execute = time.Since(execStart)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "executing: %v", err)
+			st.Err = budgetAware(budget, err)
+			writeQueryError(w, http.StatusUnprocessableEntity, st.Err, "executing")
 			return
 		}
 		for _, v := range out.Head {
@@ -496,6 +584,10 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 		for _, row := range out.Rows {
 			resp.Rows = append(resp.Rows, renderRow(row))
 		}
+		for _, v := range out.Stats.Calls {
+			st.Calls += v
+		}
+		st.Rows = len(resp.Rows)
 		resp.Calls = out.Stats.Calls
 		resp.Elapsed = out.Elapsed.Seconds()
 		resp.Epochs = s.reg.Epochs()

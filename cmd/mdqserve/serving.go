@@ -1,0 +1,261 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mdq/internal/serve"
+)
+
+// observability bundles the serving-layer state every request flows
+// through: the admission gate, the metrics registry and the
+// slow-query log, plus the pre-resolved instruments the hot path
+// updates.
+type observability struct {
+	admission *serve.Admission
+	metrics   *serve.Metrics
+	slowlog   *serve.SlowLog
+
+	inflight *serve.Gauge
+}
+
+func newObservability(maxInFlight int, queueWait time.Duration, slowCap int, slowThreshold time.Duration) *observability {
+	m := serve.NewMetrics()
+	o := &observability{
+		admission: serve.NewAdmission(maxInFlight, queueWait),
+		metrics:   m,
+		slowlog:   serve.NewSlowLog(slowCap, slowThreshold),
+		inflight:  m.Gauge("mdq_inflight_requests", "Admitted requests currently executing."),
+	}
+	return o
+}
+
+// reqStats is the per-request accounting the handlers fill in while
+// the middleware owns the record's envelope (endpoint, status, bytes,
+// total elapsed).
+type reqStats struct {
+	Query      string
+	Optimize   time.Duration
+	Execute    time.Duration
+	Calls      int64
+	CacheClass string
+	Rows       int
+	Err        error
+}
+
+type reqStatsKey struct{}
+
+// statsFrom returns the request's accounting slot; handlers outside
+// the instrumented paths get a discardable dummy.
+func statsFrom(ctx context.Context) *reqStats {
+	if st, ok := ctx.Value(reqStatsKey{}).(*reqStats); ok {
+		return st
+	}
+	return &reqStats{}
+}
+
+// countingWriter tracks the status code and body bytes a handler
+// produced.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (cw *countingWriter) WriteHeader(status int) {
+	if cw.status == 0 {
+		cw.status = status
+	}
+	cw.ResponseWriter.WriteHeader(status)
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	if cw.status == 0 {
+		cw.status = http.StatusOK
+	}
+	n, err := cw.ResponseWriter.Write(p)
+	cw.bytes += int64(n)
+	return n, err
+}
+
+// Flush lets streaming handlers keep flushing through the wrapper.
+func (cw *countingWriter) Flush() {
+	if f, ok := cw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// shed writes the backpressure response for a rejected request: 429
+// with Retry-After when the gate is saturated, 503 when the server is
+// draining.
+func (o *observability) shed(w http.ResponseWriter, endpoint string, err error) {
+	status := http.StatusServiceUnavailable
+	reason := "draining"
+	retryAfter := 5
+	if errors.Is(err, serve.ErrSaturated) {
+		status = http.StatusTooManyRequests
+		reason = "saturated"
+		retryAfter = 1
+	}
+	o.metrics.CounterL("mdq_admission_shed_total",
+		"Requests rejected by admission control.", "reason", reason).Inc()
+	o.metrics.CounterL("mdq_requests_total",
+		"Requests by endpoint and status code.",
+		"endpoint", endpoint, "code", strconv.Itoa(status)).Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":%q,"status":%d,"retry_after_seconds":%d}`+"\n",
+		err.Error(), status, retryAfter)
+}
+
+// instrument wraps a serving endpoint with admission control and
+// per-request accounting: the request is admitted (or shed with
+// backpressure), timed, counted into the metrics registry, and its
+// record offered to the slow-query log.
+func (o *observability) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := o.admission.Acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, serve.ErrSaturated) || errors.Is(err, serve.ErrDraining) {
+				o.shed(w, endpoint, err)
+				return
+			}
+			// The client gave up while queued.
+			writeError(w, http.StatusRequestTimeout, "queued request cancelled: %v", err)
+			return
+		}
+		defer release()
+		o.inflight.Add(1)
+		defer o.inflight.Add(-1)
+
+		st := &reqStats{}
+		cw := &countingWriter{ResponseWriter: w}
+		start := time.Now()
+		h(cw, r.WithContext(context.WithValue(r.Context(), reqStatsKey{}, st)))
+		elapsed := time.Since(start)
+		if cw.status == 0 {
+			cw.status = http.StatusOK
+		}
+
+		o.metrics.CounterL("mdq_requests_total",
+			"Requests by endpoint and status code.",
+			"endpoint", endpoint, "code", strconv.Itoa(cw.status)).Inc()
+		o.metrics.HistogramL("mdq_request_seconds",
+			"End-to-end request latency.", nil, "endpoint", endpoint).Observe(elapsed.Seconds())
+		if st.Optimize > 0 {
+			o.metrics.Histogram("mdq_optimize_seconds",
+				"Time spent in plan search and template re-costing.", nil).Observe(st.Optimize.Seconds())
+		}
+		if st.Execute > 0 {
+			o.metrics.Histogram("mdq_execute_seconds",
+				"Time spent executing the chosen plan.", nil).Observe(st.Execute.Seconds())
+		}
+		if st.Calls > 0 {
+			o.metrics.Counter("mdq_service_calls_total",
+				"Logical service calls issued by executions.").Add(float64(st.Calls))
+		}
+		if st.Rows > 0 {
+			o.metrics.Counter("mdq_result_rows_total",
+				"Result rows returned to clients.").Add(float64(st.Rows))
+		}
+		o.metrics.Counter("mdq_bytes_streamed_total",
+			"Response body bytes streamed to clients.").Add(float64(cw.bytes))
+		if st.CacheClass != "" {
+			o.metrics.CounterL("mdq_plan_cache_serves_total",
+				"Optimizations by plan-cache outcome class.", "class", st.CacheClass).Inc()
+		}
+		rec := serve.RequestRecord{
+			Time:            start,
+			Endpoint:        endpoint,
+			Query:           st.Query,
+			Status:          cw.status,
+			Elapsed:         elapsed.Seconds(),
+			OptimizeSeconds: st.Optimize.Seconds(),
+			ExecuteSeconds:  st.Execute.Seconds(),
+			Calls:           st.Calls,
+			CacheClass:      st.CacheClass,
+			Rows:            st.Rows,
+			Bytes:           cw.bytes,
+		}
+		if st.Err != nil {
+			rec.Error = st.Err.Error()
+			if errors.Is(st.Err, serve.ErrBudgetExceeded) {
+				reason := "unknown"
+				var be *serve.BudgetError
+				if errors.As(st.Err, &be) {
+					reason = be.Reason
+				}
+				o.metrics.CounterL("mdq_budget_exceeded_total",
+					"Queries aborted by their execution budget.", "reason", reason).Inc()
+			}
+		}
+		o.slowlog.Record(rec)
+	}
+}
+
+// requestBudget assembles the per-query execution budget from the
+// request's deadline_ms / max_calls fields, falling back to the
+// server-wide defaults; nil when neither source sets a limit.
+func requestBudget(deadlineMS, maxCalls int64, defDeadline time.Duration, defCalls int64) *serve.Budget {
+	d := defDeadline
+	if deadlineMS > 0 {
+		d = time.Duration(deadlineMS) * time.Millisecond
+	}
+	c := defCalls
+	if maxCalls > 0 {
+		c = maxCalls
+	}
+	if d <= 0 && c <= 0 {
+		return nil
+	}
+	return serve.NewBudget(d, c)
+}
+
+// budgetAware re-types an optimize/execute failure as the budget
+// violation when the request's budget tripped (a cancelled search or
+// stream must surface as "budget exceeded", not as the cancellation
+// it caused downstream).
+func budgetAware(b *serve.Budget, err error) error {
+	if b != nil {
+		if berr := b.Err(); berr != nil {
+			return berr
+		}
+	}
+	return err
+}
+
+// writeQueryError maps a handler failure to the wire: budget trips
+// become 504 with the budget_exceeded marker, everything else keeps
+// the given status.
+func writeQueryError(w http.ResponseWriter, status int, err error, phase string) {
+	if errors.Is(err, serve.ErrBudgetExceeded) {
+		writeErrorEnv(w, apiError{
+			Error:          fmt.Sprintf("%s: %v", phase, err),
+			Status:         http.StatusGatewayTimeout,
+			BudgetExceeded: true,
+		})
+		return
+	}
+	writeError(w, status, "%s: %v", phase, err)
+}
+
+// cacheClass classifies how the optimizer answered for accounting:
+// fresh search, exact-plan hit, template hit, or a template hit that
+// had to revalidate.
+func cacheClass(templateHit, revalidated, cached bool) string {
+	switch {
+	case templateHit && revalidated:
+		return "revalidated"
+	case templateHit:
+		return "template"
+	case cached:
+		return "exact"
+	default:
+		return "miss"
+	}
+}

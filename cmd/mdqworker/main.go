@@ -43,17 +43,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
+	"time"
 
 	"mdq/internal/dist"
 	"mdq/internal/httpwrap"
 	"mdq/internal/opt"
+	"mdq/internal/serve"
 	"mdq/internal/service"
 	"mdq/internal/simweb"
 )
@@ -72,6 +76,8 @@ func main() {
 		feedback   = flag.Bool("feedback", true, "fold fragment-execution traffic back into local service profiles")
 		minCalls   = flag.Int64("feedback-min-calls", 4, "observed calls required before a profile refresh")
 		minDrift   = flag.Float64("feedback-min-drift", 0.1, "relative statistics drift required before a refresh")
+
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "max time to drain in-flight requests on shutdown")
 	)
 	flag.Parse()
 
@@ -97,14 +103,97 @@ func main() {
 		} else {
 			fmt.Printf("warmed %d template entries from %s\n", n, *cacheFile)
 		}
-		saveOnShutdown(pc, reg, *cacheFile)
 	}
 
 	mux, names := httpwrap.ServeRegistry(reg, httpwrap.HandlerOptions{SleepScale: *scale})
-	mux.Handle("/dist/", worker.Handler())
+	metrics := serve.NewMetrics()
+	mux.Handle("/dist/", instrumentWorker(metrics, worker.Handler()))
+	mux.Handle("/metrics", metrics.Handler())
 	fmt.Printf("mdqworker: %s world (%v) on %s (execute=%v)\n", *worldName, names, *addr, *execute)
-	fmt.Printf("endpoints: POST /dist/search, /dist/sync, /dist/gossip, /dist/execute; GET|POST /dist/templates; GET /dist/info\n")
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	fmt.Printf("endpoints: POST /dist/search, /dist/sync, /dist/gossip, /dist/execute; GET|POST /dist/templates; GET /dist/info; GET /metrics\n")
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case s := <-sig:
+		fmt.Printf("received %v: draining in-flight requests\n", s)
+	}
+
+	// Drain in-flight fragment executions and searches before the
+	// feedback flush and cache save, so what they learned is persisted.
+	sdCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sdCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if n := reg.RefreshObserved(); n > 0 {
+		fmt.Printf("flushed pending feedback into %d profile(s)\n", n)
+	}
+	if *cacheFile != "" {
+		if err := pc.SaveFile(*cacheFile); err != nil {
+			log.Fatalf("saving cache file: %v", err)
+		}
+		fmt.Printf("saved template cache to %s\n", *cacheFile)
+	}
+}
+
+// statusWriter records the status a worker endpoint returned.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+// Flush keeps the fragment stream's flushing working through the
+// wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrumentWorker counts and times the /dist protocol endpoints into
+// the worker's metrics registry.
+func instrumentWorker(m *serve.Metrics, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inflight := m.Gauge("mdq_worker_inflight_requests", "Protocol requests currently executing.")
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		m.CounterL("mdq_worker_requests_total",
+			"Protocol requests by endpoint and status code.",
+			"endpoint", r.URL.Path, "code", strconv.Itoa(sw.status)).Inc()
+		m.HistogramL("mdq_worker_request_seconds",
+			"Protocol request latency.", nil, "endpoint", r.URL.Path).Observe(time.Since(start).Seconds())
+	})
 }
 
 // worldRegistry builds the named simulated world.
@@ -121,27 +210,4 @@ func worldRegistry(name string) (*service.Registry, error) {
 	default:
 		return nil, fmt.Errorf("unknown world %q", name)
 	}
-}
-
-// saveOnShutdown installs a SIGINT/SIGTERM handler persisting the
-// cache before exit. Pending feedback observations are flushed into
-// the service profiles first — without the flush, entries would be
-// persisted with epoch vectors and fingerprints from statistics the
-// Observed wrappers had already superseded, so a restart would serve
-// them as fresh against a profile they were never priced under.
-func saveOnShutdown(pc *opt.PlanCache, reg *service.Registry, path string) {
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-ch
-		if n := reg.RefreshObserved(); n > 0 {
-			fmt.Printf("flushed pending feedback into %d profile(s)\n", n)
-		}
-		if err := pc.SaveFile(path); err != nil {
-			log.Printf("saving cache file: %v", err)
-			os.Exit(1)
-		}
-		fmt.Printf("saved template cache to %s\n", path)
-		os.Exit(0)
-	}()
 }

@@ -1,0 +1,198 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// loadRun mirrors the serve.LoadRun fields this test asserts on (the
+// e2e package stays dependency-free of the module under test, like
+// the rest of this file's black-box checks).
+type loadRun struct {
+	Requests       int64   `json:"requests"`
+	Errors         int64   `json:"errors"`
+	TotalSent      int64   `json:"total_sent"`
+	Throughput     float64 `json:"throughput_rps"`
+	ServerRequests float64 `json:"server_requests"`
+	ServerCalls    float64 `json:"server_calls"`
+}
+
+// buildLoadBinaries compiles the serving fleet plus the load driver
+// and its regression gate into dir.
+func buildLoadBinaries(t *testing.T, dir string) (serve, worker, bench, gate string) {
+	t.Helper()
+	root, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve = filepath.Join(dir, "mdqserve")
+	worker = filepath.Join(dir, "mdqworker")
+	bench = filepath.Join(dir, "mdqbench")
+	gate = filepath.Join(dir, "loadgate")
+	for bin, pkg := range map[string]string{
+		serve:  "./cmd/mdqserve",
+		worker: "./cmd/mdqworker",
+		bench:  "./cmd/mdqbench",
+		gate:   "./cmd/loadgate",
+	} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return serve, worker, bench, gate
+}
+
+// artifactsDir returns where diagnostic artifacts go: the directory
+// named by MDQ_LOAD_ARTIFACTS (created if needed, kept after the run
+// so CI can upload it on failure) or a test temp dir.
+func artifactsDir(t *testing.T) string {
+	t.Helper()
+	if dir := os.Getenv("MDQ_LOAD_ARTIFACTS"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatalf("creating artifacts dir %s: %v", dir, err)
+		}
+		return dir
+	}
+	return t.TempDir()
+}
+
+// saveGET snapshots one fleet endpoint into the artifacts directory.
+func saveGET(t *testing.T, url, path string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Logf("snapshot %s: %v", url, err)
+		return
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		t.Logf("snapshot %s: %v", url, err)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Logf("writing %s: %v", path, err)
+	}
+}
+
+// TestClosedLoopLoadGate is the serving-path e2e gate: a short
+// closed-loop load run against a real coordinator + two-worker fleet
+// must clear the committed LOAD_BASELINE.json under generous smoke
+// tolerances, the client-side request count must reconcile with the
+// server's /metrics, and a query carrying a 1ms deadline must come
+// back as a clean budget-exceeded JSON error.
+func TestClosedLoopLoadGate(t *testing.T) {
+	dir := t.TempDir()
+	serveBin, workerBin, benchBin, gateBin := buildLoadBinaries(t, dir)
+	artDir := artifactsDir(t)
+	ports := freePorts(t, 3)
+	serveAddr := fmt.Sprintf("127.0.0.1:%d", ports[0])
+	w1 := fmt.Sprintf("127.0.0.1:%d", ports[1])
+	w2 := fmt.Sprintf("127.0.0.1:%d", ports[2])
+
+	for _, addr := range []string{w1, w2} {
+		startProc(t, workerBin, "-addr", addr, "-world", "travel", "-parallel", "1",
+			"-feedback-min-calls", "1", "-feedback-min-drift", "0")
+		waitReady(t, "http://"+addr+"/dist/info")
+	}
+	startProc(t, serveBin, "-addr", serveAddr, "-world", "travel", "-parallel", "1",
+		"-workers", "http://"+w1+",http://"+w2)
+	waitReady(t, "http://"+serveAddr+"/metrics")
+
+	// Snapshot the fleet's observability endpoints whatever happens, so
+	// a CI failure uploads the evidence alongside the run JSON.
+	t.Cleanup(func() {
+		saveGET(t, "http://"+serveAddr+"/metrics", filepath.Join(artDir, "metrics.txt"))
+		saveGET(t, "http://"+serveAddr+"/slowlog", filepath.Join(artDir, "slowlog.json"))
+	})
+
+	// A short closed-loop run; CI hardware varies, so the smoke keeps
+	// the measured window small and leaves precision to the gate's
+	// generous tolerances.
+	runPath := filepath.Join(artDir, "load_run.json")
+	bench := exec.Command(benchBin, "-load",
+		"-url", "http://"+serveAddr, "-clients", "4",
+		"-warmup", "2s", "-duration", "6s", "-out", runPath,
+		"-note", "e2e load smoke")
+	if out, err := bench.CombinedOutput(); err != nil {
+		t.Fatalf("mdqbench -load: %v\n%s", err, out)
+	} else {
+		t.Logf("mdqbench -load:\n%s", out)
+	}
+
+	// The run's own accounting must reconcile with the server's: every
+	// request the clients sent (warmup included) appears in
+	// mdq_requests_total for /query — the load run is the only traffic.
+	data, err := os.ReadFile(runPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run loadRun
+	if err := json.Unmarshal(data, &run); err != nil {
+		t.Fatalf("parsing %s: %v", runPath, err)
+	}
+	if run.Requests == 0 {
+		t.Fatal("load run produced no successful requests")
+	}
+	if float64(run.TotalSent) != run.ServerRequests {
+		t.Fatalf("client/server accounting diverges: clients sent %d, server counted %.0f on /query",
+			run.TotalSent, run.ServerRequests)
+	}
+	if run.ServerCalls == 0 {
+		t.Fatal("server charged no service calls during the load run")
+	}
+
+	// The committed baseline gates the run. Smoke tolerances are wider
+	// than the reference gate's defaults: shared CI runners are noisy,
+	// and this guards against gross serving regressions (a lost cache
+	// fast path, an accidental serialization point), not drift.
+	root, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := exec.Command(gateBin,
+		"-baseline", filepath.Join(root, "LOAD_BASELINE.json"), "-run", runPath,
+		"-throughput-tolerance", "10", "-latency-tolerance", "10")
+	if out, err := gate.CombinedOutput(); err != nil {
+		t.Fatalf("loadgate: %v\n%s", err, out)
+	} else {
+		t.Logf("loadgate:\n%s", out)
+	}
+
+	// Budget acceptance: a 1ms deadline cannot finish optimization, so
+	// the query must come back 504 with the budget_exceeded marker —
+	// a clean typed refusal, not a hang or a 500.
+	reqBody, _ := json.Marshal(map[string]any{
+		"template":    e2eTemplate,
+		"bindings":    map[string]any{"cat": "luxury"},
+		"k":           answersK,
+		"deadline_ms": 1,
+	})
+	resp, err := http.Post("http://"+serveAddr+"/query", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qe struct {
+		Error          string `json:"error"`
+		BudgetExceeded bool   `json:"budget_exceeded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qe); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout || !qe.BudgetExceeded {
+		t.Fatalf("1ms-deadline query: got %s budget_exceeded=%v (%s), want 504 with budget_exceeded=true",
+			resp.Status, qe.BudgetExceeded, qe.Error)
+	}
+}

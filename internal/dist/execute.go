@@ -27,6 +27,7 @@ import (
 	"mdq/internal/exec"
 	"mdq/internal/plan"
 	"mdq/internal/schema"
+	"mdq/internal/serve"
 	"mdq/internal/service"
 )
 
@@ -63,6 +64,17 @@ type ExecuteRequest struct {
 	// BatchSize overrides the streaming batch size (0 means
 	// DefaultExecuteBatch).
 	BatchSize int `json:"batch_size,omitempty"`
+	// BudgetMillis is the time remaining in the coordinator's query
+	// budget at dispatch, in milliseconds (0 = no deadline). Shipped
+	// as a relative duration rather than an absolute instant so clock
+	// skew between processes cannot inflate or collapse the limit; the
+	// worker rebuilds a local serve.Budget from it, which aborts the
+	// fragment when it expires.
+	BudgetMillis int64 `json:"budget_millis,omitempty"`
+	// BudgetCalls is the number of logical service calls remaining in
+	// the coordinator's budget at dispatch (0 = uncapped). The worker
+	// charges its fragment's calls against it.
+	BudgetCalls int64 `json:"budget_calls,omitempty"`
 }
 
 // ExecuteResult is the final accounting frame of one fragment
@@ -91,6 +103,15 @@ type ExecuteFrame struct {
 	Done *ExecuteResult `json:"done,omitempty"`
 	// Error aborts the stream with a worker-side failure.
 	Error string `json:"error,omitempty"`
+	// BudgetExceeded marks Error as a query-budget violation (the
+	// worker's rebuilt serve.Budget tripped), so the coordinator's
+	// transport can reconstruct the typed serve.ErrBudgetExceeded that
+	// JSON stringification would otherwise lose. BudgetReason and
+	// BudgetLimit carry the tripped *serve.BudgetError's fields so the
+	// reconstruction keeps the violated dimension too.
+	BudgetExceeded bool   `json:"budget_exceeded,omitempty"`
+	BudgetReason   string `json:"budget_reason,omitempty"`
+	BudgetLimit    string `json:"budget_limit,omitempty"`
 }
 
 // buildSkeleton rebuilds a plan from its wire skeleton (assignment
@@ -175,6 +196,17 @@ func (w *Worker) ExecuteFragment(ctx context.Context, req ExecuteRequest, sink f
 		if seeds[i], err = decodeTuple(wt, ix.Len()); err != nil {
 			return nil, err
 		}
+	}
+
+	// The coordinator ships the remaining query budget with the
+	// fragment; rebuild it locally so the stock invoker charge path
+	// enforces it near the services (and the fragment aborts cleanly —
+	// not just when the coordinator drops the connection).
+	if req.BudgetMillis > 0 || req.BudgetCalls > 0 {
+		wb := serve.NewBudget(time.Duration(req.BudgetMillis)*time.Millisecond, req.BudgetCalls)
+		var cancel context.CancelFunc
+		ctx, cancel = wb.Context(ctx)
+		defer cancel()
 	}
 
 	batchSize := req.BatchSize
@@ -289,6 +321,20 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Resu
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// The request budget travels with the context: the deadline is
+	// applied to ctx (so in-flight fragment streams abort over the
+	// wire when it expires), fragments ship the remaining budget for
+	// worker-side enforcement, and the worker-reported call counts are
+	// charged here so the cap is global across fragments.
+	budget := serve.FromContext(ctx)
+	if budget != nil {
+		if err := budget.Err(); err != nil {
+			return nil, err
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = budget.Context(ctx)
+		defer cancel()
+	}
 	start := time.Now()
 	hosts := c.Hosts
 	if hosts == nil {
@@ -351,6 +397,26 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Resu
 			req := base
 			req.Atoms = f.Atoms
 			req.Seeds = encodeTuples(streams[n.In[0].ID])
+			if budget != nil {
+				if err := budget.Err(); err != nil {
+					return nil, err
+				}
+				if rem, ok := budget.Remaining(); ok {
+					req.BudgetMillis = int64(rem / time.Millisecond)
+					if req.BudgetMillis < 1 {
+						req.BudgetMillis = 1
+					}
+				}
+				if left, ok := budget.CallsLeft(); ok {
+					if left == 0 && len(req.Seeds) > 0 {
+						// The cap is exactly consumed and this fragment
+						// has tuples to process: the call it would issue
+						// trips the budget, so abort before shipping.
+						return nil, budget.Charge(1)
+					}
+					req.BudgetCalls = left
+				}
+			}
 			var got []exec.Tuple
 			fres, err := tr.ExecuteFragment(ctx, req, func(batch []WireTuple) error {
 				for _, wt := range batch {
@@ -363,16 +429,32 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Resu
 				return nil
 			})
 			if err != nil {
+				// A budget trip surfaces as the budget error, not as the
+				// transport failure it caused (cancelled stream, worker
+				// abort): the serving layer maps it to a clean JSON
+				// budget-exceeded response.
+				if budget != nil {
+					if berr := budget.Err(); berr != nil {
+						return nil, berr
+					}
+				}
 				return nil, fmt.Errorf("dist: fragment %v on %s: %w", f.Atoms, tr.Name(), err)
 			}
 			if fres.Tuples != len(got) {
 				return nil, fmt.Errorf("dist: fragment %v on %s reported %d tuples, streamed %d", f.Atoms, tr.Name(), fres.Tuples, len(got))
 			}
+			var fragCalls int64
 			for name, v := range fres.Calls {
 				res.Stats.Calls[name] += v
+				fragCalls += v
 			}
 			for name, v := range fres.Fetches {
 				res.Stats.Fetches[name] += v
+			}
+			if budget != nil {
+				if err := budget.Charge(fragCalls); err != nil {
+					return nil, err
+				}
 			}
 			if len(fres.Bumps) > 0 && !c.sharesRegistry(tr) {
 				c.AbsorbBumps(fres.Bumps)

@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"mdq/internal/opt"
+	"mdq/internal/serve"
 	"mdq/internal/service"
 )
 
@@ -196,6 +197,17 @@ func (t *HTTPTransport) Services(ctx context.Context) ([]string, error) {
 	return info.Services, nil
 }
 
+// retypeBudget rebuilds the typed budget violation a worker's JSON
+// response stringified: the result always matches
+// errors.Is(serve.ErrBudgetExceeded), and when the violated dimension
+// traveled on the wire it matches errors.As(*serve.BudgetError) too.
+func retypeBudget(msg, reason, limit string) error {
+	if reason == "" {
+		return fmt.Errorf("%s: %w", msg, serve.ErrBudgetExceeded)
+	}
+	return fmt.Errorf("%s: %w", msg, &serve.BudgetError{Reason: reason, Limit: limit})
+}
+
 // ExecuteFragment implements Transport: POST /dist/execute, reading
 // the newline-delimited frame stream — tuple batches to sink as they
 // arrive, then the final accounting frame.
@@ -217,6 +229,13 @@ func (t *HTTPTransport) ExecuteFragment(ctx context.Context, req ExecuteRequest,
 	if resp.StatusCode != http.StatusOK {
 		var env apiError
 		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&env) == nil && env.Error != "" {
+			if env.BudgetExceeded {
+				// Re-type the worker's budget trip: stringified over the
+				// wire, it must still satisfy errors.Is (and errors.As,
+				// when the violated dimension traveled too) on this side.
+				return nil, fmt.Errorf("dist: %s/dist/execute: %w",
+					t.Base, retypeBudget(env.Error, env.BudgetReason, env.BudgetLimit))
+			}
 			return nil, fmt.Errorf("dist: %s/dist/execute: %s", t.Base, env.Error)
 		}
 		return nil, fmt.Errorf("dist: %s/dist/execute returned %s", t.Base, resp.Status)
@@ -231,6 +250,10 @@ func (t *HTTPTransport) ExecuteFragment(ctx context.Context, req ExecuteRequest,
 			return nil, fmt.Errorf("dist: %s/dist/execute stream: %w", t.Base, err)
 		}
 		if fr.Error != "" {
+			if fr.BudgetExceeded {
+				return nil, fmt.Errorf("dist: %s/dist/execute: %w",
+					t.Base, retypeBudget(fr.Error, fr.BudgetReason, fr.BudgetLimit))
+			}
 			return nil, fmt.Errorf("dist: %s/dist/execute: %s", t.Base, fr.Error)
 		}
 		if len(fr.Batch) > 0 && sink != nil {

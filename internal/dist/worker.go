@@ -12,6 +12,7 @@ import (
 	"mdq/internal/cost"
 	"mdq/internal/cq"
 	"mdq/internal/opt"
+	"mdq/internal/serve"
 	"mdq/internal/service"
 )
 
@@ -234,6 +235,13 @@ func (w *Worker) ExportTemplates() []opt.TemplateWireEntry {
 type apiError struct {
 	Error  string `json:"error"`
 	Status int    `json:"status"`
+	// BudgetExceeded marks the error as a query-budget violation so
+	// HTTP clients can map the envelope back to the typed
+	// serve.ErrBudgetExceeded; BudgetReason and BudgetLimit carry the
+	// violated dimension for the reconstruction.
+	BudgetExceeded bool   `json:"budget_exceeded,omitempty"`
+	BudgetReason   string `json:"budget_reason,omitempty"`
+	BudgetLimit    string `json:"budget_limit,omitempty"`
 }
 
 func writeError(rw http.ResponseWriter, status int, format string, args ...any) {
@@ -330,13 +338,26 @@ func (w *Worker) Handler() http.Handler {
 			return nil
 		})
 		if err != nil {
+			budget := errors.Is(err, serve.ErrBudgetExceeded)
+			var reason, limit string
+			var be *serve.BudgetError
+			if errors.As(err, &be) {
+				reason, limit = be.Reason, be.Limit
+			}
 			if !streamed {
-				writeError(rw, http.StatusUnprocessableEntity, "execute: %v", err)
+				status := http.StatusUnprocessableEntity
+				if budget {
+					status = http.StatusGatewayTimeout
+				}
+				rw.Header().Set("Content-Type", "application/json")
+				rw.WriteHeader(status)
+				json.NewEncoder(rw).Encode(apiError{Error: fmt.Sprintf("execute: %v", err), Status: status,
+					BudgetExceeded: budget, BudgetReason: reason, BudgetLimit: limit})
 				return
 			}
 			// The stream is already committed (200 + batches on the
 			// wire); the error travels as a frame instead.
-			enc.Encode(ExecuteFrame{Error: err.Error()})
+			enc.Encode(ExecuteFrame{Error: err.Error(), BudgetExceeded: budget, BudgetReason: reason, BudgetLimit: limit})
 			return
 		}
 		enc.Encode(ExecuteFrame{Done: res})

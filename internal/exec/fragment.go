@@ -136,14 +136,14 @@ func (r *Runner) RunFragment(ctx context.Context, p *plan.Plan, atoms []int, see
 
 	select {
 	case err := <-errc:
-		return nil, err
+		return nil, budgetAbort(ctx, err)
 	default:
 	}
 	if sinkErr != nil {
 		return nil, sinkErr
 	}
 	if ctx.Err() != nil {
-		return nil, ctx.Err()
+		return nil, budgetAbort(ctx, ctx.Err())
 	}
 	res := &Result{
 		Tuples:  tuples,

@@ -8,6 +8,7 @@ import (
 	"mdq/internal/cq"
 	"mdq/internal/plan"
 	"mdq/internal/schema"
+	"mdq/internal/serve"
 	"mdq/internal/service"
 )
 
@@ -84,6 +85,15 @@ func (iv *NodeInvoker) Call(ctx context.Context, t Tuple) (rows [][]schema.Value
 	}
 	if !ok {
 		entry = Entry{}
+	}
+	// The call is about to reach the service: charge it against the
+	// request's budget (logical cache hits above cost nothing). A call
+	// that would exceed the cap — or whose deadline has passed — is
+	// never issued.
+	if b := serve.FromContext(ctx); b != nil {
+		if err := b.Charge(1); err != nil {
+			return nil, false, 0, err
+		}
 	}
 	rows = entry.Rows
 	for page := entry.Pages; page < fetches; page++ {

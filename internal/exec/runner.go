@@ -9,8 +9,23 @@ import (
 	"mdq/internal/cq"
 	"mdq/internal/plan"
 	"mdq/internal/schema"
+	"mdq/internal/serve"
 	"mdq/internal/service"
 )
+
+// budgetAbort translates an execution error into the request budget's
+// violation when one tripped: a run cancelled because the budget
+// deadline expired surfaces as the budget error (clean JSON at the
+// serving layer) instead of a bare context cancellation. Errors with
+// no budget behind them pass through unchanged.
+func budgetAbort(ctx context.Context, err error) error {
+	if b := serve.FromContext(ctx); b != nil {
+		if berr := b.Err(); berr != nil {
+			return berr
+		}
+	}
+	return err
+}
 
 // Runner executes query plans against registered services as a
 // concurrent dataflow: one stage per plan node, channels along the
@@ -106,7 +121,7 @@ func (r *Runner) Run(ctx context.Context, p *plan.Plan) (*Result, error) {
 	}
 	rows, tuples, err := ex.run(ctx)
 	if err != nil {
-		return nil, err
+		return nil, budgetAbort(ctx, err)
 	}
 	res := &Result{
 		Head:    p.Query.Head,

@@ -1,0 +1,127 @@
+package opt_test
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	. "mdq/internal/opt"
+	"mdq/internal/serve"
+	"mdq/internal/simweb"
+)
+
+// budgetOptimizer builds the running-example optimizer the budget
+// tests drive.
+func budgetOptimizer(t *testing.T) (*Optimizer, *cq.Query) {
+	t.Helper()
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := simweb.RunningExampleQuery(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Optimizer{
+		Metric:    cost.ExecTime{},
+		Estimator: card.Config{Mode: card.OneCall},
+		K:         10,
+	}
+	return o, q
+}
+
+// TestOptimizeBudgetExpiredDeadline: an optimizer whose budget
+// deadline has already passed refuses the search with the typed
+// budget error, not a context error or a partial result.
+func TestOptimizeBudgetExpiredDeadline(t *testing.T) {
+	o, q := budgetOptimizer(t)
+	o.Budget = serve.NewBudget(time.Nanosecond, 0)
+	time.Sleep(time.Millisecond)
+	res, err := o.Optimize(q)
+	if res != nil {
+		t.Fatal("expired budget still produced a result")
+	}
+	if !errors.Is(err, serve.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	var be *serve.BudgetError
+	if !errors.As(err, &be) || be.Reason != "deadline" {
+		t.Fatalf("err = %v, want *BudgetError with deadline reason", err)
+	}
+}
+
+// TestOptimizeTemplateBudget: the budget gate applies to the template
+// serving path too, and a budget abort does not poison the cache —
+// the same optimizer with the budget lifted searches and caches
+// normally afterwards.
+func TestOptimizeTemplateBudget(t *testing.T) {
+	o, q := budgetOptimizer(t)
+	o.Cache = NewPlanCache(16)
+	o.Budget = serve.NewBudget(time.Nanosecond, 0)
+	time.Sleep(time.Millisecond)
+	if _, err := o.OptimizeTemplate(q); !errors.Is(err, serve.ErrBudgetExceeded) {
+		t.Fatalf("template path err = %v, want ErrBudgetExceeded", err)
+	}
+	o.Budget = nil
+	res, err := o.OptimizeTemplate(q)
+	if err != nil {
+		t.Fatalf("optimize after lifting budget: %v", err)
+	}
+	if res.Cached || res.TemplateHit {
+		t.Fatal("budget abort must not have seeded the template cache")
+	}
+	again, err := o.OptimizeTemplate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.TemplateHit {
+		t.Fatal("second optimize should hit the template cached by the first")
+	}
+}
+
+// TestOptimizeTinyDeadlines sweeps deadlines from "certainly expires
+// mid-search" upward: every run either completes or fails with the
+// typed budget error — never a bare context error — and the parallel
+// walk's goroutines are all reaped.
+func TestOptimizeTinyDeadlines(t *testing.T) {
+	o, q := budgetOptimizer(t)
+	before := runtime.NumGoroutine()
+	for _, d := range []time.Duration{
+		time.Microsecond, 20 * time.Microsecond, 100 * time.Microsecond,
+		500 * time.Microsecond, 2 * time.Millisecond, time.Second,
+	} {
+		o.Budget = serve.NewBudget(d, 0)
+		res, err := o.Optimize(q)
+		switch {
+		case err == nil:
+			if res == nil || res.Best == nil {
+				t.Fatalf("deadline %v: nil result without error", d)
+			}
+		case !errors.Is(err, serve.ErrBudgetExceeded):
+			t.Fatalf("deadline %v: err = %v, want ErrBudgetExceeded", d, err)
+		}
+	}
+	waitGoroutines(t, before)
+}
+
+// waitGoroutines fails the test when the goroutine count does not
+// settle back to (roughly) the baseline — the leak check behind the
+// budget-abort paths.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines did not settle: %d > baseline %d\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

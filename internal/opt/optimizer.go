@@ -15,6 +15,7 @@ import (
 	"mdq/internal/cq"
 	"mdq/internal/fetch"
 	"mdq/internal/plan"
+	"mdq/internal/serve"
 )
 
 // AutoParallelism makes the optimizer use one search worker per
@@ -111,6 +112,25 @@ type Optimizer struct {
 	// so memoizing those results under a key that cannot express the
 	// bound would poison later lookups.
 	Bound *Bound
+	// Budget, when non-nil, is the serving layer's per-query execution
+	// budget (serve.Budget): the search walk checks it at every
+	// construction state, so an expired deadline aborts optimization
+	// mid-search with a budget-exceeded error instead of returning a
+	// truncated result. Call budgets do not apply here — optimization
+	// issues no service calls — but the same Budget travels on to
+	// execution, which charges them. mdqserve sets this from the
+	// request context (serve.FromContext).
+	Budget *serve.Budget
+}
+
+// budgetErr reports the optimizer's budget violation, nil without a
+// budget. Sticky: once the deadline passes, every later check in any
+// search goroutine sees the same violation (see serve.Budget).
+func (o *Optimizer) budgetErr() error {
+	if o.Budget == nil {
+		return nil
+	}
+	return o.Budget.Err()
 }
 
 // Shard names one slice of the phase-1 assignment space: the
@@ -276,6 +296,9 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 			return nil, fmt.Errorf("opt: query %s is not resolved against a schema", q.Name)
 		}
 	}
+	if err := o.budgetErr(); err != nil {
+		return nil, err
+	}
 	// The exact-key cache is bypassed while an external bound is
 	// shared (see the Bound field); searches still count.
 	useExactCache := o.Cache != nil && o.Bound == nil
@@ -363,6 +386,12 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 		ex.drain()
 		ex.close()
 	}
+	// A budget-truncated walk stopped expanding states the moment the
+	// deadline passed; whatever incumbent it holds must not be served
+	// as the optimum.
+	if err := o.budgetErr(); err != nil {
+		return nil, err
+	}
 	o.merge(res, results)
 
 	if res.Best == nil {
@@ -429,6 +458,9 @@ func (o *Optimizer) searchAssignment(q *cq.Query, asn abind.Assignment, shared *
 
 	visited := 0
 	keep := func(s *topoState) bool {
+		if o.budgetErr() != nil {
+			return false
+		}
 		visited++
 		ar.addStates(1, 0)
 		if visited > o.maxStates() {
@@ -520,6 +552,9 @@ func (o *Optimizer) startParallelSearch(q *cq.Query, asn abind.Assignment, share
 // path); the siblings become fresh tasks for idle workers to steal.
 func (w *walkCtx) expand(s *topoState) {
 	for s != nil {
+		if w.o.budgetErr() != nil {
+			return
+		}
 		k := s.key()
 		w.mu.Lock()
 		if w.seen[k] {

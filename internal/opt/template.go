@@ -131,6 +131,11 @@ func (o *Optimizer) OptimizeTemplate(q *cq.Query) (*Result, error) {
 			return nil, fmt.Errorf("opt: query %s is not resolved against a schema", q.Name)
 		}
 	}
+	// The budget gate applies to template serving too: even a cheap
+	// re-cost must not run for a query whose deadline already passed.
+	if err := o.budgetErr(); err != nil {
+		return nil, err
+	}
 	tkey := o.templateKey(q)
 	if tv, ok := o.Cache.lookupTemplate(tkey); ok {
 		if res := o.recost(q, tkey, tv); res != nil {

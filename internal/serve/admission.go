@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrSaturated reports that a request waited MaxQueueWait for an
+// in-flight slot and none freed up: the server is saturated and the
+// client should back off (HTTP 429 with Retry-After).
+var ErrSaturated = errors.New("serve: server saturated, retry later")
+
+// ErrDraining reports that the server is shutting down and admits no
+// new work (HTTP 503).
+var ErrDraining = errors.New("serve: server draining, not admitting requests")
+
+// Admission is the bounded-concurrency gate in front of the serving
+// endpoints: at most MaxInFlight requests execute at once, an
+// arriving request waits at most MaxQueueWait for a slot (backpressure
+// instead of unbounded queueing), and a draining server sheds
+// everything immediately so graceful shutdown terminates. The zero
+// value admits everything (no limit); use NewAdmission for a bounded
+// gate.
+type Admission struct {
+	// MaxQueueWait bounds how long an arriving request may wait for a
+	// slot; 0 rejects immediately when all slots are busy.
+	MaxQueueWait time.Duration
+
+	sem      chan struct{} // nil = unlimited
+	mu       sync.Mutex
+	inflight int
+	draining bool
+	idle     chan struct{} // closed when draining and inflight hits 0
+}
+
+// NewAdmission builds a gate admitting at most maxInFlight concurrent
+// requests (≤ 0 means unlimited), shedding arrivals that would wait
+// longer than maxQueueWait.
+func NewAdmission(maxInFlight int, maxQueueWait time.Duration) *Admission {
+	a := &Admission{MaxQueueWait: maxQueueWait}
+	if maxInFlight > 0 {
+		a.sem = make(chan struct{}, maxInFlight)
+	}
+	return a
+}
+
+// InFlight returns the number of admitted, unreleased requests.
+func (a *Admission) InFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// Draining reports whether StartDrain has been called.
+func (a *Admission) Draining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}
+
+// note tracks one admitted request; returns false when draining won
+// the race and the request must be shed.
+func (a *Admission) note() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.draining {
+		return false
+	}
+	a.inflight++
+	return true
+}
+
+// Acquire admits one request, blocking up to MaxQueueWait for a free
+// slot. On success it returns a release function the caller must
+// invoke exactly once when the request finishes. It fails fast with
+// ErrDraining during shutdown, ErrSaturated when no slot frees up in
+// time, or the context's error if that expires first.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	if a.Draining() {
+		return nil, ErrDraining
+	}
+	if a.sem != nil {
+		select {
+		case a.sem <- struct{}{}:
+		default:
+			// All slots busy: wait, bounded.
+			var timeout <-chan time.Time
+			if a.MaxQueueWait > 0 {
+				t := time.NewTimer(a.MaxQueueWait)
+				defer t.Stop()
+				timeout = t.C
+			} else {
+				ch := make(chan time.Time)
+				close(ch)
+				timeout = ch
+			}
+			select {
+			case a.sem <- struct{}{}:
+			case <-timeout:
+				return nil, ErrSaturated
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	if !a.note() {
+		if a.sem != nil {
+			<-a.sem
+		}
+		return nil, ErrDraining
+	}
+	var once sync.Once
+	return func() { once.Do(a.release) }, nil
+}
+
+// release returns one slot and signals the drain waiter when the last
+// in-flight request finishes.
+func (a *Admission) release() {
+	if a.sem != nil {
+		<-a.sem
+	}
+	a.mu.Lock()
+	a.inflight--
+	if a.draining && a.inflight == 0 && a.idle != nil {
+		close(a.idle)
+		a.idle = nil
+	}
+	a.mu.Unlock()
+}
+
+// StartDrain flips the gate into draining: every subsequent Acquire
+// fails with ErrDraining; requests already admitted run to
+// completion. Idempotent.
+func (a *Admission) StartDrain() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.draining = true
+}
+
+// Drain starts draining and waits until every admitted request has
+// released, or until ctx expires (returning its error with work still
+// in flight).
+func (a *Admission) Drain(ctx context.Context) error {
+	a.mu.Lock()
+	a.draining = true
+	if a.inflight == 0 {
+		a.mu.Unlock()
+		return nil
+	}
+	if a.idle == nil {
+		a.idle = make(chan struct{})
+	}
+	idle := a.idle
+	a.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

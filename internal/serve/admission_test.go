@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionUnlimitedZeroValue(t *testing.T) {
+	var a Admission
+	for i := 0; i < 100; i++ {
+		release, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("zero-value gate rejected: %v", err)
+		}
+		defer release()
+	}
+	if got := a.InFlight(); got != 100 {
+		t.Fatalf("InFlight = %d, want 100", got)
+	}
+}
+
+// TestAdmissionShedsWhenFull pins the deterministic shed: with every
+// slot held and no queue wait, the next request is rejected with
+// ErrSaturated immediately.
+func TestAdmissionShedsWhenFull(t *testing.T) {
+	a := NewAdmission(2, 0)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("full gate error = %v, want ErrSaturated", err)
+	}
+	r1()
+	r1() // double release must be a no-op
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("freed slot still rejected: %v", err)
+	}
+	release()
+	r2()
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after all releases, want 0", got)
+	}
+}
+
+func TestAdmissionQueueWait(t *testing.T) {
+	a := NewAdmission(1, time.Second)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A queued request admits as soon as the holder releases.
+	done := make(chan error, 1)
+	go func() {
+		release, err := a.Acquire(context.Background())
+		if err == nil {
+			release()
+		}
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r1()
+	if err := <-done; err != nil {
+		t.Fatalf("queued request rejected: %v", err)
+	}
+
+	// A queued request whose wait exceeds the bound is shed.
+	a2 := NewAdmission(1, 20*time.Millisecond)
+	hold, err := a2.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	start := time.Now()
+	if _, err := a2.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("timed-out wait error = %v, want ErrSaturated", err)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("shed after only %v, wait bound is 20ms", waited)
+	}
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	a := NewAdmission(4, 0)
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		release, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		releases = append(releases, release)
+	}
+	a.StartDrain()
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining gate error = %v, want ErrDraining", err)
+	}
+	// Drain returns once the in-flight requests release.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	drainErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drainErr <- a.Drain(ctx)
+	}()
+	for _, r := range releases {
+		r()
+	}
+	wg.Wait()
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain = %v", err)
+	}
+	// Draining an idle gate returns immediately.
+	if err := a.Drain(context.Background()); err != nil {
+		t.Fatalf("idle Drain = %v", err)
+	}
+}
+
+func TestAdmissionDrainTimeout(t *testing.T) {
+	a := NewAdmission(1, 0)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := a.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stuck Drain = %v, want DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,65 @@
+package serve
+
+import "sort"
+
+// LoadRun is the JSON report of one closed-loop load run against a
+// serving fleet (`mdqbench -load`), and the committed-baseline format
+// `loadgate` compares runs against. Latencies are client-observed,
+// reconciliation fields are read back from the server's /metrics after
+// the run.
+type LoadRun struct {
+	// Note documents provenance (machine, date, command).
+	Note string `json:"note,omitempty"`
+	// URL is the coordinator the run drove.
+	URL string `json:"url,omitempty"`
+	// Clients is the closed-loop concurrency.
+	Clients int `json:"clients"`
+	// WarmupSeconds / DurationSeconds are the configured phases; only
+	// requests completed inside the measured window are sampled.
+	WarmupSeconds   float64 `json:"warmup_seconds"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Requests / Errors / Shed count measured-window completions:
+	// successes, failures, and admission rejections (429/503).
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Shed     int64 `json:"shed"`
+	// TotalSent counts every request the run issued, warmup included —
+	// the number that must reconcile with the server's
+	// mdq_requests_total for the driven endpoint.
+	TotalSent int64 `json:"total_sent"`
+	// Throughput is measured successes per measured second.
+	Throughput float64 `json:"throughput_rps"`
+	// Latency summary of measured successes, milliseconds.
+	MeanMillis float64 `json:"mean_ms"`
+	P50Millis  float64 `json:"p50_ms"`
+	P95Millis  float64 `json:"p95_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	// Calls / Rows sum the per-response service-call and answer-row
+	// accounting of measured successes.
+	Calls int64 `json:"service_calls"`
+	Rows  int64 `json:"rows"`
+	// ServerRequests / ServerCalls are read from GET /metrics after
+	// the run (0 when the snapshot was unavailable): total requests
+	// the server counted on the driven endpoint, and total logical
+	// service calls it charged.
+	ServerRequests float64 `json:"server_requests,omitempty"`
+	ServerCalls    float64 `json:"server_calls,omitempty"`
+}
+
+// Percentile returns the q-th percentile (0 < q ≤ 100) of samples by
+// the nearest-rank method; 0 on an empty slice. The input is sorted in
+// place.
+func Percentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	rank := int(q/100*float64(len(samples)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(samples) {
+		rank = len(samples)
+	}
+	return samples[rank-1]
+}

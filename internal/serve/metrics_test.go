@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMetricsRender(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("mdq_requests_total", "Requests served.").Add(3)
+	m.CounterL("mdq_errors_total", "Errors by code.", "code", "429").Inc()
+	m.CounterL("mdq_errors_total", "Errors by code.", "code", "503").Add(2)
+	m.Gauge("mdq_inflight", "In-flight requests.").Set(7)
+	h := m.Histogram("mdq_request_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	text := m.Render()
+	for _, want := range []string{
+		"# HELP mdq_requests_total Requests served.",
+		"# TYPE mdq_requests_total counter",
+		"mdq_requests_total 3",
+		`mdq_errors_total{code="429"} 1`,
+		`mdq_errors_total{code="503"} 2`,
+		"# TYPE mdq_inflight gauge",
+		"mdq_inflight 7",
+		"# TYPE mdq_request_seconds histogram",
+		`mdq_request_seconds_bucket{le="0.1"} 1`,
+		`mdq_request_seconds_bucket{le="1"} 2`,
+		`mdq_request_seconds_bucket{le="+Inf"} 3`,
+		"mdq_request_seconds_sum 5.55",
+		"mdq_request_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMetricsIdempotentRegistration(t *testing.T) {
+	m := NewMetrics()
+	a := m.Counter("c", "help")
+	b := m.Counter("c", "help")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("re-registered counter does not share state")
+	}
+}
+
+func TestMetricsLabelsDeterministic(t *testing.T) {
+	if Labels("b", "2", "a", "1") != Labels("a", "1", "b", "2") {
+		t.Fatal("label order changed the rendered set")
+	}
+	if got := Labels("svc", `he"llo`); got != `{svc="he\"llo"}` {
+		t.Fatalf("quoting = %s", got)
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Counter("c", "h").Inc()
+				m.Histogram("h", "h", nil).Observe(0.01)
+				m.Gauge("g", "h").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("c", "h").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %v, want 8000", got)
+	}
+	if got := m.Histogram("h", "h", nil).Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %v, want 8000", got)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("x_total", "x").Inc()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %s", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "x_total 1") {
+		t.Fatalf("handler body missing sample:\n%s", buf[:n])
+	}
+}

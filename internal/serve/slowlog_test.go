@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestSlowLogRingEviction(t *testing.T) {
+	l := NewSlowLog(3, 0)
+	for i := 0; i < 5; i++ {
+		l.Record(RequestRecord{Endpoint: "/query", Rows: i, Elapsed: 0.1})
+	}
+	got := l.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3 (ring capacity)", len(got))
+	}
+	// Newest first: rows 4, 3, 2 survive.
+	for i, want := range []int{4, 3, 2} {
+		if got[i].Rows != want {
+			t.Fatalf("snapshot[%d].Rows = %d, want %d", i, got[i].Rows, want)
+		}
+	}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(8, 50*time.Millisecond)
+	l.Record(RequestRecord{Endpoint: "fast", Elapsed: 0.01})
+	l.Record(RequestRecord{Endpoint: "slow", Elapsed: 0.2})
+	got := l.Snapshot()
+	if len(got) != 1 || got[0].Endpoint != "slow" {
+		t.Fatalf("threshold kept %+v, want only the slow record", got)
+	}
+}
+
+func TestSlowLogHandler(t *testing.T) {
+	l := NewSlowLog(4, 0)
+	l.Record(RequestRecord{Endpoint: "/query", Status: 200, Elapsed: 0.3, Calls: 7})
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var recs []RequestRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Calls != 7 || recs[0].Status != 200 {
+		t.Fatalf("handler returned %+v", recs)
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"mdq/internal/opt"
 	"mdq/internal/plan"
 	"mdq/internal/schema"
+	"mdq/internal/serve"
 	"mdq/internal/service"
 	"mdq/internal/sim"
 	"mdq/internal/tabsvc"
@@ -202,6 +203,14 @@ type System struct {
 	// DistLocalTransport and DistHTTPTransport). Statistics-epoch
 	// bumps reach their plan caches through StartGossip.
 	Workers []DistTransport
+	// Budget, when non-nil, bounds the next query end to end: the
+	// optimizer checks its deadline during the search, and Execute
+	// carries it into the runner, where every logical service call is
+	// charged against the call cap. A tripped budget aborts with an
+	// error matching ErrBudgetExceeded. Budgets are single-query:
+	// build a fresh one per query (NewBudget) rather than sharing the
+	// System field across concurrent callers.
+	Budget *Budget
 }
 
 // NewSystem creates an empty system with the paper's default
@@ -285,6 +294,7 @@ func (s *System) optimizer() *opt.Optimizer {
 		CacheSalt:       s.registry.CacheSalt(),
 		Epochs:          s.registry,
 		RevalidateRatio: s.RevalidateRatio,
+		Budget:          s.Budget,
 	}
 }
 
@@ -337,6 +347,9 @@ func (s *System) AnswerBound(ctx context.Context, tpl *Template, values map[stri
 // System.Feedback set, observed services absorb the run's traffic
 // into their profiles afterwards.
 func (s *System) Execute(ctx context.Context, p *Plan) (*ExecResult, error) {
+	if s.Budget != nil && serve.FromContext(ctx) == nil {
+		ctx = serve.WithBudget(ctx, s.Budget)
+	}
 	r := &exec.Runner{Registry: s.registry, Cache: s.Cache, K: s.K, Feedback: s.Feedback}
 	return r.Run(ctx, p)
 }
@@ -383,6 +396,29 @@ type FeedbackPolicy = service.FeedbackPolicy
 // Observed is a service wrapper collecting live-traffic statistics
 // (see System.ObserveAll).
 type Observed = service.Observed
+
+// Budget caps one query's wall-clock time and logical service calls;
+// attach it to System.Budget (and, for execution, it rides the
+// context automatically). Once either limit trips, every later check
+// and charge fails with the same error. Safe for concurrent use
+// within the one query it budgets.
+type Budget = serve.Budget
+
+// BudgetError reports which budget dimension tripped ("deadline" or
+// "calls") and at what limit; it unwraps to ErrBudgetExceeded.
+type BudgetError = serve.BudgetError
+
+// ErrBudgetExceeded is the sentinel every budget violation matches
+// via errors.Is, whether it tripped in the optimizer's search, the
+// executor's service calls, or on a remote worker.
+var ErrBudgetExceeded = serve.ErrBudgetExceeded
+
+// NewBudget builds a per-query budget: d caps wall-clock time
+// (0 = no deadline), maxCalls caps logical service calls
+// (0 = uncapped; calls are still counted for accounting).
+func NewBudget(d time.Duration, maxCalls int64) *Budget {
+	return serve.NewBudget(d, maxCalls)
+}
 
 // NewPlanCache builds a plan cache holding up to capacity results
 // (<= 0 means 128).

@@ -2,9 +2,11 @@ package mdq_test
 
 import (
 	"context"
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"mdq"
 )
@@ -121,6 +123,38 @@ func TestAnswerEndToEnd(t *testing.T) {
 	}
 	if res.Stats.Calls["restaurant"] == 0 || res.Stats.Calls["safety"] == 0 {
 		t.Error("both services must be invoked")
+	}
+}
+
+// TestBudgetThroughFacade: a System.Budget bounds the whole pipeline
+// — an expired deadline aborts optimization, a call cap aborts
+// execution — and both failures match ErrBudgetExceeded. Uncapped
+// budgets still account calls.
+func TestBudgetThroughFacade(t *testing.T) {
+	s := demoSystem(t)
+	s.K = 5
+
+	s.Budget = mdq.NewBudget(time.Nanosecond, 0)
+	time.Sleep(time.Millisecond)
+	if _, _, err := s.Answer(context.Background(), demoQuery); !errors.Is(err, mdq.ErrBudgetExceeded) {
+		t.Fatalf("expired deadline: err = %v, want ErrBudgetExceeded", err)
+	}
+	var be *mdq.BudgetError
+	if err := s.Budget.Err(); !errors.As(err, &be) || be.Reason != "deadline" {
+		t.Fatalf("budget error = %v, want reason \"deadline\"", err)
+	}
+
+	s.Budget = mdq.NewBudget(0, 1)
+	if _, _, err := s.Answer(context.Background(), demoQuery); !errors.Is(err, mdq.ErrBudgetExceeded) {
+		t.Fatalf("call cap: err = %v, want ErrBudgetExceeded", err)
+	}
+
+	s.Budget = mdq.NewBudget(0, 0)
+	if _, _, err := s.Answer(context.Background(), demoQuery); err != nil {
+		t.Fatalf("uncapped budget must not trip: %v", err)
+	}
+	if s.Budget.Calls() == 0 {
+		t.Error("uncapped budget should still count service calls")
 	}
 }
 
