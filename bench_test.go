@@ -178,6 +178,46 @@ func BenchmarkMultithreadDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkTimeToFirstK measures how long a K-limited run of the
+// bushy plan O takes under simulated service latencies (scaled
+// clock), streaming versus the seed's materializing join runtime. The
+// materializing join cannot emit anything until both branches drain
+// completely; the streaming join reaches K while the proliferative
+// branches are still producing — the whole point of pipelined joins —
+// so its wall time per run sits well below the baseline's.
+func BenchmarkTimeToFirstK(b *testing.B) {
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name        string
+		materialize bool
+	}{
+		{"streaming", false},
+		{"materializing", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var firstRow time.Duration
+			for i := 0; i < b.N; i++ {
+				w, q := travelWorld(b)
+				p, err := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := &exec.Runner{Registry: w.Registry, Cache: card.OneCall, K: 3,
+					Clock: exec.ScaledClock{Factor: 0.0005}, Materialize: mode.materialize}
+				res, err := r.Run(ctx, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != 3 {
+					b.Fatalf("rows = %d, want 3", len(res.Rows))
+				}
+				firstRow += res.FirstRow
+			}
+			b.ReportMetric(float64(firstRow.Milliseconds())/float64(b.N), "first-row-ms/op")
+		})
+	}
+}
+
 // BenchmarkBioinformatics regenerates the §6 generalization run.
 func BenchmarkBioinformatics(b *testing.B) {
 	ctx := context.Background()

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"os"
 	"strconv"
 	"strings"
@@ -65,7 +66,8 @@ func runLoad(cfg loadConfig) error {
 	stopAt := measureFrom.Add(cfg.duration)
 
 	var mu sync.Mutex
-	var latencies []float64 // milliseconds, measured successes only
+	var latencies []float64  // milliseconds, measured successes only
+	var firstBytes []float64 // milliseconds to first response byte, measured successes
 	var firstErr error
 
 	var wg sync.WaitGroup
@@ -80,8 +82,14 @@ func runLoad(cfg loadConfig) error {
 					"bindings": map[string]any{"cat": cat},
 					"k":        cfg.k,
 				})
+				req, _ := http.NewRequest(http.MethodPost, base+"/query", bytes.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
 				reqStart := time.Now()
-				resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+				var firstByte time.Duration
+				req = req.WithContext(httptrace.WithClientTrace(req.Context(), &httptrace.ClientTrace{
+					GotFirstResponseByte: func() { firstByte = time.Since(reqStart) },
+				}))
+				resp, err := client.Do(req)
 				elapsed := time.Since(reqStart)
 				totalSent.Add(1)
 				measured := reqStart.After(measureFrom)
@@ -125,6 +133,9 @@ func runLoad(cfg loadConfig) error {
 					}
 					mu.Lock()
 					latencies = append(latencies, float64(elapsed)/float64(time.Millisecond))
+					if firstByte > 0 {
+						firstBytes = append(firstBytes, float64(firstByte)/float64(time.Millisecond))
+					}
 					mu.Unlock()
 				}
 			}
@@ -162,6 +173,10 @@ func runLoad(cfg loadConfig) error {
 		run.P95Millis = serve.Percentile(latencies, 95)
 		run.P99Millis = serve.Percentile(latencies, 99)
 	}
+	if len(firstBytes) > 0 {
+		run.FirstByteP50Millis = serve.Percentile(firstBytes, 50)
+		run.FirstByteP95Millis = serve.Percentile(firstBytes, 95)
+	}
 	run.ServerRequests, run.ServerCalls = scrapeMetrics(client, base)
 
 	fmt.Printf("load: %d clients × %s (after %s warmup) against %s\n",
@@ -170,6 +185,9 @@ func runLoad(cfg loadConfig) error {
 		run.Requests, run.Shed, run.Errors, run.TotalSent)
 	fmt.Printf("  throughput %.1f req/s; latency ms p50 %.1f, p95 %.1f, p99 %.1f (mean %.1f)\n",
 		run.Throughput, run.P50Millis, run.P95Millis, run.P99Millis, run.MeanMillis)
+	if run.FirstByteP50Millis > 0 {
+		fmt.Printf("  first byte ms p50 %.1f, p95 %.1f\n", run.FirstByteP50Millis, run.FirstByteP95Millis)
+	}
 	fmt.Printf("  %d service calls, %d rows; server-side: %.0f requests, %.0f calls\n",
 		run.Calls, run.Rows, run.ServerRequests, run.ServerCalls)
 

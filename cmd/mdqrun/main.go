@@ -7,7 +7,7 @@
 //	mdqrun [-world travel|bio|mashup|zipf] [-remote http://host:port]
 //	       [-metric etm] [-cache one-call] [-k 10] [-sim] [-query "..."]
 //	       [-template "... $param ..." -bind "param=value,..."]
-//	       [-feedback]
+//	       [-feedback] [-buffer 128]
 //
 // With -sim the plan runs on the deterministic virtual-time
 // simulator and the makespan is reported; otherwise the concurrent
@@ -53,6 +53,7 @@ func main() {
 		bindText  = flag.String("bind", "", "bindings for -template as name=value[,name=value...]")
 		feedback  = flag.Bool("feedback", false, "fold executed traffic back into observed service profiles")
 		parallel  = flag.Int("parallel", opt.AutoParallelism, "optimizer search workers (-1 = one per CPU, 1 = sequential)")
+		buffer    = flag.Int("buffer", exec.DefaultBufferSize, "streaming executor edge buffer in tuples (larger = fewer stalls, more memory; smaller = tighter memory, earlier backpressure)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -159,7 +160,7 @@ func main() {
 		calls = out.Stats.Calls
 		extra = fmt.Sprintf("virtual makespan: %.1fs", out.Makespan.Seconds())
 	} else {
-		r := &exec.Runner{Registry: reg, Cache: mode, K: *k}
+		r := &exec.Runner{Registry: reg, Cache: mode, K: *k, BufferSize: *buffer}
 		if *feedback {
 			r.Feedback = &service.FeedbackPolicy{}
 		}
@@ -172,6 +173,9 @@ func main() {
 		}
 		calls = out.Stats.Calls
 		extra = fmt.Sprintf("wall time: %s", out.Elapsed)
+		if out.FirstRow > 0 {
+			extra += fmt.Sprintf(" (first row after %s)", out.FirstRow)
+		}
 	}
 
 	head := make([]string, len(q.Head))

@@ -14,6 +14,7 @@
 //	         [-parallel -1] [-plancache 128] [-cachettl 0]
 //	         [-cachebytes 0] [-revalidate-ratio 4] [-feedback]
 //	         [-workers http://w1:8090,http://w2:8091] [-cache-file plans.json]
+//	         [-buffer 128]
 //
 // With -scale > 0 every request really sleeps the scaled simulated
 // latency (Table 1 of the paper: a flight call simulates 9.7 s, so
@@ -98,6 +99,7 @@ func main() {
 		minCalls   = flag.Int64("feedback-min-calls", 4, "observed calls required before a profile refresh")
 		minDrift   = flag.Float64("feedback-min-drift", 0.1, "relative statistics drift required before a refresh")
 		workerList = flag.String("workers", "", "comma-separated mdqworker base URLs; enables coordinator mode")
+		bufferSize = flag.Int("buffer", exec.DefaultBufferSize, "streaming executor edge buffer in tuples (larger = fewer stalls, more memory; smaller = tighter memory, earlier backpressure)")
 		cacheFile  = flag.String("cache-file", "", "load the template cache from this file at start and save it on SIGINT/SIGTERM")
 
 		maxInFlight  = flag.Int("max-inflight", 64, "max concurrent /optimize and /query requests (0 = unlimited)")
@@ -145,6 +147,7 @@ func main() {
 		cache:       pc,
 		parallel:    *parallel,
 		revalRatio:  *revalRatio,
+		buffer:      *bufferSize,
 		defDeadline: *defDeadline,
 		defMaxCalls: *defMaxCalls,
 	}
@@ -268,6 +271,10 @@ type optimizeServer struct {
 	// worker per execution. nil falls back to per-execution
 	// discovery, e.g. when a worker was unreachable at startup.
 	hosts []map[string]bool
+	// buffer is the streaming executor's per-edge channel capacity
+	// (-buffer; 0 = exec.DefaultBufferSize), applied to local runs and
+	// to coordinator-side dataflows alike.
+	buffer int
 	// defDeadline / defMaxCalls are the server-wide budget defaults
 	// applied when a request does not set deadline_ms / max_calls
 	// (zero = unlimited).
@@ -285,6 +292,7 @@ func (s *optimizeServer) coordinator(m cost.Metric, mode card.CacheMode, k int) 
 		K:               k,
 		RevalidateRatio: s.revalRatio,
 		Hosts:           s.hosts,
+		BufferSize:      s.buffer,
 	}
 }
 
@@ -454,11 +462,15 @@ type queryRequest struct {
 
 type queryResponse struct {
 	optimizeResponse
-	Head    []string          `json:"head,omitempty"`
-	Rows    [][]string        `json:"rows,omitempty"`
-	Calls   map[string]int64  `json:"calls,omitempty"`
-	Elapsed float64           `json:"elapsed_seconds,omitempty"`
-	Epochs  map[string]uint64 `json:"epochs,omitempty"`
+	Head    []string         `json:"head,omitempty"`
+	Rows    [][]string       `json:"rows,omitempty"`
+	Calls   map[string]int64 `json:"calls,omitempty"`
+	Elapsed float64          `json:"elapsed_seconds,omitempty"`
+	// FirstRowMillis is the time from the start of plan execution to
+	// its first result row (streaming runtime; absent when the query
+	// produced no rows).
+	FirstRowMillis float64           `json:"first_row_ms,omitempty"`
+	Epochs         map[string]uint64 `json:"epochs,omitempty"`
 }
 
 // bindValue converts a JSON binding into a schema value: numbers map
@@ -569,7 +581,7 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 			// path and are re-broadcast by the gossip loop.
 			out, err = s.coordinator(m, mode, k).ExecutePlan(ctx, res.Best)
 		} else {
-			runner := &exec.Runner{Registry: s.reg, Cache: mode, K: k, Feedback: s.feedback}
+			runner := &exec.Runner{Registry: s.reg, Cache: mode, K: k, Feedback: s.feedback, BufferSize: s.buffer}
 			out, err = runner.Run(ctx, res.Best)
 		}
 		st.Execute = time.Since(execStart)
@@ -578,6 +590,7 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 			writeQueryError(w, http.StatusUnprocessableEntity, st.Err, "executing")
 			return
 		}
+		st.FirstRow = out.FirstRow
 		for _, v := range out.Head {
 			resp.Head = append(resp.Head, string(v))
 		}
@@ -590,6 +603,7 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 		st.Rows = len(resp.Rows)
 		resp.Calls = out.Stats.Calls
 		resp.Elapsed = out.Elapsed.Seconds()
+		resp.FirstRowMillis = float64(out.FirstRow) / float64(time.Millisecond)
 		resp.Epochs = s.reg.Epochs()
 	}
 	writeJSON(w, resp)

@@ -41,6 +41,7 @@ type reqStats struct {
 	Query      string
 	Optimize   time.Duration
 	Execute    time.Duration
+	FirstRow   time.Duration
 	Calls      int64
 	CacheClass string
 	Rows       int
@@ -155,6 +156,10 @@ func (o *observability) instrument(endpoint string, h http.HandlerFunc) http.Han
 			o.metrics.Histogram("mdq_execute_seconds",
 				"Time spent executing the chosen plan.", nil).Observe(st.Execute.Seconds())
 		}
+		if st.FirstRow > 0 {
+			o.metrics.Histogram("mdq_exec_first_row_seconds",
+				"Time from the start of plan execution to its first result row.", nil).Observe(st.FirstRow.Seconds())
+		}
 		if st.Calls > 0 {
 			o.metrics.Counter("mdq_service_calls_total",
 				"Logical service calls issued by executions.").Add(float64(st.Calls))
@@ -177,6 +182,7 @@ func (o *observability) instrument(endpoint string, h http.HandlerFunc) http.Han
 			Elapsed:         elapsed.Seconds(),
 			OptimizeSeconds: st.Optimize.Seconds(),
 			ExecuteSeconds:  st.Execute.Seconds(),
+			FirstRowMillis:  float64(st.FirstRow) / float64(time.Millisecond),
 			Calls:           st.Calls,
 			CacheClass:      st.CacheClass,
 			Rows:            st.Rows,

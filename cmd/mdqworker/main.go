@@ -13,7 +13,7 @@
 //	mdqworker [-addr :8090] [-world travel|bio|mashup|zipf]
 //	          [-parallel 1] [-plancache 128] [-cachettl 0] [-cachebytes 0]
 //	          [-cache-file worker-cache.json] [-scale 0]
-//	          [-execute] [-feedback] [-feedback-min-calls 4]
+//	          [-execute] [-buffer 128] [-feedback] [-feedback-min-calls 4]
 //	          [-feedback-min-drift 0.1]
 //
 // Endpoints:
@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"mdq/internal/dist"
+	"mdq/internal/exec"
 	"mdq/internal/httpwrap"
 	"mdq/internal/opt"
 	"mdq/internal/serve"
@@ -73,6 +74,7 @@ func main() {
 		cacheBytes = flag.Int64("cachebytes", 0, "approximate plan cache byte budget (0 = unlimited)")
 		cacheFile  = flag.String("cache-file", "", "load the template cache from this file at start and save it on SIGINT/SIGTERM")
 		execute    = flag.Bool("execute", true, "serve fragment execution (POST /dist/execute)")
+		bufferSize = flag.Int("buffer", exec.DefaultBufferSize, "fragment executor edge buffer in tuples (larger = fewer stalls, more memory; smaller = tighter memory, earlier backpressure)")
 		feedback   = flag.Bool("feedback", true, "fold fragment-execution traffic back into local service profiles")
 		minCalls   = flag.Int64("feedback-min-calls", 4, "observed calls required before a profile refresh")
 		minDrift   = flag.Float64("feedback-min-drift", 0.1, "relative statistics drift required before a refresh")
@@ -91,6 +93,7 @@ func main() {
 	worker := dist.NewWorker(reg, pc)
 	worker.Parallelism = *parallel
 	worker.ExecuteDisabled = !*execute
+	worker.BufferSize = *bufferSize
 	if *feedback {
 		worker.Feedback = &service.FeedbackPolicy{MinCalls: *minCalls, MinDrift: *minDrift}
 	}

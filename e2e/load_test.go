@@ -8,10 +8,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // loadRun mirrors the serve.LoadRun fields this test asserts on (the
@@ -194,5 +196,79 @@ func TestClosedLoopLoadGate(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout || !qe.BudgetExceeded {
 		t.Fatalf("1ms-deadline query: got %s budget_exceeded=%v (%s), want 504 with budget_exceeded=true",
 			resp.Status, qe.BudgetExceeded, qe.Error)
+	}
+
+	// Time-to-first-answer observability: a direct query measured with
+	// an httptrace clock must report first_row_ms in its response and
+	// in the slowlog, and the server's first-row instant must precede
+	// the client-observed first response byte — the server cannot have
+	// started writing the response before the first row existed.
+	traceBody, _ := json.Marshal(map[string]any{
+		"template": e2eTemplate,
+		"bindings": map[string]any{"cat": "standard"},
+		"k":        answersK,
+	})
+	traceReq, err := http.NewRequest(http.MethodPost, "http://"+serveAddr+"/query", bytes.NewReader(traceBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceReq.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	var firstByte time.Duration
+	traceReq = traceReq.WithContext(httptrace.WithClientTrace(traceReq.Context(), &httptrace.ClientTrace{
+		GotFirstResponseByte: func() { firstByte = time.Since(start) },
+	}))
+	traceResp, err := http.DefaultClient.Do(traceReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer traceResp.Body.Close()
+	var traced struct {
+		Rows           [][]string `json:"rows"`
+		FirstRowMillis float64    `json:"first_row_ms"`
+	}
+	if err := json.NewDecoder(traceResp.Body).Decode(&traced); err != nil {
+		t.Fatal(err)
+	}
+	if traceResp.StatusCode != http.StatusOK || len(traced.Rows) == 0 {
+		t.Fatalf("traced query: %s with %d rows", traceResp.Status, len(traced.Rows))
+	}
+	firstByteMillis := float64(firstByte) / float64(time.Millisecond)
+	if traced.FirstRowMillis <= 0 {
+		t.Fatal("traced query response carries no first_row_ms")
+	}
+	if traced.FirstRowMillis > firstByteMillis {
+		t.Fatalf("server first row at %.2fms, but the client saw the first response byte at %.2fms",
+			traced.FirstRowMillis, firstByteMillis)
+	}
+
+	// The slowlog's newest /query record with rows is the traced
+	// request; its first_row_ms must agree with what the response said.
+	slowResp, err := http.Get("http://" + serveAddr + "/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slowResp.Body.Close()
+	var records []struct {
+		Endpoint       string  `json:"endpoint"`
+		Rows           int     `json:"rows"`
+		FirstRowMillis float64 `json:"first_row_ms"`
+	}
+	if err := json.NewDecoder(slowResp.Body).Decode(&records); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rec := range records { // newest first
+		if rec.Endpoint != "/query" || rec.Rows == 0 {
+			continue
+		}
+		found = true
+		if rec.FirstRowMillis != traced.FirstRowMillis {
+			t.Fatalf("slowlog first_row_ms = %.3f, response said %.3f", rec.FirstRowMillis, traced.FirstRowMillis)
+		}
+		break
+	}
+	if !found {
+		t.Fatal("slowlog holds no /query record with rows")
 	}
 }

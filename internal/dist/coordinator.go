@@ -62,6 +62,18 @@ type Coordinator struct {
 	// should DiscoverHosts once and reuse the result, saving one
 	// round-trip per worker per execution.
 	Hosts []map[string]bool
+	// BufferSize is the per-arc channel capacity of ExecutePlan's
+	// coordinator-side dataflow (0 means exec.DefaultBufferSize): each
+	// inter-fragment stream buffers at most this many decoded tuples
+	// between a worker's frame stream and the join consuming it, which
+	// is what bounds coordinator memory by buffer size instead of
+	// intermediate-result cardinality.
+	BufferSize int
+	// JoinExcessPeak, when non-nil, is raised to the largest number of
+	// tuples any coordinator-side streaming join buffered beyond its
+	// still-needed frontier (see exec.StreamJoin). Test
+	// instrumentation for the bounded-memory contract.
+	JoinExcessPeak *atomic.Int64
 }
 
 // searchSeq and processToken make search IDs globally unique: workers

@@ -19,6 +19,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mdq/internal/abind"
@@ -224,7 +226,7 @@ func (w *Worker) ExecuteFragment(ctx context.Context, req ExecuteRequest, sink f
 		batch = nil
 		return err
 	}
-	runner := &exec.Runner{Registry: w.reg, Cache: mode, Feedback: w.Feedback}
+	runner := &exec.Runner{Registry: w.reg, Cache: mode, Feedback: w.Feedback, BufferSize: w.BufferSize}
 	res, err := runner.RunFragment(ctx, p, req.Atoms, seeds, func(t exec.Tuple) error {
 		batch = append(batch, encodeTuple(t))
 		count++
@@ -299,17 +301,29 @@ func (c *Coordinator) sharesRegistry(tr Transport) bool {
 	}
 }
 
-// ExecutePlan executes a winning plan across the fleet: the plan is
-// partitioned into linear fragments (PartitionPlan), each fragment
-// runs on a worker hosting its services with the tuples flowing into
-// it shipped along, and the coordinator combines the streamed-back
-// tail streams itself — parallel joins via the executor's JoinPairs,
-// head projection and k-truncation at the output. Because fragments
-// reproduce their nodes' in-plan tuple streams exactly and the
-// coordinator applies the identical join traversals, the result is
-// byte-identical to running the plan on the coordinator with
-// exec.Runner (differential-tested on the simweb worlds over both
-// transports).
+// ExecutePlan executes a winning plan across the fleet as a
+// coordinator-side streaming dataflow: the plan is partitioned into
+// linear fragments (PartitionPlan), and every coordinator-visible
+// node — the input, each fragment, each parallel join, the output —
+// runs as its own goroutine connected by bounded channels
+// (BufferSize tuples per arc). Incomparable fragments (parallel join
+// branches) therefore dispatch concurrently, each worker's ndjson
+// batch stream is decoded into its arc as frames arrive, and the
+// joins consume those arcs incrementally (exec.StreamJoin), so
+// wall-clock for a bushy plan tracks the slowest branch rather than
+// the sum and coordinator memory is bounded by buffer size rather
+// than intermediate-result size. Reaching K at the output cancels the
+// in-flight fragment streams (early termination, §2.2). A fragment's
+// seed tuples are still materialized before dispatch — the execute
+// wire is request-then-stream — so the bounded-memory claim covers
+// fragment *result* streams, which is where proliferative cardinality
+// lives.
+//
+// Because fragments reproduce their nodes' in-plan tuple streams
+// exactly and the streaming joins apply the identical plane
+// traversals, the result is byte-identical to running the plan on the
+// coordinator with exec.Runner (differential-tested on the simweb
+// worlds over both transports).
 //
 // Worker-side fragment executions run under each worker's own
 // feedback policy; bumps they report are absorbed into this registry
@@ -377,113 +391,271 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Resu
 		Vars:       vars,
 	}
 
-	streams := map[int][]exec.Tuple{}
+	bufSize := c.BufferSize
+	if bufSize <= 0 {
+		bufSize = exec.DefaultBufferSize
+	}
+
+	// The coordinator-visible dataflow nodes are the input, each
+	// fragment (standing in for its whole chain, producing as its
+	// tail), each parallel join, and the output. Chain-interior nodes
+	// live inside a fragment and never carry a coordinator arc.
+	tailFrag := make(map[int]Fragment, len(frags))
+	for _, f := range frags {
+		tailFrag[p.ServiceNode[f.Atoms[len(f.Atoms)-1]].ID] = f
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// One bounded channel per coordinator arc, indexed by (from, to).
+	type arcKey struct{ from, to int }
+	arcs := map[arcKey]chan exec.Tuple{}
+	var output *plan.Node
+	for _, n := range p.Nodes {
+		switch n.Kind {
+		case plan.Output:
+			output = n
+			continue
+		case plan.Service:
+			if _, ok := tailFrag[n.ID]; !ok {
+				continue // chain-interior: no coordinator arc
+			}
+		}
+		for _, m := range n.Out {
+			arcs[arcKey{n.ID, m.ID}] = make(chan exec.Tuple, bufSize)
+		}
+	}
+	if output == nil {
+		return nil, fmt.Errorf("dist: plan for query %s has no output node", p.Query.Name)
+	}
+	outsOf := func(n *plan.Node) []chan exec.Tuple {
+		outs := make([]chan exec.Tuple, len(n.Out))
+		for i, m := range n.Out {
+			outs[i] = arcs[arcKey{n.ID, m.ID}]
+		}
+		return outs
+	}
+	send := func(outs []chan exec.Tuple, t exec.Tuple) error {
+		for _, ch := range outs {
+			select {
+			case ch <- t:
+			case <-ctx.Done():
+				return context.Canceled
+			}
+		}
+		return nil
+	}
+	closeArcs := func(outs []chan exec.Tuple) {
+		for _, ch := range outs {
+			close(ch)
+		}
+	}
+
 	res := &exec.Result{
 		Head:  p.Query.Head,
 		Stats: exec.Stats{Calls: map[string]int64{}, Fetches: map[string]int64{}},
 	}
-	for _, n := range p.TopoNodes() {
+	var (
+		mu       sync.Mutex
+		rows     [][]schema.Value
+		tuples   []exec.Tuple
+		firstRow time.Duration
+	)
+	// reached distinguishes our own k-satisfied cancellation from an
+	// external abort: once set, sibling fragments cancelled mid-stream
+	// are an orderly shutdown, not a failure — their errors (and any
+	// late budget charge the cap would reject) are swallowed, because
+	// the answer is already complete.
+	var reached atomic.Bool
+
+	// runFragment collects the chain's seed tuples (the execute wire
+	// ships them with the request), dispatches, and feeds the worker's
+	// batch stream into the tail's arcs tuple by tuple as frames
+	// arrive. Calls are charged against the budget when the fragment's
+	// accounting frame lands — a fragment cancelled mid-stream never
+	// reports, so exec.Stats counts exactly the completed fragments.
+	runFragment := func(f Fragment) error {
+		head := p.ServiceNode[f.Atoms[0]]
+		tail := p.ServiceNode[f.Atoms[len(f.Atoms)-1]]
+		outs := outsOf(tail)
+		defer closeArcs(outs)
+		var seeds []exec.Tuple
+		for t := range arcs[arcKey{head.In[0].ID, head.ID}] {
+			seeds = append(seeds, t)
+		}
+		if ctx.Err() != nil {
+			return context.Canceled
+		}
+		tr := c.Workers[f.Worker]
+		req := base
+		req.Atoms = f.Atoms
+		req.Seeds = encodeTuples(seeds)
+		if budget != nil {
+			if err := budget.Err(); err != nil {
+				return err
+			}
+			if rem, ok := budget.Remaining(); ok {
+				req.BudgetMillis = int64(rem / time.Millisecond)
+				if req.BudgetMillis < 1 {
+					req.BudgetMillis = 1
+				}
+			}
+			if left, ok := budget.CallsLeft(); ok {
+				if left == 0 && len(req.Seeds) > 0 {
+					// The cap is exactly consumed and this fragment
+					// has tuples to process: the call it would issue
+					// trips the budget, so abort before shipping.
+					return budget.Charge(1)
+				}
+				req.BudgetCalls = left
+			}
+		}
+		decoded := 0
+		fres, err := tr.ExecuteFragment(ctx, req, func(batch []WireTuple) error {
+			for _, wt := range batch {
+				t, derr := decodeTuple(wt, ix.Len())
+				if derr != nil {
+					return derr
+				}
+				decoded++
+				if serr := send(outs, t); serr != nil {
+					return serr
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			if reached.Load() {
+				return context.Canceled
+			}
+			// A budget trip surfaces as the budget error, not as the
+			// transport failure it caused (cancelled stream, worker
+			// abort): the serving layer maps it to a clean JSON
+			// budget-exceeded response.
+			if budget != nil {
+				if berr := budget.Err(); berr != nil {
+					return berr
+				}
+			}
+			if ctx.Err() != nil {
+				return context.Canceled
+			}
+			return fmt.Errorf("dist: fragment %v on %s: %w", f.Atoms, tr.Name(), err)
+		}
+		if fres.Tuples != decoded {
+			return fmt.Errorf("dist: fragment %v on %s reported %d tuples, streamed %d", f.Atoms, tr.Name(), fres.Tuples, decoded)
+		}
+		var fragCalls int64
+		mu.Lock()
+		for name, v := range fres.Calls {
+			res.Stats.Calls[name] += v
+			fragCalls += v
+		}
+		for name, v := range fres.Fetches {
+			res.Stats.Fetches[name] += v
+		}
+		mu.Unlock()
+		if budget != nil {
+			if err := budget.Charge(fragCalls); err != nil && !reached.Load() {
+				return err
+			}
+		}
+		if len(fres.Bumps) > 0 && !c.sharesRegistry(tr) {
+			c.AbsorbBumps(fres.Bumps)
+		}
+		return nil
+	}
+
+	errc := make(chan error, len(p.Nodes))
+	var wg sync.WaitGroup
+	spawn := func(run func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := run(); err != nil && err != context.Canceled {
+				select {
+				case errc <- err:
+				default:
+				}
+				cancel()
+			}
+		}()
+	}
+	for _, n := range p.Nodes {
+		n := n
 		switch n.Kind {
 		case plan.Input:
-			streams[n.ID] = []exec.Tuple{exec.NewTuple(ix)}
+			spawn(func() error {
+				outs := outsOf(n)
+				defer closeArcs(outs)
+				return send(outs, exec.NewTuple(ix))
+			})
 		case plan.Service:
 			f, ok := headFrag[n.ID]
 			if !ok {
-				// Chain-interior node: its stream lives inside a
-				// fragment and has no other consumer.
-				continue
+				continue // chain-interior: runs inside its fragment
 			}
-			tr := c.Workers[f.Worker]
-			req := base
-			req.Atoms = f.Atoms
-			req.Seeds = encodeTuples(streams[n.In[0].ID])
-			if budget != nil {
-				if err := budget.Err(); err != nil {
-					return nil, err
-				}
-				if rem, ok := budget.Remaining(); ok {
-					req.BudgetMillis = int64(rem / time.Millisecond)
-					if req.BudgetMillis < 1 {
-						req.BudgetMillis = 1
+			spawn(func() error { return runFragment(f) })
+		case plan.Join:
+			spawn(func() error {
+				outs := outsOf(n)
+				defer closeArcs(outs)
+				in0 := arcs[arcKey{n.In[0].ID, n.ID}]
+				in1 := arcs[arcKey{n.In[1].ID, n.ID}]
+				return exec.StreamJoin(ctx, n.Method, in0, in1, n.JoinPreds, ix, func(t exec.Tuple) error {
+					return send(outs, t)
+				}, c.JoinExcessPeak)
+			})
+		case plan.Output:
+			spawn(func() error {
+				for t := range arcs[arcKey{n.In[0].ID, n.ID}] {
+					row, perr := t.Project(ix, p.Query.Head)
+					if perr != nil {
+						return perr
 					}
-				}
-				if left, ok := budget.CallsLeft(); ok {
-					if left == 0 && len(req.Seeds) > 0 {
-						// The cap is exactly consumed and this fragment
-						// has tuples to process: the call it would issue
-						// trips the budget, so abort before shipping.
-						return nil, budget.Charge(1)
+					mu.Lock()
+					if !reached.Load() {
+						rows = append(rows, row)
+						tuples = append(tuples, t)
+						if len(rows) == 1 {
+							firstRow = time.Since(start)
+						}
+						if c.K > 0 && len(rows) >= c.K {
+							reached.Store(true)
+							cancel()
+						}
 					}
-					req.BudgetCalls = left
-				}
-			}
-			var got []exec.Tuple
-			fres, err := tr.ExecuteFragment(ctx, req, func(batch []WireTuple) error {
-				for _, wt := range batch {
-					t, derr := decodeTuple(wt, ix.Len())
-					if derr != nil {
-						return derr
-					}
-					got = append(got, t)
+					mu.Unlock()
 				}
 				return nil
 			})
-			if err != nil {
-				// A budget trip surfaces as the budget error, not as the
-				// transport failure it caused (cancelled stream, worker
-				// abort): the serving layer maps it to a clean JSON
-				// budget-exceeded response.
-				if budget != nil {
-					if berr := budget.Err(); berr != nil {
-						return nil, berr
-					}
-				}
-				return nil, fmt.Errorf("dist: fragment %v on %s: %w", f.Atoms, tr.Name(), err)
-			}
-			if fres.Tuples != len(got) {
-				return nil, fmt.Errorf("dist: fragment %v on %s reported %d tuples, streamed %d", f.Atoms, tr.Name(), fres.Tuples, len(got))
-			}
-			var fragCalls int64
-			for name, v := range fres.Calls {
-				res.Stats.Calls[name] += v
-				fragCalls += v
-			}
-			for name, v := range fres.Fetches {
-				res.Stats.Fetches[name] += v
-			}
-			if budget != nil {
-				if err := budget.Charge(fragCalls); err != nil {
-					return nil, err
-				}
-			}
-			if len(fres.Bumps) > 0 && !c.sharesRegistry(tr) {
-				c.AbsorbBumps(fres.Bumps)
-			}
-			streams[p.ServiceNode[f.Atoms[len(f.Atoms)-1]].ID] = got
-		case plan.Join:
-			merged, jerr := exec.JoinPairs(n.Method, streams[n.In[0].ID], streams[n.In[1].ID], n.JoinPreds, ix)
-			if jerr != nil {
-				return nil, jerr
-			}
-			streams[n.ID] = merged
-		case plan.Output:
-			final := streams[n.In[0].ID]
-			if c.K > 0 && len(final) > c.K {
-				final = final[:c.K]
-			}
-			var rows [][]schema.Value
-			for _, t := range final {
-				row, perr := t.Project(ix, p.Query.Head)
-				if perr != nil {
-					return nil, perr
-				}
-				rows = append(rows, row)
-			}
-			res.Rows = rows
-			res.Tuples = final
-			res.Elapsed = time.Since(start)
-			return res, nil
 		}
 	}
-	return nil, fmt.Errorf("dist: plan for query %s has no output node", p.Query.Name)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		if budget != nil {
+			if berr := budget.Err(); berr != nil {
+				return nil, berr
+			}
+		}
+		return nil, err
+	default:
+	}
+	// Distinguish our own k-satisfied cancellation from an external
+	// one (caller cancel, budget deadline): an externally cancelled
+	// run must not pass as a complete result.
+	if ctx.Err() != nil && !reached.Load() {
+		if budget != nil {
+			if berr := budget.Err(); berr != nil {
+				return nil, berr
+			}
+		}
+		return nil, ctx.Err()
+	}
+	res.Rows = rows
+	res.Tuples = tuples
+	res.FirstRow = firstRow
+	res.Elapsed = time.Since(start)
+	return res, nil
 }

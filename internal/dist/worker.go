@@ -44,6 +44,11 @@ type Worker struct {
 	// server side of `mdqworker -execute=false`, for deployments that
 	// shard only the search.
 	ExecuteDisabled bool
+	// BufferSize is the per-arc channel capacity of fragment
+	// executions (exec.Runner.BufferSize; 0 means the executor
+	// default) — the worker half of the streaming runtime's
+	// memory/latency dial.
+	BufferSize int
 
 	// feed collects the worker registry's own epoch bumps (local
 	// statistics refreshes, e.g. from execution feedback) for

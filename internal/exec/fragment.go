@@ -77,7 +77,7 @@ func (r *Runner) RunFragment(ctx context.Context, p *plan.Plan, atoms []int, see
 	// One edge in front of every chain node plus one behind the tail.
 	edges := make([]*edge, len(chain)+1)
 	for i := range edges {
-		edges[i] = &edge{ch: make(chan Tuple, 128)}
+		edges[i] = &edge{ch: make(chan Tuple, r.bufferSize())}
 	}
 
 	// Seed the head.

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mdq/internal/card"
@@ -56,6 +57,25 @@ type Runner struct {
 	// run a plan, raise its fetch factors, and re-run with the same
 	// cache so only the new fetches reach the services.
 	SharedCache Cache
+	// BufferSize is the per-arc channel capacity of the dataflow (0
+	// means DefaultBufferSize). It is the streaming runtime's
+	// memory/latency dial: each arc buffers at most BufferSize tuples,
+	// so a larger value lets fast producers run further ahead of slow
+	// consumers (fewer stalls, more buffered tuples), while a smaller
+	// value bounds memory tighter and applies backpressure sooner.
+	BufferSize int
+	// Materialize restores the pre-streaming join path: drain both
+	// join inputs, then traverse the buffered Cartesian plane with
+	// JoinPairs. Output is identical to the streaming operators (the
+	// traversal order is the same); only the emission timing and the
+	// buffering differ. It exists as the differential baseline the
+	// streaming runtime is tested and benchmarked against.
+	Materialize bool
+	// JoinExcessPeak, when non-nil, is raised to the largest number of
+	// tuples any streaming join buffered beyond its still-needed
+	// frontier (see StreamJoin). Test instrumentation for the
+	// bounded-memory contract; nil costs nothing.
+	JoinExcessPeak *atomic.Int64
 	// Feedback, when non-nil, closes the adaptive loop: after each
 	// run the observed per-service call and fetch cardinalities are
 	// offered back to the services' Observed wrappers (§5: profiles
@@ -93,6 +113,20 @@ type Result struct {
 	Stats Stats
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// FirstRow is the wall-clock time from the start of the run to
+	// the first result row (0 when the run produced none) — the
+	// streaming runtime's time-to-first-answer signal, surfaced as
+	// first_row_ms in the serving slowlog and as the
+	// mdq_exec_first_row_seconds histogram.
+	FirstRow time.Duration
+}
+
+// bufferSize resolves the per-arc channel capacity.
+func (r *Runner) bufferSize() int {
+	if r.BufferSize > 0 {
+		return r.BufferSize
+	}
+	return DefaultBufferSize
 }
 
 // Run executes the plan. The plan must be resolved and validated.
@@ -111,6 +145,7 @@ func (r *Runner) Run(ctx context.Context, p *plan.Plan) (*Result, error) {
 		ix:     NewVarIndex(p),
 		cache:  cache,
 		calls:  map[string]*service.Counter{},
+		start:  start,
 	}
 	for _, n := range p.Nodes {
 		if n.Kind == plan.Service {
@@ -124,11 +159,12 @@ func (r *Runner) Run(ctx context.Context, p *plan.Plan) (*Result, error) {
 		return nil, budgetAbort(ctx, err)
 	}
 	res := &Result{
-		Head:    p.Query.Head,
-		Rows:    rows,
-		Tuples:  tuples,
-		Stats:   Stats{Calls: map[string]int64{}, Fetches: map[string]int64{}},
-		Elapsed: time.Since(start),
+		Head:     p.Query.Head,
+		Rows:     rows,
+		Tuples:   tuples,
+		Stats:    Stats{Calls: map[string]int64{}, Fetches: map[string]int64{}},
+		Elapsed:  time.Since(start),
+		FirstRow: ex.firstRow,
 	}
 	for name, c := range ex.calls {
 		res.Stats.Calls[name] = c.Calls()
@@ -165,6 +201,10 @@ type execution struct {
 	ix     *VarIndex
 	cache  Cache
 	calls  map[string]*service.Counter
+	// start anchors firstRow; firstRow is written once, under the
+	// output stage's mutex, when the first result row lands.
+	start    time.Time
+	firstRow time.Duration
 }
 
 type edge struct {
@@ -180,7 +220,7 @@ func (ex *execution) run(ctx context.Context) ([][]schema.Value, []Tuple, error)
 	arcs := map[arcKey]*edge{}
 	for _, n := range ex.plan.Nodes {
 		for _, m := range n.Out {
-			arcs[arcKey{n.ID, m.ID}] = &edge{ch: make(chan Tuple, 128)}
+			arcs[arcKey{n.ID, m.ID}] = &edge{ch: make(chan Tuple, ex.runner.bufferSize())}
 		}
 	}
 	ins := func(n *plan.Node) []*edge {
@@ -231,6 +271,9 @@ func (ex *execution) run(ctx context.Context) ([][]schema.Value, []Tuple, error)
 						if !reached {
 							rows = append(rows, head)
 							tuples = append(tuples, t)
+							if len(rows) == 1 {
+								ex.firstRow = time.Since(ex.start)
+							}
 							if ex.runner.K > 0 && len(rows) >= ex.runner.K {
 								reached = true
 								cancel()
@@ -298,6 +341,12 @@ func (ex *execution) runService(ctx context.Context, n *plan.Node, in *edge, out
 
 	if !ex.runner.ParallelCalls {
 		for t := range in.ch {
+			// A cancelled run (k satisfied downstream, budget trip,
+			// external abort) stops invoking services immediately
+			// instead of working through the buffered backlog.
+			if ctx.Err() != nil {
+				return nil
+			}
 			results, err := st.process(ctx, t)
 			if err != nil {
 				return err
@@ -376,16 +425,29 @@ func (st *svcStage) process(ctx context.Context, t Tuple) ([]Tuple, error) {
 	return st.iv.Expand(t, rows)
 }
 
-// runJoin implements the parallel join strategies of §3.3 / [4].
-// Both input streams are drained, then the Cartesian plane is
-// traversed in the strategy's order (Figure 5): nested loop scans
-// the left (selective) side for each right tuple in right order;
-// merge-scan walks anti-diagonals so the output is consistent with
-// both input orders. Tuples pair successfully when their shared
-// variables agree (lineage or value equi-join) and the join's
-// predicates hold.
+// runJoin implements the parallel join strategies of §3.3 / [4] as a
+// streaming operator: the Cartesian plane is traversed in the
+// strategy's order (Figure 5) with pairs emitted as soon as the order
+// permits — see StreamJoin for the per-method contract. Tuples pair
+// successfully when their shared variables agree (lineage or value
+// equi-join) and the join's predicates hold. With Runner.Materialize
+// set, the pre-streaming drain-then-JoinPairs path runs instead (the
+// differential baseline; output is identical either way).
 func (ex *execution) runJoin(ctx context.Context, n *plan.Node, ins []*edge, outs []*edge) error {
 	defer closeAll(outs)
+	if ex.runner.Materialize {
+		return ex.runJoinMaterialized(ctx, n, ins, outs)
+	}
+	return StreamJoin(ctx, n.Method, ins[0].ch, ins[1].ch, n.JoinPreds, ex.ix, func(m Tuple) error {
+		return emit(ctx, outs, m)
+	}, ex.runner.JoinExcessPeak)
+}
+
+// runJoinMaterialized is the seed-era join stage: drain both input
+// streams, then traverse the buffered plane with JoinPairs. Kept as
+// the baseline the streaming operators are differential-tested and
+// benchmarked against (Runner.Materialize).
+func (ex *execution) runJoinMaterialized(ctx context.Context, n *plan.Node, ins []*edge, outs []*edge) error {
 	var left, right []Tuple
 	var wg sync.WaitGroup
 	wg.Add(2)

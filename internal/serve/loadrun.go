@@ -34,6 +34,13 @@ type LoadRun struct {
 	P50Millis  float64 `json:"p50_ms"`
 	P95Millis  float64 `json:"p95_ms"`
 	P99Millis  float64 `json:"p99_ms"`
+	// FirstByteP50Millis / FirstByteP95Millis summarize the
+	// client-observed time to first response byte of measured
+	// successes — the wire-side counterpart of the server's
+	// first_row_ms slowlog field (server first row necessarily
+	// precedes the response's first byte).
+	FirstByteP50Millis float64 `json:"first_byte_p50_ms,omitempty"`
+	FirstByteP95Millis float64 `json:"first_byte_p95_ms,omitempty"`
 	// Calls / Rows sum the per-response service-call and answer-row
 	// accounting of measured successes.
 	Calls int64 `json:"service_calls"`

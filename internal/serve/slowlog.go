@@ -26,6 +26,11 @@ type RequestRecord struct {
 	OptimizeSeconds float64 `json:"optimize_seconds,omitempty"`
 	// ExecuteSeconds is the time spent executing the plan.
 	ExecuteSeconds float64 `json:"execute_seconds,omitempty"`
+	// FirstRowMillis is the time from the start of plan execution to
+	// its first result row, in milliseconds (absent when the
+	// execution produced no rows) — the streaming runtime's
+	// time-to-first-answer signal.
+	FirstRowMillis float64 `json:"first_row_ms,omitempty"`
 	// Calls is the total logical service calls the request issued.
 	Calls int64 `json:"calls,omitempty"`
 	// CacheClass classifies how the optimizer answered: "exact",
