@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_TOLERANCE ?= 2.5
 
-.PHONY: build vet fmt test race bench benchgate bench-baseline docscheck dist-smoke e2e-smoke load-smoke load-baseline staticcheck ci
+.PHONY: build vet fmt test race bench benchgate bench-baseline docscheck dist-smoke e2e-smoke chaos-smoke load-smoke load-baseline staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,14 @@ dist-smoke:
 e2e-smoke:
 	$(GO) test -tags e2e -count=1 -v -run TestMultiProcessFragmentExecution ./e2e
 
+# Chaos smoke: SIGKILL a real mdqworker process while queries are in
+# flight against a real coordinator. Every query — before, during and
+# after the kill — must answer byte-identically to single-process
+# mdqrun (dispatches to the corpse fail over via retry, invisibly),
+# and the coordinator's /fleet view must mark the dead worker down.
+chaos-smoke:
+	$(GO) test -tags e2e -count=1 -v -timeout 5m -run TestChaosWorkerKill ./e2e
+
 # Serving-path load smoke: a real coordinator + two-worker fleet over
 # loopback takes a short closed-loop load run (mdqbench -load), the
 # run must clear LOAD_BASELINE.json via loadgate under generous smoke
@@ -91,4 +99,4 @@ bench-baseline:
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -update \
 			-note "refreshed via make bench-baseline on $$(uname -m), $$(date +%F)"
 
-ci: build vet fmt staticcheck docscheck race dist-smoke e2e-smoke load-smoke bench benchgate
+ci: build vet fmt staticcheck docscheck race dist-smoke e2e-smoke chaos-smoke load-smoke bench benchgate

@@ -14,7 +14,7 @@
 //	         [-parallel -1] [-plancache 128] [-cachettl 0]
 //	         [-cachebytes 0] [-revalidate-ratio 4] [-feedback]
 //	         [-workers http://w1:8090,http://w2:8091] [-cache-file plans.json]
-//	         [-buffer 128]
+//	         [-buffer 128] [-health-interval 2s] [-max-retries 2]
 //
 // With -scale > 0 every request really sleeps the scaled simulated
 // latency (Table 1 of the paper: a flight call simulates 9.7 s, so
@@ -37,6 +37,18 @@
 // single-process execution; profile learning happens under each
 // worker's own -feedback policy.
 //
+// Coordinator mode is fault tolerant: each worker is health-probed
+// every -health-interval (GET /dist/health) and walks an
+// up/suspect/down state machine also fed by every RPC outcome.
+// Transiently failed dispatches — a refused connection, a dropped
+// stream, a 5xx — retry up to -max-retries times with backoff,
+// failing a search shard or plan fragment over to another live worker
+// (mid-stream fragment failover resumes from a cursor, so no tuple is
+// duplicated or lost); query errors and budget trips never retry.
+// GET /fleet reports the membership view, and the mdq_fleet_workers,
+// mdq_search_retries_total and mdq_fragment_retries_total metrics
+// export it.
+//
 // With -cache-file the template-level plan cache is loaded at startup
 // (stale entries revalidate on first use) and saved on SIGINT or
 // SIGTERM, so optimization warmup survives restarts.
@@ -56,6 +68,8 @@
 //	                  distribution summaries (rows, distinct count,
 //	                  buckets, top most-common values).
 //	GET  /optimize/stats → cache counters only (kept for older clients).
+//	GET  /fleet     → worker membership states, failure counts, last
+//	                  probe/error (coordinator mode; 404 otherwise).
 package main
 
 import (
@@ -69,6 +83,8 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -99,6 +115,8 @@ func main() {
 		minCalls   = flag.Int64("feedback-min-calls", 4, "observed calls required before a profile refresh")
 		minDrift   = flag.Float64("feedback-min-drift", 0.1, "relative statistics drift required before a refresh")
 		workerList = flag.String("workers", "", "comma-separated mdqworker base URLs; enables coordinator mode")
+		healthIvl  = flag.Duration("health-interval", dist.DefaultHealthInterval, "worker health-probe period in coordinator mode (0 disables active probing; passive RPC feedback still applies)")
+		maxRetries = flag.Int("max-retries", dist.DefaultMaxRetries, "re-attempts for a transiently failed worker dispatch (0 disables retries)")
 		bufferSize = flag.Int("buffer", exec.DefaultBufferSize, "streaming executor edge buffer in tuples (larger = fewer stalls, more memory; smaller = tighter memory, earlier backpressure)")
 		cacheFile  = flag.String("cache-file", "", "load the template cache from this file at start and save it on SIGINT/SIGTERM")
 
@@ -154,6 +172,7 @@ func main() {
 	if *feedback {
 		srv.feedback = &service.FeedbackPolicy{MinCalls: *minCalls, MinDrift: *minDrift}
 	}
+	obs := newObservability(*maxInFlight, *queueWait, *slowlogCap, *slowAbove)
 	if *workerList != "" {
 		for _, base := range strings.Split(*workerList, ",") {
 			if base = strings.TrimSpace(strings.TrimSuffix(base, "/")); base != "" {
@@ -161,10 +180,57 @@ func main() {
 			}
 		}
 		if len(srv.workers) > 0 {
+			// Fleet membership: the active probe loop (GET /dist/health
+			// every -health-interval) plus passive feedback from every
+			// coordinator RPC drive each worker's up/suspect/down state.
+			// Down workers are skipped by dispatch — their search shards
+			// and fragments fail over to live ones — and a single
+			// successful probe or RPC brings a restarted worker back.
+			member := dist.NewMembership(srv.workers)
+			fleetGauges := func() {
+				for state, n := range member.Counts() {
+					obs.metrics.GaugeL("mdq_fleet_workers",
+						"Fleet workers by membership state.", "state", state).Set(float64(n))
+				}
+			}
+			// rediscover is filled in below, once the gossip coordinator
+			// exists; a rejoining worker triggers it so the cached
+			// hosting snapshot regains the worker's services (a worker
+			// that was down at discovery carries an empty set and would
+			// otherwise never host a fragment again).
+			var rediscover atomic.Value
+			member.OnChange = func(worker string, from, to dist.WorkerState) {
+				log.Printf("fleet: worker %s %s -> %s", worker, from, to)
+				fleetGauges()
+				if to == dist.StateUp {
+					if f, ok := rediscover.Load().(func()); ok {
+						go f()
+					}
+				}
+			}
+			fleetGauges()
+			srv.membership = member
+			if *healthIvl > 0 {
+				stopHealth := member.HealthLoop(*healthIvl)
+				defer stopHealth()
+			}
+			srv.retry = dist.RetryPolicy{MaxRetries: *maxRetries}
+			if *maxRetries <= 0 {
+				srv.retry.MaxRetries = -1
+			}
+			srv.onRetry = func(op, worker string) {
+				name, help := "mdq_fragment_retries_total",
+					"Fragment re-dispatches after transient worker failures."
+				if op == dist.OpSearch {
+					name, help = "mdq_search_retries_total",
+						"Search-shard re-runs after transient worker failures."
+				}
+				obs.metrics.CounterL(name, help, "worker", worker).Inc()
+			}
 			// Epoch bumps — local ones and those absorbed back from
 			// executing workers — fan out through the gossip loop so
 			// every worker cache revalidates.
-			gossip := &dist.Coordinator{Registry: reg, Workers: srv.workers}
+			gossip := &dist.Coordinator{Registry: reg, Workers: srv.workers, Membership: member}
 			stop := gossip.GossipLoop(func(err error) { log.Printf("gossip: %v", err) })
 			defer stop()
 			if pc != nil {
@@ -174,27 +240,36 @@ func main() {
 					fmt.Printf("warmed workers with %d template entries\n", n)
 				}
 			}
-			// The fleet is fixed for this server's lifetime: discover
-			// each worker's hosted services once so per-request
-			// coordinators don't re-ask on every execution. A worker
-			// that is not up yet just means per-execution fallback.
+			// The fleet's worker *list* is fixed for this server's
+			// lifetime: discover each worker's hosted services once so
+			// per-request coordinators don't re-ask on every execution.
+			// A worker that is not up yet just means per-execution
+			// fallback; the rediscover hook above refreshes the snapshot
+			// when it rejoins.
 			if hosts, err := gossip.DiscoverHosts(context.Background()); err != nil {
 				log.Printf("discovering worker hosting (will retry per execution): %v", err)
 			} else {
-				srv.hosts = hosts
+				srv.setHosts(hosts)
 			}
+			rediscover.Store(func() {
+				if hosts, err := gossip.DiscoverHosts(context.Background()); err != nil {
+					log.Printf("refreshing worker hosting after rejoin: %v", err)
+				} else {
+					srv.setHosts(hosts)
+				}
+			})
 			if srv.feedback != nil {
 				fmt.Printf("coordinator mode: execution traffic flows through the workers — " +
 					"profile feedback runs under each worker's -feedback policy and returns via reverse gossip\n")
 			}
 		}
 	}
-	obs := newObservability(*maxInFlight, *queueWait, *slowlogCap, *slowAbove)
 	mux.HandleFunc("/optimize", obs.instrument("/optimize", srv.optimize))
 	mux.HandleFunc("/query", obs.instrument("/query", srv.query))
 	mux.HandleFunc("/optimize/stats", srv.cacheStats)
 	mux.HandleFunc("/cache", srv.cacheReport)
 	mux.HandleFunc("/stats", srv.serviceStats)
+	mux.HandleFunc("/fleet", srv.fleet)
 	mux.Handle("/metrics", obs.metrics.Handler())
 	mux.Handle("/slowlog", obs.slowlog.Handler())
 	fmt.Printf("serving %s world (%v) on %s\n", *worldName, names, *addr)
@@ -203,7 +278,7 @@ func main() {
 	}
 	fmt.Printf("endpoints: GET /services, GET /services/<name>/signature, POST /services/<name>/invoke,\n")
 	fmt.Printf("           POST /optimize, POST /query, GET /cache, GET /stats, GET /optimize/stats,\n")
-	fmt.Printf("           GET /metrics, GET /slowlog\n")
+	fmt.Printf("           GET /metrics, GET /slowlog, GET /fleet\n")
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -265,12 +340,22 @@ type optimizeServer struct {
 	// not ours); this server's feedback policy applies only to
 	// single-process execution.
 	workers []dist.Transport
-	// hosts caches the fleet's service hosting (discovered once at
-	// startup — the fleet is fixed for the server's lifetime), so
-	// per-request coordinators skip one /dist/info round-trip per
-	// worker per execution. nil falls back to per-execution
-	// discovery, e.g. when a worker was unreachable at startup.
-	hosts []map[string]bool
+	// hosts caches the fleet's service hosting (discovered at startup,
+	// refreshed when a worker rejoins the fleet), so per-request
+	// coordinators skip one /dist/info round-trip per worker per
+	// execution. nil falls back to per-execution discovery, e.g. when
+	// a worker was unreachable at startup. Guarded by hostsMu: the
+	// membership change hook replaces it while queries read it.
+	hosts   []map[string]bool
+	hostsMu sync.RWMutex
+	// membership is the fleet health view (coordinator mode only):
+	// per-request coordinators consult it for dispatch and feed RPC
+	// outcomes back; GET /fleet serves its snapshot.
+	membership *dist.Membership
+	// retry bounds re-attempts of transiently failed dispatches
+	// (-max-retries); onRetry counts them into the metrics registry.
+	retry   dist.RetryPolicy
+	onRetry func(op, worker string)
 	// buffer is the streaming executor's per-edge channel capacity
 	// (-buffer; 0 = exec.DefaultBufferSize), applied to local runs and
 	// to coordinator-side dataflows alike.
@@ -282,6 +367,20 @@ type optimizeServer struct {
 	defMaxCalls int64
 }
 
+// setHosts replaces the cached hosting snapshot.
+func (s *optimizeServer) setHosts(hosts []map[string]bool) {
+	s.hostsMu.Lock()
+	s.hosts = hosts
+	s.hostsMu.Unlock()
+}
+
+// snapshotHosts reads the cached hosting snapshot.
+func (s *optimizeServer) snapshotHosts() []map[string]bool {
+	s.hostsMu.RLock()
+	defer s.hostsMu.RUnlock()
+	return s.hosts
+}
+
 // coordinator assembles a per-request distributed coordinator.
 func (s *optimizeServer) coordinator(m cost.Metric, mode card.CacheMode, k int) *dist.Coordinator {
 	return &dist.Coordinator{
@@ -291,9 +390,31 @@ func (s *optimizeServer) coordinator(m cost.Metric, mode card.CacheMode, k int) 
 		Mode:            mode,
 		K:               k,
 		RevalidateRatio: s.revalRatio,
-		Hosts:           s.hosts,
+		Hosts:           s.snapshotHosts(),
 		BufferSize:      s.buffer,
+		Membership:      s.membership,
+		Retry:           s.retry,
+		OnRetry:         s.onRetry,
 	}
+}
+
+// fleetResponse is what GET /fleet returns in coordinator mode.
+type fleetResponse struct {
+	Workers []dist.WorkerHealth `json:"workers"`
+}
+
+// fleet reports the membership view: every worker's state, its
+// consecutive-failure count, last probe time and last error.
+func (s *optimizeServer) fleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.membership == nil {
+		writeError(w, http.StatusNotFound, "not in coordinator mode: no fleet")
+		return
+	}
+	writeJSON(w, fleetResponse{Workers: s.membership.Snapshot()})
 }
 
 // apiError is the uniform JSON error envelope of every endpoint.

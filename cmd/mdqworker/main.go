@@ -25,6 +25,7 @@
 //	GET  /dist/templates  export serialized template cache entries
 //	POST /dist/templates  import serialized template cache entries
 //	GET  /dist/info       services, epochs, cache counters
+//	GET  /dist/health     liveness probe (the coordinator's membership check)
 //	GET  /services, /services/<name>/…   the world's services (httpwrap)
 //
 // With -execute, fragment executions run under this worker's own
@@ -113,7 +114,7 @@ func main() {
 	mux.Handle("/dist/", instrumentWorker(metrics, worker.Handler()))
 	mux.Handle("/metrics", metrics.Handler())
 	fmt.Printf("mdqworker: %s world (%v) on %s (execute=%v)\n", *worldName, names, *addr, *execute)
-	fmt.Printf("endpoints: POST /dist/search, /dist/sync, /dist/gossip, /dist/execute; GET|POST /dist/templates; GET /dist/info; GET /metrics\n")
+	fmt.Printf("endpoints: POST /dist/search, /dist/sync, /dist/gossip, /dist/execute; GET|POST /dist/templates; GET /dist/info; GET /dist/health; GET /metrics\n")
 
 	hs := &http.Server{
 		Addr:              *addr,

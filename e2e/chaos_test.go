@@ -1,0 +1,171 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startKillable launches a binary like startProc but hands back the
+// process so the chaos test can SIGKILL it mid-query.
+func startKillable(t *testing.T, bin string, args ...string) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	var out bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		if t.Failed() {
+			t.Logf("--- %s output ---\n%s", filepath.Base(bin), out.String())
+		}
+	})
+	return cmd, &out
+}
+
+// fleetQuery answers the e2e template through the coordinator and
+// returns the rows joined the way mdqrunRows prints them. Any
+// non-200, error payload, or empty answer fails the test: the chaos
+// contract is that a worker death never surfaces to the client.
+func fleetQuery(t *testing.T, serveAddr string) []string {
+	t.Helper()
+	reqBody, _ := json.Marshal(map[string]any{
+		"template": e2eTemplate,
+		"bindings": map[string]any{"cat": "luxury"},
+		"k":        answersK,
+	})
+	resp, err := http.Post("http://"+serveAddr+"/query", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("POST /query: %v", err)
+	}
+	defer resp.Body.Close()
+	var qr struct {
+		Error string     `json:"error"`
+		Rows  [][]string `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query: %s (%s)", resp.Status, qr.Error)
+	}
+	var rows []string
+	for _, row := range qr.Rows {
+		rows = append(rows, strings.Join(row, " | "))
+	}
+	if len(rows) == 0 {
+		t.Fatal("fleet returned no rows")
+	}
+	return rows
+}
+
+// fleetStates polls GET /fleet and returns worker → state.
+func fleetStates(t *testing.T, serveAddr string) map[string]string {
+	t.Helper()
+	var fr struct {
+		Workers []struct {
+			Worker    string `json:"worker"`
+			State     string `json:"state"`
+			LastError string `json:"last_error"`
+		} `json:"workers"`
+	}
+	getJSON(t, "http://"+serveAddr+"/fleet", &fr)
+	states := make(map[string]string, len(fr.Workers))
+	for _, w := range fr.Workers {
+		states[w.Worker] = w.State
+	}
+	return states
+}
+
+// TestChaosWorkerKill is the fault-tolerance e2e gate: SIGKILL a real
+// worker process while queries are in flight against a real
+// coordinator, and demand that (a) every query — before, during and
+// after the kill — answers byte-identically to single-process mdqrun,
+// and (b) the coordinator's /fleet view marks the dead worker down.
+func TestChaosWorkerKill(t *testing.T) {
+	dir := t.TempDir()
+	serveBin, workerBin, runBin := buildBinaries(t, dir)
+	ports := freePorts(t, 3)
+	serveAddr := fmt.Sprintf("127.0.0.1:%d", ports[0])
+	w1 := fmt.Sprintf("127.0.0.1:%d", ports[1])
+	w2 := fmt.Sprintf("127.0.0.1:%d", ports[2])
+
+	startProc(t, workerBin, "-addr", w1, "-world", "travel", "-parallel", "1")
+	victim, _ := startKillable(t, workerBin, "-addr", w2, "-world", "travel", "-parallel", "1")
+	waitReady(t, "http://"+w1+"/dist/info")
+	waitReady(t, "http://"+w2+"/dist/info")
+	startProc(t, serveBin, "-addr", serveAddr, "-world", "travel", "-parallel", "1",
+		"-workers", "http://"+w1+",http://"+w2,
+		"-health-interval", "200ms", "-max-retries", "3")
+	waitReady(t, "http://"+serveAddr+"/stats")
+
+	want := mdqrunRows(t, runBin)
+	assertAnswer := func(phase string, got []string) {
+		t.Helper()
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("%s: fleet answer diverges from mdqrun:\n fleet:\n%s\n mdqrun:\n%s",
+				phase, strings.Join(got, "\n"), strings.Join(want, "\n"))
+		}
+	}
+
+	// Phase 1: healthy fleet baseline.
+	assertAnswer("baseline", fleetQuery(t, serveAddr))
+	if states := fleetStates(t, serveAddr); states["http://"+w2] == "down" {
+		t.Fatalf("victim reported down before the kill: %v", states)
+	}
+
+	// Phase 2: SIGKILL the victim while queries are in flight. The
+	// killer fires mid-burst, so some queries race the death itself and
+	// the rest hit a coordinator whose membership hasn't yet noticed —
+	// dispatches to the corpse must fail over via retry, invisibly.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(20 * time.Millisecond)
+		if err := victim.Process.Kill(); err != nil {
+			t.Errorf("killing victim worker: %v", err)
+		}
+	}()
+	for i := 0; i < 6; i++ {
+		assertAnswer(fmt.Sprintf("during-kill query %d", i), fleetQuery(t, serveAddr))
+	}
+	wg.Wait()
+	victim.Wait()
+
+	// Phase 3: the degraded fleet keeps answering correctly.
+	assertAnswer("post-kill", fleetQuery(t, serveAddr))
+
+	// Phase 4: the health loop (200ms probes, three consecutive
+	// failures) marks the corpse down on /fleet.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		states := fleetStates(t, serveAddr)
+		if states["http://"+w2] == "down" {
+			if states["http://"+w1] != "up" {
+				t.Fatalf("survivor not up: %v", states)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never marked down on /fleet: %v", states)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Phase 5: still correct after the eviction settled.
+	assertAnswer("post-eviction", fleetQuery(t, serveAddr))
+}

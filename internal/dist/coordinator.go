@@ -74,6 +74,56 @@ type Coordinator struct {
 	// still-needed frontier (see exec.StreamJoin). Test
 	// instrumentation for the bounded-memory contract.
 	JoinExcessPeak *atomic.Int64
+	// Membership, when non-nil, is the fleet health view dispatch
+	// consults: workers marked down are skipped (search shards and
+	// fragments fail over to live candidates), and every RPC outcome
+	// the coordinator sees feeds back in as passive health evidence.
+	// Nil means every worker is presumed alive — the single-process
+	// and test default.
+	Membership *Membership
+	// Retry bounds how transiently failed dispatches (search shards,
+	// fragment executions) are re-attempted; the zero value means the
+	// package defaults, MaxRetries < 0 disables retries.
+	Retry RetryPolicy
+	// OnRetry, when non-nil, is called once per re-attempt with the
+	// operation (an Op* constant) and the failed worker's name — the
+	// serving layer's retry-counter hook.
+	OnRetry func(op, worker string)
+	// BatchSize overrides the tuple batch size of fragment result
+	// streams (ExecuteRequest.BatchSize; 0 means DefaultExecuteBatch).
+	// Smaller batches mean more frame boundaries — chiefly a dial for
+	// the frame-boundary failover sweeps in tests.
+	BatchSize int
+}
+
+// alive reports whether worker i may be dispatched to (no membership
+// view means yes).
+func (c *Coordinator) alive(i int) bool {
+	return c.Membership == nil || c.Membership.Alive(i)
+}
+
+// reportOutcome feeds one RPC outcome into the membership view.
+// Only transport-level evidence moves the state machine: a success
+// resurrects, a transient failure counts against the worker, and a
+// permanent error (bad query, tripped budget) says nothing about the
+// worker's health.
+func (c *Coordinator) reportOutcome(i int, err error) {
+	if c.Membership == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		c.Membership.ReportSuccess(i)
+	case IsTransient(err):
+		c.Membership.ReportFailure(i, err)
+	}
+}
+
+// noteRetry reports one re-attempt to the OnRetry hook.
+func (c *Coordinator) noteRetry(op string, worker int) {
+	if c.OnRetry != nil {
+		c.OnRetry(op, c.Workers[worker].Name())
+	}
 }
 
 // searchSeq and processToken make search IDs globally unique: workers
@@ -159,14 +209,14 @@ func (c *Coordinator) optimize(ctx context.Context, q *cq.Query, template bool) 
 	results := make([]*SearchResult, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for i, tr := range c.Workers {
+	for i := range c.Workers {
 		wg.Add(1)
-		go func(i int, tr Transport) {
+		go func(i int) {
 			defer wg.Done()
 			req := base
 			req.ShardIndex = i
-			results[i], errs[i] = tr.Search(searchCtx, req)
-		}(i, tr)
+			results[i], errs[i] = c.searchShard(searchCtx, req)
+		}(i)
 	}
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
@@ -179,18 +229,62 @@ func (c *Coordinator) optimize(ctx context.Context, q *cq.Query, template bool) 
 		return nil, ctx.Err()
 	case <-done:
 	}
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("dist: worker %s: %w", c.Workers[i].Name(), err)
+			return nil, err
 		}
 	}
 	return c.merge(q, results)
 }
 
-// syncLoop exchanges bounds with every worker until the searches
+// searchShard runs one shard search with failover. The shard's home
+// worker is its index; each transient failure rotates it to the next
+// live worker — the shard travels whole inside the request, and
+// template cache keys are shard-blind, so the re-run is warm wherever
+// it lands and returns the identical shard result. Permanent errors
+// surface immediately; a fleet with every worker down fails with
+// ErrNoLiveWorkers.
+func (c *Coordinator) searchShard(ctx context.Context, req SearchRequest) (*SearchResult, error) {
+	n := len(c.Workers)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		target := -1
+		for off := 0; off < n; off++ {
+			if w := (req.ShardIndex + attempt + off) % n; c.alive(w) {
+				target = w
+				break
+			}
+		}
+		if target < 0 {
+			if lastErr != nil {
+				return nil, fmt.Errorf("dist: search shard %d: %w (last failure: %v)", req.ShardIndex, ErrNoLiveWorkers, lastErr)
+			}
+			return nil, fmt.Errorf("dist: search shard %d: %w", req.ShardIndex, ErrNoLiveWorkers)
+		}
+		res, err := c.Workers[target].Search(ctx, req)
+		c.reportOutcome(target, err)
+		if err == nil {
+			return res, nil
+		}
+		if !IsTransient(err) || ctx.Err() != nil || attempt >= c.Retry.maxRetries() {
+			return nil, fmt.Errorf("dist: worker %s: %w", c.Workers[target].Name(), err)
+		}
+		lastErr = err
+		c.noteRetry(OpSearch, target)
+		if werr := c.Retry.wait(ctx, attempt); werr != nil {
+			return nil, fmt.Errorf("dist: worker %s: %w", c.Workers[target].Name(), lastErr)
+		}
+	}
+}
+
+// syncLoop exchanges bounds with every live worker until the searches
 // finish: offer the global minimum, min-merge what each worker
 // reports back. Both directions are monotone, so the loop needs no
-// locking discipline beyond the bound semantics themselves.
+// locking discipline beyond the bound semantics themselves. A failed
+// sync is a missed heartbeat, never a failed search — syncing is pure
+// pruning optimization — so transport errors here only feed the
+// membership view (down workers are skipped until a probe or RPC
+// resurrects them).
 func (c *Coordinator) syncLoop(ctx context.Context, id string, done <-chan struct{}) {
 	global := math.Inf(1)
 	ticker := time.NewTicker(c.syncInterval())
@@ -202,9 +296,19 @@ func (c *Coordinator) syncLoop(ctx context.Context, id string, done <-chan struc
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			for _, tr := range c.Workers {
+			for i, tr := range c.Workers {
+				if !c.alive(i) {
+					continue
+				}
 				b, err := tr.Sync(ctx, id, toWireBound(global))
-				if err == nil && b > 0 {
+				if err != nil {
+					if ctx.Err() == nil {
+						c.reportOutcome(i, err)
+					}
+					continue
+				}
+				c.reportOutcome(i, nil)
+				if b > 0 {
 					global = math.Min(global, b)
 				}
 			}
@@ -298,16 +402,24 @@ func (c *Coordinator) rebuild(q *cq.Query, r *SearchResult) (*plan.Plan, error) 
 	return buildSkeleton(q, r.Assignment, r.Topology, chooser)
 }
 
-// Gossip synchronously delivers epoch bumps to every worker,
+// Gossip synchronously delivers epoch bumps to every live worker,
 // returning the first error (delivery to the remaining workers still
 // proceeds — invalidation must not stop at the first slow worker).
+// Down workers are skipped without error: a worker that missed a bump
+// serves a stale-marked-late entry at worst, and the next bump after
+// it rejoins repairs it.
 func (c *Coordinator) Gossip(ctx context.Context, bumps []service.EpochBump) error {
 	if len(bumps) == 0 {
 		return nil
 	}
 	var first error
-	for _, tr := range c.Workers {
-		if err := tr.Gossip(ctx, bumps); err != nil && first == nil {
+	for i, tr := range c.Workers {
+		if !c.alive(i) {
+			continue
+		}
+		err := tr.Gossip(ctx, bumps)
+		c.reportOutcome(i, err)
+		if err != nil && first == nil {
 			first = fmt.Errorf("dist: gossip to %s: %w", tr.Name(), err)
 		}
 	}
@@ -350,21 +462,33 @@ func (c *Coordinator) GossipLoop(onError func(error)) (stop func()) {
 	}
 }
 
-// WarmWorkers ships a cache's template entries to every worker (see
-// opt.PlanCache.ExportTemplates); it returns the total number of
-// entries accepted across workers.
+// WarmWorkers ships a cache's template entries to every live worker
+// (see opt.PlanCache.ExportTemplates); it returns the total number of
+// entries accepted across workers. Warming is best-effort per worker:
+// a worker that fails transiently (or is down) is skipped rather than
+// aborting the remaining deliveries — a cold cache costs one search,
+// not correctness — and the first failure is still reported so the
+// caller can log it.
 func (c *Coordinator) WarmWorkers(ctx context.Context, cache *opt.PlanCache) (int, error) {
 	entries := cache.ExportTemplates()
 	if len(entries) == 0 {
 		return 0, nil
 	}
 	total := 0
-	for _, tr := range c.Workers {
+	var first error
+	for i, tr := range c.Workers {
+		if !c.alive(i) {
+			continue
+		}
 		n, err := tr.ImportTemplates(ctx, entries)
+		c.reportOutcome(i, err)
 		if err != nil {
-			return total, fmt.Errorf("dist: warming %s: %w", tr.Name(), err)
+			if first == nil {
+				first = fmt.Errorf("dist: warming %s: %w", tr.Name(), err)
+			}
+			continue
 		}
 		total += n
 	}
-	return total, nil
+	return total, first
 }

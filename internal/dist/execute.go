@@ -101,6 +101,11 @@ type ExecuteResult struct {
 type ExecuteFrame struct {
 	// Batch is one batch of produced tuples.
 	Batch []WireTuple `json:"batch,omitempty"`
+	// Seq numbers the batch frames of one execution 0, 1, 2, … so the
+	// receiving transport can detect a gap (lost frames) and the
+	// coordinator's failover resume cursor has a contiguity guarantee
+	// to lean on.
+	Seq int `json:"seq,omitempty"`
 	// Done carries the final accounting; its presence ends the stream.
 	Done *ExecuteResult `json:"done,omitempty"`
 	// Error aborts the stream with a worker-side failure.
@@ -203,7 +208,15 @@ func (w *Worker) ExecuteFragment(ctx context.Context, req ExecuteRequest, sink f
 	// The coordinator ships the remaining query budget with the
 	// fragment; rebuild it locally so the stock invoker charge path
 	// enforces it near the services (and the fragment aborts cleanly —
-	// not just when the coordinator drops the connection).
+	// not just when the coordinator drops the connection). Any budget
+	// already riding the context is detached first: over LocalTransport
+	// the coordinator's own Budget would flow straight into the invoker
+	// and be charged per call — double-counting everything the
+	// coordinator charges again when the accounting frame lands, and
+	// leaking charges from attempts that die mid-stream and replay
+	// elsewhere. The shipped envelope is the whole contract, exactly as
+	// over the wire.
+	ctx = serve.WithBudget(ctx, nil)
 	if req.BudgetMillis > 0 || req.BudgetCalls > 0 {
 		wb := serve.NewBudget(time.Duration(req.BudgetMillis)*time.Millisecond, req.BudgetCalls)
 		var cancel context.CancelFunc
@@ -249,16 +262,24 @@ func (w *Worker) ExecuteFragment(ctx context.Context, req ExecuteRequest, sink f
 	}, nil
 }
 
-// DiscoverHosts queries every worker's service list (one
+// DiscoverHosts queries every live worker's service list (one
 // Transport.Services call each) and returns the hosting sets
 // ExecutePlan partitions fragments by, index-aligned with Workers.
 // Assign the result to Coordinator.Hosts to skip re-discovery on
 // subsequent executions — hosting is static for a fleet's lifetime in
-// the common deployment (mdqserve does exactly this at startup).
+// the common deployment (mdqserve does exactly this at startup). A
+// worker the membership view marks down gets an empty hosting set (it
+// is no candidate for anything until it rejoins) rather than failing
+// the discovery.
 func (c *Coordinator) DiscoverHosts(ctx context.Context) ([]map[string]bool, error) {
 	hosts := make([]map[string]bool, len(c.Workers))
 	for i, tr := range c.Workers {
+		if !c.alive(i) {
+			hosts[i] = map[string]bool{}
+			continue
+		}
 		names, err := tr.Services(ctx)
+		c.reportOutcome(i, err)
 		if err != nil {
 			return nil, fmt.Errorf("dist: listing services of %s: %w", tr.Name(), err)
 		}
@@ -356,6 +377,21 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Resu
 		if hosts, err = c.DiscoverHosts(ctx); err != nil {
 			return nil, err
 		}
+	} else {
+		// Self-heal a stale hosting snapshot: a worker that was
+		// unreachable when Hosts was discovered carries an empty set,
+		// and would stay excluded from every candidate list forever —
+		// even after rejoining. If such a worker is alive now, refresh
+		// so it hosts fragments again (best-effort: on a discovery
+		// error the stale snapshot still dispatches to the rest).
+		for i := range hosts {
+			if len(hosts[i]) == 0 && c.alive(i) {
+				if fresh, err := c.DiscoverHosts(ctx); err == nil {
+					hosts = fresh
+				}
+				break
+			}
+		}
 	}
 	if len(hosts) != len(c.Workers) {
 		return nil, fmt.Errorf("dist: %d hosting sets for %d workers", len(hosts), len(c.Workers))
@@ -389,6 +425,7 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Resu
 		Fetches:    fetches,
 		CacheMode:  c.Mode.String(),
 		Vars:       vars,
+		BatchSize:  c.BatchSize,
 	}
 
 	bufSize := c.BufferSize
@@ -473,7 +510,18 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Resu
 	// batch stream into the tail's arcs tuple by tuple as frames
 	// arrive. Calls are charged against the budget when the fragment's
 	// accounting frame lands — a fragment cancelled mid-stream never
-	// reports, so exec.Stats counts exactly the completed fragments.
+	// reports, so exec.Stats counts exactly the completed fragments,
+	// and a retried fragment charges exactly once (only the completed
+	// attempt reports).
+	//
+	// Failover: a transiently failed dispatch re-runs on the next live
+	// hosting candidate. `sent` is the resume cursor — how many tuples
+	// earlier attempts already forwarded downstream. Fragment
+	// executions are deterministic (same seeds, same skeleton, same
+	// per-worker registry contract), so the replacement worker's stream
+	// reproduces the dead worker's tuple order exactly; skipping the
+	// first `sent` tuples splices the two streams without duplicates,
+	// and the joins downstream never notice the failure.
 	runFragment := func(f Fragment) error {
 		head := p.ServiceNode[f.Atoms[0]]
 		tail := p.ServiceNode[f.Atoms[len(f.Atoms)-1]]
@@ -486,84 +534,141 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Resu
 		if ctx.Err() != nil {
 			return context.Canceled
 		}
-		tr := c.Workers[f.Worker]
 		req := base
 		req.Atoms = f.Atoms
 		req.Seeds = encodeTuples(seeds)
-		if budget != nil {
-			if err := budget.Err(); err != nil {
-				return err
-			}
-			if rem, ok := budget.Remaining(); ok {
-				req.BudgetMillis = int64(rem / time.Millisecond)
-				if req.BudgetMillis < 1 {
-					req.BudgetMillis = 1
-				}
-			}
-			if left, ok := budget.CallsLeft(); ok {
-				if left == 0 && len(req.Seeds) > 0 {
-					// The cap is exactly consumed and this fragment
-					// has tuples to process: the call it would issue
-					// trips the budget, so abort before shipping.
-					return budget.Charge(1)
-				}
-				req.BudgetCalls = left
+		cands := f.Candidates
+		if len(cands) == 0 {
+			cands = []int{f.Worker}
+		}
+		home := 0
+		for i, w := range cands {
+			if w == f.Worker {
+				home = i
+				break
 			}
 		}
-		decoded := 0
-		fres, err := tr.ExecuteFragment(ctx, req, func(batch []WireTuple) error {
-			for _, wt := range batch {
-				t, derr := decodeTuple(wt, ix.Len())
-				if derr != nil {
-					return derr
+		sent := 0 // resume cursor: tuples already forwarded downstream
+		var lastErr error
+		for attempt := 0; ; attempt++ {
+			target := -1
+			for off := 0; off < len(cands); off++ {
+				if w := cands[(home+attempt+off)%len(cands)]; c.alive(w) {
+					target = w
+					break
 				}
-				decoded++
-				if serr := send(outs, t); serr != nil {
-					return serr
+			}
+			if target < 0 {
+				if reached.Load() || ctx.Err() != nil {
+					return context.Canceled
 				}
+				if lastErr != nil {
+					return fmt.Errorf("dist: fragment %v: %w (last failure: %v)", f.Atoms, ErrNoLiveWorkers, lastErr)
+				}
+				return fmt.Errorf("dist: fragment %v: %w", f.Atoms, ErrNoLiveWorkers)
+			}
+			tr := c.Workers[target]
+			req.BudgetMillis, req.BudgetCalls = 0, 0
+			if budget != nil {
+				if err := budget.Err(); err != nil {
+					return err
+				}
+				if rem, ok := budget.Remaining(); ok {
+					req.BudgetMillis = int64(rem / time.Millisecond)
+					if req.BudgetMillis < 1 {
+						req.BudgetMillis = 1
+					}
+				}
+				if left, ok := budget.CallsLeft(); ok {
+					if left == 0 && len(req.Seeds) > 0 {
+						// The cap is exactly consumed and this fragment
+						// has tuples to process: the call it would issue
+						// trips the budget, so abort before shipping.
+						return budget.Charge(1)
+					}
+					req.BudgetCalls = left
+				}
+			}
+			skip := sent
+			streamed := 0
+			fres, err := tr.ExecuteFragment(ctx, req, func(batch []WireTuple) error {
+				for _, wt := range batch {
+					streamed++
+					if skip > 0 {
+						// Replayed prefix: an earlier attempt already
+						// forwarded this tuple before dying.
+						skip--
+						continue
+					}
+					t, derr := decodeTuple(wt, ix.Len())
+					if derr != nil {
+						return derr
+					}
+					if serr := send(outs, t); serr != nil {
+						return serr
+					}
+					sent++
+				}
+				return nil
+			})
+			c.reportOutcome(target, err)
+			if err != nil {
+				if reached.Load() {
+					return context.Canceled
+				}
+				// A budget trip surfaces as the budget error, not as the
+				// transport failure it caused (cancelled stream, worker
+				// abort) and never as a retry-exhausted transport error:
+				// the serving layer maps it to a clean JSON
+				// budget-exceeded response.
+				if budget != nil {
+					if berr := budget.Err(); berr != nil {
+						return berr
+					}
+				}
+				if ctx.Err() != nil {
+					return context.Canceled
+				}
+				if IsTransient(err) && attempt < c.Retry.maxRetries() {
+					lastErr = err
+					c.noteRetry(OpExecute, target)
+					if werr := c.Retry.wait(ctx, attempt); werr != nil {
+						return context.Canceled
+					}
+					continue
+				}
+				return fmt.Errorf("dist: fragment %v on %s: %w", f.Atoms, tr.Name(), err)
+			}
+			if fres.Tuples != streamed {
+				return fmt.Errorf("dist: fragment %v on %s reported %d tuples, streamed %d", f.Atoms, tr.Name(), fres.Tuples, streamed)
+			}
+			if streamed < sent {
+				// The replay produced fewer tuples than the cursor says
+				// were already forwarded: the replacement worker did not
+				// reproduce the dead one's stream (registries disagree?) —
+				// fail loudly rather than join a corrupted splice.
+				return fmt.Errorf("dist: fragment %v on %s replayed %d tuples below resume cursor %d", f.Atoms, tr.Name(), streamed, sent)
+			}
+			var fragCalls int64
+			mu.Lock()
+			for name, v := range fres.Calls {
+				res.Stats.Calls[name] += v
+				fragCalls += v
+			}
+			for name, v := range fres.Fetches {
+				res.Stats.Fetches[name] += v
+			}
+			mu.Unlock()
+			if budget != nil {
+				if err := budget.Charge(fragCalls); err != nil && !reached.Load() {
+					return err
+				}
+			}
+			if len(fres.Bumps) > 0 && !c.sharesRegistry(tr) {
+				c.AbsorbBumps(fres.Bumps)
 			}
 			return nil
-		})
-		if err != nil {
-			if reached.Load() {
-				return context.Canceled
-			}
-			// A budget trip surfaces as the budget error, not as the
-			// transport failure it caused (cancelled stream, worker
-			// abort): the serving layer maps it to a clean JSON
-			// budget-exceeded response.
-			if budget != nil {
-				if berr := budget.Err(); berr != nil {
-					return berr
-				}
-			}
-			if ctx.Err() != nil {
-				return context.Canceled
-			}
-			return fmt.Errorf("dist: fragment %v on %s: %w", f.Atoms, tr.Name(), err)
 		}
-		if fres.Tuples != decoded {
-			return fmt.Errorf("dist: fragment %v on %s reported %d tuples, streamed %d", f.Atoms, tr.Name(), fres.Tuples, decoded)
-		}
-		var fragCalls int64
-		mu.Lock()
-		for name, v := range fres.Calls {
-			res.Stats.Calls[name] += v
-			fragCalls += v
-		}
-		for name, v := range fres.Fetches {
-			res.Stats.Fetches[name] += v
-		}
-		mu.Unlock()
-		if budget != nil {
-			if err := budget.Charge(fragCalls); err != nil && !reached.Load() {
-				return err
-			}
-		}
-		if len(fres.Bumps) > 0 && !c.sharesRegistry(tr) {
-			c.AbsorbBumps(fres.Bumps)
-		}
-		return nil
 	}
 
 	errc := make(chan error, len(p.Nodes))

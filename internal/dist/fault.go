@@ -1,0 +1,446 @@
+package dist
+
+// Fault taxonomy and fault injection. The fleet lifecycle (membership,
+// retry, failover — see membership.go and the retry loops in
+// coordinator.go / execute.go) hinges on one classification: is a
+// failure *transient* (the worker or the wire hiccupped; the same work
+// retried on the same or another worker can still succeed) or
+// *permanent* (the request itself is wrong, or the query's own budget
+// tripped; retrying would repeat the failure or, worse, mask it)?
+// TransientError is that classification made typed, and FaultTransport
+// is the sanctioned seam for injecting deterministic transient faults
+// around any Transport, so every failover path is reproducibly
+// testable without real process kills.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mdq/internal/opt"
+	"mdq/internal/service"
+)
+
+// TransientError marks a transport failure as retryable: connection
+// refused or reset, a timeout, a dropped stream, a 5xx response — the
+// classes of failure where the worker (or another worker) may well
+// serve the identical request a moment later. Budget violations and
+// query errors are never wrapped: retrying cannot fix a malformed
+// query, and retrying past an exhausted budget would hide the trip.
+// Detect with IsTransient (or errors.As).
+type TransientError struct {
+	// Err is the underlying transport failure.
+	Err error
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("dist: transient: %v", e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is (or wraps) a retryable transport
+// failure — the coordinator's retry loops failover exactly on these
+// and surface everything else unchanged.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// ErrNoLiveWorkers reports that a dispatch found every candidate
+// worker marked down (or exhausted them all with transient failures):
+// the fleet cannot serve the request until a worker recovers. Detect
+// with errors.Is.
+var ErrNoLiveWorkers = errors.New("dist: no live workers")
+
+// transientUnless classifies a transport-layer failure: retryable,
+// unless the caller's own context is what failed (an external cancel
+// or an expired budget deadline must surface as itself — retrying a
+// cancelled request is never right).
+func transientUnless(ctx context.Context, err error) error {
+	if err == nil || ctx.Err() != nil {
+		return err
+	}
+	return &TransientError{Err: err}
+}
+
+// Retry defaults.
+const (
+	// DefaultMaxRetries is how many times a transiently-failed dispatch
+	// is re-attempted when RetryPolicy.MaxRetries is unset.
+	DefaultMaxRetries = 2
+	// DefaultRetryBackoff is the first-retry backoff when
+	// RetryPolicy.Backoff is unset.
+	DefaultRetryBackoff = 10 * time.Millisecond
+	// DefaultRetryMaxBackoff caps the exponential backoff when
+	// RetryPolicy.MaxBackoff is unset.
+	DefaultRetryMaxBackoff = 500 * time.Millisecond
+)
+
+// RetryPolicy bounds how the coordinator re-attempts transiently
+// failed dispatches (search shards, fragment executions). The zero
+// value means the defaults; MaxRetries < 0 disables retries entirely
+// (a transient failure then surfaces on the first occurrence, which is
+// what differential tests pin the taxonomy with).
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure
+	// (0 means DefaultMaxRetries; negative means none).
+	MaxRetries int
+	// Backoff is the wait before the first retry, doubling per attempt
+	// (0 means DefaultRetryBackoff).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (0 means DefaultRetryMaxBackoff).
+	MaxBackoff time.Duration
+}
+
+func (r RetryPolicy) maxRetries() int {
+	if r.MaxRetries < 0 {
+		return 0
+	}
+	if r.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	return r.MaxRetries
+}
+
+// wait blocks for attempt's backoff (exponential, capped), or returns
+// early with the context's error.
+func (r RetryPolicy) wait(ctx context.Context, attempt int) error {
+	d := r.Backoff
+	if d <= 0 {
+		d = DefaultRetryBackoff
+	}
+	max := r.MaxBackoff
+	if max <= 0 {
+		max = DefaultRetryMaxBackoff
+	}
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Fault-injection operation names, as FaultTransport scripts them —
+// one per Transport method.
+const (
+	// OpSearch scripts Transport.Search.
+	OpSearch = "search"
+	// OpSync scripts Transport.Sync.
+	OpSync = "sync"
+	// OpGossip scripts Transport.Gossip.
+	OpGossip = "gossip"
+	// OpTemplates scripts Transport.ImportTemplates.
+	OpTemplates = "templates"
+	// OpServices scripts Transport.Services.
+	OpServices = "services"
+	// OpExecute scripts Transport.ExecuteFragment.
+	OpExecute = "execute"
+	// OpProbe scripts Transport.Probe.
+	OpProbe = "probe"
+)
+
+// errInjectedKill distinguishes FaultTransport's own mid-stream abort
+// from errors the wrapped sink produced.
+var errInjectedKill = errors.New("dist: injected mid-stream kill")
+
+// FaultTransport wraps any Transport with deterministic, scripted
+// failure injection — the sanctioned seam for testing the fleet's
+// failover paths. Faults are scripted by call counts, not randomness,
+// so a failing test replays byte-identically. Four fault shapes cover
+// the lifecycle:
+//
+//   - refuse-connection (Refuse): every call fails immediately with a
+//     TransientError, like a killed process's port;
+//   - fail-next (FailNext): the next n calls of one operation fail
+//     transiently, then the worker "recovers" — a crash+restart, or a
+//     load-balancer blip;
+//   - flap (FlapEvery): every k-th call of an operation fails — a
+//     worker that intermittently drops requests;
+//   - kill-after-frames (KillExecuteAfter): a fragment execution
+//     streams exactly n batch frames and then dies mid-stream — the
+//     shape that exercises the coordinator's resume-cursor dedup.
+//
+// Stall (Stall) additionally blocks an operation until the caller's
+// context expires, for deadline-interaction tests. All methods are
+// safe for concurrent use. The zero fault script passes everything
+// through unchanged.
+type FaultTransport struct {
+	// Inner is the wrapped transport.
+	Inner Transport
+
+	mu        sync.Mutex
+	refuse    bool
+	failNext  map[string]int
+	flapEvery map[string]int
+	stall     map[string]bool
+	calls     map[string]int
+	injected  int
+	kills     int
+	maxFrames int // most batch frames one execution delivered
+	killAfter int // batch frames to pass before the injected kill; -1 = none
+	killTimes int // executions still to kill; -1 = every execution
+}
+
+// NewFaultTransport wraps inner with an empty fault script.
+func NewFaultTransport(inner Transport) *FaultTransport {
+	return &FaultTransport{
+		Inner:     inner,
+		failNext:  map[string]int{},
+		flapEvery: map[string]int{},
+		stall:     map[string]bool{},
+		calls:     map[string]int{},
+		killAfter: -1,
+	}
+}
+
+// Refuse turns whole-worker refusal on or off: while set, every
+// operation fails immediately with a TransientError, like dialing a
+// dead process.
+func (f *FaultTransport) Refuse(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.refuse = on
+}
+
+// FailNext makes the next n calls of op fail with a TransientError
+// before reaching the inner transport; the operation recovers
+// afterwards.
+func (f *FaultTransport) FailNext(op string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failNext[op] = n
+}
+
+// FlapEvery makes every k-th call of op (the k-th, 2k-th, …) fail with
+// a TransientError; k <= 0 clears the flap.
+func (f *FaultTransport) FlapEvery(op string, k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if k <= 0 {
+		delete(f.flapEvery, op)
+		return
+	}
+	f.flapEvery[op] = k
+}
+
+// Stall makes op block until the caller's context is done, then return
+// the context's error (classified non-transient, exactly like a real
+// deadline expiry mid-call).
+func (f *FaultTransport) Stall(op string, on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stall[op] = on
+}
+
+// KillExecuteAfter scripts the mid-stream crash: the next `times`
+// fragment executions that reach `frames` batch frames forward
+// exactly that many to the caller's sink and then die with a
+// TransientError (times < 0 kills every such execution; frames = 0
+// dies on the first frame). An execution whose stream is shorter than
+// the kill point completes normally and does not consume a kill. The
+// inner execution is cancelled when the kill fires, so the worker
+// side aborts too — as it would when a real peer vanishes.
+func (f *FaultTransport) KillExecuteAfter(frames, times int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.killAfter = frames
+	f.killTimes = times
+}
+
+// Calls returns how many times op was attempted through this
+// transport (including injected failures).
+func (f *FaultTransport) Calls(op string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[op]
+}
+
+// Injected returns how many transient failures the script injected
+// (refusals, fail-nexts, flaps and kills combined).
+func (f *FaultTransport) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Kills returns how many mid-stream execution kills fired.
+func (f *FaultTransport) Kills() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.kills
+}
+
+// MaxFrames returns the largest number of batch frames any single
+// fragment execution through this transport delivered — what a
+// frame-boundary kill sweep iterates over.
+func (f *FaultTransport) MaxFrames() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.maxFrames
+}
+
+// gate consumes one scripted call of op: it returns the injected
+// transient error, blocks for a scripted stall, or admits the call.
+func (f *FaultTransport) gate(ctx context.Context, op string) error {
+	f.mu.Lock()
+	f.calls[op]++
+	n := f.calls[op]
+	fail := f.refuse
+	if !fail && f.failNext[op] > 0 {
+		f.failNext[op]--
+		fail = true
+	}
+	if !fail {
+		if k := f.flapEvery[op]; k > 0 && n%k == 0 {
+			fail = true
+		}
+	}
+	stall := f.stall[op]
+	if fail {
+		f.injected++
+	}
+	f.mu.Unlock()
+	if fail {
+		return &TransientError{Err: fmt.Errorf("injected %s failure on %s (call %d)", op, f.Name(), n)}
+	}
+	if stall {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Name implements Transport, keeping the inner worker's name so logs
+// and errors still identify the real peer.
+func (f *FaultTransport) Name() string { return f.Inner.Name() }
+
+// Search implements Transport.
+func (f *FaultTransport) Search(ctx context.Context, req SearchRequest) (*SearchResult, error) {
+	if err := f.gate(ctx, OpSearch); err != nil {
+		return nil, err
+	}
+	return f.Inner.Search(ctx, req)
+}
+
+// Sync implements Transport.
+func (f *FaultTransport) Sync(ctx context.Context, id string, bound float64) (float64, error) {
+	if err := f.gate(ctx, OpSync); err != nil {
+		return 0, err
+	}
+	return f.Inner.Sync(ctx, id, bound)
+}
+
+// Gossip implements Transport.
+func (f *FaultTransport) Gossip(ctx context.Context, bumps []service.EpochBump) error {
+	if err := f.gate(ctx, OpGossip); err != nil {
+		return err
+	}
+	return f.Inner.Gossip(ctx, bumps)
+}
+
+// ImportTemplates implements Transport.
+func (f *FaultTransport) ImportTemplates(ctx context.Context, entries []opt.TemplateWireEntry) (int, error) {
+	if err := f.gate(ctx, OpTemplates); err != nil {
+		return 0, err
+	}
+	return f.Inner.ImportTemplates(ctx, entries)
+}
+
+// Services implements Transport.
+func (f *FaultTransport) Services(ctx context.Context) ([]string, error) {
+	if err := f.gate(ctx, OpServices); err != nil {
+		return nil, err
+	}
+	return f.Inner.Services(ctx)
+}
+
+// Probe implements Transport.
+func (f *FaultTransport) Probe(ctx context.Context) error {
+	if err := f.gate(ctx, OpProbe); err != nil {
+		return err
+	}
+	return f.Inner.Probe(ctx)
+}
+
+// ExecuteFragment implements Transport: the scripted kill forwards
+// exactly killAfter batch frames, then cancels the inner execution and
+// reports a TransientError — a worker dying mid-stream, as seen from
+// the coordinator. Every execution (killed or not) records its frame
+// count for MaxFrames.
+func (f *FaultTransport) ExecuteFragment(ctx context.Context, req ExecuteRequest, sink func(batch []WireTuple) error) (*ExecuteResult, error) {
+	if err := f.gate(ctx, OpExecute); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	kill := -1
+	if f.killAfter >= 0 && f.killTimes != 0 {
+		kill = f.killAfter
+		if f.killTimes > 0 {
+			f.killTimes--
+		}
+	}
+	f.mu.Unlock()
+	frames := 0
+	defer func() {
+		f.mu.Lock()
+		if frames > f.maxFrames {
+			f.maxFrames = frames
+		}
+		f.mu.Unlock()
+	}()
+	forward := sink
+	if forward == nil {
+		forward = func([]WireTuple) error { return nil }
+	}
+	if kill < 0 {
+		return f.Inner.ExecuteFragment(ctx, req, func(batch []WireTuple) error {
+			frames++
+			return forward(batch)
+		})
+	}
+
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	killed := false
+	res, err := f.Inner.ExecuteFragment(ictx, req, func(batch []WireTuple) error {
+		if frames >= kill {
+			killed = true
+			cancel()
+			return errInjectedKill
+		}
+		frames++
+		return forward(batch)
+	})
+	// The kill is detected by its own flag, not the returned error: the
+	// inner executor is free to translate the sink's abort into its own
+	// cancellation error on the way out.
+	if killed {
+		f.mu.Lock()
+		f.kills++
+		f.injected++
+		f.mu.Unlock()
+		return nil, &TransientError{Err: fmt.Errorf("injected kill after %d frames on %s", kill, f.Name())}
+	}
+	// The stream was shorter than the kill point: the kill never fired,
+	// so restore the un-consumed budget and pass the outcome through.
+	f.mu.Lock()
+	if f.killTimes >= 0 {
+		f.killTimes++
+	}
+	f.mu.Unlock()
+	return res, err
+}

@@ -1,0 +1,295 @@
+package dist
+
+// Fleet membership: a health-checked view over the coordinator's
+// worker set. Each worker walks a three-state machine
+//
+//	up ──(SuspectAfter consecutive failures)──▶ suspect
+//	suspect ──(DownAfter consecutive failures)──▶ down
+//	any ──(one success)──▶ up
+//
+// fed from two sources: an active probe loop (Transport.Probe on a
+// timer) and passive RPC feedback (the coordinator reports every
+// search/sync/execute outcome it sees). Down workers are skipped by
+// the dispatch paths — a dead worker costs one failed probe per
+// interval instead of one timeout per query — and a single success
+// resurrects them, so a restarted worker rejoins without operator
+// action.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// WorkerState is one worker's position in the membership state
+// machine.
+type WorkerState int
+
+// The membership states, in order of degradation.
+const (
+	// StateUp marks a worker answering its probes and RPCs.
+	StateUp WorkerState = iota
+	// StateSuspect marks a worker with recent consecutive failures —
+	// still dispatched to (it may just be slow), but on notice.
+	StateSuspect
+	// StateDown marks a worker past the failure threshold: dispatch
+	// paths skip it until a probe or RPC succeeds again.
+	StateDown
+)
+
+// String renders the state as its /fleet and metrics label.
+func (s WorkerState) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// Default membership thresholds and timings.
+const (
+	// DefaultSuspectAfter is the consecutive-failure count that moves
+	// a worker up → suspect when Membership.SuspectAfter is unset.
+	DefaultSuspectAfter = 1
+	// DefaultDownAfter is the consecutive-failure count that moves a
+	// worker to down when Membership.DownAfter is unset.
+	DefaultDownAfter = 3
+	// DefaultProbeTimeout bounds one health probe when
+	// Membership.ProbeTimeout is unset.
+	DefaultProbeTimeout = 2 * time.Second
+	// DefaultHealthInterval is the probe period HealthLoop uses when
+	// given a non-positive interval.
+	DefaultHealthInterval = 2 * time.Second
+)
+
+// WorkerHealth is one worker's row in a Membership snapshot — what
+// GET /fleet serves.
+type WorkerHealth struct {
+	// Worker is the transport's name (URL or label).
+	Worker string `json:"worker"`
+	// State is "up", "suspect" or "down".
+	State string `json:"state"`
+	// ConsecutiveFailures counts failures since the last success.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// LastProbe is when the active prober last checked this worker
+	// (zero if only passive feedback has been seen).
+	LastProbe time.Time `json:"last_probe,omitempty"`
+	// LastError is the most recent failure, if the worker is not up.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Membership tracks the health of a fixed worker set. Construct with
+// NewMembership; all methods are safe for concurrent use. State moves
+// on *consecutive* failures only — one success resets the count — so
+// an occasionally-flapping worker hovers between up and suspect
+// instead of being evicted.
+type Membership struct {
+	// SuspectAfter is the consecutive failures before up → suspect
+	// (0 means DefaultSuspectAfter).
+	SuspectAfter int
+	// DownAfter is the consecutive failures before → down (0 means
+	// DefaultDownAfter).
+	DownAfter int
+	// ProbeTimeout bounds each active probe (0 means
+	// DefaultProbeTimeout).
+	ProbeTimeout time.Duration
+	// OnChange, when non-nil, is called (outside the membership lock)
+	// on every state transition.
+	OnChange func(worker string, from, to WorkerState)
+
+	workers []Transport
+	mu      sync.Mutex
+	states  []WorkerState
+	fails   []int
+	lastErr []string
+	probed  []time.Time
+}
+
+// NewMembership builds a membership view over workers (index-aligned
+// with a Coordinator's Workers slice); everyone starts up.
+func NewMembership(workers []Transport) *Membership {
+	return &Membership{
+		workers: workers,
+		states:  make([]WorkerState, len(workers)),
+		fails:   make([]int, len(workers)),
+		lastErr: make([]string, len(workers)),
+		probed:  make([]time.Time, len(workers)),
+	}
+}
+
+func (m *Membership) suspectAfter() int {
+	if m.SuspectAfter <= 0 {
+		return DefaultSuspectAfter
+	}
+	return m.SuspectAfter
+}
+
+func (m *Membership) downAfter() int {
+	if m.DownAfter <= 0 {
+		return DefaultDownAfter
+	}
+	return m.DownAfter
+}
+
+func (m *Membership) probeTimeout() time.Duration {
+	if m.ProbeTimeout <= 0 {
+		return DefaultProbeTimeout
+	}
+	return m.ProbeTimeout
+}
+
+// State returns worker i's current state.
+func (m *Membership) State(i int) WorkerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.states[i]
+}
+
+// Alive reports whether worker i may be dispatched to (anything but
+// down).
+func (m *Membership) Alive(i int) bool {
+	return m.State(i) != StateDown
+}
+
+// ReportSuccess records a successful probe or RPC against worker i: a
+// single success returns the worker to up.
+func (m *Membership) ReportSuccess(i int) {
+	m.mu.Lock()
+	from := m.states[i]
+	m.fails[i] = 0
+	m.lastErr[i] = ""
+	m.states[i] = StateUp
+	cb := m.OnChange
+	m.mu.Unlock()
+	if cb != nil && from != StateUp {
+		cb(m.workers[i].Name(), from, StateUp)
+	}
+}
+
+// ReportFailure records a failed probe or RPC against worker i,
+// advancing it through suspect to down at the consecutive-failure
+// thresholds.
+func (m *Membership) ReportFailure(i int, err error) {
+	m.mu.Lock()
+	from := m.states[i]
+	m.fails[i]++
+	if err != nil {
+		m.lastErr[i] = err.Error()
+	}
+	to := from
+	switch {
+	case m.fails[i] >= m.downAfter():
+		to = StateDown
+	case m.fails[i] >= m.suspectAfter():
+		if from != StateDown {
+			to = StateSuspect
+		}
+	}
+	m.states[i] = to
+	cb := m.OnChange
+	m.mu.Unlock()
+	if cb != nil && to != from {
+		cb(m.workers[i].Name(), from, to)
+	}
+}
+
+// Check runs one active probe round: every worker is probed in
+// parallel (each bounded by ProbeTimeout) and the outcomes are fed
+// into the state machine. It returns how many workers are up
+// afterwards.
+func (m *Membership) Check(ctx context.Context) int {
+	var wg sync.WaitGroup
+	for i, tr := range m.workers {
+		wg.Add(1)
+		go func(i int, tr Transport) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, m.probeTimeout())
+			defer cancel()
+			err := tr.Probe(pctx)
+			m.mu.Lock()
+			m.probed[i] = time.Now()
+			m.mu.Unlock()
+			if err != nil {
+				m.ReportFailure(i, err)
+			} else {
+				m.ReportSuccess(i)
+			}
+		}(i, tr)
+	}
+	wg.Wait()
+	up := 0
+	m.mu.Lock()
+	for _, s := range m.states {
+		if s == StateUp {
+			up++
+		}
+	}
+	m.mu.Unlock()
+	return up
+}
+
+// HealthLoop probes the fleet every interval (non-positive means
+// DefaultHealthInterval) until the returned stop function is called.
+// Stop blocks until the loop (including any in-flight probe round)
+// has exited.
+func (m *Membership) HealthLoop(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = DefaultHealthInterval
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				m.Check(ctx)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			cancel()
+			<-finished
+		})
+	}
+}
+
+// Snapshot returns every worker's current health row, index-aligned
+// with the worker set.
+func (m *Membership) Snapshot() []WorkerHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkerHealth, len(m.workers))
+	for i, tr := range m.workers {
+		out[i] = WorkerHealth{
+			Worker:              tr.Name(),
+			State:               m.states[i].String(),
+			ConsecutiveFailures: m.fails[i],
+			LastProbe:           m.probed[i],
+			LastError:           m.lastErr[i],
+		}
+	}
+	return out
+}
+
+// Counts returns how many workers are in each state, keyed by the
+// state's string — what the mdq_fleet_workers gauges export.
+func (m *Membership) Counts() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counts := map[string]int{"up": 0, "suspect": 0, "down": 0}
+	for _, s := range m.states {
+		counts[s.String()]++
+	}
+	return counts
+}

@@ -27,6 +27,10 @@ type Fragment struct {
 	Atoms []int
 	// Worker indexes the coordinator's Workers slice.
 	Worker int
+	// Candidates are all workers hosting every service of the chain
+	// (Worker is one of them) — the failover set a coordinator
+	// re-dispatches to when Worker dies mid-execution.
+	Candidates []int
 }
 
 // PartitionPlan cuts a plan into executable fragments. hosts[i] is
@@ -84,6 +88,7 @@ func PartitionPlan(p *plan.Plan, hosts []map[string]bool) ([]Fragment, error) {
 			tail = next
 		}
 		f.Worker = cand[len(frags)%len(cand)]
+		f.Candidates = cand
 		frags = append(frags, f)
 	}
 	return frags, nil

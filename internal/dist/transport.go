@@ -36,6 +36,10 @@ type Transport interface {
 	// tuple batches to sink as the fragment's tail produces them, and
 	// returns the final accounting frame.
 	ExecuteFragment(ctx context.Context, req ExecuteRequest, sink func(batch []WireTuple) error) (*ExecuteResult, error)
+	// Probe checks the worker is alive and serving — the health check
+	// Membership feeds its state machine with. It must be cheap: no
+	// search, no execution, just liveness.
+	Probe(ctx context.Context) error
 }
 
 // LocalTransport runs a Worker in-process. It is the transport tier-1
@@ -93,6 +97,10 @@ func (t LocalTransport) ExecuteFragment(ctx context.Context, req ExecuteRequest,
 	return t.Worker.ExecuteFragment(ctx, req, sink)
 }
 
+// Probe implements Transport: an in-process worker is alive by
+// construction.
+func (t LocalTransport) Probe(context.Context) error { return nil }
+
 // HTTPTransport speaks the worker protocol over HTTP (JSON bodies,
 // mdqserve-style error envelopes). The zero value of HTTP means
 // http.DefaultClient.
@@ -114,8 +122,22 @@ func (t *HTTPTransport) client() *http.Client {
 	return http.DefaultClient
 }
 
+// classifyStatus wraps err as transient when the status is a server
+// failure (5xx: a crashed handler, an overloaded proxy, a restarting
+// worker) and leaves client errors permanent (4xx: the request itself
+// is wrong; retrying repeats the failure).
+func classifyStatus(ctx context.Context, status int, err error) error {
+	if status >= 500 {
+		return transientUnless(ctx, err)
+	}
+	return err
+}
+
 // post sends one JSON request and decodes the JSON response,
-// surfacing the worker's error envelope on non-200s.
+// surfacing the worker's error envelope on non-200s. Transport-layer
+// failures (refused, reset, timed out, 5xx) come back wrapped in
+// TransientError so the coordinator's retry loops can classify them;
+// protocol errors stay permanent.
 func (t *HTTPTransport) post(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
@@ -128,17 +150,21 @@ func (t *HTTPTransport) post(ctx context.Context, path string, in, out any) erro
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := t.client().Do(req)
 	if err != nil {
-		return fmt.Errorf("dist: %s%s: %w", t.Base, path, err)
+		return transientUnless(ctx, fmt.Errorf("dist: %s%s: %w", t.Base, path, err))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var env apiError
 		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&env) == nil && env.Error != "" {
-			return fmt.Errorf("dist: %s%s: %s", t.Base, path, env.Error)
+			return classifyStatus(ctx, resp.StatusCode, fmt.Errorf("dist: %s%s: %s", t.Base, path, env.Error))
 		}
-		return fmt.Errorf("dist: %s%s returned %s", t.Base, path, resp.Status)
+		return classifyStatus(ctx, resp.StatusCode, fmt.Errorf("dist: %s%s returned %s", t.Base, path, resp.Status))
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		// A 200 whose body dies mid-decode is a dropped connection.
+		return transientUnless(ctx, fmt.Errorf("dist: %s%s response: %w", t.Base, path, err))
+	}
+	return nil
 }
 
 // Search implements Transport.
@@ -182,19 +208,40 @@ func (t *HTTPTransport) Services(ctx context.Context) ([]string, error) {
 	}
 	resp, err := t.client().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("dist: %s/dist/info: %w", t.Base, err)
+		return nil, transientUnless(ctx, fmt.Errorf("dist: %s/dist/info: %w", t.Base, err))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("dist: %s/dist/info returned %s", t.Base, resp.Status)
+		return nil, classifyStatus(ctx, resp.StatusCode,
+			fmt.Errorf("dist: %s/dist/info returned %s", t.Base, resp.Status))
 	}
 	var info struct {
 		Services []string `json:"services"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		return nil, err
+		return nil, transientUnless(ctx, err)
 	}
 	return info.Services, nil
+}
+
+// Probe implements Transport: GET /dist/health. Any failure — refused
+// connection, timeout, non-200 — is transient: health is exactly the
+// condition expected to change.
+func (t *HTTPTransport) Probe(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.Base+"/dist/health", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return transientUnless(ctx, fmt.Errorf("dist: %s/dist/health: %w", t.Base, err))
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return transientUnless(ctx, fmt.Errorf("dist: %s/dist/health returned %s", t.Base, resp.Status))
+	}
+	return nil
 }
 
 // retypeBudget rebuilds the typed budget violation a worker's JSON
@@ -223,7 +270,7 @@ func (t *HTTPTransport) ExecuteFragment(ctx context.Context, req ExecuteRequest,
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := t.client().Do(hreq)
 	if err != nil {
-		return nil, fmt.Errorf("dist: %s/dist/execute: %w", t.Base, err)
+		return nil, transientUnless(ctx, fmt.Errorf("dist: %s/dist/execute: %w", t.Base, err))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -233,21 +280,31 @@ func (t *HTTPTransport) ExecuteFragment(ctx context.Context, req ExecuteRequest,
 				// Re-type the worker's budget trip: stringified over the
 				// wire, it must still satisfy errors.Is (and errors.As,
 				// when the violated dimension traveled too) on this side.
+				// Budget trips are never transient — the envelope check
+				// runs before the 5xx classification so the worker's 504
+				// cannot be mistaken for a retryable server failure.
 				return nil, fmt.Errorf("dist: %s/dist/execute: %w",
 					t.Base, retypeBudget(env.Error, env.BudgetReason, env.BudgetLimit))
 			}
-			return nil, fmt.Errorf("dist: %s/dist/execute: %s", t.Base, env.Error)
+			return nil, classifyStatus(ctx, resp.StatusCode,
+				fmt.Errorf("dist: %s/dist/execute: %s", t.Base, env.Error))
 		}
-		return nil, fmt.Errorf("dist: %s/dist/execute returned %s", t.Base, resp.Status)
+		return nil, classifyStatus(ctx, resp.StatusCode,
+			fmt.Errorf("dist: %s/dist/execute returned %s", t.Base, resp.Status))
 	}
 	dec := json.NewDecoder(resp.Body)
+	seq := 0
 	for {
 		var fr ExecuteFrame
 		if err := dec.Decode(&fr); err != nil {
+			// A stream that dies before its final frame is a vanished
+			// worker (SIGKILL closes the socket mid-body): transient, so
+			// the coordinator can re-dispatch the fragment elsewhere.
 			if err == io.EOF {
-				return nil, fmt.Errorf("dist: %s/dist/execute stream ended without a final frame", t.Base)
+				return nil, transientUnless(ctx,
+					fmt.Errorf("dist: %s/dist/execute stream ended without a final frame", t.Base))
 			}
-			return nil, fmt.Errorf("dist: %s/dist/execute stream: %w", t.Base, err)
+			return nil, transientUnless(ctx, fmt.Errorf("dist: %s/dist/execute stream: %w", t.Base, err))
 		}
 		if fr.Error != "" {
 			if fr.BudgetExceeded {
@@ -256,9 +313,19 @@ func (t *HTTPTransport) ExecuteFragment(ctx context.Context, req ExecuteRequest,
 			}
 			return nil, fmt.Errorf("dist: %s/dist/execute: %s", t.Base, fr.Error)
 		}
-		if len(fr.Batch) > 0 && sink != nil {
-			if err := sink(fr.Batch); err != nil {
-				return nil, err
+		if len(fr.Batch) > 0 {
+			// Batch frames carry sequence numbers; a gap means frames
+			// were lost in transit (a proxy truncated and respliced the
+			// stream), which only a re-dispatch can repair.
+			if fr.Seq != seq {
+				return nil, transientUnless(ctx,
+					fmt.Errorf("dist: %s/dist/execute stream gap: frame %d arrived, expected %d", t.Base, fr.Seq, seq))
+			}
+			seq++
+			if sink != nil {
+				if err := sink(fr.Batch); err != nil {
+					return nil, err
+				}
 			}
 		}
 		if fr.Done != nil {

@@ -57,7 +57,16 @@ type Worker struct {
 	feed *service.EpochFeed
 
 	mu     sync.Mutex
-	active map[string]*opt.Bound
+	active map[string]*activeSearch
+}
+
+// activeSearch is one running search's shared incumbent bound,
+// refcounted because failover can land two shards of the same search
+// on one worker: both must sync through one bound, and the entry must
+// survive until the last shard finishes.
+type activeSearch struct {
+	bound *opt.Bound
+	refs  int
 }
 
 // NewWorker builds a worker over a registry and plan cache. The
@@ -72,7 +81,7 @@ func NewWorker(reg *service.Registry, cache *opt.PlanCache) *Worker {
 		reg:    reg,
 		cache:  cache,
 		feed:   reg.NewEpochFeed(),
-		active: map[string]*opt.Bound{},
+		active: map[string]*activeSearch{},
 	}
 }
 
@@ -115,18 +124,32 @@ func (w *Worker) Search(ctx context.Context, req SearchRequest) (*SearchResult, 
 	}
 
 	bound := opt.NewBound()
-	if req.Bound > 0 {
-		bound.Offer(req.Bound)
-	}
 	if req.ID != "" {
+		// Two shards of one search can run here at once (failover moves
+		// a dead worker's shard to a live one): share one bound per
+		// search ID so their syncs min-merge, and drop the entry only
+		// when the last shard finishes.
 		w.mu.Lock()
-		w.active[req.ID] = bound
+		if as, ok := w.active[req.ID]; ok {
+			bound = as.bound
+			as.refs++
+		} else {
+			w.active[req.ID] = &activeSearch{bound: bound, refs: 1}
+		}
 		w.mu.Unlock()
 		defer func() {
 			w.mu.Lock()
-			delete(w.active, req.ID)
+			if as, ok := w.active[req.ID]; ok {
+				as.refs--
+				if as.refs <= 0 {
+					delete(w.active, req.ID)
+				}
+			}
 			w.mu.Unlock()
 		}()
+	}
+	if req.Bound > 0 {
+		bound.Offer(req.Bound)
 	}
 
 	o := &opt.Optimizer{
@@ -195,15 +218,15 @@ func searchKnobs(req SearchRequest) (cost.Metric, card.CacheMode, int, error) {
 // nothing from it). Both directions are monotone, so syncs commute.
 func (w *Worker) Sync(id string, bound float64) float64 {
 	w.mu.Lock()
-	b, ok := w.active[id]
+	as, ok := w.active[id]
 	w.mu.Unlock()
 	if !ok {
 		return 0
 	}
 	if bound > 0 {
-		b.Offer(bound)
+		as.bound.Offer(bound)
 	}
-	return toWireBound(b.Load())
+	return toWireBound(as.bound.Load())
 }
 
 // Gossip applies remote statistics-epoch bumps to the worker's plan
@@ -234,6 +257,19 @@ func (w *Worker) ImportTemplates(entries []opt.TemplateWireEntry) int {
 // form.
 func (w *Worker) ExportTemplates() []opt.TemplateWireEntry {
 	return w.cache.ExportTemplates()
+}
+
+// HealthResponse is what GET /dist/health returns — deliberately
+// tiny: the probe's job is liveness, and a worker buried in work must
+// still answer it cheaply.
+type HealthResponse struct {
+	// Status is "ok" whenever the handler answers at all.
+	Status string `json:"status"`
+	// Executing reports whether fragment execution is enabled.
+	Executing bool `json:"executing"`
+	// ActiveSearches counts the searches currently holding an
+	// incumbent bound here.
+	ActiveSearches int `json:"active_searches"`
 }
 
 // apiError is the JSON error envelope of every worker endpoint.
@@ -268,6 +304,7 @@ func writeJSON(rw http.ResponseWriter, v any) {
 //	POST /dist/templates []opt.TemplateWireEntry → ImportResponse
 //	GET  /dist/templates → []opt.TemplateWireEntry
 //	GET  /dist/info      → worker summary (services, epochs, cache)
+//	GET  /dist/health    → HealthResponse (the membership probe target)
 //
 // Mount it next to httpwrap.ServeRegistry to serve both the services
 // and the optimization protocol from one listener (cmd/mdqworker).
@@ -332,9 +369,12 @@ func (w *Worker) Handler() http.Handler {
 		enc := json.NewEncoder(rw)
 		flusher, _ := rw.(http.Flusher)
 		streamed := false
+		seq := 0
 		res, err := w.ExecuteFragment(r.Context(), req, func(batch []WireTuple) error {
 			streamed = true
-			if err := enc.Encode(ExecuteFrame{Batch: batch}); err != nil {
+			fr := ExecuteFrame{Batch: batch, Seq: seq}
+			seq++
+			if err := enc.Encode(fr); err != nil {
 				return err
 			}
 			if flusher != nil {
@@ -366,6 +406,16 @@ func (w *Worker) Handler() http.Handler {
 			return
 		}
 		enc.Encode(ExecuteFrame{Done: res})
+	})
+	mux.HandleFunc("/dist/health", func(rw http.ResponseWriter, r *http.Request) {
+		w.mu.Lock()
+		searches := len(w.active)
+		w.mu.Unlock()
+		writeJSON(rw, HealthResponse{
+			Status:         "ok",
+			Executing:      !w.ExecuteDisabled,
+			ActiveSearches: searches,
+		})
 	})
 	mux.HandleFunc("/dist/info", func(rw http.ResponseWriter, r *http.Request) {
 		type info struct {

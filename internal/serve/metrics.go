@@ -261,8 +261,15 @@ func (m *Metrics) CounterL(name, help string, labels ...string) *Counter {
 // Gauge returns the named unlabeled gauge, registering it on first
 // use.
 func (m *Metrics) Gauge(name, help string) *Gauge {
+	return m.GaugeL(name, help)
+}
+
+// GaugeL returns the named gauge child for a label set rendered by
+// Labels (none for the unlabeled child) — e.g. the per-state fleet
+// membership gauges mdq_fleet_workers{state="up"|"suspect"|"down"}.
+func (m *Metrics) GaugeL(name, help string, labels ...string) *Gauge {
 	f := m.lookup(name, help, "gauge", nil)
-	return f.child("", func() instrument { return &Gauge{} }).(*Gauge)
+	return f.child(Labels(labels...), func() instrument { return &Gauge{} }).(*Gauge)
 }
 
 // Histogram returns the named unlabeled histogram over bounds (the

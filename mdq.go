@@ -659,6 +659,16 @@ type (
 	// DistHTTPTransport speaks the worker protocol to a remote
 	// mdqworker over HTTP.
 	DistHTTPTransport = dist.HTTPTransport
+	// DistMembership is the health-checked view over a worker set:
+	// probes plus RPC feedback walk each worker through
+	// up/suspect/down, and dispatch skips down workers.
+	DistMembership = dist.Membership
+	// DistRetryPolicy bounds how transiently failed dispatches are
+	// re-attempted (backoff, failover to another worker).
+	DistRetryPolicy = dist.RetryPolicy
+	// DistFaultTransport wraps any transport with deterministic fault
+	// injection — the sanctioned seam for testing failover paths.
+	DistFaultTransport = dist.FaultTransport
 	// EpochBump is one gossiped (service, epoch) invalidation.
 	EpochBump = service.EpochBump
 	// PlanCacheWireEntry is a serialized template cache entry — the
