@@ -29,12 +29,12 @@ bench:
 
 # Documentation gate: markdown links in the top-level docs must
 # resolve, and every exported identifier in the optimizer, estimator,
-# distribution, execution and serving packages must carry a doc
-# comment.
+# distribution, execution, serving and tracing packages must carry a
+# doc comment.
 docscheck:
 	$(GO) run ./cmd/docscheck \
 		-md README.md,ARCHITECTURE.md,ROADMAP.md \
-		-pkg ./internal/opt,./internal/card,./internal/dist,./internal/exec,./internal/serve
+		-pkg ./internal/opt,./internal/card,./internal/dist,./internal/exec,./internal/serve,./internal/trace
 
 # Distributed-optimization smoke: the coordinator/worker protocol
 # under the race detector — two-plus-worker LocalTransport clusters
@@ -47,10 +47,13 @@ dist-smoke:
 # two mdqworker processes over loopback HTTP, answer a query through
 # sharded optimization + fragment execution, and assert the answer
 # matches single-process mdqrun output (plus the reverse gossip path
-# reporting worker feedback upstream). Runs fine on a single-CPU dev
-# box; the gate is correctness, not wall-clock.
+# reporting worker feedback upstream). The traced variant re-runs the
+# query with "trace": true and asserts the worker spans — shipped
+# across the wire — nest under the coordinator's dispatch spans with
+# estimate-vs-actual populated on every plan node. Runs fine on a
+# single-CPU dev box; the gate is correctness, not wall-clock.
 e2e-smoke:
-	$(GO) test -tags e2e -count=1 -v -run TestMultiProcessFragmentExecution ./e2e
+	$(GO) test -tags e2e -count=1 -v -run 'TestMultiProcessFragmentExecution|TestTracedFleetQuery' ./e2e
 
 # Chaos smoke: SIGKILL a real mdqworker process while queries are in
 # flight against a real coordinator. Every query — before, during and

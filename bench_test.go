@@ -25,6 +25,7 @@ import (
 	"mdq/internal/service"
 	"mdq/internal/sim"
 	"mdq/internal/simweb"
+	"mdq/internal/trace"
 	"mdq/internal/wsms"
 )
 
@@ -337,6 +338,49 @@ func BenchmarkOptimizePlanCache(b *testing.B) {
 		if !res.Cached {
 			b.Fatal("cache miss on repeated query")
 		}
+	}
+}
+
+// BenchmarkTraceOverhead measures what the tracing plane costs the
+// execution pipeline: the same plan-O run untraced (the default — one
+// nil context lookup per instrumentation point) and with an always-on
+// trace recording every node, call and join span. The untraced
+// variant is the regression guard: its cost must stay at the
+// pre-tracing baseline.
+func BenchmarkTraceOverhead(b *testing.B) {
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name   string
+		traced bool
+	}{
+		{"off", false},
+		{"on", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, q := travelWorld(b)
+				p, err := w.BuildPlan(q, simweb.PlanOTopology(), 3, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runCtx := ctx
+				var root *trace.Span
+				if mode.traced {
+					tr := trace.New("")
+					root = tr.Root("query")
+					runCtx = trace.With(ctx, root)
+				}
+				r := &exec.Runner{Registry: w.Registry, Cache: card.OneCall}
+				res, err := r.Run(runCtx, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				root.End()
+				if res.Stats.Calls["hotel"] != 16 {
+					b.Fatal("call counts drifted")
+				}
+			}
+		})
 	}
 }
 

@@ -7,7 +7,11 @@
 //	mdqrun [-world travel|bio|mashup|zipf] [-remote http://host:port]
 //	       [-metric etm] [-cache one-call] [-k 10] [-sim] [-query "..."]
 //	       [-template "... $param ..." -bind "param=value,..."]
-//	       [-feedback] [-buffer 128]
+//	       [-feedback] [-buffer 128] [-trace]
+//
+// With -trace the run records a span trace — optimizer phases, plan
+// nodes with estimated vs observed cardinalities, individual service
+// calls — and prints the explain-style tree after the answers.
 //
 // With -sim the plan runs on the deterministic virtual-time
 // simulator and the makespan is reported; otherwise the concurrent
@@ -24,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"strings"
 
@@ -37,6 +42,7 @@ import (
 	"mdq/internal/service"
 	"mdq/internal/sim"
 	"mdq/internal/simweb"
+	"mdq/internal/trace"
 )
 
 func main() {
@@ -54,6 +60,7 @@ func main() {
 		feedback  = flag.Bool("feedback", false, "fold executed traffic back into observed service profiles")
 		parallel  = flag.Int("parallel", opt.AutoParallelism, "optimizer search workers (-1 = one per CPU, 1 = sequential)")
 		buffer    = flag.Int("buffer", exec.DefaultBufferSize, "streaming executor edge buffer in tuples (larger = fewer stalls, more memory; smaller = tighter memory, earlier backpressure)")
+		doTrace   = flag.Bool("trace", false, "record a span trace of optimization and execution and print the explain-style tree")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -129,9 +136,18 @@ func main() {
 		}
 		q = eq
 	}
+	var qtrace *trace.Trace
+	var rootSp *trace.Span
+	if *doTrace {
+		qtrace = trace.New("")
+		rootSp = qtrace.Root("query")
+	}
 	o := &opt.Optimizer{Metric: m, Estimator: card.Config{Mode: mode}, K: *k,
 		ChooseMethod: reg.MethodChooser(), Parallelism: *parallel, Epochs: reg}
+	osp := rootSp.Child("optimize")
+	o.Span = osp
 	res, err := o.Optimize(q)
+	osp.End()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -164,7 +180,9 @@ func main() {
 		if *feedback {
 			r.Feedback = &service.FeedbackPolicy{}
 		}
-		out, err := r.Run(ctx, res.Best)
+		esp := rootSp.Child("execute")
+		out, err := r.Run(trace.With(ctx, esp), res.Best)
+		esp.End()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -204,6 +222,11 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+	if *doTrace {
+		rootSp.End()
+		fmt.Printf("\ntrace %s:\n", qtrace.ID())
+		trace.Render(os.Stdout, trace.Tree(qtrace.Spans()))
 	}
 }
 

@@ -53,6 +53,22 @@
 // (stale entries revalidate on first use) and saved on SIGINT or
 // SIGTERM, so optimization warmup survives restarts.
 //
+// Tracing: a request carrying "trace": true returns an explain-style
+// span tree on the response — optimizer phases, cache outcome,
+// fragment dispatches (with retries and failovers), and every plan
+// node's estimated cost/cardinality next to the observed tuple and
+// call counts, including spans recorded on remote workers and spliced
+// under their dispatch spans. -trace-sample 0.01 additionally traces
+// 1% of requests unasked, and when -slow-above is set every
+// slowlog-qualifying request keeps its trace. Kept traces are
+// retrievable from the ring-buffered store (GET /trace, GET
+// /trace/{id}). Structured audit events — slow queries, membership
+// transitions, dispatch retries, budget trips — stream from GET
+// /events as ndjson (bounded buffer; evictions are counted by
+// mdq_events_dropped_total and resumable with ?after=N). -pprof
+// additionally mounts net/http/pprof under /debug/pprof/ (off by
+// default; enable only on trusted networks).
+//
 // Endpoints (all errors are JSON: {"error": "...", "status": N}):
 //
 //	POST /optimize  {"query": "...", "metric": "etm", "k": 10, "cache": "one-call"}
@@ -70,6 +86,10 @@
 //	GET  /optimize/stats → cache counters only (kept for older clients).
 //	GET  /fleet     → worker membership states, failure counts, last
 //	                  probe/error (coordinator mode; 404 otherwise).
+//	GET  /trace     → newest-first summaries of retained traces;
+//	                  /trace/{id} returns one full span tree.
+//	GET  /events    → audit event stream as ndjson (?after=N resumes
+//	                  past a previously seen sequence number).
 package main
 
 import (
@@ -79,6 +99,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -98,6 +119,7 @@ import (
 	"mdq/internal/schema"
 	"mdq/internal/service"
 	"mdq/internal/simweb"
+	"mdq/internal/trace"
 )
 
 func main() {
@@ -127,6 +149,8 @@ func main() {
 		slowAbove    = flag.Duration("slow-above", 0, "only log requests at least this slow (0 = log all)")
 		defDeadline  = flag.Duration("default-deadline", 0, "default per-query deadline when requests set no deadline_ms (0 = none)")
 		defMaxCalls  = flag.Int64("default-max-calls", 0, "default per-query service-call cap when requests set no max_calls (0 = none)")
+		traceSample  = flag.Float64("trace-sample", 0, "fraction of requests to trace unasked (0 = only explicit or slowlog-qualifying; 1 = all)")
+		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	)
 	flag.Parse()
 
@@ -172,7 +196,7 @@ func main() {
 	if *feedback {
 		srv.feedback = &service.FeedbackPolicy{MinCalls: *minCalls, MinDrift: *minDrift}
 	}
-	obs := newObservability(*maxInFlight, *queueWait, *slowlogCap, *slowAbove)
+	obs := newObservability(*maxInFlight, *queueWait, *slowlogCap, *slowAbove, *traceSample)
 	if *workerList != "" {
 		for _, base := range strings.Split(*workerList, ",") {
 			if base = strings.TrimSpace(strings.TrimSuffix(base, "/")); base != "" {
@@ -201,6 +225,8 @@ func main() {
 			var rediscover atomic.Value
 			member.OnChange = func(worker string, from, to dist.WorkerState) {
 				log.Printf("fleet: worker %s %s -> %s", worker, from, to)
+				obs.events.Publish("membership", map[string]string{
+					"worker": worker, "from": from.String(), "to": to.String()})
 				fleetGauges()
 				if to == dist.StateUp {
 					if f, ok := rediscover.Load().(func()); ok {
@@ -226,6 +252,7 @@ func main() {
 						"Search-shard re-runs after transient worker failures."
 				}
 				obs.metrics.CounterL(name, help, "worker", worker).Inc()
+				obs.events.Publish("retry", map[string]string{"op": op, "worker": worker})
 			}
 			// Epoch bumps — local ones and those absorbed back from
 			// executing workers — fan out through the gossip loop so
@@ -272,13 +299,24 @@ func main() {
 	mux.HandleFunc("/fleet", srv.fleet)
 	mux.Handle("/metrics", obs.metrics.Handler())
 	mux.Handle("/slowlog", obs.slowlog.Handler())
+	mux.Handle("/trace", obs.traces.Handler())
+	mux.Handle("/trace/", obs.traces.Handler())
+	mux.Handle("/events", obs.events.Handler())
+	if *pprofFlag {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("pprof enabled on /debug/pprof/\n")
+	}
 	fmt.Printf("serving %s world (%v) on %s\n", *worldName, names, *addr)
 	if len(srv.workers) > 0 {
 		fmt.Printf("coordinator mode: sharding optimizations across %d workers\n", len(srv.workers))
 	}
 	fmt.Printf("endpoints: GET /services, GET /services/<name>/signature, POST /services/<name>/invoke,\n")
 	fmt.Printf("           POST /optimize, POST /query, GET /cache, GET /stats, GET /optimize/stats,\n")
-	fmt.Printf("           GET /metrics, GET /slowlog, GET /fleet\n")
+	fmt.Printf("           GET /metrics, GET /slowlog, GET /trace, GET /events, GET /fleet\n")
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -469,6 +507,10 @@ type optimizeRequest struct {
 	// MaxCalls caps the logical service calls an execution may issue
 	// (0 = the server's -default-max-calls).
 	MaxCalls int64 `json:"max_calls,omitempty"`
+	// Trace records a span trace of the optimization and returns it on
+	// the response (also retained for GET /trace/{id}); explicit tracing
+	// ignores the -trace-sample rate.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type optimizeResponse struct {
@@ -480,6 +522,11 @@ type optimizeResponse struct {
 	TemplateHit bool      `json:"template_hit,omitempty"`
 	Revalidated bool      `json:"revalidated,omitempty"`
 	Stats       opt.Stats `json:"stats"`
+	// TraceID / Trace return the recorded span tree when the request
+	// set "trace": true. The same dump stays retrievable at
+	// GET /trace/{trace_id} until the ring store evicts it.
+	TraceID string            `json:"trace_id,omitempty"`
+	Trace   []*trace.TreeNode `json:"trace,omitempty"`
 }
 
 // knobs decodes the metric/cache/k triple shared by /optimize and
@@ -534,6 +581,9 @@ func (s *optimizeServer) optimize(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	st := statsFrom(ctx)
 	st.Query = req.Query
+	if req.Trace {
+		ctx = forceTrace(ctx, st, "/optimize")
+	}
 	budget := requestBudget(req.DeadlineMillis, req.MaxCalls, s.defDeadline, s.defMaxCalls)
 	if budget != nil {
 		var cancel context.CancelFunc
@@ -542,13 +592,16 @@ func (s *optimizeServer) optimize(w http.ResponseWriter, r *http.Request) {
 	}
 	var res *opt.Result
 	optStart := time.Now()
+	osp := trace.From(ctx).Child("optimize")
 	if len(s.workers) > 0 {
-		res, err = s.coordinator(m, mode, k).Optimize(ctx, q)
+		res, err = s.coordinator(m, mode, k).Optimize(trace.With(ctx, osp), q)
 	} else {
 		o := s.optimizer(m, mode, k)
 		o.Budget = budget
+		o.Span = osp
 		res, err = o.Optimize(q)
 	}
+	osp.End()
 	st.Optimize = time.Since(optStart)
 	if err != nil {
 		st.Err = budgetAware(budget, err)
@@ -556,14 +609,20 @@ func (s *optimizeServer) optimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st.CacheClass = cacheClass(res.TemplateHit, res.Revalidated, res.Cached)
-	writeJSON(w, optimizeResponse{
+	resp := optimizeResponse{
 		Plan:     res.Best.Describe(),
 		Cost:     res.Cost,
 		Metric:   m.Name(),
 		Feasible: res.Feasible,
 		Cached:   res.Cached,
 		Stats:    res.Stats,
-	})
+	}
+	if req.Trace && st.Trace != nil {
+		st.TraceRoot.End()
+		resp.TraceID = st.Trace.ID()
+		resp.Trace = trace.Tree(st.Trace.Spans())
+	}
+	writeJSON(w, resp)
 }
 
 type queryRequest struct {
@@ -579,6 +638,11 @@ type queryRequest struct {
 	// as on /optimize.
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 	MaxCalls       int64 `json:"max_calls,omitempty"`
+	// Trace records a full span trace of this request — optimizer
+	// phases, fragment dispatches, per-plan-node estimate-vs-actual —
+	// and returns it on the response (also retained for GET
+	// /trace/{id}). Explicit tracing ignores the -trace-sample rate.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type queryResponse struct {
@@ -659,6 +723,9 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	st := statsFrom(ctx)
 	st.Query = req.Template
+	if req.Trace {
+		ctx = forceTrace(ctx, st, "/query")
+	}
 	budget := requestBudget(req.DeadlineMillis, req.MaxCalls, s.defDeadline, s.defMaxCalls)
 	if budget != nil {
 		var cancel context.CancelFunc
@@ -667,13 +734,16 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 	}
 	var res *opt.Result
 	optStart := time.Now()
+	osp := trace.From(ctx).Child("optimize")
 	if len(s.workers) > 0 {
-		res, err = s.coordinator(m, mode, k).OptimizeTemplate(ctx, q)
+		res, err = s.coordinator(m, mode, k).OptimizeTemplate(trace.With(ctx, osp), q)
 	} else {
 		o := s.optimizer(m, mode, k)
 		o.Budget = budget
+		o.Span = osp
 		res, err = o.OptimizeTemplate(q)
 	}
+	osp.End()
 	st.Optimize = time.Since(optStart)
 	if err != nil {
 		st.Err = budgetAware(budget, err)
@@ -694,17 +764,19 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 	if req.Execute == nil || *req.Execute {
 		var out *exec.Result
 		execStart := time.Now()
+		esp := trace.From(ctx).Child("execute")
 		if len(s.workers) > 0 {
 			// Coordinator mode executes through the fleet: the plan is
 			// cut into fragments that run on the workers hosting their
 			// services, tuples stream back, and the joins happen here.
 			// Worker-side feedback bumps return via the reverse gossip
 			// path and are re-broadcast by the gossip loop.
-			out, err = s.coordinator(m, mode, k).ExecutePlan(ctx, res.Best)
+			out, err = s.coordinator(m, mode, k).ExecutePlan(trace.With(ctx, esp), res.Best)
 		} else {
 			runner := &exec.Runner{Registry: s.reg, Cache: mode, K: k, Feedback: s.feedback, BufferSize: s.buffer}
-			out, err = runner.Run(ctx, res.Best)
+			out, err = runner.Run(trace.With(ctx, esp), res.Best)
 		}
+		esp.End()
 		st.Execute = time.Since(execStart)
 		if err != nil {
 			st.Err = budgetAware(budget, err)
@@ -726,6 +798,11 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 		resp.Elapsed = out.Elapsed.Seconds()
 		resp.FirstRowMillis = float64(out.FirstRow) / float64(time.Millisecond)
 		resp.Epochs = s.reg.Epochs()
+	}
+	if req.Trace && st.Trace != nil {
+		st.TraceRoot.End()
+		resp.TraceID = st.Trace.ID()
+		resp.Trace = trace.Tree(st.Trace.Spans())
 	}
 	writeJSON(w, resp)
 }

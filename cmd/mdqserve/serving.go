@@ -9,28 +9,48 @@ import (
 	"time"
 
 	"mdq/internal/serve"
+	"mdq/internal/trace"
 )
 
 // observability bundles the serving-layer state every request flows
-// through: the admission gate, the metrics registry and the
-// slow-query log, plus the pre-resolved instruments the hot path
-// updates.
+// through: the admission gate, the metrics registry, the slow-query
+// log, the trace plane (sampler + ring store) and the audit event
+// bus, plus the pre-resolved instruments the hot path updates.
 type observability struct {
 	admission *serve.Admission
 	metrics   *serve.Metrics
 	slowlog   *serve.SlowLog
+	// sampler decides which requests get traced without asking
+	// (-trace-sample); explicit "trace": true requests always do.
+	sampler *trace.Sampler
+	// traceAll records a trace for every request so slowlog-qualifying
+	// ones can be kept — enabled when -slow-above is positive (a
+	// request is only known to be slow after it finished, so the spans
+	// must already exist). Retention still requires qualification.
+	traceAll bool
+	// traces is the ring-buffered store behind GET /trace.
+	traces *trace.Store
+	// events is the merged audit stream behind GET /events.
+	events *serve.EventBus
 
 	inflight *serve.Gauge
 }
 
-func newObservability(maxInFlight int, queueWait time.Duration, slowCap int, slowThreshold time.Duration) *observability {
+func newObservability(maxInFlight int, queueWait time.Duration, slowCap int, slowThreshold time.Duration, sampleRate float64) *observability {
 	m := serve.NewMetrics()
 	o := &observability{
 		admission: serve.NewAdmission(maxInFlight, queueWait),
 		metrics:   m,
 		slowlog:   serve.NewSlowLog(slowCap, slowThreshold),
+		sampler:   trace.NewSampler(sampleRate),
+		traceAll:  slowThreshold > 0,
+		traces:    trace.NewStore(0),
+		events:    serve.NewEventBus(0),
 		inflight:  m.Gauge("mdq_inflight_requests", "Admitted requests currently executing."),
 	}
+	dropped := m.Counter("mdq_events_dropped_total",
+		"Audit events evicted from the bus before any consumer saw them.")
+	o.events.OnDrop = func(n int) { dropped.Add(float64(n)) }
 	return o
 }
 
@@ -46,6 +66,15 @@ type reqStats struct {
 	CacheClass string
 	Rows       int
 	Err        error
+	// Trace / TraceRoot carry the request's trace when one is being
+	// recorded — created by the middleware (sampled, or slowlog
+	// pre-recording) or by the handler (explicit "trace": true, which
+	// also sets TraceForced). TraceSampled marks sampler-chosen traces;
+	// the middleware decides retention from the three flags.
+	Trace        *trace.Trace
+	TraceRoot    *trace.Span
+	TraceForced  bool
+	TraceSampled bool
 }
 
 type reqStatsKey struct{}
@@ -135,9 +164,22 @@ func (o *observability) instrument(endpoint string, h http.HandlerFunc) http.Han
 		defer o.inflight.Add(-1)
 
 		st := &reqStats{}
+		// The trace decision the middleware can make on its own: the
+		// sampler fired, or every request is pre-recorded because only
+		// a finished request reveals whether it was slow enough to keep
+		// (-slow-above). Explicit "trace": true lives in the body, so
+		// the handler adds its own trace when neither fired here.
+		if st.TraceSampled = o.sampler.Sample(); st.TraceSampled || o.traceAll {
+			st.Trace = trace.New("")
+			st.TraceRoot = st.Trace.Root(endpoint)
+		}
 		cw := &countingWriter{ResponseWriter: w}
 		start := time.Now()
-		h(cw, r.WithContext(context.WithValue(r.Context(), reqStatsKey{}, st)))
+		ctx := context.WithValue(r.Context(), reqStatsKey{}, st)
+		if st.TraceRoot != nil {
+			ctx = trace.With(ctx, st.TraceRoot)
+		}
+		h(cw, r.WithContext(ctx))
 		elapsed := time.Since(start)
 		if cw.status == 0 {
 			cw.status = http.StatusOK
@@ -198,10 +240,42 @@ func (o *observability) instrument(endpoint string, h http.HandlerFunc) http.Han
 				}
 				o.metrics.CounterL("mdq_budget_exceeded_total",
 					"Queries aborted by their execution budget.", "reason", reason).Inc()
+				o.events.Publish("budget", map[string]string{
+					"endpoint": endpoint, "reason": reason, "error": rec.Error})
+			}
+		}
+		if st.Trace != nil {
+			st.TraceRoot.End()
+			// Retention: explicitly requested traces and sampled ones are
+			// always kept; pre-recorded ones only when the request turned
+			// out slowlog-qualifying. Everything else is dropped whole —
+			// the store never sees unsampled fast requests.
+			keep := st.TraceForced || st.TraceSampled ||
+				(o.slowlog.Threshold > 0 && elapsed >= o.slowlog.Threshold)
+			if keep {
+				rec.TraceID = st.Trace.ID()
+				o.traces.Add(trace.Dump{TraceID: st.Trace.ID(), Time: start, Spans: trace.Tree(st.Trace.Spans())})
 			}
 		}
 		o.slowlog.Record(rec)
+		if o.slowlog.Threshold > 0 && elapsed >= o.slowlog.Threshold {
+			o.events.PublishRecord(rec)
+		}
 	}
+}
+
+// forceTrace marks the request's trace as explicitly requested
+// ("trace": true), creating one on the spot when neither the sampler
+// nor slowlog pre-recording already did — the middleware cannot see
+// the request body, so the handler owns this decision. Returns the
+// context carrying the trace root.
+func forceTrace(ctx context.Context, st *reqStats, name string) context.Context {
+	st.TraceForced = true
+	if st.Trace == nil {
+		st.Trace = trace.New("")
+		st.TraceRoot = st.Trace.Root(name)
+	}
+	return trace.With(ctx, st.TraceRoot)
 }
 
 // requestBudget assembles the per-query execution budget from the

@@ -14,7 +14,15 @@
 //	          [-parallel 1] [-plancache 128] [-cachettl 0] [-cachebytes 0]
 //	          [-cache-file worker-cache.json] [-scale 0]
 //	          [-execute] [-buffer 128] [-feedback] [-feedback-min-calls 4]
-//	          [-feedback-min-drift 0.1]
+//	          [-feedback-min-drift 0.1] [-pprof]
+//
+// -pprof mounts net/http/pprof under /debug/pprof/ (off by default;
+// enable only on trusted networks).
+//
+// Fragment and shard-search requests carrying a trace header record
+// their spans into a worker-local trace and piggyback them on the
+// result frame, so the coordinator can splice them into the query's
+// span tree.
 //
 // Endpoints:
 //
@@ -49,6 +57,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -81,6 +90,7 @@ func main() {
 		minDrift   = flag.Float64("feedback-min-drift", 0.1, "relative statistics drift required before a refresh")
 
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "max time to drain in-flight requests on shutdown")
+		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	)
 	flag.Parse()
 
@@ -113,6 +123,15 @@ func main() {
 	metrics := serve.NewMetrics()
 	mux.Handle("/dist/", instrumentWorker(metrics, worker.Handler()))
 	mux.Handle("/metrics", metrics.Handler())
+	if *pprofFlag {
+		// Opt-in only: profiles expose internals, so the endpoints are
+		// mounted solely behind the flag (enable on trusted networks).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	fmt.Printf("mdqworker: %s world (%v) on %s (execute=%v)\n", *worldName, names, *addr, *execute)
 	fmt.Printf("endpoints: POST /dist/search, /dist/sync, /dist/gossip, /dist/execute; GET|POST /dist/templates; GET /dist/info; GET /dist/health; GET /metrics\n")
 

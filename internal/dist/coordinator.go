@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"mdq/internal/opt"
 	"mdq/internal/plan"
 	"mdq/internal/service"
+	"mdq/internal/trace"
 )
 
 // DefaultSyncInterval is the bound-sync period when
@@ -234,7 +236,13 @@ func (c *Coordinator) optimize(ctx context.Context, q *cq.Query, template bool) 
 			return nil, err
 		}
 	}
-	return c.merge(q, results)
+	msp := trace.From(ctx).Child("dist.merge")
+	res, err := c.merge(q, results)
+	if msp != nil {
+		msp.Set("shards", strconv.Itoa(n))
+		msp.End()
+	}
+	return res, err
 }
 
 // searchShard runs one shard search with failover. The shard's home
@@ -246,6 +254,7 @@ func (c *Coordinator) optimize(ctx context.Context, q *cq.Query, template bool) 
 // ErrNoLiveWorkers.
 func (c *Coordinator) searchShard(ctx context.Context, req SearchRequest) (*SearchResult, error) {
 	n := len(c.Workers)
+	qsp := trace.From(ctx)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		target := -1
@@ -261,11 +270,22 @@ func (c *Coordinator) searchShard(ctx context.Context, req SearchRequest) (*Sear
 			}
 			return nil, fmt.Errorf("dist: search shard %d: %w", req.ShardIndex, ErrNoLiveWorkers)
 		}
+		// One dispatch span per attempt; the successful one carries the
+		// worker's spliced search spans.
+		dsp := qsp.Child("dist.search.dispatch")
+		dsp.Set("worker", c.Workers[target].Name())
+		dsp.Set("shard", strconv.Itoa(req.ShardIndex))
+		dsp.Set("attempt", strconv.Itoa(attempt))
+		req.TraceID, req.TraceSpan = dsp.TraceID(), dsp.SpanID()
 		res, err := c.Workers[target].Search(ctx, req)
 		c.reportOutcome(target, err)
 		if err == nil {
+			dsp.Splice(res.Spans)
+			dsp.End()
 			return res, nil
 		}
+		dsp.Set("error", err.Error())
+		dsp.End()
 		if !IsTransient(err) || ctx.Err() != nil || attempt >= c.Retry.maxRetries() {
 			return nil, fmt.Errorf("dist: worker %s: %w", c.Workers[target].Name(), err)
 		}

@@ -55,6 +55,7 @@ import (
 	"mdq/internal/opt"
 	"mdq/internal/plan"
 	"mdq/internal/service"
+	"mdq/internal/trace"
 )
 
 // SearchRequest asks a worker to search one shard of a query's
@@ -88,6 +89,17 @@ type SearchRequest struct {
 	// RevalidateRatio is the template-cache divergence bound (0 means
 	// the optimizer default).
 	RevalidateRatio float64 `json:"revalidate_ratio,omitempty"`
+	// TraceID and TraceSpan propagate the coordinator's trace context
+	// over the wire — the trace header of the search RPC, honored
+	// identically by LocalTransport (the struct travels as-is) and
+	// HTTPTransport (JSON body, mirrored in an X-Mdq-Trace-Id header
+	// for HTTP-level correlation). A non-empty TraceID makes the
+	// worker record its shard search into a local trace seeded with it
+	// and ship the spans back on SearchResult.Spans; TraceSpan names
+	// the dispatching span for correlation (the coordinator reparents
+	// the shipped spans under it when splicing).
+	TraceID   string `json:"trace_id,omitempty"`
+	TraceSpan uint64 `json:"trace_span,omitempty"`
 }
 
 // SearchResult is a worker's answer for one shard.
@@ -119,6 +131,11 @@ type SearchResult struct {
 	Revalidated bool `json:"revalidated,omitempty"`
 	// Bound is the worker's final incumbent bound (0 means +Inf).
 	Bound float64 `json:"bound,omitempty"`
+	// Spans are the worker-side search spans of a traced request
+	// (SearchRequest.TraceID), in worker-local ID space; the
+	// coordinator splices them under its per-shard dispatch span
+	// (trace.Trace.Splice).
+	Spans []trace.Span `json:"spans,omitempty"`
 }
 
 // SyncRequest is one bound-sync exchange: the coordinator offers the

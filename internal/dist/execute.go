@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"mdq/internal/schema"
 	"mdq/internal/serve"
 	"mdq/internal/service"
+	"mdq/internal/trace"
 )
 
 // DefaultExecuteBatch is the tuple batch size of the fragment
@@ -77,6 +79,23 @@ type ExecuteRequest struct {
 	// the coordinator's budget at dispatch (0 = uncapped). The worker
 	// charges its fragment's calls against it.
 	BudgetCalls int64 `json:"budget_calls,omitempty"`
+	// TraceID and TraceSpan propagate the coordinator's trace context
+	// over the wire — the trace header of the execute RPC, honored
+	// identically by LocalTransport and HTTPTransport (which also
+	// mirrors the ID in an X-Mdq-Trace-Id header). A non-empty TraceID
+	// makes the worker record its fragment execution into a local
+	// trace seeded with it and ship the spans back on
+	// ExecuteResult.Spans; TraceSpan names the dispatching span for
+	// correlation (the coordinator reparents the shipped spans under
+	// it when splicing).
+	TraceID   string `json:"trace_id,omitempty"`
+	TraceSpan uint64 `json:"trace_span,omitempty"`
+	// Est carries the coordinator's per-atom plan estimates,
+	// index-aligned with the query's atoms. The worker rebuilds the
+	// skeleton unpriced (buildSkeleton does not annotate), so without
+	// this the worker-side node spans would audit against zeros; only
+	// traced requests ship it.
+	Est []trace.Estimate `json:"est,omitempty"`
 }
 
 // ExecuteResult is the final accounting frame of one fragment
@@ -92,6 +111,12 @@ type ExecuteResult struct {
 	// Bumps are the worker's pending local statistics-epoch bumps
 	// (Worker.DrainBumps), piggybacked for the reverse gossip path.
 	Bumps []service.EpochBump `json:"bumps,omitempty"`
+	// Spans are the worker-side execution spans of a traced request
+	// (ExecuteRequest.TraceID), in worker-local ID space — piggybacked
+	// on the accounting frame exactly like the epoch bumps above; the
+	// coordinator splices them under its dispatch span
+	// (trace.Trace.Splice).
+	Spans []trace.Span `json:"spans,omitempty"`
 }
 
 // ExecuteFrame is one line of the streamed fragment-execution HTTP
@@ -189,6 +214,14 @@ func (w *Worker) ExecuteFragment(ctx context.Context, req ExecuteRequest, sink f
 			n.Fetches = f
 		}
 	}
+	// A rebuilt skeleton is unpriced; a traced request ships the
+	// coordinator's estimates so node spans carry them (the audit
+	// compares against the same numbers the plan was chosen by).
+	if len(req.Est) == len(p.ServiceNode) {
+		for i, n := range p.ServiceNode {
+			n.TIn, n.Calls, n.TOut = req.Est[i].TIn, req.Est[i].Calls, req.Est[i].TOut
+		}
+	}
 	ix := exec.NewVarIndex(p)
 	if len(req.Vars) != ix.Len() {
 		return nil, fmt.Errorf("dist: fragment layout has %d vars, local plan has %d (registries disagree?)", len(req.Vars), ix.Len())
@@ -223,6 +256,25 @@ func (w *Worker) ExecuteFragment(ctx context.Context, req ExecuteRequest, sink f
 		ctx, cancel = wb.Context(ctx)
 		defer cancel()
 	}
+	// The trace context detaches the same way the budget does: over
+	// LocalTransport the coordinator's span would flow straight into
+	// the runner and record worker node spans directly into the
+	// coordinator's trace — bypassing the piggyback path the wire uses,
+	// so local and HTTP fleets would produce different trees. Instead
+	// the worker always records into its own trace (seeded with the
+	// shipped ID, parent 0 — a coordinator span ID could collide with
+	// worker-local IDs and corrupt the splice remap) and ships the
+	// snapshot back on the result, exactly as over the wire; Splice
+	// reparents the root under the dispatching span.
+	ctx = trace.With(ctx, nil)
+	var wtr *trace.Trace
+	var rootSp *trace.Span
+	if req.TraceID != "" {
+		wtr = trace.New(req.TraceID)
+		rootSp = wtr.Root("worker.fragment")
+		rootSp.Set("atoms", fmt.Sprint(req.Atoms))
+		ctx = trace.With(ctx, rootSp)
+	}
 
 	batchSize := req.BatchSize
 	if batchSize <= 0 {
@@ -254,11 +306,13 @@ func (w *Worker) ExecuteFragment(ctx context.Context, req ExecuteRequest, sink f
 	if err := flush(); err != nil {
 		return nil, err
 	}
+	rootSp.End()
 	return &ExecuteResult{
 		Tuples:  count,
 		Calls:   res.Stats.Calls,
 		Fetches: res.Stats.Fetches,
 		Bumps:   w.DrainBumps(),
+		Spans:   wtr.Spans(),
 	}, nil
 }
 
@@ -427,6 +481,16 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Resu
 		Vars:       vars,
 		BatchSize:  c.BatchSize,
 	}
+	// Under a traced context, fragments ship the coordinator plan's
+	// estimates (the worker rebuilds unpriced) and each dispatch gets
+	// its own span; untraced executions ship neither.
+	qsp := trace.From(ctx)
+	if qsp != nil {
+		base.Est = make([]trace.Estimate, len(p.ServiceNode))
+		for i, n := range p.ServiceNode {
+			base.Est[i] = trace.Estimate{TIn: n.TIn, Calls: n.Calls, TOut: n.TOut}
+		}
+	}
 
 	bufSize := c.BufferSize
 	if bufSize <= 0 {
@@ -568,6 +632,15 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Resu
 				return fmt.Errorf("dist: fragment %v: %w", f.Atoms, ErrNoLiveWorkers)
 			}
 			tr := c.Workers[target]
+			// One dispatch span per attempt: a retried fragment shows up
+			// as sibling spans whose attempt/error attrs narrate the
+			// failover; the completed attempt carries the spliced worker
+			// spans.
+			dsp := qsp.Child("dist.execute.dispatch")
+			dsp.Set("worker", tr.Name())
+			dsp.Set("atoms", fmt.Sprint(f.Atoms))
+			dsp.Set("attempt", strconv.Itoa(attempt))
+			req.TraceID, req.TraceSpan = dsp.TraceID(), dsp.SpanID()
 			req.BudgetMillis, req.BudgetCalls = 0, 0
 			if budget != nil {
 				if err := budget.Err(); err != nil {
@@ -613,6 +686,8 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Resu
 			})
 			c.reportOutcome(target, err)
 			if err != nil {
+				dsp.Set("error", err.Error())
+				dsp.End()
 				if reached.Load() {
 					return context.Canceled
 				}
@@ -639,6 +714,9 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Resu
 				}
 				return fmt.Errorf("dist: fragment %v on %s: %w", f.Atoms, tr.Name(), err)
 			}
+			dsp.Splice(fres.Spans)
+			dsp.Set("tuples", strconv.Itoa(fres.Tuples))
+			dsp.End()
 			if fres.Tuples != streamed {
 				return fmt.Errorf("dist: fragment %v on %s reported %d tuples, streamed %d", f.Atoms, tr.Name(), fres.Tuples, streamed)
 			}
@@ -705,9 +783,17 @@ func (c *Coordinator) ExecutePlan(ctx context.Context, p *plan.Plan) (*exec.Resu
 			spawn(func() error {
 				outs := outsOf(n)
 				defer closeArcs(outs)
+				// Coordinator-side joins get the same node spans the
+				// in-process runner records, so the distributed tree audits
+				// every plan node, not just the shipped chains.
+				jsp := qsp.Child("node:" + n.Label())
+				jsp.SetEst(n.TIn, n.Calls, n.TOut)
+				jsp.AddObs(0, 0, 0, 0)
+				defer jsp.End()
 				in0 := arcs[arcKey{n.In[0].ID, n.ID}]
 				in1 := arcs[arcKey{n.In[1].ID, n.ID}]
 				return exec.StreamJoin(ctx, n.Method, in0, in1, n.JoinPreds, ix, func(t exec.Tuple) error {
+					jsp.AddObs(0, 1, 0, 0)
 					return send(outs, t)
 				}, c.JoinExcessPeak)
 			})

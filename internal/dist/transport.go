@@ -134,11 +134,14 @@ func classifyStatus(ctx context.Context, status int, err error) error {
 }
 
 // post sends one JSON request and decodes the JSON response,
-// surfacing the worker's error envelope on non-200s. Transport-layer
-// failures (refused, reset, timed out, 5xx) come back wrapped in
+// surfacing the worker's error envelope on non-200s. A non-empty
+// traceID is mirrored in an X-Mdq-Trace-Id header so HTTP-level
+// middleware (access logs, proxies) can correlate the RPC with the
+// query trace without parsing the body. Transport-layer failures
+// (refused, reset, timed out, 5xx) come back wrapped in
 // TransientError so the coordinator's retry loops can classify them;
 // protocol errors stay permanent.
-func (t *HTTPTransport) post(ctx context.Context, path string, in, out any) error {
+func (t *HTTPTransport) post(ctx context.Context, path, traceID string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
@@ -148,6 +151,9 @@ func (t *HTTPTransport) post(ctx context.Context, path string, in, out any) erro
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set("X-Mdq-Trace-Id", traceID)
+	}
 	resp, err := t.client().Do(req)
 	if err != nil {
 		return transientUnless(ctx, fmt.Errorf("dist: %s%s: %w", t.Base, path, err))
@@ -170,7 +176,7 @@ func (t *HTTPTransport) post(ctx context.Context, path string, in, out any) erro
 // Search implements Transport.
 func (t *HTTPTransport) Search(ctx context.Context, req SearchRequest) (*SearchResult, error) {
 	var res SearchResult
-	if err := t.post(ctx, "/dist/search", req, &res); err != nil {
+	if err := t.post(ctx, "/dist/search", req.TraceID, req, &res); err != nil {
 		return nil, err
 	}
 	return &res, nil
@@ -179,7 +185,7 @@ func (t *HTTPTransport) Search(ctx context.Context, req SearchRequest) (*SearchR
 // Sync implements Transport.
 func (t *HTTPTransport) Sync(ctx context.Context, id string, bound float64) (float64, error) {
 	var res SyncResponse
-	if err := t.post(ctx, "/dist/sync", SyncRequest{ID: id, Bound: bound}, &res); err != nil {
+	if err := t.post(ctx, "/dist/sync", "", SyncRequest{ID: id, Bound: bound}, &res); err != nil {
 		return 0, err
 	}
 	return res.Bound, nil
@@ -188,13 +194,13 @@ func (t *HTTPTransport) Sync(ctx context.Context, id string, bound float64) (flo
 // Gossip implements Transport.
 func (t *HTTPTransport) Gossip(ctx context.Context, bumps []service.EpochBump) error {
 	var res ImportResponse
-	return t.post(ctx, "/dist/gossip", GossipRequest{Bumps: bumps}, &res)
+	return t.post(ctx, "/dist/gossip", "", GossipRequest{Bumps: bumps}, &res)
 }
 
 // ImportTemplates implements Transport.
 func (t *HTTPTransport) ImportTemplates(ctx context.Context, entries []opt.TemplateWireEntry) (int, error) {
 	var res ImportResponse
-	if err := t.post(ctx, "/dist/templates", entries, &res); err != nil {
+	if err := t.post(ctx, "/dist/templates", "", entries, &res); err != nil {
 		return 0, err
 	}
 	return res.Imported, nil
@@ -268,6 +274,9 @@ func (t *HTTPTransport) ExecuteFragment(ctx context.Context, req ExecuteRequest,
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if req.TraceID != "" {
+		hreq.Header.Set("X-Mdq-Trace-Id", req.TraceID)
+	}
 	resp, err := t.client().Do(hreq)
 	if err != nil {
 		return nil, transientUnless(ctx, fmt.Errorf("dist: %s/dist/execute: %w", t.Base, err))

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"mdq/internal/card"
@@ -14,6 +15,7 @@ import (
 	"mdq/internal/opt"
 	"mdq/internal/serve"
 	"mdq/internal/service"
+	"mdq/internal/trace"
 )
 
 // Worker executes shard searches against a local service registry
@@ -165,14 +167,28 @@ func (w *Worker) Search(ctx context.Context, req SearchRequest) (*SearchResult, 
 		Shard:           opt.Shard{Index: req.ShardIndex, Count: req.ShardCount},
 		Bound:           bound,
 	}
+	// A traced search records into a worker-local trace seeded with
+	// the shipped ID. The local root has parent 0 — never a
+	// coordinator-side span ID, which could collide with worker-local
+	// IDs (both sequences start at 1) and corrupt the splice remap —
+	// so Splice reparents it under the dispatching span.
+	var wtr *trace.Trace
+	var rootSp *trace.Span
+	if req.TraceID != "" {
+		wtr = trace.New(req.TraceID)
+		rootSp = wtr.Root("worker.search")
+		rootSp.Set("shard", strconv.Itoa(req.ShardIndex))
+		o.Span = rootSp
+	}
 	var res *opt.Result
 	if req.Template {
 		res, err = o.OptimizeTemplate(q)
 	} else {
 		res, err = o.Optimize(q)
 	}
+	rootSp.End()
 	if errors.Is(err, opt.ErrNoPlanInShard) {
-		return &SearchResult{Found: false, Bound: toWireBound(bound.Load())}, nil
+		return &SearchResult{Found: false, Bound: toWireBound(bound.Load()), Spans: wtr.Spans()}, nil
 	}
 	if err != nil {
 		return nil, err
@@ -188,6 +204,7 @@ func (w *Worker) Search(ctx context.Context, req SearchRequest) (*SearchResult, 
 		TemplateHit: res.TemplateHit,
 		Revalidated: res.Revalidated,
 		Bound:       toWireBound(bound.Load()),
+		Spans:       wtr.Spans(),
 	}
 	for _, p := range res.Best.Assignment {
 		out.Assignment = append(out.Assignment, p.String())

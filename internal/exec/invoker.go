@@ -10,6 +10,7 @@ import (
 	"mdq/internal/schema"
 	"mdq/internal/serve"
 	"mdq/internal/service"
+	"mdq/internal/trace"
 )
 
 // NodeInvoker encapsulates the per-node invocation semantics shared
@@ -95,16 +96,25 @@ func (iv *NodeInvoker) Call(ctx context.Context, t Tuple) (rows [][]schema.Value
 			return nil, false, 0, err
 		}
 	}
+	// Under a traced context the node span counts the real invocation
+	// and a child span times it — tracing observes the charge path, it
+	// never alters it (the differential suite pins call-count parity).
+	nodeSp := trace.From(ctx)
+	callSp := nodeSp.Child("call:" + iv.Node.Atom.Service)
 	rows = entry.Rows
+	pages := 0
 	for page := entry.Pages; page < fetches; page++ {
 		resp, ferr := iv.Svc.Invoke(ctx, iv.PatIdx, service.Request{Inputs: inputs, Page: page})
 		if ferr != nil {
 			if ctx.Err() != nil {
 				return nil, false, 0, context.Canceled
 			}
+			callSp.Set("error", ferr.Error())
+			callSp.End()
 			return nil, false, 0, ferr
 		}
 		iv.Counter.AddFetch()
+		pages++
 		elapsed += resp.Elapsed
 		rows = append(rows, resp.Rows...)
 		entry.Pages = page + 1
@@ -115,6 +125,12 @@ func (iv *NodeInvoker) Call(ctx context.Context, t Tuple) (rows [][]schema.Value
 	}
 	entry.Rows = rows
 	iv.Counter.AddCall()
+	nodeSp.AddObs(0, 0, 1, int64(pages))
+	if callSp != nil {
+		callSp.Set("fetches", fmt.Sprint(pages))
+		callSp.Set("rows", fmt.Sprint(len(rows)))
+		callSp.End()
+	}
 	iv.Cache.Put(iv.Node.Atom.Service, key, entry)
 	return rows, false, elapsed, nil
 }

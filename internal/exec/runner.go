@@ -12,7 +12,26 @@ import (
 	"mdq/internal/schema"
 	"mdq/internal/serve"
 	"mdq/internal/service"
+	"mdq/internal/trace"
 )
+
+// nodeSpan opens the plan-node span for a stage when the context is
+// traced: named "node:<label>", carrying the optimizer's estimated
+// cardinalities from the plan annotations next to an Observed block
+// the stage fills in as tuples flow — the estimate-vs-actual audit
+// row for this node. It returns the (possibly re-wired) context and
+// a nil span on the untraced fast path, where the whole call is one
+// pointer check.
+func nodeSpan(ctx context.Context, n *plan.Node) (context.Context, *trace.Span) {
+	sp := trace.From(ctx)
+	if sp == nil {
+		return ctx, nil
+	}
+	nsp := sp.Child("node:" + n.Label())
+	nsp.SetEst(n.TIn, n.Calls, n.TOut)
+	nsp.AddObs(0, 0, 0, 0) // materialize Obs: the node executed
+	return trace.With(ctx, nsp), nsp
+}
 
 // budgetAbort translates an execution error into the request budget's
 // violation when one tripped: a run cancelled because the budget
@@ -333,6 +352,8 @@ func (ex *execution) runInput(ctx context.Context, outs []*edge) error {
 
 func (ex *execution) runService(ctx context.Context, n *plan.Node, in *edge, outs []*edge) error {
 	defer closeAll(outs)
+	ctx, nsp := nodeSpan(ctx, n)
+	defer nsp.End()
 	iv, err := NewNodeInvoker(ex.runner.Registry, n, ex.ix, ex.cache, ex.calls[n.Atom.Service])
 	if err != nil {
 		return err
@@ -351,6 +372,7 @@ func (ex *execution) runService(ctx context.Context, n *plan.Node, in *edge, out
 			if err != nil {
 				return err
 			}
+			nsp.AddObs(1, int64(len(results)), 0, 0)
 			for _, rt := range results {
 				if err := emit(ctx, outs, rt); err != nil {
 					return nil // downstream satisfied
@@ -391,6 +413,7 @@ func (ex *execution) runService(ctx context.Context, n *plan.Node, in *edge, out
 				mu.Unlock()
 				return
 			}
+			nsp.AddObs(1, int64(len(results)), 0, 0)
 			for _, rt := range results {
 				if emit(ctx, outs, rt) != nil {
 					return
@@ -435,10 +458,13 @@ func (st *svcStage) process(ctx context.Context, t Tuple) ([]Tuple, error) {
 // differential baseline; output is identical either way).
 func (ex *execution) runJoin(ctx context.Context, n *plan.Node, ins []*edge, outs []*edge) error {
 	defer closeAll(outs)
+	ctx, nsp := nodeSpan(ctx, n)
+	defer nsp.End()
 	if ex.runner.Materialize {
 		return ex.runJoinMaterialized(ctx, n, ins, outs)
 	}
 	return StreamJoin(ctx, n.Method, ins[0].ch, ins[1].ch, n.JoinPreds, ex.ix, func(m Tuple) error {
+		nsp.AddObs(0, 1, 0, 0)
 		return emit(ctx, outs, m)
 	}, ex.runner.JoinExcessPeak)
 }
@@ -472,6 +498,7 @@ func (ex *execution) runJoinMaterialized(ctx context.Context, n *plan.Node, ins 
 	if err != nil {
 		return err
 	}
+	trace.From(ctx).AddObs(0, int64(len(merged)), 0, 0)
 	for _, m := range merged {
 		if emit(ctx, outs, m) != nil {
 			return nil

@@ -6,8 +6,10 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mdq/internal/abind"
 	"mdq/internal/card"
@@ -16,6 +18,7 @@ import (
 	"mdq/internal/fetch"
 	"mdq/internal/plan"
 	"mdq/internal/serve"
+	"mdq/internal/trace"
 )
 
 // AutoParallelism makes the optimizer use one search worker per
@@ -121,6 +124,13 @@ type Optimizer struct {
 	// execution, which charges them. mdqserve sets this from the
 	// request context (serve.FromContext).
 	Budget *serve.Budget
+	// Span, when non-nil, is the trace span the search records under:
+	// each Optimize call opens child spans for phase 1 (access-pattern
+	// enumeration), phase 2 (the topology walk), phase 3 (fetch
+	// assignment, cumulative across search workers), the cache lookup
+	// and the winning plan's pricing. Nil — the default — records
+	// nothing and costs one pointer check per phase.
+	Span *trace.Span
 }
 
 // budgetErr reports the optimizer's budget violation, nil without a
@@ -304,13 +314,19 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 	useExactCache := o.Cache != nil && o.Bound == nil
 	var key string
 	if useExactCache {
+		csp := o.Span.Child("opt.cache.exact")
 		key = o.cacheKey(q)
 		if res, ok := o.Cache.Get(key); ok {
 			res.Cached = true
+			csp.Set("class", "exact")
+			csp.End()
 			return res, nil
 		}
+		csp.Set("class", "miss")
+		csp.End()
 	}
 
+	p1 := o.Span.Child("opt.phase1.patterns")
 	res := &Result{Cost: cost.Infinite}
 	all, err := abind.EnumerateAll(q)
 	if err != nil {
@@ -346,6 +362,13 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 		}
 	}
 
+	if p1 != nil {
+		p1.Set("candidates", strconv.Itoa(res.Stats.CandidateAssignments))
+		p1.Set("permissible", strconv.Itoa(res.Stats.PermissibleAssignments))
+		p1.Set("searched", strconv.Itoa(len(perm)))
+		p1.End()
+	}
+
 	if len(q.Atoms) > 63 {
 		return nil, fmt.Errorf("opt: query %s has %d atoms; the topology walk supports at most 63", q.Name, len(q.Atoms))
 	}
@@ -368,6 +391,7 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 	if shared == nil {
 		shared = NewBound()
 	}
+	p2 := o.Span.Child("opt.phase2.topologies")
 	results := make([]*asnResult, len(perm))
 	if workers := o.workerCount(); workers <= 1 {
 		for i, asn := range perm {
@@ -386,6 +410,7 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 		ex.drain()
 		ex.close()
 	}
+	p2.End()
 	// A budget-truncated walk stopped expanding states the moment the
 	// deadline passed; whatever incumbent it holds must not be served
 	// as the optimum.
@@ -393,12 +418,38 @@ func (o *Optimizer) Optimize(q *cq.Query) (*Result, error) {
 		return nil, err
 	}
 	o.merge(res, results)
+	if p2 != nil {
+		p2.Set("states_visited", strconv.Itoa(res.Stats.StatesVisited))
+		p2.Set("states_pruned", strconv.Itoa(res.Stats.StatesPruned))
+		var fetchNanos int64
+		for _, ar := range results {
+			if ar != nil {
+				fetchNanos += ar.fetchNanos
+			}
+		}
+		// Phase 3 runs inside every leaf of the walk, so its span
+		// reports CPU-cumulative time across search workers (it can
+		// exceed the phase-2 wall clock) rather than a wall interval.
+		p3 := o.Span.Child("opt.phase3.fetch")
+		p3.AddDur(time.Duration(fetchNanos))
+		p3.Set("cumulative", "true")
+		p3.Set("leaves", strconv.Itoa(res.Stats.Leaves))
+		p3.Set("fetch_vectors", strconv.Itoa(res.Stats.FetchVectors))
+	}
 
 	if res.Best == nil {
 		if o.Shard.enabled() {
 			return nil, fmt.Errorf("%w: query %s, shard %d/%d", ErrNoPlanInShard, q.Name, o.Shard.Index, o.Shard.Count)
 		}
 		return nil, fmt.Errorf("opt: no executable plan found for query %s", q.Name)
+	}
+	if sp := o.Span.Child("opt.plan"); sp != nil {
+		// The winner's pricing summary: the per-node estimates live on
+		// the plan annotations and reappear on the execution node spans.
+		sp.Set("signature", res.Best.Signature())
+		sp.Set("cost", strconv.FormatFloat(res.Cost, 'g', -1, 64))
+		sp.Set("feasible", strconv.FormatBool(res.Feasible))
+		sp.End()
 	}
 	if useExactCache {
 		o.Cache.put(key, res, o.epochVector(q))
@@ -418,6 +469,10 @@ type asnResult struct {
 	hasBest bool
 	alts    []Scored
 	stats   Stats
+	// fetchNanos accumulates phase-3 assigner time, recorded only
+	// under a traced search (Optimizer.Span) and reported on the
+	// opt.phase3.fetch span.
+	fetchNanos int64
 }
 
 // addStates records visited/pruned construction states.
@@ -607,7 +662,17 @@ func (o *Optimizer) evalLeaf(q *cq.Query, asn abind.Assignment, topo *plan.Topol
 		K:         o.K,
 		Heuristic: o.FetchHeuristic,
 	}
+	var t0 time.Time
+	if o.Span != nil {
+		t0 = time.Now()
+	}
 	fr := assigner.Assign(p)
+	if o.Span != nil {
+		d := int64(time.Since(t0))
+		ar.mu.Lock()
+		ar.fetchNanos += d
+		ar.mu.Unlock()
+	}
 	s := Scored{Plan: p, Cost: fr.Cost, Feasible: fr.Feasible || o.K <= 0}
 	if useShared && s.Feasible {
 		shared.Offer(s.Cost)

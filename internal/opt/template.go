@@ -136,11 +136,24 @@ func (o *Optimizer) OptimizeTemplate(q *cq.Query) (*Result, error) {
 	if err := o.budgetErr(); err != nil {
 		return nil, err
 	}
+	csp := o.Span.Child("opt.cache.template")
 	tkey := o.templateKey(q)
 	if tv, ok := o.Cache.lookupTemplate(tkey); ok {
 		if res := o.recost(q, tkey, tv); res != nil {
+			if csp != nil {
+				if res.Revalidated {
+					csp.Set("class", "revalidated")
+				} else {
+					csp.Set("class", "template")
+				}
+				csp.End()
+			}
 			return res, nil
 		}
+	}
+	if csp != nil {
+		csp.Set("class", "miss")
+		csp.End()
 	}
 	res, err := o.Optimize(q)
 	if err != nil {

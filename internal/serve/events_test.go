@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestEventBusOrderingAndCursor(t *testing.T) {
+	b := NewEventBus(8)
+	b.Publish("retry", map[string]string{"op": "search"})
+	b.Publish("membership", map[string]string{"to": "down"})
+	b.PublishRecord(RequestRecord{Endpoint: "/query", Elapsed: 1.5})
+
+	all := b.Snapshot(0)
+	if len(all) != 3 {
+		t.Fatalf("got %d events, want 3", len(all))
+	}
+	for i, e := range all {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("event %d has zero time", i)
+		}
+	}
+	if all[0].Type != "retry" || all[1].Type != "membership" || all[2].Type != "slow_query" {
+		t.Fatalf("types = %s %s %s", all[0].Type, all[1].Type, all[2].Type)
+	}
+	if all[2].Record == nil || all[2].Record.Endpoint != "/query" {
+		t.Fatalf("slow_query record = %+v", all[2].Record)
+	}
+
+	// The after-cursor resumes past already-seen events.
+	tail := b.Snapshot(2)
+	if len(tail) != 1 || tail[0].Seq != 3 {
+		t.Fatalf("Snapshot(2) = %+v, want just seq 3", tail)
+	}
+	if got := b.Snapshot(99); len(got) != 0 {
+		t.Fatalf("Snapshot(99) = %+v, want empty", got)
+	}
+}
+
+func TestEventBusDropCounter(t *testing.T) {
+	b := NewEventBus(4)
+	var hookTotal int
+	b.OnDrop = func(n int) { hookTotal += n }
+	for i := 0; i < 10; i++ {
+		b.Publish("retry", nil)
+	}
+	if d := b.Dropped(); d != 6 {
+		t.Fatalf("Dropped() = %d, want 6", d)
+	}
+	if hookTotal != 6 {
+		t.Fatalf("OnDrop saw %d, want 6", hookTotal)
+	}
+	evs := b.Snapshot(0)
+	if len(evs) != 4 {
+		t.Fatalf("buffer holds %d, want 4", len(evs))
+	}
+	// The survivors are the newest four, still in order.
+	if evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Fatalf("survivor seqs %d..%d, want 7..10", evs[0].Seq, evs[3].Seq)
+	}
+}
+
+// TestEventBusNilSafety: a nil bus swallows publishes, so call sites
+// never need to guard.
+func TestEventBusNilSafety(t *testing.T) {
+	var b *EventBus
+	b.Publish("retry", nil)
+	b.PublishRecord(RequestRecord{})
+	if b.Dropped() != 0 || b.Snapshot(0) != nil {
+		t.Fatal("nil bus not inert")
+	}
+}
+
+func TestEventBusHandlerNDJSON(t *testing.T) {
+	b := NewEventBus(8)
+	b.Publish("budget", map[string]string{"reason": "calls"})
+	b.Publish("retry", map[string]string{"op": "execute"})
+	b.PublishRecord(RequestRecord{Endpoint: "/query", Time: time.Now()})
+
+	rr := httptest.NewRecorder()
+	b.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/events", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var lines []Event
+	sc := bufio.NewScanner(rr.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad ndjson line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("handler streamed %d events, want 3", len(lines))
+	}
+	if lines[0].Fields["reason"] != "calls" {
+		t.Fatalf("first event fields = %v", lines[0].Fields)
+	}
+
+	// ?after=N resumes mid-stream.
+	rr = httptest.NewRecorder()
+	b.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/events?after=2", nil))
+	lines = nil
+	sc = bufio.NewScanner(rr.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 1 || lines[0].Seq != 3 || lines[0].Type != "slow_query" {
+		t.Fatalf("?after=2 = %+v, want just the slow_query", lines)
+	}
+}

@@ -42,6 +42,9 @@ type RequestRecord struct {
 	Bytes int64 `json:"bytes,omitempty"`
 	// Error carries the error message of a failed request.
 	Error string `json:"error,omitempty"`
+	// TraceID links the record to its stored span tree (GET
+	// /trace/{id}) when the request was traced.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // SlowLog is a fixed-capacity ring buffer of the most recent request

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Render writes a span tree as an indented explain-style text tree —
+// what mdqrun -trace prints. Each line shows the span name, its
+// duration, and for plan-node spans the estimated vs observed
+// cardinalities and call counts side by side, so mispriced nodes
+// read directly off the output.
+func Render(w io.Writer, roots []*TreeNode) {
+	for _, n := range roots {
+		renderNode(w, n, 0)
+	}
+}
+
+func renderNode(w io.Writer, n *TreeNode, depth int) {
+	indent := strings.Repeat("  ", depth)
+	line := fmt.Sprintf("%s%s  %s", indent, n.Name, time.Duration(n.Dur))
+	if n.Est != nil || n.Obs != nil {
+		line += "  ["
+		if n.Est != nil {
+			line += fmt.Sprintf("est tin=%.2f calls=%.2f tout=%.2f", n.Est.TIn, n.Est.Calls, n.Est.TOut)
+		}
+		if n.Obs != nil {
+			if n.Est != nil {
+				line += " | "
+			}
+			line += fmt.Sprintf("obs in=%d calls=%d fetches=%d out=%d",
+				n.Obs.InTuples, n.Obs.Calls, n.Obs.Fetches, n.Obs.OutTuples)
+		}
+		line += "]"
+	}
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			line += fmt.Sprintf(" %s=%s", k, n.Attrs[k])
+		}
+	}
+	fmt.Fprintln(w, line)
+	for _, c := range n.Children {
+		renderNode(w, c, depth+1)
+	}
+}

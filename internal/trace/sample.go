@@ -1,0 +1,38 @@
+package trace
+
+import "sync/atomic"
+
+// Sampler decides which requests get a trace. It is deterministic
+// and counter-based rather than random: at rate r it admits every
+// request k where ⌊k·r⌋ advances, so a rate of 0.1 traces exactly
+// every 10th request — predictable under test and under load. The
+// zero value (and a nil sampler) admits nothing, which is the
+// production default: the untraced hot path never allocates a trace.
+type Sampler struct {
+	rate float64
+	n    atomic.Uint64
+}
+
+// NewSampler builds a sampler admitting the given fraction of
+// requests: ≤ 0 admits none, ≥ 1 admits all.
+func NewSampler(rate float64) *Sampler {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Sampler{rate: rate}
+}
+
+// Sample reports whether the next request should be traced.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.rate <= 0 {
+		return false
+	}
+	if s.rate >= 1 {
+		return true
+	}
+	k := s.n.Add(1)
+	return uint64(float64(k)*s.rate) != uint64(float64(k-1)*s.rate)
+}

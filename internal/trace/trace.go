@@ -1,0 +1,332 @@
+// Package trace is the per-query tracing plane: a dependency-free
+// span tracer threaded through optimization, dispatch, fragment
+// execution and individual service calls. A traced query owns one
+// Trace — a flat, append-only list of spans linked by parent IDs —
+// and every pipeline stage that does work under it opens a child
+// span. Plan-node spans additionally carry the optimizer's estimated
+// cardinalities (Estimate, copied from the plan annotations of §5.3)
+// next to what execution actually observed (Observed), which is the
+// estimate-vs-actual audit: the explain-style tree shows exactly
+// where the cost model diverged from reality.
+//
+// The package imports nothing from the rest of the module, so every
+// layer (opt, exec, dist, serve, the binaries) can use it without
+// cycles. All Span and Trace methods are nil-receiver safe: the
+// untraced hot path carries a nil *Span in (or absent from) the
+// context and every tracing call degrades to a pointer check —
+// near-zero overhead, measured by BenchmarkTraceOverhead.
+//
+// Spans cross process boundaries by value: a worker executes its
+// fragment under a local Trace seeded with the coordinator's trace
+// ID, snapshots it (Spans) onto the result frame — piggybacked the
+// same way reverse epoch gossip rides fragment results — and the
+// coordinator splices the snapshot under the dispatching span
+// (Splice), remapping span IDs into its own sequence. The merged
+// result is a single tree spanning the fleet.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Estimate is the optimizer's prediction for one plan node, copied
+// from the annotated plan (card.Config.Annotate): expected input
+// tuples, expected service invocations and expected output tuples.
+// Join and output nodes predict no calls.
+type Estimate struct {
+	// TIn is the estimated input cardinality t_in.
+	TIn float64 `json:"tin"`
+	// Calls is the estimated number of service invocations.
+	Calls float64 `json:"calls"`
+	// TOut is the estimated output cardinality t_out.
+	TOut float64 `json:"tout"`
+}
+
+// Observed is what execution actually measured for one plan node:
+// tuples in and out, real service invocations and chunk fetches.
+// Together with the span's duration it is the "actual" half of the
+// estimate-vs-actual audit.
+type Observed struct {
+	// InTuples counts tuples the node consumed.
+	InTuples int64 `json:"in_tuples"`
+	// OutTuples counts tuples the node produced.
+	OutTuples int64 `json:"out_tuples"`
+	// Calls counts real (cache-missing) service invocations.
+	Calls int64 `json:"calls"`
+	// Fetches counts chunk fetches across those invocations.
+	Fetches int64 `json:"fetches"`
+}
+
+// Span is one timed operation in a trace. Spans form a tree through
+// Parent IDs; IDs are assigned by the owning Trace in start order and
+// remapped when a span snapshot is spliced into another trace. The
+// zero Dur of an unfinished span means "still open" (or, for
+// cumulative spans, see AddDur).
+type Span struct {
+	// ID is the span's identity within its trace (1-based).
+	ID uint64 `json:"id"`
+	// Parent is the parent span's ID; 0 marks a root.
+	Parent uint64 `json:"parent,omitempty"`
+	// Name says what ran ("opt.phase1.assignments", "node:Hotel2", …).
+	Name string `json:"name"`
+	// Start is the span's start time in Unix nanoseconds.
+	Start int64 `json:"start_ns"`
+	// Dur is the span's duration in nanoseconds (0 while open).
+	Dur int64 `json:"dur_ns"`
+	// Attrs carries free-form string annotations (worker name, cache
+	// class, error text, …).
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Est is the optimizer's estimate, set on plan-node spans.
+	Est *Estimate `json:"est,omitempty"`
+	// Obs is the execution-observed counterpart, set on plan-node
+	// spans.
+	Obs *Observed `json:"obs,omitempty"`
+
+	tr *Trace // owning trace; nil on decoded wire snapshots
+}
+
+// Trace collects the spans of one query. The zero value is not
+// usable; build one with New. A nil *Trace is valid everywhere and
+// all methods no-op on it — that is the sampled-off fast path.
+type Trace struct {
+	id string
+
+	mu    sync.Mutex
+	next  uint64
+	spans []*Span
+}
+
+// New builds an empty trace. An empty id mints a fresh random one.
+func New(id string) *Trace {
+	if id == "" {
+		id = NewID()
+	}
+	return &Trace{id: id}
+}
+
+// NewID mints a random 16-hex-digit trace ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to a time-derived ID rather than propagating an error through
+		// every tracing call site.
+		now := uint64(time.Now().UnixNano())
+		for i := 0; i < 8; i++ {
+			b[i] = byte(now >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ID returns the trace ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartSpan opens a new span under the given parent ID (0 for a
+// root). It returns nil on a nil trace.
+func (t *Trace) StartSpan(parent uint64, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.next++
+	s := &Span{ID: t.next, Parent: parent, Name: name, Start: time.Now().UnixNano(), tr: t}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Root opens a root span. It returns nil on a nil trace.
+func (t *Trace) Root(name string) *Span { return t.StartSpan(0, name) }
+
+// Spans returns a snapshot copy of all spans in start order — the
+// wire form piggybacked on fragment and search results. The copies
+// are detached values safe to marshal concurrently with further
+// recording.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = *s
+		out[i].tr = nil
+		if len(s.Attrs) > 0 {
+			out[i].Attrs = make(map[string]string, len(s.Attrs))
+			for k, v := range s.Attrs {
+				out[i].Attrs[k] = v
+			}
+		}
+		if s.Est != nil {
+			e := *s.Est
+			out[i].Est = &e
+		}
+		if s.Obs != nil {
+			o := *s.Obs
+			out[i].Obs = &o
+		}
+	}
+	return out
+}
+
+// Splice grafts a remote span snapshot (a worker's Spans) under the
+// given local span: every remote ID is remapped into this trace's
+// sequence, remote parent links are preserved, and remote roots —
+// or spans whose parent is unknown here, such as a worker root
+// parented to the coordinator's shipped span ID — attach under
+// `under`. This is the coordinator half of the piggyback path.
+func (t *Trace) Splice(under *Span, remote []Span) {
+	if t == nil || under == nil || len(remote) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idmap := make(map[uint64]uint64, len(remote))
+	for _, rs := range remote {
+		t.next++
+		idmap[rs.ID] = t.next
+	}
+	for _, rs := range remote {
+		cp := rs
+		cp.ID = idmap[rs.ID]
+		if p, ok := idmap[rs.Parent]; ok {
+			cp.Parent = p
+		} else {
+			cp.Parent = under.ID
+		}
+		cp.tr = t
+		t.spans = append(t.spans, &cp)
+	}
+}
+
+// Splice grafts a remote span snapshot under s — shorthand for
+// Trace.Splice on s's owning trace. A no-op on a nil or detached
+// span, so dispatch sites splice unconditionally.
+func (s *Span) Splice(remote []Span) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.tr.Splice(s, remote)
+}
+
+// TraceID returns the owning trace's ID, "" when s is nil or
+// detached — the value shipped over the dist wire so the remote side
+// records into a trace of the same identity.
+func (s *Span) TraceID() string {
+	if s == nil || s.tr == nil {
+		return ""
+	}
+	return s.tr.ID()
+}
+
+// Child opens a new span under s. It returns nil when s is nil, so
+// untraced call sites chain through without branching.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.StartSpan(s.ID, name)
+}
+
+// SpanID returns s's ID, 0 when s is nil — the value shipped over
+// the dist wire as the remote side's parent.
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.ID
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the
+// first duration.
+func (s *Span) End() {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.Dur == 0 {
+		s.Dur = time.Now().UnixNano() - s.Start
+	}
+	s.tr.mu.Unlock()
+}
+
+// AddDur accumulates explicit duration into the span — for
+// cumulative spans that aggregate many short operations (the phase-3
+// fetch-assignment span sums assigner time across search workers, so
+// its duration is CPU-cumulative, not wall-clock).
+func (s *Span) AddDur(d time.Duration) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Dur += int64(d)
+	s.tr.mu.Unlock()
+}
+
+// Set records a string attribute on the span.
+func (s *Span) Set(key, val string) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 4)
+	}
+	s.Attrs[key] = val
+	s.tr.mu.Unlock()
+}
+
+// SetEst records the optimizer's estimate on a plan-node span.
+func (s *Span) SetEst(tin, calls, tout float64) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Est = &Estimate{TIn: tin, Calls: calls, TOut: tout}
+	s.tr.mu.Unlock()
+}
+
+// AddObs accumulates observed counters on a plan-node span; safe for
+// concurrent use by parallel service calls. Passing all zeros still
+// materializes the Obs struct, marking the node as executed.
+func (s *Span) AddObs(in, out, calls, fetches int64) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.Obs == nil {
+		s.Obs = &Observed{}
+	}
+	s.Obs.InTuples += in
+	s.Obs.OutTuples += out
+	s.Obs.Calls += calls
+	s.Obs.Fetches += fetches
+	s.tr.mu.Unlock()
+}
+
+type ctxKey struct{}
+
+// With returns a context carrying the span (which may be nil,
+// detaching any inherited span — workers do this before installing
+// their own, mirroring the budget detach).
+func With(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// From returns the span carried by the context, nil when absent —
+// the single check the untraced hot path pays.
+func From(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

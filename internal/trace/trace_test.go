@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeShape(t *testing.T) {
+	tr := New("")
+	if len(tr.ID()) != 16 {
+		t.Fatalf("trace ID %q, want 16 hex chars", tr.ID())
+	}
+	root := tr.Root("query")
+	opt := root.Child("optimize")
+	opt.Set("class", "miss")
+	exec := root.Child("execute")
+	node := exec.Child("node:flight")
+	node.SetEst(1, 2, 25)
+	node.AddObs(1, 3, 2, 2)
+	node.AddObs(0, 1, 0, 0)
+	node.End()
+	exec.End()
+	opt.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	roots := Tree(spans)
+	if len(roots) != 1 || roots[0].Name != "query" {
+		t.Fatalf("tree roots = %v", roots)
+	}
+	if len(roots[0].Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(roots[0].Children))
+	}
+	var nodeSpan *TreeNode
+	Walk(roots, func(n *TreeNode) {
+		if n.Name == "node:flight" {
+			nodeSpan = n
+		}
+	})
+	if nodeSpan == nil {
+		t.Fatal("node:flight missing from tree")
+	}
+	if nodeSpan.Est == nil || nodeSpan.Est.TOut != 25 {
+		t.Fatalf("est = %+v, want tout 25", nodeSpan.Est)
+	}
+	if nodeSpan.Obs == nil || nodeSpan.Obs.OutTuples != 4 || nodeSpan.Obs.Calls != 2 {
+		t.Fatalf("obs = %+v, want accumulated out=4 calls=2", nodeSpan.Obs)
+	}
+}
+
+// TestNilSafety pins the untraced hot path: every method on a nil
+// span, nil trace, or detached (wire-decoded) span is a no-op rather
+// than a panic.
+func TestNilSafety(t *testing.T) {
+	var s *Span
+	s.End()
+	s.Set("k", "v")
+	s.SetEst(1, 2, 3)
+	s.AddObs(1, 2, 3, 4)
+	s.AddDur(time.Second)
+	s.Splice([]Span{{ID: 1}})
+	if c := s.Child("x"); c != nil {
+		t.Fatalf("nil span child = %v, want nil", c)
+	}
+	if id := s.SpanID(); id != 0 {
+		t.Fatalf("nil SpanID = %d", id)
+	}
+	if id := s.TraceID(); id != "" {
+		t.Fatalf("nil TraceID = %q", id)
+	}
+	var tr *Trace
+	if tr.Root("x") != nil || tr.Spans() != nil || tr.ID() != "" {
+		t.Fatal("nil trace methods not inert")
+	}
+	tr.Splice(nil, nil)
+
+	// Detached span (as decoded from the wire): same contract.
+	d := &Span{ID: 1, Name: "detached"}
+	d.End()
+	d.Set("k", "v")
+	if d.Child("x") != nil {
+		t.Fatal("detached span spawned a child")
+	}
+
+	// Absent from context: From yields nil, With(nil) stays retrievable.
+	if From(context.Background()) != nil {
+		t.Fatal("From(empty ctx) != nil")
+	}
+	ctx := With(context.Background(), nil)
+	if From(ctx) != nil {
+		t.Fatal("From(ctx with nil span) != nil")
+	}
+}
+
+// TestSpliceRemap pins the cross-process graft, including the ID
+// collision that motivates parent-0 roots: remote span IDs overlap
+// the local sequence, remote parent links must be remapped into fresh
+// local IDs, and remote roots land under the splice target.
+func TestSpliceRemap(t *testing.T) {
+	tr := New("")
+	root := tr.Root("query")       // local ID 1
+	dsp := root.Child("dispatch")  // local ID 2
+	other := root.Child("sibling") // local ID 3
+	remote := []Span{
+		{ID: 1, Parent: 0, Name: "worker.fragment"},
+		{ID: 2, Parent: 1, Name: "node:conf"},
+		{ID: 3, Parent: 2, Name: "call:conf"},
+	}
+	dsp.Splice(remote)
+	roots := Tree(tr.Spans())
+	if len(roots) != 1 {
+		t.Fatalf("tree has %d roots, want 1", len(roots))
+	}
+	var worker, call *TreeNode
+	Walk(roots, func(n *TreeNode) {
+		switch n.Name {
+		case "worker.fragment":
+			worker = n
+		case "call:conf":
+			call = n
+		}
+	})
+	if worker == nil || call == nil {
+		t.Fatalf("spliced spans missing from tree")
+	}
+	if worker.Parent != dsp.SpanID() {
+		t.Fatalf("worker root parent %d, want dispatch %d", worker.Parent, dsp.SpanID())
+	}
+	if len(worker.Children) != 1 || worker.Children[0].Name != "node:conf" {
+		t.Fatalf("worker children = %v", worker.Children)
+	}
+	// The pre-existing sibling must not have adopted remote children
+	// (its ID collides with remote span IDs).
+	Walk(roots, func(n *TreeNode) {
+		if n.Name == "sibling" && len(n.Children) != 0 {
+			t.Fatalf("sibling adopted %d remote spans", len(n.Children))
+		}
+	})
+	_ = other
+}
+
+// TestSpliceUnknownParent: a remote span whose parent is neither 0
+// nor another remote span still lands under the splice target instead
+// of detaching from the tree.
+func TestSpliceUnknownParent(t *testing.T) {
+	tr := New("")
+	root := tr.Root("query")
+	dsp := root.Child("dispatch")
+	dsp.Splice([]Span{{ID: 40, Parent: 99, Name: "orphan"}})
+	var orphan *TreeNode
+	Walk(Tree(tr.Spans()), func(n *TreeNode) {
+		if n.Name == "orphan" {
+			orphan = n
+		}
+	})
+	if orphan == nil {
+		t.Fatal("orphan span missing from tree")
+	}
+	if orphan.Parent != dsp.SpanID() {
+		t.Fatalf("orphan parent %d, want dispatch %d", orphan.Parent, dsp.SpanID())
+	}
+}
+
+func TestSamplerRates(t *testing.T) {
+	var nilS *Sampler
+	if nilS.Sample() {
+		t.Fatal("nil sampler sampled")
+	}
+	off := NewSampler(0)
+	for i := 0; i < 10; i++ {
+		if off.Sample() {
+			t.Fatal("rate 0 sampler sampled a request")
+		}
+	}
+	all := NewSampler(1)
+	for i := 0; i < 10; i++ {
+		if !all.Sample() {
+			t.Fatal("rate 1 sampler skipped a request")
+		}
+	}
+	half := NewSampler(0.5)
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if half.Sample() {
+			hits++
+		}
+	}
+	if hits != 500 {
+		t.Fatalf("rate 0.5 sampled %d of 1000, want exactly 500 (deterministic)", hits)
+	}
+}
+
+func TestStoreRingAndHandler(t *testing.T) {
+	st := NewStore(2)
+	for _, id := range []string{"aa", "bb", "cc"} {
+		tr := New(id)
+		sp := tr.Root("query")
+		sp.End()
+		st.Add(Dump{TraceID: id, Time: time.Now(), Spans: Tree(tr.Spans())})
+	}
+	if _, ok := st.Get("aa"); ok {
+		t.Fatal("evicted trace still retrievable")
+	}
+	if _, ok := st.Get("cc"); !ok {
+		t.Fatal("newest trace missing")
+	}
+	sums := st.Snapshot()
+	if len(sums) != 2 || sums[0].TraceID != "cc" || sums[1].TraceID != "bb" {
+		t.Fatalf("snapshot = %+v, want [cc bb]", sums)
+	}
+
+	h := st.Handler()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/trace", nil))
+	var list []Summary
+	if err := json.NewDecoder(rr.Body).Decode(&list); err != nil {
+		t.Fatalf("decoding /trace: %v", err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("/trace listed %d traces, want 2", len(list))
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/trace/cc", nil))
+	var dump Dump
+	if err := json.NewDecoder(rr.Body).Decode(&dump); err != nil {
+		t.Fatalf("decoding /trace/cc: %v", err)
+	}
+	if dump.TraceID != "cc" || len(dump.Spans) != 1 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/trace/aa", nil))
+	if rr.Code != 404 {
+		t.Fatalf("evicted trace returned %d, want 404", rr.Code)
+	}
+}
+
+func TestRender(t *testing.T) {
+	tr := New("")
+	root := tr.Root("query")
+	node := root.Child("node:flight")
+	node.SetEst(1, 2, 25)
+	node.AddObs(1, 4, 2, 2)
+	node.End()
+	root.End()
+	var buf bytes.Buffer
+	Render(&buf, Tree(tr.Spans()))
+	out := buf.String()
+	for _, want := range []string{"query", "node:flight", "est", "obs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "  node:flight") {
+		t.Fatalf("child not indented:\n%s", out)
+	}
+}
