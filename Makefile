@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_TOLERANCE ?= 2.5
 
-.PHONY: build vet fmt test race bench benchgate bench-baseline docscheck dist-smoke e2e-smoke chaos-smoke load-smoke load-baseline staticcheck ci
+.PHONY: build vet fmt test race bench benchgate bench-baseline docscheck dist-smoke share-smoke e2e-smoke chaos-smoke load-smoke load-baseline staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -27,14 +27,14 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# Documentation gate: markdown links in the top-level docs must
-# resolve, and every exported identifier in the optimizer, estimator,
-# distribution, execution, serving and tracing packages must carry a
-# doc comment.
+# Documentation gate: markdown links in the top-level docs and the
+# docs/ reference pages must resolve, and every exported identifier
+# in the optimizer, estimator, distribution, execution, serving,
+# result-cache and tracing packages must carry a doc comment.
 docscheck:
 	$(GO) run ./cmd/docscheck \
-		-md README.md,ARCHITECTURE.md,ROADMAP.md \
-		-pkg ./internal/opt,./internal/card,./internal/dist,./internal/exec,./internal/serve,./internal/trace
+		-md README.md,ARCHITECTURE.md,ROADMAP.md,docs/API.md,docs/OPERATIONS.md \
+		-pkg ./internal/opt,./internal/card,./internal/dist,./internal/exec,./internal/serve,./internal/rescache,./internal/trace
 
 # Distributed-optimization smoke: the coordinator/worker protocol
 # under the race detector — two-plus-worker LocalTransport clusters
@@ -42,6 +42,17 @@ docscheck:
 # the HTTP transport over loopback.
 dist-smoke:
 	$(GO) test -race -count=1 ./internal/dist
+
+# Cross-query sharing smoke, all under the race detector: the
+# shared≡unshared differential (result-cache clusters on all three
+# worlds over LocalTransport and HTTP return byte-identical rows with
+# strictly fewer logical calls on repeats), the epoch-invalidation
+# staleness pins (a bump is never followed by a stale serve, locally
+# or via gossip), and the /query coalescer edge cases (leader budget
+# trips with live waiters, waiter detach, per-waiter traces).
+share-smoke:
+	$(GO) test -race -count=1 -run 'TestResultCache|TestWorkerGossip' ./internal/dist
+	$(GO) test -race -count=1 ./internal/rescache ./internal/serve ./cmd/mdqserve
 
 # End-to-end smoke: build the real binaries, start a coordinator and
 # two mdqworker processes over loopback HTTP, answer a query through
@@ -102,4 +113,4 @@ bench-baseline:
 		| $(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -update \
 			-note "refreshed via make bench-baseline on $$(uname -m), $$(date +%F)"
 
-ci: build vet fmt staticcheck docscheck race dist-smoke e2e-smoke chaos-smoke load-smoke bench benchgate
+ci: build vet fmt staticcheck docscheck race dist-smoke share-smoke e2e-smoke chaos-smoke load-smoke bench benchgate

@@ -196,6 +196,9 @@ func optimizeTemplate(o *opt.Optimizer, reg *service.Registry, sch *schema.Schem
 		case res.Cached:
 			how = "exact hit"
 		}
+		if res.BindingClass != "" {
+			how += ", class " + res.BindingClass
+		}
 		fmt.Printf("binding %d (%s): %s  %s cost %.2f (uniform %.2f)  [%s, %v]\n",
 			i+1, b, res.Best.Describe(), m.Name(), res.Cost, o.UniformCost(res),
 			how, took.Round(time.Microsecond))
@@ -210,8 +213,8 @@ func optimizeTemplate(o *opt.Optimizer, reg *service.Registry, sch *schema.Schem
 		}
 	}
 	cs := pc.Stats()
-	fmt.Printf("\ntemplate cache: %d searches for %d bindings (%d template hits, %d revalidations, %d divergences)\n",
-		cs.Searches, len(binds), cs.TemplateHits, cs.Revalidations, cs.Divergences)
+	fmt.Printf("\ntemplate cache: %d searches for %d bindings (%d template hits, %d revalidations, %d divergences, %d borrowed serves, %d binding classes)\n",
+		cs.Searches, len(binds), cs.TemplateHits, cs.Revalidations, cs.Divergences, cs.BorrowedServes, cs.Classes)
 	os.Exit(0)
 }
 

@@ -7,7 +7,15 @@
 //	mdqrun [-world travel|bio|mashup|zipf] [-remote http://host:port]
 //	       [-metric etm] [-cache one-call] [-k 10] [-sim] [-query "..."]
 //	       [-template "... $param ..." -bind "param=value,..."]
-//	       [-feedback] [-buffer 128] [-trace]
+//	       [-feedback] [-buffer 128] [-trace] [-rescache 4096]
+//
+// -bind accepts several binding sets separated by ';' — the template
+// is optimized (through a template cache, one search skeleton serving
+// all bindings) and executed once per set, with a shared service-call
+// result cache (-rescache; 0 disables) carrying results across the
+// runs, so overlapping bindings re-invoke only what they don't share.
+// The per-set answers are followed by the cache's hit/miss counters —
+// the single-process view of the server's cross-query sharing layer.
 //
 // With -trace the run records a span trace — optimizer phases, plan
 // nodes with estimated vs observed cardinalities, individual service
@@ -38,6 +46,7 @@ import (
 	"mdq/internal/exec"
 	"mdq/internal/httpwrap"
 	"mdq/internal/opt"
+	"mdq/internal/rescache"
 	"mdq/internal/schema"
 	"mdq/internal/service"
 	"mdq/internal/sim"
@@ -61,6 +70,7 @@ func main() {
 		parallel  = flag.Int("parallel", opt.AutoParallelism, "optimizer search workers (-1 = one per CPU, 1 = sequential)")
 		buffer    = flag.Int("buffer", exec.DefaultBufferSize, "streaming executor edge buffer in tuples (larger = fewer stalls, more memory; smaller = tighter memory, earlier backpressure)")
 		doTrace   = flag.Bool("trace", false, "record a span trace of optimization and execution and print the explain-style tree")
+		rescacheN = flag.Int("rescache", rescache.DefaultMaxEntries, "shared result cache entries across ';'-separated binding sets (0 disables)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -104,29 +114,101 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var q *cq.Query
+	type boundQuery struct {
+		label string
+		q     *cq.Query
+	}
+	var queries []boundQuery
 	if *tplText != "" {
 		tpl, terr := cq.ParseTemplate(*tplText)
 		if terr != nil {
 			log.Fatal(terr)
 		}
-		values, berr := cq.ParseBindings(*bindText)
-		if berr != nil {
-			log.Fatal(berr)
+		for _, part := range strings.Split(*bindText, ";") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			values, berr := cq.ParseBindings(part)
+			if berr != nil {
+				log.Fatal(berr)
+			}
+			q, berr := tpl.Bind(values)
+			if berr != nil {
+				log.Fatal(berr)
+			}
+			queries = append(queries, boundQuery{label: part, q: q})
 		}
-		if q, err = tpl.Bind(values); err != nil {
-			log.Fatal(err)
+		if len(queries) == 0 {
+			log.Fatal("-template requires at least one -bind set")
 		}
 	} else {
-		if q, err = cq.Parse(text); err != nil {
-			log.Fatal(err)
+		q, perr := cq.Parse(text)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		queries = append(queries, boundQuery{q: q})
+	}
+
+	// Several binding sets share one template cache (one search
+	// skeleton, per-binding re-costing) and one service-call result
+	// cache, so overlapping bindings only pay for what they don't
+	// share — the CLI view of the server's cross-query sharing layer.
+	sharing := len(queries) > 1
+	var pc *opt.PlanCache
+	var store *rescache.Store
+	if sharing {
+		pc = opt.NewPlanCacheWith(opt.Policy{Capacity: 64})
+		reg.SubscribeEpochs(pc, pc.InvalidateService)
+		if *rescacheN != 0 {
+			store = rescache.New(rescache.Config{MaxEntries: *rescacheN})
+			store.Bind(reg)
 		}
 	}
+
+	for qi, bq := range queries {
+		if sharing {
+			if qi > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("== bindings: %s\n", bq.label)
+		}
+		runQuery(ctx, reg, sch, bq.q, runConfig{
+			metric: m, mode: mode, k: *k, useSim: *useSim, expand: *expand,
+			feedback: *feedback, parallel: *parallel, buffer: *buffer,
+			doTrace: *doTrace, template: sharing, planCache: pc, store: store,
+		})
+	}
+	if store != nil {
+		st := store.Stats()
+		fmt.Printf("\nresult cache: hits=%d misses=%d entries=%d\n", st.Hits, st.Misses, st.Entries)
+	}
+}
+
+// runConfig carries the per-run knobs of runQuery.
+type runConfig struct {
+	metric    cost.Metric
+	mode      card.CacheMode
+	k         int
+	useSim    bool
+	expand    bool
+	feedback  bool
+	parallel  int
+	buffer    int
+	doTrace   bool
+	template  bool
+	planCache *opt.PlanCache
+	store     *rescache.Store
+}
+
+// runQuery optimizes and executes one bound query and prints its
+// answers, call accounting and optional trace.
+func runQuery(ctx context.Context, reg *service.Registry, sch *schema.Schema, q *cq.Query, cfg runConfig) {
 	if err := q.Resolve(sch); err != nil {
 		log.Fatal(err)
 	}
 
-	if *expand {
+	if cfg.expand {
 		eq, added, eerr := opt.Expand(q, sch, 2)
 		if eerr != nil {
 			log.Fatal(eerr)
@@ -138,20 +220,27 @@ func main() {
 	}
 	var qtrace *trace.Trace
 	var rootSp *trace.Span
-	if *doTrace {
+	if cfg.doTrace {
 		qtrace = trace.New("")
 		rootSp = qtrace.Root("query")
 	}
-	o := &opt.Optimizer{Metric: m, Estimator: card.Config{Mode: mode}, K: *k,
-		ChooseMethod: reg.MethodChooser(), Parallelism: *parallel, Epochs: reg}
+	o := &opt.Optimizer{Metric: cfg.metric, Estimator: card.Config{Mode: cfg.mode}, K: cfg.k,
+		ChooseMethod: reg.MethodChooser(), Parallelism: cfg.parallel, Epochs: reg,
+		Cache: cfg.planCache, CacheSalt: reg.CacheSalt()}
 	osp := rootSp.Child("optimize")
 	o.Span = osp
-	res, err := o.Optimize(q)
+	var res *opt.Result
+	var err error
+	if cfg.template && cfg.planCache != nil {
+		res, err = o.OptimizeTemplate(q)
+	} else {
+		res, err = o.Optimize(q)
+	}
 	osp.End()
 	if err != nil {
 		log.Fatal(err)
 	}
-	costLine := fmt.Sprintf("%s cost %.2f", m.Name(), res.Cost)
+	costLine := fmt.Sprintf("%s cost %.2f", cfg.metric.Name(), res.Cost)
 	// Show the uniform-model estimate when profiled value
 	// distributions moved this binding's cost away from it.
 	if uni := o.UniformCost(res); uni != res.Cost {
@@ -164,8 +253,8 @@ func main() {
 		calls map[string]int64
 		extra string
 	)
-	if *useSim {
-		s := &sim.Simulator{Registry: reg, Cache: mode, K: *k}
+	if cfg.useSim {
+		s := &sim.Simulator{Registry: reg, Cache: cfg.mode, K: cfg.k}
 		out, err := s.Run(ctx, res.Best)
 		if err != nil {
 			log.Fatal(err)
@@ -176,8 +265,11 @@ func main() {
 		calls = out.Stats.Calls
 		extra = fmt.Sprintf("virtual makespan: %.1fs", out.Makespan.Seconds())
 	} else {
-		r := &exec.Runner{Registry: reg, Cache: mode, K: *k, BufferSize: *buffer}
-		if *feedback {
+		r := &exec.Runner{Registry: reg, Cache: cfg.mode, K: cfg.k, BufferSize: cfg.buffer}
+		if cfg.store != nil {
+			r.ResultCache = cfg.store
+		}
+		if cfg.feedback {
 			r.Feedback = &service.FeedbackPolicy{}
 		}
 		esp := rootSp.Child("execute")
@@ -210,7 +302,7 @@ func main() {
 		fmt.Printf(" %s=%d", svc, calls[svc])
 	}
 	fmt.Println()
-	if *feedback {
+	if cfg.feedback {
 		epochs := reg.Epochs()
 		if len(epochs) == 0 {
 			fmt.Println("feedback: no profile drifted enough to refresh")
@@ -223,7 +315,7 @@ func main() {
 			fmt.Println()
 		}
 	}
-	if *doTrace {
+	if cfg.doTrace {
 		rootSp.End()
 		fmt.Printf("\ntrace %s:\n", qtrace.ID())
 		trace.Render(os.Stdout, trace.Tree(qtrace.Spans()))

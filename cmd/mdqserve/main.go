@@ -15,6 +15,7 @@
 //	         [-cachebytes 0] [-revalidate-ratio 4] [-feedback]
 //	         [-workers http://w1:8090,http://w2:8091] [-cache-file plans.json]
 //	         [-buffer 128] [-health-interval 2s] [-max-retries 2]
+//	         [-coalesce] [-rescache 4096] [-rescache-bytes N] [-rescache-ttl 0]
 //
 // With -scale > 0 every request really sleeps the scaled simulated
 // latency (Table 1 of the paper: a flight call simulates 9.7 s, so
@@ -52,6 +53,18 @@
 // With -cache-file the template-level plan cache is loaded at startup
 // (stale entries revalidate on first use) and saved on SIGINT or
 // SIGTERM, so optimization warmup survives restarts.
+//
+// Cross-query sharing: -coalesce (on by default) merges concurrent
+// /query requests with identical canonical query, bindings and knobs
+// into one in-flight optimize+execute — waiters share the leader's
+// rows, keep their own budgets/deadlines/traces, and are counted by
+// mdq_query_coalesced_total. -rescache bounds the shared service-call
+// result cache consulted by single-process executions before a
+// logical call is charged (0 disables); entries are stamped with the
+// service's statistics epoch and dropped the moment it moves, so a
+// re-profile can never serve stale rows. In coordinator mode the
+// equivalent store lives on each worker (mdqworker -rescache), next to
+// the services whose calls it saves.
 //
 // Tracing: a request carrying "trace": true returns an explain-style
 // span tree on the response — optimizer phases, cache outcome,
@@ -116,7 +129,9 @@ import (
 	"mdq/internal/exec"
 	"mdq/internal/httpwrap"
 	"mdq/internal/opt"
+	"mdq/internal/rescache"
 	"mdq/internal/schema"
+	"mdq/internal/serve"
 	"mdq/internal/service"
 	"mdq/internal/simweb"
 	"mdq/internal/trace"
@@ -141,6 +156,11 @@ func main() {
 		maxRetries = flag.Int("max-retries", dist.DefaultMaxRetries, "re-attempts for a transiently failed worker dispatch (0 disables retries)")
 		bufferSize = flag.Int("buffer", exec.DefaultBufferSize, "streaming executor edge buffer in tuples (larger = fewer stalls, more memory; smaller = tighter memory, earlier backpressure)")
 		cacheFile  = flag.String("cache-file", "", "load the template cache from this file at start and save it on SIGINT/SIGTERM")
+
+		rescacheN     = flag.Int("rescache", rescache.DefaultMaxEntries, "shared service-call result cache capacity in entries (0 disables)")
+		rescacheBytes = flag.Int64("rescache-bytes", rescache.DefaultMaxBytes, "approximate result cache byte budget (<0 = unlimited)")
+		rescacheTTL   = flag.Duration("rescache-ttl", 0, "result cache entry TTL (0 = no expiry; epochs still invalidate)")
+		coalesce      = flag.Bool("coalesce", true, "coalesce identical concurrent /query requests onto one optimize+execute")
 
 		maxInFlight  = flag.Int("max-inflight", 64, "max concurrent /optimize and /query requests (0 = unlimited)")
 		queueWait    = flag.Duration("queue-wait", time.Second, "max time a request waits for an in-flight slot before 429")
@@ -197,6 +217,18 @@ func main() {
 		srv.feedback = &service.FeedbackPolicy{MinCalls: *minCalls, MinDrift: *minDrift}
 	}
 	obs := newObservability(*maxInFlight, *queueWait, *slowlogCap, *slowAbove, *traceSample)
+	if *rescacheN != 0 {
+		// The shared result cache serves single-process executions; in
+		// coordinator mode the equivalent store lives on each worker
+		// (mdqworker -rescache), where the service calls actually happen.
+		store := rescache.New(rescache.Config{MaxEntries: *rescacheN, MaxBytes: *rescacheBytes, TTL: *rescacheTTL})
+		store.Observer = rescache.MetricsObserver(obs.metrics)
+		store.Bind(reg)
+		srv.rescache = store
+	}
+	if *coalesce {
+		srv.coalescer = &serve.Coalescer{}
+	}
 	if *workerList != "" {
 		for _, base := range strings.Split(*workerList, ",") {
 			if base = strings.TrimSpace(strings.TrimSuffix(base, "/")); base != "" {
@@ -403,6 +435,17 @@ type optimizeServer struct {
 	// (zero = unlimited).
 	defDeadline time.Duration
 	defMaxCalls int64
+	// rescache, when non-nil, is the shared service-call result store
+	// single-process executions run over (-rescache): invocations
+	// repeated with identical inputs across requests are answered
+	// locally, cost no budget charge and count no logical call, until
+	// the service's statistics epoch moves.
+	rescache exec.Cache
+	// coalescer, when non-nil, deduplicates identical concurrent
+	// /query requests (-coalesce): same canonical query, bindings and
+	// knobs attach to one in-flight optimize+execute and share its
+	// outcome, each waiter keeping its own budget, deadline and trace.
+	coalescer *serve.Coalescer
 }
 
 // setHosts replaces the cached hosting snapshot.
@@ -732,7 +775,71 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = budget.Context(ctx)
 		defer cancel()
 	}
+	execute := req.Execute == nil || *req.Execute
+	var resp *queryResponse
+	if s.coalescer != nil && execute {
+		// Identical concurrent requests — same canonical query (query
+		// shape + bindings + statistics identity) and knobs — attach to
+		// one in-flight optimize+execute. The flight runs under the
+		// leader's context and budget; a waiter whose own budget trips
+		// detaches with its own 504 while the flight continues.
+		csp := trace.From(ctx).Child("coalesce")
+		v, shared, cerr := s.coalescer.Do(ctx, coalesceKey(q, m, mode, k), func() (any, error) {
+			return s.runQuery(ctx, q, m, mode, k, budget, true, st)
+		})
+		csp.Set("coalesced", strconv.FormatBool(shared))
+		csp.End()
+		st.Coalesced = shared
+		if cerr != nil {
+			st.Err = cerr
+			writeQueryFailure(w, http.StatusUnprocessableEntity, cerr)
+			return
+		}
+		// Shallow-copy before attaching per-request trace fields: the
+		// underlying response is shared with every coalesced caller.
+		cp := *(v.(*queryResponse))
+		resp = &cp
+		if shared {
+			// A waiter reports the shared outcome under its own
+			// accounting: the rows exist, but no search ran and no
+			// service calls were issued on this request's behalf.
+			st.Rows = len(resp.Rows)
+			st.CacheClass = "coalesced"
+		}
+	} else {
+		resp, err = s.runQuery(ctx, q, m, mode, k, budget, execute, st)
+		if err != nil {
+			st.Err = err
+			writeQueryFailure(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	}
+	if req.Trace && st.Trace != nil {
+		st.TraceRoot.End()
+		resp.TraceID = st.Trace.ID()
+		resp.Trace = trace.Tree(st.Trace.Spans())
+		w.Header().Set("X-Mdq-Trace-Id", resp.TraceID)
+	}
+	writeJSON(w, resp)
+}
+
+// coalesceKey identifies the shareable unit of /query work: the
+// resolved query's canonical key (structure, bindings and statistics
+// identity) plus every knob that changes the outcome. Budget,
+// deadline and trace flags stay out — they are per-caller.
+func coalesceKey(q *cq.Query, m cost.Metric, mode card.CacheMode, k int) string {
+	return q.CanonicalKey() + "\x00" + m.Name() + "\x00" + strconv.Itoa(int(mode)) + "\x00" + strconv.Itoa(k)
+}
+
+// runQuery is the shared core of /query — one optimization through
+// the template cache plus, when execute is set, one plan execution.
+// It is the unit of work a coalesced flight runs once on behalf of
+// every attached request; st is the leader's accounting slot. Errors
+// return phase-prefixed ("optimizing:"/"executing:") and re-typed as
+// the budget violation when the leader's budget tripped.
+func (s *optimizeServer) runQuery(ctx context.Context, q *cq.Query, m cost.Metric, mode card.CacheMode, k int, budget *serve.Budget, execute bool, st *reqStats) (*queryResponse, error) {
 	var res *opt.Result
+	var err error
 	optStart := time.Now()
 	osp := trace.From(ctx).Child("optimize")
 	if len(s.workers) > 0 {
@@ -746,12 +853,10 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 	osp.End()
 	st.Optimize = time.Since(optStart)
 	if err != nil {
-		st.Err = budgetAware(budget, err)
-		writeQueryError(w, http.StatusUnprocessableEntity, st.Err, "optimizing")
-		return
+		return nil, fmt.Errorf("optimizing: %w", budgetAware(budget, err))
 	}
 	st.CacheClass = cacheClass(res.TemplateHit, res.Revalidated, res.Cached)
-	resp := queryResponse{optimizeResponse: optimizeResponse{
+	resp := &queryResponse{optimizeResponse: optimizeResponse{
 		Plan:        res.Best.Describe(),
 		Cost:        res.Cost,
 		Metric:      m.Name(),
@@ -761,7 +866,7 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 		Revalidated: res.Revalidated,
 		Stats:       res.Stats,
 	}}
-	if req.Execute == nil || *req.Execute {
+	if execute {
 		var out *exec.Result
 		execStart := time.Now()
 		esp := trace.From(ctx).Child("execute")
@@ -773,15 +878,13 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 			// path and are re-broadcast by the gossip loop.
 			out, err = s.coordinator(m, mode, k).ExecutePlan(trace.With(ctx, esp), res.Best)
 		} else {
-			runner := &exec.Runner{Registry: s.reg, Cache: mode, K: k, Feedback: s.feedback, BufferSize: s.buffer}
+			runner := &exec.Runner{Registry: s.reg, Cache: mode, K: k, Feedback: s.feedback, BufferSize: s.buffer, ResultCache: s.rescache}
 			out, err = runner.Run(trace.With(ctx, esp), res.Best)
 		}
 		esp.End()
 		st.Execute = time.Since(execStart)
 		if err != nil {
-			st.Err = budgetAware(budget, err)
-			writeQueryError(w, http.StatusUnprocessableEntity, st.Err, "executing")
-			return
+			return nil, fmt.Errorf("executing: %w", budgetAware(budget, err))
 		}
 		st.FirstRow = out.FirstRow
 		for _, v := range out.Head {
@@ -799,12 +902,7 @@ func (s *optimizeServer) query(w http.ResponseWriter, r *http.Request) {
 		resp.FirstRowMillis = float64(out.FirstRow) / float64(time.Millisecond)
 		resp.Epochs = s.reg.Epochs()
 	}
-	if req.Trace && st.Trace != nil {
-		st.TraceRoot.End()
-		resp.TraceID = st.Trace.ID()
-		resp.Trace = trace.Tree(st.Trace.Spans())
-	}
-	writeJSON(w, resp)
+	return resp, nil
 }
 
 func renderRow(row []schema.Value) []string {

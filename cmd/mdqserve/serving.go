@@ -66,6 +66,9 @@ type reqStats struct {
 	CacheClass string
 	Rows       int
 	Err        error
+	// Coalesced marks a request that attached to another request's
+	// in-flight optimize+execute instead of running its own.
+	Coalesced bool
 	// Trace / TraceRoot carry the request's trace when one is being
 	// recorded — created by the middleware (sampled, or slowlog
 	// pre-recording) or by the handler (explicit "trace": true, which
@@ -216,6 +219,10 @@ func (o *observability) instrument(endpoint string, h http.HandlerFunc) http.Han
 			o.metrics.CounterL("mdq_plan_cache_serves_total",
 				"Optimizations by plan-cache outcome class.", "class", st.CacheClass).Inc()
 		}
+		if st.Coalesced {
+			o.metrics.Counter("mdq_query_coalesced_total",
+				"Query requests answered by attaching to an identical in-flight request.").Inc()
+		}
 		rec := serve.RequestRecord{
 			Time:            start,
 			Endpoint:        endpoint,
@@ -322,6 +329,21 @@ func writeQueryError(w http.ResponseWriter, status int, err error, phase string)
 		return
 	}
 	writeError(w, status, "%s: %v", phase, err)
+}
+
+// writeQueryFailure is writeQueryError for errors that already carry
+// their phase prefix (runQuery wraps them before they cross the
+// coalescer, so waiters inherit the leader's phase too).
+func writeQueryFailure(w http.ResponseWriter, status int, err error) {
+	if errors.Is(err, serve.ErrBudgetExceeded) {
+		writeErrorEnv(w, apiError{
+			Error:          err.Error(),
+			Status:         http.StatusGatewayTimeout,
+			BudgetExceeded: true,
+		})
+		return
+	}
+	writeError(w, status, "%v", err)
 }
 
 // cacheClass classifies how the optimizer answered for accounting:

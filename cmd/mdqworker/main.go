@@ -14,7 +14,16 @@
 //	          [-parallel 1] [-plancache 128] [-cachettl 0] [-cachebytes 0]
 //	          [-cache-file worker-cache.json] [-scale 0]
 //	          [-execute] [-buffer 128] [-feedback] [-feedback-min-calls 4]
-//	          [-feedback-min-drift 0.1] [-pprof]
+//	          [-feedback-min-drift 0.1] [-rescache 4096] [-rescache-bytes N]
+//	          [-rescache-ttl 0] [-pprof]
+//
+// -rescache bounds the shared service-call result cache consulted by
+// fragment executions (0 disables it): invocations repeated with
+// identical input bindings — across fragments, queries and requests —
+// are answered locally until the service's statistics epoch moves
+// (local feedback refresh or gossiped remote bump), which drops its
+// entries. Hit/miss/evict counters surface on /metrics as
+// mdq_result_cache_events_total.
 //
 // -pprof mounts net/http/pprof under /debug/pprof/ (off by default;
 // enable only on trusted networks).
@@ -68,6 +77,7 @@ import (
 	"mdq/internal/exec"
 	"mdq/internal/httpwrap"
 	"mdq/internal/opt"
+	"mdq/internal/rescache"
 	"mdq/internal/serve"
 	"mdq/internal/service"
 	"mdq/internal/simweb"
@@ -75,19 +85,23 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8090", "listen address")
-		worldName  = flag.String("world", "travel", "built-in world: travel, bio, mashup or zipf")
-		scale      = flag.Float64("scale", 0, "sleep scale for simulated latencies (0 = report only)")
-		parallel   = flag.Int("parallel", opt.AutoParallelism, "in-process search workers per shard (-1 = one per CPU)")
-		planCache  = flag.Int("plancache", 128, "plan cache capacity in entries")
-		cacheTTL   = flag.Duration("cachettl", 0, "plan cache entry TTL (0 = no expiry)")
-		cacheBytes = flag.Int64("cachebytes", 0, "approximate plan cache byte budget (0 = unlimited)")
-		cacheFile  = flag.String("cache-file", "", "load the template cache from this file at start and save it on SIGINT/SIGTERM")
-		execute    = flag.Bool("execute", true, "serve fragment execution (POST /dist/execute)")
-		bufferSize = flag.Int("buffer", exec.DefaultBufferSize, "fragment executor edge buffer in tuples (larger = fewer stalls, more memory; smaller = tighter memory, earlier backpressure)")
-		feedback   = flag.Bool("feedback", true, "fold fragment-execution traffic back into local service profiles")
-		minCalls   = flag.Int64("feedback-min-calls", 4, "observed calls required before a profile refresh")
-		minDrift   = flag.Float64("feedback-min-drift", 0.1, "relative statistics drift required before a refresh")
+		addr          = flag.String("addr", ":8090", "listen address")
+		worldName     = flag.String("world", "travel", "built-in world: travel, bio, mashup or zipf")
+		scale         = flag.Float64("scale", 0, "sleep scale for simulated latencies (0 = report only)")
+		parallel      = flag.Int("parallel", opt.AutoParallelism, "in-process search workers per shard (-1 = one per CPU)")
+		planCache     = flag.Int("plancache", 128, "plan cache capacity in entries")
+		cacheTTL      = flag.Duration("cachettl", 0, "plan cache entry TTL (0 = no expiry)")
+		cacheBytes    = flag.Int64("cachebytes", 0, "approximate plan cache byte budget (0 = unlimited)")
+		cacheFile     = flag.String("cache-file", "", "load the template cache from this file at start and save it on SIGINT/SIGTERM")
+		execute       = flag.Bool("execute", true, "serve fragment execution (POST /dist/execute)")
+		bufferSize    = flag.Int("buffer", exec.DefaultBufferSize, "fragment executor edge buffer in tuples (larger = fewer stalls, more memory; smaller = tighter memory, earlier backpressure)")
+		rescacheN     = flag.Int("rescache", rescache.DefaultMaxEntries, "shared service-call result cache capacity in entries (0 disables)")
+		rescacheBytes = flag.Int64("rescache-bytes", rescache.DefaultMaxBytes, "approximate result cache byte budget (<0 = unlimited)")
+		rescacheTTL   = flag.Duration("rescache-ttl", 0, "result cache entry TTL (0 = no expiry; epochs still invalidate)")
+
+		feedback = flag.Bool("feedback", true, "fold fragment-execution traffic back into local service profiles")
+		minCalls = flag.Int64("feedback-min-calls", 4, "observed calls required before a profile refresh")
+		minDrift = flag.Float64("feedback-min-drift", 0.1, "relative statistics drift required before a refresh")
 
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "max time to drain in-flight requests on shutdown")
 		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
@@ -121,6 +135,12 @@ func main() {
 
 	mux, names := httpwrap.ServeRegistry(reg, httpwrap.HandlerOptions{SleepScale: *scale})
 	metrics := serve.NewMetrics()
+	if *rescacheN != 0 {
+		store := rescache.New(rescache.Config{MaxEntries: *rescacheN, MaxBytes: *rescacheBytes, TTL: *rescacheTTL})
+		store.Observer = rescache.MetricsObserver(metrics)
+		store.Bind(reg)
+		worker.ResultCache = store
+	}
 	mux.Handle("/dist/", instrumentWorker(metrics, worker.Handler()))
 	mux.Handle("/metrics", metrics.Handler())
 	if *pprofFlag {

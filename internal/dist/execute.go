@@ -291,7 +291,7 @@ func (w *Worker) ExecuteFragment(ctx context.Context, req ExecuteRequest, sink f
 		batch = nil
 		return err
 	}
-	runner := &exec.Runner{Registry: w.reg, Cache: mode, Feedback: w.Feedback, BufferSize: w.BufferSize}
+	runner := &exec.Runner{Registry: w.reg, Cache: mode, Feedback: w.Feedback, BufferSize: w.BufferSize, ResultCache: w.ResultCache}
 	res, err := runner.RunFragment(ctx, p, req.Atoms, seeds, func(t exec.Tuple) error {
 		batch = append(batch, encodeTuple(t))
 		count++

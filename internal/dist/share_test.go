@@ -1,0 +1,181 @@
+package dist_test
+
+import (
+	"context"
+	"testing"
+
+	. "mdq/internal/dist"
+	"mdq/internal/exec"
+	"mdq/internal/plan"
+	"mdq/internal/rescache"
+	"mdq/internal/service"
+)
+
+// shareStores wires a fresh result cache into every worker of a
+// cluster, bound to the worker's own registry — the mdqworker
+// -rescache topology.
+func shareStores(workers []*Worker) []*rescache.Store {
+	var stores []*rescache.Store
+	for _, wk := range workers {
+		st := rescache.New(rescache.Config{})
+		st.Bind(wk.Registry())
+		wk.ResultCache = st
+		stores = append(stores, st)
+	}
+	return stores
+}
+
+// totalCalls sums the logical service calls of one execution.
+func totalCalls(r *exec.Result) int64 {
+	var n int64
+	for _, c := range r.Stats.Calls {
+		n += c
+	}
+	return n
+}
+
+// execTwice runs the same plan through the coordinator twice (cloned
+// per run, as two independent requests would be) and returns both
+// results. The coordinator must run with K=0: exhaustive execution
+// makes the per-service call accounting deterministic, where a top-K
+// run stops streaming at a timing-dependent point.
+func execTwice(t *testing.T, co *Coordinator, p *plan.Plan) (*exec.Result, *exec.Result) {
+	t.Helper()
+	r1, err := co.ExecutePlan(context.Background(), p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := co.ExecutePlan(context.Background(), p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r1, r2
+}
+
+// TestResultCacheDifferentialLocal is the cross-query sharing gate on
+// LocalTransport: with every worker holding a result cache, repeated
+// execution of the same plan returns rows byte-identical to the
+// uncached cluster on all three worlds, while the second execution
+// charges strictly fewer logical service calls.
+func TestResultCacheDifferentialLocal(t *testing.T) {
+	for _, w := range worlds {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			plain, _ := localCluster(t, w, 2)
+			plain.K = 0
+			p := optimizeOn(t, plain, w.text)
+			base1, base2 := execTwice(t, plain, p)
+			assertSameExecution(t, base1, base2) // uncached runs are deterministic
+
+			shared, workers := localCluster(t, w, 2)
+			shared.K = 0
+			stores := shareStores(workers)
+			got1, got2 := execTwice(t, shared, p)
+			assertSameExecution(t, base1, got1)
+			assertSameExecution(t, base2, got2)
+
+			if s, b := totalCalls(got2), totalCalls(base2); s >= b {
+				t.Fatalf("second shared run charged %d calls, uncached %d — no sharing win", s, b)
+			}
+			var hits uint64
+			for _, st := range stores {
+				hits += st.Stats().Hits
+			}
+			if hits == 0 {
+				t.Fatal("no result-cache hits across repeated executions")
+			}
+		})
+	}
+}
+
+// TestResultCacheDifferentialHTTP repeats the differential over real
+// loopback HTTP workers: frame decoding and worker-side accounting
+// must not leak cached state into the rows.
+func TestResultCacheDifferentialHTTP(t *testing.T) {
+	for _, w := range []world{worlds[0], worlds[2]} { // travel (join-rich), zipf (cheap)
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			plain, _ := httpCluster(t, w, 2)
+			plain.K = 0
+			p := optimizeOn(t, plain, w.text)
+			base1, base2 := execTwice(t, plain, p)
+
+			shared, workers := httpCluster(t, w, 2)
+			shared.K = 0
+			shareStores(workers)
+			got1, got2 := execTwice(t, shared, p)
+			assertSameExecution(t, base1, got1)
+			assertSameExecution(t, base2, got2)
+
+			if s, b := totalCalls(got2), totalCalls(base2); s >= b {
+				t.Fatalf("second shared run charged %d calls, uncached %d — no sharing win", s, b)
+			}
+		})
+	}
+}
+
+// TestResultCacheEpochBumpRefetches pins the invalidation path at the
+// fleet level: after every worker's registry bumps a service's epoch
+// (a re-profile), the cached entries for it are evicted eagerly and
+// the next execution re-invokes the services — with unchanged data it
+// must still produce identical rows, never an error or a short result
+// from a half-dropped cache.
+func TestResultCacheEpochBumpRefetches(t *testing.T) {
+	w := worlds[0] // travel: multiple services, chunked fetches
+	plain, _ := localCluster(t, w, 2)
+	plain.K = 0
+	p := optimizeOn(t, plain, w.text)
+	want, err := plain.ExecutePlan(context.Background(), p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared, workers := localCluster(t, w, 2)
+	shared.K = 0
+	stores := shareStores(workers)
+	if _, err := shared.ExecutePlan(context.Background(), p.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	svc := p.ServiceNode[0].Atom.Service
+	for _, wk := range workers {
+		wk.Registry().BumpEpoch(svc)
+	}
+	var invalidated uint64
+	for _, st := range stores {
+		invalidated += st.Stats().Invalidations
+	}
+	if invalidated == 0 {
+		t.Fatalf("epoch bump of %s invalidated nothing", svc)
+	}
+	got, err := shared.ExecutePlan(context.Background(), p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameExecution(t, want, got)
+	if got.Stats.Calls[svc] == 0 {
+		t.Fatalf("post-bump execution did not re-invoke %s", svc)
+	}
+}
+
+// TestWorkerGossipDropsResultCache pins the remote-bump path: a
+// gossip-delivered epoch bump must drop every result-cache entry of
+// the bumped service unconditionally (remote epoch numbers are
+// uncoordinated with local stamps), and leave other services alone.
+func TestWorkerGossipDropsResultCache(t *testing.T) {
+	w := worlds[2]
+	_, workers := localCluster(t, w, 1)
+	wk := workers[0]
+	st := rescache.New(rescache.Config{})
+	st.Bind(wk.Registry())
+	wk.ResultCache = st
+	st.Put("catalog", "k1", exec.Entry{Exhausted: true})
+	st.Put("review", "k2", exec.Entry{Exhausted: true})
+
+	wk.Gossip([]service.EpochBump{{Service: "catalog", Epoch: 99}})
+	if _, ok := st.Get("catalog", "k1"); ok {
+		t.Fatal("gossiped bump left the service's entry cached")
+	}
+	if _, ok := st.Get("review", "k2"); !ok {
+		t.Fatal("gossiped bump evicted an unrelated service")
+	}
+}

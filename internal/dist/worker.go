@@ -12,6 +12,7 @@ import (
 	"mdq/internal/card"
 	"mdq/internal/cost"
 	"mdq/internal/cq"
+	"mdq/internal/exec"
 	"mdq/internal/opt"
 	"mdq/internal/serve"
 	"mdq/internal/service"
@@ -51,6 +52,14 @@ type Worker struct {
 	// default) — the worker half of the streaming runtime's
 	// memory/latency dial.
 	BufferSize int
+	// ResultCache, when set, is the worker's shared service-call
+	// result store (exec.Runner.ResultCache), consulted by every
+	// fragment execution so identical invocations across fragments —
+	// and across the queries that dispatched them — reach each
+	// service once. Point it at a rescache.Store bound to the
+	// worker's registry so local feedback refreshes and incoming
+	// Gossip epoch bumps both evict eagerly (`mdqworker -rescache`).
+	ResultCache exec.Cache
 
 	// feed collects the worker registry's own epoch bumps (local
 	// statistics refreshes, e.g. from execution feedback) for
@@ -247,15 +256,19 @@ func (w *Worker) Sync(id string, bound float64) float64 {
 }
 
 // Gossip applies remote statistics-epoch bumps to the worker's plan
-// cache: exact entries touching a bumped service are dropped,
-// template entries marked stale for revalidation — the identical
-// machinery a local epoch bump drives.
+// cache — exact entries touching a bumped service are dropped,
+// template entries marked stale for revalidation, the identical
+// machinery a local epoch bump drives — and to the shared result
+// cache, where every entry of a bumped service is dropped outright
+// (remote epoch numbers say nothing about local stamps, so nothing
+// survivable can be distinguished).
 func (w *Worker) Gossip(bumps []service.EpochBump) {
-	if w.cache == nil {
-		return
-	}
+	dropper, _ := w.ResultCache.(interface{ DropService(string) })
 	for _, b := range bumps {
 		w.cache.InvalidateService(b.Service, b.Epoch)
+		if dropper != nil {
+			dropper.DropService(b.Service)
+		}
 	}
 }
 

@@ -41,6 +41,38 @@ func NewCache(mode card.CacheMode) Cache {
 	}
 }
 
+// NewTieredCache composes a per-run logical cache with a shared
+// result store (the cross-query sharing layer, see internal/rescache):
+// lookups try the run cache first, then the shared store, promoting
+// shared hits into the run cache; writes land in both. The run tier
+// keeps §5.1 semantics within one execution; the shared tier makes
+// identical invocations free *across* executions — other queries,
+// other requests, other fragments on the same worker.
+func NewTieredCache(run, shared Cache) Cache {
+	return &tieredCache{run: run, shared: shared}
+}
+
+type tieredCache struct {
+	run    Cache
+	shared Cache
+}
+
+func (c *tieredCache) Get(service, key string) (Entry, bool) {
+	if e, ok := c.run.Get(service, key); ok {
+		return e, true
+	}
+	if e, ok := c.shared.Get(service, key); ok {
+		c.run.Put(service, key, e)
+		return e, true
+	}
+	return Entry{}, false
+}
+
+func (c *tieredCache) Put(service, key string, e Entry) {
+	c.run.Put(service, key, e)
+	c.shared.Put(service, key, e)
+}
+
 // noCache repeats every call (§5.1 "no cache").
 type noCache struct{}
 

@@ -49,15 +49,11 @@ func (r *Runner) RunFragment(ctx context.Context, p *plan.Plan, atoms []int, see
 		return nil, err
 	}
 	start := time.Now()
-	cache := r.SharedCache
-	if cache == nil {
-		cache = NewCache(r.Cache)
-	}
 	ex := &execution{
 		runner: r,
 		plan:   p,
 		ix:     NewVarIndex(p),
-		cache:  cache,
+		cache:  r.runCache(),
 		calls:  map[string]*service.Counter{},
 	}
 	for _, n := range chain {

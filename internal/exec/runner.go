@@ -76,6 +76,15 @@ type Runner struct {
 	// run a plan, raise its fetch factors, and re-run with the same
 	// cache so only the new fetches reach the services.
 	SharedCache Cache
+	// ResultCache, when set, layers a shared service-call result
+	// store under the per-run cache (NewTieredCache): lookups fall
+	// through to it, writes land in it, and hits cost neither a
+	// budget charge nor a logical call. Point it at a
+	// rescache.Store bound to the registry's epoch feed so a stats
+	// bump can never serve stale rows. Unlike SharedCache it
+	// composes with — rather than replaces — the run cache, so §5.1
+	// cache-mode semantics within a run are preserved.
+	ResultCache Cache
 	// BufferSize is the per-arc channel capacity of the dataflow (0
 	// means DefaultBufferSize). It is the streaming runtime's
 	// memory/latency dial: each arc buffers at most BufferSize tuples,
@@ -140,6 +149,20 @@ type Result struct {
 	FirstRow time.Duration
 }
 
+// runCache builds the cache stack for one execution: the per-run
+// logical cache (or the caller-supplied SharedCache of a continued
+// execution), tiered over the shared ResultCache when one is wired.
+func (r *Runner) runCache() Cache {
+	cache := r.SharedCache
+	if cache == nil {
+		cache = NewCache(r.Cache)
+	}
+	if r.ResultCache != nil {
+		cache = NewTieredCache(cache, r.ResultCache)
+	}
+	return cache
+}
+
 // bufferSize resolves the per-arc channel capacity.
 func (r *Runner) bufferSize() int {
 	if r.BufferSize > 0 {
@@ -154,15 +177,11 @@ func (r *Runner) Run(ctx context.Context, p *plan.Plan) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	cache := r.SharedCache
-	if cache == nil {
-		cache = NewCache(r.Cache)
-	}
 	ex := &execution{
 		runner: r,
 		plan:   p,
 		ix:     NewVarIndex(p),
-		cache:  cache,
+		cache:  r.runCache(),
 		calls:  map[string]*service.Counter{},
 		start:  start,
 	}

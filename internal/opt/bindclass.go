@@ -1,0 +1,165 @@
+package opt
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"mdq/internal/cq"
+	"mdq/internal/schema"
+)
+
+// bindingClass buckets a bound query by where its constants sit in
+// the profiled value distributions: each constant contributes one
+// token — MCV membership ("m") or histogram-bucket interpolation
+// ("b") plus the log-RevalidateRatio band of the selectivity it
+// prices to. Two bindings in one class therefore re-cost within the
+// revalidation ratio of each other by construction, so a class's
+// baseline never thrashes; bindings from different cost regimes (the
+// head and tail of a Zipf law) land in different classes and keep
+// separate baselines (see classSlot).
+//
+// Constants without a usable distribution all map to "u" — one
+// shared class, which degenerates to the pre-class single-baseline
+// behavior; under the uniform model (NoValueStats) the class is
+// empty, because every binding re-costs identically there.
+func (o *Optimizer) bindingClass(q *cq.Query) string {
+	if o.Estimator.NoValueStats {
+		return ""
+	}
+	ratio := o.revalidateRatio()
+	var b strings.Builder
+	for _, a := range q.Atoms {
+		if a.Sig == nil {
+			continue
+		}
+		st := a.Sig.Statistics()
+		for i, t := range a.Terms {
+			if t.IsVar() {
+				continue
+			}
+			b.WriteString(classToken(st.Distribution(i), cq.Eq, t.Const, ratio))
+			b.WriteByte(';')
+		}
+	}
+	for _, p := range q.Preds {
+		op, x, v, ok := constantComparison(p)
+		if !ok {
+			continue
+		}
+		b.WriteString(classToken(bestDistribution(q, x), op, v, ratio))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// constantComparison extracts the var-op-constant shape of a
+// predicate, reversing the operator when the constant is on the left.
+// Arithmetic forms and var-var joins report ok=false: their
+// selectivity does not vary with a single binding constant in a way
+// the class needs to track.
+func constantComparison(p *cq.Predicate) (op cq.CmpOp, x cq.Var, v schema.Value, ok bool) {
+	if p.L == nil || p.R == nil || p.L.Kind != cq.ETerm || p.R.Kind != cq.ETerm {
+		return 0, "", schema.Null, false
+	}
+	l, r := p.L.Term, p.R.Term
+	switch {
+	case l.IsVar() && !r.IsVar():
+		return p.Op, l.Var, r.Const, true
+	case !l.IsVar() && r.IsVar():
+		return reverseOp(p.Op), r.Var, l.Const, true
+	}
+	return 0, "", schema.Null, false
+}
+
+// reverseOp mirrors a comparison so "const op var" reads as "var op'
+// const".
+func reverseOp(op cq.CmpOp) cq.CmpOp {
+	switch op {
+	case cq.Lt:
+		return cq.Gt
+	case cq.Le:
+		return cq.Ge
+	case cq.Gt:
+		return cq.Lt
+	case cq.Ge:
+		return cq.Le
+	default:
+		return op // Eq and Ne are symmetric
+	}
+}
+
+// bestDistribution finds the most informative value distribution for
+// a variable: among every attribute position where it occurs, the
+// non-empty distribution built from the most rows (the same choice
+// the cardinality estimator makes when pricing the predicate).
+func bestDistribution(q *cq.Query, x cq.Var) *schema.Distribution {
+	var best *schema.Distribution
+	for _, a := range q.Atoms {
+		if a.Sig == nil {
+			continue
+		}
+		st := a.Sig.Statistics()
+		for i, t := range a.Terms {
+			if !t.IsVar() || t.Var != x {
+				continue
+			}
+			if d := st.Distribution(i); !d.Empty() {
+				if best == nil || d.Total > best.Total {
+					best = d
+				}
+			}
+		}
+	}
+	return best
+}
+
+// classToken renders one constant's class contribution: "u" when no
+// distribution can price it, otherwise an "m" (MCV member) or "b"
+// (bucket-interpolated) prefix plus the floor of log_ratio of the
+// selectivity the operator prices to. Banding by the revalidation
+// ratio bounds the within-class cost spread to the same ratio the
+// baseline comparison tolerates.
+func classToken(d *schema.Distribution, op cq.CmpOp, v schema.Value, ratio float64) string {
+	if d.Empty() {
+		return "u"
+	}
+	var sel float64
+	switch op {
+	case cq.Eq:
+		sel, _ = d.EqSelectivity(v)
+	case cq.Ne:
+		eq, _ := d.EqSelectivity(v)
+		sel = 1 - eq
+	case cq.Le, cq.Lt:
+		sel, _ = d.LeSelectivity(v)
+	case cq.Ge, cq.Gt:
+		le, _ := d.LeSelectivity(v)
+		sel = 1 - le
+	default:
+		return "u"
+	}
+	prefix := "b"
+	if op == cq.Eq && isMCV(d, v) {
+		prefix = "m"
+	}
+	if sel <= 0 {
+		return prefix + "z" // floored by MinSelectivity in practice
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	band := int(math.Floor(math.Log(sel) / math.Log(ratio)))
+	return prefix + strconv.Itoa(band)
+}
+
+// isMCV reports whether v is one of the distribution's most common
+// values.
+func isMCV(d *schema.Distribution, v schema.Value) bool {
+	for _, m := range d.MCVs {
+		if m.Value.Equal(v) {
+			return true
+		}
+	}
+	return false
+}

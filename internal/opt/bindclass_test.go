@@ -1,0 +1,175 @@
+package opt_test
+
+import (
+	"testing"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	. "mdq/internal/opt"
+	"mdq/internal/schema"
+	"mdq/internal/simweb"
+)
+
+// zipfTemplateFixture wires an optimizer with a template cache over
+// the Zipf world and returns a bind-and-optimize closure: the
+// hot/cold binding workload that used to thrash the single-scalar
+// template baseline.
+func zipfTemplateFixture(t *testing.T, cfg card.Config) (*simweb.ZipfWorld, *PlanCache, func(tag string) *Result) {
+	t.Helper()
+	w := simweb.NewZipfWorld(0, 0, 0)
+	tpl, err := cq.ParseTemplate(simweb.ZipfTemplateText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPlanCache(64)
+	o := &Optimizer{
+		Metric:       cost.ExecTime{},
+		Estimator:    cfg,
+		K:            10,
+		ChooseMethod: w.Registry.MethodChooser(),
+		Parallelism:  1,
+		Epochs:       w.Registry,
+		Cache:        pc,
+		CacheSalt:    w.Registry.CacheSalt(),
+	}
+	return w, pc, func(tag string) *Result {
+		q, err := tpl.Bind(map[string]schema.Value{"tag": schema.S(tag)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Resolve(w.Schema); err != nil {
+			t.Fatal(err)
+		}
+		res, err := o.OptimizeTemplate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+}
+
+// TestBindingClassesStopHotColdThrash pins the per-binding-class
+// behavior on the canonical Zipf workload: the head tag (~29% of the
+// catalog), its neighbor, and a tail tag ~50× rarer. Under a single
+// shared baseline every hot/cold flip re-seeded the scalar and
+// triggered a fresh search; with per-class baselines the whole
+// workload — including repeated alternation — costs one search per
+// diverged class.
+func TestBindingClassesStopHotColdThrash(t *testing.T) {
+	_, pc, bind := zipfTemplateFixture(t, card.Config{Mode: card.OneCall})
+
+	hot := bind(simweb.ZipfTag(0)) // miss: full search seeds the hot class
+	if hot.TemplateHit || hot.BindingClass == "" {
+		t.Fatalf("first binding: hit=%v class=%q, want a classed miss", hot.TemplateHit, hot.BindingClass)
+	}
+	warm := bind(simweb.ZipfTag(1)) // near-hot: borrows within the ratio
+	if !warm.TemplateHit {
+		t.Fatal("neighbor tag did not serve from the template cache")
+	}
+	cold := bind(simweb.ZipfTag(49)) // tail: borrowed re-cost diverges, one search
+	if cold.BindingClass == hot.BindingClass {
+		t.Fatalf("head and tail tags share class %q", cold.BindingClass)
+	}
+
+	// The thrash workload: alternate hot and cold bindings. Every
+	// serve must now come from its class's own baseline.
+	for i := 0; i < 3; i++ {
+		for _, tag := range []string{simweb.ZipfTag(0), simweb.ZipfTag(49)} {
+			if res := bind(tag); !res.TemplateHit {
+				t.Fatalf("alternation round %d: tag %s fell back to a full search", i, tag)
+			}
+		}
+	}
+
+	cs := pc.Stats()
+	if cs.Searches != 2 {
+		t.Fatalf("searches = %d, want 2 (hot seed + tail divergence) — stats %+v", cs.Searches, cs)
+	}
+	if cs.Classes != 3 {
+		t.Fatalf("binding classes = %d, want 3 (hot, neighbor, tail)", cs.Classes)
+	}
+	if cs.BorrowedServes == 0 {
+		t.Fatalf("no borrowed serves — new classes should seed from a neighbor's skeleton: %+v", cs)
+	}
+	if cs.Divergences != 1 {
+		t.Fatalf("divergences = %d, want 1 (the tail's borrowed re-cost) — %+v", cs.Divergences, cs)
+	}
+	// Same binding → same class, stable across the run.
+	if again := bind(simweb.ZipfTag(0)); again.BindingClass != hot.BindingClass {
+		t.Fatalf("hot class drifted: %q then %q", hot.BindingClass, again.BindingClass)
+	}
+}
+
+// TestBindingClassEmptyUnderUniformModel: without value statistics
+// every binding re-costs identically, so classing is disabled and
+// results carry no class.
+func TestBindingClassEmptyUnderUniformModel(t *testing.T) {
+	_, pc, bind := zipfTemplateFixture(t, card.Config{Mode: card.OneCall, NoValueStats: true})
+	for _, tag := range []string{simweb.ZipfTag(0), simweb.ZipfTag(49), simweb.ZipfTag(0)} {
+		if res := bind(tag); res.BindingClass != "" {
+			t.Fatalf("uniform model produced binding class %q", res.BindingClass)
+		}
+	}
+	cs := pc.Stats()
+	if cs.Searches != 1 || cs.Classes != 1 {
+		t.Fatalf("uniform model: %d searches, %d classes, want one shared slot (%+v)", cs.Searches, cs.Classes, cs)
+	}
+}
+
+// TestBindingClassPersistRoundTrip: per-class baselines survive
+// Save/Load — each class exports its own wire entry, and an importing
+// cache with matching statistics serves both hot and tail bindings
+// without a single fresh search.
+func TestBindingClassPersistRoundTrip(t *testing.T) {
+	w, pc, bind := zipfTemplateFixture(t, card.Config{Mode: card.OneCall})
+	bind(simweb.ZipfTag(0))
+	bind(simweb.ZipfTag(49))
+
+	entries := pc.ExportTemplates()
+	classes := map[string]bool{}
+	for _, e := range entries {
+		classes[e.Class] = true
+	}
+	if len(entries) < 2 || len(classes) < 2 {
+		t.Fatalf("export carried %d entries over %d classes, want one per class", len(entries), len(classes))
+	}
+
+	fresh := NewPlanCache(64)
+	if n := fresh.ImportTemplates(entries, w.Registry); n != len(entries) {
+		t.Fatalf("imported %d of %d entries", n, len(entries))
+	}
+	o := &Optimizer{
+		Metric:       cost.ExecTime{},
+		Estimator:    card.Config{Mode: card.OneCall},
+		K:            10,
+		ChooseMethod: w.Registry.MethodChooser(),
+		Parallelism:  1,
+		Epochs:       w.Registry,
+		Cache:        fresh,
+		CacheSalt:    w.Registry.CacheSalt(),
+	}
+	tpl, err := cq.ParseTemplate(simweb.ZipfTemplateText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []string{simweb.ZipfTag(0), simweb.ZipfTag(49)} {
+		q, err := tpl.Bind(map[string]schema.Value{"tag": schema.S(tag)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Resolve(w.Schema); err != nil {
+			t.Fatal(err)
+		}
+		res, err := o.OptimizeTemplate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.TemplateHit {
+			t.Fatalf("tag %s missed after import", tag)
+		}
+	}
+	if cs := fresh.Stats(); cs.Searches != 0 {
+		t.Fatalf("imported cache still ran %d searches (%+v)", cs.Searches, cs)
+	}
+}

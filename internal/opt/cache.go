@@ -73,17 +73,25 @@ type Policy struct {
 // stale, to be revalidated against the fresh statistics on their
 // next hit.
 //
-// A template entry therefore moves through a small state machine
-// (driven by Optimizer.OptimizeTemplate; see template.go for a
-// worked example):
+// A template entry holds one skeleton+baseline slot per *binding
+// class* — a bucket over where the bindings' constants sit in the
+// profiled value distributions (Optimizer.bindingClass) — so hot and
+// cold bindings of one template keep separate cost baselines instead
+// of thrashing a single scalar. Each class slot moves through a small
+// state machine (driven by Optimizer.OptimizeTemplate; see
+// template.go for a worked example), with staleness tracked at the
+// entry level:
 //
 //	         putTemplate (full search)
 //	absent ─────────────────────────────► fresh
+//	absent ── neighbor class's re-cost ──► fresh  (borrowed serve seeds
+//	          accepted within ratio               the class, no search)
 //	fresh  ── epoch bump ───────────────► stale
 //	fresh  ── hit, re-cost within ratio ─► fresh  (TemplateHit)
 //	stale  ── hit, re-cost within ratio ─► fresh  (TemplateHit+Revalidated)
-//	any    ── hit, re-cost beyond ratio ─► absent (divergence → full search)
-//	any    ── TTL / LRU / byte eviction ─► absent
+//	any    ── hit, re-cost beyond ratio ─► absent (divergence → full search;
+//	                                               other classes unaffected)
+//	any    ── TTL / LRU / byte eviction ─► absent (whole entry)
 //
 // Cached plans are stored frozen: lookups return deep copies, so
 // callers may freely re-annotate fetch factors or cardinalities
@@ -97,15 +105,16 @@ type PlanCache struct {
 	bytes  int64
 	now    func() time.Time // test hook; nil means time.Now
 
-	hits, misses  uint64
-	templateHits  uint64
-	revalidations uint64
-	divergences   uint64
-	searches      uint64
-	evictLRU      uint64
-	evictTTL      uint64
-	evictBytes    uint64
-	evictEpoch    uint64
+	hits, misses   uint64
+	templateHits   uint64
+	revalidations  uint64
+	divergences    uint64
+	borrowedServes uint64
+	searches       uint64
+	evictLRU       uint64
+	evictTTL       uint64
+	evictBytes     uint64
+	evictEpoch     uint64
 }
 
 // entryKind discriminates cache entries.
@@ -123,20 +132,42 @@ func (k entryKind) String() string {
 	return "exact"
 }
 
+// classSlot is one binding class's baseline inside a template entry:
+// the plan skeleton (assignment + topology, enough to rebuild the
+// plan for any binding with one plan.Build plus one fetch
+// assignment) and the cost its re-costs are compared against. Binding
+// classes partition a template's bindings by where their constants
+// sit in the profiled value distributions (Optimizer.bindingClass),
+// so a workload alternating between hot and cold bindings — the head
+// and tail of a Zipf law — keeps one stable baseline per class
+// instead of re-seeding a single scalar on every flip.
+type classSlot struct {
+	asn  abind.Assignment
+	topo *plan.Topology
+	// baseCost is the cost of the skeleton when the class was seeded
+	// (a full search, or an accepted re-cost borrowed from a
+	// neighboring class), the reference the revalidation ratio
+	// compares against.
+	baseCost float64
+	feasible bool
+	// stats are the effort counters of the search that produced the
+	// skeleton (shared verbatim by classes seeded via borrowing).
+	stats Stats
+	hits  uint64
+}
+
 // cacheEntry is one LRU slot.
 type cacheEntry struct {
 	key  string
 	kind entryKind
 	res  *Result // exact entries: the memoized result
-	// Template skeleton: the winning assignment and topology, enough
-	// to rebuild the plan for any binding with one plan.Build plus
-	// one fetch assignment. The original search's plans are not
-	// retained — only its effort counters.
-	stats Stats
-	asn   abind.Assignment
-	topo  *plan.Topology
-	// baseCost is the cost of the skeleton at the last full search,
-	// the reference the revalidation ratio compares against.
+	// classes holds the per-binding-class skeletons and baselines of a
+	// template entry; lastClass names the most recently seeded or
+	// served class, the preferred lender when a new class borrows.
+	classes   map[string]*classSlot
+	lastClass string
+	// baseCost/feasible mirror the result's cost for exact entries
+	// (introspection; template entries keep these per class).
 	baseCost float64
 	feasible bool
 	// epochs maps each service of the query to its statistics epoch
@@ -250,26 +281,75 @@ func (c *PlanCache) put(key string, res *Result, epochs map[string]uint64) {
 	})
 }
 
-// putTemplate stores the skeleton of a completed search under a
-// template key (replacing any previous entry for the key). Only the
-// skeleton and the search's effort counters are kept — template hits
-// rebuild the plan from the bound query, so retaining the original
-// plans (or alternatives) would be dead weight against MaxBytes.
-func (c *PlanCache) putTemplate(key string, res *Result, epochs map[string]uint64, dists map[string]string) {
+// putTemplate stores the skeleton of a completed search as the given
+// binding class of a template entry (seeding the entry when the key
+// is new, adding or replacing one class slot when it exists). Only
+// the skeleton and the search's effort counters are kept — template
+// hits rebuild the plan from the bound query, so retaining the
+// original plans (or alternatives) would be dead weight against
+// MaxBytes.
+func (c *PlanCache) putTemplate(key, class string, res *Result, epochs map[string]uint64, dists map[string]string) {
 	if c == nil || res == nil || res.Best == nil {
 		return
 	}
-	c.insert(&cacheEntry{
-		key:      key,
-		kind:     templateEntry,
-		stats:    res.Stats,
+	slot := &classSlot{
 		asn:      res.Best.Assignment,
 		topo:     res.Best.Topology.Clone(),
 		baseCost: res.Cost,
 		feasible: res.Feasible,
-		epochs:   epochs,
-		dists:    dists,
-	})
+		stats:    res.Stats,
+	}
+	c.upsertClass(key, class, slot, epochs, dists, false)
+}
+
+// upsertClass merges one binding class's slot into the template
+// entry for key, creating the entry when absent. stale marks
+// imported slots pending revalidation; a fresh full search (stale
+// false) clears entry staleness, since the entry's epoch vector was
+// just re-snapshotted under the current statistics.
+func (c *PlanCache) upsertClass(key, class string, slot *classSlot, epochs map[string]uint64, dists map[string]string, stale bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.kind == templateEntry {
+			old := e.bytes
+			e.classes[class] = slot
+			e.lastClass = class
+			if epochs != nil {
+				e.epochs = epochs
+			}
+			if dists != nil {
+				e.dists = dists
+			}
+			// A fresh full search re-snapshotted the epoch vector under
+			// current statistics; a stale import poisons the entry the
+			// way whole-entry imports always did.
+			e.stale = stale
+			e.bytes = entrySize(e)
+			c.bytes += e.bytes - old
+			c.ll.MoveToFront(el)
+			c.enforceLocked()
+			return
+		}
+		// Template keys carry the "tpl|" prefix, so an exact entry under
+		// the same key cannot occur; replace defensively if it somehow did.
+		c.removeLocked(el, nil)
+	}
+	e := &cacheEntry{
+		key:       key,
+		kind:      templateEntry,
+		classes:   map[string]*classSlot{class: slot},
+		lastClass: class,
+		epochs:    epochs,
+		dists:     dists,
+		stale:     stale,
+	}
+	e.bytes = entrySize(e)
+	e.added = c.clock()
+	c.items[key] = c.ll.PushFront(e)
+	c.bytes += e.bytes
+	c.enforceLocked()
 }
 
 // insert adds or replaces an entry and enforces the eviction
@@ -289,6 +369,12 @@ func (c *PlanCache) insert(e *cacheEntry) {
 		c.items[e.key] = c.ll.PushFront(e)
 		c.bytes += e.bytes
 	}
+	c.enforceLocked()
+}
+
+// enforceLocked evicts from the LRU tail until the entry and byte
+// budgets hold.
+func (c *PlanCache) enforceLocked() {
 	for c.ll.Len() > c.policy.Capacity {
 		c.removeLocked(c.ll.Back(), &c.evictLRU)
 	}
@@ -297,8 +383,8 @@ func (c *PlanCache) insert(e *cacheEntry) {
 	}
 }
 
-// templateView is a snapshot of a template entry handed to the
-// optimizer's re-cost phase.
+// templateView is a snapshot of one binding class of a template
+// entry, handed to the optimizer's re-cost phase.
 type templateView struct {
 	asn      abind.Assignment
 	topo     *plan.Topology
@@ -306,15 +392,26 @@ type templateView struct {
 	feasible bool
 	stale    bool
 	stats    Stats
+	// class names the slot the view was read from; borrowed marks a
+	// neighboring class's slot standing in because the entry holds
+	// nothing for the requested class yet — its accepted re-cost
+	// seeds the new class (noteTemplateServed), and its divergence
+	// does not condemn the lender (noteDivergence).
+	class    string
+	borrowed bool
 }
 
-// lookupTemplate snapshots a template entry without touching the
-// counters — the entry is only "hit" once the re-cost phase accepts
-// it (see noteTemplateServed), and a fruitless lookup is not counted
-// here because the ensuing full search counts its own miss through
-// the exact-key Get, keeping one logical optimization at one counter
+// lookupTemplate snapshots the requested binding class of a template
+// entry — or, when the entry has never seen that class, a borrowed
+// neighbor (preferring the most recently active class) whose
+// skeleton is usually right and whose baseline the re-cost phase
+// still guards with the ratio check. Counters are not touched — the
+// entry is only "hit" once the re-cost phase accepts it (see
+// noteTemplateServed), and a fruitless lookup is not counted here
+// because the ensuing full search counts its own miss through the
+// exact-key Get, keeping one logical optimization at one counter
 // tick. Expired entries are dropped.
-func (c *PlanCache) lookupTemplate(key string) (templateView, bool) {
+func (c *PlanCache) lookupTemplate(key, class string) (templateView, bool) {
 	if c == nil {
 		return templateView{}, false
 	}
@@ -325,28 +422,51 @@ func (c *PlanCache) lookupTemplate(key string) (templateView, bool) {
 		return templateView{}, false
 	}
 	e := el.Value.(*cacheEntry)
-	if e.kind != templateEntry {
+	if e.kind != templateEntry || len(e.classes) == 0 {
 		return templateView{}, false
 	}
 	if c.expired(e, c.clock()) {
 		c.removeLocked(el, &c.evictTTL)
 		return templateView{}, false
 	}
+	from, borrowed := class, false
+	slot, ok := e.classes[class]
+	if !ok {
+		borrowed = true
+		from = e.lastClass
+		if _, ok := e.classes[from]; !ok {
+			// The preferred lender was dropped; fall back to the
+			// smallest class key for determinism.
+			from = ""
+			for k := range e.classes {
+				if from == "" || k < from {
+					from = k
+				}
+			}
+		}
+		slot = e.classes[from]
+	}
 	return templateView{
-		asn:      e.asn,
-		topo:     e.topo.Clone(),
-		baseCost: e.baseCost,
-		feasible: e.feasible,
+		asn:      slot.asn,
+		topo:     slot.topo.Clone(),
+		baseCost: slot.baseCost,
+		feasible: slot.feasible,
 		stale:    e.stale,
-		stats:    e.stats,
+		stats:    slot.stats,
+		class:    from,
+		borrowed: borrowed,
 	}, true
 }
 
-// noteTemplateServed records a successful template hit: the entry is
-// freshened (epoch vector updated, staleness cleared) and counted. A
-// hit on a stale entry additionally counts as a revalidation — the
-// lazy path of epoch invalidation.
-func (c *PlanCache) noteTemplateServed(key string, epochs map[string]uint64, dists map[string]string, wasStale bool) {
+// noteTemplateServed records a successful template hit for a binding
+// class: the entry is freshened (epoch vector updated, staleness
+// cleared) and counted; a hit on a stale entry additionally counts
+// as a revalidation — the lazy path of epoch invalidation. A
+// borrowed serve seeds the requested class with the lender's
+// skeleton and the accepted re-cost as its own baseline, so the next
+// binding of this class compares against its own regime without ever
+// paying a full search.
+func (c *PlanCache) noteTemplateServed(key, class string, tv templateView, cost float64, feasible bool, epochs map[string]uint64, dists map[string]string) {
 	if c == nil {
 		return
 	}
@@ -354,14 +474,20 @@ func (c *PlanCache) noteTemplateServed(key string, epochs map[string]uint64, dis
 	defer c.mu.Unlock()
 	c.hits++
 	c.templateHits++
-	if wasStale {
+	if tv.stale {
 		c.revalidations++
+	}
+	if tv.borrowed {
+		c.borrowedServes++
 	}
 	el, ok := c.items[key]
 	if !ok {
 		return
 	}
 	e := el.Value.(*cacheEntry)
+	if e.kind != templateEntry {
+		return
+	}
 	e.stale = false
 	if epochs != nil {
 		e.epochs = epochs
@@ -369,24 +495,70 @@ func (c *PlanCache) noteTemplateServed(key string, epochs map[string]uint64, dis
 	if dists != nil {
 		e.dists = dists
 	}
+	if tv.borrowed {
+		if lender, ok := e.classes[tv.class]; ok {
+			old := e.bytes
+			e.classes[class] = &classSlot{
+				asn:      lender.asn,
+				topo:     lender.topo.Clone(),
+				baseCost: cost,
+				feasible: feasible,
+				stats:    lender.stats,
+				hits:     1,
+			}
+			e.bytes = entrySize(e)
+			c.bytes += e.bytes - old
+		}
+	} else if slot, ok := e.classes[class]; ok {
+		slot.hits++
+	}
+	e.lastClass = class
 	e.hits++
 	c.ll.MoveToFront(el)
+	c.enforceLocked()
 }
 
-// noteDivergence drops a template entry whose re-estimated cost
+// noteDivergence reacts to a template hit whose re-estimated cost
 // diverged beyond the optimizer's ratio (or whose skeleton no longer
-// builds); the caller falls back to a full search, whose exact-key
-// lookup accounts the miss.
-func (c *PlanCache) noteDivergence(key string) {
+// builds): the binding class's slot is dropped — other classes keep
+// their baselines, so a hot/cold workload no longer thrashes the
+// whole entry — and the caller falls back to a full search, whose
+// exact-key lookup accounts the miss. A borrowed view diverging says
+// nothing about the lender's own class, so nothing is dropped; the
+// ensuing search seeds the new class.
+func (c *PlanCache) noteDivergence(key, class string, borrowed bool) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.divergences++
-	if el, ok := c.items[key]; ok {
-		c.removeLocked(el, nil)
+	if borrowed {
+		return
 	}
+	el, ok := c.items[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	if e.kind != templateEntry {
+		c.removeLocked(el, nil)
+		return
+	}
+	if _, ok := e.classes[class]; !ok {
+		return
+	}
+	old := e.bytes
+	delete(e.classes, class)
+	if e.lastClass == class {
+		e.lastClass = ""
+	}
+	if len(e.classes) == 0 {
+		c.removeLocked(el, nil)
+		return
+	}
+	e.bytes = entrySize(e)
+	c.bytes += e.bytes - old
 }
 
 // noteSearch counts one full branch-and-bound search run on behalf
@@ -465,9 +637,17 @@ type CacheStats struct {
 	// Revalidations counts template hits that first had to
 	// revalidate a stale epoch vector against fresh statistics.
 	Revalidations uint64
-	// Divergences counts template entries discarded because the
-	// re-estimated cost drifted beyond the revalidation ratio.
+	// Divergences counts template class slots discarded because the
+	// re-estimated cost drifted beyond the revalidation ratio (plus
+	// borrowed serves that diverged without condemning their lender).
 	Divergences uint64
+	// BorrowedServes counts template hits served from a neighboring
+	// binding class's baseline because the requested class had no slot
+	// yet; each one seeds the requested class without a full search.
+	BorrowedServes uint64
+	// Classes totals the binding-class slots across template entries
+	// (≥ the number of template entries).
+	Classes int
 	// Searches counts full branch-and-bound runs performed on behalf
 	// of this cache (misses that did real work).
 	Searches uint64
@@ -486,36 +666,45 @@ func (c *PlanCache) Stats() CacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	classes := 0
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		classes += len(el.Value.(*cacheEntry).classes)
+	}
 	return CacheStats{
-		Hits:          c.hits,
-		Misses:        c.misses,
-		TemplateHits:  c.templateHits,
-		Revalidations: c.revalidations,
-		Divergences:   c.divergences,
-		Searches:      c.searches,
-		EvictedLRU:    c.evictLRU,
-		EvictedTTL:    c.evictTTL,
-		EvictedBytes:  c.evictBytes,
-		EvictedEpoch:  c.evictEpoch,
-		Size:          c.ll.Len(),
-		Cap:           c.policy.Capacity,
-		Bytes:         c.bytes,
-		MaxBytes:      c.policy.MaxBytes,
+		Hits:           c.hits,
+		Misses:         c.misses,
+		TemplateHits:   c.templateHits,
+		Revalidations:  c.revalidations,
+		Divergences:    c.divergences,
+		BorrowedServes: c.borrowedServes,
+		Classes:        classes,
+		Searches:       c.searches,
+		EvictedLRU:     c.evictLRU,
+		EvictedTTL:     c.evictTTL,
+		EvictedBytes:   c.evictBytes,
+		EvictedEpoch:   c.evictEpoch,
+		Size:           c.ll.Len(),
+		Cap:            c.policy.Capacity,
+		Bytes:          c.bytes,
+		MaxBytes:       c.policy.MaxBytes,
 	}
 }
 
 // EntryInfo describes one cache entry for introspection endpoints
 // (mdqserve GET /cache).
 type EntryInfo struct {
-	Key        string            `json:"key"`
-	Kind       string            `json:"kind"`
-	Cost       float64           `json:"cost"`
-	Feasible   bool              `json:"feasible"`
-	Epochs     map[string]uint64 `json:"epochs,omitempty"`
-	Stale      bool              `json:"stale"`
-	Hits       uint64            `json:"hits"`
-	Bytes      int64             `json:"bytes"`
-	AgeSeconds float64           `json:"age_seconds"`
+	Key      string            `json:"key"`
+	Kind     string            `json:"kind"`
+	Cost     float64           `json:"cost"`
+	Feasible bool              `json:"feasible"`
+	Epochs   map[string]uint64 `json:"epochs,omitempty"`
+	// Classes maps each binding class of a template entry to its
+	// baseline cost (absent on exact entries).
+	Classes    map[string]float64 `json:"classes,omitempty"`
+	Stale      bool               `json:"stale"`
+	Hits       uint64             `json:"hits"`
+	Bytes      int64              `json:"bytes"`
+	AgeSeconds float64            `json:"age_seconds"`
 }
 
 // Entries snapshots every entry, most recently used first.
@@ -536,7 +725,7 @@ func (c *PlanCache) Entries() []EntryInfo {
 				epochs[k] = v
 			}
 		}
-		out = append(out, EntryInfo{
+		info := EntryInfo{
 			Key:        e.key,
 			Kind:       e.kind.String(),
 			Cost:       e.baseCost,
@@ -546,7 +735,19 @@ func (c *PlanCache) Entries() []EntryInfo {
 			Hits:       e.hits,
 			Bytes:      e.bytes,
 			AgeSeconds: now.Sub(e.added).Seconds(),
-		})
+		}
+		if len(e.classes) > 0 {
+			info.Classes = make(map[string]float64, len(e.classes))
+			for cls, s := range e.classes {
+				info.Classes[cls] = s.baseCost
+			}
+			// Report the active class's baseline as the entry cost.
+			if s, ok := e.classes[e.lastClass]; ok {
+				info.Cost = s.baseCost
+				info.Feasible = s.feasible
+			}
+		}
+		out = append(out, info)
 	}
 	return out
 }
@@ -573,8 +774,11 @@ func entrySize(e *cacheEntry) int64 {
 			size += planSize(a.Plan)
 		}
 	}
-	if e.topo != nil {
-		size += int64(len(e.asn)) * 16
+	for cls, s := range e.classes {
+		size += 64 + int64(len(cls)) + int64(len(s.asn))*16
+		if s.topo != nil {
+			size += int64(s.topo.Size()) * 24
+		}
 	}
 	size += int64(len(e.epochs)) * 32
 	size += int64(len(e.dists)) * 48

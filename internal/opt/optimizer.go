@@ -224,6 +224,11 @@ type Result struct {
 	// stale statistics-epoch vector and was revalidated against the
 	// fresh statistics before being served.
 	Revalidated bool
+	// BindingClass is the query's binding class under the template
+	// cache's per-class baselines (set by OptimizeTemplate): a bucket
+	// over where the bound constants sit in the profiled value
+	// distributions. Empty under the uniform model or plain Optimize.
+	BindingClass string
 }
 
 func (o *Optimizer) metric() cost.Metric {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"mdq/internal/abind"
 	"mdq/internal/plan"
@@ -36,6 +37,11 @@ type TemplateWireEntry struct {
 	// fingerprint). Both sides must run compatible optimizer settings
 	// for keys to match; a mismatched key is simply never hit.
 	Key string `json:"key"`
+	// Class is the binding class the skeleton's baseline belongs to —
+	// one wire entry per key+class pair. Files written before
+	// per-class baselines carry no class and import as class "",
+	// which any binding may borrow from (see PlanCache).
+	Class string `json:"class,omitempty"`
 	// Assignment holds one access pattern per query atom, in the
 	// "ioo" notation.
 	Assignment []string `json:"assignment"`
@@ -64,7 +70,8 @@ type cacheFile struct {
 const cacheFileVersion = 1
 
 // ExportTemplates snapshots every template entry in wire form, most
-// recently used first. Exact entries are skipped (see
+// recently used first, one wire entry per binding class (classes
+// sorted for stable output). Exact entries are skipped (see
 // TemplateWireEntry).
 func (c *PlanCache) ExportTemplates() []TemplateWireEntry {
 	if c == nil {
@@ -75,22 +82,34 @@ func (c *PlanCache) ExportTemplates() []TemplateWireEntry {
 	var out []TemplateWireEntry
 	for el := c.ll.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*cacheEntry)
-		if e.kind != templateEntry || e.topo == nil {
+		if e.kind != templateEntry {
 			continue
 		}
-		w := TemplateWireEntry{
-			Key:      e.key,
-			Topology: e.topo.Clone(),
-			BaseCost: e.baseCost,
-			Feasible: e.feasible,
-			Stats:    e.stats,
-			Epochs:   copyEpochs(e.epochs),
-			Dists:    copyDists(e.dists),
+		classes := make([]string, 0, len(e.classes))
+		for cls := range e.classes {
+			classes = append(classes, cls)
 		}
-		for _, p := range e.asn {
-			w.Assignment = append(w.Assignment, p.String())
+		sort.Strings(classes)
+		for _, cls := range classes {
+			s := e.classes[cls]
+			if s.topo == nil {
+				continue
+			}
+			w := TemplateWireEntry{
+				Key:      e.key,
+				Class:    cls,
+				Topology: s.topo.Clone(),
+				BaseCost: s.baseCost,
+				Feasible: s.feasible,
+				Stats:    s.stats,
+				Epochs:   copyEpochs(e.epochs),
+				Dists:    copyDists(e.dists),
+			}
+			for _, p := range s.asn {
+				w.Assignment = append(w.Assignment, p.String())
+			}
+			out = append(out, w)
 		}
-		out = append(out, w)
 	}
 	return out
 }
@@ -109,19 +128,20 @@ func (c *PlanCache) ImportTemplates(entries []TemplateWireEntry, src Fingerprint
 	}
 	n := 0
 	for _, w := range entries {
-		e, err := w.toEntry()
+		slot, err := w.toSlot()
 		if err != nil {
 			continue
 		}
-		e.stale = !fingerprintsAgree(w.Dists, src)
-		c.insert(e)
+		stale := !fingerprintsAgree(w.Dists, src)
+		c.upsertClass(w.Key, w.Class, slot, copyEpochs(w.Epochs), copyDists(w.Dists), stale)
 		n++
 	}
 	return n
 }
 
-// toEntry validates and converts a wire entry.
-func (w TemplateWireEntry) toEntry() (*cacheEntry, error) {
+// toSlot validates and converts a wire entry into one binding
+// class's slot.
+func (w TemplateWireEntry) toSlot() (*classSlot, error) {
 	if w.Key == "" || w.Topology == nil {
 		return nil, fmt.Errorf("opt: wire entry without key or topology")
 	}
@@ -136,16 +156,12 @@ func (w TemplateWireEntry) toEntry() (*cacheEntry, error) {
 		}
 		asn[i] = p
 	}
-	return &cacheEntry{
-		key:      w.Key,
-		kind:     templateEntry,
-		stats:    w.Stats,
+	return &classSlot{
 		asn:      asn,
 		topo:     w.Topology.Clone(),
 		baseCost: w.BaseCost,
 		feasible: w.Feasible,
-		epochs:   copyEpochs(w.Epochs),
-		dists:    copyDists(w.Dists),
+		stats:    w.Stats,
 	}, nil
 }
 

@@ -41,13 +41,16 @@ import (
 // is why it effectively did not fire before value distributions
 // existed.
 //
-// Known trade-off: the baseline is a single scalar per template, so
-// a workload that keeps alternating between bindings whose costs sit
-// more than the ratio apart (head and tail of a heavy Zipf law)
-// re-seeds the baseline on every flip and pays a full search each
-// time — the cache degenerates to PR 1 behavior for exactly those
-// templates, never worse. Per-binding-class baselines would remove
-// the thrash and are tracked in ROADMAP.
+// Baselines are kept per *binding class* (see Optimizer.bindingClass
+// and classSlot): bindings are bucketed by MCV membership and the
+// log-ratio band of the selectivity their constants price to, and
+// each class keeps its own skeleton and cost baseline. A workload
+// alternating between bindings whose costs sit more than the ratio
+// apart (head and tail of a heavy Zipf law) therefore pays at most
+// one search per class — often zero, since a new class first borrows
+// a neighbor's skeleton and, when the re-cost lands within the
+// ratio, seeds its own baseline from it — instead of re-seeding a
+// single scalar on every flip.
 const DefaultRevalidateRatio = 4.0
 
 func (o *Optimizer) revalidateRatio() float64 {
@@ -138,16 +141,22 @@ func (o *Optimizer) OptimizeTemplate(q *cq.Query) (*Result, error) {
 	}
 	csp := o.Span.Child("opt.cache.template")
 	tkey := o.templateKey(q)
-	if tv, ok := o.Cache.lookupTemplate(tkey); ok {
-		if res := o.recost(q, tkey, tv); res != nil {
+	class := o.bindingClass(q)
+	csp.Set("binding_class", class)
+	if tv, ok := o.Cache.lookupTemplate(tkey, class); ok {
+		if res := o.recost(q, tkey, class, tv); res != nil {
 			if csp != nil {
 				if res.Revalidated {
 					csp.Set("class", "revalidated")
 				} else {
 					csp.Set("class", "template")
 				}
+				if tv.borrowed {
+					csp.Set("borrowed_from", tv.class)
+				}
 				csp.End()
 			}
+			res.BindingClass = class
 			return res, nil
 		}
 	}
@@ -159,28 +168,31 @@ func (o *Optimizer) OptimizeTemplate(q *cq.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	o.Cache.putTemplate(tkey, res, o.epochVector(q), o.distVector(q))
+	res.BindingClass = class
+	o.Cache.putTemplate(tkey, class, res, o.epochVector(q), o.distVector(q))
 	return res, nil
 }
 
 // recost runs the cheap phase of a template hit: rebuild the cached
 // skeleton against the bound query, assign fetch factors under the
 // current statistics, and accept the plan when its cost stayed within
-// the revalidation ratio of the skeleton's full-search baseline.
-// Returns nil when the caller must fall back to a full search (the
-// entry is then already dropped).
-func (o *Optimizer) recost(q *cq.Query, key string, tv templateView) *Result {
+// the revalidation ratio of the binding class's baseline (a borrowed
+// neighbor class's baseline when this class has no slot yet; its
+// accepted re-cost then seeds the class). Returns nil when the caller
+// must fall back to a full search (the class slot is then already
+// dropped — other classes keep theirs).
+func (o *Optimizer) recost(q *cq.Query, key, class string, tv templateView) *Result {
 	if len(tv.asn) != len(q.Atoms) {
-		o.Cache.noteDivergence(key)
+		o.Cache.noteDivergence(key, class, tv.borrowed)
 		return nil
 	}
 	p, err := plan.Build(q, tv.asn, tv.topo, plan.Options{ChooseMethod: o.ChooseMethod})
 	if err != nil {
-		o.Cache.noteDivergence(key)
+		o.Cache.noteDivergence(key, class, tv.borrowed)
 		return nil
 	}
 	if err := p.Validate(); err != nil {
-		o.Cache.noteDivergence(key)
+		o.Cache.noteDivergence(key, class, tv.borrowed)
 		return nil
 	}
 	assigner := &fetch.Assigner{
@@ -194,14 +206,14 @@ func (o *Optimizer) recost(q *cq.Query, key string, tv templateView) *Result {
 	if !feasible && tv.feasible {
 		// The skeleton reached k under the old statistics but no
 		// longer does: the structure itself is stale.
-		o.Cache.noteDivergence(key)
+		o.Cache.noteDivergence(key, class, tv.borrowed)
 		return nil
 	}
 	if costDiverged(fr.Cost, tv.baseCost, o.revalidateRatio()) {
-		o.Cache.noteDivergence(key)
+		o.Cache.noteDivergence(key, class, tv.borrowed)
 		return nil
 	}
-	o.Cache.noteTemplateServed(key, o.epochVector(q), o.distVector(q), tv.stale)
+	o.Cache.noteTemplateServed(key, class, tv, fr.Cost, feasible, o.epochVector(q), o.distVector(q))
 	return &Result{
 		Best:        p,
 		Cost:        fr.Cost,

@@ -1,0 +1,198 @@
+package rescache_test
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mdq/internal/card"
+	"mdq/internal/cost"
+	"mdq/internal/cq"
+	"mdq/internal/exec"
+	"mdq/internal/opt"
+	"mdq/internal/rescache"
+	"mdq/internal/schema"
+	"mdq/internal/service"
+	"mdq/internal/simweb"
+	"mdq/internal/tabsvc"
+)
+
+// optimizeTravel builds the travel world and optimizes its running
+// example, returning everything a Runner needs.
+func optimizeTravel(t *testing.T) (*service.Registry, *opt.Result) {
+	t.Helper()
+	w := simweb.NewTravelWorld(simweb.TravelOptions{})
+	q, err := cq.Parse(simweb.RunningExampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Resolve(w.Schema); err != nil {
+		t.Fatal(err)
+	}
+	o := &opt.Optimizer{
+		Metric:       cost.ExecTime{},
+		Estimator:    card.Config{Mode: card.OneCall},
+		K:            10,
+		ChooseMethod: w.Registry.MethodChooser(),
+	}
+	res, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Registry, res
+}
+
+func totalCalls(r *exec.Result) int64 {
+	var n int64
+	for _, c := range r.Stats.Calls {
+		n += c
+	}
+	return n
+}
+
+// TestRunnerResultCacheDifferential is the single-process half of the
+// sharing gate: two executions of the same plan through fresh Runners
+// sharing one Store return rows byte-identical to uncached runs,
+// with the repeat charging strictly fewer logical calls.
+func TestRunnerResultCacheDifferential(t *testing.T) {
+	reg, res := optimizeTravel(t)
+	run := func(store *rescache.Store) *exec.Result {
+		// K=0 (exhaustive) keeps the call accounting deterministic; a
+		// top-K run stops streaming at a timing-dependent point. A nil
+		// store is passed as a typed-nil exec.Cache on purpose — the
+		// store's nil-receiver guards make that a no-op cache.
+		r := &exec.Runner{Registry: reg, Cache: card.OneCall, K: 0, ResultCache: store}
+		out, err := r.Run(context.Background(), res.Best.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	base1, base2 := run(nil), run(nil)
+	if !reflect.DeepEqual(base1.Rows, base2.Rows) {
+		t.Fatal("uncached runs disagree — world not deterministic")
+	}
+
+	store := rescache.New(rescache.Config{})
+	store.Bind(reg)
+	got1, got2 := run(store), run(store)
+	if !reflect.DeepEqual(base1.Rows, got1.Rows) || !reflect.DeepEqual(base1.Head, got1.Head) {
+		t.Fatalf("cold shared run diverged from uncached rows")
+	}
+	if !reflect.DeepEqual(base2.Rows, got2.Rows) {
+		t.Fatalf("warm shared run diverged from uncached rows")
+	}
+	// The cold run may already charge fewer calls than the uncached
+	// baseline (the store dedupes identical invocations across plan
+	// nodes within one execution too), but never more.
+	if c, b := totalCalls(got1), totalCalls(base1); c > b {
+		t.Fatalf("cold shared run charged %d calls, uncached %d", c, b)
+	}
+	if c, b := totalCalls(got2), totalCalls(base2); c >= b {
+		t.Fatalf("warm shared run charged %d calls, uncached %d — want strictly fewer", c, b)
+	}
+	if st := store.Stats(); st.Hits == 0 {
+		t.Fatalf("no store hits on the warm run: %+v", st)
+	}
+}
+
+// swapTable is a service whose backing relation the test replaces
+// mid-run — a stand-in for a live service whose data (and profiled
+// statistics) change under traffic. Both tables share one Signature.
+type swapTable struct {
+	mu    sync.Mutex
+	inner *tabsvc.Table
+}
+
+func (s *swapTable) Signature() *schema.Signature {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Signature()
+}
+
+func (s *swapTable) Invoke(ctx context.Context, pat int, req service.Request) (service.Response, error) {
+	s.mu.Lock()
+	t := s.inner
+	s.mu.Unlock()
+	return t.Invoke(ctx, pat, req)
+}
+
+func (s *swapTable) swap(t *tabsvc.Table) {
+	s.mu.Lock()
+	s.inner = t
+	s.mu.Unlock()
+}
+
+// TestEpochBumpNeverServesStale is the staleness pin of the
+// acceptance gate, in three acts: (1) a cold run populates the store;
+// (2) the service's data changes but no epoch moves — the store still
+// serves the old rows, proving the cache is actually on the read
+// path; (3) the registry bumps the service's epoch, and the very next
+// run returns the new rows — an epoch bump can never be followed by a
+// stale serve.
+func TestEpochBumpNeverServesStale(t *testing.T) {
+	sig := &schema.Signature{
+		Name: "score",
+		Attrs: []schema.Attribute{
+			{Name: "Player", Domain: schema.Domain{Name: "Player", Kind: schema.StringValue, DistinctValues: 4}},
+			{Name: "Points", Domain: schema.Domain{Name: "Points", Kind: schema.NumberValue}},
+		},
+		Patterns: []schema.AccessPattern{schema.MustPattern("io")},
+		Kind:     schema.Exact,
+		Stats:    schema.Stats{ERSPI: 1, ResponseTime: time.Millisecond},
+	}
+	rowsAt := func(pts float64) [][]schema.Value {
+		return [][]schema.Value{{schema.S("alice"), schema.N(pts)}}
+	}
+	svc := &swapTable{inner: tabsvc.MustNew(sig, rowsAt(1), tabsvc.Latency{})}
+	reg := service.NewRegistry()
+	reg.MustRegister(svc)
+	sch, err := reg.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cq.Parse(`ans(P) :- score('alice', P).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Resolve(sch); err != nil {
+		t.Fatal(err)
+	}
+	o := &opt.Optimizer{Metric: cost.ExecTime{}, Estimator: card.Config{Mode: card.OneCall}, ChooseMethod: reg.MethodChooser()}
+	res, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := rescache.New(rescache.Config{})
+	store.Bind(reg)
+	points := func() float64 {
+		r := &exec.Runner{Registry: reg, Cache: card.OneCall, ResultCache: store}
+		out, err := r.Run(context.Background(), res.Best.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Rows) != 1 || len(out.Rows[0]) != 1 {
+			t.Fatalf("rows = %v, want one single-value row", out.Rows)
+		}
+		return out.Rows[0][0].Num
+	}
+
+	if got := points(); got != 1 {
+		t.Fatalf("cold run returned %v, want 1", got)
+	}
+	svc.swap(tabsvc.MustNew(sig, rowsAt(2), tabsvc.Latency{}))
+	if got := points(); got != 1 {
+		t.Fatalf("pre-bump run returned %v — the store was not on the read path", got)
+	}
+	reg.BumpEpoch("score")
+	if got := points(); got != 2 {
+		t.Fatalf("post-bump run returned %v, want the fresh value 2 — stale serve after an epoch bump", got)
+	}
+	if st := store.Stats(); st.Invalidations == 0 {
+		t.Fatalf("no invalidations recorded: %+v", st)
+	}
+}

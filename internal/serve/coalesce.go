@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Coalescer deduplicates identical in-flight work: concurrent Do
+// calls with the same key attach to one execution of fn (the first
+// caller leads, the rest wait) and share its outcome — the
+// singleflight layer behind `mdqserve -coalesce`, where N users
+// asking the same question at the same moment cost one
+// optimize+execute instead of N.
+//
+// Per-caller budget semantics are preserved: a waiter whose context
+// ends (budget deadline, client disconnect) detaches with its own
+// error while the leader keeps running for the remaining waiters; and
+// a leader that fails for reasons private to its own request — its
+// budget tripped, its client cancelled — does not poison the flight:
+// those waiters retry, electing a new leader among themselves.
+// Errors that would hit any caller alike (a service failure, an
+// infeasible plan) are shared.
+type Coalescer struct {
+	// Private, when non-nil, overrides the classification of leader
+	// errors: a private error makes waiters retry instead of
+	// inheriting it. The default treats context cancellation,
+	// context deadline expiry and budget violations as private.
+	Private func(error) bool
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// flight is one in-progress execution; val/err are written before
+// done closes, so waiters read them race-free.
+type flight struct {
+	done    chan struct{}
+	val     any
+	err     error
+	private bool
+}
+
+// Do executes fn once among concurrent callers sharing key and
+// returns its outcome. shared reports whether this caller waited on
+// another's execution (true) or led its own (false); the serving
+// layer counts shared returns as mdq_query_coalesced_total. A waiter
+// whose ctx ends before the flight finishes returns its budget's
+// violation (or ctx.Err()) with shared=true — the flight continues
+// without it. fn runs under the leader's own context; Do itself never
+// cancels it.
+func (c *Coalescer) Do(ctx context.Context, key string, fn func() (any, error)) (val any, shared bool, err error) {
+	for {
+		c.mu.Lock()
+		if c.flights == nil {
+			c.flights = map[string]*flight{}
+		}
+		if f, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.private {
+					// The leader aborted for reasons of its own
+					// (budget, cancellation); its outcome says nothing
+					// about ours. Re-enter: we may lead now.
+					continue
+				}
+				return f.val, true, f.err
+			case <-ctx.Done():
+				return nil, true, detachErr(ctx)
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.mu.Unlock()
+
+		val, err = fn()
+		f.val, f.err = val, err
+		f.private = err != nil && c.isPrivate(err)
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(f.done)
+		return val, false, err
+	}
+}
+
+// isPrivate reports whether a leader error is specific to the
+// leader's own request rather than the shared work.
+func (c *Coalescer) isPrivate(err error) bool {
+	if c.Private != nil {
+		return c.Private(err)
+	}
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrBudgetExceeded)
+}
+
+// detachErr resolves what a detaching waiter reports: its budget's
+// violation when one tripped (clean budget_exceeded JSON upstream),
+// otherwise the bare context error.
+func detachErr(ctx context.Context) error {
+	if b := FromContext(ctx); b != nil {
+		if err := b.Err(); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

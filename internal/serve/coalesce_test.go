@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// leadGate builds an fn whose execution the test controls: it signals
+// started when the leader enters it (the flight is then registered,
+// so later Do calls are guaranteed to join as waiters) and blocks
+// until release closes.
+func leadGate(executions *atomic.Int64, started chan<- struct{}, release <-chan struct{}, val any, err error) func() (any, error) {
+	return func() (any, error) {
+		executions.Add(1)
+		close(started)
+		<-release
+		return val, err
+	}
+}
+
+func TestCoalescerSharesOneExecution(t *testing.T) {
+	var c Coalescer
+	var executions atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	type out struct {
+		val    any
+		shared bool
+		err    error
+	}
+	leaderDone := make(chan out, 1)
+	go func() {
+		v, s, err := c.Do(context.Background(), "k", leadGate(&executions, started, release, "answer", nil))
+		leaderDone <- out{v, s, err}
+	}()
+	<-started
+
+	const waiters = 8
+	waiterDone := make(chan out, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, s, err := c.Do(context.Background(), "k", func() (any, error) {
+				executions.Add(1)
+				return "wrong leader", nil
+			})
+			waiterDone <- out{v, s, err}
+		}()
+	}
+	// Give the waiters a moment to block on the flight, then let the
+	// leader finish. Even if one raced past the flight's lifetime it
+	// would only re-lead — caught by the executions counter below.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	lead := <-leaderDone
+	if lead.shared || lead.err != nil || lead.val != "answer" {
+		t.Fatalf("leader got (%v, shared=%v, %v), want (answer, false, nil)", lead.val, lead.shared, lead.err)
+	}
+	for i := 0; i < waiters; i++ {
+		w := <-waiterDone
+		if !w.shared || w.err != nil || w.val != "answer" {
+			t.Fatalf("waiter %d got (%v, shared=%v, %v), want (answer, true, nil)", i, w.val, w.shared, w.err)
+		}
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn executed %d times for %d callers, want 1", n, waiters+1)
+	}
+}
+
+func TestCoalescerLeaderPrivateErrorElectsNewLeader(t *testing.T) {
+	var c Coalescer
+	var executions atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	budgetErr := &BudgetError{Reason: "deadline", Limit: "10ms"}
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, shared, err := c.Do(context.Background(), "k", leadGate(&executions, started, release, nil, budgetErr))
+		if shared {
+			t.Error("first leader reported shared=true")
+		}
+		leaderErr <- err
+	}()
+	<-started
+
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, shared, err := c.Do(context.Background(), "k", func() (any, error) {
+			executions.Add(1)
+			return "retried", nil
+		})
+		// The waiter must not inherit the leader's budget trip: it
+		// re-enters, leads its own execution and succeeds.
+		if err != nil || v != "retried" || shared {
+			t.Errorf("waiter got (%v, shared=%v, %v), want (retried, false, nil)", v, shared, err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	if err := <-leaderErr; !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("leader error = %v, want budget violation", err)
+	}
+	<-waiterDone
+	if n := executions.Load(); n != 2 {
+		t.Fatalf("fn executed %d times, want 2 (failed leader + re-elected waiter)", n)
+	}
+}
+
+func TestCoalescerSharedErrorInherited(t *testing.T) {
+	var c Coalescer
+	var executions atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	svcErr := errors.New("service unavailable")
+
+	go func() {
+		c.Do(context.Background(), "k", leadGate(&executions, started, release, nil, svcErr))
+	}()
+	<-started
+
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		_, shared, err := c.Do(context.Background(), "k", func() (any, error) {
+			executions.Add(1)
+			return nil, nil
+		})
+		if !errors.Is(err, svcErr) || !shared {
+			t.Errorf("waiter got (shared=%v, %v), want the leader's shared error", shared, err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	<-waiterDone
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1 — a shared error must not trigger re-election", n)
+	}
+}
+
+func TestCoalescerWaiterDetachesOnCancel(t *testing.T) {
+	var c Coalescer
+	var executions atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", leadGate(&executions, started, release, "late answer", nil))
+		leaderDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, shared, err := c.Do(ctx, "k", func() (any, error) { return nil, nil })
+		if !shared {
+			t.Error("detaching waiter reported shared=false")
+		}
+		waiterDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("detached waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter did not detach after its context was cancelled")
+	}
+	// The flight must keep running for the leader: it finishes cleanly
+	// after the waiter left.
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader error after waiter detached: %v", err)
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+}
+
+func TestCoalescerWaiterDetachReportsBudget(t *testing.T) {
+	var c Coalescer
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	var executions atomic.Int64
+
+	go func() {
+		c.Do(context.Background(), "k", leadGate(&executions, started, release, nil, nil))
+	}()
+	<-started
+
+	b := NewBudget(0, 1)
+	b.Charge(2) // trip the call budget
+	if b.Err() == nil {
+		t.Fatal("budget did not trip")
+	}
+	ctx, cancel := context.WithCancel(WithBudget(context.Background(), b))
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "k", func() (any, error) { return nil, nil })
+		waiterDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-waiterDone:
+		// The waiter's own budget violation wins over the bare
+		// context error, so the client sees budget_exceeded JSON.
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("detached waiter error = %v, want its budget violation", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter did not detach")
+	}
+}
+
+func TestCoalescerDistinctKeysDoNotShare(t *testing.T) {
+	var c Coalescer
+	var executions atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		key := string(rune('a' + i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := c.Do(context.Background(), key, func() (any, error) {
+				executions.Add(1)
+				return key, nil
+			})
+			if err != nil || shared || v != key {
+				t.Errorf("key %q got (%v, shared=%v, %v)", key, v, shared, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := executions.Load(); n != 4 {
+		t.Fatalf("fn executed %d times for 4 distinct keys, want 4", n)
+	}
+}
